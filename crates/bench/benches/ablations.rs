@@ -1,0 +1,140 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! child sorting, evaluation strategy, initial radius, prefetching
+//! (via design variants), and GEMM-engine geometry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_core::{Detector, EvalStrategy, InitialRadius, SphereDecoder};
+use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
+use sd_wireless::montecarlo::generate_frames;
+use sd_wireless::{Constellation, LinkConfig, Modulation};
+
+fn frames(n: usize, snr: f64, count: usize) -> (Constellation, Vec<sd_wireless::FrameData>) {
+    let cfg = LinkConfig::square(n, Modulation::Qam4, snr).with_frames(count);
+    generate_frames(&cfg)
+}
+
+/// Sorted-children insertion on/off (the Geosphere ingredient).
+fn bench_sorting_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_child_sorting");
+    group.sample_size(10);
+    let (constellation, frames) = frames(10, 8.0, 8);
+    for (label, sort) in [("sorted", true), ("unsorted", false)] {
+        let sd: SphereDecoder<f32> =
+            SphereDecoder::new(constellation.clone()).with_sorted_children(sort);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(sd.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// GEMM (compute-bound) vs incremental (memory-bound) PD evaluation.
+fn bench_eval_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eval_strategy");
+    group.sample_size(10);
+    let (constellation, frames) = frames(12, 8.0, 8);
+    for (label, eval) in [
+        ("gemm", EvalStrategy::Gemm),
+        ("incremental", EvalStrategy::Incremental),
+    ] {
+        let sd: SphereDecoder<f32> = SphereDecoder::new(constellation.clone()).with_eval(eval);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(sd.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Initial-radius policy.
+fn bench_radius_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_initial_radius");
+    group.sample_size(10);
+    let (constellation, frames) = frames(10, 8.0, 8);
+    for (label, r) in [
+        ("infinite", InitialRadius::Infinite),
+        ("2Nsigma2", InitialRadius::ScaledNoise(2.0)),
+        ("8Nsigma2", InitialRadius::ScaledNoise(8.0)),
+    ] {
+        let sd: SphereDecoder<f32> =
+            SphereDecoder::new(constellation.clone()).with_initial_radius(r);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(sd.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Systolic-array geometry sweep: simulated decode seconds are folded
+/// into the benchmark id (criterion measures host time; the simulated
+/// cycle effect is printed by `repro`).
+fn bench_engine_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engine_geometry");
+    group.sample_size(10);
+    let (constellation, frames) = frames(10, 8.0, 4);
+    for (rows, cols) in [(2usize, 4usize), (4, 4), (8, 8), (16, 16)] {
+        let config = FpgaConfig::optimized(Modulation::Qam4, 10).with_array(rows, cols);
+        let accel = FpgaSphereDecoder::new(config, constellation.clone());
+        group.bench_function(BenchmarkId::new("mesh", format!("{rows}x{cols}")), |bench| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(accel.decode_with_report(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Half-precision future work: f16 vs f32 vs f64 decode.
+fn bench_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_precision");
+    group.sample_size(10);
+    let (constellation, frames) = frames(8, 8.0, 8);
+    let sd16: SphereDecoder<sd_math::F16> = SphereDecoder::new(constellation.clone());
+    let sd32: SphereDecoder<f32> = SphereDecoder::new(constellation.clone());
+    let sd64: SphereDecoder<f64> = SphereDecoder::new(constellation);
+    group.bench_function("f16_software", |bench| {
+        bench.iter(|| {
+            for f in &frames {
+                std::hint::black_box(sd16.detect(f));
+            }
+        });
+    });
+    group.bench_function("f32", |bench| {
+        bench.iter(|| {
+            for f in &frames {
+                std::hint::black_box(sd32.detect(f));
+            }
+        });
+    });
+    group.bench_function("f64", |bench| {
+        bench.iter(|| {
+            for f in &frames {
+                std::hint::black_box(sd64.detect(f));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sorting_ablation,
+    bench_eval_strategy,
+    bench_radius_policy,
+    bench_engine_geometry,
+    bench_precision
+);
+criterion_main!(benches);

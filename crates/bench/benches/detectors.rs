@@ -1,0 +1,87 @@
+//! Per-decode latency of every detector — the data behind Figs. 6/8/9/10
+//! measured natively on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_core::{
+    BestFirstSd, BfsGemmSd, Detector, FixedComplexitySd, MmseDetector, MrcDetector,
+    SphereDecoder, SubtreeParallelSd, ZfDetector,
+};
+use sd_wireless::montecarlo::generate_frames;
+use sd_wireless::{Constellation, LinkConfig, Modulation};
+
+fn bench_all_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors_10x10_qam4_8db");
+    group.sample_size(10);
+    let cfg = LinkConfig::square(10, Modulation::Qam4, 8.0).with_frames(16);
+    let constellation = Constellation::new(cfg.modulation);
+    let (_, frames) = generate_frames(&cfg);
+
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(MrcDetector::new(constellation.clone())),
+        Box::new(ZfDetector::new(constellation.clone())),
+        Box::new(MmseDetector::new(constellation.clone())),
+        Box::new(FixedComplexitySd::<f32>::new(constellation.clone())),
+        Box::new(SphereDecoder::<f32>::new(constellation.clone())),
+        Box::new(BestFirstSd::<f32>::new(constellation.clone())),
+        Box::new(BfsGemmSd::<f32>::new(constellation.clone())),
+        Box::new(SubtreeParallelSd::<f32>::new(constellation.clone())),
+    ];
+    for det in detectors {
+        group.bench_function(BenchmarkId::new("decode_batch16", det.name()), |bench| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(det.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sd_snr_sweep(c: &mut Criterion) {
+    // The SNR shape of Figs. 6-10, measured natively.
+    let mut group = c.benchmark_group("sd_snr_sweep_10x10_qam4");
+    group.sample_size(10);
+    let constellation = Constellation::new(Modulation::Qam4);
+    let sd: SphereDecoder<f32> = SphereDecoder::new(constellation);
+    for &snr in &[4.0f64, 8.0, 12.0, 16.0, 20.0] {
+        let cfg = LinkConfig::square(10, Modulation::Qam4, snr).with_frames(8);
+        let (_, frames) = generate_frames(&cfg);
+        group.bench_with_input(BenchmarkId::new("snr_db", snr as u64), &snr, |bench, _| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(sd.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sd_antenna_scaling(c: &mut Criterion) {
+    // Fig. 8/9 antenna scaling, native.
+    let mut group = c.benchmark_group("sd_antennas_qam4_8db");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 10, 15, 20] {
+        let cfg = LinkConfig::square(n, Modulation::Qam4, 8.0).with_frames(4);
+        let constellation = Constellation::new(cfg.modulation);
+        let (_, frames) = generate_frames(&cfg);
+        let sd: SphereDecoder<f32> = SphereDecoder::new(constellation);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            bench.iter(|| {
+                for f in &frames {
+                    std::hint::black_box(sd.detect(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_detectors,
+    bench_sd_snr_sweep,
+    bench_sd_antenna_scaling
+);
+criterion_main!(benches);

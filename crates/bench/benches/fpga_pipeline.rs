@@ -1,0 +1,40 @@
+//! Simulator throughput: how fast the cycle-approximate pipeline itself
+//! runs (host wall-clock per simulated decode), plus the simulated-time
+//! ratio between variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
+use sd_wireless::montecarlo::generate_frames;
+use sd_wireless::{Constellation, LinkConfig, Modulation};
+
+fn bench_pipeline_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_sim");
+    group.sample_size(10);
+    for (label, modulation, n) in [
+        ("qam4_10x10", Modulation::Qam4, 10usize),
+        ("qam16_6x6", Modulation::Qam16, 6),
+    ] {
+        let cfg = LinkConfig::square(n, modulation, 8.0).with_frames(4);
+        let constellation = Constellation::new(modulation);
+        let (_, frames) = generate_frames(&cfg);
+        for variant in ["baseline", "optimized"] {
+            let config = if variant == "baseline" {
+                FpgaConfig::baseline(modulation, n)
+            } else {
+                FpgaConfig::optimized(modulation, n)
+            };
+            let accel = FpgaSphereDecoder::new(config, constellation.clone());
+            group.bench_function(BenchmarkId::new(label, variant), |bench| {
+                bench.iter(|| {
+                    for f in &frames {
+                        std::hint::black_box(accel.decode_with_report(f));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_simulation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! GEMM kernel benchmarks: the compute core of the paper's refactoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_math::{gemm, gemm_flops, Complex, GemmAlgo, Matrix};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix<f32> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
+        for (name, algo) in [
+            ("naive", GemmAlgo::Naive),
+            ("blocked", GemmAlgo::Blocked),
+            ("parallel", GemmAlgo::Parallel),
+        ] {
+            // The naive kernel is quadratically painful above 128.
+            if name == "naive" && n > 128 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| gemm(&a, &b, algo));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decoder_shaped_gemm(c: &mut Criterion) {
+    // The shapes the sphere decoder actually issues: (1 × k+1 × P).
+    let mut group = c.benchmark_group("gemm_decoder_shapes");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    for &(k, p) in &[(10usize, 4usize), (10, 16), (20, 4), (20, 16)] {
+        let a = random_matrix(1, k, &mut rng);
+        let b = random_matrix(k, p, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("row_times_children", format!("k{k}_p{p}")),
+            &(k, p),
+            |bench, _| bench.iter(|| gemm(&a, &b, GemmAlgo::Blocked)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_decoder_shaped_gemm);
+criterion_main!(benches);

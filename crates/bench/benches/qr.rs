@@ -1,0 +1,35 @@
+//! QR preprocessing benchmarks (the per-frame setup cost of Eq. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_math::{qr, qr_with_qty, Complex, Matrix};
+
+fn random_system(n: usize, rng: &mut StdRng) -> (Matrix<f32>, Vec<Complex<f32>>) {
+    let h = Matrix::from_fn(n, n, |_, _| {
+        Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    });
+    let y = (0..n)
+        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    (h, y)
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    group.sample_size(30);
+    for &n in &[4usize, 10, 15, 20, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (h, y) = random_system(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("full_qr", n), &n, |bench, _| {
+            bench.iter(|| qr(&h));
+        });
+        group.bench_with_input(BenchmarkId::new("qr_with_qty", n), &n, |bench, _| {
+            bench.iter(|| qr_with_qty(&h, &y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qr);
+criterion_main!(benches);

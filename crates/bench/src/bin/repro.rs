@@ -1,0 +1,79 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment (default)
+//! repro fig6 fig11          # a subset
+//! repro all --fast          # smoke run with few frames
+//! repro all --frames 100    # more Monte-Carlo frames per point
+//! repro all --seed 42
+//! repro ext                 # the extension experiments
+//! repro list                # show experiment ids
+//! ```
+//!
+//! Console tables go to stdout; CSVs land in `results/<id>.csv`.
+
+use sd_bench::experiments::{run, ALL_EXPERIMENTS, EXT_EXPERIMENTS};
+use sd_bench::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOpts::default();
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => opts.fast = true,
+            "--frames" => {
+                i += 1;
+                opts.frames = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--frames needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "list" => {
+                println!("paper experiments: {}", ALL_EXPERIMENTS.join(" "));
+                println!("extensions:        {}", EXT_EXPERIMENTS.join(" "));
+                return;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "ext" => ids.extend(EXT_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+
+    println!(
+        "mimo-sd repro — frames/point: {}{}, seed {:#x}",
+        opts.frames(),
+        if opts.fast { " (fast)" } else { "" },
+        opts.seed
+    );
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        match run(id, &opts) {
+            Some(report) => {
+                let path = report.emit();
+                println!("  -> {}", path.display());
+            }
+            None => eprintln!("unknown experiment '{id}' (try 'repro list')"),
+        }
+    }
+    println!("\ndone in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

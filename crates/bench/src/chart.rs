@@ -1,0 +1,194 @@
+//! Minimal ASCII line charts for the figure experiments.
+//!
+//! The paper's evaluation figures are log-scale time/BER vs SNR plots;
+//! the repro harness renders the same series as console charts so the
+//! crossovers (real-time line, who-wins ordering) are visible at a
+//! glance without plotting tools.
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker character.
+    pub marker: char,
+    /// `(x, y)` points; `y` must be positive for log charts.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A log-y ASCII chart over a shared x grid.
+#[derive(Clone, Debug, Default)]
+pub struct AsciiChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Optional horizontal reference line (e.g. the 10 ms budget).
+    pub reference: Option<(f64, String)>,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// New chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>, x_label: impl Into<String>) -> Self {
+        AsciiChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            x_label: x_label.into(),
+            reference: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a horizontal reference line.
+    pub fn with_reference(mut self, y: f64, label: impl Into<String>) -> Self {
+        assert!(y > 0.0, "reference must be positive on a log chart");
+        self.reference = Some((y, label.into()));
+        self
+    }
+
+    /// Add a series (positive y values only; others are dropped).
+    pub fn add_series(&mut self, label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            marker,
+            points: points.into_iter().filter(|&(_, y)| y > 0.0).collect(),
+        });
+    }
+
+    /// Render with `rows` vertical resolution.
+    pub fn render(&self, rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "  {} ({} vs {})", self.title, self.y_label, self.x_label);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() || rows < 2 {
+            let _ = writeln!(out, "  (no data)");
+            return out;
+        }
+        let mut xs: Vec<f64> = all.iter().map(|p| p.0).collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for &(_, y) in &all {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if let Some((r, _)) = self.reference {
+            y_min = y_min.min(r);
+            y_max = y_max.max(r);
+        }
+        let (ly_min, ly_max) = (y_min.log10().floor(), y_max.log10().ceil());
+        let span = (ly_max - ly_min).max(1.0);
+        let col_w = 7usize;
+        let row_of = |y: f64| -> usize {
+            let frac = (y.log10() - ly_min) / span;
+            ((1.0 - frac) * (rows as f64 - 1.0)).round().clamp(0.0, rows as f64 - 1.0) as usize
+        };
+        let mut grid = vec![vec![' '; xs.len() * col_w]; rows];
+        if let Some((r, _)) = self.reference {
+            let rr = row_of(r);
+            for cell in grid[rr].iter_mut() {
+                *cell = '·';
+            }
+        }
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if let Some(xi) = xs.iter().position(|&g| (g - x).abs() < 1e-9) {
+                    let rr = row_of(y);
+                    grid[rr][xi * col_w + col_w / 2] = s.marker;
+                }
+            }
+        }
+        for (i, row) in grid.iter().enumerate() {
+            // Left axis: decade labels at the top/bottom rows.
+            let frac = 1.0 - i as f64 / (rows as f64 - 1.0);
+            let decade = ly_min + frac * span;
+            let label = if i == 0 || i + 1 == rows || (decade - decade.round()).abs() < 0.5 / rows as f64
+            {
+                format!("{:>8.0e}", 10f64.powf(decade.round()))
+            } else {
+                " ".repeat(8)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "  {label} |{line}");
+        }
+        let mut axis = String::new();
+        for &x in &xs {
+            let _ = write!(axis, "{:^col_w$}", x);
+        }
+        let _ = writeln!(out, "  {:>8}  {axis} {}", "", self.x_label);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{} {}", s.marker, s.label))
+            .collect();
+        let mut legend_line = legend.join("   ");
+        if let Some((_, ref rl)) = self.reference {
+            legend_line.push_str(&format!("   · {rl}"));
+        }
+        let _ = writeln!(out, "  {legend_line}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> AsciiChart {
+        let mut c = AsciiChart::new("test", "time", "SNR").with_reference(10.0, "budget");
+        c.add_series("a", '*', vec![(4.0, 100.0), (8.0, 10.0), (12.0, 1.0)]);
+        c.add_series("b", 'o', vec![(4.0, 5.0), (8.0, 0.5), (12.0, 0.05)]);
+        c
+    }
+
+    #[test]
+    fn render_contains_markers_and_legend() {
+        let s = chart().render(12);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("· budget"));
+        assert!(s.contains("* a") && s.contains("o b"));
+        assert!(s.contains("SNR"));
+    }
+
+    #[test]
+    fn higher_values_render_higher() {
+        let s = chart().render(12);
+        let lines: Vec<&str> = s.lines().collect();
+        let row_of = |m: char, col_hint: usize| -> usize {
+            lines
+                .iter()
+                .position(|l| l.chars().nth(col_hint).map_or(false, |_| l.contains(m)))
+                .unwrap()
+        };
+        // series a (100 at x=4) must appear above series b (5 at x=4).
+        assert!(row_of('*', 0) < row_of('o', 0));
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let c = AsciiChart::new("empty", "y", "x");
+        assert!(c.render(10).contains("no data"));
+    }
+
+    #[test]
+    fn non_positive_points_dropped() {
+        let mut c = AsciiChart::new("t", "y", "x");
+        c.add_series("s", '#', vec![(1.0, 0.0), (2.0, -1.0), (3.0, 2.0)]);
+        assert_eq!(c.series[0].points.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_reference_rejected() {
+        let _ = AsciiChart::new("t", "y", "x").with_reference(0.0, "r");
+    }
+}

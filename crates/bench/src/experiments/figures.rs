@@ -1,0 +1,356 @@
+//! Figures 6–12 and the Sec. IV-F node-count claim.
+
+use super::{measure_point, point_frames, SNR_GRID_DB};
+use crate::chart::AsciiChart;
+use crate::report::{Cell, Report, RunOpts};
+use crate::GeosphereModel;
+use sd_core::{
+    BestFirstSd, BfsGemmSd, Detector, MmseDetector, SphereDecoder, ZfDetector,
+};
+use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
+use sd_gpu::GpuSphereDecoder;
+use sd_wireless::{
+    run_link_parallel, Constellation, LinkConfig, Modulation, SnrConvention,
+};
+use std::time::Instant;
+
+/// Paper anchor points for the execution-time figures:
+/// `(figure, snr_db) -> (cpu_ms, fpga_opt_ms)` where published.
+fn paper_anchor(figure: u32, snr_db: f64) -> Option<(f64, f64)> {
+    match (figure, snr_db as i64) {
+        (6, 4) => Some((7.0, 1.4)),    // 5× speedup at 4 dB (Sec. IV-C)
+        (8, 4) => Some((30.0, 5.0)),   // 6.1× at 4 dB (Sec. IV-D)
+        (9, 8) => Some((88.8, 9.9)),   // 9× at 8 dB
+        (10, 4) => Some((100.0, 25.0)), // 4× at 4 dB (Sec. IV-E)
+        _ => None,
+    }
+}
+
+/// Figs. 6 / 8 / 9 / 10: execution time vs SNR for one configuration.
+pub fn fig_exec_time(opts: &RunOpts, figure: u32, n: usize, modulation: Modulation) -> Report {
+    let mut r = Report::new(
+        format!("fig{figure}"),
+        format!("Fig. {figure} — execution time, {n}×{n} MIMO, {modulation}"),
+        &[
+            "SNR(dB)",
+            "CPU model ms",
+            "CPU native ms",
+            "FPGA base ms",
+            "FPGA opt ms",
+            "speedup(model)",
+            "expansions",
+            "paper CPU/FPGA ms",
+        ],
+    );
+    let mut rt_snr_fpga: Option<f64> = None;
+    let mut rt_snr_cpu: Option<f64> = None;
+    let mut chart = AsciiChart::new(
+        format!("Fig. {figure}"),
+        "decode time (ms)",
+        "SNR dB",
+    )
+    .with_reference(10.0, "10 ms real-time budget");
+    let mut cpu_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    let mut opt_pts = Vec::new();
+    for &snr in &SNR_GRID_DB {
+        let t = measure_point(n, modulation, snr, opts);
+        cpu_pts.push((snr, t.cpu_model_ms));
+        base_pts.push((snr, t.fpga_base_ms));
+        opt_pts.push((snr, t.fpga_opt_ms));
+        if t.fpga_opt_ms <= 10.0 && rt_snr_fpga.is_none() {
+            rt_snr_fpga = Some(snr);
+        }
+        if t.cpu_model_ms <= 10.0 && rt_snr_cpu.is_none() {
+            rt_snr_cpu = Some(snr);
+        }
+        let anchor = paper_anchor(figure, snr)
+            .map(|(c, f)| format!("{c} / {f}"))
+            .unwrap_or_default();
+        r.row(vec![
+            Cell::Num(snr, 0),
+            Cell::Num(t.cpu_model_ms, 3),
+            Cell::Num(t.cpu_native_ms, 3),
+            Cell::Num(t.fpga_base_ms, 3),
+            Cell::Num(t.fpga_opt_ms, 3),
+            Cell::Text(format!("{:.1}×", t.cpu_model_ms / t.fpga_opt_ms)),
+            Cell::Num(t.expansions, 0),
+            anchor.into(),
+        ]);
+    }
+    chart.add_series("CPU model", 'C', cpu_pts);
+    chart.add_series("FPGA baseline", 'b', base_pts);
+    chart.add_series("FPGA optimized", 'F', opt_pts);
+    r.attach_chart(chart.render(14));
+    r.note(format!(
+        "Real-time (≤10 ms) reached at: FPGA-opt {} dB, CPU-model {} dB.",
+        rt_snr_fpga.map_or("never".into(), |s| format!("{s}")),
+        rt_snr_cpu.map_or("never".into(), |s| format!("{s}")),
+    ));
+    r.note("'CPU model' = calibrated 64-core MKL model; 'CPU native' = this host's wall-clock.");
+    r
+}
+
+/// Fig. 7: BER vs SNR for 10×10 4-QAM under both SNR conventions.
+pub fn fig7_ber(opts: &RunOpts) -> Report {
+    let mut r = Report::new(
+        "fig7",
+        "Fig. 7 — BER, 10×10 MIMO, 4-QAM",
+        &[
+            "SNR(dB)",
+            "BER (per-rx-antenna)",
+            "BER (per-symbol)",
+            "bits",
+            "paper claim",
+        ],
+    );
+    let n = 10;
+    let frames = (opts.frames() * 150).max(1_000);
+    let c = Constellation::new(Modulation::Qam4);
+    let sd: SphereDecoder<f32> = SphereDecoder::new(c);
+    for &snr in &SNR_GRID_DB {
+        let mut bers = [0.0f64; 2];
+        let mut bits = 0u64;
+        for (i, conv) in [SnrConvention::PerReceiveAntenna, SnrConvention::PerSymbol]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = LinkConfig::square(n, Modulation::Qam4, snr)
+                .with_convention(conv)
+                .with_frames(frames)
+                .with_seed(opts.seed);
+            let stats = run_link_parallel(&cfg, |f| sd.detect(f).indices);
+            bers[i] = stats.ber();
+            bits = stats.errors.bits;
+        }
+        let claim = if snr as i64 == 4 { "< 1e-2" } else { "" };
+        r.row(vec![
+            Cell::Num(snr, 0),
+            Cell::Sci(bers[0]),
+            Cell::Sci(bers[1]),
+            Cell::Int(bits),
+            claim.into(),
+        ]);
+    }
+    r.note("The paper's '<1e-2 at 4 dB' holds under the per-symbol convention of its reference [1];");
+    r.note("under the standard per-receive-antenna convention the same BER is reached near 10-12 dB.");
+    r.note("Both curves are exact-ML (the decoder is radius-complete), so this is purely the SNR definition.");
+    r
+}
+
+/// Fig. 11: FPGA-optimized vs the GPU GEMM-BFS baseline.
+pub fn fig11_gpu(opts: &RunOpts) -> Report {
+    let mut r = Report::new(
+        "fig11",
+        "Fig. 11 — FPGA-optimized vs GPU GEMM-BFS [1], 10×10 MIMO, 4-QAM",
+        &[
+            "SNR(dB)",
+            "GPU model ms",
+            "FPGA opt ms",
+            "speedup",
+            "GPU children",
+            "paper",
+        ],
+    );
+    let n = 10;
+    let modulation = Modulation::Qam4;
+    let constellation = Constellation::new(modulation);
+    let gpu = GpuSphereDecoder::new(constellation.clone());
+    let fpga = FpgaSphereDecoder::new(FpgaConfig::optimized(modulation, n), constellation);
+    let mut speedups = Vec::new();
+    let mut chart = AsciiChart::new("Fig. 11", "decode time (ms)", "SNR dB")
+        .with_reference(10.0, "10 ms real-time budget");
+    let mut gpu_pts = Vec::new();
+    let mut fpga_pts = Vec::new();
+    for &snr in &SNR_GRID_DB {
+        let (_, frames) = point_frames(n, modulation, snr, opts.frames(), opts.seed);
+        let mut gpu_ms = 0.0;
+        let mut fpga_ms = 0.0;
+        let mut children = 0u64;
+        for f in &frames {
+            let g = gpu.decode_with_report(f);
+            gpu_ms += g.decode_seconds * 1e3;
+            children += g.detection.stats.nodes_generated;
+            fpga_ms += fpga.decode_with_report(f).decode_seconds * 1e3;
+        }
+        gpu_ms /= frames.len() as f64;
+        fpga_ms /= frames.len() as f64;
+        children /= frames.len() as u64;
+        let speedup = gpu_ms / fpga_ms;
+        speedups.push(speedup);
+        gpu_pts.push((snr, gpu_ms));
+        fpga_pts.push((snr, fpga_ms));
+        let anchor = match snr as i64 {
+            4 => "FPGA 0.97 ms",
+            12 => "GPU 6 ms",
+            _ => "",
+        };
+        r.row(vec![
+            Cell::Num(snr, 0),
+            Cell::Num(gpu_ms, 3),
+            Cell::Num(fpga_ms, 3),
+            Cell::Text(format!("{speedup:.0}×")),
+            Cell::Int(children),
+            anchor.into(),
+        ]);
+    }
+    chart.add_series("GPU GEMM-BFS (A100 model)", 'G', gpu_pts);
+    chart.add_series("FPGA optimized", 'F', fpga_pts);
+    r.attach_chart(chart.render(14));
+    let geo_mean = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    r.note(format!(
+        "Geo-mean speedup {:.0}× (paper: average 57×). BFS pays a per-level sync tax and explores",
+        geo_mean.exp()
+    ));
+    r.note("orders of magnitude more nodes at low SNR (Sec. IV-F).");
+    r
+}
+
+/// Fig. 12: decoding-time comparison against ZF, MMSE and Geosphere.
+pub fn fig12_detectors(opts: &RunOpts) -> Report {
+    let mut r = Report::new(
+        "fig12",
+        "Fig. 12 — decoding time comparison, 10×10 MIMO, 4-QAM",
+        &[
+            "detector",
+            "platform",
+            "SNR(dB)",
+            "time ms",
+            "BER@4dB",
+            "exact ML?",
+            "paper",
+        ],
+    );
+    let n = 10;
+    let modulation = Modulation::Qam4;
+    let constellation = Constellation::new(modulation);
+    let (_, frames) = point_frames(n, modulation, 4.0, opts.frames(), opts.seed);
+    let ber_frames = (opts.frames() * 100).max(800);
+
+    // BER of each detector at 4 dB on a common long run.
+    let ber_of = |det: &dyn Detector| -> f64 {
+        let cfg = LinkConfig::square(n, modulation, 4.0)
+            .with_frames(ber_frames)
+            .with_seed(opts.seed);
+        run_link_parallel(&cfg, |f| det.detect(f).indices).ber()
+    };
+
+    // FPGA-optimized at 4 dB.
+    let fpga = FpgaSphereDecoder::new(FpgaConfig::optimized(modulation, n), constellation.clone());
+    let fpga_ms = frames
+        .iter()
+        .map(|f| fpga.decode_with_report(f).decode_seconds * 1e3)
+        .sum::<f64>()
+        / frames.len() as f64;
+    let sd32: SphereDecoder<f32> = SphereDecoder::new(constellation.clone());
+    r.row(vec![
+        "SD (this work)".into(),
+        "FPGA U280 (model)".into(),
+        Cell::Num(4.0, 0),
+        Cell::Num(fpga_ms, 3),
+        Cell::Sci(ber_of(&sd32)),
+        "yes".into(),
+        "~1 ms @ 4 dB".into(),
+    ]);
+
+    // Linear detectors: native wall-clock (they are microsecond-fast).
+    for (name, det, paper) in [
+        (
+            "ZF",
+            Box::new(ZfDetector::new(constellation.clone())) as Box<dyn Detector>,
+            "fast, poor BER",
+        ),
+        (
+            "MMSE",
+            Box::new(MmseDetector::new(constellation.clone())),
+            "fast, poor BER",
+        ),
+    ] {
+        let t0 = Instant::now();
+        for f in &frames {
+            std::hint::black_box(det.detect(f));
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / frames.len() as f64;
+        r.row(vec![
+            name.into(),
+            "CPU native".into(),
+            Cell::Num(4.0, 0),
+            Cell::Num(ms, 4),
+            Cell::Sci(ber_of(det.as_ref())),
+            "no".into(),
+            paper.into(),
+        ]);
+    }
+
+    // Geosphere on WARP v3: exact sorted-DFS traversal, radio-platform
+    // cost model anchored at 11 ms @ 20 dB.
+    let geo = GeosphereModel::warp_v3();
+    let sd: SphereDecoder<f32> = SphereDecoder::new(constellation);
+    for snr in [20.0, 4.0] {
+        let (_, geo_frames) = point_frames(n, modulation, snr, opts.frames(), opts.seed);
+        let ms = geo_frames
+            .iter()
+            .map(|f| geo.decode_seconds(&sd.detect(f).stats) * 1e3)
+            .sum::<f64>()
+            / geo_frames.len() as f64;
+        r.row(vec![
+            "Geosphere [14]".into(),
+            "WARP v3 (model)".into(),
+            Cell::Num(snr, 0),
+            Cell::Num(ms, 2),
+            Cell::Blank,
+            "yes".into(),
+            if snr == 20.0 { "11 ms @ 20 dB" } else { "" }.into(),
+        ]);
+    }
+    r.note("Paper: 11× speedup over Geosphere's 11 ms while operating at 4 dB instead of 20 dB.");
+    r.note("Linear detectors are fastest but their BER makes them unusable at these SNRs (Sec. I).");
+    r
+}
+
+/// Sec. IV-F claim: the sorted-DFS prunes the search to <1% of the
+/// explored-node count of BFS (and of the full tree).
+pub fn nodes_claim(opts: &RunOpts) -> Report {
+    let mut r = Report::new(
+        "nodes",
+        "Sec. IV-F — explored nodes: sorted DFS vs best-first vs BFS (10×10, 4-QAM)",
+        &[
+            "SNR(dB)",
+            "DFS nodes",
+            "BestFS nodes",
+            "BFS nodes",
+            "DFS/BFS",
+            "DFS % of full tree",
+        ],
+    );
+    let n = 10;
+    let modulation = Modulation::Qam4;
+    let constellation = Constellation::new(modulation);
+    let dfs: SphereDecoder<f64> = SphereDecoder::new(constellation.clone());
+    let bf: BestFirstSd<f64> = BestFirstSd::new(constellation.clone());
+    let bfs: BfsGemmSd<f64> = BfsGemmSd::new(constellation);
+    let full = 4f64.powi(n as i32);
+    for &snr in &SNR_GRID_DB {
+        let (_, frames) = point_frames(n, modulation, snr, opts.frames(), opts.seed);
+        let mut nd = 0u64;
+        let mut nbf = 0u64;
+        let mut nb = 0u64;
+        for f in &frames {
+            nd += dfs.detect(f).stats.nodes_generated;
+            nbf += bf.detect(f).stats.nodes_generated;
+            nb += bfs.detect(f).stats.nodes_generated;
+        }
+        let count = frames.len() as u64;
+        r.row(vec![
+            Cell::Num(snr, 0),
+            Cell::Int(nd / count),
+            Cell::Int(nbf / count),
+            Cell::Int(nb / count),
+            Cell::Text(format!("{:.1}%", 100.0 * nd as f64 / nb as f64)),
+            Cell::Text(format!("{:.3}%", 100.0 * (nd / count) as f64 / full)),
+        ]);
+    }
+    r.note("Paper: the DFS+sorting strategy 'prunes the search space to less than 1% of the");
+    r.note("number of explored nodes' of the BFS approach (strongest at low SNR).");
+    r
+}

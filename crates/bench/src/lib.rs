@@ -1,0 +1,31 @@
+//! # sd-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (Sec. IV). Each experiment prints
+//! paper-vs-measured rows and writes a CSV under `results/`.
+//!
+//! Run `cargo run --release -p sd-bench --bin repro -- all` (or a single
+//! experiment id: `table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! nodes`).
+//!
+//! Two platform stand-ins live here rather than in the simulators:
+//!
+//! * [`cpu_model`] — the paper-shaped analytic model of the 64-core MKL
+//!   CPU baseline (per-expansion kernel-dispatch cost dominates small
+//!   GEMMs), used alongside native wall-clock measurements;
+//! * [`geosphere`] — the Fig. 12 cost model of Geosphere on the WARP v3
+//!   radio platform, anchored to its published 11 ms @ 20 dB point.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod chart;
+pub mod cpu_model;
+pub mod experiments;
+pub mod geosphere;
+pub mod report;
+
+pub use chart::AsciiChart;
+pub use cpu_model::CpuTimeModel;
+pub use geosphere::GeosphereModel;
+pub use report::{Cell, Report, RunOpts};

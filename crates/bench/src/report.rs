@@ -1,0 +1,249 @@
+//! Report rendering: aligned console tables plus CSV files in `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Global options for an experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Frames per operating point.
+    pub frames: usize,
+    /// Fast mode trims frame counts for CI-style smoke runs.
+    pub fast: bool,
+    /// Base seed for all Monte-Carlo draws.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            frames: 40,
+            fast: false,
+            seed: 0x5D_C0DE,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Frames to use, honouring fast mode.
+    pub fn frames(&self) -> usize {
+        if self.fast {
+            self.frames.min(8)
+        } else {
+            self.frames
+        }
+    }
+}
+
+/// One table cell.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Free text.
+    Text(String),
+    /// Number with fixed decimals.
+    Num(f64, usize),
+    /// Scientific notation.
+    Sci(f64),
+    /// Integer count.
+    Int(u64),
+    /// Empty cell.
+    Blank,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(x, d) => format!("{x:.*}", d),
+            Cell::Sci(x) => format!("{x:.2e}"),
+            Cell::Int(x) => format!("{x}"),
+            Cell::Blank => String::new(),
+        }
+    }
+
+    fn csv(&self) -> String {
+        match self {
+            Cell::Text(s) => {
+                if s.contains(',') || s.contains('"') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.clone()
+                }
+            }
+            _ => self.render(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Num(x, 3)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(x: u64) -> Self {
+        Cell::Int(x)
+    }
+}
+
+/// A titled table of results.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (`table1`, `fig6`, …) — used as the CSV file name.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Commentary lines printed under the table.
+    pub notes: Vec<String>,
+    /// Optional pre-rendered ASCII chart printed between table and notes.
+    pub chart: Option<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            chart: None,
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach a rendered ASCII chart (printed between the table and the
+    /// notes).
+    pub fn attach_chart(&mut self, chart: String) {
+        self.chart = Some(chart);
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Render the aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line: usize = widths.iter().sum::<usize>() + 3 * widths.len();
+        let mut hdr = String::new();
+        for (h, w) in self.header.iter().zip(widths.iter()) {
+            let _ = write!(hdr, "{h:>w$}   ");
+        }
+        let _ = writeln!(out, "{}", hdr.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.min(120)));
+        for row in &rendered {
+            let mut l = String::new();
+            for (c, w) in row.iter().zip(widths.iter()) {
+                let _ = write!(l, "{c:>w$}   ");
+            }
+            let _ = writeln!(out, "{}", l.trim_end());
+        }
+        if let Some(chart) = &self.chart {
+            let _ = writeln!(out);
+            out.push_str(chart);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  {n}");
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<id>.csv`. Returns the CSV path.
+    pub fn emit(&self) -> PathBuf {
+        print!("{}", self.render());
+        let dir = PathBuf::from("results");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = self.header.join(",");
+        csv.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(Cell::csv).collect();
+            csv.push_str(&line.join(","));
+            csv.push('\n');
+        }
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "Test", &["a", "long_header", "c"]);
+        r.row(vec![Cell::Int(1), Cell::Sci(0.000123), "x".into()]);
+        r.row(vec![Cell::Int(100), Cell::Num(2.5, 1), "yy".into()]);
+        let s = r.render();
+        assert!(s.contains("long_header"));
+        assert!(s.contains("1.23e-4"));
+        assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut r = Report::new("t", "Test", &["a", "b"]);
+        r.row(vec![Cell::Int(1)]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(Cell::Text("a,b".into()).csv(), "\"a,b\"");
+        assert_eq!(Cell::Text("plain".into()).csv(), "plain");
+    }
+
+    #[test]
+    fn fast_mode_caps_frames() {
+        let o = RunOpts {
+            frames: 100,
+            fast: true,
+            seed: 0,
+        };
+        assert_eq!(o.frames(), 8);
+        let o = RunOpts {
+            fast: false,
+            ..o
+        };
+        assert_eq!(o.frames(), 100);
+    }
+}

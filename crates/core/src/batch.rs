@@ -1,0 +1,78 @@
+//! Frame-level parallel decoding.
+//!
+//! The paper's CPU baseline is a multi-core implementation; at the link
+//! level the natural parallelism is across independent channel uses. This
+//! module fans a batch of frames over rayon and aggregates statistics.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use rayon::prelude::*;
+use sd_wireless::FrameData;
+
+/// Decode a batch of frames in parallel; results keep the input order.
+pub fn decode_batch<D: Detector + ?Sized>(detector: &D, frames: &[FrameData]) -> Vec<Detection> {
+    frames.par_iter().map(|f| detector.detect(f)).collect()
+}
+
+/// Decode a batch and return only the aggregated statistics.
+pub fn batch_stats<D: Detector + ?Sized>(detector: &D, frames: &[FrameData]) -> DetectionStats {
+    frames
+        .par_iter()
+        .map(|f| detector.detect(f).stats)
+        .reduce(DetectionStats::default, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::SphereDecoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Constellation, Modulation};
+
+    fn frames(count: usize) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(Modulation::Qam4);
+        let sigma2 = noise_variance(8.0, 6);
+        let mut rng = StdRng::seed_from_u64(90);
+        let f = (0..count)
+            .map(|_| FrameData::generate(6, 6, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (c, frames) = frames(32);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let par = decode_batch(&sd, &frames);
+        for (f, d) in frames.iter().zip(par.iter()) {
+            let serial = sd.detect(f);
+            assert_eq!(serial.indices, d.indices);
+            assert_eq!(serial.stats, d.stats);
+        }
+    }
+
+    #[test]
+    fn batch_stats_equal_sum_of_individual_stats() {
+        let (c, frames) = frames(16);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let agg = batch_stats(&sd, &frames);
+        let mut manual = DetectionStats::default();
+        for f in &frames {
+            manual.merge(&sd.detect(f).stats);
+        }
+        assert_eq!(agg.nodes_generated, manual.nodes_generated);
+        assert_eq!(agg.flops, manual.flops);
+        assert_eq!(agg.leaves_reached, manual.leaves_reached);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (c, _) = frames(0);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        assert!(decode_batch(&sd, &[]).is_empty());
+        assert_eq!(batch_stats(&sd, &[]), DetectionStats::default());
+    }
+}

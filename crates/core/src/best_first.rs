@@ -1,0 +1,265 @@
+//! Globally best-first sphere decoding.
+//!
+//! Where the paper's sorted DFS orders *siblings* and then commits to a
+//! LIFO descent, this variant maintains a global priority queue over all
+//! open nodes and always expands the lowest-PD node (the Geosphere-style
+//! "best quality leaf first" taken to its limit). It reaches the first
+//! leaf with the minimum possible number of expansions, at the cost of a
+//! heap and larger memory footprint — the trade the paper's hardware MST
+//! sidesteps with per-level sorting.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::pd::{eval_children, EvalStrategy, PdScratch};
+use crate::preprocess::{preprocess, Prepared};
+use crate::radius::InitialRadius;
+use sd_math::Float;
+use sd_wireless::{Constellation, FrameData};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority-queue (min-PD-first) sphere decoder.
+#[derive(Clone, Debug)]
+pub struct BestFirstSd<F: Float = f64> {
+    constellation: Constellation,
+    /// Child-evaluation strategy.
+    pub eval: EvalStrategy,
+    /// Initial sphere radius policy.
+    pub initial_radius: InitialRadius,
+    _precision: std::marker::PhantomData<F>,
+}
+
+/// Heap entry; ordered so that `BinaryHeap` pops the *smallest* PD.
+struct OpenNode {
+    pd: f64,
+    /// Depth-order path (`path[d]` = antenna `M−1−d`).
+    path: Vec<usize>,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.pd == other.pd
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller PD = "greater" for the max-heap. Tie-break on
+        // depth (deeper first) to reach leaves sooner.
+        other
+            .pd
+            .partial_cmp(&self.pd)
+            .expect("non-NaN PD")
+            .then_with(|| self.path.len().cmp(&other.path.len()))
+    }
+}
+
+impl<F: Float> BestFirstSd<F> {
+    /// Best-first decoder with GEMM evaluation and infinite initial
+    /// radius.
+    pub fn new(constellation: Constellation) -> Self {
+        BestFirstSd {
+            constellation,
+            eval: EvalStrategy::Gemm,
+            initial_radius: InitialRadius::Infinite,
+            _precision: std::marker::PhantomData,
+        }
+    }
+
+    /// Builder: evaluation strategy.
+    pub fn with_eval(mut self, eval: EvalStrategy) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Builder: initial radius policy.
+    pub fn with_initial_radius(mut self, r: InitialRadius) -> Self {
+        self.initial_radius = r;
+        self
+    }
+
+    /// Decode an already-preprocessed problem.
+    pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
+        let m = prep.n_tx;
+        let p = prep.order;
+        let mut scratch = PdScratch::new(p, m);
+        let mut stats = DetectionStats {
+            per_level_generated: vec![0; m],
+            ..Default::default()
+        };
+        let mut r2 = radius_sqr;
+        let mut best: Option<(f64, Vec<usize>)> = None;
+
+        loop {
+            let mut heap = BinaryHeap::new();
+            heap.push(OpenNode {
+                pd: 0.0,
+                path: Vec::new(),
+            });
+            while let Some(node) = heap.pop() {
+                if let Some((best_pd, _)) = &best {
+                    if node.pd >= *best_pd {
+                        // Min-heap ⇒ nothing better remains.
+                        break;
+                    }
+                }
+                let depth = node.path.len();
+                stats.nodes_expanded += 1;
+                stats.flops += eval_children(prep, &node.path, self.eval, &mut scratch);
+                stats.nodes_generated += p as u64;
+                stats.per_level_generated[depth] += p as u64;
+
+                for c in 0..p {
+                    let child_pd = node.pd + scratch.increments[c].to_f64();
+                    let bound = best.as_ref().map_or(r2, |(b, _)| b.min(r2));
+                    if child_pd < bound {
+                        if depth + 1 == m {
+                            stats.leaves_reached += 1;
+                            stats.radius_updates += 1;
+                            let mut leaf = node.path.clone();
+                            leaf.push(c);
+                            best = Some((child_pd, leaf));
+                        } else {
+                            let mut path = node.path.clone();
+                            path.push(c);
+                            heap.push(OpenNode { pd: child_pd, path });
+                        }
+                    } else {
+                        stats.nodes_pruned += 1;
+                    }
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+            r2 *= InitialRadius::RESTART_GROWTH;
+            stats.restarts += 1;
+            assert!(stats.restarts < 64, "radius failed to capture any leaf");
+        }
+
+        let (best_pd, best_path) = best.expect("loop exits only with a solution");
+        stats.final_radius_sqr = best_pd;
+        stats.flops += prep.prep_flops;
+        let indices = prep.indices_from_path(&best_path);
+        Detection { indices, stats }
+    }
+}
+
+impl<F: Float> Detector for BestFirstSd<F> {
+    fn name(&self) -> &'static str {
+        "SD best-first"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        let r2 = self
+            .initial_radius
+            .resolve(frame.h.rows(), frame.noise_variance);
+        self.detect_prepared(&prep, r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::SphereDecoder;
+    use crate::ml::MlDetector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Modulation};
+
+    fn frames(
+        n: usize,
+        m: Modulation,
+        snr_db: f64,
+        count: usize,
+        seed: u64,
+    ) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(m);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn matches_ml() {
+        let (c, frames) = frames(5, Modulation::Qam4, 8.0, 25, 60);
+        let bf: BestFirstSd<f64> = BestFirstSd::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(bf.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn matches_sorted_dfs_metric() {
+        let (c, frames) = frames(7, Modulation::Qam4, 8.0, 15, 61);
+        let bf: BestFirstSd<f64> = BestFirstSd::new(c.clone());
+        let dfs: SphereDecoder<f64> = SphereDecoder::new(c);
+        for f in &frames {
+            let a = bf.detect(f);
+            let b = dfs.detect(f);
+            assert_eq!(a.indices, b.indices);
+            assert!((a.stats.final_radius_sqr - b.stats.final_radius_sqr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expands_no_more_nodes_than_sorted_dfs() {
+        // Best-first is expansion-optimal among admissible strategies;
+        // aggregate over frames it must not exceed sorted DFS.
+        let (c, frames) = frames(7, Modulation::Qam4, 6.0, 20, 62);
+        let bf: BestFirstSd<f64> = BestFirstSd::new(c.clone());
+        let dfs: SphereDecoder<f64> = SphereDecoder::new(c);
+        let nb: u64 = frames.iter().map(|f| bf.detect(f).stats.nodes_expanded).sum();
+        let nd: u64 = frames.iter().map(|f| dfs.detect(f).stats.nodes_expanded).sum();
+        assert!(nb <= nd, "best-first expanded {nb} > DFS {nd}");
+    }
+
+    #[test]
+    fn finite_radius_restarts_and_stays_exact() {
+        let (c, frames) = frames(4, Modulation::Qam4, 4.0, 20, 63);
+        let tight: BestFirstSd<f64> =
+            BestFirstSd::new(c.clone()).with_initial_radius(InitialRadius::ScaledNoise(0.01));
+        let ml = MlDetector::new(c);
+        let mut saw_restart = false;
+        for f in &frames {
+            let d = tight.detect(f);
+            assert_eq!(d.indices, ml.detect(f).indices);
+            saw_restart |= d.stats.restarts > 0;
+        }
+        assert!(saw_restart);
+    }
+
+    #[test]
+    fn heap_ordering_pops_smallest_pd() {
+        let mut heap = BinaryHeap::new();
+        for pd in [3.0, 1.0, 2.0] {
+            heap.push(OpenNode { pd, path: vec![] });
+        }
+        assert_eq!(heap.pop().unwrap().pd, 1.0);
+        assert_eq!(heap.pop().unwrap().pd, 2.0);
+        assert_eq!(heap.pop().unwrap().pd, 3.0);
+    }
+
+    #[test]
+    fn deeper_node_wins_ties() {
+        let mut heap = BinaryHeap::new();
+        heap.push(OpenNode {
+            pd: 1.0,
+            path: vec![0],
+        });
+        heap.push(OpenNode {
+            pd: 1.0,
+            path: vec![0, 1, 2],
+        });
+        assert_eq!(heap.pop().unwrap().path.len(), 3);
+    }
+}

@@ -1,0 +1,403 @@
+//! The paper's sphere decoder: sorted-children depth-first traversal.
+//!
+//! Children of each expanded node are evaluated with the GEMM formulation
+//! (Phase 1–2 of the pipeline), *sorted by partial distance* (Phase 3,
+//! Fig. 3), and visited in LIFO order — so the search dives toward the
+//! most promising leaf first, establishes a tight sphere radius early, and
+//! prunes aggressively on the way back up. With an admissible radius the
+//! result is exactly the ML solution; with a finite initial radius the
+//! decoder restarts with an enlarged sphere when no leaf survives, so
+//! exactness holds for every [`InitialRadius`].
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
+use crate::preprocess::{preprocess_ordered, ColumnOrdering, Prepared};
+use crate::radius::InitialRadius;
+use sd_math::Float;
+use sd_wireless::{Constellation, FrameData};
+
+/// Sorted-DFS sphere decoder (the paper's algorithm), generic over the
+/// working precision `F`.
+#[derive(Clone, Debug)]
+pub struct SphereDecoder<F: Float = f64> {
+    constellation: Constellation,
+    /// Child-evaluation strategy (GEMM-based by default).
+    pub eval: EvalStrategy,
+    /// Initial sphere radius policy.
+    pub initial_radius: InitialRadius,
+    /// Sort children by PD before descending (`false` reproduces a plain
+    /// DFS for the ablation study).
+    pub sort_children: bool,
+    /// Detection-order preprocessing (column permutation before QR).
+    pub ordering: ColumnOrdering,
+    _precision: std::marker::PhantomData<F>,
+}
+
+impl<F: Float> SphereDecoder<F> {
+    /// Decoder with the paper's defaults: GEMM evaluation, sorted
+    /// children, infinite initial radius.
+    pub fn new(constellation: Constellation) -> Self {
+        SphereDecoder {
+            constellation,
+            eval: EvalStrategy::Gemm,
+            initial_radius: InitialRadius::Infinite,
+            sort_children: true,
+            ordering: ColumnOrdering::Natural,
+            _precision: std::marker::PhantomData,
+        }
+    }
+
+    /// Builder: detection-order preprocessing.
+    pub fn with_ordering(mut self, ordering: ColumnOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Builder: evaluation strategy.
+    pub fn with_eval(mut self, eval: EvalStrategy) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Builder: initial radius policy.
+    pub fn with_initial_radius(mut self, r: InitialRadius) -> Self {
+        self.initial_radius = r;
+        self
+    }
+
+    /// Builder: toggle child sorting (ablation).
+    pub fn with_sorted_children(mut self, sort: bool) -> Self {
+        self.sort_children = sort;
+        self
+    }
+
+    /// The constellation this decoder was built for.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Decode an already-preprocessed problem. Exposed so the FPGA
+    /// simulator and ablation benches can drive the identical search.
+    pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
+        let mut search = Search {
+            prep,
+            scratch: PdScratch::new(prep.order, prep.n_tx),
+            stats: DetectionStats {
+                per_level_generated: vec![0; prep.n_tx],
+                ..Default::default()
+            },
+            path: Vec::with_capacity(prep.n_tx),
+            best_path: Vec::new(),
+            best_metric: F::from_f64(radius_sqr),
+            sort: self.sort_children,
+            eval: self.eval,
+        };
+        let mut r2 = radius_sqr;
+        loop {
+            search.descend(F::ZERO);
+            if !search.best_path.is_empty() {
+                break;
+            }
+            // Empty sphere: enlarge and retry (keeps the decoder exact for
+            // finite initial radii).
+            r2 *= InitialRadius::RESTART_GROWTH;
+            search.stats.restarts += 1;
+            search.best_metric = F::from_f64(r2);
+            assert!(
+                search.stats.restarts < 64,
+                "sphere radius failed to capture any leaf"
+            );
+        }
+        let indices = prep.indices_from_path(&search.best_path);
+        let mut stats = search.stats;
+        stats.final_radius_sqr = search.best_metric.to_f64();
+        stats.flops += prep.prep_flops;
+        Detection { indices, stats }
+    }
+}
+
+impl<F: Float> Detector for SphereDecoder<F> {
+    fn name(&self) -> &'static str {
+        "SD sorted-DFS (paper)"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        let prep: Prepared<F> = preprocess_ordered(frame, &self.constellation, self.ordering);
+        let r2 = self
+            .initial_radius
+            .resolve(frame.h.rows(), frame.noise_variance);
+        self.detect_prepared(&prep, r2)
+    }
+}
+
+/// One in-flight tree search.
+struct Search<'a, F: Float> {
+    prep: &'a Prepared<F>,
+    scratch: PdScratch<F>,
+    stats: DetectionStats,
+    /// Current path, depth order (`path[d]` = antenna `M−1−d`).
+    path: Vec<usize>,
+    best_path: Vec<usize>,
+    /// Current squared sphere radius (shrinks on every accepted leaf).
+    best_metric: F,
+    sort: bool,
+    eval: EvalStrategy,
+}
+
+impl<F: Float> Search<'_, F> {
+    /// Expand the node identified by `self.path` whose PD is `pd`.
+    fn descend(&mut self, pd: F) {
+        let depth = self.path.len();
+        let m = self.prep.n_tx;
+        let p = self.prep.order;
+        self.stats.nodes_expanded += 1;
+        self.stats.flops += eval_children(self.prep, &self.path, self.eval, &mut self.scratch);
+        self.stats.nodes_generated += p as u64;
+        self.stats.per_level_generated[depth] += p as u64;
+
+        if self.sort {
+            let children = sorted_children(&self.scratch.increments);
+            for (rank, (inc, child)) in children.into_iter().enumerate() {
+                let child_pd = pd + inc;
+                if !(child_pd < self.best_metric) {
+                    // Sorted order ⇒ every remaining sibling is pruned too.
+                    self.stats.nodes_pruned += (p - rank) as u64;
+                    return;
+                }
+                self.visit(child, child_pd, depth, m);
+            }
+        } else {
+            // Plain DFS ablation: natural constellation order.
+            let increments = self.scratch.increments.clone();
+            for (child, &inc) in increments.iter().enumerate() {
+                let child_pd = pd + inc;
+                if child_pd < self.best_metric {
+                    self.visit(child, child_pd, depth, m);
+                } else {
+                    self.stats.nodes_pruned += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, child: usize, child_pd: F, depth: usize, m: usize) {
+        if depth + 1 == m {
+            // Leaf inside the sphere: Algorithm 1 lines 7–9.
+            self.stats.leaves_reached += 1;
+            self.stats.radius_updates += 1;
+            self.best_metric = child_pd;
+            self.best_path.clear();
+            self.best_path.extend_from_slice(&self.path);
+            self.best_path.push(child);
+        } else {
+            self.path.push(child);
+            self.descend(child_pd);
+            self.path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::MlDetector;
+    use crate::preprocess::preprocess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{Modulation, noise_variance};
+
+    fn frames(n: usize, m: Modulation, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(m);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn matches_exhaustive_ml_qam4() {
+        let (c, frames) = frames(5, Modulation::Qam4, 8.0, 30, 42);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            let a = sd.detect(f);
+            let b = ml.detect(f);
+            assert_eq!(a.indices, b.indices, "SD must be ML-exact");
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_ml_qam16() {
+        let (c, frames) = frames(3, Modulation::Qam16, 6.0, 20, 43);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(sd.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn finite_radius_still_exact() {
+        let (c, frames) = frames(4, Modulation::Qam4, 4.0, 25, 44);
+        let inf: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        // Deliberately tiny radius to force restarts.
+        let tight: SphereDecoder<f64> = SphereDecoder::new(c.clone())
+            .with_initial_radius(InitialRadius::ScaledNoise(0.01));
+        let mut saw_restart = false;
+        for f in &frames {
+            let a = inf.detect(f);
+            let b = tight.detect(f);
+            assert_eq!(a.indices, b.indices);
+            saw_restart |= b.stats.restarts > 0;
+        }
+        assert!(saw_restart, "0.01·N·σ² should be empty at least once");
+    }
+
+    #[test]
+    fn unsorted_dfs_same_answer_more_work() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 15, 45);
+        let sorted: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let plain: SphereDecoder<f64> =
+            SphereDecoder::new(c.clone()).with_sorted_children(false);
+        let mut n_sorted = 0u64;
+        let mut n_plain = 0u64;
+        for f in &frames {
+            let a = sorted.detect(f);
+            let b = plain.detect(f);
+            assert_eq!(a.indices, b.indices, "both are exact");
+            n_sorted += a.stats.nodes_generated;
+            n_plain += b.stats.nodes_generated;
+        }
+        assert!(
+            n_sorted < n_plain,
+            "sorting must shrink the search: {n_sorted} vs {n_plain}"
+        );
+    }
+
+    #[test]
+    fn incremental_eval_same_answer_fewer_flops() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 10, 46);
+        let gemm: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let inc: SphereDecoder<f64> =
+            SphereDecoder::new(c.clone()).with_eval(EvalStrategy::Incremental);
+        for f in &frames {
+            let a = gemm.detect(f);
+            let b = inc.detect(f);
+            assert_eq!(a.indices, b.indices);
+            assert!(a.stats.flops > b.stats.flops);
+            assert_eq!(a.stats.nodes_generated, b.stats.nodes_generated);
+        }
+    }
+
+    #[test]
+    fn high_snr_explores_fewer_nodes() {
+        let (c, lo) = frames(8, Modulation::Qam4, 4.0, 20, 47);
+        let (_, hi) = frames(8, Modulation::Qam4, 20.0, 20, 47);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let count = |fs: &[FrameData]| -> u64 {
+            fs.iter().map(|f| sd.detect(f).stats.nodes_generated).sum()
+        };
+        let n_lo = count(&lo);
+        let n_hi = count(&hi);
+        assert!(
+            n_hi * 2 < n_lo,
+            "tree must shrink with SNR: {n_lo} @4dB vs {n_hi} @20dB"
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (c, frames) = frames(5, Modulation::Qam4, 8.0, 5, 48);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        for f in &frames {
+            let d = sd.detect(f);
+            let s = &d.stats;
+            assert_eq!(
+                s.nodes_generated,
+                s.per_level_generated.iter().sum::<u64>()
+            );
+            assert_eq!(s.nodes_generated, s.nodes_expanded * 4);
+            assert!(s.leaves_reached >= 1);
+            assert_eq!(s.leaves_reached, s.radius_updates);
+            assert!(s.final_radius_sqr.is_finite());
+            assert!(s.flops > 0);
+        }
+    }
+
+    #[test]
+    fn returned_metric_matches_solution() {
+        let (c, frames) = frames(6, Modulation::Qam16, 12.0, 5, 49);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        for f in &frames {
+            let d = sd.detect(f);
+            let prep: Prepared<f64> = preprocess(f, &c);
+            let metric = prep.full_metric(&d.indices) - prep.tail_energy;
+            assert!(
+                (metric - d.stats.final_radius_sqr).abs() < 1e-8,
+                "metric {metric} != reported {}",
+                d.stats.final_radius_sqr
+            );
+        }
+    }
+
+    #[test]
+    fn f32_precision_usually_matches_f64() {
+        let (c, frames) = frames(6, Modulation::Qam4, 12.0, 20, 50);
+        let sd64: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let sd32: SphereDecoder<f32> = SphereDecoder::new(c);
+        let agree = frames
+            .iter()
+            .filter(|f| sd64.detect(f).indices == sd32.detect(f).indices)
+            .count();
+        assert!(agree >= 19, "f32 disagreed on {} of 20 frames", 20 - agree);
+    }
+
+    #[test]
+    fn ordering_preserves_ml_exactness() {
+        let (c, frames) = frames(6, Modulation::Qam4, 6.0, 20, 52);
+        let ml = MlDetector::new(c.clone());
+        for ordering in [
+            ColumnOrdering::Natural,
+            ColumnOrdering::NormDescending,
+            ColumnOrdering::NormAscending,
+        ] {
+            let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone()).with_ordering(ordering);
+            for f in &frames {
+                assert_eq!(sd.detect(f).indices, ml.detect(f).indices, "{ordering:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn good_ordering_shrinks_the_search() {
+        // Detecting reliable streams first is the classic V-BLAST trick:
+        // aggregate node counts must improve over the pessimal order.
+        let (c, frames) = frames(10, Modulation::Qam4, 8.0, 25, 53);
+        let best: SphereDecoder<f64> =
+            SphereDecoder::new(c.clone()).with_ordering(ColumnOrdering::NormDescending);
+        let worst: SphereDecoder<f64> =
+            SphereDecoder::new(c.clone()).with_ordering(ColumnOrdering::NormAscending);
+        let n_best: u64 = frames.iter().map(|f| best.detect(f).stats.nodes_generated).sum();
+        let n_worst: u64 = frames.iter().map(|f| worst.detect(f).stats.nodes_generated).sum();
+        assert!(
+            n_best < n_worst,
+            "descending ({n_best}) must beat ascending ({n_worst})"
+        );
+    }
+
+    #[test]
+    fn bpsk_single_antenna() {
+        // Degenerate 1×1 system: SD must slice correctly.
+        let c = Constellation::new(Modulation::Bpsk);
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..10 {
+            let f = FrameData::generate(1, 1, &c, 0.01, &mut rng);
+            let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+            let d = sd.detect(&f);
+            assert_eq!(d.indices, f.tx.indices, "near-noiseless 1x1 decode");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! K-best (M-algorithm) sphere decoding.
+//!
+//! The classic fixed-throughput compromise between the exact SD and the
+//! linear detectors: a level-synchronous sweep that keeps only the `K`
+//! lowest-PD nodes per level. Like FSD it is massively parallel and
+//! SNR-independent in workload (attractive for hardware), but unlike the
+//! radius-based decoders it is *not* ML-exact unless `K` covers the
+//! whole level. Included as the related-work baseline family the paper
+//! contrasts against (Sec. II-C) and as an accuracy/throughput ablation
+//! axis.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::pd::{eval_children, EvalStrategy, PdScratch};
+use crate::preprocess::{preprocess, Prepared};
+use sd_math::Float;
+use sd_wireless::{Constellation, FrameData};
+
+/// K-best breadth-limited decoder.
+#[derive(Clone, Debug)]
+pub struct KBestSd<F: Float = f64> {
+    constellation: Constellation,
+    /// Survivors kept per level.
+    pub k: usize,
+    _precision: std::marker::PhantomData<F>,
+}
+
+impl<F: Float> KBestSd<F> {
+    /// K-best decoder with the given per-level list size.
+    pub fn new(constellation: Constellation, k: usize) -> Self {
+        assert!(k > 0, "K must be positive");
+        KBestSd {
+            constellation,
+            k,
+            _precision: std::marker::PhantomData,
+        }
+    }
+
+    /// Decode an already-preprocessed problem.
+    pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
+        let m = prep.n_tx;
+        let p = prep.order;
+        let mut scratch = PdScratch::new(p, m);
+        let mut stats = DetectionStats {
+            per_level_generated: vec![0; m],
+            ..Default::default()
+        };
+
+        // Frontier of (pd, depth-order path), capped at K after each level.
+        let mut frontier: Vec<(F, Vec<usize>)> = vec![(F::ZERO, Vec::new())];
+        for depth in 0..m {
+            let mut next: Vec<(F, Vec<usize>)> = Vec::with_capacity(frontier.len() * p);
+            for (pd, path) in &frontier {
+                stats.nodes_expanded += 1;
+                stats.flops += eval_children(prep, path, EvalStrategy::Gemm, &mut scratch);
+                stats.nodes_generated += p as u64;
+                stats.per_level_generated[depth] += p as u64;
+                for (c, &inc) in scratch.increments.iter().enumerate() {
+                    let mut child = path.clone();
+                    child.push(c);
+                    next.push((*pd + inc, child));
+                }
+            }
+            if next.len() > self.k {
+                next.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN PD"));
+                stats.nodes_pruned += (next.len() - self.k) as u64;
+                next.truncate(self.k);
+            }
+            frontier = next;
+        }
+
+        stats.leaves_reached = frontier.len() as u64;
+        let (best_pd, best_path) = frontier
+            .into_iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN PD"))
+            .expect("frontier is never empty");
+        stats.radius_updates = 1;
+        stats.final_radius_sqr = best_pd.to_f64();
+        stats.flops += prep.prep_flops;
+        let indices = prep.indices_from_path(&best_path);
+        Detection { indices, stats }
+    }
+}
+
+impl<F: Float> Detector for KBestSd<F> {
+    fn name(&self) -> &'static str {
+        "SD K-best"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        self.detect_prepared(&prep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::MlDetector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Modulation};
+
+    fn frames(n: usize, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(Modulation::Qam4);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn full_width_k_is_ml_exact() {
+        // K ≥ P^M keeps everything: exhaustive ML.
+        let (c, frames) = frames(4, 6.0, 20, 120);
+        let kb: KBestSd<f64> = KBestSd::new(c.clone(), 4usize.pow(4));
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(kb.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn workload_is_snr_independent() {
+        let (c, lo) = frames(8, 4.0, 5, 121);
+        let (_, hi) = frames(8, 20.0, 5, 121);
+        let kb: KBestSd<f64> = KBestSd::new(c, 8);
+        let n_lo: u64 = lo.iter().map(|f| kb.detect(f).stats.nodes_generated).sum();
+        let n_hi: u64 = hi.iter().map(|f| kb.detect(f).stats.nodes_generated).sum();
+        assert_eq!(n_lo, n_hi, "fixed complexity by construction");
+    }
+
+    #[test]
+    fn larger_k_is_more_accurate() {
+        let (c, frames) = frames(8, 8.0, 150, 122);
+        let k2: KBestSd<f64> = KBestSd::new(c.clone(), 2);
+        let k16: KBestSd<f64> = KBestSd::new(c.clone(), 16);
+        let mut e2 = 0u64;
+        let mut e16 = 0u64;
+        for f in &frames {
+            e2 += f.bit_errors(&k2.detect(f).indices, &c);
+            e16 += f.bit_errors(&k16.detect(f).indices, &c);
+        }
+        assert!(e16 <= e2, "K=16 ({e16}) must not lose to K=2 ({e2})");
+    }
+
+    #[test]
+    fn k_best_close_to_ml_at_moderate_k() {
+        let (c, frames) = frames(6, 8.0, 100, 123);
+        let kb: KBestSd<f64> = KBestSd::new(c.clone(), 16);
+        let ml = MlDetector::new(c.clone());
+        let mut e_kb = 0u64;
+        let mut e_ml = 0u64;
+        for f in &frames {
+            e_kb += f.bit_errors(&kb.detect(f).indices, &c);
+            e_ml += f.bit_errors(&ml.detect(f).indices, &c);
+        }
+        assert!(e_ml <= e_kb);
+        assert!(
+            e_kb <= e_ml * 3 + 20,
+            "K=16 should be near-ML (kb={e_kb}, ml={e_ml})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_k_rejected() {
+        let _ = KBestSd::<f64>::new(Constellation::new(Modulation::Qam4), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # sd-core
+//!
+//! The paper's primary contribution and all of its comparison baselines:
+//! sphere-decoding MIMO signal detection with a GEMM-based partial-distance
+//! evaluation and leaf-biased tree traversal.
+//!
+//! ## Decoders
+//!
+//! * [`SphereDecoder`] — **the paper's algorithm**: QR preprocessing
+//!   (Eq. 4), sorted-children depth-first traversal with LIFO popping
+//!   (Fig. 3, the Geosphere-style Best-First-per-level strategy), runtime
+//!   sphere-radius updates at leaves, and GEMM-batched child evaluation
+//!   (the compute-bound refactoring of \[1\]). Exact ML accuracy.
+//! * [`BestFirstSd`] — globally best-first (priority queue) variant.
+//! * [`BfsGemmSd`] — the level-synchronous breadth-first GEMM decoder of
+//!   reference \[1\], the paper's GPU baseline.
+//! * [`MlDetector`] — exhaustive maximum likelihood (ground truth).
+//! * [`FixedComplexitySd`] — FSD baseline from the related work.
+//! * [`ZfDetector`] / [`MmseDetector`] / [`MrcDetector`] — the linear
+//!   baselines of Fig. 12.
+//!
+//! ## Parallel layer
+//!
+//! * [`batch`] — rayon frame-level parallel decoding,
+//! * [`multi_pe`] — the paper's future-work direction: the level-1
+//!   sub-trees are partitioned over processing entities that share the
+//!   sphere radius through an atomic, preserving exactness.
+//!
+//! All tree decoders are generic over the scalar precision
+//! ([`sd_math::Float`]), enabling the paper's FP16 future-work study via
+//! [`sd_math::F16`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+// `!(a < b)` is used deliberately as the NaN-robust form of `a >= b` in
+// the pruning hot paths.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod analysis;
+pub mod batch;
+pub mod best_first;
+pub mod bfs;
+pub mod detector;
+pub mod dfs;
+pub mod fsd;
+pub mod kbest;
+pub mod linear;
+pub mod ml;
+pub mod multi_pe;
+pub mod pd;
+pub mod preprocess;
+pub mod radius;
+pub mod rvd;
+pub mod soft;
+pub mod stat_pruning;
+
+pub use analysis::{profile_detector, ComplexityProfile, ComplexitySample};
+pub use best_first::BestFirstSd;
+pub use bfs::{BfsGemmSd, BfsLevelTrace};
+pub use detector::{Detection, DetectionStats, Detector};
+pub use dfs::SphereDecoder;
+pub use fsd::FixedComplexitySd;
+pub use kbest::KBestSd;
+pub use linear::{MmseDetector, MrcDetector, ZfDetector};
+pub use rvd::RvdSphereDecoder;
+pub use soft::{SoftDetection, SoftSphereDecoder};
+pub use stat_pruning::StatPruningSd;
+pub use ml::MlDetector;
+pub use multi_pe::SubtreeParallelSd;
+pub use pd::EvalStrategy;
+pub use preprocess::{preprocess, preprocess_ordered, ColumnOrdering, Prepared};
+pub use radius::InitialRadius;

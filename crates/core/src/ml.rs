@@ -1,0 +1,184 @@
+//! Exhaustive maximum-likelihood detection (Eq. 2).
+//!
+//! Enumerates all `P^M` hypotheses. Exponential — usable only for small
+//! systems — but it is the correctness oracle every sphere-decoder variant
+//! is tested against.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::preprocess::{preprocess, Prepared};
+use sd_math::{Complex, Float};
+use sd_wireless::{Constellation, FrameData};
+
+/// Exhaustive ML detector.
+///
+/// Refuses problems with more than [`MlDetector::MAX_HYPOTHESES`]
+/// hypotheses to avoid accidental year-long loops.
+#[derive(Clone, Debug)]
+pub struct MlDetector {
+    constellation: Constellation,
+}
+
+impl MlDetector {
+    /// Enumeration guard.
+    pub const MAX_HYPOTHESES: u128 = 1 << 26;
+
+    /// Build an exhaustive detector.
+    pub fn new(constellation: Constellation) -> Self {
+        MlDetector { constellation }
+    }
+
+    fn enumerate<F: Float>(&self, prep: &Prepared<F>) -> Detection {
+        let m = prep.n_tx;
+        let p = prep.order;
+        let total = (p as u128).pow(m as u32);
+        assert!(
+            total <= Self::MAX_HYPOTHESES,
+            "{p}^{m} hypotheses exceed the exhaustive-search guard"
+        );
+
+        // Depth-first full enumeration reusing partial suffix sums: row i of
+        // R only involves symbols i..M, so we walk antennas from M−1 down,
+        // maintaining per-level partial distances.
+        let mut best_metric = F::infinity();
+        let mut best = vec![0usize; m];
+        let mut current = vec![0usize; m];
+        let mut stats = DetectionStats {
+            per_level_generated: vec![0; m],
+            ..Default::default()
+        };
+
+        // Iterative odometer over all hypotheses with incremental PD would
+        // complicate flop accounting; since ML is the oracle we keep the
+        // straightforward recursive enumeration.
+        #[allow(clippy::needless_range_loop)] // indices mirror Eq. (6)
+        fn recurse<F: Float>(
+            prep: &Prepared<F>,
+            depth: usize,
+            pd: F,
+            current: &mut [usize],
+            best_metric: &mut F,
+            best: &mut [usize],
+            stats: &mut DetectionStats,
+        ) {
+            let m = prep.n_tx;
+            let i = m - 1 - depth;
+            stats.nodes_expanded += 1;
+            let row = prep.r.row(i);
+            for c in 0..prep.order {
+                stats.nodes_generated += 1;
+                stats.per_level_generated[depth] += 1;
+                // Suffix sum Σ_{j ≥ i} r_ij s_j with s_i = ω_c.
+                let mut e = Complex::zero();
+                Complex::mul_acc(&mut e, row[i], prep.points[c]);
+                for j in i + 1..m {
+                    let d = m - 1 - j;
+                    Complex::mul_acc(&mut e, row[j], prep.points[current[d]]);
+                }
+                stats.flops += 8 * (m - i) as u64 + 5;
+                let inc = (prep.ybar[i] - e).norm_sqr();
+                let child_pd = pd + inc;
+                current[depth] = c;
+                if depth + 1 == m {
+                    stats.leaves_reached += 1;
+                    if child_pd < *best_metric {
+                        *best_metric = child_pd;
+                        for (b, &cur) in best.iter_mut().zip(current.iter()) {
+                            *b = cur;
+                        }
+                        stats.radius_updates += 1;
+                    }
+                } else {
+                    recurse(prep, depth + 1, child_pd, current, best_metric, best, stats);
+                }
+            }
+        }
+
+        recurse(
+            prep,
+            0,
+            F::ZERO,
+            &mut current,
+            &mut best_metric,
+            &mut best,
+            &mut stats,
+        );
+        stats.final_radius_sqr = best_metric.to_f64();
+        stats.flops += prep.prep_flops;
+
+        let indices = prep.indices_from_path(&best);
+        Detection { indices, stats }
+    }
+}
+
+impl Detector for MlDetector {
+    fn name(&self) -> &'static str {
+        "ML exhaustive"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        let prep: Prepared<f64> = preprocess(frame, &self.constellation);
+        self.enumerate(&prep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_math::Matrix;
+    use sd_wireless::{Modulation, TxFrame};
+
+    #[test]
+    fn noiseless_identity_channel_recovers_exactly() {
+        let c = Constellation::new(Modulation::Qam16);
+        let tx = TxFrame::from_indices(&[5, 0, 15, 9], &c);
+        let frame = FrameData {
+            h: Matrix::identity(4),
+            y: tx.symbols.clone(),
+            noise_variance: 1e-6,
+            tx,
+        };
+        let ml = MlDetector::new(c);
+        let d = ml.detect(&frame);
+        assert_eq!(d.indices, vec![5, 0, 15, 9]);
+        assert!(d.stats.final_radius_sqr < 1e-12);
+    }
+
+    #[test]
+    fn visits_exactly_p_pow_m_leaves() {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let frame = FrameData::generate(4, 4, &c, 0.5, &mut rng);
+        let d = MlDetector::new(c).detect(&frame);
+        assert_eq!(d.stats.leaves_reached, 4u64.pow(4));
+        assert_eq!(d.stats.per_level_generated.len(), 4);
+        assert_eq!(d.stats.per_level_generated[0], 4);
+        assert_eq!(d.stats.per_level_generated[3], 4u64.pow(4));
+    }
+
+    #[test]
+    fn solution_has_minimal_metric_among_random_competitors() {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let frame = FrameData::generate(5, 5, &c, 1.0, &mut rng);
+        let ml = MlDetector::new(c.clone());
+        let d = ml.detect(&frame);
+        let prep: Prepared<f64> = crate::preprocess::preprocess(&frame, &c);
+        let opt = prep.full_metric(&d.indices);
+        use rand::Rng;
+        for _ in 0..200 {
+            let cand: Vec<usize> = (0..5).map(|_| rng.gen_range(0..4)).collect();
+            assert!(prep.full_metric(&cand) >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the exhaustive-search guard")]
+    fn guard_rejects_large_systems() {
+        let c = Constellation::new(Modulation::Qam16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let frame = FrameData::generate(10, 10, &c, 0.5, &mut rng);
+        MlDetector::new(c).detect(&frame);
+    }
+}

@@ -1,0 +1,297 @@
+//! Multi-PE sub-tree parallel sphere decoding — the paper's future work.
+//!
+//! The conclusion proposes "partitioning the search tree over multiple
+//! Processing Entities (PEs)". This module implements that design in
+//! software, following the multi-sphere idea of Nikitopoulos et al. \[4\]:
+//! the root's `P` level-1 sub-trees are searched concurrently, and workers
+//! share the current best squared radius through a lock-free atomic
+//! (monotone fetch-min over the IEEE-754 bit pattern, which is
+//! order-preserving for non-negative floats). Radius sharing only ever
+//! *shrinks* the sphere toward valid leaf metrics, so the combined search
+//! remains exactly ML while each PE prunes with everyone's discoveries —
+//! the synchronization step \[4\] identifies as essential.
+
+use crate::detector::{Detection, DetectionStats, Detector};
+use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
+use crate::preprocess::{preprocess, Prepared};
+use rayon::prelude::*;
+use sd_math::Float;
+use sd_wireless::{Constellation, FrameData};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-tree parallel sphere decoder.
+#[derive(Clone, Debug)]
+pub struct SubtreeParallelSd<F: Float = f64> {
+    constellation: Constellation,
+    /// Child-evaluation strategy.
+    pub eval: EvalStrategy,
+    _precision: std::marker::PhantomData<F>,
+}
+
+/// Shared monotone-decreasing best metric.
+struct SharedRadius(AtomicU64);
+
+impl SharedRadius {
+    fn new() -> Self {
+        SharedRadius(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    #[inline]
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lower the shared radius to `value` if it improves it; returns
+    /// whether this call won the update.
+    fn try_lower(&self, value: f64) -> bool {
+        debug_assert!(value >= 0.0);
+        let bits = value.to_bits();
+        self.0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                // Non-negative IEEE-754 doubles order like their bit
+                // patterns, so integer comparison is float comparison.
+                (bits < cur).then_some(bits)
+            })
+            .is_ok()
+    }
+}
+
+impl<F: Float> SubtreeParallelSd<F> {
+    /// Parallel decoder with GEMM evaluation.
+    pub fn new(constellation: Constellation) -> Self {
+        SubtreeParallelSd {
+            constellation,
+            eval: EvalStrategy::Gemm,
+            _precision: std::marker::PhantomData,
+        }
+    }
+
+    /// Builder: evaluation strategy.
+    pub fn with_eval(mut self, eval: EvalStrategy) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Decode a prepared problem with one PE per level-1 sub-tree.
+    pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
+        let m = prep.n_tx;
+        let p = prep.order;
+
+        // Root expansion (common to all PEs).
+        let mut scratch = PdScratch::new(p, m);
+        let root_flops = eval_children(prep, &[], self.eval, &mut scratch);
+        let root_children = sorted_children(&scratch.increments);
+
+        let shared = SharedRadius::new();
+
+        // One PE per level-1 child; processed best-first so the shared
+        // radius tightens as early as possible.
+        type PeResult = (Option<(f64, Vec<usize>)>, DetectionStats);
+        let results: Vec<PeResult> = root_children
+            .par_iter()
+            .map(|&(inc, child)| {
+                let mut pe = PeSearch {
+                    prep,
+                    scratch: PdScratch::new(p, m),
+                    stats: DetectionStats {
+                        per_level_generated: vec![0; m],
+                        ..Default::default()
+                    },
+                    path: vec![child],
+                    best: None,
+                    shared: &shared,
+                    eval: self.eval,
+                };
+                if m == 1 {
+                    // Degenerate single-antenna tree: the root child is a leaf.
+                    let pd = inc.to_f64();
+                    if shared.try_lower(pd) {
+                        pe.best = Some((pd, vec![child]));
+                        pe.stats.leaves_reached += 1;
+                        pe.stats.radius_updates += 1;
+                    }
+                } else if inc.to_f64() < shared.load() {
+                    pe.descend(inc);
+                }
+                (pe.best, pe.stats)
+            })
+            .collect();
+
+        let mut stats = DetectionStats {
+            per_level_generated: vec![0; m],
+            nodes_expanded: 1,
+            nodes_generated: p as u64,
+            flops: root_flops,
+            ..Default::default()
+        };
+        stats.per_level_generated[0] = p as u64;
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for (pe_best, pe_stats) in results {
+            stats.merge(&pe_stats);
+            if let Some((pd, path)) = pe_best {
+                if best.as_ref().is_none_or(|(b, _)| pd < *b) {
+                    best = Some((pd, path));
+                }
+            }
+        }
+        let (best_pd, best_path) = best.expect("infinite initial radius always finds a leaf");
+        stats.final_radius_sqr = best_pd;
+        stats.flops += prep.prep_flops;
+        let indices = prep.indices_from_path(&best_path);
+        Detection { indices, stats }
+    }
+}
+
+impl<F: Float> Detector for SubtreeParallelSd<F> {
+    fn name(&self) -> &'static str {
+        "SD multi-PE"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        self.detect_prepared(&prep)
+    }
+}
+
+/// One PE's depth-first search over its sub-tree.
+struct PeSearch<'a, F: Float> {
+    prep: &'a Prepared<F>,
+    scratch: PdScratch<F>,
+    stats: DetectionStats,
+    path: Vec<usize>,
+    best: Option<(f64, Vec<usize>)>,
+    shared: &'a SharedRadius,
+    eval: EvalStrategy,
+}
+
+impl<F: Float> PeSearch<'_, F> {
+    fn descend(&mut self, pd: F) {
+        let depth = self.path.len();
+        let m = self.prep.n_tx;
+        let p = self.prep.order;
+        self.stats.nodes_expanded += 1;
+        self.stats.flops += eval_children(self.prep, &self.path, self.eval, &mut self.scratch);
+        self.stats.nodes_generated += p as u64;
+        self.stats.per_level_generated[depth] += p as u64;
+
+        let children = sorted_children(&self.scratch.increments);
+        for (rank, (inc, child)) in children.into_iter().enumerate() {
+            let child_pd = pd + inc;
+            // Prune against everyone's best, not just our own.
+            if !(child_pd.to_f64() < self.shared.load()) {
+                self.stats.nodes_pruned += (p - rank) as u64;
+                return;
+            }
+            if depth + 1 == m {
+                let leaf_pd = child_pd.to_f64();
+                self.stats.leaves_reached += 1;
+                if self.shared.try_lower(leaf_pd) {
+                    self.stats.radius_updates += 1;
+                    let mut leaf = self.path.clone();
+                    leaf.push(child);
+                    self.best = Some((leaf_pd, leaf));
+                }
+            } else {
+                self.path.push(child);
+                self.descend(child_pd);
+                self.path.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::SphereDecoder;
+    use crate::ml::MlDetector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Modulation};
+
+    fn frames(
+        n: usize,
+        m: Modulation,
+        snr_db: f64,
+        count: usize,
+        seed: u64,
+    ) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(m);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn matches_ml() {
+        let (c, frames) = frames(5, Modulation::Qam4, 6.0, 25, 100);
+        let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn matches_serial_dfs_metric() {
+        let (c, frames) = frames(8, Modulation::Qam4, 8.0, 15, 101);
+        let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        for f in &frames {
+            let a = mp.detect(f);
+            let b = sd.detect(f);
+            // Same optimum (tie-breaking may differ, metric must not).
+            assert!((a.stats.final_radius_sqr - b.stats.final_radius_sqr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sixteen_qam_exactness() {
+        let (c, frames) = frames(3, Modulation::Qam16, 8.0, 10, 102);
+        let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn single_antenna_degenerate_case() {
+        let (c, frames) = frames(1, Modulation::Qam4, 15.0, 10, 103);
+        let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn shared_radius_fetch_min_semantics() {
+        let r = SharedRadius::new();
+        assert!(r.load().is_infinite());
+        assert!(r.try_lower(5.0));
+        assert!(!r.try_lower(7.0), "raising must fail");
+        assert!(r.try_lower(1.5));
+        assert_eq!(r.load(), 1.5);
+        assert!(!r.try_lower(1.5), "equal must fail");
+    }
+
+    #[test]
+    fn work_does_not_explode_vs_serial() {
+        // Parallel PEs start without the serial search's early radius, so
+        // some extra work is expected — but sharing must keep it bounded
+        // (well under the P× blowup of fully independent sub-trees).
+        let (c, frames) = frames(8, Modulation::Qam4, 8.0, 10, 104);
+        let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let np: u64 = frames.iter().map(|f| mp.detect(f).stats.nodes_generated).sum();
+        let ns: u64 = frames.iter().map(|f| sd.detect(f).stats.nodes_generated).sum();
+        assert!(
+            np < ns * 3,
+            "multi-PE explored {np} vs serial {ns}: sharing is broken"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Accelerator build configurations.
+//!
+//! The paper synthesizes one design per modulation (Sec. III-C4) in two
+//! flavours: the *baseline* direct HLS port and the *optimized* dataflow
+//! pipeline. Frequencies are the paper's post-route results (Table I).
+
+use sd_wireless::Modulation;
+use serde::{Deserialize, Serialize};
+
+/// Design variant of Table I.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// Direct port of the C++ SD code through HLS: sequential stages, no
+    /// prefetching, 253 MHz.
+    Baseline,
+    /// The paper's contribution: dataflow overlap, isolated GEMM engine,
+    /// double-buffered prefetch, MST, per-modulation control, 300 MHz.
+    Optimized,
+}
+
+/// One synthesized decoder configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FpgaConfig {
+    /// Baseline or optimized design.
+    pub variant: Variant,
+    /// Modulation the bitstream was specialized for (Sec. III-C4: one
+    /// design per modulation eliminates sequencing control logic).
+    pub modulation: Modulation,
+    /// Number of transmit antennas the design is dimensioned for.
+    pub n_tx: usize,
+    /// Systolic-array rows (complex MAC mesh height).
+    pub array_rows: usize,
+    /// Systolic-array columns; the natural choice is the modulation order
+    /// so each column evaluates one child.
+    pub array_cols: usize,
+}
+
+impl FpgaConfig {
+    /// Baseline design for a modulation / antenna count.
+    pub fn baseline(modulation: Modulation, n_tx: usize) -> Self {
+        FpgaConfig {
+            variant: Variant::Baseline,
+            modulation,
+            n_tx,
+            array_rows: 4,
+            array_cols: modulation.order().min(16),
+        }
+    }
+
+    /// Optimized design for a modulation / antenna count.
+    pub fn optimized(modulation: Modulation, n_tx: usize) -> Self {
+        FpgaConfig {
+            variant: Variant::Optimized,
+            modulation,
+            n_tx,
+            array_rows: 4,
+            array_cols: modulation.order().min(16),
+        }
+    }
+
+    /// Builder: systolic-array geometry (for the engine-size ablation).
+    pub fn with_array(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array must be non-empty");
+        self.array_rows = rows;
+        self.array_cols = cols;
+        self
+    }
+
+    /// Post-route clock frequency in MHz (Table I).
+    pub fn freq_mhz(&self) -> f64 {
+        match self.variant {
+            Variant::Baseline => 253.0,
+            Variant::Optimized => 300.0,
+        }
+    }
+
+    /// Whether the prefetch/double-buffer unit is present.
+    pub fn has_prefetch(&self) -> bool {
+        self.variant == Variant::Optimized
+    }
+
+    /// Whether the dataflow stages overlap (II-pipelined) or execute
+    /// sequentially.
+    pub fn stages_overlap(&self) -> bool {
+        self.variant == Variant::Optimized
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / (self.freq_mhz() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frequencies() {
+        assert_eq!(FpgaConfig::baseline(Modulation::Qam4, 10).freq_mhz(), 253.0);
+        assert_eq!(FpgaConfig::optimized(Modulation::Qam16, 10).freq_mhz(), 300.0);
+    }
+
+    #[test]
+    fn variant_feature_flags() {
+        let b = FpgaConfig::baseline(Modulation::Qam4, 10);
+        let o = FpgaConfig::optimized(Modulation::Qam4, 10);
+        assert!(!b.has_prefetch() && !b.stages_overlap());
+        assert!(o.has_prefetch() && o.stages_overlap());
+    }
+
+    #[test]
+    fn array_defaults_track_modulation() {
+        assert_eq!(FpgaConfig::optimized(Modulation::Qam4, 10).array_cols, 4);
+        assert_eq!(FpgaConfig::optimized(Modulation::Qam16, 10).array_cols, 16);
+        assert_eq!(FpgaConfig::optimized(Modulation::Qam64, 10).array_cols, 16);
+    }
+
+    #[test]
+    fn cycle_time_inverse_of_freq() {
+        let o = FpgaConfig::optimized(Modulation::Qam4, 10);
+        assert!((o.cycle_time() - 1.0 / 300e6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_array_rejected() {
+        let _ = FpgaConfig::optimized(Modulation::Qam4, 10).with_array(0, 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! FPGA device descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Static resource inventory of an FPGA accelerator card.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Marketing name.
+    pub name: &'static str,
+    /// 6-input look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP48/DSP58 slices.
+    pub dsps: u64,
+    /// 18 Kb block-RAM units.
+    pub bram18: u64,
+    /// 288 Kb UltraRAM units.
+    pub urams: u64,
+    /// HBM capacity in bytes (0 if none).
+    pub hbm_bytes: u64,
+    /// Aggregate HBM bandwidth, bytes/second.
+    pub hbm_bandwidth: u64,
+    /// Host link (PCIe) bandwidth, bytes/second.
+    pub pcie_bandwidth: u64,
+}
+
+impl DeviceModel {
+    /// The Xilinx Alveo U280 used by the paper (Sec. IV-A): 8 GB HBM over
+    /// 32 channels, 4032 × 18 Kb BRAM, 960 × 288 Kb URAM.
+    pub fn alveo_u280() -> Self {
+        DeviceModel {
+            name: "Xilinx Alveo U280",
+            luts: 1_303_680,
+            ffs: 2_607_360,
+            dsps: 9_024,
+            bram18: 4_032,
+            urams: 960,
+            hbm_bytes: 8 << 30,
+            hbm_bandwidth: 460_000_000_000,
+            pcie_bandwidth: 16_000_000_000,
+        }
+    }
+
+    /// Total on-chip SRAM bits (BRAM + URAM).
+    pub fn onchip_bits(&self) -> u64 {
+        self.bram18 * 18 * 1024 + self.urams * 288 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_matches_paper_quoted_numbers() {
+        let d = DeviceModel::alveo_u280();
+        assert_eq!(d.bram18, 4032, "paper: 4032 BRAMs of 18Kb");
+        assert_eq!(d.urams, 960, "paper: 960 URAM blocks of 288Kb");
+        assert_eq!(d.hbm_bytes, 8 << 30, "paper: 8GB HBM");
+    }
+
+    #[test]
+    fn onchip_memory_is_tens_of_megabytes() {
+        let d = DeviceModel::alveo_u280();
+        let mib = d.onchip_bits() / 8 / (1 << 20);
+        assert!((30..60).contains(&mib), "U280 on-chip ≈ 43 MiB, got {mib}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Meta State Table (Sec. III-C3, Fig. 5).
+//!
+//! Dynamic trees don't map to FPGA fabric: dynamic allocation is
+//! unsupported and pointer-to-pointer chasing is slow. The paper's MST is
+//! a per-level *database* of node records, indexed by `(level, slot)`;
+//! each record links to its parent slot and caches its block of the
+//! tree-state matrix, so the prefetch unit can compute every address from
+//! plain indices.
+//!
+//! Hardware tables have fixed capacity, so slots are recycled: a record
+//! dies when it is pruned before expansion, or when its last live child
+//! dies after expansion (reference-count cascade). Under the LIFO
+//! traversal the live set is only the ancestor chain plus the pending
+//! siblings at each level — `O(M·P)` records — which is exactly why the
+//! paper's MST fits in on-chip URAM even for 20×20 trees. The occupancy
+//! high-water mark drives the resource model's memory sizing.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel parent slot for level-0 nodes (children of the root).
+pub const ROOT_PARENT: u32 = u32::MAX;
+
+/// One MST entry's payload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Slot of the parent in level `level − 1` (or [`ROOT_PARENT`]).
+    pub parent: u32,
+    /// Constellation index chosen by this node's branch.
+    pub symbol: u16,
+    /// Partial distance of the node.
+    pub pd: f32,
+}
+
+/// Identifier of a node in the MST.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeId {
+    /// Tree level = depth (0 fixes the last antenna).
+    pub level: u16,
+    /// Slot within the level bank.
+    pub slot: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Waiting in the tree list for expansion.
+    Pending,
+    /// Expanded; kept alive by `live_children`.
+    Expanded,
+    /// Recyclable.
+    Free,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    rec: NodeRecord,
+    live_children: u32,
+    state: SlotState,
+}
+
+/// The per-level node banks with slot recycling.
+#[derive(Clone, Debug)]
+pub struct MetaStateTable {
+    levels: Vec<Vec<Entry>>,
+    free: Vec<Vec<u32>>,
+    live: usize,
+    peak_live: usize,
+    peak_per_level: Vec<usize>,
+}
+
+impl MetaStateTable {
+    /// Table for a tree of `n_tx` levels.
+    pub fn new(n_tx: usize) -> Self {
+        assert!(n_tx > 0, "tree needs at least one level");
+        MetaStateTable {
+            levels: vec![Vec::new(); n_tx],
+            free: vec![Vec::new(); n_tx],
+            live: 0,
+            peak_live: 0,
+            peak_per_level: vec![0; n_tx],
+        }
+    }
+
+    /// Number of tree levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Insert a pending node; returns its id. Increments the parent's
+    /// live-child count.
+    pub fn insert(&mut self, level: usize, parent: u32, symbol: u16, pd: f32) -> NodeId {
+        if level > 0 {
+            let pe = &mut self.levels[level - 1][parent as usize];
+            debug_assert_ne!(pe.state, SlotState::Free, "dangling parent reference");
+            pe.live_children += 1;
+        } else {
+            debug_assert_eq!(parent, ROOT_PARENT, "level-0 parents must be the root");
+        }
+        let entry = Entry {
+            rec: NodeRecord { parent, symbol, pd },
+            live_children: 0,
+            state: SlotState::Pending,
+        };
+        let slot = if let Some(slot) = self.free[level].pop() {
+            self.levels[level][slot as usize] = entry;
+            slot
+        } else {
+            self.levels[level].push(entry);
+            (self.levels[level].len() - 1) as u32
+        };
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        let level_live = self.levels[level]
+            .iter()
+            .filter(|e| e.state != SlotState::Free)
+            .count();
+        self.peak_per_level[level] = self.peak_per_level[level].max(level_live);
+        NodeId {
+            level: level as u16,
+            slot,
+        }
+    }
+
+    /// Fetch a record.
+    pub fn get(&self, id: NodeId) -> NodeRecord {
+        let e = &self.levels[id.level as usize][id.slot as usize];
+        debug_assert_ne!(e.state, SlotState::Free, "read of freed slot");
+        e.rec
+    }
+
+    /// Mark a pending node as expanded (popped from the list).
+    pub fn mark_expanded(&mut self, id: NodeId) {
+        let e = &mut self.levels[id.level as usize][id.slot as usize];
+        debug_assert_eq!(e.state, SlotState::Pending, "double expansion");
+        e.state = SlotState::Expanded;
+    }
+
+    /// Release a node whose work is finished: pruned-at-pop, expanded with
+    /// no surviving children, or cascaded from the death of its last
+    /// child. Frees the slot and propagates to ancestors.
+    pub fn release(&mut self, id: NodeId) {
+        let mut level = id.level as usize;
+        let mut slot = id.slot;
+        loop {
+            let e = &mut self.levels[level][slot as usize];
+            debug_assert_ne!(e.state, SlotState::Free, "double free");
+            debug_assert_eq!(e.live_children, 0, "releasing node with live children");
+            let parent = e.rec.parent;
+            e.state = SlotState::Free;
+            self.free[level].push(slot);
+            self.live -= 1;
+            if level == 0 {
+                break;
+            }
+            let pe = &mut self.levels[level - 1][parent as usize];
+            debug_assert!(pe.live_children > 0);
+            pe.live_children -= 1;
+            if pe.live_children == 0 && pe.state == SlotState::Expanded {
+                level -= 1;
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reconstruct the symbol path root→node (depth order): this is the
+    /// parent walk the prefetch unit performs to assemble the tree-state
+    /// block.
+    pub fn path(&self, id: NodeId) -> Vec<usize> {
+        let mut rev = Vec::with_capacity(id.level as usize + 1);
+        let mut level = id.level as usize;
+        let mut slot = id.slot;
+        loop {
+            let e = &self.levels[level][slot as usize];
+            debug_assert_ne!(e.state, SlotState::Free, "path through freed slot");
+            rev.push(e.rec.symbol as usize);
+            if level == 0 {
+                break;
+            }
+            slot = e.rec.parent;
+            level -= 1;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Live nodes currently stored per level.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|bank| bank.iter().filter(|e| e.state != SlotState::Free).count())
+            .collect()
+    }
+
+    /// Total live nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live nodes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// High-water mark of simultaneously live nodes — the capacity a
+    /// hardware table must provision.
+    pub fn peak(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Per-level high-water marks.
+    pub fn peak_per_level(&self) -> &[usize] {
+        &self.peak_per_level
+    }
+
+    /// Storage bits per record: parent link (32) + symbol (16) + PD (32)
+    /// plus the cached tree-state block of `level + 1` complex f32
+    /// symbols (Fig. 5's partitioned copy).
+    pub fn record_bits(level: usize) -> u64 {
+        32 + 16 + 32 + 64 * (level as u64 + 1)
+    }
+
+    /// On-chip bits a hardware table provisioned for the observed
+    /// per-level peaks would occupy.
+    pub fn storage_bits(&self) -> u64 {
+        self.peak_per_level
+            .iter()
+            .enumerate()
+            .map(|(level, &peak)| peak as u64 * Self::record_bits(level))
+            .sum()
+    }
+
+    /// Drop all nodes (new decode), keeping the peak statistics.
+    pub fn clear(&mut self) {
+        for bank in &mut self.levels {
+            bank.clear();
+        }
+        for f in &mut self.free {
+            f.clear();
+        }
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_path_reconstruction() {
+        let mut mst = MetaStateTable::new(3);
+        let a = mst.insert(0, ROOT_PARENT, 2, 1.0);
+        mst.mark_expanded(a);
+        let b = mst.insert(1, a.slot, 0, 1.5);
+        mst.mark_expanded(b);
+        let c = mst.insert(2, b.slot, 3, 2.0);
+        assert_eq!(mst.path(c), vec![2, 0, 3]);
+        assert_eq!(mst.path(b), vec![2, 0]);
+        assert_eq!(mst.path(a), vec![2]);
+    }
+
+    #[test]
+    fn sibling_paths_share_prefix() {
+        let mut mst = MetaStateTable::new(2);
+        let p = mst.insert(0, ROOT_PARENT, 1, 0.5);
+        mst.mark_expanded(p);
+        let c1 = mst.insert(1, p.slot, 0, 1.0);
+        let c2 = mst.insert(1, p.slot, 3, 2.0);
+        assert_eq!(mst.path(c1), vec![1, 0]);
+        assert_eq!(mst.path(c2), vec![1, 3]);
+    }
+
+    #[test]
+    fn release_cascades_to_expanded_ancestors() {
+        let mut mst = MetaStateTable::new(3);
+        let a = mst.insert(0, ROOT_PARENT, 0, 0.0);
+        mst.mark_expanded(a);
+        let b = mst.insert(1, a.slot, 1, 1.0);
+        mst.mark_expanded(b);
+        let c = mst.insert(2, b.slot, 2, 2.0);
+        mst.mark_expanded(c);
+        assert_eq!(mst.len(), 3);
+        // Freeing the leaf must cascade through b to a.
+        mst.release(c);
+        assert!(mst.is_empty(), "cascade should free the whole chain");
+        assert_eq!(mst.peak(), 3);
+    }
+
+    #[test]
+    fn pending_sibling_blocks_cascade() {
+        let mut mst = MetaStateTable::new(2);
+        let a = mst.insert(0, ROOT_PARENT, 0, 0.0);
+        mst.mark_expanded(a);
+        let b1 = mst.insert(1, a.slot, 1, 1.0);
+        let b2 = mst.insert(1, a.slot, 2, 2.0);
+        mst.mark_expanded(b1);
+        mst.release(b1);
+        // b2 still pending: a must stay alive.
+        assert_eq!(mst.len(), 2);
+        assert_eq!(mst.path(b2), vec![0, 2]);
+        mst.mark_expanded(b2);
+        mst.release(b2);
+        assert!(mst.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut mst = MetaStateTable::new(1);
+        let a = mst.insert(0, ROOT_PARENT, 0, 0.0);
+        mst.mark_expanded(a);
+        mst.release(a);
+        let b = mst.insert(0, ROOT_PARENT, 1, 1.0);
+        assert_eq!(b.slot, a.slot, "freed slot must be reused");
+        assert_eq!(mst.peak(), 1, "recycling keeps the table small");
+    }
+
+    #[test]
+    fn occupancy_and_peaks_track_live_set() {
+        let mut mst = MetaStateTable::new(2);
+        let p = mst.insert(0, ROOT_PARENT, 0, 0.0);
+        mst.mark_expanded(p);
+        for s in 0..4 {
+            mst.insert(1, p.slot, s, s as f32);
+        }
+        assert_eq!(mst.occupancy(), vec![1, 4]);
+        assert_eq!(mst.len(), 5);
+        assert_eq!(mst.peak(), 5);
+        assert_eq!(mst.peak_per_level(), &[1, 4]);
+        mst.clear();
+        assert!(mst.is_empty());
+        assert_eq!(mst.peak(), 5, "peak survives clear");
+    }
+
+    #[test]
+    fn record_bits_grow_with_level() {
+        assert!(MetaStateTable::record_bits(5) > MetaStateTable::record_bits(0));
+        assert_eq!(MetaStateTable::record_bits(0), 80 + 64);
+    }
+
+    #[test]
+    fn storage_bits_use_per_level_peaks() {
+        let mut mst = MetaStateTable::new(2);
+        let p = mst.insert(0, ROOT_PARENT, 0, 0.0);
+        mst.mark_expanded(p);
+        mst.insert(1, p.slot, 1, 1.0);
+        let expected = MetaStateTable::record_bits(0) + MetaStateTable::record_bits(1);
+        assert_eq!(mst.storage_bits(), expected);
+    }
+
+    #[test]
+    fn pd_values_stored() {
+        let mut mst = MetaStateTable::new(1);
+        let id = mst.insert(0, ROOT_PARENT, 3, 7.25);
+        assert_eq!(mst.get(id).pd, 7.25);
+        assert_eq!(mst.get(id).symbol, 3);
+    }
+}

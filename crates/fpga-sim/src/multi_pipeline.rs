@@ -1,0 +1,197 @@
+//! Multi-pipeline deployment — the pay-off of the paper's resource
+//! optimization.
+//!
+//! Sec. III-C4 optimizes area precisely so that "one may … instantiate a
+//! second pipeline path to exploit more data parallelism". This module
+//! instantiates `k` independent decode pipelines on one U280 (validated
+//! against the area model) and schedules a batch of frames across them,
+//! reporting the makespan and per-pipeline utilization. Frames are
+//! independent channel uses, so pipelines never synchronize — linear
+//! throughput scaling is the expected (and tested) outcome.
+
+use crate::config::FpgaConfig;
+use crate::pipeline::{FpgaDecodeReport, FpgaSphereDecoder};
+use crate::resources::estimate_resources;
+use sd_wireless::{Constellation, FrameData};
+
+/// Outcome of a batch decode across pipelines.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-frame reports, input order.
+    pub reports: Vec<FpgaDecodeReport>,
+    /// Pipeline index each frame ran on.
+    pub assignment: Vec<usize>,
+    /// Simulated completion time of the whole batch.
+    pub makespan_seconds: f64,
+    /// Busy time per pipeline.
+    pub busy_seconds: Vec<f64>,
+}
+
+impl BatchReport {
+    /// Frames per second the deployment sustained on this batch.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_seconds == 0.0 {
+            0.0
+        } else {
+            self.reports.len() as f64 / self.makespan_seconds
+        }
+    }
+
+    /// Mean pipeline utilization (busy / makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_seconds == 0.0 {
+            return 0.0;
+        }
+        let total_busy: f64 = self.busy_seconds.iter().sum();
+        total_busy / (self.makespan_seconds * self.busy_seconds.len() as f64)
+    }
+}
+
+/// `k` identical decode pipelines on one device.
+#[derive(Clone, Debug)]
+pub struct MultiPipeline {
+    pipelines: Vec<FpgaSphereDecoder>,
+}
+
+impl MultiPipeline {
+    /// Instantiate `count` copies of `config`.
+    ///
+    /// # Panics
+    /// If the combined utilization does not fit the device — the same
+    /// feasibility check the paper's Table I argument rests on.
+    pub fn new(config: FpgaConfig, constellation: Constellation, count: usize) -> Self {
+        assert!(count >= 1, "need at least one pipeline");
+        let usage = estimate_resources(&config);
+        let max_frac = [usage.luts, usage.ffs, usage.dsps, usage.brams, usage.urams]
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_frac * count as f64 <= 1.0,
+            "{count} pipelines need {:.0}% of the binding resource — does not fit the U280",
+            max_frac * count as f64 * 100.0
+        );
+        MultiPipeline {
+            pipelines: (0..count)
+                .map(|_| FpgaSphereDecoder::new(config.clone(), constellation.clone()))
+                .collect(),
+        }
+    }
+
+    /// Largest pipeline count of this config that fits the device.
+    pub fn max_pipelines(config: &FpgaConfig) -> usize {
+        let usage = estimate_resources(config);
+        let max_frac = [usage.luts, usage.ffs, usage.dsps, usage.brams, usage.urams]
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        if max_frac <= 0.0 {
+            1
+        } else {
+            (1.0 / max_frac).floor().max(0.0) as usize
+        }
+    }
+
+    /// Number of instantiated pipelines.
+    pub fn count(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Decode a batch: frames are dispatched greedily to the least-loaded
+    /// pipeline (online LPT), which is how a simple hardware arbiter
+    /// behaves.
+    pub fn decode_batch(&self, frames: &[FrameData]) -> BatchReport {
+        let mut busy = vec![0.0f64; self.pipelines.len()];
+        let mut reports = Vec::with_capacity(frames.len());
+        let mut assignment = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let (idx, _) = busy
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite busy times"))
+                .expect("at least one pipeline");
+            let report = self.pipelines[idx].decode_with_report(frame);
+            busy[idx] += report.decode_seconds;
+            assignment.push(idx);
+            reports.push(report);
+        }
+        let makespan = busy.iter().copied().fold(0.0f64, f64::max);
+        BatchReport {
+            reports,
+            assignment,
+            makespan_seconds: makespan,
+            busy_seconds: busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Modulation};
+
+    fn frames(n: usize, count: usize) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(Modulation::Qam4);
+        let sigma2 = noise_variance(8.0, n);
+        let mut rng = StdRng::seed_from_u64(400);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn two_pipelines_nearly_double_throughput() {
+        let (c, fs) = frames(8, 24);
+        let config = FpgaConfig::optimized(Modulation::Qam4, 8);
+        let one = MultiPipeline::new(config.clone(), c.clone(), 1).decode_batch(&fs);
+        let two = MultiPipeline::new(config, c, 2).decode_batch(&fs);
+        let scaling = two.throughput() / one.throughput();
+        assert!(
+            scaling > 1.6,
+            "2 pipelines scaled only {scaling:.2}× on 24 frames"
+        );
+        assert!(two.utilization() > 0.8, "both pipelines must stay busy");
+    }
+
+    #[test]
+    fn decisions_identical_regardless_of_pipeline_count() {
+        let (c, fs) = frames(6, 10);
+        let config = FpgaConfig::optimized(Modulation::Qam4, 6);
+        let one = MultiPipeline::new(config.clone(), c.clone(), 1).decode_batch(&fs);
+        let three = MultiPipeline::new(config, c, 3).decode_batch(&fs);
+        for (a, b) in one.reports.iter().zip(three.reports.iter()) {
+            assert_eq!(a.detection.indices, b.detection.indices);
+        }
+    }
+
+    #[test]
+    fn capacity_matches_table_1_story() {
+        // Optimized 4-QAM (11% LUT binding) fits many pipelines; the
+        // baseline 16-QAM (60% URAM) fits exactly one — the paper's
+        // motivating observation.
+        assert!(MultiPipeline::max_pipelines(&FpgaConfig::optimized(Modulation::Qam4, 10)) >= 2);
+        assert_eq!(
+            MultiPipeline::max_pipelines(&FpgaConfig::baseline(Modulation::Qam16, 10)),
+            1
+        );
+        assert!(MultiPipeline::max_pipelines(&FpgaConfig::optimized(Modulation::Qam16, 10)) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversubscription_rejected() {
+        let c = Constellation::new(Modulation::Qam16);
+        // Baseline 16-QAM needs 60% URAM: two copies cannot fit.
+        MultiPipeline::new(FpgaConfig::baseline(Modulation::Qam16, 10), c, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let (c, _) = frames(4, 0);
+        let mp = MultiPipeline::new(FpgaConfig::optimized(Modulation::Qam4, 4), c, 2);
+        let r = mp.decode_batch(&[]);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.reports.len(), 0);
+    }
+}

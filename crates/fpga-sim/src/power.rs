@@ -1,0 +1,211 @@
+//! Power and energy models (Table II).
+//!
+//! The paper profiles the FPGA kernel with Vitis Analyzer and the CPU
+//! package with AMD-uProf. Neither tool exists here, so both are replaced
+//! by activity-based analytical models *calibrated to Table II's measured
+//! operating points* (the documented substitution):
+//!
+//! * **FPGA kernel**: static/shell floor plus dynamic terms proportional
+//!   to the utilization fractions of the resource model and to the
+//!   antenna count (memory-traffic activity). Reproduces Table II's
+//!   8–12.8 W within ±20 %.
+//! * **CPU package**: idle/uncore floor plus per-engaged-core dynamic
+//!   power plus a working-set (memory traffic) term. Reproduces Table
+//!   II's 82–142 W within ±15 %.
+
+use crate::resources::ResourceUsage;
+use serde::{Deserialize, Serialize};
+
+/// Vitis-Analyzer-style kernel power model for the U280 accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FpgaPowerModel {
+    /// Static + shell + HBM idle floor (W).
+    pub static_w: f64,
+    /// Dynamic W per unit LUT fraction.
+    pub per_lut_frac: f64,
+    /// Dynamic W per unit DSP fraction.
+    pub per_dsp_frac: f64,
+    /// Dynamic W per unit (BRAM+URAM) fraction.
+    pub per_mem_frac: f64,
+    /// Activity W per 10 antennas (tree-state traffic).
+    pub per_10_antennas: f64,
+}
+
+impl FpgaPowerModel {
+    /// Coefficients calibrated to Table II (see module docs).
+    pub fn u280_kernel() -> Self {
+        FpgaPowerModel {
+            static_w: 1.2,
+            per_lut_frac: 20.0,
+            per_dsp_frac: 10.0,
+            per_mem_frac: 10.0,
+            per_10_antennas: 3.0,
+        }
+    }
+
+    /// Kernel power for a synthesized design decoding an `n_tx`-antenna
+    /// system.
+    pub fn power_watts(&self, usage: &ResourceUsage, n_tx: usize) -> f64 {
+        self.static_w
+            + self.per_lut_frac * usage.luts
+            + self.per_dsp_frac * usage.dsps
+            + self.per_mem_frac * (usage.brams + usage.urams)
+            + self.per_10_antennas * n_tx as f64 / 10.0
+    }
+}
+
+/// Package power model for the paper's 64-core CPU host.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    /// Idle + uncore floor (W).
+    pub idle_w: f64,
+    /// Dynamic W per engaged core.
+    pub per_core_w: f64,
+    /// Working-set W at the 10-antenna reference (scales with `(M/10)²`,
+    /// the tree-state matrix footprint of Sec. IV-E).
+    pub memory_w: f64,
+    /// Physical cores available.
+    pub cores: usize,
+}
+
+impl CpuPowerModel {
+    /// Coefficients calibrated to Table II's AMD-uProf measurements.
+    pub fn ryzen_64core() -> Self {
+        CpuPowerModel {
+            idle_w: 52.0,
+            per_core_w: 1.1,
+            memory_w: 8.0,
+            cores: 64,
+        }
+    }
+
+    /// Cores the threaded GEMM engages for an `M`-antenna, order-`P`
+    /// decode (one worker per child-evaluation strip, capped by the
+    /// machine).
+    pub fn engaged_cores(&self, n_tx: usize, order: usize) -> usize {
+        (n_tx * order / 2).clamp(1, self.cores)
+    }
+
+    /// Package power during decoding.
+    pub fn power_watts(&self, n_tx: usize, order: usize) -> f64 {
+        let m = n_tx as f64 / 10.0;
+        self.idle_w + self.per_core_w * self.engaged_cores(n_tx, order) as f64 + self.memory_w * m * m
+    }
+}
+
+/// Energy in joules of a phase at `power_watts` lasting `seconds`.
+pub fn energy_joules(power_watts: f64, seconds: f64) -> f64 {
+    assert!(power_watts >= 0.0 && seconds >= 0.0);
+    power_watts * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FpgaConfig;
+    use crate::resources::estimate_resources;
+    use sd_wireless::Modulation;
+
+    fn within(measured: f64, target: f64, tol: f64) -> bool {
+        (measured - target).abs() <= tol * target
+    }
+
+    #[test]
+    fn fpga_power_matches_table_2_within_20_percent() {
+        let model = FpgaPowerModel::u280_kernel();
+        let cases = [
+            (Modulation::Qam4, 10usize, 8.0),
+            (Modulation::Qam4, 15, 11.7),
+            (Modulation::Qam4, 20, 12.0),
+            (Modulation::Qam16, 10, 12.8),
+        ];
+        for (m, n, target) in cases {
+            let usage = estimate_resources(&FpgaConfig::optimized(m, n));
+            let p = model.power_watts(&usage, n);
+            assert!(
+                within(p, target, 0.20),
+                "{m} {n}x{n}: modeled {p:.1} W vs paper {target} W"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_power_matches_table_2_within_15_percent() {
+        let model = CpuPowerModel::ryzen_64core();
+        let cases = [
+            (10usize, 4usize, 82.0),
+            (15, 4, 93.0),
+            (20, 4, 135.0),
+            (10, 16, 142.0),
+        ];
+        for (n, p_mod, target) in cases {
+            let p = model.power_watts(n, p_mod);
+            assert!(
+                within(p, target, 0.15),
+                "{n}x{n} P={p_mod}: modeled {p:.1} W vs paper {target} W"
+            );
+        }
+    }
+
+    #[test]
+    fn fpga_far_below_cpu_power() {
+        // The core Table II message: order-of-magnitude power gap.
+        let fpga = FpgaPowerModel::u280_kernel();
+        let cpu = CpuPowerModel::ryzen_64core();
+        for (m, p_mod, n) in [
+            (Modulation::Qam4, 4usize, 10usize),
+            (Modulation::Qam16, 16, 10),
+            (Modulation::Qam4, 4, 20),
+        ] {
+            let usage = estimate_resources(&FpgaConfig::optimized(m, n));
+            let pf = fpga.power_watts(&usage, n);
+            let pc = cpu.power_watts(n, p_mod);
+            assert!(pc / pf > 5.0, "power ratio {:.1} too small", pc / pf);
+        }
+    }
+
+    #[test]
+    fn engaged_cores_saturate() {
+        let cpu = CpuPowerModel::ryzen_64core();
+        assert_eq!(cpu.engaged_cores(10, 4), 20);
+        assert_eq!(cpu.engaged_cores(10, 16), 64, "capped at 64");
+        assert_eq!(cpu.engaged_cores(1, 2), 1, "at least one core");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        assert_eq!(energy_joules(10.0, 0.5), 5.0);
+        assert_eq!(energy_joules(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn energy_reduction_factor_in_paper_range() {
+        // Combine Table II power with Table II execution times: the
+        // modeled powers must yield energy reductions near the paper's
+        // 35.8–41.8×.
+        let fpga = FpgaPowerModel::u280_kernel();
+        let cpu = CpuPowerModel::ryzen_64core();
+        let cases: [(Modulation, usize, usize, f64, f64, f64); 4] = [
+            (Modulation::Qam4, 4, 10, 7.0e-3, 2.0e-3, 35.8),
+            (Modulation::Qam4, 4, 15, 44.3e-3, 9.4e-3, 36.8),
+            (Modulation::Qam4, 4, 20, 350.6e-3, 102.5e-3, 38.4),
+            (Modulation::Qam16, 16, 10, 176.6e-3, 46.88e-3, 41.8),
+        ];
+        for (m, p_mod, n, t_cpu, t_fpga, paper_factor) in cases {
+            let usage = estimate_resources(&FpgaConfig::optimized(m, n));
+            let e_fpga = energy_joules(fpga.power_watts(&usage, n), t_fpga);
+            let e_cpu = energy_joules(cpu.power_watts(n, p_mod), t_cpu);
+            let factor = e_cpu / e_fpga;
+            assert!(
+                within(factor, paper_factor, 0.35),
+                "{m} {n}x{n}: energy reduction {factor:.1}× vs paper {paper_factor}×"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_energy_rejected() {
+        energy_joules(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Pre-fetching / double-buffering unit model (Sec. III-C2).
+//!
+//! The GEMM engine's inputs (the `R` row block and the tree-state block of
+//! the node being expanded) live in large partitioned memories; which
+//! block is needed depends on the node popped from the list, so the access
+//! pattern is irregular. The optimized design pre-computes the addresses
+//! from (level, node) and stages the data into a double buffer so the
+//! fetch of expansion *i+1* overlaps the compute of expansion *i*; the
+//! baseline pays the full access latency inline.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-cycle BRAM access (the partitioned on-chip banks).
+pub const BRAM_ACCESS_CYCLES: u64 = 1;
+
+/// Un-prefetched irregular access penalty per block (bank conflicts,
+/// address decode, URAM latency) charged by the baseline design.
+pub const IRREGULAR_ACCESS_PENALTY: u64 = 24;
+
+/// Address-generation latency (level/node → bank, offset).
+pub const ADDR_GEN_CYCLES: u64 = 4;
+
+/// Prefetch behaviour of one design variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchUnit {
+    /// `true` in the optimized design.
+    pub double_buffered: bool,
+}
+
+impl PrefetchUnit {
+    /// The optimized double-buffered unit.
+    pub fn enabled() -> Self {
+        PrefetchUnit {
+            double_buffered: true,
+        }
+    }
+
+    /// The baseline inline-access behaviour.
+    pub fn disabled() -> Self {
+        PrefetchUnit {
+            double_buffered: false,
+        }
+    }
+
+    /// Raw cycles to stage `words` 64-bit words for one expansion.
+    pub fn fetch_cycles(&self, words: usize) -> u64 {
+        let stream = words as u64 * BRAM_ACCESS_CYCLES;
+        if self.double_buffered {
+            ADDR_GEN_CYCLES + stream
+        } else {
+            ADDR_GEN_CYCLES + stream + IRREGULAR_ACCESS_PENALTY
+        }
+    }
+
+    /// Cycles that remain *visible* on the critical path when the fetch
+    /// can overlap a compute phase of `compute_cycles` (double buffering
+    /// hides `min(fetch, compute)`).
+    pub fn exposed_cycles(&self, words: usize, compute_cycles: u64) -> u64 {
+        let fetch = self.fetch_cycles(words);
+        if self.double_buffered {
+            fetch.saturating_sub(compute_cycles)
+        } else {
+            fetch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_pays_irregular_penalty() {
+        let pf = PrefetchUnit::disabled();
+        let opt = PrefetchUnit::enabled();
+        assert_eq!(
+            pf.fetch_cycles(10) - opt.fetch_cycles(10),
+            IRREGULAR_ACCESS_PENALTY
+        );
+    }
+
+    #[test]
+    fn double_buffer_hides_fetch_under_compute() {
+        let opt = PrefetchUnit::enabled();
+        let fetch = opt.fetch_cycles(12);
+        assert_eq!(opt.exposed_cycles(12, fetch + 10), 0, "fully hidden");
+        assert_eq!(opt.exposed_cycles(12, fetch - 5), 5, "partially hidden");
+    }
+
+    #[test]
+    fn baseline_never_hides() {
+        let b = PrefetchUnit::disabled();
+        assert_eq!(b.exposed_cycles(12, 1_000_000), b.fetch_cycles(12));
+    }
+
+    #[test]
+    fn zero_words_costs_only_address_generation() {
+        assert_eq!(PrefetchUnit::enabled().fetch_cycles(0), ADDR_GEN_CYCLES);
+    }
+}

@@ -1,0 +1,186 @@
+//! Post-route resource model (Table I).
+//!
+//! Area cannot be *computed* without running Vivado, so this model is
+//! anchored to the paper's published post-route utilization (Table I,
+//! 10×10 MIMO) and interpolates linearly in the modulation order `P`
+//! within each design variant — the structural driver the paper
+//! identifies (Sec. IV-E: the tree-state machinery scales with the
+//! modulation, the control logic is variant-specific). Antenna count adds
+//! a secondary memory term (MST and buffers grow with `N`).
+//!
+//! The model reproduces Table I at the paper's four design points by
+//! construction and extrapolates to other configurations (e.g. it
+//! predicts that a 64-QAM optimized design would exhaust URAM — matching
+//! the paper's "supports up to 16-QAM" scope).
+
+use crate::config::{FpgaConfig, Variant};
+use crate::device::DeviceModel;
+use serde::{Deserialize, Serialize};
+
+/// Utilization of one synthesized design, as fractions of the device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Look-up-table fraction (0–1).
+    pub luts: f64,
+    /// Flip-flop fraction.
+    pub ffs: f64,
+    /// DSP-slice fraction.
+    pub dsps: f64,
+    /// BRAM fraction.
+    pub brams: f64,
+    /// URAM fraction.
+    pub urams: f64,
+    /// Post-route clock in MHz.
+    pub freq_mhz: f64,
+}
+
+impl ResourceUsage {
+    /// The paper's criterion for instantiating a second pipeline
+    /// (Sec. III-C4): every resource under 50 %.
+    pub fn fits_second_pipeline(&self) -> bool {
+        self.luts < 0.5 && self.ffs < 0.5 && self.dsps < 0.5 && self.brams < 0.5 && self.urams < 0.5
+    }
+
+    /// `true` when the design fits the device at all.
+    pub fn fits_device(&self) -> bool {
+        self.luts <= 1.0 && self.ffs <= 1.0 && self.dsps <= 1.0 && self.brams <= 1.0 && self.urams <= 1.0
+    }
+
+    /// Absolute resource counts on a device.
+    pub fn absolute(&self, device: &DeviceModel) -> (u64, u64, u64, u64, u64) {
+        (
+            (self.luts * device.luts as f64) as u64,
+            (self.ffs * device.ffs as f64) as u64,
+            (self.dsps * device.dsps as f64) as u64,
+            (self.brams * device.bram18 as f64) as u64,
+            (self.urams * device.urams as f64) as u64,
+        )
+    }
+}
+
+/// Linear-in-P anchor: `value = a + b·P` fitted through the paper's 4-QAM
+/// and 16-QAM points for one (variant, resource) pair.
+fn anchor(p4: f64, p16: f64, p: f64) -> f64 {
+    let b = (p16 - p4) / 12.0;
+    let a = p4 - 4.0 * b;
+    (a + b * p).max(0.0)
+}
+
+/// Estimate utilization of one configuration (fractions of the U280).
+pub fn estimate_resources(config: &FpgaConfig) -> ResourceUsage {
+    let p = config.modulation.order() as f64;
+    // Secondary antenna-count term: on-chip buffers (MST banks, R block,
+    // double buffers) scale with N relative to the paper's N = 10 anchor.
+    let n_scale = config.n_tx as f64 / 10.0;
+
+    let (luts, ffs, dsps, brams, urams) = match config.variant {
+        // Table I baseline column: 4-QAM / 16-QAM.
+        Variant::Baseline => (
+            anchor(0.29, 0.50, p),
+            anchor(0.20, 0.27, p),
+            anchor(0.08, 0.15, p),
+            anchor(0.11, 0.14, p) * (0.5 + 0.5 * n_scale),
+            anchor(0.14, 0.60, p) * (0.3 + 0.7 * n_scale),
+        ),
+        // Table I optimized column.
+        Variant::Optimized => (
+            anchor(0.11, 0.23, p),
+            anchor(0.07, 0.11, p),
+            anchor(0.03, 0.07, p),
+            anchor(0.08, 0.10, p) * (0.5 + 0.5 * n_scale),
+            anchor(0.07, 0.30, p) * (0.3 + 0.7 * n_scale),
+        ),
+    };
+    ResourceUsage {
+        luts,
+        ffs,
+        dsps,
+        brams,
+        urams,
+        freq_mhz: config.freq_mhz(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_wireless::Modulation;
+
+    fn pct(x: f64) -> f64 {
+        (x * 100.0).round()
+    }
+
+    #[test]
+    fn reproduces_table_1_exactly_at_anchors() {
+        // Table I, 10×10 designs.
+        let b4 = estimate_resources(&FpgaConfig::baseline(Modulation::Qam4, 10));
+        assert_eq!(
+            (pct(b4.luts), pct(b4.ffs), pct(b4.dsps), pct(b4.brams), pct(b4.urams)),
+            (29.0, 20.0, 8.0, 11.0, 14.0)
+        );
+        let b16 = estimate_resources(&FpgaConfig::baseline(Modulation::Qam16, 10));
+        assert_eq!(
+            (pct(b16.luts), pct(b16.ffs), pct(b16.dsps), pct(b16.brams), pct(b16.urams)),
+            (50.0, 27.0, 15.0, 14.0, 60.0)
+        );
+        let o4 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10));
+        assert_eq!(
+            (pct(o4.luts), pct(o4.ffs), pct(o4.dsps), pct(o4.brams), pct(o4.urams)),
+            (11.0, 7.0, 3.0, 8.0, 7.0)
+        );
+        let o16 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam16, 10));
+        assert_eq!(
+            (pct(o16.luts), pct(o16.ffs), pct(o16.dsps), pct(o16.brams), pct(o16.urams)),
+            (23.0, 11.0, 7.0, 10.0, 30.0)
+        );
+    }
+
+    #[test]
+    fn optimized_always_smaller_than_baseline() {
+        for m in [Modulation::Qam4, Modulation::Qam16] {
+            let b = estimate_resources(&FpgaConfig::baseline(m, 10));
+            let o = estimate_resources(&FpgaConfig::optimized(m, 10));
+            assert!(o.luts < b.luts && o.ffs < b.ffs && o.dsps < b.dsps);
+            assert!(o.brams < b.brams && o.urams < b.urams);
+        }
+    }
+
+    #[test]
+    fn second_pipeline_criterion() {
+        // Sec. IV-B: the baseline's LUT/URAM usage blocks a second
+        // pipeline at 16-QAM; the optimized design allows it everywhere.
+        assert!(!estimate_resources(&FpgaConfig::baseline(Modulation::Qam16, 10))
+            .fits_second_pipeline());
+        assert!(estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10))
+            .fits_second_pipeline());
+        assert!(estimate_resources(&FpgaConfig::optimized(Modulation::Qam16, 10))
+            .fits_second_pipeline());
+    }
+
+    #[test]
+    fn predicts_64qam_exhausts_uram() {
+        // The paper supports "up to 16-QAM"; the model explains why.
+        let o64 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam64, 10));
+        assert!(o64.urams > 1.0, "64-QAM URAM {} should exceed device", o64.urams);
+        assert!(!o64.fits_device());
+    }
+
+    #[test]
+    fn memory_grows_with_antenna_count() {
+        let n10 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10));
+        let n20 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 20));
+        assert!(n20.urams > n10.urams);
+        assert!(n20.brams > n10.brams);
+        // Logic is modulation-driven, not antenna-driven.
+        assert_eq!(n20.luts, n10.luts);
+    }
+
+    #[test]
+    fn absolute_counts_on_u280() {
+        let o4 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10));
+        let (luts, _, dsps, _, urams) = o4.absolute(&DeviceModel::alveo_u280());
+        assert!((140_000..=145_000).contains(&luts), "11% of 1.3M LUTs");
+        assert!((260..=280).contains(&dsps), "3% of 9024 DSPs");
+        assert!((65..=70).contains(&urams), "7% of 960 URAMs");
+    }
+}

@@ -1,0 +1,107 @@
+//! Bitonic sorting network model (pruning phase, Sec. III-A3).
+//!
+//! The paper sorts the `P` freshly evaluated children by PD before
+//! inserting them in the tree list (Fig. 3). In hardware this is a
+//! pipelined bitonic network: `log₂P · (log₂P + 1) / 2` compare-exchange
+//! stages, one cycle each once filled. The model sorts functionally and
+//! charges the network latency; it also reports the comparator count for
+//! the resource model.
+
+use serde::{Deserialize, Serialize};
+
+/// A `P`-input bitonic sorting network (P padded to a power of two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitonicSorter {
+    /// Number of inputs the network is built for.
+    pub inputs: usize,
+}
+
+impl BitonicSorter {
+    /// Network for `inputs` elements.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs > 0, "sorter needs at least one input");
+        BitonicSorter { inputs }
+    }
+
+    /// Padded power-of-two width.
+    pub fn width(&self) -> usize {
+        self.inputs.next_power_of_two()
+    }
+
+    /// Compare-exchange stages: `k(k+1)/2` for width `2^k`.
+    pub fn stages(&self) -> u64 {
+        let k = self.width().trailing_zeros() as u64;
+        k * (k + 1) / 2
+    }
+
+    /// Comparators in the full network: `stages · width / 2`.
+    pub fn comparators(&self) -> u64 {
+        self.stages() * self.width() as u64 / 2
+    }
+
+    /// Latency in cycles for one batch of `inputs` values (pipeline fill =
+    /// stages, then the batch drains at II = 1).
+    pub fn cycles(&self) -> u64 {
+        self.stages() + 2
+    }
+
+    /// Functionally sort `(key, payload)` pairs ascending by key, exactly
+    /// as the hardware network would (ties keep index order).
+    pub fn sort<K: PartialOrd + Copy, V: Copy>(&self, items: &mut [(K, V)]) {
+        assert!(
+            items.len() <= self.width(),
+            "batch of {} exceeds network width {}",
+            items.len(),
+            self.width()
+        );
+        items.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN sort keys"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_for_paper_modulations() {
+        // 4-QAM: width 4 → 3 stages; 16-QAM: width 16 → 10 stages.
+        assert_eq!(BitonicSorter::new(4).stages(), 3);
+        assert_eq!(BitonicSorter::new(16).stages(), 10);
+        assert_eq!(BitonicSorter::new(64).stages(), 21);
+    }
+
+    #[test]
+    fn non_power_of_two_pads_up() {
+        let s = BitonicSorter::new(6);
+        assert_eq!(s.width(), 8);
+        assert_eq!(s.stages(), 6);
+    }
+
+    #[test]
+    fn comparator_counts() {
+        assert_eq!(BitonicSorter::new(4).comparators(), 6);
+        assert_eq!(BitonicSorter::new(16).comparators(), 80);
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        let s = BitonicSorter::new(4);
+        let mut v = vec![(3.0f32, 'a'), (1.0, 'b'), (2.0, 'c'), (1.5, 'd')];
+        s.sort(&mut v);
+        let order: Vec<char> = v.iter().map(|&(_, c)| c).collect();
+        assert_eq!(order, vec!['b', 'd', 'c', 'a']);
+    }
+
+    #[test]
+    fn latency_grows_with_width() {
+        assert!(BitonicSorter::new(16).cycles() > BitonicSorter::new(4).cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds network width")]
+    fn oversized_batch_rejected() {
+        let s = BitonicSorter::new(4);
+        let mut v = vec![(0.0f32, 0u8); 5];
+        s.sort(&mut v);
+    }
+}

@@ -1,0 +1,135 @@
+//! Systolic-array GEMM engine model (Sec. III-C1).
+//!
+//! The paper isolates the GEMM engine from the Xilinx Vitis BLAS library:
+//! a 2-D mesh of floating-point complex MAC units fed from single-cycle
+//! BRAM, pipelined so that, once filled, one column of results drains per
+//! cycle. The model charges
+//!
+//! ```text
+//! cycles(m, k, n) = fill + tiles · (k + drain)
+//! ```
+//!
+//! where `fill = rows + cols + MAC latency` is the wavefront fill, each
+//! tile streams the `k` reduction dimension at II = 1, and
+//! `tiles = ⌈m/rows⌉ · ⌈n/cols⌉`.
+
+use serde::{Deserialize, Serialize};
+
+/// Pipeline latency of one fused complex MAC built from DSP slices.
+pub const CMAC_LATENCY: u64 = 8;
+
+/// DSP slices per complex single-precision MAC (4 real multiplies + adds,
+/// ~2.5 DSP each on UltraScale+).
+pub const DSP_PER_CMAC: u64 = 10;
+
+/// A `rows × cols` systolic mesh of complex MAC units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicGemm {
+    /// Mesh height (parallel output rows).
+    pub rows: usize,
+    /// Mesh width (parallel output columns).
+    pub cols: usize,
+}
+
+impl SystolicGemm {
+    /// Build an engine of the given geometry.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh must be non-empty");
+        SystolicGemm { rows, cols }
+    }
+
+    /// Wavefront fill latency.
+    pub fn fill_cycles(&self) -> u64 {
+        self.rows as u64 + self.cols as u64 + CMAC_LATENCY
+    }
+
+    /// Cycles to compute an `m × k · k × n` complex GEMM.
+    pub fn cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles = m.div_ceil(self.rows) as u64 * n.div_ceil(self.cols) as u64;
+        // Each tile streams k reduction steps; drain of the last partials
+        // costs the MAC latency.
+        self.fill_cycles() + tiles * (k as u64 + CMAC_LATENCY / 2)
+    }
+
+    /// DSP slices consumed by the mesh.
+    pub fn dsp_count(&self) -> u64 {
+        (self.rows * self.cols) as u64 * DSP_PER_CMAC
+    }
+
+    /// Peak complex MACs per cycle.
+    pub fn peak_cmacs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+
+    /// Sustained efficiency for a given problem: useful MACs divided by
+    /// (cycles × peak).
+    pub fn efficiency(&self, m: usize, k: usize, n: usize) -> f64 {
+        let useful = (m * k * n) as f64;
+        let cap = (self.cycles(m, k, n) * self.peak_cmacs_per_cycle()) as f64;
+        if cap == 0.0 {
+            0.0
+        } else {
+            useful / cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_work_is_free() {
+        let e = SystolicGemm::new(4, 4);
+        assert_eq!(e.cycles(0, 5, 5), 0);
+        assert_eq!(e.cycles(5, 0, 5), 0);
+    }
+
+    #[test]
+    fn single_tile_cost_is_fill_plus_k() {
+        let e = SystolicGemm::new(4, 4);
+        let c = e.cycles(4, 10, 4);
+        assert_eq!(c, e.fill_cycles() + 10 + CMAC_LATENCY / 2);
+    }
+
+    #[test]
+    fn tiles_scale_linearly() {
+        let e = SystolicGemm::new(4, 4);
+        let one = e.cycles(4, 8, 4) - e.fill_cycles();
+        let four = e.cycles(8, 8, 8) - e.fill_cycles();
+        assert_eq!(four, 4 * one);
+    }
+
+    #[test]
+    fn bigger_mesh_is_faster_but_hungrier() {
+        let small = SystolicGemm::new(4, 4);
+        let big = SystolicGemm::new(16, 16);
+        assert!(big.cycles(64, 64, 64) < small.cycles(64, 64, 64));
+        assert!(big.dsp_count() > small.dsp_count());
+        assert_eq!(big.dsp_count(), 256 * DSP_PER_CMAC);
+    }
+
+    #[test]
+    fn efficiency_improves_with_larger_k() {
+        let e = SystolicGemm::new(4, 4);
+        assert!(e.efficiency(4, 64, 4) > e.efficiency(4, 4, 4));
+        let eff = e.efficiency(4, 4096, 4);
+        assert!(eff > 0.9, "long-k efficiency {eff} should approach 1");
+    }
+
+    #[test]
+    fn ceil_division_covers_ragged_edges() {
+        let e = SystolicGemm::new(4, 4);
+        // 5 columns needs 2 column tiles, same as 8.
+        assert_eq!(e.cycles(4, 10, 5), e.cycles(4, 10, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mesh_rejected() {
+        SystolicGemm::new(0, 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! # sd-gpu
+//!
+//! Analytic execution model of the GEMM-BFS sphere decoder of Arfaoui et
+//! al. \[1\] on an NVIDIA A100 — the GPU baseline the paper compares
+//! against in Fig. 11.
+//!
+//! We have no A100, so the baseline is split into two faithful halves:
+//!
+//! * the **algorithm** runs for real — [`sd_core::BfsGemmSd`] produces the
+//!   decoded symbols and a [`sd_core::BfsLevelTrace`] of per-level
+//!   frontier sizes and GEMM shapes;
+//! * the **platform** is an analytic cost model charged over that trace:
+//!   per-level kernel launches, device synchronization and host↔device
+//!   transfers (the BFS radius check lives on the host in \[1\]'s design),
+//!   plus a throughput term with size-dependent GEMM efficiency.
+//!
+//! The fixed per-level cost is *calibrated to the paper's own
+//! measurement* (Fig. 11: the reproduced GPU implementation decodes a
+//! 4-QAM 10×10 signal in ≈6 ms at 12 dB); the SNR shape then follows from
+//! the executed node counts. This reproduces the paper's argument: the
+//! level-synchronous traversal pays a synchronization tax the FPGA
+//! dataflow design does not.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use sd_core::{BfsGemmSd, BfsLevelTrace, Detection, Detector};
+use sd_wireless::{Constellation, FrameData};
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters of the A100 execution model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct A100Model {
+    /// Peak FP32 throughput (FLOP/s). A100: 19.5 TFLOP/s.
+    pub peak_flops: f64,
+    /// Fixed cost per tree level: kernel launches for the branching /
+    /// GEMM / norm / prune steps, a device-wide synchronization, the
+    /// host-side radius logic, and the host↔device round trip of the
+    /// surviving-node list. Calibrated to Fig. 11 (≈6 ms / 10 levels at
+    /// the 12 dB operating point).
+    pub per_level_s: f64,
+    /// Per-child marginal cost: global-memory transactions for the
+    /// tree-state gather/scatter of one candidate.
+    pub per_child_s: f64,
+    /// PCIe bandwidth for the per-level result copies (B/s).
+    pub pcie_bandwidth: f64,
+}
+
+impl A100Model {
+    /// Calibrated A100 parameters (see crate docs).
+    pub fn calibrated() -> Self {
+        A100Model {
+            peak_flops: 19.5e12,
+            per_level_s: 550e-6,
+            per_child_s: 25e-9,
+            pcie_bandwidth: 25e9,
+        }
+    }
+
+    /// GEMM efficiency for an `m × k × n` problem: small, skinny products
+    /// cannot fill the SMs (roofline launch-bound regime).
+    pub fn gemm_efficiency(&self, m: usize, k: usize, n: usize) -> f64 {
+        let work = (m * k * n) as f64;
+        // Half-efficiency point at ~2·10⁷ complex MACs (empirically where
+        // cuBLAS saturates on skinny GEMMs).
+        (work / (work + 2e7)).max(1e-6)
+    }
+
+    /// Seconds to execute one decode described by a BFS trace.
+    pub fn execution_seconds(&self, trace: &BfsLevelTrace) -> f64 {
+        let mut t = 0.0;
+        for level in &trace.levels {
+            let (m, k, n) = level.gemm_shape;
+            let flops = 8.0 * (m * k * n) as f64;
+            let gemm = flops / (self.peak_flops * self.gemm_efficiency(m, k, n));
+            let copies = (level.children * 8) as f64 / self.pcie_bandwidth;
+            t += self.per_level_s + gemm + copies + level.children as f64 * self.per_child_s;
+        }
+        t
+    }
+}
+
+/// Per-decode report of the GPU model.
+#[derive(Clone, Debug)]
+pub struct GpuDecodeReport {
+    /// Decoded symbols and search statistics (from the executed BFS).
+    pub detection: Detection,
+    /// Modeled wall-clock on the A100.
+    pub decode_seconds: f64,
+    /// The per-level trace the cost was charged over.
+    pub trace: BfsLevelTrace,
+}
+
+/// The GEMM-BFS decoder of \[1\] running on the modeled A100.
+#[derive(Clone, Debug)]
+pub struct GpuSphereDecoder {
+    bfs: BfsGemmSd<f32>,
+    model: A100Model,
+}
+
+impl GpuSphereDecoder {
+    /// GPU baseline with the calibrated A100 model.
+    pub fn new(constellation: Constellation) -> Self {
+        GpuSphereDecoder {
+            bfs: BfsGemmSd::new(constellation),
+            model: A100Model::calibrated(),
+        }
+    }
+
+    /// Builder: override the cost model.
+    pub fn with_model(mut self, model: A100Model) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The underlying BFS decoder (for configuration).
+    pub fn bfs_mut(&mut self) -> &mut BfsGemmSd<f32> {
+        &mut self.bfs
+    }
+
+    /// Decode with modeled timing.
+    pub fn decode_with_report(&self, frame: &FrameData) -> GpuDecodeReport {
+        let (detection, trace) = self.bfs.detect_traced(frame);
+        let decode_seconds = self.model.execution_seconds(&trace);
+        GpuDecodeReport {
+            detection,
+            decode_seconds,
+            trace,
+        }
+    }
+}
+
+impl Detector for GpuSphereDecoder {
+    fn name(&self) -> &'static str {
+        "GPU GEMM-BFS (A100 model)"
+    }
+
+    fn detect(&self, frame: &FrameData) -> Detection {
+        self.decode_with_report(frame).detection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, Modulation};
+
+    fn frames(n: usize, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(Modulation::Qam4);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn twelve_db_operating_point_near_paper() {
+        // Fig. 11: ≈6 ms for 4-QAM 10×10 at 12 dB.
+        let (c, frames) = frames(10, 12.0, 10, 300);
+        let gpu = GpuSphereDecoder::new(c);
+        let avg: f64 = frames
+            .iter()
+            .map(|f| gpu.decode_with_report(f).decode_seconds)
+            .sum::<f64>()
+            / frames.len() as f64;
+        assert!(
+            (3e-3..12e-3).contains(&avg),
+            "modeled GPU time {avg:.2e}s should be near the paper's 6 ms"
+        );
+    }
+
+    #[test]
+    fn per_level_tax_dominates_at_high_snr() {
+        // At 20 dB the frontier is tiny: time ≈ levels × per-level cost.
+        let (c, frames) = frames(10, 20.0, 5, 301);
+        let gpu = GpuSphereDecoder::new(c);
+        let model = A100Model::calibrated();
+        for f in &frames {
+            let r = gpu.decode_with_report(f);
+            let floor = r.trace.levels.len() as f64 * model.per_level_s;
+            assert!(r.decode_seconds >= floor);
+            assert!(r.decode_seconds < floor * 2.0, "launch tax should dominate");
+        }
+    }
+
+    #[test]
+    fn lower_snr_costs_more() {
+        let (c, lo) = frames(10, 4.0, 8, 302);
+        let (_, hi) = frames(10, 16.0, 8, 302);
+        let gpu = GpuSphereDecoder::new(c);
+        let t_lo: f64 = lo.iter().map(|f| gpu.decode_with_report(f).decode_seconds).sum();
+        let t_hi: f64 = hi.iter().map(|f| gpu.decode_with_report(f).decode_seconds).sum();
+        assert!(t_lo > t_hi, "4 dB ({t_lo}) must cost more than 16 dB ({t_hi})");
+    }
+
+    #[test]
+    fn decodes_are_ml_exact_when_uncapped() {
+        let (c, frames) = frames(5, 8.0, 10, 303);
+        let gpu = GpuSphereDecoder::new(c.clone());
+        let ml = sd_core::MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(gpu.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn gemm_efficiency_monotone_in_size() {
+        let m = A100Model::calibrated();
+        assert!(m.gemm_efficiency(1, 10, 100) < m.gemm_efficiency(1, 10, 1_000_000));
+        assert!(m.gemm_efficiency(4096, 4096, 4096) > 0.8);
+        assert!(m.gemm_efficiency(1, 1, 1) > 0.0);
+    }
+
+    #[test]
+    fn restarted_traces_charge_final_attempt() {
+        // The trace only holds the final successful BFS sweep's levels
+        // (plus the aborted prefix); execution time must stay positive
+        // and finite.
+        let (c, frames) = frames(6, 4.0, 5, 304);
+        let mut gpu = GpuSphereDecoder::new(c);
+        *gpu.bfs_mut() = gpu
+            .bfs
+            .clone()
+            .with_initial_radius(sd_core::InitialRadius::ScaledNoise(0.05));
+        for f in &frames {
+            let r = gpu.decode_with_report(f);
+            assert!(r.decode_seconds.is_finite() && r.decode_seconds > 0.0);
+        }
+    }
+}

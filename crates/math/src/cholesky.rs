@@ -1,0 +1,169 @@
+//! Complex Cholesky factorization and Hermitian solves.
+//!
+//! The MMSE linear baseline solves `(H^H H + σ² I) x = H^H y`; the Gram
+//! matrix is Hermitian positive definite, so Cholesky is the natural
+//! factorization.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use crate::matrix::Matrix;
+use crate::vector::CVector;
+
+/// Failure modes of [`cholesky`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot was zero or negative: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "cholesky: matrix is not square"),
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "cholesky: non-positive pivot at index {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^H`.
+///
+/// Only the lower triangle of `a` is read (the matrix is assumed
+/// Hermitian).
+pub fn cholesky<F: Float>(a: &Matrix<F>) -> Result<Matrix<F>, CholeskyError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(CholeskyError::NotSquare);
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal: l_jj = sqrt(a_jj - Σ_{k<j} |l_jk|²)
+        let mut d = a[(j, j)].re;
+        for k in 0..j {
+            d -= l[(j, k)].norm_sqr();
+        }
+        if !(d > F::ZERO) || !d.is_finite() {
+            return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+        }
+        let ljj = d.sqrt();
+        l[(j, j)] = Complex::from_real(ljj);
+        // Column below the diagonal.
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                let delta = l[(i, k)] * l[(j, k)].conj();
+                s -= delta;
+            }
+            l[(i, j)] = s.scale(F::ONE / ljj);
+        }
+    }
+    Ok(l)
+}
+
+/// Solve the Hermitian positive-definite system `A x = b` via Cholesky.
+pub fn solve_hermitian<F: Float>(
+    a: &Matrix<F>,
+    b: &[Complex<F>],
+) -> Result<CVector<F>, CholeskyError> {
+    let l = cholesky(a)?;
+    // L z = b (forward), L^H x = z (backward).
+    let z = crate::solve::forward_substitute(&l, b);
+    let x = crate::solve::back_substitute_hermitian_of_lower(&l, &z);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, GemmAlgo};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type M = Matrix<f64>;
+    type C = Complex<f64>;
+
+    /// Random Hermitian positive-definite matrix `B^H B + n·I`.
+    fn random_hpd(n: usize, seed: u64) -> M {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::from_fn(n, n, |_, _| {
+            C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let mut a = gemm(&b.hermitian(), &b, GemmAlgo::Naive);
+        for i in 0..n {
+            a[(i, i)] += C::from_real(n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for &(n, seed) in &[(1, 1), (3, 2), (8, 3), (16, 4)] {
+            let a = random_hpd(n, seed);
+            let l = cholesky(&a).expect("HPD matrix must factor");
+            let llh = gemm(&l, &l.hermitian(), GemmAlgo::Naive);
+            assert!(
+                llh.approx_eq(&a, 1e-9),
+                "LL^H != A for n={n}: diff {}",
+                llh.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular_with_real_positive_diagonal() {
+        let a = random_hpd(6, 9);
+        let l = cholesky(&a).unwrap();
+        for i in 0..6 {
+            assert!(l[(i, i)].im.abs() < 1e-14);
+            assert!(l[(i, i)].re > 0.0);
+            for j in i + 1..6 {
+                assert_eq!(l[(i, j)], C::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_hermitian_solves() {
+        let a = random_hpd(10, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let x_true: Vec<C> = (0..10)
+            .map(|_| C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve_hermitian(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((*xi - *ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = M::identity(3);
+        a[(1, 1)] = C::from_real(-1.0);
+        match cholesky(&a) {
+            Err(CholeskyError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert_eq!(cholesky(&M::zeros(2, 3)), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(CholeskyError::NotSquare.to_string().contains("not square"));
+        assert!(CholeskyError::NotPositiveDefinite { pivot: 4 }
+            .to_string()
+            .contains("index 4"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Complex scalar arithmetic.
+//!
+//! MIMO baseband signals, channel gains, and constellation points are all
+//! complex; this is the element type of every matrix and vector in the
+//! workspace.
+
+use crate::float::Float;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over any [`Float`] scalar.
+#[derive(Copy, Clone, Default, PartialEq)]
+pub struct Complex<F> {
+    /// Real part.
+    pub re: F,
+    /// Imaginary part.
+    pub im: F,
+}
+
+impl<F: Float> Complex<F> {
+    /// Construct from real and imaginary parts.
+    #[inline(always)]
+    pub fn new(re: F, im: F) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity `0 + 0i`.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Complex {
+            re: F::ZERO,
+            im: F::ZERO,
+        }
+    }
+
+    /// The multiplicative identity `1 + 0i`.
+    #[inline(always)]
+    pub fn one() -> Self {
+        Complex {
+            re: F::ONE,
+            im: F::ZERO,
+        }
+    }
+
+    /// A purely real value.
+    #[inline(always)]
+    pub fn from_real(re: F) -> Self {
+        Complex { re, im: F::ZERO }
+    }
+
+    /// Lossy construction from `f64` parts.
+    #[inline(always)]
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Complex {
+            re: F::from_f64(re),
+            im: F::from_f64(im),
+        }
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²` — the quantity every partial-distance
+    /// computation in the sphere decoder reduces to.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> F {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `√(re² + im²)`.
+    #[inline(always)]
+    pub fn abs(self) -> F {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: F) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `self * other.conj()` without materializing the conjugate.
+    #[inline(always)]
+    pub fn mul_conj(self, other: Self) -> Self {
+        Complex {
+            re: self.re * other.re + self.im * other.im,
+            im: self.im * other.re - self.re * other.im,
+        }
+    }
+
+    /// Multiplicative inverse. Returns a non-finite value for zero input,
+    /// mirroring IEEE division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// `true` when both parts are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Convert the parts to `f64`.
+    #[inline]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex {
+            re: self.re.to_f64(),
+            im: self.im.to_f64(),
+        }
+    }
+
+    /// Lossy conversion between scalar precisions (e.g. `f32` → `F16` for
+    /// the half-precision ablation).
+    #[inline]
+    pub fn cast<G: Float>(self) -> Complex<G> {
+        Complex {
+            re: G::from_f64(self.re.to_f64()),
+            im: G::from_f64(self.im.to_f64()),
+        }
+    }
+
+    /// Fused accumulate `acc += a * b` using scalar `mul_add` where the
+    /// representation provides one.
+    #[inline(always)]
+    pub fn mul_acc(acc: &mut Self, a: Self, b: Self) {
+        acc.re = a.re.mul_add(b.re, acc.re);
+        acc.re = (-a.im).mul_add(b.im, acc.re);
+        acc.im = a.re.mul_add(b.im, acc.im);
+        acc.im = a.im.mul_add(b.re, acc.im);
+    }
+}
+
+impl<F: Float> Add for Complex<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl<F: Float> Sub for Complex<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl<F: Float> Mul for Complex<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<F: Float> Div for Complex<F> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl<F: Float> Neg for Complex<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl<F: Float> AddAssign for Complex<F> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<F: Float> SubAssign for Complex<F> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<F: Float> MulAssign for Complex<F> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<F: Float> DivAssign for Complex<F> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<F: Float> Sum for Complex<F> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + b)
+    }
+}
+
+impl<F: Float> fmt::Debug for Complex<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}i)", self.re, self.im)
+    }
+}
+
+impl<F: Float> fmt::Display for Complex<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= F::ZERO {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type C = Complex<f64>;
+
+    fn c(re: f64, im: f64) -> C {
+        C::new(re, im)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = c(1.0, 2.0);
+        let b = c(-3.5, 0.25);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = c(2.0, 3.0);
+        let b = c(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12i² = -14 + 5i
+        assert_eq!(a * b, c(-14.0, 5.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let i = c(0.0, 1.0);
+        assert_eq!(i * i, c(-1.0, 0.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(3.0, -2.0);
+        let b = c(0.5, 1.5);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_properties() {
+        let a = c(1.0, 2.0);
+        assert_eq!(a.conj().conj(), a);
+        // a * conj(a) = |a|² (purely real).
+        let p = a * a.conj();
+        assert_eq!(p, c(5.0, 0.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+
+    #[test]
+    fn mul_conj_matches_explicit() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -4.0);
+        assert_eq!(a.mul_conj(b), a * b.conj());
+    }
+
+    #[test]
+    fn inv_matches_division() {
+        let a = c(2.0, -1.0);
+        let one = C::one();
+        let inv = a.inv();
+        assert!(((one / a) - inv).abs() < 1e-15);
+        assert!((a * inv - one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_acc_accumulates_product() {
+        let mut acc = c(1.0, 1.0);
+        let a = c(2.0, 3.0);
+        let b = c(-1.0, 4.0);
+        Complex::mul_acc(&mut acc, a, b);
+        assert!((acc - (c(1.0, 1.0) + a * b)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, -1.0)];
+        let s: C = v.into_iter().sum();
+        assert_eq!(s, C::zero());
+    }
+
+    #[test]
+    fn cast_to_f32_and_back_small_values() {
+        let a = c(0.5, -0.25);
+        let a32: Complex<f32> = a.cast();
+        let back: C = a32.cast();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", c(1.0, 2.0)), "1+2i");
+    }
+
+    #[test]
+    fn is_finite_detects_infinities() {
+        assert!(c(1.0, 1.0).is_finite());
+        assert!(!c(f64::INFINITY, 0.0).is_finite());
+        assert!(!C::zero().inv().is_finite());
+    }
+}

@@ -1,0 +1,186 @@
+//! Singular-value and condition-number estimation.
+//!
+//! Sphere-decoder complexity is governed by the conditioning of the
+//! channel: a near-singular `H` flattens the PD landscape and inflates
+//! the search tree (the effect behind the correlated-fading results).
+//! This module estimates the extreme singular values by power iteration
+//! — `σ_max` on `A^H A`, `σ_min` on `(A^H A)^{-1}` via the QR factors —
+//! without forming any inverse.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use crate::matrix::Matrix;
+use crate::qr::qr_with_qty;
+use crate::solve::{back_substitute, forward_substitute_hermitian_of_upper};
+use crate::vector::{norm, norm_sqr, CVector};
+
+/// Iterations used by the `*_estimate` convenience wrappers.
+pub const DEFAULT_ITERS: usize = 40;
+
+/// Estimate the largest singular value of `a` by power iteration on
+/// `A^H A` (deterministic start vector, `iters` iterations).
+pub fn spectral_norm_estimate<F: Float>(a: &Matrix<F>, iters: usize) -> F {
+    let (n, m) = a.shape();
+    assert!(n > 0 && m > 0, "empty matrix");
+    let mut v: CVector<F> = deterministic_unit(m);
+    let mut lambda = F::ZERO;
+    for _ in 0..iters {
+        // w = A^H (A v)
+        let av = a.mul_vec(&v);
+        let w = a.hermitian().mul_vec(&av);
+        lambda = norm(&w);
+        if lambda <= F::epsilon() {
+            return F::ZERO;
+        }
+        let inv = F::ONE / lambda;
+        v = w.into_iter().map(|x| x.scale(inv)).collect();
+    }
+    // lambda ≈ σ_max²
+    lambda.sqrt()
+}
+
+/// Estimate the smallest singular value of a square full-rank `a` by
+/// inverse power iteration through its QR factors (`A^H A = R^H R`).
+pub fn smallest_singular_estimate<F: Float>(a: &Matrix<F>, iters: usize) -> F {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "smallest_singular_estimate needs a square matrix");
+    let y0 = vec![Complex::zero(); n];
+    let (r, _, _) = qr_with_qty(a, &y0);
+    // Guard: exact singularity shows up as a ~zero diagonal in R.
+    for i in 0..n {
+        if r[(i, i)].norm_sqr() <= F::epsilon() * F::epsilon() {
+            return F::ZERO;
+        }
+    }
+    let mut v: CVector<F> = deterministic_unit(n);
+    let mut mu = F::ZERO;
+    for _ in 0..iters {
+        // Solve (R^H R) w = v: forward with R^H, back with R.
+        let z = forward_substitute_hermitian_of_upper(&r, &v);
+        let w = back_substitute(&r, &z);
+        mu = norm(&w);
+        if !mu.is_finite() || mu <= F::ZERO {
+            return F::ZERO;
+        }
+        let inv = F::ONE / mu;
+        v = w.into_iter().map(|x| x.scale(inv)).collect();
+    }
+    // mu ≈ 1/σ_min²
+    (F::ONE / mu).sqrt()
+}
+
+/// 2-norm condition number estimate `σ_max / σ_min` of a square matrix.
+/// Returns infinity for (numerically) singular inputs.
+pub fn condition_estimate<F: Float>(a: &Matrix<F>, iters: usize) -> F {
+    let smax = spectral_norm_estimate(a, iters);
+    let smin = smallest_singular_estimate(a, iters);
+    if smin <= F::ZERO {
+        F::infinity()
+    } else {
+        smax / smin
+    }
+}
+
+/// Deterministic, non-degenerate unit start vector.
+fn deterministic_unit<F: Float>(n: usize) -> CVector<F> {
+    let mut v: CVector<F> = (0..n)
+        .map(|i| {
+            Complex::new(
+                F::from_f64(1.0 + (i as f64 * 0.37).sin() * 0.5),
+                F::from_f64((i as f64 * 0.61).cos() * 0.5),
+            )
+        })
+        .collect();
+    let s = norm_sqr(&v).sqrt();
+    let inv = F::ONE / s;
+    for x in v.iter_mut() {
+        *x = x.scale(inv);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type M = Matrix<f64>;
+    type C = Complex<f64>;
+
+    fn random_matrix(n: usize, seed: u64) -> M {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |_, _| {
+            C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn identity_has_unit_everything() {
+        let i = M::identity(6);
+        assert!((spectral_norm_estimate(&i, 20) - 1.0).abs() < 1e-10);
+        assert!((smallest_singular_estimate(&i, 20) - 1.0).abs() < 1e-10);
+        assert!((condition_estimate(&i, 20) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_known_extremes() {
+        let mut d = M::zeros(4, 4);
+        for (i, s) in [5.0, 3.0, 2.0, 0.5].iter().enumerate() {
+            d[(i, i)] = C::new(*s, 0.0);
+        }
+        assert!((spectral_norm_estimate(&d, 60) - 5.0).abs() < 1e-6);
+        assert!((smallest_singular_estimate(&d, 60) - 0.5).abs() < 1e-6);
+        assert!((condition_estimate(&d, 60) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn unitary_factor_is_perfectly_conditioned() {
+        let a = random_matrix(8, 5);
+        let q = crate::qr::qr(&a).q;
+        let cond = condition_estimate(&q, 40);
+        assert!((cond - 1.0).abs() < 1e-8, "cond(Q) = {cond}");
+    }
+
+    #[test]
+    fn scaling_does_not_change_condition() {
+        let a = random_matrix(6, 6);
+        let c1 = condition_estimate(&a, 50);
+        let c2 = condition_estimate(&a.scale(7.5), 50);
+        assert!((c1 - c2).abs() < 1e-6 * c1, "{c1} vs {c2}");
+    }
+
+    #[test]
+    fn singular_matrix_reports_infinity() {
+        let mut a = random_matrix(4, 7);
+        // Make row 3 a copy of row 0: rank deficient.
+        for j in 0..4 {
+            let v = a[(0, j)];
+            a[(3, j)] = v;
+        }
+        let cond = condition_estimate(&a, 40);
+        assert!(cond > 1e12, "near-singular cond should explode: {cond}");
+    }
+
+    #[test]
+    fn bounds_hold_against_frobenius() {
+        // σ_max ≤ ‖A‖_F ≤ √n · σ_max.
+        let a = random_matrix(7, 8);
+        let smax = spectral_norm_estimate(&a, 60);
+        let fro = a.frobenius_norm();
+        assert!(smax <= fro + 1e-9);
+        assert!(fro <= smax * (7f64).sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn smin_times_inverse_norm_is_one() {
+        // σ_min(A) · σ_max(A⁻¹) = 1; check via solving.
+        let a = random_matrix(5, 9);
+        let smin = smallest_singular_estimate(&a, 80);
+        assert!(smin > 0.0);
+        // For any unit x: ‖A x‖ ≥ σ_min (spot check).
+        let x = deterministic_unit::<f64>(5);
+        let ax = a.mul_vec(&x);
+        assert!(crate::vector::norm(&ax) >= smin - 1e-8);
+    }
+}

@@ -1,0 +1,327 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! The paper's future-work section proposes FP16 / mixed-precision FPGA
+//! pipelines to cut DSP and memory usage. We have no FP16 hardware, so this
+//! module emulates binary16 in software: values are stored as the 16-bit
+//! pattern and every arithmetic operation is performed in `f32` and then
+//! rounded back through the half-precision format (round-to-nearest-even),
+//! which is exactly how an FP16 MAC with an FP32 accumulator-free datapath
+//! behaves. This is the substrate for the precision-ablation benches.
+
+use crate::float::Float;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// IEEE 754 binary16 value emulated in software.
+///
+/// All arithmetic round-trips through the 16-bit format, so rounding error
+/// accumulates exactly as it would on a native FP16 datapath.
+#[derive(Copy, Clone, Default, PartialEq)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Machine epsilon (2⁻¹⁰).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let x = value.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp = ((x >> 23) & 0xFF) as i32;
+        let mant = x & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            let payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if e >= -14 {
+            // Normal half-precision range; keep 10 mantissa bits.
+            let mant16 = mant >> 13;
+            let half = (sign as u32) | (((e + 15) as u32) << 10) | mant16;
+            // Round to nearest even on the 13 dropped bits.
+            let round_bits = mant & 0x1FFF;
+            let rounded = if round_bits > 0x1000 || (round_bits == 0x1000 && (mant16 & 1) == 1) {
+                half + 1 // may carry into the exponent, which is correct behaviour
+            } else {
+                half
+            };
+            return F16(rounded as u16);
+        }
+        if e >= -24 {
+            // Subnormal half.
+            let full_mant = mant | 0x0080_0000; // implicit leading 1
+            let shift = (-14 - e) as u32 + 13;
+            let mant16 = full_mant >> shift;
+            let round_mask = 1u32 << (shift - 1);
+            let round_bits = full_mant & ((1u32 << shift) - 1);
+            let rounded = if round_bits > round_mask || (round_bits == round_mask && (mant16 & 1) == 1)
+            {
+                mant16 + 1
+            } else {
+                mant16
+            };
+            return F16(sign | rounded as u16);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Widen to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+
+        let bits = if exp == 0x1F {
+            // Inf / NaN.
+            sign | 0x7F80_0000 | (mant << 13)
+        } else if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalize.
+                let mut m = mant;
+                let mut e = -14i32;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+        } else {
+            sign | ((exp as i32 - 15 + 127) as u32) << 23 | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// `true` when neither NaN nor infinite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for F16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: F16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, AddAssign, add_assign, +);
+f16_binop!(Sub, sub, SubAssign, sub_assign, -);
+f16_binop!(Mul, mul, MulAssign, mul_assign, *);
+f16_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl Sum for F16 {
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |a, b| a + b)
+    }
+}
+
+impl Float for F16 {
+    const ZERO: Self = F16::ZERO;
+    const ONE: Self = F16::ONE;
+
+    fn from_f64(x: f64) -> Self {
+        F16::from_f32(x as f32)
+    }
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+    fn sqrt(self) -> Self {
+        F16::from_f32(self.to_f32().sqrt())
+    }
+    fn abs(self) -> Self {
+        F16(self.0 & 0x7FFF)
+    }
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // An FP16 datapath without a wide accumulator rounds after the
+        // multiply and again after the add.
+        (self * a) + b
+    }
+    fn is_finite(self) -> bool {
+        F16::is_finite(self)
+    }
+    fn epsilon() -> Self {
+        F16::EPSILON
+    }
+    fn infinity() -> Self {
+        F16::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "integer {i} must be exact in fp16");
+        }
+    }
+
+    #[test]
+    fn one_has_canonical_bits() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn epsilon_is_2_pow_minus_10() {
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let h = F16::from_f32(70000.0);
+        assert!(!h.is_finite());
+        assert_eq!(h.to_bits(), 0x7C00);
+        let h = F16::from_f32(-70000.0);
+        assert_eq!(h.to_bits(), 0xFC00);
+    }
+
+    #[test]
+    fn max_finite_value() {
+        // binary16 max = 65504.
+        let h = F16::from_f32(65504.0);
+        assert!(h.is_finite());
+        assert_eq!(h.to_f32(), 65504.0);
+        // 65520 rounds to infinity (midpoint rounds to even -> exp overflow).
+        assert!(!F16::from_f32(65520.0).is_finite());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        let smallest = 2.0f32.powi(-24);
+        let h = F16::from_f32(smallest);
+        assert_eq!(h.to_f32(), smallest);
+        // Halfway below the smallest subnormal flushes to zero.
+        let h = F16::from_f32(smallest / 4.0);
+        assert_eq!(h.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; ties-to-even
+        // keeps 1.0.
+        let h = F16::from_f32(1.0 + 2.0f32.powi(-11));
+        assert_eq!(h.to_f32(), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 → rounds to even
+        // (1 + 2^-9).
+        let h = F16::from_f32(1.0 + 3.0 * 2.0f32.powi(-11));
+        assert_eq!(h.to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn arithmetic_rounds_each_step() {
+        // 2048 + 1 is not representable in fp16 (spacing is 2 at that scale).
+        let a = F16::from_f32(2048.0);
+        let b = F16::ONE;
+        assert_eq!((a + b).to_f32(), 2048.0);
+        // But 2048 + 2 is.
+        let two = F16::from_f32(2.0);
+        assert_eq!((a + two).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn neg_flips_sign_bit_only() {
+        let h = F16::from_f32(1.5);
+        assert_eq!((-h).to_f32(), -1.5);
+        assert_eq!((-(-h)).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let nan = F16::from_f32(f32::NAN);
+        assert!(!nan.is_finite());
+        assert!(nan.to_f32().is_nan());
+    }
+
+    #[test]
+    fn float_trait_impl_consistent() {
+        let x = <F16 as Float>::from_f64(0.25);
+        assert_eq!(x.to_f64(), 0.25);
+        assert_eq!(Float::sqrt(F16::from_f32(4.0)).to_f32(), 2.0);
+        assert_eq!(Float::abs(F16::from_f32(-3.0)).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn exhaustive_f32_roundtrip_of_all_finite_halves() {
+        // Every finite half value must survive f16 -> f32 -> f16 unchanged.
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if !h.is_finite() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x} failed roundtrip");
+        }
+    }
+}

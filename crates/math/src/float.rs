@@ -1,0 +1,169 @@
+//! Minimal floating-point abstraction.
+//!
+//! The decoder stack is generic over the scalar type so the same code runs
+//! in `f64` (test oracle), `f32` (the FPGA design's native precision), and
+//! software [`F16`](crate::f16::F16) (the paper's future-work
+//! half-precision study). Only the operations the decoders actually need
+//! are abstracted.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar floating-point type usable by every kernel in this workspace.
+///
+/// Implemented for `f32`, `f64`, and the software half-precision type
+/// [`F16`](crate::f16::F16).
+pub trait Float:
+    Copy
+    + Clone
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (rounds to nearest representable value).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused (or emulated) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` when neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Machine epsilon of the representation.
+    fn epsilon() -> Self;
+    /// Positive infinity.
+    fn infinity() -> Self;
+    /// The larger of `self` and `other` (NaN-propagating like `f64::max`).
+    #[allow(unstable_name_collisions)]
+    fn maximum(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The smaller of `self` and `other`.
+    fn minimum(self, other: Self) -> Self {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Lossy conversion from `usize` (exact for small integers).
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+}
+
+macro_rules! impl_float_native {
+    ($t:ty) => {
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn infinity() -> Self {
+                <$t>::INFINITY
+            }
+        }
+    };
+}
+
+impl_float_native!(f32);
+impl_float_native!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<F: Float>(x: f64) -> f64 {
+        F::from_f64(x).to_f64()
+    }
+
+    #[test]
+    fn f32_roundtrip_exact_for_small_ints() {
+        for i in -1000..1000 {
+            assert_eq!(roundtrip::<f32>(i as f64), i as f64);
+        }
+    }
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ONE * f64::ONE, 1.0f64);
+        assert!(f32::infinity() > 1e30f32);
+        assert!(f64::epsilon() < 1e-10);
+    }
+
+    #[test]
+    fn max_min_behave() {
+        assert_eq!(Float::maximum(2.0f64, 3.0), 3.0);
+        assert_eq!(Float::minimum(2.0f64, 3.0), 2.0);
+        assert_eq!(Float::maximum(-1.0f32, -2.0), -1.0);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let x = 1.5f64;
+        assert!((x.mul_add(2.0, 0.25) - (1.5 * 2.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_usize_exact() {
+        assert_eq!(f32::from_usize(42).to_f64(), 42.0);
+        assert_eq!(f64::from_usize(1_000_000).to_f64(), 1_000_000.0);
+    }
+}

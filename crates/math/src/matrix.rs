@@ -1,0 +1,398 @@
+//! Dense row-major complex matrices.
+//!
+//! The layout is deliberately simple (one contiguous `Vec`, row-major) so
+//! the GEMM kernels in [`mod@crate::gemm`] control cache behaviour explicitly,
+//! mirroring how the FPGA design streams tree-state blocks through BRAM.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` complex matrix in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex<F>>,
+}
+
+impl<F: Float> Matrix<F> {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::zero(); rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::one();
+        }
+        m
+    }
+
+    /// Build each entry from a closure `(row, col) -> value`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<F>) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex<F>>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from rows of `f64` pairs — convenient in tests.
+    pub fn from_rows_f64(rows: &[Vec<(f64, f64)>]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix::from_fn(r, c, |i, j| Complex::from_f64(rows[i][j].0, rows[i][j].1))
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` for a 0×0, 0×n or n×0 matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major storage.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[Complex<F>] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex<F>] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[Complex<F>] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Complex<F>] {
+        debug_assert!(r < self.rows);
+        let cols = self.cols;
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Copy column `c` into a vector.
+    pub fn col(&self, c: usize) -> Vec<Complex<F>> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Conjugate (Hermitian) transpose `A^H`.
+    pub fn hermitian(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Plain transpose `A^T` (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, mut f: impl FnMut(Complex<F>) -> Complex<F>) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Lossy element-wise precision cast (used by the FP16 ablation).
+    pub fn cast<G: Float>(&self) -> Matrix<G> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x.cast()).collect(),
+        }
+    }
+
+    /// Extract the sub-matrix `rows r0..r1`, `cols c0..c1` (half-open).
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        Matrix::from_fn(r1 - r0, c1 - c0, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    /// If `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex<F>]) -> Vec<Complex<F>> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![Complex::zero(); self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = Complex::zero();
+            for (a, b) in row.iter().zip(x.iter()) {
+                Complex::mul_acc(&mut acc, *a, *b);
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// Naive matrix product (reference implementation; the tuned kernels
+    /// live in [`mod@crate::gemm`]).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        crate::gemm::gemm(self, rhs, crate::gemm::GemmAlgo::Naive)
+    }
+
+    /// Sum of two matrices.
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.shape(), rhs.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Difference of two matrices.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert_eq!(self.shape(), rhs.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Multiply every entry by a real scalar.
+    pub fn scale(&self, s: F) -> Self {
+        self.map(|x| x.scale(s))
+    }
+
+    /// Squared Frobenius norm `Σ|a_ij|²`.
+    pub fn frobenius_norm_sqr(&self) -> F {
+        let mut acc = F::ZERO;
+        for x in &self.data {
+            acc += x.norm_sqr();
+        }
+        acc
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> F {
+        self.frobenius_norm_sqr().sqrt()
+    }
+
+    /// Largest absolute entry-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Self) -> F {
+        assert_eq!(self.shape(), other.shape());
+        let mut m = F::ZERO;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            m = m.maximum((*a - *b).abs());
+        }
+        m
+    }
+
+    /// `true` when every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: F) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl<F: Float> Index<(usize, usize)> for Matrix<F> {
+    type Output = Complex<F>;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex<F> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<F: Float> IndexMut<(usize, usize)> for Matrix<F> {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex<F> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<F: Float> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type M = Matrix<f64>;
+    type C = Complex<f64>;
+
+    fn sample() -> M {
+        M::from_rows_f64(&[
+            vec![(1.0, 0.0), (2.0, 1.0)],
+            vec![(0.0, -1.0), (3.0, 0.0)],
+            vec![(4.0, 4.0), (-1.0, 0.5)],
+        ])
+    }
+
+    #[test]
+    fn shape_and_index() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(0, 1)], C::new(2.0, 1.0));
+        assert_eq!(m[(2, 0)], C::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn identity_is_neutral_for_mul() {
+        let m = sample();
+        let i2 = M::identity(2);
+        let i3 = M::identity(3);
+        assert!(m.mul(&i2).approx_eq(&m, 0.0));
+        assert!(i3.mul(&m).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn hermitian_transpose_conjugates() {
+        let m = sample();
+        let h = m.hermitian();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(1, 0)], C::new(2.0, -1.0));
+        // (A^H)^H = A
+        assert!(h.hermitian().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn transpose_does_not_conjugate() {
+        let m = sample();
+        assert_eq!(m.transpose()[(1, 0)], C::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul_with_column() {
+        let m = sample();
+        let x = vec![C::new(1.0, 1.0), C::new(-2.0, 0.5)];
+        let y = m.mul_vec(&x);
+        let xm = M::from_vec(2, 1, x.clone());
+        let ym = m.mul(&xm);
+        for r in 0..3 {
+            assert!((y[r] - ym[(r, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_extracts_submatrix() {
+        let m = sample();
+        let b = m.block(1, 3, 0, 1);
+        assert_eq!(b.shape(), (2, 1));
+        assert_eq!(b[(0, 0)], C::new(0.0, -1.0));
+        assert_eq!(b[(1, 0)], C::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let i = M::identity(4);
+        assert!((i.frobenius_norm_sqr() - 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let m = sample();
+        let two_m = m.add(&m);
+        assert!(two_m.approx_eq(&m.scale(2.0), 1e-14));
+        assert!(two_m.sub(&m).approx_eq(&m, 1e-14));
+    }
+
+    #[test]
+    fn col_copies_column() {
+        let m = sample();
+        let c1 = m.col(1);
+        assert_eq!(c1, vec![C::new(2.0, 1.0), C::new(3.0, 0.0), C::new(-1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_panics_on_mismatch() {
+        sample().mul_vec(&[C::zero(); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_panics_on_bad_len() {
+        M::from_vec(2, 2, vec![C::zero(); 3]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let m = sample();
+        let mut p = m.clone();
+        p[(1, 1)] += C::new(0.5, 0.0);
+        assert!((m.max_abs_diff(&p) - 0.5).abs() < 1e-15);
+        assert!(!m.approx_eq(&p, 0.4));
+        assert!(m.approx_eq(&p, 0.6));
+    }
+}

@@ -1,0 +1,348 @@
+//! Complex QR decomposition.
+//!
+//! Eq. (4) of the paper rewrites the ML metric `‖y − Hs‖²` as
+//! `‖ȳ − Rs‖²` with `H = QR` and `ȳ = Q^H y`, which makes the metric
+//! separable level-by-level (Eq. (5)/(6)) — the property the search tree is
+//! built on. This module implements Householder QR (numerically robust
+//! default) plus a modified Gram–Schmidt variant used as a cross-check in
+//! tests.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use crate::matrix::Matrix;
+use crate::vector::CVector;
+
+/// Full QR decomposition `A = Q R` of an `n × m` matrix (`n ≥ m`):
+/// `Q` is `n × n` unitary, `R` is `n × m` upper triangular.
+#[derive(Clone, Debug)]
+pub struct QrDecomposition<F: Float> {
+    /// Unitary factor.
+    pub q: Matrix<F>,
+    /// Upper-triangular factor (same shape as the input).
+    pub r: Matrix<F>,
+}
+
+/// Householder reflectors of one decomposition, stored compactly so they
+/// can be applied to vectors without materializing `Q`.
+struct Reflectors<F> {
+    /// Householder vectors; `v[k]` has length `n - k`.
+    vs: Vec<CVector<F>>,
+    /// Real scaling factors `tau_k = 2 / (v^H v)`.
+    taus: Vec<F>,
+    n: usize,
+}
+
+impl<F: Float> Reflectors<F> {
+    /// Apply `H_k … H_0` (i.e. `Q^H`) to `x` in place.
+    fn apply_qh(&self, x: &mut [Complex<F>]) {
+        assert_eq!(x.len(), self.n);
+        for (k, (v, &tau)) in self.vs.iter().zip(self.taus.iter()).enumerate() {
+            if tau == F::ZERO {
+                continue;
+            }
+            // w = v^H x[k..]
+            let mut w = Complex::zero();
+            for (vi, xi) in v.iter().zip(x[k..].iter()) {
+                Complex::mul_acc(&mut w, vi.conj(), *xi);
+            }
+            let w = w.scale(tau);
+            // x[k..] -= w * v
+            for (vi, xi) in v.iter().zip(x[k..].iter_mut()) {
+                *xi -= w * *vi;
+            }
+        }
+    }
+
+    /// Apply `H_0 … H_k` (i.e. `Q`) to `x` in place.
+    fn apply_q(&self, x: &mut [Complex<F>]) {
+        assert_eq!(x.len(), self.n);
+        for (k, (v, &tau)) in self.vs.iter().zip(self.taus.iter()).enumerate().rev() {
+            if tau == F::ZERO {
+                continue;
+            }
+            let mut w = Complex::zero();
+            for (vi, xi) in v.iter().zip(x[k..].iter()) {
+                Complex::mul_acc(&mut w, vi.conj(), *xi);
+            }
+            let w = w.scale(tau);
+            for (vi, xi) in v.iter().zip(x[k..].iter_mut()) {
+                *xi -= w * *vi;
+            }
+        }
+    }
+}
+
+/// Factorize in place, returning the reflectors and leaving `R` in `a`.
+fn householder<F: Float>(a: &mut Matrix<F>) -> Reflectors<F> {
+    let (n, m) = a.shape();
+    assert!(n >= m, "QR requires rows >= cols (got {n}x{m})");
+    let steps = m.min(n.saturating_sub(1));
+    let mut vs = Vec::with_capacity(steps);
+    let mut taus = Vec::with_capacity(steps);
+
+    for k in 0..steps {
+        // Column tail x = A[k.., k].
+        let mut x: CVector<F> = (k..n).map(|r| a[(r, k)]).collect();
+        let norm_x = crate::vector::norm(&x);
+        if norm_x <= F::epsilon() {
+            vs.push(x);
+            taus.push(F::ZERO);
+            continue;
+        }
+        let alpha = x[0];
+        let alpha_abs = alpha.abs();
+        // beta = -(alpha/|alpha|)·‖x‖, or -‖x‖ when alpha == 0.
+        let beta = if alpha_abs > F::ZERO {
+            alpha.scale(-norm_x / alpha_abs)
+        } else {
+            Complex::from_real(-norm_x)
+        };
+        // v = x - beta·e1; v^H v = 2(‖x‖² + |x₀|·‖x‖) so tau = 2/(v^H v).
+        x[0] = alpha - beta;
+        let vhv = norm_x * norm_x + alpha_abs * norm_x;
+        let tau = if vhv > F::ZERO {
+            F::ONE / vhv
+        } else {
+            F::ZERO
+        };
+
+        // Apply the reflector to the trailing columns k..m of A.
+        for c in k..m {
+            let mut w = Complex::zero();
+            for (i, vi) in x.iter().enumerate() {
+                Complex::mul_acc(&mut w, vi.conj(), a[(k + i, c)]);
+            }
+            let w = w.scale(tau);
+            for (i, vi) in x.iter().enumerate() {
+                let delta = w * *vi;
+                a[(k + i, c)] -= delta;
+            }
+        }
+        // Column k is now beta·e1 exactly (clean up rounding below the
+        // diagonal).
+        a[(k, k)] = beta;
+        for r in k + 1..n {
+            a[(r, k)] = Complex::zero();
+        }
+        vs.push(x);
+        taus.push(tau);
+    }
+    Reflectors { vs, taus, n }
+}
+
+/// Full Householder QR: `a = Q R`.
+pub fn qr<F: Float>(a: &Matrix<F>) -> QrDecomposition<F> {
+    let mut r = a.clone();
+    let refl = householder(&mut r);
+    let n = a.rows();
+    // Q = H_0 … H_{m-1}: apply Q to each identity column.
+    let mut q = Matrix::zeros(n, n);
+    for c in 0..n {
+        let mut e = vec![Complex::zero(); n];
+        e[c] = Complex::one();
+        refl.apply_q(&mut e);
+        for (r_i, val) in e.into_iter().enumerate() {
+            q[(r_i, c)] = val;
+        }
+    }
+    QrDecomposition { q, r }
+}
+
+/// Decoder-oriented QR: factorizes `h` and simultaneously computes
+/// `ȳ = Q^H y`, returning the thin `m × m` upper-triangular `R` and the
+/// first `m` entries of `ȳ` (the only parts the tree search uses), plus the
+/// residual energy `‖ȳ[m..]‖²` that is constant over all hypotheses.
+pub fn qr_with_qty<F: Float>(
+    h: &Matrix<F>,
+    y: &[Complex<F>],
+) -> (Matrix<F>, CVector<F>, F) {
+    let (n, m) = h.shape();
+    assert_eq!(y.len(), n, "y length must equal rows of H");
+    let mut r_full = h.clone();
+    let refl = householder(&mut r_full);
+    let mut ybar = y.to_vec();
+    refl.apply_qh(&mut ybar);
+    let r_thin = r_full.block(0, m, 0, m);
+    let tail_energy = crate::vector::norm_sqr(&ybar[m..]);
+    ybar.truncate(m);
+    (r_thin, ybar, tail_energy)
+}
+
+/// Thin QR via modified Gram–Schmidt: returns (`Q` `n×m` with orthonormal
+/// columns, `R` `m×m` upper triangular). Less robust than Householder for
+/// ill-conditioned inputs; kept as an independent oracle for tests.
+pub fn qr_mgs<F: Float>(a: &Matrix<F>) -> (Matrix<F>, Matrix<F>) {
+    let (n, m) = a.shape();
+    assert!(n >= m, "QR requires rows >= cols");
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(m, m);
+    for j in 0..m {
+        let qj: CVector<F> = q.col(j);
+        let njj = crate::vector::norm(&qj);
+        r[(j, j)] = Complex::from_real(njj);
+        if njj > F::ZERO {
+            for i in 0..n {
+                q[(i, j)] = q[(i, j)].scale(F::ONE / njj);
+            }
+        }
+        let qj: CVector<F> = q.col(j);
+        for k in j + 1..m {
+            let qk: CVector<F> = q.col(k);
+            let proj = crate::vector::dotc(&qj, &qk);
+            r[(j, k)] = proj;
+            for i in 0..n {
+                let delta = proj * qj[i];
+                q[(i, k)] -= delta;
+            }
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, GemmAlgo};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type M = Matrix<f64>;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> M {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    fn assert_upper_triangular(r: &M, tol: f64) {
+        for i in 0..r.rows() {
+            for j in 0..r.cols().min(i) {
+                assert!(
+                    r[(i, j)].abs() <= tol,
+                    "R[{i},{j}] = {:?} not ~0",
+                    r[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for &(n, m, seed) in &[(4, 4, 1), (8, 4, 2), (10, 10, 3), (20, 20, 4), (3, 1, 5)] {
+            let a = random_matrix(n, m, seed);
+            let QrDecomposition { q, r } = qr(&a);
+            let qr_prod = gemm(&q, &r, GemmAlgo::Naive);
+            assert!(
+                qr_prod.approx_eq(&a, 1e-10),
+                "QR != A for {n}x{m} (diff {})",
+                qr_prod.max_abs_diff(&a)
+            );
+            assert_upper_triangular(&r, 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        for &(n, m, seed) in &[(6, 3, 10), (12, 12, 11), (16, 8, 12)] {
+            let a = random_matrix(n, m, seed);
+            let QrDecomposition { q, .. } = qr(&a);
+            let qhq = gemm(&q.hermitian(), &q, GemmAlgo::Naive);
+            assert!(
+                qhq.approx_eq(&M::identity(n), 1e-10),
+                "Q^H Q != I for {n}x{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn qr_with_qty_preserves_metric() {
+        // ‖y - Hs‖² must equal ‖ȳ - Rs‖² + tail for any s (Eq. 4).
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 8;
+        let m = 5;
+        let h = random_matrix(n, m, 77);
+        let y: Vec<_> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let (r, ybar, tail) = qr_with_qty(&h, &y);
+        assert_eq!(r.shape(), (m, m));
+        assert_eq!(ybar.len(), m);
+        for trial in 0..20 {
+            let s: Vec<_> = (0..m)
+                .map(|i| {
+                    Complex::new(
+                        ((trial + i) % 3) as f64 - 1.0,
+                        ((trial * 7 + i) % 3) as f64 - 1.0,
+                    )
+                })
+                .collect();
+            let hs = h.mul_vec(&s);
+            let direct = crate::vector::dist_sqr(&y, &hs);
+            let rs = r.mul_vec(&s);
+            let reduced = crate::vector::dist_sqr(&ybar, &rs) + tail;
+            assert!(
+                (direct - reduced).abs() < 1e-9,
+                "metric mismatch: {direct} vs {reduced}"
+            );
+        }
+    }
+
+    #[test]
+    fn mgs_matches_householder_r_up_to_phase() {
+        // Both produce valid QRs; R diagonals may differ by a unit phase.
+        // Compare |R| entry-wise.
+        let a = random_matrix(10, 6, 99);
+        let QrDecomposition { r: r_hh, .. } = qr(&a);
+        let (_, r_mgs) = qr_mgs(&a);
+        for i in 0..6 {
+            for j in i..6 {
+                assert!(
+                    (r_hh[(i, j)].abs() - r_mgs[(i, j)].abs()).abs() < 1e-9,
+                    "|R| mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mgs_q_orthonormal() {
+        let a = random_matrix(9, 5, 123);
+        let (q, r) = qr_mgs(&a);
+        let qhq = gemm(&q.hermitian(), &q, GemmAlgo::Naive);
+        assert!(qhq.approx_eq(&M::identity(5), 1e-10));
+        let qr_prod = gemm(&q, &r, GemmAlgo::Naive);
+        assert!(qr_prod.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn rank_deficient_column_handled() {
+        // Second column is a multiple of the first: MGS would produce a zero
+        // pivot; Householder must not produce NaNs.
+        let mut a = random_matrix(6, 3, 5);
+        for i in 0..6 {
+            a[(i, 1)] = a[(i, 0)].scale(2.0);
+        }
+        let QrDecomposition { q, r } = qr(&a);
+        assert!(q.is_finite() && r.is_finite());
+        let qr_prod = gemm(&q, &r, GemmAlgo::Naive);
+        assert!(qr_prod.approx_eq(&a, 1e-9));
+        // R[1,1] must be (numerically) zero.
+        assert!(r[(1, 1)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn f32_qr_is_accurate_enough() {
+        let a64 = random_matrix(10, 10, 321);
+        let a32: Matrix<f32> = a64.cast();
+        let QrDecomposition { q, r } = qr(&a32);
+        let qr_prod = gemm(&q, &r, GemmAlgo::Naive);
+        assert!(qr_prod.approx_eq(&a32, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_rejected() {
+        qr(&M::zeros(2, 5));
+    }
+}

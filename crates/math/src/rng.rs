@@ -1,0 +1,149 @@
+//! Complex Gaussian sampling.
+//!
+//! Rayleigh-fading channel entries are `CN(0, 1)` and AWGN is `CN(0, σ²)`;
+//! both are sampled with a Box–Muller transform so that only the offline
+//! `rand` crate's uniform generator is required.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Sampler for circularly-symmetric complex Gaussians `CN(0, σ²)`.
+///
+/// Real and imaginary parts are independent `N(0, σ²/2)`, so that
+/// `E[|x|²] = σ²`.
+#[derive(Clone, Copy, Debug)]
+pub struct ComplexNormal {
+    /// Standard deviation of each real component (`σ/√2`).
+    component_std: f64,
+}
+
+impl ComplexNormal {
+    /// Sampler with total variance `variance` (i.e. `E[|x|²] = variance`).
+    pub fn with_variance(variance: f64) -> Self {
+        assert!(
+            variance >= 0.0 && variance.is_finite(),
+            "variance must be finite and non-negative"
+        );
+        ComplexNormal {
+            component_std: (variance / 2.0).sqrt(),
+        }
+    }
+
+    /// The standard `CN(0, 1)` sampler used for channel coefficients.
+    pub fn standard() -> Self {
+        Self::with_variance(1.0)
+    }
+
+    /// Draw one sample.
+    pub fn sample<F: Float, R: Rng + ?Sized>(&self, rng: &mut R) -> Complex<F> {
+        let (g0, g1) = box_muller(rng);
+        Complex::new(
+            F::from_f64(g0 * self.component_std),
+            F::from_f64(g1 * self.component_std),
+        )
+    }
+
+    /// Fill a vector with i.i.d. samples.
+    pub fn sample_vec<F: Float, R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Complex<F>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fill a matrix with i.i.d. samples (e.g. the Rayleigh channel `H`).
+    pub fn sample_matrix<F: Float, R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> Matrix<F> {
+        Matrix::from_fn(rows, cols, |_, _| self.sample(rng))
+    }
+}
+
+/// One Box–Muller draw: two independent `N(0,1)` samples.
+#[inline]
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let radius = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (radius * theta.cos(), radius * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_converge() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let sampler = ComplexNormal::with_variance(2.0);
+        let n = 200_000;
+        let samples: Vec<Complex<f64>> = sampler.sample_vec(n, &mut rng);
+        let mean: Complex<f64> = samples.iter().copied().sum::<Complex<f64>>().scale(1.0 / n as f64);
+        let var: f64 = samples.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean:?} too far from 0");
+        assert!((var - 2.0).abs() < 0.05, "variance {var} too far from 2");
+    }
+
+    #[test]
+    fn components_are_balanced_and_uncorrelated() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let sampler = ComplexNormal::standard();
+        let n = 200_000;
+        let samples: Vec<Complex<f64>> = sampler.sample_vec(n, &mut rng);
+        let var_re: f64 = samples.iter().map(|x| x.re * x.re).sum::<f64>() / n as f64;
+        let var_im: f64 = samples.iter().map(|x| x.im * x.im).sum::<f64>() / n as f64;
+        let cov: f64 = samples.iter().map(|x| x.re * x.im).sum::<f64>() / n as f64;
+        assert!((var_re - 0.5).abs() < 0.02);
+        assert!((var_im - 0.5).abs() < 0.02);
+        assert!(cov.abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<Complex<f64>> =
+            ComplexNormal::standard().sample_vec(16, &mut StdRng::seed_from_u64(7));
+        let b: Vec<Complex<f64>> =
+            ComplexNormal::standard().sample_vec(16, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_variance_yields_zeros() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = ComplexNormal::with_variance(0.0);
+        let x: Complex<f64> = s.sample(&mut rng);
+        assert_eq!(x, Complex::zero());
+    }
+
+    #[test]
+    fn sample_matrix_shape_and_statistics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m: Matrix<f64> = ComplexNormal::standard().sample_matrix(64, 64, &mut rng);
+        assert_eq!(m.shape(), (64, 64));
+        // Average |h|² should be ~1 over 4096 entries.
+        let avg = m.frobenius_norm_sqr() / 4096.0;
+        assert!((avg - 1.0).abs() < 0.1, "avg power {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be finite")]
+    fn negative_variance_rejected() {
+        ComplexNormal::with_variance(-1.0);
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let s = ComplexNormal::standard();
+        for _ in 0..10_000 {
+            let x: Complex<f32> = s.sample(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Triangular solves and least-squares helpers.
+//!
+//! The sphere decoder's Babai / successive-interference-cancellation seeds
+//! and the ZF baseline both reduce to triangular solves against the QR
+//! factors.
+
+use crate::complex::Complex;
+use crate::float::Float;
+use crate::matrix::Matrix;
+use crate::qr::qr_with_qty;
+use crate::vector::CVector;
+
+/// Solve `L z = b` for lower-triangular `L` (forward substitution).
+///
+/// # Panics
+/// If shapes mismatch or a diagonal entry is exactly zero.
+pub fn forward_substitute<F: Float>(l: &Matrix<F>, b: &[Complex<F>]) -> CVector<F> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "forward_substitute: L must be square");
+    assert_eq!(b.len(), n, "forward_substitute: rhs length mismatch");
+    let mut z = vec![Complex::zero(); n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for j in 0..i {
+            let delta = l[(i, j)] * z[j];
+            acc -= delta;
+        }
+        let d = l[(i, i)];
+        assert!(d.norm_sqr() > F::ZERO, "forward_substitute: zero pivot {i}");
+        z[i] = acc / d;
+    }
+    z
+}
+
+/// Solve `U x = b` for upper-triangular `U` (back substitution).
+pub fn back_substitute<F: Float>(u: &Matrix<F>, b: &[Complex<F>]) -> CVector<F> {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "back_substitute: U must be square");
+    assert_eq!(b.len(), n, "back_substitute: rhs length mismatch");
+    let mut x = vec![Complex::zero(); n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in i + 1..n {
+            let delta = u[(i, j)] * x[j];
+            acc -= delta;
+        }
+        let d = u[(i, i)];
+        assert!(d.norm_sqr() > F::ZERO, "back_substitute: zero pivot {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solve `L^H x = z` given the *lower* factor `L`, without materializing
+/// `L^H` (used by the Cholesky solve).
+pub fn back_substitute_hermitian_of_lower<F: Float>(
+    l: &Matrix<F>,
+    z: &[Complex<F>],
+) -> CVector<F> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(z.len(), n);
+    let mut x = vec![Complex::zero(); n];
+    for i in (0..n).rev() {
+        let mut acc = z[i];
+        for j in i + 1..n {
+            // (L^H)[i,j] = conj(L[j,i])
+            let delta = l[(j, i)].conj() * x[j];
+            acc -= delta;
+        }
+        let d = l[(i, i)].conj();
+        assert!(d.norm_sqr() > F::ZERO, "hermitian back-sub: zero pivot {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solve `U^H z = b` given the *upper* factor `U`, without materializing
+/// `U^H` (used by the inverse-power condition estimator: `A^H A = R^H R`).
+pub fn forward_substitute_hermitian_of_upper<F: Float>(
+    u: &Matrix<F>,
+    b: &[Complex<F>],
+) -> CVector<F> {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "hermitian forward-sub: U must be square");
+    assert_eq!(b.len(), n, "hermitian forward-sub: rhs length mismatch");
+    let mut z = vec![Complex::zero(); n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for j in 0..i {
+            // (U^H)[i,j] = conj(U[j,i])
+            let delta = u[(j, i)].conj() * z[j];
+            acc -= delta;
+        }
+        let d = u[(i, i)].conj();
+        assert!(d.norm_sqr() > F::ZERO, "hermitian forward-sub: zero pivot {i}");
+        z[i] = acc / d;
+    }
+    z
+}
+
+/// Unconstrained least-squares solution `argmin_x ‖y − A x‖²` via QR
+/// (`A` is `n × m`, `n ≥ m`, full column rank). This is the Zero-Forcing
+/// estimate before slicing to the constellation.
+pub fn least_squares<F: Float>(a: &Matrix<F>, y: &[Complex<F>]) -> CVector<F> {
+    let (r, ybar, _tail) = qr_with_qty(a, y);
+    back_substitute(&r, &ybar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type M = Matrix<f64>;
+    type C = Complex<f64>;
+
+    fn random_vec(n: usize, rng: &mut StdRng) -> CVector<f64> {
+        (0..n)
+            .map(|_| C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn random_lower(n: usize, rng: &mut StdRng) -> M {
+        Matrix::from_fn(n, n, |i, j| {
+            if j < i {
+                C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            } else if j == i {
+                C::new(rng.gen_range(1.0..2.0), 0.0) // well-conditioned pivot
+            } else {
+                C::zero()
+            }
+        })
+    }
+
+    #[test]
+    fn forward_substitution_inverts_lower_product() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let l = random_lower(7, &mut rng);
+        let x = random_vec(7, &mut rng);
+        let b = l.mul_vec(&x);
+        let z = forward_substitute(&l, &b);
+        for (a, b) in z.iter().zip(x.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn back_substitution_inverts_upper_product() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let u = random_lower(6, &mut rng).hermitian(); // upper with real diag
+        let x = random_vec(6, &mut rng);
+        let b = u.mul_vec(&x);
+        let z = back_substitute(&u, &b);
+        for (a, b) in z.iter().zip(x.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hermitian_of_lower_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let l = random_lower(5, &mut rng);
+        let z = random_vec(5, &mut rng);
+        let x1 = back_substitute_hermitian_of_lower(&l, &z);
+        let x2 = back_substitute(&l.hermitian(), &z);
+        for (a, b) in x1.iter().zip(x2.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Consistent overdetermined system: y = A x exactly.
+        let mut rng = StdRng::seed_from_u64(34);
+        let a = Matrix::from_fn(9, 4, |_, _| {
+            C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let x = random_vec(4, &mut rng);
+        let y = a.mul_vec(&x);
+        let x_hat = least_squares(&a, &y);
+        for (h, t) in x_hat.iter().zip(x.iter()) {
+            assert!((*h - *t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        // Normal-equation optimality: A^H (y - A x̂) = 0.
+        let mut rng = StdRng::seed_from_u64(35);
+        let a = Matrix::from_fn(8, 3, |_, _| {
+            C::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let y = random_vec(8, &mut rng);
+        let x_hat = least_squares(&a, &y);
+        let ax = a.mul_vec(&x_hat);
+        let resid: CVector<f64> = crate::vector::sub(&y, &ax);
+        let grad = a.hermitian().mul_vec(&resid);
+        for g in grad {
+            assert!(g.abs() < 1e-9, "gradient entry {g:?} not ~0");
+        }
+    }
+
+    #[test]
+    fn hermitian_of_upper_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let u = random_lower(5, &mut rng).hermitian(); // upper triangular
+        let b = random_vec(5, &mut rng);
+        let z1 = forward_substitute_hermitian_of_upper(&u, &b);
+        let z2 = forward_substitute(&u.hermitian(), &b);
+        for (a, c) in z1.iter().zip(z2.iter()) {
+            assert!((*a - *c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn singular_back_substitution_panics() {
+        let mut u = M::identity(3);
+        u[(1, 1)] = C::zero();
+        back_substitute(&u, &[C::one(), C::one(), C::one()]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Complex vector helpers.
+//!
+//! Received signals `y`, transmitted symbol vectors `s`, and noise `n` are
+//! plain `Vec<Complex<F>>`; this module provides the handful of BLAS-1
+//! operations the decoders need on them.
+
+use crate::complex::Complex;
+use crate::float::Float;
+
+/// Alias for a complex column vector.
+pub type CVector<F> = Vec<Complex<F>>;
+
+/// Inner product `x^H y` (conjugates the first argument, as in BLAS `dotc`).
+///
+/// # Panics
+/// If the lengths differ.
+pub fn dotc<F: Float>(x: &[Complex<F>], y: &[Complex<F>]) -> Complex<F> {
+    assert_eq!(x.len(), y.len(), "dotc: length mismatch");
+    let mut acc = Complex::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        Complex::mul_acc(&mut acc, a.conj(), *b);
+    }
+    acc
+}
+
+/// Unconjugated dot product `x^T y`.
+pub fn dotu<F: Float>(x: &[Complex<F>], y: &[Complex<F>]) -> Complex<F> {
+    assert_eq!(x.len(), y.len(), "dotu: length mismatch");
+    let mut acc = Complex::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        Complex::mul_acc(&mut acc, *a, *b);
+    }
+    acc
+}
+
+/// Squared Euclidean norm `‖x‖²` — the sphere-decoder distance metric.
+pub fn norm_sqr<F: Float>(x: &[Complex<F>]) -> F {
+    let mut acc = F::ZERO;
+    for v in x {
+        acc += v.norm_sqr();
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖`.
+pub fn norm<F: Float>(x: &[Complex<F>]) -> F {
+    norm_sqr(x).sqrt()
+}
+
+/// `y ← y + alpha · x` (BLAS `axpy`).
+pub fn axpy<F: Float>(alpha: Complex<F>, x: &[Complex<F>], y: &mut [Complex<F>]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        Complex::mul_acc(yi, alpha, *xi);
+    }
+}
+
+/// Element-wise difference `x - y` as a new vector.
+pub fn sub<F: Float>(x: &[Complex<F>], y: &[Complex<F>]) -> CVector<F> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y.iter()).map(|(&a, &b)| a - b).collect()
+}
+
+/// Squared distance `‖x − y‖²`.
+pub fn dist_sqr<F: Float>(x: &[Complex<F>], y: &[Complex<F>]) -> F {
+    assert_eq!(x.len(), y.len(), "dist_sqr: length mismatch");
+    let mut acc = F::ZERO;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += (*a - *b).norm_sqr();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type C = Complex<f64>;
+
+    fn v(parts: &[(f64, f64)]) -> CVector<f64> {
+        parts.iter().map(|&(r, i)| C::new(r, i)).collect()
+    }
+
+    #[test]
+    fn dotc_conjugates_first_arg() {
+        let x = v(&[(0.0, 1.0)]); // i
+        let y = v(&[(0.0, 1.0)]); // i
+        // conj(i)*i = -i*i = 1
+        assert_eq!(dotc(&x, &y), C::new(1.0, 0.0));
+        // unconjugated: i*i = -1
+        assert_eq!(dotu(&x, &y), C::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn norm_sqr_matches_dotc_with_self() {
+        let x = v(&[(1.0, 2.0), (-3.0, 0.5)]);
+        let d = dotc(&x, &x);
+        assert!((d.re - norm_sqr(&x)).abs() < 1e-14);
+        assert!(d.im.abs() < 1e-14, "self inner product must be real");
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = v(&[(1.0, 0.0), (0.0, 1.0)]);
+        let mut y = v(&[(1.0, 1.0), (2.0, 2.0)]);
+        axpy(C::new(2.0, 0.0), &x, &mut y);
+        assert_eq!(y, v(&[(3.0, 1.0), (2.0, 4.0)]));
+    }
+
+    #[test]
+    fn dist_sqr_is_norm_of_difference() {
+        let x = v(&[(1.0, 2.0), (3.0, -1.0)]);
+        let y = v(&[(0.0, 2.0), (3.0, 1.0)]);
+        assert!((dist_sqr(&x, &y) - norm_sqr(&sub(&x, &y))).abs() < 1e-14);
+        assert!((dist_sqr(&x, &y) - (1.0 + 4.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let x = v(&[(1.0, 0.0), (0.0, 1.0)]);
+        let y = v(&[(0.5, 0.5), (-1.0, 2.0)]);
+        let sum: CVector<f64> = x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect();
+        assert!(norm(&sum) <= norm(&x) + norm(&y) + 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        dotc(&v(&[(1.0, 0.0)]), &v(&[(1.0, 0.0), (2.0, 0.0)]));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use sd_math::{cholesky, gemm, qr, qr_with_qty, Complex, GemmAlgo, Matrix, C64};
+
+/// Strategy: complex value with parts in [-1, 1].
+fn complex_unit() -> impl Strategy<Value = C64> {
+    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+/// Strategy: rows×cols matrix with entries in [-1, 1].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(complex_unit(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: dimension triple for GEMM shape tests.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..20, 1usize..20, 1usize..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_blocked_matches_naive((m, k, n) in dims(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, k, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)));
+        let b = Matrix::from_fn(k, n, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)));
+        let c0 = gemm(&a, &b, GemmAlgo::Naive);
+        let c1 = gemm(&a, &b, GemmAlgo::Blocked);
+        let c2 = gemm(&a, &b, GemmAlgo::Parallel);
+        prop_assert!(c0.approx_eq(&c1, 1e-9));
+        prop_assert!(c0.approx_eq(&c2, 1e-9));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(a in matrix(6, 5), b in matrix(5, 4), c in matrix(5, 4)) {
+        let left = gemm(&a, &b.add(&c), GemmAlgo::Naive);
+        let right = gemm(&a, &b, GemmAlgo::Naive).add(&gemm(&a, &c, GemmAlgo::Naive));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn hermitian_reverses_products(a in matrix(4, 6), b in matrix(6, 3)) {
+        // (AB)^H = B^H A^H
+        let lhs = gemm(&a, &b, GemmAlgo::Naive).hermitian();
+        let rhs = gemm(&b.hermitian(), &a.hermitian(), GemmAlgo::Naive);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn qr_factors_are_valid(a in matrix(8, 5)) {
+        let d = qr(&a);
+        // Q unitary.
+        let qhq = gemm(&d.q.hermitian(), &d.q, GemmAlgo::Naive);
+        prop_assert!(qhq.approx_eq(&Matrix::identity(8), 1e-8));
+        // Reconstruction.
+        let back = gemm(&d.q, &d.r, GemmAlgo::Naive);
+        prop_assert!(back.approx_eq(&a, 1e-8));
+        // Upper triangular.
+        for i in 0..d.r.rows() {
+            for j in 0..d.r.cols().min(i) {
+                prop_assert!(d.r[(i, j)].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_with_qty_metric_identity(
+        h in matrix(7, 4),
+        y in proptest::collection::vec(complex_unit(), 7),
+        s in proptest::collection::vec(complex_unit(), 4),
+    ) {
+        // ‖y − Hs‖² == ‖ȳ − Rs‖² + tail (Eq. 4 of the paper).
+        let (r, ybar, tail) = qr_with_qty(&h, &y);
+        let hs = h.mul_vec(&s);
+        let direct = sd_math::vector::dist_sqr(&y, &hs);
+        let rs = r.mul_vec(&s);
+        let reduced = sd_math::vector::dist_sqr(&ybar, &rs) + tail;
+        prop_assert!((direct - reduced).abs() < 1e-8, "direct={direct} reduced={reduced}");
+    }
+
+    #[test]
+    fn cholesky_of_gram_matrix_reconstructs(b in matrix(6, 6)) {
+        // A = B^H B + I is always HPD.
+        let mut a = gemm(&b.hermitian(), &b, GemmAlgo::Naive);
+        for i in 0..6 {
+            a[(i, i)] += Complex::new(1.0, 0.0);
+        }
+        let l = cholesky(&a).unwrap();
+        let llh = gemm(&l, &l.hermitian(), GemmAlgo::Naive);
+        prop_assert!(llh.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn norm_is_unitarily_invariant(a in matrix(6, 6), x in proptest::collection::vec(complex_unit(), 6)) {
+        // ‖Qx‖ == ‖x‖ for the unitary factor of any QR.
+        let d = qr(&a);
+        let qx = d.q.mul_vec(&x);
+        let n1 = sd_math::vector::norm_sqr(&qx);
+        let n0 = sd_math::vector::norm_sqr(&x);
+        prop_assert!((n1 - n0).abs() < 1e-9 * (1.0 + n0));
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(x in -60000.0f32..60000.0) {
+        use sd_math::F16;
+        let once = F16::from_f32(x);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_error_bounded_by_relative_epsilon(x in -1000.0f32..1000.0) {
+        use sd_math::F16;
+        let h = F16::from_f32(x).to_f32();
+        // Half precision: relative error ≤ 2^-11 for normal range values.
+        let tol = x.abs().max(6.1e-5) * 4.9e-4;
+        prop_assert!((h - x).abs() <= tol, "x={x} h={h}");
+    }
+
+    #[test]
+    fn complex_field_axioms(a in complex_unit(), b in complex_unit(), c in complex_unit()) {
+        // Associativity and commutativity within tolerance.
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-15);
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Bit-error-rate bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Running error counter over a Monte-Carlo run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorCounter {
+    /// Total information bits observed.
+    pub bits: u64,
+    /// Bit errors observed.
+    pub bit_errors: u64,
+    /// Total symbols observed.
+    pub symbols: u64,
+    /// Symbol errors observed.
+    pub symbol_errors: u64,
+    /// Frames (channel uses) observed.
+    pub frames: u64,
+}
+
+impl ErrorCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one frame's outcome.
+    pub fn record(&mut self, bits: u64, bit_errors: u64, symbols: u64, symbol_errors: u64) {
+        assert!(bit_errors <= bits, "more bit errors than bits");
+        assert!(symbol_errors <= symbols, "more symbol errors than symbols");
+        self.bits += bits;
+        self.bit_errors += bit_errors;
+        self.symbols += symbols;
+        self.symbol_errors += symbol_errors;
+        self.frames += 1;
+    }
+
+    /// Merge another counter (used by the parallel harness).
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.bits += other.bits;
+        self.bit_errors += other.bit_errors;
+        self.symbols += other.symbols;
+        self.symbol_errors += other.symbol_errors;
+        self.frames += other.frames;
+    }
+
+    /// Bit error rate (0 when no bits observed).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Symbol error rate.
+    pub fn ser(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.symbol_errors as f64 / self.symbols as f64
+        }
+    }
+
+    /// 95 % Wilson confidence interval on the BER.
+    pub fn ber_confidence_95(&self) -> (f64, f64) {
+        wilson_interval(self.bit_errors, self.bits, 1.96)
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// One (SNR, BER) measurement.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BerPoint {
+    /// Operating SNR in dB.
+    pub snr_db: f64,
+    /// Measured bit error rate.
+    pub ber: f64,
+    /// Measured symbol error rate.
+    pub ser: f64,
+    /// Bits observed at this point.
+    pub bits: u64,
+    /// Lower edge of the 95 % confidence interval.
+    pub ber_lo: f64,
+    /// Upper edge of the 95 % confidence interval.
+    pub ber_hi: f64,
+}
+
+impl BerPoint {
+    /// Summarize a counter at a given SNR.
+    pub fn from_counter(snr_db: f64, c: &ErrorCounter) -> Self {
+        let (lo, hi) = c.ber_confidence_95();
+        BerPoint {
+            snr_db,
+            ber: c.ber(),
+            ser: c.ser(),
+            bits: c.bits,
+            ber_lo: lo,
+            ber_hi: hi,
+        }
+    }
+}
+
+/// A labelled BER-vs-SNR curve (one line of Fig. 7).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BerCurve {
+    /// Curve label (detector name).
+    pub label: String,
+    /// Measurements ordered by SNR.
+    pub points: Vec<BerPoint>,
+}
+
+impl BerCurve {
+    /// Empty curve with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BerCurve {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point, keeping the curve sorted by SNR.
+    pub fn push(&mut self, point: BerPoint) {
+        self.points.push(point);
+        self.points
+            .sort_by(|a, b| a.snr_db.partial_cmp(&b.snr_db).expect("non-NaN SNR"));
+    }
+
+    /// `true` if the BER never increases with SNR (allowing `slack` for
+    /// Monte-Carlo noise) — the basic sanity property of any detector.
+    pub fn is_monotone_nonincreasing(&self, slack: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].ber <= w[0].ber * (1.0 + slack) + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = ErrorCounter::new();
+        c.record(20, 2, 10, 1);
+        c.record(20, 0, 10, 0);
+        assert_eq!(c.bits, 40);
+        assert_eq!(c.bit_errors, 2);
+        assert_eq!(c.frames, 2);
+        assert!((c.ber() - 0.05).abs() < 1e-12);
+        assert!((c.ser() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = ErrorCounter::new();
+        a.record(10, 1, 5, 1);
+        let mut b = ErrorCounter::new();
+        b.record(30, 3, 15, 2);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.bits, 40);
+        assert_eq!(m.bit_errors, 4);
+        assert_eq!(m.frames, 2);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_rates() {
+        let c = ErrorCounter::new();
+        assert_eq!(c.ber(), 0.0);
+        assert_eq!(c.ser(), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(10, 1000, 1.96);
+        assert!(lo < 0.01 && 0.01 < hi);
+        assert!(lo > 0.0 && hi < 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_shrinks_with_samples() {
+        let (lo1, hi1) = wilson_interval(10, 1_000, 1.96);
+        let (lo2, hi2) = wilson_interval(100, 10_000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn curve_stays_sorted() {
+        let mut curve = BerCurve::new("test");
+        let mut c = ErrorCounter::new();
+        c.record(100, 5, 50, 3);
+        curve.push(BerPoint::from_counter(12.0, &c));
+        curve.push(BerPoint::from_counter(4.0, &c));
+        curve.push(BerPoint::from_counter(8.0, &c));
+        let snrs: Vec<f64> = curve.points.iter().map(|p| p.snr_db).collect();
+        assert_eq!(snrs, vec![4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut curve = BerCurve::new("mono");
+        for (snr, errs) in [(4.0, 50u64), (8.0, 20), (12.0, 5)] {
+            let mut c = ErrorCounter::new();
+            c.record(1000, errs, 500, errs / 2);
+            curve.push(BerPoint::from_counter(snr, &c));
+        }
+        assert!(curve.is_monotone_nonincreasing(0.0));
+        let mut bad = curve.clone();
+        let mut c = ErrorCounter::new();
+        c.record(1000, 500, 500, 250);
+        bad.push(BerPoint::from_counter(16.0, &c));
+        assert!(!bad.is_monotone_nonincreasing(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more bit errors")]
+    fn impossible_counts_rejected() {
+        ErrorCounter::new().record(5, 6, 5, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rayleigh-fading MIMO channel.
+
+use rand::Rng;
+use sd_math::{ComplexNormal, Matrix, C64};
+
+/// A small-scale Rayleigh-fading MIMO channel realization: the `N × M`
+/// matrix `H` with i.i.d. `CN(0, 1)` entries of Sec. II-A.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    h: Matrix<f64>,
+}
+
+impl Channel {
+    /// Draw a fresh channel realization for `n_rx` receivers and `n_tx`
+    /// transmitters.
+    pub fn rayleigh<R: Rng + ?Sized>(n_rx: usize, n_tx: usize, rng: &mut R) -> Self {
+        assert!(n_rx >= n_tx, "need at least as many receivers as transmitters");
+        assert!(n_tx > 0, "n_tx must be positive");
+        Channel {
+            h: ComplexNormal::standard().sample_matrix(n_rx, n_tx, rng),
+        }
+    }
+
+    /// Wrap an explicit channel matrix (tests, worked examples).
+    pub fn from_matrix(h: Matrix<f64>) -> Self {
+        assert!(h.rows() >= h.cols(), "need rows >= cols");
+        Channel { h }
+    }
+
+    /// The channel matrix `H`.
+    pub fn matrix(&self) -> &Matrix<f64> {
+        &self.h
+    }
+
+    /// Number of receive antennas `N`.
+    pub fn n_rx(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Number of transmit antennas `M`.
+    pub fn n_tx(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// Noiseless receive vector `H s`.
+    pub fn apply(&self, s: &[C64]) -> Vec<C64> {
+        self.h.mul_vec(s)
+    }
+
+    /// Full channel use: `y = H s + n` with `n ~ CN(0, σ²)` per entry.
+    pub fn transmit<R: Rng + ?Sized>(
+        &self,
+        s: &[C64],
+        noise_variance: f64,
+        rng: &mut R,
+    ) -> Vec<C64> {
+        let mut y = self.apply(s);
+        crate::noise::awgn(&mut y, noise_variance, rng);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_math::Complex;
+
+    #[test]
+    fn dimensions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = Channel::rayleigh(8, 4, &mut rng);
+        assert_eq!(ch.n_rx(), 8);
+        assert_eq!(ch.n_tx(), 4);
+        assert_eq!(ch.matrix().shape(), (8, 4));
+    }
+
+    #[test]
+    fn fading_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = Channel::rayleigh(100, 100, &mut rng);
+        let avg_power = ch.matrix().frobenius_norm_sqr() / 10_000.0;
+        assert!((avg_power - 1.0).abs() < 0.05, "E|h|² = {avg_power} != 1");
+    }
+
+    #[test]
+    fn noiseless_transmission_is_linear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ch = Channel::rayleigh(4, 2, &mut rng);
+        let s1 = vec![Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        let s2 = vec![Complex::new(-1.0, 0.5), Complex::new(2.0, 0.0)];
+        let sum: Vec<C64> = s1.iter().zip(s2.iter()).map(|(&a, &b)| a + b).collect();
+        let y1 = ch.apply(&s1);
+        let y2 = ch.apply(&s2);
+        let ysum = ch.apply(&sum);
+        for i in 0..4 {
+            assert!((ysum[i] - (y1[i] + y2[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_noise_transmit_equals_apply() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ch = Channel::rayleigh(4, 4, &mut rng);
+        let s = vec![Complex::new(1.0, -1.0); 4];
+        let clean = ch.apply(&s);
+        let y = ch.transmit(&s, 0.0, &mut rng);
+        assert_eq!(y, clean);
+    }
+
+    #[test]
+    fn received_power_grows_with_tx_count() {
+        // Average receive power per antenna ≈ M for unit-energy symbols.
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = 16;
+        let trials = 400;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let ch = Channel::rayleigh(m, m, &mut rng);
+            let s: Vec<C64> = (0..m)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Complex::new(1.0, 0.0)
+                    } else {
+                        Complex::new(0.0, -1.0)
+                    }
+                })
+                .collect();
+            let y = ch.apply(&s);
+            acc += sd_math::vector::norm_sqr(&y) / m as f64;
+        }
+        let avg = acc / trials as f64;
+        assert!(
+            (avg - m as f64).abs() < 0.15 * m as f64,
+            "per-antenna power {avg}, expected ~{m}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "receivers")]
+    fn underdetermined_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        Channel::rayleigh(2, 4, &mut rng);
+    }
+}

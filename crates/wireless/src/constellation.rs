@@ -1,0 +1,422 @@
+//! Gray-mapped complex constellations.
+//!
+//! The paper's FPGA designs support 4-QAM and 16-QAM; BPSK appears in the
+//! Fig. 2 walk-through and 64-QAM is included as the "denser constellation"
+//! extension direction. All constellations are normalized to **unit average
+//! symbol energy** so the SNR convention in [`crate::snr`] holds for every
+//! modulation.
+
+use sd_math::{Complex, C64};
+
+/// Modulation scheme — the paper's "modulation factor" `P` is
+/// [`Modulation::order`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Modulation {
+    /// Binary phase-shift keying (1 bit/symbol), used in the paper's tree
+    /// examples.
+    Bpsk,
+    /// 4-QAM / QPSK (2 bits/symbol).
+    Qam4,
+    /// 16-QAM (4 bits/symbol) — the paper's largest supported modulation.
+    Qam16,
+    /// 64-QAM (6 bits/symbol) — extension beyond the paper.
+    Qam64,
+}
+
+impl Modulation {
+    /// Constellation size `|Ω|` (the branching factor of the search tree).
+    pub fn order(self) -> usize {
+        match self {
+            Modulation::Bpsk => 2,
+            Modulation::Qam4 => 4,
+            Modulation::Qam16 => 16,
+            Modulation::Qam64 => 64,
+        }
+    }
+
+    /// Bits carried per symbol (`log2(order)`).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qam4 => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Human-readable name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qam4 => "4-QAM",
+            Modulation::Qam16 => "16-QAM",
+            Modulation::Qam64 => "64-QAM",
+        }
+    }
+
+    /// All supported modulations.
+    pub fn all() -> [Modulation; 4] {
+        [
+            Modulation::Bpsk,
+            Modulation::Qam4,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ]
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete constellation: the ordered point set `Ω` plus the Gray
+/// bit-mapping between point indices and bit patterns.
+///
+/// Point `i` carries the bit pattern [`Constellation::index_to_bits`]`(i)`;
+/// adjacent points (in I or Q) differ in exactly one bit.
+#[derive(Clone, Debug)]
+pub struct Constellation {
+    modulation: Modulation,
+    points: Vec<C64>,
+    /// `bits[i]` = bit pattern (LSB-first in the `u32`) of point `i`.
+    bits: Vec<u32>,
+    /// Inverse map: bit pattern -> point index.
+    index_of_bits: Vec<usize>,
+    /// Per-axis PAM levels after normalization (empty for BPSK).
+    levels: Vec<f64>,
+}
+
+/// Gray code of `n`.
+#[inline]
+fn gray(n: u32) -> u32 {
+    n ^ (n >> 1)
+}
+
+/// Inverse Gray code.
+#[cfg_attr(not(test), allow(dead_code))]
+fn gray_inverse(mut g: u32) -> u32 {
+    let mut n = g;
+    while g > 0 {
+        g >>= 1;
+        n ^= g;
+    }
+    n
+}
+
+impl Constellation {
+    /// Build the canonical Gray-mapped constellation for `modulation`.
+    pub fn new(modulation: Modulation) -> Self {
+        match modulation {
+            Modulation::Bpsk => {
+                // ±1 on the real axis; energy already 1.
+                let points = vec![Complex::new(-1.0, 0.0), Complex::new(1.0, 0.0)];
+                let bits = vec![0u32, 1u32];
+                let index_of_bits = vec![0usize, 1usize];
+                Constellation {
+                    modulation,
+                    points,
+                    bits,
+                    index_of_bits,
+                    levels: vec![-1.0, 1.0],
+                }
+            }
+            _ => Self::square_qam(modulation),
+        }
+    }
+
+    /// Square M-QAM with per-axis Gray coding. Levels are
+    /// `{±1, ±3, …, ±(L−1)}` scaled so the average symbol energy is 1.
+    fn square_qam(modulation: Modulation) -> Self {
+        let order = modulation.order();
+        let l = (order as f64).sqrt() as usize; // levels per axis
+        debug_assert_eq!(l * l, order, "square QAM requires a square order");
+        let axis_bits = modulation.bits_per_symbol() / 2;
+
+        // Average energy of the unnormalized grid: 2(L²−1)/3.
+        let energy = 2.0 * ((l * l - 1) as f64) / 3.0;
+        let scale = 1.0 / energy.sqrt();
+
+        // Axis level k (k = 0..L) sits at (2k − L + 1); Gray code orders the
+        // bit patterns so neighbouring levels differ in one bit.
+        let level_value = |k: usize| (2.0 * k as f64 - (l as f64) + 1.0) * scale;
+        let levels: Vec<f64> = (0..l).map(level_value).collect();
+
+        let mut points = vec![Complex::new(0.0, 0.0); order];
+        let mut bits = vec![0u32; order];
+        let mut index_of_bits = vec![0usize; order];
+        let mut idx = 0usize;
+        for ki in 0..l {
+            for kq in 0..l {
+                let re = level_value(ki);
+                let im = level_value(kq);
+                // Bit pattern: I bits in the high half, Q bits in the low
+                // half; each half is the Gray code of the level index.
+                let pattern = (gray(ki as u32) << axis_bits) | gray(kq as u32);
+                points[idx] = Complex::new(re, im);
+                bits[idx] = pattern;
+                index_of_bits[pattern as usize] = idx;
+                idx += 1;
+            }
+        }
+        Constellation {
+            modulation,
+            points,
+            bits,
+            index_of_bits,
+            levels,
+        }
+    }
+
+    /// The modulation this constellation implements.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Constellation size `|Ω|`.
+    pub fn order(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.modulation.bits_per_symbol()
+    }
+
+    /// The ordered point set (index `i` ↔ bit pattern `index_to_bits(i)`).
+    pub fn points(&self) -> &[C64] {
+        &self.points
+    }
+
+    /// Point for index `i`.
+    pub fn point(&self, i: usize) -> C64 {
+        self.points[i]
+    }
+
+    /// Bit pattern of point `i`, MSB-first as a vector of 0/1.
+    pub fn index_to_bits(&self, i: usize) -> Vec<u8> {
+        let b = self.bits[i];
+        (0..self.bits_per_symbol())
+            .rev()
+            .map(|k| ((b >> k) & 1) as u8)
+            .collect()
+    }
+
+    /// Point index for an MSB-first bit slice of length `bits_per_symbol`.
+    ///
+    /// # Panics
+    /// If the slice length is wrong or a bit is not 0/1.
+    pub fn bits_to_index(&self, bits: &[u8]) -> usize {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong bit-slice length");
+        let mut pattern = 0u32;
+        for &b in bits {
+            assert!(b <= 1, "bits must be 0/1");
+            pattern = (pattern << 1) | b as u32;
+        }
+        self.index_of_bits[pattern as usize]
+    }
+
+    /// Map an MSB-first bit slice directly to a symbol.
+    pub fn map_bits(&self, bits: &[u8]) -> C64 {
+        self.point(self.bits_to_index(bits))
+    }
+
+    /// Hard-decision slicing: index of the nearest constellation point.
+    ///
+    /// For square QAM this is an O(1) per-axis quantization; for BPSK a
+    /// sign test.
+    pub fn slice(&self, x: C64) -> usize {
+        match self.modulation {
+            Modulation::Bpsk => usize::from(x.re >= 0.0),
+            _ => {
+                let ki = self.quantize_axis(x.re);
+                let kq = self.quantize_axis(x.im);
+                let l = self.levels.len();
+                ki * l + kq
+            }
+        }
+    }
+
+    /// Nearest-level index along one axis.
+    fn quantize_axis(&self, v: f64) -> usize {
+        let l = self.levels.len();
+        let step = self.levels[1] - self.levels[0];
+        let k = ((v - self.levels[0]) / step).round();
+        k.clamp(0.0, (l - 1) as f64) as usize
+    }
+
+    /// Exhaustive nearest-point search (oracle for [`Constellation::slice`]).
+    pub fn slice_exhaustive(&self, x: C64) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in self.points.iter().enumerate() {
+            let d = (x - *p).norm_sqr();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Average symbol energy (≈ 1 by construction).
+    pub fn average_energy(&self) -> f64 {
+        self.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / self.order() as f64
+    }
+
+    /// Minimum Euclidean distance between distinct points.
+    pub fn min_distance(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for i in 0..self.order() {
+            for j in i + 1..self.order() {
+                best = best.min((self.points[i] - self.points[j]).abs());
+            }
+        }
+        best
+    }
+
+    /// Hamming distance between the bit labels of two point indices.
+    pub fn bit_distance(&self, i: usize, j: usize) -> u32 {
+        (self.bits[i] ^ self.bits[j]).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_and_bits() {
+        assert_eq!(Modulation::Bpsk.order(), 2);
+        assert_eq!(Modulation::Qam4.order(), 4);
+        assert_eq!(Modulation::Qam16.order(), 16);
+        assert_eq!(Modulation::Qam64.order(), 64);
+        for m in Modulation::all() {
+            assert_eq!(1usize << m.bits_per_symbol(), m.order());
+        }
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            assert!(
+                (c.average_energy() - 1.0).abs() < 1e-12,
+                "{m}: energy {}",
+                c.average_energy()
+            );
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_all_points() {
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            for i in 0..c.order() {
+                let bits = c.index_to_bits(i);
+                assert_eq!(bits.len(), c.bits_per_symbol());
+                assert_eq!(c.bits_to_index(&bits), i, "{m} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit() {
+        // For square QAM, horizontally/vertically adjacent points must have
+        // Hamming-distance-1 labels — the defining Gray property.
+        for m in [Modulation::Qam4, Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::new(m);
+            let l = (m.order() as f64).sqrt() as usize;
+            for ki in 0..l {
+                for kq in 0..l {
+                    let idx = ki * l + kq;
+                    if kq + 1 < l {
+                        assert_eq!(c.bit_distance(idx, ki * l + kq + 1), 1, "{m} Q-neighbour");
+                    }
+                    if ki + 1 < l {
+                        assert_eq!(c.bit_distance(idx, (ki + 1) * l + kq), 1, "{m} I-neighbour");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_own_points_is_identity() {
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            for i in 0..c.order() {
+                assert_eq!(c.slice(c.point(i)), i, "{m} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_slice_matches_exhaustive_on_noisy_points() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(404);
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            for _ in 0..500 {
+                let x = Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+                assert_eq!(c.slice(x), c.slice_exhaustive(x), "{m} point {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_known_values() {
+        // Unit-energy 4-QAM: points (±1±i)/√2, min distance 2/√2 = √2.
+        let c = Constellation::new(Modulation::Qam4);
+        assert!((c.min_distance() - 2.0 / 2f64.sqrt()).abs() < 1e-12);
+        // 16-QAM: grid step 2/√10.
+        let c = Constellation::new(Modulation::Qam16);
+        assert!((c.min_distance() - 2.0 / 10f64.sqrt()).abs() < 1e-12);
+        // BPSK: distance 2.
+        let c = Constellation::new(Modulation::Bpsk);
+        assert!((c.min_distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gray_code_helpers_invert() {
+        for n in 0..64u32 {
+            assert_eq!(gray_inverse(gray(n)), n);
+        }
+        // Consecutive Gray codes differ in exactly one bit.
+        for n in 0..63u32 {
+            assert_eq!((gray(n) ^ gray(n + 1)).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn bpsk_is_real_antipodal() {
+        let c = Constellation::new(Modulation::Bpsk);
+        assert_eq!(c.point(0), Complex::new(-1.0, 0.0));
+        assert_eq!(c.point(1), Complex::new(1.0, 0.0));
+        assert_eq!(c.slice(Complex::new(-0.3, 5.0)), 0);
+        assert_eq!(c.slice(Complex::new(0.3, -5.0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong bit-slice length")]
+    fn wrong_bit_length_panics() {
+        Constellation::new(Modulation::Qam4).bits_to_index(&[1]);
+    }
+
+    #[test]
+    fn all_points_distinct() {
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            for i in 0..c.order() {
+                for j in i + 1..c.order() {
+                    assert!(
+                        (c.point(i) - c.point(j)).abs() > 1e-9,
+                        "{m}: duplicate points {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # sd-wireless
+//!
+//! MIMO system model (Sec. II-A of the paper): an `M × N` spatial-
+//! multiplexing link `y = Hs + n` with
+//!
+//! * Gray-mapped unit-energy [constellations](constellation)
+//!   (BPSK, 4-QAM, 16-QAM as in the paper, plus 64-QAM as an extension),
+//! * i.i.d. Rayleigh fading [channel](mod@channel) `h_ij ~ CN(0, 1)`,
+//! * complex [AWGN](mod@noise) with variance set from the
+//!   [SNR convention](snr) `SNR = M / σ²`,
+//! * a seeded [Monte-Carlo link simulator](montecarlo) with
+//!   [BER statistics](ber) — the "randomly generated testing data set"
+//!   of Sec. IV-A.
+//!
+//! Everything is deterministic for a fixed seed, so every figure
+//! regeneration is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ber;
+pub mod channel;
+pub mod coding;
+pub mod constellation;
+pub mod frame;
+pub mod models;
+pub mod montecarlo;
+pub mod noise;
+pub mod ofdm;
+pub mod snr;
+
+pub use ber::{BerCurve, BerPoint, ErrorCounter};
+pub use channel::Channel;
+pub use coding::ConvolutionalCode;
+pub use constellation::{Constellation, Modulation};
+pub use frame::{FrameData, TxFrame};
+pub use models::{corrupt_csi, ChannelModel};
+pub use ofdm::{OfdmConfig, OfdmSymbol};
+pub use montecarlo::{run_link, run_link_parallel, LinkConfig, LinkStats};
+pub use noise::awgn;
+pub use snr::{noise_variance, snr_db_from_variance, SnrConvention, REAL_TIME_BUDGET};

@@ -1,0 +1,297 @@
+//! Monte-Carlo link-level simulation.
+//!
+//! Mirrors the paper's experimental setup (Sec. IV-A): frames of random
+//! bits are pushed through fresh Rayleigh channel realizations at a fixed
+//! SNR, decoded, and scored. The harness is detector-agnostic: a decoder is
+//! any `FnMut(&FrameData) -> Vec<usize>` returning constellation indices
+//! per transmit antenna, so the same harness drives the CPU decoders, the
+//! FPGA pipeline simulator, and the GPU model.
+
+use crate::ber::ErrorCounter;
+use crate::constellation::{Constellation, Modulation};
+use crate::frame::FrameData;
+use crate::snr::SnrConvention;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of one Monte-Carlo operating point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Transmit antennas `M`.
+    pub n_tx: usize,
+    /// Receive antennas `N` (≥ `M`).
+    pub n_rx: usize,
+    /// Modulation scheme.
+    pub modulation: Modulation,
+    /// Operating SNR in dB.
+    pub snr_db: f64,
+    /// SNR-to-noise-variance mapping (see [`SnrConvention`]).
+    pub convention: SnrConvention,
+    /// Number of frames (channel uses) to simulate.
+    pub frames: usize,
+    /// RNG seed; every run with the same config is bit-identical.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// Square `n × n` MIMO link, the paper's standard configuration.
+    pub fn square(n: usize, modulation: Modulation, snr_db: f64) -> Self {
+        LinkConfig {
+            n_tx: n,
+            n_rx: n,
+            modulation,
+            snr_db,
+            convention: SnrConvention::PerReceiveAntenna,
+            frames: 100,
+            seed: 0x5D_C0DE,
+        }
+    }
+
+    /// Builder: SNR convention.
+    pub fn with_convention(mut self, convention: SnrConvention) -> Self {
+        self.convention = convention;
+        self
+    }
+
+    /// Builder: number of frames.
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Builder: RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Noise variance implied by the SNR convention.
+    pub fn noise_variance(&self) -> f64 {
+        self.convention.noise_variance(self.snr_db, self.n_tx)
+    }
+
+    /// Information bits per frame.
+    pub fn bits_per_frame(&self) -> usize {
+        self.n_tx * self.modulation.bits_per_symbol()
+    }
+}
+
+/// Outcome of one Monte-Carlo run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Error counts.
+    pub errors: ErrorCounter,
+    /// Total time spent inside the decoder (excludes frame generation).
+    pub decode_time: Duration,
+    /// Per-frame decode times (empty for the parallel runner, where
+    /// per-frame wall-clock is not meaningful).
+    pub per_frame: Vec<Duration>,
+}
+
+impl LinkStats {
+    /// Mean decode time per frame.
+    pub fn mean_decode_time(&self) -> Duration {
+        if self.errors.frames == 0 {
+            Duration::ZERO
+        } else {
+            self.decode_time / self.errors.frames as u32
+        }
+    }
+
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.errors.ber()
+    }
+
+    /// `true` when the mean per-frame decode time meets the paper's 10 ms
+    /// real-time budget.
+    pub fn meets_real_time(&self) -> bool {
+        self.mean_decode_time() <= crate::snr::REAL_TIME_BUDGET
+    }
+}
+
+/// Pre-generate the frame sequence for a config (shared by the serial and
+/// parallel runners and by cross-detector comparisons, which must see the
+/// *same* noise realizations).
+pub fn generate_frames(cfg: &LinkConfig) -> (Constellation, Vec<FrameData>) {
+    let constellation = Constellation::new(cfg.modulation);
+    let sigma2 = cfg.noise_variance();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let frames = (0..cfg.frames)
+        .map(|_| FrameData::generate(cfg.n_rx, cfg.n_tx, &constellation, sigma2, &mut rng))
+        .collect();
+    (constellation, frames)
+}
+
+/// Run the link serially, timing each decode.
+pub fn run_link<D>(cfg: &LinkConfig, mut decode: D) -> LinkStats
+where
+    D: FnMut(&FrameData) -> Vec<usize>,
+{
+    let (constellation, frames) = generate_frames(cfg);
+    let mut errors = ErrorCounter::new();
+    let mut decode_time = Duration::ZERO;
+    let mut per_frame = Vec::with_capacity(frames.len());
+    let bits = cfg.bits_per_frame() as u64;
+
+    for frame in &frames {
+        let t0 = Instant::now();
+        let decoded = decode(frame);
+        let dt = t0.elapsed();
+        decode_time += dt;
+        per_frame.push(dt);
+        assert_eq!(
+            decoded.len(),
+            cfg.n_tx,
+            "decoder returned wrong number of symbols"
+        );
+        let be = frame.bit_errors(&decoded, &constellation);
+        let se = frame.symbol_errors(&decoded);
+        errors.record(bits, be, cfg.n_tx as u64, se);
+    }
+    LinkStats {
+        errors,
+        decode_time,
+        per_frame,
+    }
+}
+
+/// Run the link with rayon frame-level parallelism (used for BER curves
+/// where wall-clock per frame is not being measured).
+pub fn run_link_parallel<D>(cfg: &LinkConfig, decode: D) -> LinkStats
+where
+    D: Fn(&FrameData) -> Vec<usize> + Sync,
+{
+    use rayon::prelude::*;
+    let (constellation, frames) = generate_frames(cfg);
+    let bits = cfg.bits_per_frame() as u64;
+    let t0 = Instant::now();
+    let errors = frames
+        .par_iter()
+        .map(|frame| {
+            let decoded = decode(frame);
+            assert_eq!(decoded.len(), cfg.n_tx);
+            let mut c = ErrorCounter::new();
+            c.record(
+                bits,
+                frame.bit_errors(&decoded, &constellation),
+                cfg.n_tx as u64,
+                frame.symbol_errors(&decoded),
+            );
+            c
+        })
+        .reduce(ErrorCounter::new, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    LinkStats {
+        errors,
+        decode_time: t0.elapsed(),
+        per_frame: Vec::new(),
+    }
+}
+
+/// Convenience oracle decoder: slices the *noiseless* `Hs` reconstruction —
+/// i.e. a genie that knows the transmitted symbols. Used to validate the
+/// harness itself (BER must be 0).
+pub fn genie_decoder(constellation: &Constellation) -> impl Fn(&FrameData) -> Vec<usize> + '_ {
+    move |frame: &FrameData| {
+        frame
+            .tx
+            .symbols
+            .iter()
+            .map(|&s| constellation.slice(s))
+            .collect()
+    }
+}
+
+/// Random-guess decoder (worst case; BER ≈ 1/2). Used to bound harness
+/// behaviour in tests.
+pub fn random_decoder(order: usize, seed: u64) -> impl FnMut(&FrameData) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    move |frame: &FrameData| {
+        (0..frame.tx.n_tx())
+            .map(|_| rng.gen_range(0..order))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genie_has_zero_ber() {
+        let cfg = LinkConfig::square(4, Modulation::Qam16, 4.0).with_frames(50);
+        let c = Constellation::new(cfg.modulation);
+        let stats = run_link(&cfg, genie_decoder(&c));
+        assert_eq!(stats.errors.bit_errors, 0);
+        assert_eq!(stats.errors.frames, 50);
+        assert_eq!(stats.errors.bits, 50 * 16);
+    }
+
+    #[test]
+    fn random_decoder_ber_near_half() {
+        let cfg = LinkConfig::square(8, Modulation::Qam4, 20.0).with_frames(500);
+        let stats = run_link(&cfg, random_decoder(4, 7));
+        let ber = stats.ber();
+        assert!((ber - 0.5).abs() < 0.05, "random BER {ber} not ~0.5");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_errors() {
+        let cfg = LinkConfig::square(4, Modulation::Qam4, 8.0).with_frames(64);
+        let c = Constellation::new(cfg.modulation);
+        // A deterministic (stateless) decoder: slice the first tap's
+        // matched filter output — bad but reproducible.
+        let decode = |frame: &FrameData| -> Vec<usize> {
+            let c = Constellation::new(Modulation::Qam4);
+            (0..frame.tx.n_tx())
+                .map(|i| c.slice(frame.y[i]))
+                .collect()
+        };
+        let s1 = run_link(&cfg, decode);
+        let s2 = run_link_parallel(&cfg, decode);
+        assert_eq!(s1.errors, s2.errors);
+        drop(c);
+    }
+
+    #[test]
+    fn same_seed_same_frames() {
+        let cfg = LinkConfig::square(4, Modulation::Qam4, 8.0).with_frames(5);
+        let (_, f1) = generate_frames(&cfg);
+        let (_, f2) = generate_frames(&cfg);
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert_eq!(a.y, b.y);
+            assert_eq!(a.tx.bits, b.tx.bits);
+        }
+        let (_, f3) = generate_frames(&cfg.with_seed(999));
+        assert_ne!(f1[0].y, f3[0].y);
+    }
+
+    #[test]
+    fn noise_variance_wired_through() {
+        let cfg = LinkConfig::square(10, Modulation::Qam4, 4.0);
+        assert!((cfg.noise_variance() - 10.0 / 10f64.powf(0.4)).abs() < 1e-12);
+        assert_eq!(cfg.bits_per_frame(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of symbols")]
+    fn short_decoder_output_rejected() {
+        let cfg = LinkConfig::square(4, Modulation::Qam4, 8.0).with_frames(1);
+        run_link(&cfg, |_| vec![0usize; 2]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let cfg = LinkConfig::square(2, Modulation::Bpsk, 10.0).with_frames(10);
+        let c = Constellation::new(cfg.modulation);
+        let stats = run_link(&cfg, genie_decoder(&c));
+        assert!(stats.meets_real_time());
+        assert!(stats.mean_decode_time() < Duration::from_millis(1));
+        assert_eq!(stats.per_frame.len(), 10);
+    }
+}

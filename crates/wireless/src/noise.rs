@@ -1,0 +1,63 @@
+//! Additive white Gaussian noise.
+
+use rand::Rng;
+use sd_math::{ComplexNormal, C64};
+
+/// Add circularly-symmetric complex Gaussian noise of total variance
+/// `variance` (per entry) to `y` in place.
+pub fn awgn<R: Rng + ?Sized>(y: &mut [C64], variance: f64, rng: &mut R) {
+    if variance == 0.0 {
+        return;
+    }
+    let sampler = ComplexNormal::with_variance(variance);
+    for v in y.iter_mut() {
+        let n: C64 = sampler.sample(rng);
+        *v += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_math::Complex;
+
+    #[test]
+    fn zero_variance_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut y = vec![Complex::new(1.0, 2.0); 8];
+        let orig = y.clone();
+        awgn(&mut y, 0.0, &mut rng);
+        assert_eq!(y, orig);
+    }
+
+    #[test]
+    fn noise_power_matches_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut y = vec![Complex::new(0.0, 0.0); n];
+        awgn(&mut y, 0.5, &mut rng);
+        let power = sd_math::vector::norm_sqr(&y) / n as f64;
+        assert!((power - 0.5).abs() < 0.02, "measured noise power {power}");
+    }
+
+    #[test]
+    fn noise_is_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut y = vec![Complex::new(0.0, 0.0); n];
+        awgn(&mut y, 1.0, &mut rng);
+        let mean = y.iter().copied().sum::<C64>().scale(1.0 / n as f64);
+        assert!(mean.abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = vec![Complex::new(1.0, 1.0); 4];
+        let mut b = a.clone();
+        awgn(&mut a, 1.0, &mut StdRng::seed_from_u64(7));
+        awgn(&mut b, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! MIMO-OFDM multicarrier layer.
+//!
+//! Wideband systems (the 802.11/LTE deployments the paper's introduction
+//! motivates) split the band into subcarriers; each subcarrier sees its
+//! own narrowband MIMO channel and is detected independently — which is
+//! exactly the data parallelism the paper's second-pipeline / multi-PE
+//! directions want to exploit. This module models an OFDM symbol as a
+//! bank of per-subcarrier [`FrameData`] problems with configurable
+//! frequency coherence (adjacent subcarriers sharing one fading
+//! realization), and decodes them serially or with rayon.
+
+use crate::channel::Channel;
+use crate::constellation::Constellation;
+use crate::frame::{FrameData, TxFrame};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one OFDM symbol.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OfdmConfig {
+    /// Number of data subcarriers.
+    pub subcarriers: usize,
+    /// Transmit antennas per subcarrier.
+    pub n_tx: usize,
+    /// Receive antennas.
+    pub n_rx: usize,
+    /// Subcarriers sharing one channel realization (frequency coherence;
+    /// 1 = fully frequency-selective, `subcarriers` = flat fading).
+    pub coherence: usize,
+}
+
+impl OfdmConfig {
+    /// Validate and build.
+    pub fn new(subcarriers: usize, n_tx: usize, n_rx: usize, coherence: usize) -> Self {
+        assert!(subcarriers > 0, "need at least one subcarrier");
+        assert!(coherence >= 1, "coherence must be at least 1");
+        assert!(n_rx >= n_tx && n_tx > 0, "need n_rx >= n_tx > 0");
+        OfdmConfig {
+            subcarriers,
+            n_tx,
+            n_rx,
+            coherence,
+        }
+    }
+
+    /// Information bits carried by one OFDM symbol.
+    pub fn bits_per_symbol(&self, constellation: &Constellation) -> usize {
+        self.subcarriers * self.n_tx * constellation.bits_per_symbol()
+    }
+}
+
+/// One OFDM symbol: a bank of per-subcarrier detection problems.
+#[derive(Clone, Debug)]
+pub struct OfdmSymbol {
+    /// Per-subcarrier frames, subcarrier order.
+    pub frames: Vec<FrameData>,
+}
+
+impl OfdmSymbol {
+    /// Generate one OFDM symbol worth of traffic.
+    pub fn generate<R: Rng + ?Sized>(
+        cfg: &OfdmConfig,
+        constellation: &Constellation,
+        noise_variance: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut frames = Vec::with_capacity(cfg.subcarriers);
+        let mut channel: Option<Channel> = None;
+        for k in 0..cfg.subcarriers {
+            if k % cfg.coherence == 0 {
+                channel = Some(Channel::rayleigh(cfg.n_rx, cfg.n_tx, rng));
+            }
+            let ch = channel.as_ref().expect("set on first subcarrier");
+            let tx = TxFrame::random(cfg.n_tx, constellation, rng);
+            let y = ch.transmit(&tx.symbols, noise_variance, rng);
+            frames.push(FrameData {
+                h: ch.matrix().clone(),
+                y,
+                noise_variance,
+                tx,
+            });
+        }
+        OfdmSymbol { frames }
+    }
+
+    /// Decode every subcarrier serially with `decode`; returns
+    /// `(bit errors, total bits)`.
+    pub fn decode_serial<D>(&self, constellation: &Constellation, mut decode: D) -> (u64, u64)
+    where
+        D: FnMut(&FrameData) -> Vec<usize>,
+    {
+        let mut errs = 0u64;
+        let mut bits = 0u64;
+        for f in &self.frames {
+            let d = decode(f);
+            errs += f.bit_errors(&d, constellation);
+            bits += f.tx.bits.len() as u64;
+        }
+        (errs, bits)
+    }
+
+    /// Decode subcarriers in parallel with rayon — the software analogue
+    /// of fanning subcarriers over FPGA pipelines.
+    pub fn decode_parallel<D>(&self, constellation: &Constellation, decode: D) -> (u64, u64)
+    where
+        D: Fn(&FrameData) -> Vec<usize> + Sync,
+    {
+        self.frames
+            .par_iter()
+            .map(|f| {
+                let d = decode(f);
+                (f.bit_errors(&d, constellation), f.tx.bits.len() as u64)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    }
+
+    /// Distinct channel realizations in this symbol.
+    pub fn distinct_channels(&self) -> usize {
+        let mut count = 0usize;
+        let mut last: Option<&FrameData> = None;
+        for f in &self.frames {
+            if last.is_none_or(|p| !p.h.approx_eq(&f.h, 0.0)) {
+                count += 1;
+            }
+            last = Some(f);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Modulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn symbol(subcarriers: usize, coherence: usize, sigma2: f64) -> (Constellation, OfdmSymbol) {
+        let c = Constellation::new(Modulation::Qam4);
+        let cfg = OfdmConfig::new(subcarriers, 4, 4, coherence);
+        let mut rng = StdRng::seed_from_u64(500);
+        let s = OfdmSymbol::generate(&cfg, &c, sigma2, &mut rng);
+        (c, s)
+    }
+
+    #[test]
+    fn symbol_has_one_frame_per_subcarrier() {
+        let (_, s) = symbol(16, 4, 0.1);
+        assert_eq!(s.frames.len(), 16);
+    }
+
+    #[test]
+    fn coherence_shares_channels() {
+        let (_, s) = symbol(16, 4, 0.1);
+        assert_eq!(s.distinct_channels(), 4);
+        let (_, flat) = symbol(16, 16, 0.1);
+        assert_eq!(flat.distinct_channels(), 1);
+        let (_, selective) = symbol(16, 1, 0.1);
+        assert_eq!(selective.distinct_channels(), 16);
+    }
+
+    #[test]
+    fn genie_decode_counts_all_bits() {
+        let (c, s) = symbol(8, 2, 0.05);
+        let (errs, bits) = s.decode_serial(&c, |f| f.tx.indices.clone());
+        assert_eq!(errs, 0);
+        assert_eq!(bits, 8 * 4 * 2);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (c, s) = symbol(24, 3, 0.5);
+        // A deterministic sub-optimal decoder: slice y element-wise.
+        let decode = |f: &FrameData| -> Vec<usize> {
+            let c = Constellation::new(Modulation::Qam4);
+            (0..f.tx.n_tx()).map(|i| c.slice(f.y[i])).collect()
+        };
+        let serial = s.decode_serial(&c, decode);
+        let parallel = s.decode_parallel(&c, decode);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bits_per_symbol_formula() {
+        let c = Constellation::new(Modulation::Qam16);
+        let cfg = OfdmConfig::new(64, 4, 4, 8);
+        assert_eq!(cfg.bits_per_symbol(&c), 64 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence must be at least 1")]
+    fn zero_coherence_rejected() {
+        OfdmConfig::new(8, 2, 2, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Compare every detector on identical frames: accuracy, search effort,
+//! and arithmetic cost (the trade-off the paper's introduction motivates:
+//! linear = cheap/poor BER, non-linear = exact/expensive).
+//!
+//! ```text
+//! cargo run --release --example detector_comparison [snr_db] [frames]
+//! ```
+
+use mimo_sd::prelude::*;
+use sd_wireless::montecarlo::generate_frames;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let snr_db: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8.0);
+    let frames_n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+
+    let n = 6; // small enough for exhaustive ML as ground truth
+    let cfg = LinkConfig::square(n, Modulation::Qam4, snr_db).with_frames(frames_n);
+    let constellation = Constellation::new(cfg.modulation);
+    let (_, frames) = generate_frames(&cfg);
+
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(MrcDetector::new(constellation.clone())),
+        Box::new(ZfDetector::new(constellation.clone())),
+        Box::new(MmseDetector::new(constellation.clone())),
+        Box::new(FixedComplexitySd::<f32>::new(constellation.clone())),
+        Box::new(BfsGemmSd::<f32>::new(constellation.clone())),
+        Box::new(SphereDecoder::<f32>::new(constellation.clone())),
+        Box::new(BestFirstSd::<f32>::new(constellation.clone())),
+        Box::new(SubtreeParallelSd::<f32>::new(constellation.clone())),
+        Box::new(MlDetector::new(constellation.clone())),
+    ];
+
+    println!(
+        "{n}x{n} MIMO, 4-QAM, SNR {snr_db} dB, {frames_n} frames (identical for all detectors)\n"
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>14} {:>12}",
+        "detector", "BER", "SER", "nodes/frame", "flops/frame", "vs ML bits"
+    );
+
+    // ML reference decisions for the "distance to optimal" column.
+    let ml = MlDetector::new(constellation.clone());
+    let ml_decisions: Vec<Vec<usize>> = frames.iter().map(|f| ml.detect(f).indices).collect();
+
+    for det in &detectors {
+        let mut errors = ErrorCounter::new();
+        let mut nodes = 0u64;
+        let mut flops = 0u64;
+        let mut diff_from_ml = 0u64;
+        for (frame, ml_dec) in frames.iter().zip(ml_decisions.iter()) {
+            let d = det.detect(frame);
+            errors.record(
+                cfg.bits_per_frame() as u64,
+                frame.bit_errors(&d.indices, &constellation),
+                n as u64,
+                frame.symbol_errors(&d.indices),
+            );
+            nodes += d.stats.nodes_generated;
+            flops += d.stats.flops;
+            diff_from_ml += d
+                .indices
+                .iter()
+                .zip(ml_dec.iter())
+                .map(|(&a, &b)| u64::from(constellation.bit_distance(a, b)))
+                .sum::<u64>();
+        }
+        println!(
+            "{:<28} {:>10.2e} {:>10.2e} {:>12.1} {:>14.0} {:>12}",
+            det.name(),
+            errors.ber(),
+            errors.ser(),
+            nodes as f64 / frames_n as f64,
+            flops as f64 / frames_n as f64,
+            diff_from_ml
+        );
+    }
+    println!("\n'vs ML bits' = total bit disagreement with the exhaustive ML decisions");
+    println!("(0 for every exact sphere decoder; >0 for linear detectors and FSD).");
+}

@@ -1,0 +1,63 @@
+//! Antenna-count scaling study (the Sec. IV-D experiment): decode time of
+//! the native CPU decoder vs the modeled FPGA accelerator from 4×4 up to
+//! 20×20, against the 10 ms real-time budget.
+//!
+//! ```text
+//! cargo run --release --example scaling_antennas [snr_db] [frames]
+//! ```
+
+use mimo_sd::prelude::*;
+use sd_wireless::montecarlo::generate_frames;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let snr_db: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8.0);
+    let frames_n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let modulation = Modulation::Qam4;
+    println!(
+        "decode time vs antennas — 4-QAM, SNR {snr_db} dB, {frames_n} frames/point, budget {} ms\n",
+        REAL_TIME_BUDGET.as_millis()
+    );
+    println!(
+        "{:>6} {:>16} {:>16} {:>10} {:>12}",
+        "MIMO", "CPU native (ms)", "FPGA model (ms)", "speedup", "real-time?"
+    );
+
+    for n in [4usize, 8, 10, 12, 15, 20] {
+        let cfg = LinkConfig::square(n, modulation, snr_db).with_frames(frames_n);
+        let constellation = Constellation::new(modulation);
+        let (_, frames) = generate_frames(&cfg);
+
+        // Native CPU wall-clock (the paper's "optimized CPU" role).
+        let cpu: SphereDecoder<f32> = SphereDecoder::new(constellation.clone());
+        let t0 = Instant::now();
+        for f in &frames {
+            std::hint::black_box(cpu.detect(f));
+        }
+        let cpu_ms = t0.elapsed().as_secs_f64() * 1e3 / frames_n as f64;
+
+        // FPGA model time.
+        let accel = FpgaSphereDecoder::new(FpgaConfig::optimized(modulation, n), constellation);
+        let fpga_ms = frames
+            .iter()
+            .map(|f| accel.decode_with_report(f).decode_seconds)
+            .sum::<f64>()
+            * 1e3
+            / frames_n as f64;
+
+        println!(
+            "{:>4}x{:<2} {:>16.3} {:>16.3} {:>9.1}x {:>12}",
+            n,
+            n,
+            cpu_ms,
+            fpga_ms,
+            cpu_ms / fpga_ms,
+            if fpga_ms <= 10.0 { "FPGA yes" } else { "no" }
+        );
+    }
+
+    println!("\nThe complexity is exponential in the antenna count (Sec. IV-D):");
+    println!("every added antenna multiplies the search tree by the modulation order.");
+}

@@ -1,0 +1,70 @@
+//! Soft-output decoding for coded systems: per-bit LLRs from the list
+//! sphere decoder, compared across SNR and channel conditions.
+//!
+//! ```text
+//! cargo run --release --example soft_decoding [n_antennas]
+//! ```
+
+use mimo_sd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let constellation = Constellation::new(Modulation::Qam4);
+    let soft: SoftSphereDecoder<f32> = SoftSphereDecoder::new(constellation.clone());
+
+    println!("== soft-output (list) sphere decoding, {n}x{n} 4-QAM ==\n");
+
+    for snr_db in [4.0, 10.0, 16.0] {
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(99);
+        let frame = FrameData::generate(n, n, &constellation, sigma2, &mut rng);
+        let s = soft.detect_soft(&frame);
+        let tx_bits: Vec<u8> = frame.tx.bits.clone();
+        println!("SNR {snr_db} dB — list of {} candidates", s.list_len);
+        println!("  tx bits:   {:?}", tx_bits);
+        println!("  hard bits: {:?}", s.hard_bits());
+        let llr_str: Vec<String> = s.llrs.iter().map(|l| format!("{l:+.1}")).collect();
+        println!("  LLRs:      [{}]", llr_str.join(", "));
+        let weakest = s
+            .llrs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(i, l)| (i, *l))
+            .unwrap();
+        println!(
+            "  least-confident bit: #{} (LLR {:+.2}) — a channel decoder would focus there\n",
+            weakest.0, weakest.1
+        );
+    }
+
+    // Robustness: the same decoder under correlated fading.
+    println!("-- correlated fading (Kronecker rho = 0.7) --");
+    let model = ChannelModel::KroneckerExponential {
+        rho_tx: 0.7,
+        rho_rx: 0.7,
+    };
+    let mut rng = StdRng::seed_from_u64(100);
+    let sigma2 = noise_variance(12.0, n);
+    let channel = model.realize(n, n, &mut rng);
+    let tx = TxFrame::random(n, &constellation, &mut rng);
+    let y = channel.transmit(&tx.symbols, sigma2, &mut rng);
+    let frame = FrameData {
+        h: channel.matrix().clone(),
+        y,
+        noise_variance: sigma2,
+        tx,
+    };
+    let s = soft.detect_soft(&frame);
+    let errors = frame.bit_errors(&s.detection.indices, &constellation);
+    let mean_conf = s.llrs.iter().map(|l| l.abs()).sum::<f64>() / s.llrs.len() as f64;
+    println!(
+        "decoded with {errors} bit errors; mean |LLR| {mean_conf:.2} (lower than iid: correlation \
+         eats confidence); search used {} nodes",
+        s.detection.stats.nodes_generated
+    );
+}

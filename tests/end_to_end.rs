@@ -1,0 +1,153 @@
+//! End-to-end link-level integration tests across all crates.
+
+use mimo_sd::prelude::*;
+use sd_wireless::montecarlo::generate_frames;
+
+/// Run one detector over a config and return its error counter.
+fn run<D: Detector>(cfg: &LinkConfig, det: &D) -> ErrorCounter {
+    let stats = run_link(cfg, |f| det.detect(f).indices);
+    stats.errors
+}
+
+#[test]
+fn detector_accuracy_hierarchy_holds() {
+    // The paper's premise (Sec. I): non-linear ≥ MMSE ≥ ZF ≥ MRC in
+    // accuracy. Evaluated on identical frames at a moderate SNR.
+    let cfg = LinkConfig::square(6, Modulation::Qam4, 10.0).with_frames(400);
+    let c = Constellation::new(cfg.modulation);
+
+    let e_sd = run(&cfg, &SphereDecoder::<f32>::new(c.clone()));
+    let e_mmse = run(&cfg, &MmseDetector::new(c.clone()));
+    let e_zf = run(&cfg, &ZfDetector::new(c.clone()));
+    let e_mrc = run(&cfg, &MrcDetector::new(c.clone()));
+
+    assert!(
+        e_sd.bit_errors <= e_mmse.bit_errors,
+        "SD ({}) must beat MMSE ({})",
+        e_sd.bit_errors,
+        e_mmse.bit_errors
+    );
+    assert!(e_mmse.bit_errors <= e_zf.bit_errors + 5);
+    assert!(
+        e_zf.bit_errors < e_mrc.bit_errors,
+        "ZF ({}) must beat MRC ({})",
+        e_zf.bit_errors,
+        e_mrc.bit_errors
+    );
+}
+
+#[test]
+fn sd_ber_decreases_with_snr() {
+    // Fig. 7's qualitative property under the default convention.
+    let c = Constellation::new(Modulation::Qam4);
+    let sd = SphereDecoder::<f32>::new(c);
+    let mut curve = BerCurve::new("SD");
+    for snr in [4.0, 8.0, 12.0, 16.0] {
+        let cfg = LinkConfig::square(8, Modulation::Qam4, snr).with_frames(600);
+        let stats = run_link_parallel(&cfg, |f| sd.detect(f).indices);
+        curve.push(BerPoint::from_counter(snr, &stats.errors));
+    }
+    assert!(
+        curve.is_monotone_nonincreasing(0.10),
+        "BER curve must fall with SNR: {:?}",
+        curve.points.iter().map(|p| p.ber).collect::<Vec<_>>()
+    );
+    // And genuinely fall, not just plateau.
+    assert!(curve.points.last().unwrap().ber < curve.points[0].ber / 5.0);
+}
+
+#[test]
+fn per_symbol_convention_reproduces_fig7_claim() {
+    // Under the per-symbol convention the paper's "BER < 1e-2 at 4 dB"
+    // holds for 10×10 4-QAM.
+    let c = Constellation::new(Modulation::Qam4);
+    let sd = SphereDecoder::<f32>::new(c);
+    let cfg = LinkConfig::square(10, Modulation::Qam4, 4.0)
+        .with_convention(SnrConvention::PerSymbol)
+        .with_frames(1_500);
+    let stats = run_link_parallel(&cfg, |f| sd.detect(f).indices);
+    assert!(
+        stats.ber() < 1e-2,
+        "Fig. 7 claim failed: BER {} at 4 dB",
+        stats.ber()
+    );
+}
+
+#[test]
+fn all_sphere_decoders_agree_on_shared_frames() {
+    let cfg = LinkConfig::square(5, Modulation::Qam4, 8.0).with_frames(40);
+    let c = Constellation::new(cfg.modulation);
+    let (_, frames) = generate_frames(&cfg);
+
+    let ml = MlDetector::new(c.clone());
+    let dfs = SphereDecoder::<f64>::new(c.clone());
+    let bf = BestFirstSd::<f64>::new(c.clone());
+    let bfs = BfsGemmSd::<f64>::new(c.clone());
+    let mp = SubtreeParallelSd::<f64>::new(c.clone());
+    for f in &frames {
+        let truth = ml.detect(f).indices;
+        assert_eq!(dfs.detect(f).indices, truth, "sorted DFS");
+        assert_eq!(bf.detect(f).indices, truth, "best-first");
+        assert_eq!(bfs.detect(f).indices, truth, "BFS-GEMM");
+        assert_eq!(mp.detect(f).indices, truth, "multi-PE");
+    }
+}
+
+#[test]
+fn batch_decoding_through_facade() {
+    let cfg = LinkConfig::square(6, Modulation::Qam16, 14.0).with_frames(24);
+    let c = Constellation::new(cfg.modulation);
+    let (_, frames) = generate_frames(&cfg);
+    let sd = SphereDecoder::<f32>::new(c);
+    let detections = decode_batch(&sd, &frames);
+    assert_eq!(detections.len(), 24);
+    let agg = batch_stats(&sd, &frames);
+    assert_eq!(
+        agg.nodes_generated,
+        detections.iter().map(|d| d.stats.nodes_generated).sum::<u64>()
+    );
+}
+
+#[test]
+fn fpga_detector_drives_the_link_harness() {
+    // The FPGA simulator is a Detector like any other: run a short link
+    // through it and require error-free decoding at high SNR.
+    let cfg = LinkConfig::square(4, Modulation::Qam4, 24.0).with_frames(60);
+    let c = Constellation::new(cfg.modulation);
+    let accel = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 4), c);
+    let stats = run_link(&cfg, |f| accel.detect(f).indices);
+    assert_eq!(stats.errors.bit_errors, 0, "24 dB 4×4 must be clean");
+}
+
+#[test]
+fn gpu_model_slower_than_fpga_model_at_every_snr() {
+    // Fig. 11's qualitative claim over the whole grid.
+    let c = Constellation::new(Modulation::Qam4);
+    let gpu = GpuSphereDecoder::new(c.clone());
+    let fpga = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 8), c.clone());
+    for snr in [4.0, 12.0, 20.0] {
+        let cfg = LinkConfig::square(8, Modulation::Qam4, snr).with_frames(10);
+        let (_, frames) = generate_frames(&cfg);
+        let t_gpu: f64 = frames.iter().map(|f| gpu.decode_with_report(f).decode_seconds).sum();
+        let t_fpga: f64 = frames
+            .iter()
+            .map(|f| fpga.decode_with_report(f).decode_seconds)
+            .sum();
+        assert!(
+            t_gpu > 3.0 * t_fpga,
+            "at {snr} dB GPU ({t_gpu:.2e}) must be well behind FPGA ({t_fpga:.2e})"
+        );
+    }
+}
+
+#[test]
+fn prelude_surface_is_usable() {
+    // Compile-level check that the facade re-exports hang together.
+    let c = Constellation::new(Modulation::Bpsk);
+    assert_eq!(c.order(), 2);
+    let m: Matrix<f64> = Matrix::identity(3);
+    assert_eq!(m.rows(), 3);
+    let r = InitialRadius::Fixed(4.0).resolve(2, 1.0);
+    assert_eq!(r, 4.0);
+    assert!(REAL_TIME_BUDGET.as_millis() == 10);
+}

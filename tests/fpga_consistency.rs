@@ -1,0 +1,160 @@
+//! Hardware-model ↔ software cross-validation.
+//!
+//! The FPGA pipeline simulator must be *functionally* indistinguishable
+//! from the `sd-core` reference at f32 precision, across modulations,
+//! sizes, variants and SNRs — while its timing model obeys the paper's
+//! qualitative hardware claims.
+
+use mimo_sd::prelude::*;
+use sd_wireless::montecarlo::generate_frames;
+
+fn frames_for(n: usize, m: Modulation, snr: f64, count: usize) -> Vec<FrameData> {
+    let cfg = LinkConfig::square(n, m, snr).with_frames(count);
+    generate_frames(&cfg).1
+}
+
+#[test]
+fn hardware_matches_software_across_modulations() {
+    for (m, n) in [
+        (Modulation::Bpsk, 6),
+        (Modulation::Qam4, 8),
+        (Modulation::Qam16, 4),
+    ] {
+        let c = Constellation::new(m);
+        let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(m, n), c.clone());
+        let sw = SphereDecoder::<f32>::new(c);
+        for f in frames_for(n, m, 8.0, 10) {
+            let a = hw.detect(&f);
+            let b = sw.detect(&f);
+            assert_eq!(a.indices, b.indices, "{m} {n}x{n}");
+            assert_eq!(a.stats.nodes_expanded, b.stats.nodes_expanded, "{m} {n}x{n}");
+            assert!((a.stats.final_radius_sqr - b.stats.final_radius_sqr).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn baseline_variant_also_matches_software() {
+    let m = Modulation::Qam4;
+    let c = Constellation::new(m);
+    let hw = FpgaSphereDecoder::new(FpgaConfig::baseline(m, 6), c.clone());
+    let sw = SphereDecoder::<f32>::new(c);
+    for f in frames_for(6, m, 12.0, 10) {
+        assert_eq!(hw.detect(&f).indices, sw.detect(&f).indices);
+    }
+}
+
+#[test]
+fn fpga_meets_real_time_where_paper_says() {
+    // Fig. 8: 15×15 4-QAM at 4 dB — FPGA within 10 ms.
+    let m = Modulation::Qam4;
+    let c = Constellation::new(m);
+    let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(m, 15), c);
+    let frames = frames_for(15, m, 4.0, 10);
+    let mean: f64 = frames
+        .iter()
+        .map(|f| hw.decode_with_report(f).decode_seconds)
+        .sum::<f64>()
+        / frames.len() as f64;
+    assert!(
+        mean < 10e-3,
+        "15×15 4-QAM @4 dB modeled at {:.2} ms, breaking real-time",
+        mean * 1e3
+    );
+}
+
+#[test]
+fn fpga_20x20_near_real_time_at_8db() {
+    // Fig. 9: the paper's 20×20 design decodes in ≈9.9 ms at 8 dB. Our
+    // Monte-Carlo trees are heavier-tailed, so we require the paper's
+    // *shape*: within a small multiple of the budget at 8 dB, and safely
+    // inside it one grid step later (12 dB). The decode-time distribution
+    // is heavy-tailed, so the median is the robust statistic.
+    let m = Modulation::Qam4;
+    let c = Constellation::new(m);
+    let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(m, 20), c);
+    let median = |snr: f64| -> f64 {
+        let frames = frames_for(20, m, snr, 11);
+        let mut t: Vec<f64> = frames
+            .iter()
+            .map(|f| hw.decode_with_report(f).decode_seconds)
+            .collect();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        t[t.len() / 2]
+    };
+    let t8 = median(8.0);
+    let t12 = median(12.0);
+    assert!(
+        t8 < 30e-3,
+        "20×20 @8 dB modeled at {:.1} ms, too far from the paper's 9.9 ms",
+        t8 * 1e3
+    );
+    assert!(
+        t12 < 10e-3,
+        "20×20 must be real-time by 12 dB, got {:.1} ms",
+        t12 * 1e3
+    );
+    assert!(t12 < t8, "time must fall with SNR");
+}
+
+#[test]
+fn mst_capacity_is_hardware_feasible_everywhere() {
+    // The recycling MST must stay O(M·P) live nodes even on the hardest
+    // configuration — the property that lets the table live in URAM.
+    let m = Modulation::Qam4;
+    let c = Constellation::new(m);
+    let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(m, 20), c);
+    for f in frames_for(20, m, 4.0, 5) {
+        let r = hw.decode_with_report(&f);
+        let bound = 20 * 4 + 20;
+        assert!(
+            r.mst_peak_nodes <= bound,
+            "peak {} exceeds O(M·P) bound {bound}",
+            r.mst_peak_nodes
+        );
+        assert!(r.mst_fits_onchip);
+    }
+}
+
+#[test]
+fn table1_resources_and_table2_power_are_coherent() {
+    // Cross-module integration: resources → power → energy for the four
+    // Table II rows, using modeled FPGA decode times at 8 dB.
+    let fpga_power = FpgaPowerModel::u280_kernel();
+    let cpu_power = CpuPowerModel::ryzen_64core();
+    for (m, n) in [
+        (Modulation::Qam4, 10usize),
+        (Modulation::Qam4, 15),
+        (Modulation::Qam4, 20),
+        (Modulation::Qam16, 10),
+    ] {
+        let config = FpgaConfig::optimized(m, n);
+        let usage = estimate_resources(&config);
+        assert!(usage.fits_device(), "{m} {n}x{n} must fit the U280");
+        let p_fpga = fpga_power.power_watts(&usage, n);
+        let p_cpu = cpu_power.power_watts(n, m.order());
+        assert!(
+            (5.0..20.0).contains(&p_fpga),
+            "{m} {n}x{n}: FPGA power {p_fpga:.1} W out of Table II range"
+        );
+        assert!(
+            (70.0..160.0).contains(&p_cpu),
+            "{m} {n}x{n}: CPU power {p_cpu:.1} W out of Table II range"
+        );
+        assert!(p_cpu / p_fpga > 5.0, "power gap must be near an order of magnitude");
+    }
+}
+
+#[test]
+fn cycle_accounting_is_deterministic() {
+    let m = Modulation::Qam4;
+    let c = Constellation::new(m);
+    let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(m, 8), c);
+    let frames = frames_for(8, m, 8.0, 3);
+    for f in &frames {
+        let a = hw.decode_with_report(f);
+        let b = hw.decode_with_report(f);
+        assert_eq!(a.cycles, b.cycles, "same frame must cost the same cycles");
+        assert_eq!(a.detection.indices, b.detection.indices);
+    }
+}
