@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed length or a range of lengths.
+pub trait SizeRange {
+    /// Pick a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing a `Vec` of values from `element`, sized by `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Result of [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_len_vec() {
+        let mut rng = TestRng::deterministic("collection::fixed");
+        let s = vec(0u32..7, 5usize);
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| x < 7));
+    }
+
+    #[test]
+    fn ranged_len_vec() {
+        let mut rng = TestRng::deterministic("collection::ranged");
+        let s = vec(0u32..7, 2usize..6);
+        for _ in 0..32 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Named generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256** (Blackman/Vigna),
+/// seeded via SplitMix64. Fast, 256-bit state, passes BigCrush; not
+/// stream-compatible with upstream `rand::rngs::StdRng`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0, 0, 0, 0] {
+            // xoshiro's sole forbidden state; unreachable in practice.
+            s[0] = 1;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for callers that ask for a cheap generator.
+pub type SmallRng = StdRng;

@@ -1,0 +1,248 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! this local implementation under the `rayon` name. It covers exactly
+//! the combinators the repo uses — `par_iter().map().collect()/reduce()`
+//! over slices and `par_chunks_mut().enumerate().for_each()` — with real
+//! data parallelism on `std::thread::scope`: contiguous chunks of the
+//! input are fanned over `available_parallelism()` OS threads. There is
+//! no work stealing; for the coarse-grained frame/GEMM-slab workloads
+//! here, static chunking is within noise of a real work-stealing pool.
+
+use std::thread;
+
+pub mod prelude {
+    //! One-stop import mirroring `rayon::prelude`.
+    pub use crate::{ParallelSliceMutExt, ParallelSliceRefExt};
+}
+
+/// Worker count: one thread per logical CPU.
+fn max_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `data` into `workers` contiguous chunks, map each on its own
+/// scoped thread, and return the per-chunk outputs in input order.
+fn map_chunks<'a, T, U, F>(data: &'a [T], f: &F) -> Vec<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    let n = data.len();
+    let workers = max_threads().min(n).max(1);
+    if workers <= 1 {
+        return vec![data.iter().map(f).collect()];
+    }
+    let chunk = n.div_ceil(workers);
+    thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// `.par_iter()` on slices (and, via deref, `Vec`).
+pub trait ParallelSliceRefExt<T: Sync> {
+    /// Parallel shared-reference iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceRefExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap { data: self.data, f }
+    }
+}
+
+/// Mapped parallel iterator; terminal operations run the fan-out.
+pub struct ParMap<'a, T, F> {
+    data: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Collect mapped values, preserving input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        map_chunks(self.data, &self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Fold mapped values with `op`, starting from `identity()`.
+    ///
+    /// `op` must be associative with `identity()` as neutral element
+    /// (rayon's own contract); this implementation folds the per-thread
+    /// partials left-to-right in input order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        map_chunks(self.data, &self.f)
+            .into_iter()
+            .flatten()
+            .fold(identity(), op)
+    }
+
+    /// Run `f` for its effect on every element.
+    pub fn for_each(self)
+    where
+        U: Send,
+    {
+        let _: Vec<U> = self.collect();
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMutExt<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { data: self, size }
+    }
+}
+
+/// Parallel mutable-chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            data: self.data,
+            size: self.size,
+        }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated parallel mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self.data.chunks_mut(self.size).enumerate().collect();
+        let workers = max_threads().min(chunks.len()).max(1);
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Round-robin static assignment of chunks to workers.
+        let mut bins: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, c) in chunks.into_iter().enumerate() {
+            bins[i % workers].push(c);
+        }
+        let f = &f;
+        thread::scope(|s| {
+            for bin in bins {
+                s.spawn(move || {
+                    for item in bin {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| u64::from(x) * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == i as u64 * 2));
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let s = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 500_500);
+    }
+
+    #[test]
+    fn reduce_with_identity_factory() {
+        let v: Vec<u64> = (0..97).collect();
+        let (a, b) = v
+            .par_iter()
+            .map(|&x| (x, 1u64))
+            .reduce(|| (0, 0), |l, r| (l.0 + r.0, l.1 + r.1));
+        assert_eq!(b, 97);
+        assert_eq!(a, 96 * 97 / 2);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(idx, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = idx as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 64) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let mut e: Vec<u32> = Vec::new();
+        e.par_chunks_mut(8).enumerate().for_each(|(_, _)| panic!());
+    }
+}

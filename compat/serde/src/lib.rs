@@ -1,0 +1,27 @@
+//! Offline no-op subset of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! stats types for downstream consumers, but nothing in-tree links a
+//! serializer (reports are written as hand-rolled JSON). With no registry
+//! access, this local crate supplies the trait names and the derive
+//! macros so those annotations stay source-compatible; the derives
+//! expand to nothing and the traits are blanket-implemented.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// `serde::de` module stub.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

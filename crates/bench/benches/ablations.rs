@@ -86,13 +86,16 @@ fn bench_engine_geometry(c: &mut Criterion) {
     for (rows, cols) in [(2usize, 4usize), (4, 4), (8, 8), (16, 16)] {
         let config = FpgaConfig::optimized(Modulation::Qam4, 10).with_array(rows, cols);
         let accel = FpgaSphereDecoder::new(config, constellation.clone());
-        group.bench_function(BenchmarkId::new("mesh", format!("{rows}x{cols}")), |bench| {
-            bench.iter(|| {
-                for f in &frames {
-                    std::hint::black_box(accel.decode_with_report(f));
-                }
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new("mesh", format!("{rows}x{cols}")),
+            |bench| {
+                bench.iter(|| {
+                    for f in &frames {
+                        std::hint::black_box(accel.decode_with_report(f));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sd_core::{
-    BestFirstSd, BfsGemmSd, Detector, FixedComplexitySd, MmseDetector, MrcDetector,
-    SphereDecoder, SubtreeParallelSd, ZfDetector,
+    BestFirstSd, BfsGemmSd, Detector, FixedComplexitySd, MmseDetector, MrcDetector, SphereDecoder,
+    SubtreeParallelSd, ZfDetector,
 };
 use sd_wireless::montecarlo::generate_frames;
 use sd_wireless::{Constellation, LinkConfig, Modulation};

@@ -1,0 +1,225 @@
+//! Node-expansion and end-to-end before/after benchmarks for the arena +
+//! batched-GEMM refactoring (ISSUE 1).
+//!
+//! "Before" is the seed formulation preserved in [`sd_core::reference`]:
+//! every open node owns a `Vec<usize>` path (cloned per expansion) and
+//! children are evaluated per node with a scalar-shaped GEMM. "After" is
+//! the arena workspace: parent-linked nodes, suffix gathered straight from
+//! the slab, and one seeded accumulate-GEMM per level — `E += A' × S`
+//! with `S` in compressed broadcast form (`k × B`, each suffix symbol
+//! spanning its node's `P` child columns) — for a whole batch of open
+//! nodes.
+//!
+//! Unlike the other benches this one has a hand-rolled `main`: after the
+//! measurements it serializes every result — plus the derived
+//! before/after speedups — to `BENCH_expansion.json` in the repo root.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_core::arena::{NodeArena, NIL};
+use sd_core::pd::{eval_children, eval_children_batch, PdScratch};
+use sd_core::preprocess::{preprocess, Prepared};
+use sd_core::reference::{dfs_reference, kbest_reference};
+use sd_core::{EvalStrategy, KBestSd, SearchWorkspace, SphereDecoder};
+use sd_math::GemmAlgo;
+use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
+
+/// The paper's operating point: 16×16 antennas, 16-QAM.
+const N_TX: usize = 16;
+const MOD: Modulation = Modulation::Qam16;
+/// Open nodes expanded together in the throughput benchmark.
+const BATCH: usize = 256;
+/// Tree depth of the expanded batch (mid-tree, so suffixes are non-trivial).
+const DEPTH: usize = 8;
+
+fn problem(seed: u64, snr_db: f64) -> (Constellation, Prepared<f64>, FrameData) {
+    let c = Constellation::new(MOD);
+    let sigma2 = noise_variance(snr_db, N_TX);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = FrameData::generate(N_TX, N_TX, &c, sigma2, &mut rng);
+    let prep = preprocess::<f64>(&f, &c);
+    (c, prep, f)
+}
+
+/// A batch of `BATCH` random open nodes at depth `DEPTH`, in both
+/// representations: arena ids and owned path vectors.
+fn open_nodes(prep: &Prepared<f64>) -> (NodeArena, Vec<u32>, Vec<Vec<usize>>) {
+    let p = prep.order;
+    let mut rng = StdRng::seed_from_u64(0x5DC0DE);
+    let mut arena = NodeArena::new();
+    let mut ids = Vec::with_capacity(BATCH);
+    let mut paths = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        let path: Vec<usize> = (0..DEPTH).map(|_| rng.gen_range(0..p)).collect();
+        let mut id = NIL;
+        for &sym in &path {
+            id = arena.alloc(id, sym);
+        }
+        ids.push(id);
+        paths.push(path);
+    }
+    (arena, ids, paths)
+}
+
+/// Children-per-second of one full batch expansion, before vs after.
+fn bench_node_expansion(c: &mut Criterion) {
+    let (_, prep, _) = problem(1, 22.0);
+    let (arena, ids, paths) = open_nodes(&prep);
+    let p = prep.order;
+
+    let mut group = c.benchmark_group("expansion_16x16_qam16");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements((BATCH * p) as u64));
+
+    // Before: the seed expansion — clone the node's path off the open
+    // list, then a per-node scalar-shaped GEMM evaluation.
+    let mut scratch = PdScratch::new(p, N_TX);
+    group.bench_function(BenchmarkId::new("per_node_path_clone", BATCH), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for path in &paths {
+                let owned = path.clone();
+                eval_children(&prep, &owned, EvalStrategy::Gemm, &mut scratch);
+                acc += scratch.increments[0];
+            }
+            acc
+        });
+    });
+
+    // After: one batched GEMM over all open nodes, suffixes gathered from
+    // the arena slab.
+    for (name, algo) in [
+        ("batched_gemm_blocked", GemmAlgo::Blocked),
+        ("batched_gemm_parallel", GemmAlgo::Parallel),
+    ] {
+        group.bench_function(BenchmarkId::new(name, BATCH), |b| {
+            b.iter(|| {
+                eval_children_batch(&prep, &arena, &ids, algo, &mut scratch);
+                scratch.batch_increments[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end decode latency at the paper's operating point.
+fn bench_end_to_end(c: &mut Criterion) {
+    let frames: Vec<Prepared<f64>> = (0..8).map(|i| problem(10 + i, 22.0).1).collect();
+    let constellation = Constellation::new(MOD);
+
+    let mut group = c.benchmark_group("decode_16x16_qam16");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(frames.len() as u64));
+
+    let sd: SphereDecoder<f64> = SphereDecoder::new(constellation.clone());
+    let mut ws = SearchWorkspace::new();
+    group.bench_function("dfs/reference", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| dfs_reference(p, f64::INFINITY, EvalStrategy::Gemm, true).indices[0])
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("dfs/arena_workspace", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| sd.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
+                .sum::<usize>()
+        });
+    });
+
+    let kb: KBestSd<f64> = KBestSd::new(constellation, 32);
+    group.bench_function("kbest32/reference", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| kbest_reference(p, 32).indices[0])
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("kbest32/arena_batched", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| kb.detect_prepared_in(p, &mut ws).indices[0])
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+/// ns/iter of the result whose id contains `needle`.
+fn find(c: &Criterion, needle: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.id.contains(needle))
+        .unwrap_or_else(|| panic!("no bench result matching {needle:?}"))
+        .ns_per_iter
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    bench_node_expansion(&mut c);
+    bench_end_to_end(&mut c);
+
+    let before = find(&c, "per_node_path_clone");
+    let after_blocked = find(&c, "batched_gemm_blocked");
+    let after_parallel = find(&c, "batched_gemm_parallel");
+    let e2e_before = find(&c, "dfs/reference");
+    let e2e_after = find(&c, "dfs/arena_workspace");
+    let kb_before = find(&c, "kbest32/reference");
+    let kb_after = find(&c, "kbest32/arena_batched");
+
+    let children = (BATCH * 16) as f64;
+    let rows: Vec<String> = c
+        .results()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}}}",
+                r.id, r.ns_per_iter
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"n_tx\": {N_TX}, \"modulation\": \"QAM16\", \"batch\": {BATCH}, \
+         \"depth\": {DEPTH}, \"seed\": \"0x5DC0DE\"}},\n  \"results\": [\n{}\n  ],\n  \
+         \"node_expansion\": {{\n    \
+         \"before_children_per_sec\": {:.0},\n    \
+         \"after_blocked_children_per_sec\": {:.0},\n    \
+         \"after_parallel_children_per_sec\": {:.0},\n    \
+         \"speedup_blocked\": {:.2},\n    \
+         \"speedup_parallel\": {:.2}\n  }},\n  \
+         \"end_to_end_dfs\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"end_to_end_kbest32\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}}\n}}\n",
+        rows.join(",\n"),
+        children * 1e9 / before,
+        children * 1e9 / after_blocked,
+        children * 1e9 / after_parallel,
+        before / after_blocked,
+        before / after_parallel,
+        e2e_before,
+        e2e_after,
+        e2e_before / e2e_after,
+        kb_before,
+        kb_after,
+        kb_before / kb_after,
+    );
+
+    // Walk up from the bench crate to the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = root.join("BENCH_expansion.json");
+    std::fs::write(&out, &json).expect("write BENCH_expansion.json");
+    eprintln!("wrote {}", out.display());
+    eprintln!(
+        "node expansion speedup: blocked {:.2}x, parallel {:.2}x",
+        before / after_blocked,
+        before / after_parallel
+    );
+}

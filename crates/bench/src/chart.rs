@@ -32,7 +32,11 @@ pub struct AsciiChart {
 
 impl AsciiChart {
     /// New chart.
-    pub fn new(title: impl Into<String>, y_label: impl Into<String>, x_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
         AsciiChart {
             title: title.into(),
             y_label: y_label.into(),
@@ -62,7 +66,11 @@ impl AsciiChart {
     pub fn render(&self, rows: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "  {} ({} vs {})", self.title, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "  {} ({} vs {})",
+            self.title, self.y_label, self.x_label
+        );
         let all: Vec<(f64, f64)> = self
             .series
             .iter()
@@ -90,7 +98,9 @@ impl AsciiChart {
         let col_w = 7usize;
         let row_of = |y: f64| -> usize {
             let frac = (y.log10() - ly_min) / span;
-            ((1.0 - frac) * (rows as f64 - 1.0)).round().clamp(0.0, rows as f64 - 1.0) as usize
+            ((1.0 - frac) * (rows as f64 - 1.0))
+                .round()
+                .clamp(0.0, rows as f64 - 1.0) as usize
         };
         let mut grid = vec![vec![' '; xs.len() * col_w]; rows];
         if let Some((r, _)) = self.reference {
@@ -111,12 +121,12 @@ impl AsciiChart {
             // Left axis: decade labels at the top/bottom rows.
             let frac = 1.0 - i as f64 / (rows as f64 - 1.0);
             let decade = ly_min + frac * span;
-            let label = if i == 0 || i + 1 == rows || (decade - decade.round()).abs() < 0.5 / rows as f64
-            {
-                format!("{:>8.0e}", 10f64.powf(decade.round()))
-            } else {
-                " ".repeat(8)
-            };
+            let label =
+                if i == 0 || i + 1 == rows || (decade - decade.round()).abs() < 0.5 / rows as f64 {
+                    format!("{:>8.0e}", 10f64.powf(decade.round()))
+                } else {
+                    " ".repeat(8)
+                };
             let line: String = row.iter().collect();
             let _ = writeln!(out, "  {label} |{line}");
         }
@@ -166,7 +176,7 @@ mod tests {
         let row_of = |m: char, col_hint: usize| -> usize {
             lines
                 .iter()
-                .position(|l| l.chars().nth(col_hint).map_or(false, |_| l.contains(m)))
+                .position(|l| l.chars().nth(col_hint).is_some_and(|_| l.contains(m)))
                 .unwrap()
         };
         // series a (100 at x=4) must appear above series b (5 at x=4).

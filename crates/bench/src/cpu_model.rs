@@ -38,8 +38,7 @@ impl CpuTimeModel {
 
     /// Modeled decode time for one detection's statistics.
     pub fn decode_seconds(&self, stats: &DetectionStats) -> f64 {
-        stats.nodes_expanded as f64 * self.dispatch_s
-            + stats.flops as f64 / self.sustained_flops
+        stats.nodes_expanded as f64 * self.dispatch_s + stats.flops as f64 / self.sustained_flops
     }
 }
 

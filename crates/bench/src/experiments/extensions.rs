@@ -85,7 +85,10 @@ pub fn ext_ordering(opts: &RunOpts) -> Report {
             ColumnOrdering::NormAscending,
         ] {
             let sd: SphereDecoder<f32> = SphereDecoder::new(c.clone()).with_ordering(ordering);
-            let nodes: u64 = frames.iter().map(|f| sd.detect(f).stats.nodes_generated).sum();
+            let nodes: u64 = frames
+                .iter()
+                .map(|f| sd.detect(f).stats.nodes_generated)
+                .sum();
             let per_frame = nodes as f64 / frames.len() as f64;
             if ordering == ColumnOrdering::Natural {
                 natural_nodes = per_frame;
@@ -94,7 +97,10 @@ pub fn ext_ordering(opts: &RunOpts) -> Report {
                 format!("{ordering:?}").into(),
                 Cell::Num(snr, 0),
                 Cell::Num(per_frame, 1),
-                Cell::Text(format!("{:+.0}%", 100.0 * (per_frame / natural_nodes - 1.0))),
+                Cell::Text(format!(
+                    "{:+.0}%",
+                    100.0 * (per_frame / natural_nodes - 1.0)
+                )),
             ]);
         }
     }
@@ -328,14 +334,26 @@ pub fn ext_coded(opts: &RunOpts) -> Report {
                 coded_bits_count += chunk.len() as u64;
                 llrs.extend_from_slice(&s.llrs);
                 // Hard chain: same detections, confidence discarded.
-                hard_llrs.extend(s.hard_bits().iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }));
+                hard_llrs.extend(
+                    s.hard_bits()
+                        .iter()
+                        .map(|&b| if b == 0 { 1.0 } else { -1.0 }),
+                );
             }
             llrs.truncate(code.coded_len(info_len));
             hard_llrs.truncate(code.coded_len(info_len));
             let hard_out = code.viterbi_with_metrics(&hard_llrs);
             let soft_out = code.viterbi_soft(&llrs);
-            hard_errs += hard_out.iter().zip(info.iter()).filter(|(a, b)| a != b).count() as u64;
-            soft_errs += soft_out.iter().zip(info.iter()).filter(|(a, b)| a != b).count() as u64;
+            hard_errs += hard_out
+                .iter()
+                .zip(info.iter())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            soft_errs += soft_out
+                .iter()
+                .zip(info.iter())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
             info_bits += info_len as u64;
         }
         let raw = raw_errs as f64 / coded_bits_count as f64;
@@ -347,7 +365,10 @@ pub fn ext_coded(opts: &RunOpts) -> Report {
             Cell::Sci(hard),
             Cell::Sci(softr),
             Cell::Text(if soft_errs < hard_errs {
-                format!("{:.1}× fewer errors", hard_errs.max(1) as f64 / soft_errs.max(1) as f64)
+                format!(
+                    "{:.1}× fewer errors",
+                    hard_errs.max(1) as f64 / soft_errs.max(1) as f64
+                )
             } else {
                 "—".to_string()
             }),
@@ -447,9 +468,17 @@ pub fn ext_companions(opts: &RunOpts) -> Report {
     let soft: SoftSphereDecoder<f32> = SoftSphereDecoder::new(c.clone());
     run("soft-output list SD", &soft, "LLRs for coded systems");
     let rvd: sd_core::RvdSphereDecoder<f32> = sd_core::RvdSphereDecoder::new(c.clone());
-    run("RVD sorted-DFS (Geosphere-style)", &rvd, "2M levels, sqrt(P) branching");
+    run(
+        "RVD sorted-DFS (Geosphere-style)",
+        &rvd,
+        "2M levels, sqrt(P) branching",
+    );
     let sp: sd_core::StatPruningSd<f32> = sd_core::StatPruningSd::new(c.clone(), 4.0);
-    run("statistical pruning [16], a=4", &sp, "near-ML, probabilistic prune");
+    run(
+        "statistical pruning [16], a=4",
+        &sp,
+        "near-ML, probabilistic prune",
+    );
     r.note("K-best closes on ML as K grows at fixed, hardware-friendly work per level;");
     r.note("the list decoder matches ML hard decisions while emitting per-bit LLRs.");
     r

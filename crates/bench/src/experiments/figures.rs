@@ -4,23 +4,19 @@ use super::{measure_point, point_frames, SNR_GRID_DB};
 use crate::chart::AsciiChart;
 use crate::report::{Cell, Report, RunOpts};
 use crate::GeosphereModel;
-use sd_core::{
-    BestFirstSd, BfsGemmSd, Detector, MmseDetector, SphereDecoder, ZfDetector,
-};
+use sd_core::{BestFirstSd, BfsGemmSd, Detector, MmseDetector, SphereDecoder, ZfDetector};
 use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
 use sd_gpu::GpuSphereDecoder;
-use sd_wireless::{
-    run_link_parallel, Constellation, LinkConfig, Modulation, SnrConvention,
-};
+use sd_wireless::{run_link_parallel, Constellation, LinkConfig, Modulation, SnrConvention};
 use std::time::Instant;
 
 /// Paper anchor points for the execution-time figures:
 /// `(figure, snr_db) -> (cpu_ms, fpga_opt_ms)` where published.
 fn paper_anchor(figure: u32, snr_db: f64) -> Option<(f64, f64)> {
     match (figure, snr_db as i64) {
-        (6, 4) => Some((7.0, 1.4)),    // 5× speedup at 4 dB (Sec. IV-C)
-        (8, 4) => Some((30.0, 5.0)),   // 6.1× at 4 dB (Sec. IV-D)
-        (9, 8) => Some((88.8, 9.9)),   // 9× at 8 dB
+        (6, 4) => Some((7.0, 1.4)),     // 5× speedup at 4 dB (Sec. IV-C)
+        (8, 4) => Some((30.0, 5.0)),    // 6.1× at 4 dB (Sec. IV-D)
+        (9, 8) => Some((88.8, 9.9)),    // 9× at 8 dB
         (10, 4) => Some((100.0, 25.0)), // 4× at 4 dB (Sec. IV-E)
         _ => None,
     }
@@ -44,12 +40,8 @@ pub fn fig_exec_time(opts: &RunOpts, figure: u32, n: usize, modulation: Modulati
     );
     let mut rt_snr_fpga: Option<f64> = None;
     let mut rt_snr_cpu: Option<f64> = None;
-    let mut chart = AsciiChart::new(
-        format!("Fig. {figure}"),
-        "decode time (ms)",
-        "SNR dB",
-    )
-    .with_reference(10.0, "10 ms real-time budget");
+    let mut chart = AsciiChart::new(format!("Fig. {figure}"), "decode time (ms)", "SNR dB")
+        .with_reference(10.0, "10 ms real-time budget");
     let mut cpu_pts = Vec::new();
     let mut base_pts = Vec::new();
     let mut opt_pts = Vec::new();
@@ -132,8 +124,12 @@ pub fn fig7_ber(opts: &RunOpts) -> Report {
             claim.into(),
         ]);
     }
-    r.note("The paper's '<1e-2 at 4 dB' holds under the per-symbol convention of its reference [1];");
-    r.note("under the standard per-receive-antenna convention the same BER is reached near 10-12 dB.");
+    r.note(
+        "The paper's '<1e-2 at 4 dB' holds under the per-symbol convention of its reference [1];",
+    );
+    r.note(
+        "under the standard per-receive-antenna convention the same BER is reached near 10-12 dB.",
+    );
     r.note("Both curves are exact-ML (the decoder is radius-complete), so this is purely the SNR definition.");
     r
 }
@@ -304,7 +300,9 @@ pub fn fig12_detectors(opts: &RunOpts) -> Report {
         ]);
     }
     r.note("Paper: 11× speedup over Geosphere's 11 ms while operating at 4 dB instead of 20 dB.");
-    r.note("Linear detectors are fastest but their BER makes them unusable at these SNRs (Sec. I).");
+    r.note(
+        "Linear detectors are fastest but their BER makes them unusable at these SNRs (Sec. I).",
+    );
     r
 }
 

@@ -89,12 +89,7 @@ pub struct PointTiming {
 }
 
 /// Measure every platform on shared frames.
-pub fn measure_point(
-    n: usize,
-    modulation: Modulation,
-    snr_db: f64,
-    opts: &RunOpts,
-) -> PointTiming {
+pub fn measure_point(n: usize, modulation: Modulation, snr_db: f64, opts: &RunOpts) -> PointTiming {
     let frames_n = opts.frames();
     let (constellation, frames) = point_frames(n, modulation, snr_db, frames_n, opts.seed);
     let cpu: SphereDecoder<f32> = SphereDecoder::new(constellation.clone());

@@ -2,9 +2,7 @@
 
 use super::measure_point;
 use crate::report::{Cell, Report, RunOpts};
-use sd_fpga::{
-    energy_joules, estimate_resources, CpuPowerModel, FpgaConfig, FpgaPowerModel,
-};
+use sd_fpga::{energy_joules, estimate_resources, CpuPowerModel, FpgaConfig, FpgaPowerModel};
 use sd_wireless::Modulation;
 
 /// Table I: FPGA resource utilization, baseline vs optimized, 4/16-QAM.
@@ -13,7 +11,14 @@ pub fn table1(_opts: &RunOpts) -> Report {
         "table1",
         "Table I — FPGA resource utilization (Alveo U280, 10×10 designs)",
         &[
-            "design", "freq(MHz)", "LUTs", "FFs", "DSPs", "BRAMs", "URAMs", "2nd pipeline",
+            "design",
+            "freq(MHz)",
+            "LUTs",
+            "FFs",
+            "DSPs",
+            "BRAMs",
+            "URAMs",
+            "2nd pipeline",
         ],
     );
     let paper: [(&str, FpgaConfig, [f64; 5]); 4] = [
@@ -48,7 +53,14 @@ pub fn table1(_opts: &RunOpts) -> Report {
             Cell::Text(format!("{:.0}%", u.dsps * 100.0)),
             Cell::Text(format!("{:.0}%", u.brams * 100.0)),
             Cell::Text(format!("{:.0}%", u.urams * 100.0)),
-            Cell::Text(if u.fits_second_pipeline() { "yes" } else { "no" }.into()),
+            Cell::Text(
+                if u.fits_second_pipeline() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
+            ),
         ]);
         r.row(vec![
             "  (paper)".into(),

@@ -240,10 +240,7 @@ mod tests {
             seed: 0,
         };
         assert_eq!(o.frames(), 8);
-        let o = RunOpts {
-            fast: false,
-            ..o
-        };
+        let o = RunOpts { fast: false, ..o };
         assert_eq!(o.frames(), 100);
     }
 }

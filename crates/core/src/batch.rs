@@ -3,25 +3,68 @@
 //! The paper's CPU baseline is a multi-core implementation; at the link
 //! level the natural parallelism is across independent channel uses. This
 //! module fans a batch of frames over rayon and aggregates statistics.
+//!
+//! [`decode_batch`] spins a fresh set of search buffers per frame;
+//! [`decode_batch_reused`] instead gives each worker one
+//! [`SearchWorkspace`] for its whole chunk of frames, so the steady-state
+//! throughput path performs no per-frame heap allocation (the software
+//! analogue of the paper's statically-provisioned FPGA buffers).
 
+use crate::arena::SearchWorkspace;
 use crate::detector::{Detection, DetectionStats, Detector};
 use rayon::prelude::*;
+use sd_math::Float;
 use sd_wireless::FrameData;
+
+/// Detectors that can decode into a caller-owned [`SearchWorkspace`],
+/// letting batch drivers amortize buffer allocation across frames.
+pub trait WorkspaceDetector<F: Float>: Detector {
+    /// Decode one frame, drawing every internal search buffer from `ws`.
+    ///
+    /// Must return exactly what [`Detector::detect`] returns — workspace
+    /// reuse is an allocation optimization, never a semantic one.
+    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection;
+}
 
 /// Decode a batch of frames in parallel; results keep the input order.
 pub fn decode_batch<D: Detector + ?Sized>(detector: &D, frames: &[FrameData]) -> Vec<Detection> {
     frames.par_iter().map(|f| detector.detect(f)).collect()
 }
 
+/// Decode a batch in parallel with one [`SearchWorkspace`] per worker
+/// chunk of `frames_per_worker` frames; results keep the input order.
+///
+/// Identical output to [`decode_batch`]; after each worker's first frame
+/// warms its workspace up to steady-state capacity, the remaining frames
+/// of the chunk decode without heap allocation.
+pub fn decode_batch_reused<F: Float, D: WorkspaceDetector<F>>(
+    detector: &D,
+    frames: &[FrameData],
+    frames_per_worker: usize,
+) -> Vec<Detection> {
+    let chunks: Vec<&[FrameData]> = frames.chunks(frames_per_worker.max(1)).collect();
+    let per_chunk: Vec<Vec<Detection>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut ws = SearchWorkspace::new();
+            chunk
+                .iter()
+                .map(|f| detector.detect_in(f, &mut ws))
+                .collect()
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
+}
+
 /// Decode a batch and return only the aggregated statistics.
 pub fn batch_stats<D: Detector + ?Sized>(detector: &D, frames: &[FrameData]) -> DetectionStats {
-    frames
-        .par_iter()
-        .map(|f| detector.detect(f).stats)
-        .reduce(DetectionStats::default, |mut a, b| {
+    frames.par_iter().map(|f| detector.detect(f).stats).reduce(
+        DetectionStats::default,
+        |mut a, b| {
             a.merge(&b);
             a
-        })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -74,5 +117,34 @@ mod tests {
         let sd: SphereDecoder<f64> = SphereDecoder::new(c);
         assert!(decode_batch(&sd, &[]).is_empty());
         assert_eq!(batch_stats(&sd, &[]), DetectionStats::default());
+        assert!(decode_batch_reused(&sd, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn reused_workspaces_match_fresh_ones() {
+        let (c, frames) = frames(33);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let bf: crate::BestFirstSd<f64> = crate::BestFirstSd::new(c.clone());
+        let bfs: crate::BfsGemmSd<f64> = crate::BfsGemmSd::new(c.clone());
+        let kb: crate::KBestSd<f64> = crate::KBestSd::new(c, 8);
+        // Chunk size deliberately not dividing the batch, so the last
+        // worker gets a short chunk.
+        for per_worker in [1, 8, 64] {
+            let fresh = decode_batch(&sd, &frames);
+            let reused = decode_batch_reused(&sd, &frames, per_worker);
+            assert_eq!(fresh, reused, "DFS, chunk={per_worker}");
+            assert_eq!(
+                decode_batch(&bf, &frames),
+                decode_batch_reused(&bf, &frames, per_worker)
+            );
+            assert_eq!(
+                decode_batch(&bfs, &frames),
+                decode_batch_reused(&bfs, &frames, per_worker)
+            );
+            assert_eq!(
+                decode_batch(&kb, &frames),
+                decode_batch_reused(&kb, &frames, per_worker)
+            );
+        }
     }
 }

@@ -7,15 +7,20 @@
 //! leaf with the minimum possible number of expansions, at the cost of a
 //! heap and larger memory footprint — the trade the paper's hardware MST
 //! sidesteps with per-level sorting.
+//!
+//! Open nodes live in the [`crate::arena`] slab: a heap entry is twelve
+//! bytes of `(pd, id, depth)` instead of an owned path, so pushing a child
+//! is a slab append rather than a `Vec` clone, and the winning path is
+//! materialized exactly once at the end.
 
+use crate::arena::{SearchWorkspace, NIL};
 use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, EvalStrategy, PdScratch};
+use crate::pd::{eval_children_from_arena, EvalStrategy};
 use crate::preprocess::{preprocess, Prepared};
 use crate::radius::InitialRadius;
 use sd_math::Float;
 use sd_wireless::{Constellation, FrameData};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Priority-queue (min-PD-first) sphere decoder.
 #[derive(Clone, Debug)]
@@ -29,10 +34,13 @@ pub struct BestFirstSd<F: Float = f64> {
 }
 
 /// Heap entry; ordered so that `BinaryHeap` pops the *smallest* PD.
-struct OpenNode {
-    pd: f64,
-    /// Depth-order path (`path[d]` = antenna `M−1−d`).
-    path: Vec<usize>,
+pub(crate) struct OpenNode {
+    /// Accumulated partial distance.
+    pub(crate) pd: f64,
+    /// Arena id of the node ([`NIL`] for the root / empty path).
+    pub(crate) id: u32,
+    /// Path length (cached: the arena treats `NIL` as depth 0).
+    pub(crate) depth: u32,
 }
 
 impl PartialEq for OpenNode {
@@ -49,12 +57,13 @@ impl PartialOrd for OpenNode {
 impl Ord for OpenNode {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller PD = "greater" for the max-heap. Tie-break on
-        // depth (deeper first) to reach leaves sooner.
+        // depth (deeper first) to reach leaves sooner. `total_cmp` keeps
+        // the order total even if a reduced-precision PD overflows to NaN
+        // (NaN sorts past +∞, i.e. expanded last — effectively pruned).
         other
             .pd
-            .partial_cmp(&self.pd)
-            .expect("non-NaN PD")
-            .then_with(|| self.path.len().cmp(&other.path.len()))
+            .total_cmp(&self.pd)
+            .then_with(|| self.depth.cmp(&other.depth))
     }
 }
 
@@ -84,49 +93,69 @@ impl<F: Float> BestFirstSd<F> {
 
     /// Decode an already-preprocessed problem.
     pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
+        let mut ws = SearchWorkspace::new();
+        self.detect_prepared_in(prep, radius_sqr, &mut ws)
+    }
+
+    /// [`BestFirstSd::detect_prepared`] reusing a caller-owned workspace:
+    /// after the buffers reach steady-state capacity, the search loop
+    /// performs no heap allocation.
+    pub fn detect_prepared_in(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+    ) -> Detection {
         let m = prep.n_tx;
         let p = prep.order;
-        let mut scratch = PdScratch::new(p, m);
+        ws.prepare(p, m);
         let mut stats = DetectionStats {
             per_level_generated: vec![0; m],
             ..Default::default()
         };
         let mut r2 = radius_sqr;
-        let mut best: Option<(f64, Vec<usize>)> = None;
+        // Winning leaf as (pd, parent id, leaf symbol): the arena is only
+        // cleared on restart, which can only happen while `best` is None,
+        // so the parent id stays valid until materialization.
+        let mut best: Option<(f64, u32, usize)> = None;
 
         loop {
-            let mut heap = BinaryHeap::new();
-            heap.push(OpenNode {
+            ws.arena.clear();
+            ws.heap.clear();
+            ws.heap.push(OpenNode {
                 pd: 0.0,
-                path: Vec::new(),
+                id: NIL,
+                depth: 0,
             });
-            while let Some(node) = heap.pop() {
-                if let Some((best_pd, _)) = &best {
+            while let Some(node) = ws.heap.pop() {
+                if let Some((best_pd, _, _)) = &best {
                     if node.pd >= *best_pd {
                         // Min-heap ⇒ nothing better remains.
                         break;
                     }
                 }
-                let depth = node.path.len();
+                let depth = node.depth as usize;
                 stats.nodes_expanded += 1;
-                stats.flops += eval_children(prep, &node.path, self.eval, &mut scratch);
+                stats.flops +=
+                    eval_children_from_arena(prep, &ws.arena, node.id, self.eval, &mut ws.scratch);
                 stats.nodes_generated += p as u64;
                 stats.per_level_generated[depth] += p as u64;
 
                 for c in 0..p {
-                    let child_pd = node.pd + scratch.increments[c].to_f64();
-                    let bound = best.as_ref().map_or(r2, |(b, _)| b.min(r2));
+                    let child_pd = node.pd + ws.scratch.increments[c].to_f64();
+                    let bound = best.as_ref().map_or(r2, |(b, _, _)| b.min(r2));
                     if child_pd < bound {
                         if depth + 1 == m {
                             stats.leaves_reached += 1;
                             stats.radius_updates += 1;
-                            let mut leaf = node.path.clone();
-                            leaf.push(c);
-                            best = Some((child_pd, leaf));
+                            best = Some((child_pd, node.id, c));
                         } else {
-                            let mut path = node.path.clone();
-                            path.push(c);
-                            heap.push(OpenNode { pd: child_pd, path });
+                            let id = ws.arena.alloc(node.id, c);
+                            ws.heap.push(OpenNode {
+                                pd: child_pd,
+                                id,
+                                depth: node.depth + 1,
+                            });
                         }
                     } else {
                         stats.nodes_pruned += 1;
@@ -141,10 +170,12 @@ impl<F: Float> BestFirstSd<F> {
             assert!(stats.restarts < 64, "radius failed to capture any leaf");
         }
 
-        let (best_pd, best_path) = best.expect("loop exits only with a solution");
+        let (best_pd, parent, leaf_sym) = best.expect("loop exits only with a solution");
+        ws.arena.path_into(parent, &mut ws.path_buf);
+        ws.path_buf.push(leaf_sym);
         stats.final_radius_sqr = best_pd;
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&best_path);
+        let indices = prep.indices_from_path(&ws.path_buf);
         Detection { indices, stats }
     }
 }
@@ -163,6 +194,16 @@ impl<F: Float> Detector for BestFirstSd<F> {
     }
 }
 
+impl<F: Float> crate::batch::WorkspaceDetector<F> for BestFirstSd<F> {
+    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        let r2 = self
+            .initial_radius
+            .resolve(frame.h.rows(), frame.noise_variance);
+        self.detect_prepared_in(&prep, r2, ws)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +212,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sd_wireless::{noise_variance, Modulation};
+    use std::collections::BinaryHeap;
 
     fn frames(
         n: usize,
@@ -218,8 +260,14 @@ mod tests {
         let (c, frames) = frames(7, Modulation::Qam4, 6.0, 20, 62);
         let bf: BestFirstSd<f64> = BestFirstSd::new(c.clone());
         let dfs: SphereDecoder<f64> = SphereDecoder::new(c);
-        let nb: u64 = frames.iter().map(|f| bf.detect(f).stats.nodes_expanded).sum();
-        let nd: u64 = frames.iter().map(|f| dfs.detect(f).stats.nodes_expanded).sum();
+        let nb: u64 = frames
+            .iter()
+            .map(|f| bf.detect(f).stats.nodes_expanded)
+            .sum();
+        let nd: u64 = frames
+            .iter()
+            .map(|f| dfs.detect(f).stats.nodes_expanded)
+            .sum();
         assert!(nb <= nd, "best-first expanded {nb} > DFS {nd}");
     }
 
@@ -239,10 +287,28 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_transparent() {
+        let (c, frames) = frames(6, Modulation::Qam16, 12.0, 10, 64);
+        let bf: BestFirstSd<f64> = BestFirstSd::new(c.clone());
+        let mut ws = SearchWorkspace::new();
+        for f in &frames {
+            let prep: Prepared<f64> = preprocess(f, &c);
+            let fresh = bf.detect_prepared(&prep, f64::INFINITY);
+            let reused = bf.detect_prepared_in(&prep, f64::INFINITY, &mut ws);
+            assert_eq!(fresh.indices, reused.indices);
+            assert_eq!(fresh.stats, reused.stats);
+        }
+    }
+
+    #[test]
     fn heap_ordering_pops_smallest_pd() {
         let mut heap = BinaryHeap::new();
         for pd in [3.0, 1.0, 2.0] {
-            heap.push(OpenNode { pd, path: vec![] });
+            heap.push(OpenNode {
+                pd,
+                id: NIL,
+                depth: 0,
+            });
         }
         assert_eq!(heap.pop().unwrap().pd, 1.0);
         assert_eq!(heap.pop().unwrap().pd, 2.0);
@@ -254,12 +320,31 @@ mod tests {
         let mut heap = BinaryHeap::new();
         heap.push(OpenNode {
             pd: 1.0,
-            path: vec![0],
+            id: 0,
+            depth: 1,
         });
         heap.push(OpenNode {
             pd: 1.0,
-            path: vec![0, 1, 2],
+            id: 1,
+            depth: 3,
         });
-        assert_eq!(heap.pop().unwrap().path.len(), 3);
+        assert_eq!(heap.pop().unwrap().depth, 3);
+    }
+
+    #[test]
+    fn nan_pd_orders_last_instead_of_panicking() {
+        // Regression: the seed ordering used `partial_cmp().expect(..)`
+        // and aborted the decode on the first NaN partial distance.
+        let mut heap = BinaryHeap::new();
+        for pd in [2.0, f64::NAN, 1.0] {
+            heap.push(OpenNode {
+                pd,
+                id: NIL,
+                depth: 0,
+            });
+        }
+        assert_eq!(heap.pop().unwrap().pd, 1.0);
+        assert_eq!(heap.pop().unwrap().pd, 2.0);
+        assert!(heap.pop().unwrap().pd.is_nan(), "NaN expands last");
     }
 }

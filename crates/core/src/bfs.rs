@@ -8,15 +8,26 @@
 //! more nodes than the leaf-biased DFS (the effect behind the paper's
 //! Fig. 11 and the "<1 %" claim of Sec. IV-F).
 //!
+//! The "one GEMM per level" is literal here: the frontier lives in the
+//! [`crate::arena`] slab as `(pd, id)` pairs and
+//! [`crate::pd::eval_children_batch`] packs every open node's tree state
+//! into a single `(depth+1) × (B·P)` operand per level (chunked at
+//! [`crate::pd::MAX_BATCH`]), evaluated by one [`sd_math`] kernel call.
+//! The kernel is selectable ([`BfsGemmSd::with_batch_algo`]) and the
+//! resulting increments are bit-identical to per-node evaluation, so the
+//! decoded symbols and every statistic match the scalar formulation
+//! exactly.
+//!
 //! The decoder records a [`BfsLevelTrace`] of per-level frontier sizes and
 //! GEMM shapes; the `sd-gpu` crate charges an A100 cost model over that
 //! trace.
 
+use crate::arena::{SearchWorkspace, NIL};
 use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, EvalStrategy, PdScratch};
+use crate::pd::eval_children_batch;
 use crate::preprocess::{preprocess, Prepared};
 use crate::radius::InitialRadius;
-use sd_math::Float;
+use sd_math::{Float, GemmAlgo};
 use sd_wireless::{Constellation, FrameData};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +67,8 @@ pub struct BfsGemmSd<F: Float = f64> {
     /// Hard cap on the surviving frontier per level; beyond it only the
     /// best nodes are kept (GPU memory limit surrogate).
     pub max_frontier: usize,
+    /// Kernel driving the per-level batched GEMM.
+    pub batch_algo: GemmAlgo,
     _precision: std::marker::PhantomData<F>,
 }
 
@@ -66,6 +79,7 @@ impl<F: Float> BfsGemmSd<F> {
             constellation,
             initial_radius: InitialRadius::ScaledNoise(2.0),
             max_frontier: 1 << 20,
+            batch_algo: GemmAlgo::Blocked,
             _precision: std::marker::PhantomData,
         }
     }
@@ -87,6 +101,14 @@ impl<F: Float> BfsGemmSd<F> {
         self
     }
 
+    /// Builder: batched-GEMM kernel ([`GemmAlgo::Blocked`] serial or
+    /// [`GemmAlgo::Parallel`] for wide frontiers; every kernel yields
+    /// bit-identical increments).
+    pub fn with_batch_algo(mut self, algo: GemmAlgo) -> Self {
+        self.batch_algo = algo;
+        self
+    }
+
     /// Decode and return the per-level trace alongside the detection.
     pub fn detect_traced(&self, frame: &FrameData) -> (Detection, BfsLevelTrace) {
         let prep: Prepared<F> = preprocess(frame, &self.constellation);
@@ -102,9 +124,22 @@ impl<F: Float> BfsGemmSd<F> {
         prep: &Prepared<F>,
         radius_sqr: f64,
     ) -> (Detection, BfsLevelTrace) {
+        let mut ws = SearchWorkspace::new();
+        self.detect_prepared_traced_in(prep, radius_sqr, &mut ws)
+    }
+
+    /// [`BfsGemmSd::detect_prepared_traced`] reusing a caller-owned
+    /// workspace; the level loop performs no heap allocation once the
+    /// buffers reach steady-state capacity.
+    pub fn detect_prepared_traced_in(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+    ) -> (Detection, BfsLevelTrace) {
         let m = prep.n_tx;
         let p = prep.order;
-        let mut scratch = PdScratch::new(p, m);
+        ws.prepare(p, m);
         let mut stats = DetectionStats {
             per_level_generated: vec![0; m],
             ..Default::default()
@@ -115,35 +150,39 @@ impl<F: Float> BfsGemmSd<F> {
         'restart: loop {
             trace.levels.clear();
             trace.clipped = false;
-            // Frontier: (pd, depth-order path).
-            let mut frontier: Vec<(f64, Vec<usize>)> = vec![(0.0, Vec::new())];
+            ws.arena.clear();
+            ws.frontier.clear();
+            ws.frontier.push((0.0, NIL));
             for depth in 0..m {
                 let mut info = BfsLevelInfo {
-                    frontier_in: frontier.len(),
-                    children: frontier.len() * p,
+                    frontier_in: ws.frontier.len(),
+                    children: ws.frontier.len() * p,
                     survivors: 0,
-                    gemm_shape: (1, depth + 1, frontier.len() * p),
+                    gemm_shape: (1, depth + 1, ws.frontier.len() * p),
                 };
-                let mut next: Vec<(f64, Vec<usize>)> =
-                    Vec::with_capacity(frontier.len().min(self.max_frontier) * p);
-                for (pd, path) in &frontier {
-                    stats.nodes_expanded += 1;
-                    stats.flops += eval_children(prep, path, EvalStrategy::Gemm, &mut scratch);
-                    stats.nodes_generated += p as u64;
-                    stats.per_level_generated[depth] += p as u64;
+                // One batched GEMM for the whole level.
+                ws.ids.clear();
+                ws.ids.extend(ws.frontier.iter().map(|&(_, id)| id));
+                stats.flops +=
+                    eval_children_batch(prep, &ws.arena, &ws.ids, self.batch_algo, &mut ws.scratch);
+                stats.nodes_expanded += ws.frontier.len() as u64;
+                stats.nodes_generated += (ws.frontier.len() * p) as u64;
+                stats.per_level_generated[depth] += (ws.frontier.len() * p) as u64;
+
+                ws.next.clear();
+                for (bi, &(pd, id)) in ws.frontier.iter().enumerate() {
                     for c in 0..p {
-                        let child_pd = pd + scratch.increments[c].to_f64();
+                        let child_pd = pd + ws.scratch.batch_increments[bi * p + c].to_f64();
                         if child_pd < r2 {
-                            let mut child_path = path.clone();
-                            child_path.push(c);
-                            next.push((child_pd, child_path));
+                            let child = ws.arena.alloc(id, c);
+                            ws.next.push((child_pd, child));
                         } else {
                             stats.nodes_pruned += 1;
                         }
                     }
                 }
-                info.survivors = next.len();
-                if next.is_empty() {
+                info.survivors = ws.next.len();
+                if ws.next.is_empty() {
                     // Empty sphere: grow radius and restart the whole BFS.
                     trace.levels.push(info);
                     r2 *= InitialRadius::RESTART_GROWTH;
@@ -152,27 +191,29 @@ impl<F: Float> BfsGemmSd<F> {
                     assert!(stats.restarts < 64, "radius failed to capture any leaf");
                     continue 'restart;
                 }
-                if next.len() > self.max_frontier {
+                if ws.next.len() > self.max_frontier {
                     // GPU-memory surrogate: keep the best nodes only.
-                    next.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN"));
-                    stats.nodes_pruned += (next.len() - self.max_frontier) as u64;
-                    next.truncate(self.max_frontier);
+                    ws.next.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    stats.nodes_pruned += (ws.next.len() - self.max_frontier) as u64;
+                    ws.next.truncate(self.max_frontier);
                     trace.clipped = true;
                 }
                 trace.levels.push(info);
-                frontier = next;
+                std::mem::swap(&mut ws.frontier, &mut ws.next);
             }
 
             // Leaf level: pick the minimum-PD survivor.
-            stats.leaves_reached += frontier.len() as u64;
-            let (best_pd, best_path) = frontier
-                .into_iter()
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN"))
+            stats.leaves_reached += ws.frontier.len() as u64;
+            let &(best_pd, best_id) = ws
+                .frontier
+                .iter()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
                 .expect("non-empty by construction");
             stats.radius_updates += 1;
             stats.final_radius_sqr = best_pd;
             stats.flops += prep.prep_flops;
-            let indices = prep.indices_from_path(&best_path);
+            ws.arena.path_into(best_id, &mut ws.path_buf);
+            let indices = prep.indices_from_path(&ws.path_buf);
             return (Detection { indices, stats }, trace);
         }
     }
@@ -185,6 +226,16 @@ impl<F: Float> Detector for BfsGemmSd<F> {
 
     fn detect(&self, frame: &FrameData) -> Detection {
         self.detect_traced(frame).0
+    }
+}
+
+impl<F: Float> crate::batch::WorkspaceDetector<F> for BfsGemmSd<F> {
+    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        let r2 = self
+            .initial_radius
+            .resolve(frame.h.rows(), frame.noise_variance);
+        self.detect_prepared_traced_in(&prep, r2, ws).0
     }
 }
 
@@ -226,6 +277,26 @@ mod tests {
     }
 
     #[test]
+    fn batch_kernels_agree_exactly() {
+        // Blocked and Parallel batched kernels must produce identical
+        // decodes *and statistics* (bit-identical increments).
+        let (c, frames) = frames(6, Modulation::Qam16, 10.0, 8, 75);
+        let blocked: BfsGemmSd<f64> = BfsGemmSd::new(c.clone());
+        let parallel: BfsGemmSd<f64> =
+            BfsGemmSd::new(c.clone()).with_batch_algo(GemmAlgo::Parallel);
+        let naive: BfsGemmSd<f64> = BfsGemmSd::new(c).with_batch_algo(GemmAlgo::Naive);
+        for f in &frames {
+            let a = blocked.detect(f);
+            let b = parallel.detect(f);
+            let n = naive.detect(f);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.indices, n.indices);
+            assert_eq!(a.stats, n.stats);
+        }
+    }
+
+    #[test]
     fn explores_far_more_nodes_than_dfs() {
         // The Sec. IV-F claim: at the paper's low-SNR operating point the
         // leaf-biased search visits a small fraction of what BFS visits,
@@ -233,8 +304,14 @@ mod tests {
         let (c, frames) = frames(8, Modulation::Qam4, 4.0, 10, 71);
         let bfs: BfsGemmSd<f64> = BfsGemmSd::new(c.clone());
         let dfs: SphereDecoder<f64> = SphereDecoder::new(c);
-        let nb: u64 = frames.iter().map(|f| bfs.detect(f).stats.nodes_generated).sum();
-        let nd: u64 = frames.iter().map(|f| dfs.detect(f).stats.nodes_generated).sum();
+        let nb: u64 = frames
+            .iter()
+            .map(|f| bfs.detect(f).stats.nodes_generated)
+            .sum();
+        let nd: u64 = frames
+            .iter()
+            .map(|f| dfs.detect(f).stats.nodes_generated)
+            .sum();
         assert!(nd * 4 < nb, "DFS ({nd}) should explore ≪ BFS ({nb}) nodes");
         let full = 10 * 4u64.pow(8);
         assert!(

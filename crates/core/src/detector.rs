@@ -71,7 +71,7 @@ impl DetectionStats {
 }
 
 /// Result of one decode.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Detection {
     /// Constellation point index per transmit antenna (the decoded `ŝ`).
     pub indices: Vec<usize>,

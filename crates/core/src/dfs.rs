@@ -9,8 +9,9 @@
 //! decoder restarts with an enlarged sphere when no leaf survives, so
 //! exactness holds for every [`InitialRadius`].
 
+use crate::arena::SearchWorkspace;
 use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
+use crate::pd::{children_into, eval_children, sorted_children_into, EvalStrategy, PdScratch};
 use crate::preprocess::{preprocess_ordered, ColumnOrdering, Prepared};
 use crate::radius::InitialRadius;
 use sd_math::Float;
@@ -79,15 +80,31 @@ impl<F: Float> SphereDecoder<F> {
     /// Decode an already-preprocessed problem. Exposed so the FPGA
     /// simulator and ablation benches can drive the identical search.
     pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
+        let mut ws = SearchWorkspace::new();
+        self.detect_prepared_in(prep, radius_sqr, &mut ws)
+    }
+
+    /// [`SphereDecoder::detect_prepared`] reusing a caller-owned
+    /// workspace: the path, best-path and per-depth child-sort buffers all
+    /// come from `ws`, so the steady-state descent allocates nothing.
+    pub fn detect_prepared_in(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+    ) -> Detection {
+        ws.prepare(prep.order, prep.n_tx);
+        let ws = &mut *ws;
         let mut search = Search {
             prep,
-            scratch: PdScratch::new(prep.order, prep.n_tx),
+            scratch: &mut ws.scratch,
             stats: DetectionStats {
                 per_level_generated: vec![0; prep.n_tx],
                 ..Default::default()
             },
-            path: Vec::with_capacity(prep.n_tx),
-            best_path: Vec::new(),
+            path: &mut ws.path,
+            best_path: &mut ws.best_path,
+            sort_bufs: &mut ws.sort_bufs,
             best_metric: F::from_f64(radius_sqr),
             sort: self.sort_children,
             eval: self.eval,
@@ -108,7 +125,7 @@ impl<F: Float> SphereDecoder<F> {
                 "sphere radius failed to capture any leaf"
             );
         }
-        let indices = prep.indices_from_path(&search.best_path);
+        let indices = prep.indices_from_path(search.best_path);
         let mut stats = search.stats;
         stats.final_radius_sqr = search.best_metric.to_f64();
         stats.flops += prep.prep_flops;
@@ -130,14 +147,29 @@ impl<F: Float> Detector for SphereDecoder<F> {
     }
 }
 
-/// One in-flight tree search.
+impl<F: Float> crate::batch::WorkspaceDetector<F> for SphereDecoder<F> {
+    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
+        let prep: Prepared<F> = preprocess_ordered(frame, &self.constellation, self.ordering);
+        let r2 = self
+            .initial_radius
+            .resolve(frame.h.rows(), frame.noise_variance);
+        self.detect_prepared_in(&prep, r2, ws)
+    }
+}
+
+/// One in-flight tree search, borrowing all buffers from a
+/// [`SearchWorkspace`].
 struct Search<'a, F: Float> {
     prep: &'a Prepared<F>,
-    scratch: PdScratch<F>,
+    scratch: &'a mut PdScratch<F>,
     stats: DetectionStats,
     /// Current path, depth order (`path[d]` = antenna `M−1−d`).
-    path: Vec<usize>,
-    best_path: Vec<usize>,
+    path: &'a mut Vec<usize>,
+    best_path: &'a mut Vec<usize>,
+    /// Per-depth `(increment, child)` buffers: `descend` at depth `d` owns
+    /// `sort_bufs[d]` for the duration of its sibling loop, so recursion
+    /// never aliases and no expansion clones the increments.
+    sort_bufs: &'a mut [Vec<(F, usize)>],
     /// Current squared sphere radius (shrinks on every accepted leaf).
     best_metric: F,
     sort: bool,
@@ -151,25 +183,29 @@ impl<F: Float> Search<'_, F> {
         let m = self.prep.n_tx;
         let p = self.prep.order;
         self.stats.nodes_expanded += 1;
-        self.stats.flops += eval_children(self.prep, &self.path, self.eval, &mut self.scratch);
+        self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
         self.stats.nodes_generated += p as u64;
         self.stats.per_level_generated[depth] += p as u64;
 
+        // Take this depth's buffer out so `visit` can recurse into deeper
+        // levels; recursion overwrites `scratch.increments`, which is why
+        // the seed implementation cloned them every expansion.
+        let mut children = std::mem::take(&mut self.sort_bufs[depth]);
         if self.sort {
-            let children = sorted_children(&self.scratch.increments);
-            for (rank, (inc, child)) in children.into_iter().enumerate() {
+            sorted_children_into(&self.scratch.increments, &mut children);
+            for (rank, &(inc, child)) in children.iter().enumerate() {
                 let child_pd = pd + inc;
                 if !(child_pd < self.best_metric) {
                     // Sorted order ⇒ every remaining sibling is pruned too.
                     self.stats.nodes_pruned += (p - rank) as u64;
-                    return;
+                    break;
                 }
                 self.visit(child, child_pd, depth, m);
             }
         } else {
             // Plain DFS ablation: natural constellation order.
-            let increments = self.scratch.increments.clone();
-            for (child, &inc) in increments.iter().enumerate() {
+            children_into(&self.scratch.increments, &mut children);
+            for &(inc, child) in children.iter() {
                 let child_pd = pd + inc;
                 if child_pd < self.best_metric {
                     self.visit(child, child_pd, depth, m);
@@ -178,6 +214,7 @@ impl<F: Float> Search<'_, F> {
                 }
             }
         }
+        self.sort_bufs[depth] = children;
     }
 
     #[inline]
@@ -188,7 +225,7 @@ impl<F: Float> Search<'_, F> {
             self.stats.radius_updates += 1;
             self.best_metric = child_pd;
             self.best_path.clear();
-            self.best_path.extend_from_slice(&self.path);
+            self.best_path.extend_from_slice(self.path);
             self.best_path.push(child);
         } else {
             self.path.push(child);
@@ -205,9 +242,15 @@ mod tests {
     use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{Modulation, noise_variance};
+    use sd_wireless::{noise_variance, Modulation};
 
-    fn frames(n: usize, m: Modulation, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
+    fn frames(
+        n: usize,
+        m: Modulation,
+        snr_db: f64,
+        count: usize,
+        seed: u64,
+    ) -> (Constellation, Vec<FrameData>) {
         let c = Constellation::new(m);
         let sigma2 = noise_variance(snr_db, n);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -244,8 +287,8 @@ mod tests {
         let (c, frames) = frames(4, Modulation::Qam4, 4.0, 25, 44);
         let inf: SphereDecoder<f64> = SphereDecoder::new(c.clone());
         // Deliberately tiny radius to force restarts.
-        let tight: SphereDecoder<f64> = SphereDecoder::new(c.clone())
-            .with_initial_radius(InitialRadius::ScaledNoise(0.01));
+        let tight: SphereDecoder<f64> =
+            SphereDecoder::new(c.clone()).with_initial_radius(InitialRadius::ScaledNoise(0.01));
         let mut saw_restart = false;
         for f in &frames {
             let a = inf.detect(f);
@@ -260,8 +303,7 @@ mod tests {
     fn unsorted_dfs_same_answer_more_work() {
         let (c, frames) = frames(6, Modulation::Qam4, 8.0, 15, 45);
         let sorted: SphereDecoder<f64> = SphereDecoder::new(c.clone());
-        let plain: SphereDecoder<f64> =
-            SphereDecoder::new(c.clone()).with_sorted_children(false);
+        let plain: SphereDecoder<f64> = SphereDecoder::new(c.clone()).with_sorted_children(false);
         let mut n_sorted = 0u64;
         let mut n_plain = 0u64;
         for f in &frames {
@@ -315,10 +357,7 @@ mod tests {
         for f in &frames {
             let d = sd.detect(f);
             let s = &d.stats;
-            assert_eq!(
-                s.nodes_generated,
-                s.per_level_generated.iter().sum::<u64>()
-            );
+            assert_eq!(s.nodes_generated, s.per_level_generated.iter().sum::<u64>());
             assert_eq!(s.nodes_generated, s.nodes_expanded * 4);
             assert!(s.leaves_reached >= 1);
             assert_eq!(s.leaves_reached, s.radius_updates);
@@ -380,8 +419,14 @@ mod tests {
             SphereDecoder::new(c.clone()).with_ordering(ColumnOrdering::NormDescending);
         let worst: SphereDecoder<f64> =
             SphereDecoder::new(c.clone()).with_ordering(ColumnOrdering::NormAscending);
-        let n_best: u64 = frames.iter().map(|f| best.detect(f).stats.nodes_generated).sum();
-        let n_worst: u64 = frames.iter().map(|f| worst.detect(f).stats.nodes_generated).sum();
+        let n_best: u64 = frames
+            .iter()
+            .map(|f| best.detect(f).stats.nodes_generated)
+            .sum();
+        let n_worst: u64 = frames
+            .iter()
+            .map(|f| worst.detect(f).stats.nodes_generated)
+            .sum();
         assert!(
             n_best < n_worst,
             "descending ({n_best}) must beat ascending ({n_worst})"

@@ -163,8 +163,7 @@ mod tests {
     #[test]
     fn full_expansion_of_all_levels_is_ml() {
         let (c, frames) = frames(4, 6.0, 20, 80);
-        let fsd: FixedComplexitySd<f64> =
-            FixedComplexitySd::new(c.clone()).with_full_expansion(4);
+        let fsd: FixedComplexitySd<f64> = FixedComplexitySd::new(c.clone()).with_full_expansion(4);
         let ml = MlDetector::new(c);
         for f in &frames {
             assert_eq!(fsd.detect(f).indices, ml.detect(f).indices);

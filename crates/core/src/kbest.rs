@@ -8,11 +8,19 @@
 //! whole level. Included as the related-work baseline family the paper
 //! contrasts against (Sec. II-C) and as an accuracy/throughput ablation
 //! axis.
+//!
+//! Being level-synchronous, K-best gets the same batched treatment as the
+//! BFS decoder: the surviving frontier lives in the [`crate::arena`] slab
+//! and each level's children are evaluated with one
+//! [`crate::pd::eval_children_batch`] GEMM call. Partial distances
+//! accumulate in the working precision `F` (not `f64`), preserving the
+//! original fixed-precision semantics bit for bit.
 
+use crate::arena::{SearchWorkspace, NIL};
 use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, EvalStrategy, PdScratch};
+use crate::pd::eval_children_batch;
 use crate::preprocess::{preprocess, Prepared};
-use sd_math::Float;
+use sd_math::{Float, GemmAlgo};
 use sd_wireless::{Constellation, FrameData};
 
 /// K-best breadth-limited decoder.
@@ -21,6 +29,8 @@ pub struct KBestSd<F: Float = f64> {
     constellation: Constellation,
     /// Survivors kept per level.
     pub k: usize,
+    /// Kernel driving the per-level batched GEMM.
+    pub batch_algo: GemmAlgo,
     _precision: std::marker::PhantomData<F>,
 }
 
@@ -31,52 +41,73 @@ impl<F: Float> KBestSd<F> {
         KBestSd {
             constellation,
             k,
+            batch_algo: GemmAlgo::Blocked,
             _precision: std::marker::PhantomData,
         }
     }
 
+    /// Builder: batched-GEMM kernel (bit-identical across kernels).
+    pub fn with_batch_algo(mut self, algo: GemmAlgo) -> Self {
+        self.batch_algo = algo;
+        self
+    }
+
     /// Decode an already-preprocessed problem.
     pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
+        let mut ws = SearchWorkspace::new();
+        self.detect_prepared_in(prep, &mut ws)
+    }
+
+    /// [`KBestSd::detect_prepared`] reusing a caller-owned workspace.
+    pub fn detect_prepared_in(&self, prep: &Prepared<F>, ws: &mut SearchWorkspace<F>) -> Detection {
         let m = prep.n_tx;
         let p = prep.order;
-        let mut scratch = PdScratch::new(p, m);
+        ws.prepare(p, m);
         let mut stats = DetectionStats {
             per_level_generated: vec![0; m],
             ..Default::default()
         };
 
-        // Frontier of (pd, depth-order path), capped at K after each level.
-        let mut frontier: Vec<(F, Vec<usize>)> = vec![(F::ZERO, Vec::new())];
+        // Frontier of (pd, arena id), capped at K after each level.
+        ws.frontier_f.clear();
+        ws.frontier_f.push((F::ZERO, NIL));
         for depth in 0..m {
-            let mut next: Vec<(F, Vec<usize>)> = Vec::with_capacity(frontier.len() * p);
-            for (pd, path) in &frontier {
-                stats.nodes_expanded += 1;
-                stats.flops += eval_children(prep, path, EvalStrategy::Gemm, &mut scratch);
-                stats.nodes_generated += p as u64;
-                stats.per_level_generated[depth] += p as u64;
-                for (c, &inc) in scratch.increments.iter().enumerate() {
-                    let mut child = path.clone();
-                    child.push(c);
-                    next.push((*pd + inc, child));
+            ws.ids.clear();
+            ws.ids.extend(ws.frontier_f.iter().map(|&(_, id)| id));
+            stats.flops +=
+                eval_children_batch(prep, &ws.arena, &ws.ids, self.batch_algo, &mut ws.scratch);
+            stats.nodes_expanded += ws.frontier_f.len() as u64;
+            stats.nodes_generated += (ws.frontier_f.len() * p) as u64;
+            stats.per_level_generated[depth] += (ws.frontier_f.len() * p) as u64;
+
+            ws.next_f.clear();
+            for (bi, &(pd, id)) in ws.frontier_f.iter().enumerate() {
+                for c in 0..p {
+                    let child_pd = pd + ws.scratch.batch_increments[bi * p + c];
+                    let child = ws.arena.alloc(id, c);
+                    ws.next_f.push((child_pd, child));
                 }
             }
-            if next.len() > self.k {
-                next.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN PD"));
-                stats.nodes_pruned += (next.len() - self.k) as u64;
-                next.truncate(self.k);
+            if ws.next_f.len() > self.k {
+                ws.next_f
+                    .sort_unstable_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()));
+                stats.nodes_pruned += (ws.next_f.len() - self.k) as u64;
+                ws.next_f.truncate(self.k);
             }
-            frontier = next;
+            std::mem::swap(&mut ws.frontier_f, &mut ws.next_f);
         }
 
-        stats.leaves_reached = frontier.len() as u64;
-        let (best_pd, best_path) = frontier
-            .into_iter()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN PD"))
+        stats.leaves_reached = ws.frontier_f.len() as u64;
+        let &(best_pd, best_id) = ws
+            .frontier_f
+            .iter()
+            .min_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()))
             .expect("frontier is never empty");
         stats.radius_updates = 1;
         stats.final_radius_sqr = best_pd.to_f64();
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&best_path);
+        ws.arena.path_into(best_id, &mut ws.path_buf);
+        let indices = prep.indices_from_path(&ws.path_buf);
         Detection { indices, stats }
     }
 }
@@ -89,6 +120,13 @@ impl<F: Float> Detector for KBestSd<F> {
     fn detect(&self, frame: &FrameData) -> Detection {
         let prep: Prepared<F> = preprocess(frame, &self.constellation);
         self.detect_prepared(&prep)
+    }
+}
+
+impl<F: Float> crate::batch::WorkspaceDetector<F> for KBestSd<F> {
+    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
+        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        self.detect_prepared_in(&prep, ws)
     }
 }
 
@@ -161,6 +199,33 @@ mod tests {
             e_kb <= e_ml * 3 + 20,
             "K=16 should be near-ML (kb={e_kb}, ml={e_ml})"
         );
+    }
+
+    #[test]
+    fn batch_kernels_agree_exactly() {
+        let (c, frames) = frames(7, 8.0, 10, 124);
+        let blocked: KBestSd<f32> = KBestSd::new(c.clone(), 12);
+        let parallel: KBestSd<f32> = KBestSd::new(c, 12).with_batch_algo(GemmAlgo::Parallel);
+        for f in &frames {
+            let a = blocked.detect(f);
+            let b = parallel.detect(f);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let (c, frames) = frames(6, 10.0, 10, 125);
+        let kb: KBestSd<f64> = KBestSd::new(c.clone(), 8);
+        let mut ws = SearchWorkspace::new();
+        for f in &frames {
+            let prep: Prepared<f64> = preprocess(f, &c);
+            let fresh = kb.detect_prepared(&prep);
+            let reused = kb.detect_prepared_in(&prep, &mut ws);
+            assert_eq!(fresh.indices, reused.indices);
+            assert_eq!(fresh.stats, reused.stats);
+        }
     }
 
     #[test]

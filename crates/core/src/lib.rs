@@ -37,6 +37,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod analysis;
+pub mod arena;
 pub mod batch;
 pub mod best_first;
 pub mod bfs;
@@ -50,11 +51,14 @@ pub mod multi_pe;
 pub mod pd;
 pub mod preprocess;
 pub mod radius;
+pub mod reference;
 pub mod rvd;
 pub mod soft;
 pub mod stat_pruning;
 
 pub use analysis::{profile_detector, ComplexityProfile, ComplexitySample};
+pub use arena::{NodeArena, SearchWorkspace};
+pub use batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector};
 pub use best_first::BestFirstSd;
 pub use bfs::{BfsGemmSd, BfsLevelTrace};
 pub use detector::{Detection, DetectionStats, Detector};
@@ -62,11 +66,11 @@ pub use dfs::SphereDecoder;
 pub use fsd::FixedComplexitySd;
 pub use kbest::KBestSd;
 pub use linear::{MmseDetector, MrcDetector, ZfDetector};
-pub use rvd::RvdSphereDecoder;
-pub use soft::{SoftDetection, SoftSphereDecoder};
-pub use stat_pruning::StatPruningSd;
 pub use ml::MlDetector;
 pub use multi_pe::SubtreeParallelSd;
 pub use pd::EvalStrategy;
 pub use preprocess::{preprocess, preprocess_ordered, ColumnOrdering, Prepared};
 pub use radius::InitialRadius;
+pub use rvd::RvdSphereDecoder;
+pub use soft::{SoftDetection, SoftSphereDecoder};
+pub use stat_pruning::StatPruningSd;

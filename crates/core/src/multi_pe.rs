@@ -11,8 +11,9 @@
 //! remains exactly ML while each PE prunes with everyone's discoveries —
 //! the synchronization step \[4\] identifies as essential.
 
+use crate::arena::SearchWorkspace;
 use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
+use crate::pd::{eval_children, sorted_children, sorted_children_into, EvalStrategy, PdScratch};
 use crate::preprocess::{preprocess, Prepared};
 use rayon::prelude::*;
 use sd_math::Float;
@@ -90,30 +91,40 @@ impl<F: Float> SubtreeParallelSd<F> {
         let results: Vec<PeResult> = root_children
             .par_iter()
             .map(|&(inc, child)| {
+                // One workspace per PE: the descent below allocates only
+                // during buffer warm-up, like the serial decoder.
+                let mut ws: SearchWorkspace<F> = SearchWorkspace::new();
+                ws.prepare(p, m);
+                let ws = &mut ws;
                 let mut pe = PeSearch {
                     prep,
-                    scratch: PdScratch::new(p, m),
+                    scratch: &mut ws.scratch,
                     stats: DetectionStats {
                         per_level_generated: vec![0; m],
                         ..Default::default()
                     },
-                    path: vec![child],
-                    best: None,
+                    path: &mut ws.path,
+                    best_path: &mut ws.best_path,
+                    sort_bufs: &mut ws.sort_bufs,
+                    best_pd: None,
                     shared: &shared,
                     eval: self.eval,
                 };
+                pe.path.push(child);
                 if m == 1 {
                     // Degenerate single-antenna tree: the root child is a leaf.
                     let pd = inc.to_f64();
                     if shared.try_lower(pd) {
-                        pe.best = Some((pd, vec![child]));
+                        pe.best_pd = Some(pd);
+                        pe.best_path.push(child);
                         pe.stats.leaves_reached += 1;
                         pe.stats.radius_updates += 1;
                     }
                 } else if inc.to_f64() < shared.load() {
                     pe.descend(inc);
                 }
-                (pe.best, pe.stats)
+                let best = pe.best_pd.map(|pd| (pd, pe.best_path.clone()));
+                (best, pe.stats)
             })
             .collect();
 
@@ -153,13 +164,16 @@ impl<F: Float> Detector for SubtreeParallelSd<F> {
     }
 }
 
-/// One PE's depth-first search over its sub-tree.
+/// One PE's depth-first search over its sub-tree, borrowing its buffers
+/// from a per-PE [`SearchWorkspace`].
 struct PeSearch<'a, F: Float> {
     prep: &'a Prepared<F>,
-    scratch: PdScratch<F>,
+    scratch: &'a mut PdScratch<F>,
     stats: DetectionStats,
-    path: Vec<usize>,
-    best: Option<(f64, Vec<usize>)>,
+    path: &'a mut Vec<usize>,
+    best_path: &'a mut Vec<usize>,
+    sort_bufs: &'a mut [Vec<(F, usize)>],
+    best_pd: Option<f64>,
     shared: &'a SharedRadius,
     eval: EvalStrategy,
 }
@@ -170,26 +184,28 @@ impl<F: Float> PeSearch<'_, F> {
         let m = self.prep.n_tx;
         let p = self.prep.order;
         self.stats.nodes_expanded += 1;
-        self.stats.flops += eval_children(self.prep, &self.path, self.eval, &mut self.scratch);
+        self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
         self.stats.nodes_generated += p as u64;
         self.stats.per_level_generated[depth] += p as u64;
 
-        let children = sorted_children(&self.scratch.increments);
-        for (rank, (inc, child)) in children.into_iter().enumerate() {
+        let mut children = std::mem::take(&mut self.sort_bufs[depth]);
+        sorted_children_into(&self.scratch.increments, &mut children);
+        for (rank, &(inc, child)) in children.iter().enumerate() {
             let child_pd = pd + inc;
             // Prune against everyone's best, not just our own.
             if !(child_pd.to_f64() < self.shared.load()) {
                 self.stats.nodes_pruned += (p - rank) as u64;
-                return;
+                break;
             }
             if depth + 1 == m {
                 let leaf_pd = child_pd.to_f64();
                 self.stats.leaves_reached += 1;
                 if self.shared.try_lower(leaf_pd) {
                     self.stats.radius_updates += 1;
-                    let mut leaf = self.path.clone();
-                    leaf.push(child);
-                    self.best = Some((leaf_pd, leaf));
+                    self.best_pd = Some(leaf_pd);
+                    self.best_path.clear();
+                    self.best_path.extend_from_slice(self.path);
+                    self.best_path.push(child);
                 }
             } else {
                 self.path.push(child);
@@ -197,6 +213,7 @@ impl<F: Float> PeSearch<'_, F> {
                 self.path.pop();
             }
         }
+        self.sort_bufs[depth] = children;
     }
 }
 
@@ -287,8 +304,14 @@ mod tests {
         let (c, frames) = frames(8, Modulation::Qam4, 8.0, 10, 104);
         let mp: SubtreeParallelSd<f64> = SubtreeParallelSd::new(c.clone());
         let sd: SphereDecoder<f64> = SphereDecoder::new(c);
-        let np: u64 = frames.iter().map(|f| mp.detect(f).stats.nodes_generated).sum();
-        let ns: u64 = frames.iter().map(|f| sd.detect(f).stats.nodes_generated).sum();
+        let np: u64 = frames
+            .iter()
+            .map(|f| mp.detect(f).stats.nodes_generated)
+            .sum();
+        let ns: u64 = frames
+            .iter()
+            .map(|f| sd.detect(f).stats.nodes_generated)
+            .sum();
         assert!(
             np < ns * 3,
             "multi-PE explored {np} vs serial {ns}: sharing is broken"

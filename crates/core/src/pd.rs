@@ -23,9 +23,28 @@
 //!
 //! Both produce identical increments (up to rounding) and are
 //! cross-checked by tests.
+//!
+//! ## Arena and batched entry points
+//!
+//! The arena-based searches ([`crate::arena`]) never materialize paths, so
+//! [`eval_children_from_arena`] gathers the suffix straight off the parent
+//! chain. Level-synchronous searches (BFS, K-best) go further with
+//! [`eval_children_batch`]: the tree-state matrices of up to
+//! [`MAX_BATCH`] open nodes at the same level form one `k × (B·P)` suffix
+//! operand — held in compressed broadcast form, since each node's fixed
+//! suffix symbol spans its `P` child columns — the output row is seeded
+//! with the level-constant diagonal products `r_ii·ω_c`, and a *single*
+//! [`sd_math::gemm_broadcast_acc_into`] call accumulates the suffix terms
+//! — the software realization of the paper's "one GEMM per level" claim
+//! instead of one small GEMM per node. The seed equals the scalar loop's
+//! first `mul_acc` from zero and the kernels accumulate each output
+//! column left-to-right over the inner dimension, exactly like the scalar
+//! loop here, so the batched increments are bit-identical to per-node
+//! evaluation.
 
+use crate::arena::NodeArena;
 use crate::preprocess::Prepared;
-use sd_math::{Complex, Float};
+use sd_math::{gemm_acc_into, gemm_broadcast_acc_into, Complex, Float, GemmAlgo};
 use serde::{Deserialize, Serialize};
 
 /// Child PD evaluation strategy.
@@ -38,21 +57,68 @@ pub enum EvalStrategy {
     Incremental,
 }
 
+/// Cap on nodes folded into one batched GEMM call. Bounds the per-chunk
+/// output row `E` to `1 × (MAX_BATCH·P)` and the compressed tree-state
+/// operand to `M × MAX_BATCH` — tens of KiB, matching the paper's
+/// double-buffered on-chip tile budget — while leaving the kernel enough
+/// columns to amortize its per-tile setup.
+pub const MAX_BATCH: usize = 128;
+
 /// Scratch buffers reused across expansions of one decode — the software
 /// analogue of the FPGA's double-buffered BRAM blocks.
 pub struct PdScratch<F: Float> {
     /// Per-child metric increments (length `P`).
     pub increments: Vec<F>,
+    /// Per-child increments of a batched evaluation, laid out
+    /// `[node 0's P children, node 1's P children, …]`.
+    pub batch_increments: Vec<F>,
     /// Suffix symbol values `s_{i+1} … s_{M−1}` of the current path.
     suffix: Vec<Complex<F>>,
+    /// Batched tree-state operand `S` in compressed broadcast form,
+    /// `k × B`: entry `(off, bi)` is node `bi`'s fixed symbol for suffix
+    /// level `off`, implicitly spanning the node's `P` child columns.
+    s_mat: sd_math::Matrix<F>,
+    /// Width-`P` materialization of `s_mat`, `k × (B·P)` — only built by
+    /// the [`GemmAlgo::Naive`] oracle path.
+    s_wide: sd_math::Matrix<F>,
+    /// Batched GEMM output `E`, `1 × (B·P)`, seeded with the diagonal
+    /// products `r_ii·ω_c` before the suffix rows accumulate.
+    e_mat: sd_math::Matrix<F>,
+    /// The level's suffix coefficients `R[i, i+1..M]`, `1 × k`.
+    a_tail: sd_math::Matrix<F>,
+    /// Diagonal products `r_ii·ω_c`, one per constellation point.
+    seeds: Vec<Complex<F>>,
 }
 
 impl<F: Float> PdScratch<F> {
     /// Allocate scratch for a problem with branching factor `order`.
     pub fn new(order: usize, n_tx: usize) -> Self {
+        let mut s = Self::empty();
+        s.ensure(order, n_tx);
+        s
+    }
+
+    /// Zero-capacity scratch; size it later with [`PdScratch::ensure`].
+    pub fn empty() -> Self {
         PdScratch {
-            increments: vec![F::ZERO; order],
-            suffix: Vec::with_capacity(n_tx),
+            increments: Vec::new(),
+            batch_increments: Vec::new(),
+            suffix: Vec::new(),
+            s_mat: sd_math::Matrix::zeros(0, 0),
+            s_wide: sd_math::Matrix::zeros(0, 0),
+            e_mat: sd_math::Matrix::zeros(0, 0),
+            a_tail: sd_math::Matrix::zeros(0, 0),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Size the buffers for branching factor `order` and tree depth
+    /// `n_tx`, allocating only on growth.
+    pub fn ensure(&mut self, order: usize, n_tx: usize) {
+        self.increments.clear();
+        self.increments.resize(order, F::ZERO);
+        if self.suffix.capacity() < n_tx {
+            self.suffix.reserve(n_tx - self.suffix.capacity());
         }
     }
 }
@@ -72,17 +138,49 @@ pub fn eval_children<F: Float>(
     let m = prep.n_tx;
     let depth = path.len();
     assert!(depth < m, "cannot expand a leaf");
+    // Gather the already-fixed suffix symbol values s_{i+1} … s_{M−1},
+    // deepest-first. path[d] fixed antenna M−1−d, so antenna j = M−1−d
+    // ⇔ d = M−1−j: walking j upward from i+1 is walking d downward.
+    scratch.suffix.clear();
+    for off in 0..depth {
+        scratch.suffix.push(prep.points[path[depth - 1 - off]]);
+    }
+    eval_suffix(prep, depth, strategy, scratch)
+}
+
+/// [`eval_children`] for an arena node — the suffix is read straight off
+/// the parent chain (which yields symbols deepest-first, exactly the PD
+/// suffix order), so no path is ever materialized.
+pub fn eval_children_from_arena<F: Float>(
+    prep: &Prepared<F>,
+    arena: &NodeArena,
+    node: u32,
+    strategy: EvalStrategy,
+    scratch: &mut PdScratch<F>,
+) -> u64 {
+    let m = prep.n_tx;
+    let depth = arena.depth(node);
+    assert!(depth < m, "cannot expand a leaf");
+    scratch.suffix.clear();
+    for sym in arena.ancestry(node) {
+        scratch.suffix.push(prep.points[sym]);
+    }
+    eval_suffix(prep, depth, strategy, scratch)
+}
+
+/// Shared core of the scalar entry points: `scratch.suffix` already holds
+/// `s_{i+1} … s_{M−1}` (deepest-first); evaluate all `P` increments.
+fn eval_suffix<F: Float>(
+    prep: &Prepared<F>,
+    depth: usize,
+    strategy: EvalStrategy,
+    scratch: &mut PdScratch<F>,
+) -> u64 {
+    let m = prep.n_tx;
     let i = m - 1 - depth; // antenna index fixed by this expansion
     let p = prep.order;
     debug_assert_eq!(scratch.increments.len(), p);
-
-    // Gather the already-fixed suffix symbol values s_{i+1} … s_{M−1}.
-    // path[d] fixed antenna M−1−d, so antenna j = M−1−d ⇔ d = M−1−j.
-    scratch.suffix.clear();
-    for j in i + 1..m {
-        let d = m - 1 - j;
-        scratch.suffix.push(prep.points[path[d]]);
-    }
+    debug_assert_eq!(scratch.suffix.len(), depth);
 
     let ybar_i = prep.ybar[i];
     let r_row = prep.r.row(i);
@@ -123,23 +221,157 @@ pub fn eval_children<F: Float>(
     }
 }
 
+/// Evaluate the children of a whole *level* of arena nodes with batched
+/// GEMM: the tree-state matrices of all `B = nodes.len()` open nodes form
+/// one `k × (B·P)` suffix operand `S`, held in compressed broadcast form
+/// (`k × B` — each node's fixed suffix symbol spans its `P` child
+/// columns); the output `E` is seeded with the level-constant diagonal
+/// products `r_ii·ω_c` and the suffix rows accumulate on top via one
+/// [`sd_math::gemm_broadcast_acc_into`] call against `A' = R[i, i+1..M]`,
+/// in chunks of at most [`MAX_BATCH`] nodes. The compressed operand is
+/// what makes the batch fast: materializing `S` costs `P ×` more stores
+/// than the whole fma chain (see `sd-math`'s kernel docs), and the
+/// broadcast kernel is bit-identical to materializing
+/// (`sd_math::fill_tiles`) and calling [`sd_math::gemm_acc_into`] — a
+/// property both crates' tests pin down exactly.
+///
+/// All nodes must sit at the same tree depth (level-synchronous searches
+/// guarantee this). Results land in `scratch.batch_increments`, child `c`
+/// of `nodes[b]` at index `b·P + c`, and are bit-identical to evaluating
+/// each node with [`eval_children_from_arena`] under
+/// [`EvalStrategy::Gemm`]: the seed is the scalar loop's first `mul_acc`
+/// from zero, and every kernel accumulates each output column
+/// left-to-right over the inner dimension, matching the scalar loop's
+/// summation order term for term.
+///
+/// Returns the flops charged — exactly `B ×` the per-node GEMM formula,
+/// so batching never changes [`crate::DetectionStats`] accounting.
+pub fn eval_children_batch<F: Float>(
+    prep: &Prepared<F>,
+    arena: &NodeArena,
+    nodes: &[u32],
+    algo: GemmAlgo,
+    scratch: &mut PdScratch<F>,
+) -> u64 {
+    let m = prep.n_tx;
+    let p = prep.order;
+    assert!(!nodes.is_empty(), "empty batch");
+    let depth = arena.depth(nodes[0]);
+    assert!(depth < m, "cannot expand a leaf");
+    let k1 = depth + 1;
+    let a_row = &prep.row_blocks[depth];
+    debug_assert_eq!(a_row.shape(), (1, k1));
+    let ybar_i = prep.ybar[m - 1 - depth];
+    let r_ii = a_row.as_slice()[0];
+
+    // The diagonal term r_ii·ω_c is the same for every node of the level:
+    // compute the P seed products once (the scalar loop's first
+    // `mul_acc` from zero, so seeding E with them and accumulating the
+    // suffix rows is bit-identical to the full per-node product).
+    scratch.seeds.clear();
+    for &point in prep.points.iter() {
+        let mut e = Complex::zero();
+        Complex::mul_acc(&mut e, r_ii, point);
+        scratch.seeds.push(e);
+    }
+    // The level's suffix coefficients A' = R[i, i+1..M].
+    scratch.a_tail.resize_for_overwrite(1, depth);
+    scratch
+        .a_tail
+        .as_mut_slice()
+        .copy_from_slice(&a_row.as_slice()[1..]);
+
+    // Grow-only resize: every element is overwritten chunk by chunk below.
+    if scratch.batch_increments.len() != nodes.len() * p {
+        scratch.batch_increments.clear();
+        scratch.batch_increments.resize(nodes.len() * p, F::ZERO);
+    }
+
+    for (chunk_idx, chunk) in nodes.chunks(MAX_BATCH).enumerate() {
+        let b = chunk.len();
+        let n = b * p;
+        // Every S entry and every E entry is written below, so neither
+        // operand pays `resize`'s zero-fill pass.
+        scratch.s_mat.resize_for_overwrite(depth, b);
+        scratch.e_mat.resize_for_overwrite(1, n);
+        // Gather each node's suffix (ancestry is deepest-first = the PD
+        // suffix order) straight into the compressed operand: row `off`,
+        // column `bi` holds node `bi`'s fixed symbol for suffix level
+        // `off`, implicitly spanning the node's P child columns.
+        let s = scratch.s_mat.as_mut_slice();
+        for (bi, &node) in chunk.iter().enumerate() {
+            debug_assert_eq!(arena.depth(node), depth, "batch must be level-synchronous");
+            for (off, sym) in arena.ancestry(node).enumerate() {
+                s[off * b + bi] = prep.points[sym];
+            }
+        }
+        // Seed E with the diagonal products, tiled across the batch.
+        for tile in scratch.e_mat.as_mut_slice().chunks_exact_mut(p) {
+            tile.copy_from_slice(&scratch.seeds);
+        }
+        // One accumulate-GEMM per level: E += A' × (S ⊗ 1ᵀ_P). At the
+        // root (depth 0) the operands are empty and E is already the
+        // answer. `Naive` materializes the width-P operand and runs the
+        // reference kernel — the oracle formulation the fast paths are
+        // tested against; `Blocked`/`Parallel` consume the compressed
+        // operand directly.
+        match algo {
+            GemmAlgo::Naive => {
+                scratch.s_wide.resize_for_overwrite(depth, n);
+                let sw = scratch.s_wide.as_mut_slice();
+                let sv = scratch.s_mat.as_slice();
+                for off in 0..depth {
+                    sd_math::fill_tiles(
+                        &mut sw[off * n..(off + 1) * n],
+                        &sv[off * b..(off + 1) * b],
+                        p,
+                    );
+                }
+                gemm_acc_into(&scratch.a_tail, &scratch.s_wide, &mut scratch.e_mat, algo);
+            }
+            GemmAlgo::Blocked | GemmAlgo::Parallel => {
+                gemm_broadcast_acc_into(&scratch.a_tail, &scratch.s_mat, p, &mut scratch.e_mat);
+            }
+        }
+        let e = scratch.e_mat.as_slice();
+        let base = chunk_idx * MAX_BATCH * p;
+        let out = &mut scratch.batch_increments[base..base + n];
+        for (o, &ev) in out.iter_mut().zip(e) {
+            *o = (ybar_i - ev).norm_sqr();
+        }
+    }
+
+    (nodes.len() as u64) * (p as u64) * (8 * (depth as u64 + 1) + 5)
+}
+
+/// Fill `out` with `(increment, child_index)` pairs in natural child
+/// order, reusing its allocation.
+pub fn children_into<F: Float>(increments: &[F], out: &mut Vec<(F, usize)>) {
+    out.clear();
+    out.extend(increments.iter().copied().enumerate().map(|(i, g)| (g, i)));
+}
+
+/// [`sorted_children`] into a caller-owned buffer — the allocation-free
+/// form the arena searches use. NaN increments (possible in reduced
+/// precision) order last via `total_cmp` instead of panicking.
+pub fn sorted_children_into<F: Float>(increments: &[F], out: &mut Vec<(F, usize)>) {
+    children_into(increments, out);
+    out.sort_unstable_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()).then(a.1.cmp(&b.1)));
+}
+
 /// Sort child indices ascending by increment — the paper's sorted
 /// insertion (Fig. 3) that biases the traversal toward promising leaves.
 /// Returns `(increment, child_index)` pairs.
 pub fn sorted_children<F: Float>(increments: &[F]) -> Vec<(F, usize)> {
-    let mut order: Vec<(F, usize)> = increments
-        .iter()
-        .copied()
-        .enumerate()
-        .map(|(i, g)| (g, i))
-        .collect();
-    order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN PD").then(a.1.cmp(&b.1)));
+    let mut order = Vec::new();
+    sorted_children_into(increments, &mut order);
     order
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::NIL;
     use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -165,6 +397,89 @@ mod tests {
             for (a, b) in s1.increments.iter().zip(s2.increments.iter()) {
                 assert!((a - b).abs() < 1e-10, "path {path:?}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn arena_eval_is_bit_identical_to_path_eval() {
+        let (_, prep) = setup(6, Modulation::Qam16, 6);
+        let mut arena = NodeArena::new();
+        let mut s1 = PdScratch::new(16, 6);
+        let mut s2 = PdScratch::new(16, 6);
+        let path = [0usize, 15, 8, 2, 11];
+        let mut id = NIL;
+        for strategy in [EvalStrategy::Gemm, EvalStrategy::Incremental] {
+            for depth in 0..=path.len() {
+                let f1 = eval_children(&prep, &path[..depth], strategy, &mut s1);
+                let f2 = eval_children_from_arena(&prep, &arena, id, strategy, &mut s2);
+                assert_eq!(f1, f2, "flops must match");
+                assert_eq!(s1.increments, s2.increments, "depth {depth}");
+                if depth < path.len() {
+                    id = arena.alloc(id, path[depth]);
+                }
+            }
+            arena.clear();
+            id = NIL;
+        }
+    }
+
+    #[test]
+    fn batched_eval_is_bit_identical_per_node() {
+        // A level of heterogeneous nodes: batch once, compare every node's
+        // slice against its scalar arena evaluation, bit for bit.
+        let (_, prep) = setup(7, Modulation::Qam16, 7);
+        let p = 16;
+        let mut arena = NodeArena::new();
+        let mut nodes = Vec::new();
+        for c0 in 0..8 {
+            let a = arena.alloc(NIL, c0);
+            let b = arena.alloc(a, (c0 + 5) % p);
+            nodes.push(arena.alloc(b, (3 * c0) % p));
+        }
+        let mut batch = PdScratch::new(p, 7);
+        let mut scalar = PdScratch::new(p, 7);
+        for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let flops = eval_children_batch(&prep, &arena, &nodes, algo, &mut batch);
+            let mut scalar_flops = 0;
+            for (bi, &node) in nodes.iter().enumerate() {
+                scalar_flops +=
+                    eval_children_from_arena(&prep, &arena, node, EvalStrategy::Gemm, &mut scalar);
+                for c in 0..p {
+                    assert_eq!(
+                        batch.batch_increments[bi * p + c],
+                        scalar.increments[c],
+                        "{algo:?} node {bi} child {c} must be bit-identical"
+                    );
+                }
+            }
+            assert_eq!(
+                flops, scalar_flops,
+                "{algo:?}: batching must not change accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_eval_chunks_beyond_max_batch() {
+        // More level-1 nodes than MAX_BATCH forces the chunk loop; QAM-4
+        // at depth 1 keeps it cheap (root fan-out repeated).
+        let (_, prep) = setup(4, Modulation::Qam4, 8);
+        let p = 4;
+        let mut arena = NodeArena::new();
+        let nodes: Vec<u32> = (0..MAX_BATCH + 37)
+            .map(|i| arena.alloc(NIL, i % p))
+            .collect();
+        let mut batch = PdScratch::new(p, 4);
+        let mut scalar = PdScratch::new(p, 4);
+        eval_children_batch(&prep, &arena, &nodes, GemmAlgo::Blocked, &mut batch);
+        assert_eq!(batch.batch_increments.len(), nodes.len() * p);
+        for (bi, &node) in nodes.iter().enumerate() {
+            eval_children_from_arena(&prep, &arena, node, EvalStrategy::Gemm, &mut scalar);
+            assert_eq!(
+                &batch.batch_increments[bi * p..(bi + 1) * p],
+                &scalar.increments[..],
+                "chunk boundary node {bi}"
+            );
         }
     }
 
@@ -228,6 +543,17 @@ mod tests {
             "ties broken by index"
         );
         assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn sorted_children_tolerates_nan() {
+        // A NaN increment (overflow in reduced precision) must order last,
+        // not panic the decode.
+        let incs = vec![2.0f64, f64::NAN, 1.0];
+        let sorted = sorted_children(&incs);
+        assert_eq!(sorted[0].1, 2);
+        assert_eq!(sorted[1].1, 0);
+        assert!(sorted[2].0.is_nan());
     }
 
     #[test]

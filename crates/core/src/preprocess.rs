@@ -45,12 +45,8 @@ impl ColumnOrdering {
         // Tree level 0 fixes the LAST column, so "detected first" means
         // sorted to the end of the permutation.
         match self {
-            ColumnOrdering::NormDescending => {
-                perm.sort_by(|&a, &b| norms[a].total_cmp(&norms[b]))
-            }
-            ColumnOrdering::NormAscending => {
-                perm.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]))
-            }
+            ColumnOrdering::NormDescending => perm.sort_by(|&a, &b| norms[a].total_cmp(&norms[b])),
+            ColumnOrdering::NormAscending => perm.sort_by(|&a, &b| norms[b].total_cmp(&norms[a])),
             ColumnOrdering::Natural => unreachable!(),
         }
         perm
@@ -77,6 +73,23 @@ pub struct Prepared<F: Float> {
     /// Column permutation applied before QR: tree antenna `k` is
     /// physical antenna `perm[k]`.
     pub perm: Vec<usize>,
+    /// Per-depth GEMM row operands: `row_blocks[d]` is the `1 × (d+1)`
+    /// block `[r_{ii}, r_{i,i+1}, …, r_{i,M−1}]` with `i = M−1−d`, laid
+    /// out so column `1+off` multiplies the depth-`d` suffix entry `off`
+    /// (deepest-first). Built once here so the batched expansion of
+    /// [`crate::pd::eval_children_batch`] never re-gathers `R` rows.
+    pub row_blocks: Vec<Matrix<F>>,
+}
+
+/// Build the per-depth `1 × (d+1)` GEMM row operands from `R`.
+pub(crate) fn row_blocks_from_r<F: Float>(r: &Matrix<F>) -> Vec<Matrix<F>> {
+    let m = r.cols();
+    (0..m)
+        .map(|depth| {
+            let i = m - 1 - depth;
+            Matrix::from_fn(1, depth + 1, |_, l| r[(i, i + l)])
+        })
+        .collect()
 }
 
 /// Approximate real-flop count of a complex Householder QR of an `n × m`
@@ -106,6 +119,7 @@ pub fn preprocess_ordered<F: Float>(
     let y: Vec<Complex<F>> = frame.y.iter().map(|c| c.cast()).collect();
     let (r, ybar, tail_energy) = qr_with_qty(&h, &y);
     let points = constellation.points().iter().map(|p| p.cast()).collect();
+    let row_blocks = row_blocks_from_r(&r);
     Prepared {
         r,
         ybar,
@@ -115,6 +129,7 @@ pub fn preprocess_ordered<F: Float>(
         order: constellation.order(),
         prep_flops: qr_flops(frame.h.rows(), frame.h.cols()),
         perm,
+        row_blocks,
     }
 }
 
@@ -225,7 +240,10 @@ mod tests {
     #[test]
     fn ordered_preprocessing_sorts_column_norms() {
         let (c, f) = frame(8, Modulation::Qam4, 18);
-        for ordering in [ColumnOrdering::NormDescending, ColumnOrdering::NormAscending] {
+        for ordering in [
+            ColumnOrdering::NormDescending,
+            ColumnOrdering::NormAscending,
+        ] {
             let prep: Prepared<f64> = preprocess_ordered(&f, &c, ordering);
             let norms: Vec<f64> = prep
                 .perm
@@ -248,8 +266,7 @@ mod tests {
         // to the same metric.
         let (c, f) = frame(6, Modulation::Qam4, 19);
         let natural: Prepared<f64> = preprocess(&f, &c);
-        let ordered: Prepared<f64> =
-            preprocess_ordered(&f, &c, ColumnOrdering::NormDescending);
+        let ordered: Prepared<f64> = preprocess_ordered(&f, &c, ColumnOrdering::NormDescending);
         // Physical hypothesis -> tree order for the ordered problem.
         let physical = vec![1usize, 2, 3, 0, 1, 2];
         let tree: Vec<usize> = ordered.perm.iter().map(|&j| physical[j]).collect();

@@ -9,8 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How the first sphere radius is chosen.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum InitialRadius {
     /// `r² = ∞`: the first depth-first descent (a Babai/SIC solution)
     /// establishes the radius. Never restarts; the robust default.
@@ -45,7 +44,6 @@ impl InitialRadius {
     /// The growth factor applied on an empty-sphere restart.
     pub const RESTART_GROWTH: f64 = 4.0;
 }
-
 
 #[cfg(test)]
 mod tests {

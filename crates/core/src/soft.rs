@@ -295,13 +295,17 @@ mod tests {
     #[test]
     fn wider_gamma_grows_the_list() {
         let (c, frames) = frames(6, 8.0, 15, 133);
-        let narrow: SoftSphereDecoder<f64> =
-            SoftSphereDecoder::new(c.clone()).with_gamma(1.2).with_max_list(256);
+        let narrow: SoftSphereDecoder<f64> = SoftSphereDecoder::new(c.clone())
+            .with_gamma(1.2)
+            .with_max_list(256);
         let wide: SoftSphereDecoder<f64> =
             SoftSphereDecoder::new(c).with_gamma(4.0).with_max_list(256);
         let ln: usize = frames.iter().map(|f| narrow.detect_soft(f).list_len).sum();
         let lw: usize = frames.iter().map(|f| wide.detect_soft(f).list_len).sum();
-        assert!(lw > ln, "gamma 4 ({lw}) must list more than gamma 1.2 ({ln})");
+        assert!(
+            lw > ln,
+            "gamma 4 ({lw}) must list more than gamma 1.2 ({ln})"
+        );
     }
 
     #[test]
@@ -318,7 +322,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "gamma must be >= 1")]
     fn sub_unit_gamma_rejected() {
-        let _ = SoftSphereDecoder::<f64>::new(Constellation::new(Modulation::Qam4))
-            .with_gamma(0.5);
+        let _ = SoftSphereDecoder::<f64>::new(Constellation::new(Modulation::Qam4)).with_gamma(0.5);
     }
 }

@@ -149,8 +149,14 @@ mod tests {
         let (c, frames) = frames(8, 8.0, 20, 151);
         let exact: SphereDecoder<f64> = SphereDecoder::new(c.clone());
         let tight: StatPruningSd<f64> = StatPruningSd::new(c, 3.0);
-        let n_exact: u64 = frames.iter().map(|f| exact.detect(f).stats.nodes_generated).sum();
-        let n_tight: u64 = frames.iter().map(|f| tight.detect(f).stats.nodes_generated).sum();
+        let n_exact: u64 = frames
+            .iter()
+            .map(|f| exact.detect(f).stats.nodes_generated)
+            .sum();
+        let n_tight: u64 = frames
+            .iter()
+            .map(|f| tight.detect(f).stats.nodes_generated)
+            .sum();
         assert!(
             n_tight < n_exact,
             "α=3 ({n_tight}) must prune below exact ({n_exact})"

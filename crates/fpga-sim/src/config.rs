@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn paper_frequencies() {
         assert_eq!(FpgaConfig::baseline(Modulation::Qam4, 10).freq_mhz(), 253.0);
-        assert_eq!(FpgaConfig::optimized(Modulation::Qam16, 10).freq_mhz(), 300.0);
+        assert_eq!(
+            FpgaConfig::optimized(Modulation::Qam16, 10).freq_mhz(),
+            300.0
+        );
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub use mst::MetaStateTable;
 pub use multi_pipeline::{BatchReport, MultiPipeline};
 pub use pipeline::{CycleBreakdown, FpgaDecodeReport, FpgaSphereDecoder};
 pub use power::{energy_joules, CpuPowerModel, FpgaPowerModel};
-pub use resources::{ResourceUsage, estimate_resources};
+pub use resources::{estimate_resources, ResourceUsage};
 pub use sort_unit::BitonicSorter;
 pub use systolic::SystolicGemm;

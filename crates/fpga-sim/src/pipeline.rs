@@ -22,9 +22,9 @@ use crate::mst::{MetaStateTable, NodeId, ROOT_PARENT};
 use crate::prefetch::PrefetchUnit;
 use crate::sort_unit::BitonicSorter;
 use crate::systolic::SystolicGemm;
-use sd_core::{preprocess, Detection, DetectionStats, Detector, Prepared};
 use sd_core::pd::{eval_children, EvalStrategy, PdScratch};
 use sd_core::InitialRadius;
+use sd_core::{preprocess, Detection, DetectionStats, Detector, Prepared};
 use sd_wireless::{Constellation, FrameData};
 use serde::{Deserialize, Serialize};
 
@@ -171,8 +171,7 @@ impl FpgaSphereDecoder {
         // (Sec. III-B: evaluated to be <3 % of execution).
         let transfer_bytes = (frame.h.rows() * m + frame.h.rows() + p) as u64 * 8;
         let transfer_seconds = transfer_bytes as f64 / self.device.pcie_bandwidth as f64;
-        cycles.host_transfer =
-            (transfer_seconds * self.config.freq_mhz() * 1e6).ceil() as u64;
+        cycles.host_transfer = (transfer_seconds * self.config.freq_mhz() * 1e6).ceil() as u64;
 
         let mut stats = DetectionStats {
             per_level_generated: vec![0; m],
@@ -235,8 +234,8 @@ impl FpgaSphereDecoder {
                     // hidden under the walk+GEMM, systolic engine, then a
                     // stage-handoff chain.
                     let walk = WALK_OPTIMIZED * depth as u64;
-                    let gemm_cycles = self.engine.cycles(1, depth + 1, p)
-                        + ACC_II_OPTIMIZED * (depth as u64 + 1);
+                    let gemm_cycles =
+                        self.engine.cycles(1, depth + 1, p) + ACC_II_OPTIMIZED * (depth as u64 + 1);
                     let exposed = self
                         .prefetch
                         .exposed_cycles(fetch_words, walk + gemm_cycles);
@@ -259,10 +258,8 @@ impl FpgaSphereDecoder {
                     cycles.gemm += (p as u64) * (depth as u64 + 1) * ACC_II_BASELINE;
                     cycles.norm += (p as u64) * NORM_LATENCY;
                     cycles.sort += 2 * (p * p) as u64;
-                    cycles.control += walk
-                        + 4 * p as u64
-                        + CONTROL_BASELINE
-                        + PIPELINE_STAGES * STAGE_HANDOFF;
+                    cycles.control +=
+                        walk + 4 * p as u64 + CONTROL_BASELINE + PIPELINE_STAGES * STAGE_HANDOFF;
                 }
 
                 let bound = best.as_ref().map_or(r2, |(b, _)| *b);
@@ -411,8 +408,14 @@ mod tests {
         let (c, frames) = frames(10, Modulation::Qam4, 8.0, 10, 202);
         let base = FpgaSphereDecoder::new(FpgaConfig::baseline(Modulation::Qam4, 10), c.clone());
         let opt = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 10), c);
-        let tb: f64 = frames.iter().map(|f| base.decode_with_report(f).decode_seconds).sum();
-        let to: f64 = frames.iter().map(|f| opt.decode_with_report(f).decode_seconds).sum();
+        let tb: f64 = frames
+            .iter()
+            .map(|f| base.decode_with_report(f).decode_seconds)
+            .sum();
+        let to: f64 = frames
+            .iter()
+            .map(|f| opt.decode_with_report(f).decode_seconds)
+            .sum();
         let speedup = tb / to;
         assert!(
             speedup > 2.0,
@@ -425,9 +428,18 @@ mod tests {
         let (c, lo) = frames(10, Modulation::Qam4, 4.0, 10, 203);
         let (_, hi) = frames(10, Modulation::Qam4, 16.0, 10, 203);
         let opt = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 10), c);
-        let t_lo: f64 = lo.iter().map(|f| opt.decode_with_report(f).decode_seconds).sum();
-        let t_hi: f64 = hi.iter().map(|f| opt.decode_with_report(f).decode_seconds).sum();
-        assert!(t_hi * 2.0 < t_lo, "time must shrink with SNR: {t_lo} vs {t_hi}");
+        let t_lo: f64 = lo
+            .iter()
+            .map(|f| opt.decode_with_report(f).decode_seconds)
+            .sum();
+        let t_hi: f64 = hi
+            .iter()
+            .map(|f| opt.decode_with_report(f).decode_seconds)
+            .sum();
+        assert!(
+            t_hi * 2.0 < t_lo,
+            "time must shrink with SNR: {t_lo} vs {t_hi}"
+        );
     }
 
     #[test]
@@ -449,8 +461,14 @@ mod tests {
         let (c16, f16) = frames(6, Modulation::Qam16, 8.0, 8, 205);
         let d4 = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 6), c4);
         let d16 = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam16, 6), c16);
-        let t4: f64 = f4.iter().map(|f| d4.decode_with_report(f).decode_seconds).sum();
-        let t16: f64 = f16.iter().map(|f| d16.decode_with_report(f).decode_seconds).sum();
+        let t4: f64 = f4
+            .iter()
+            .map(|f| d4.decode_with_report(f).decode_seconds)
+            .sum();
+        let t16: f64 = f16
+            .iter()
+            .map(|f| d16.decode_with_report(f).decode_seconds)
+            .sum();
         assert!(t16 > 3.0 * t4, "16-QAM ({t16}) must dwarf 4-QAM ({t4})");
     }
 

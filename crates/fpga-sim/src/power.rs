@@ -89,7 +89,9 @@ impl CpuPowerModel {
     /// Package power during decoding.
     pub fn power_watts(&self, n_tx: usize, order: usize) -> f64 {
         let m = n_tx as f64 / 10.0;
-        self.idle_w + self.per_core_w * self.engaged_cores(n_tx, order) as f64 + self.memory_w * m * m
+        self.idle_w
+            + self.per_core_w * self.engaged_cores(n_tx, order) as f64
+            + self.memory_w * m * m
     }
 }
 

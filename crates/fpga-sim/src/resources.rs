@@ -43,7 +43,11 @@ impl ResourceUsage {
 
     /// `true` when the design fits the device at all.
     pub fn fits_device(&self) -> bool {
-        self.luts <= 1.0 && self.ffs <= 1.0 && self.dsps <= 1.0 && self.brams <= 1.0 && self.urams <= 1.0
+        self.luts <= 1.0
+            && self.ffs <= 1.0
+            && self.dsps <= 1.0
+            && self.brams <= 1.0
+            && self.urams <= 1.0
     }
 
     /// Absolute resource counts on a device.
@@ -115,22 +119,46 @@ mod tests {
         // Table I, 10×10 designs.
         let b4 = estimate_resources(&FpgaConfig::baseline(Modulation::Qam4, 10));
         assert_eq!(
-            (pct(b4.luts), pct(b4.ffs), pct(b4.dsps), pct(b4.brams), pct(b4.urams)),
+            (
+                pct(b4.luts),
+                pct(b4.ffs),
+                pct(b4.dsps),
+                pct(b4.brams),
+                pct(b4.urams)
+            ),
             (29.0, 20.0, 8.0, 11.0, 14.0)
         );
         let b16 = estimate_resources(&FpgaConfig::baseline(Modulation::Qam16, 10));
         assert_eq!(
-            (pct(b16.luts), pct(b16.ffs), pct(b16.dsps), pct(b16.brams), pct(b16.urams)),
+            (
+                pct(b16.luts),
+                pct(b16.ffs),
+                pct(b16.dsps),
+                pct(b16.brams),
+                pct(b16.urams)
+            ),
             (50.0, 27.0, 15.0, 14.0, 60.0)
         );
         let o4 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10));
         assert_eq!(
-            (pct(o4.luts), pct(o4.ffs), pct(o4.dsps), pct(o4.brams), pct(o4.urams)),
+            (
+                pct(o4.luts),
+                pct(o4.ffs),
+                pct(o4.dsps),
+                pct(o4.brams),
+                pct(o4.urams)
+            ),
             (11.0, 7.0, 3.0, 8.0, 7.0)
         );
         let o16 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam16, 10));
         assert_eq!(
-            (pct(o16.luts), pct(o16.ffs), pct(o16.dsps), pct(o16.brams), pct(o16.urams)),
+            (
+                pct(o16.luts),
+                pct(o16.ffs),
+                pct(o16.dsps),
+                pct(o16.brams),
+                pct(o16.urams)
+            ),
             (23.0, 11.0, 7.0, 10.0, 30.0)
         );
     }
@@ -149,19 +177,28 @@ mod tests {
     fn second_pipeline_criterion() {
         // Sec. IV-B: the baseline's LUT/URAM usage blocks a second
         // pipeline at 16-QAM; the optimized design allows it everywhere.
-        assert!(!estimate_resources(&FpgaConfig::baseline(Modulation::Qam16, 10))
-            .fits_second_pipeline());
-        assert!(estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10))
-            .fits_second_pipeline());
-        assert!(estimate_resources(&FpgaConfig::optimized(Modulation::Qam16, 10))
-            .fits_second_pipeline());
+        assert!(
+            !estimate_resources(&FpgaConfig::baseline(Modulation::Qam16, 10))
+                .fits_second_pipeline()
+        );
+        assert!(
+            estimate_resources(&FpgaConfig::optimized(Modulation::Qam4, 10)).fits_second_pipeline()
+        );
+        assert!(
+            estimate_resources(&FpgaConfig::optimized(Modulation::Qam16, 10))
+                .fits_second_pipeline()
+        );
     }
 
     #[test]
     fn predicts_64qam_exhausts_uram() {
         // The paper supports "up to 16-QAM"; the model explains why.
         let o64 = estimate_resources(&FpgaConfig::optimized(Modulation::Qam64, 10));
-        assert!(o64.urams > 1.0, "64-QAM URAM {} should exceed device", o64.urams);
+        assert!(
+            o64.urams > 1.0,
+            "64-QAM URAM {} should exceed device",
+            o64.urams
+        );
         assert!(!o64.fits_device());
     }
 

@@ -192,9 +192,18 @@ mod tests {
         let (c, lo) = frames(10, 4.0, 8, 302);
         let (_, hi) = frames(10, 16.0, 8, 302);
         let gpu = GpuSphereDecoder::new(c);
-        let t_lo: f64 = lo.iter().map(|f| gpu.decode_with_report(f).decode_seconds).sum();
-        let t_hi: f64 = hi.iter().map(|f| gpu.decode_with_report(f).decode_seconds).sum();
-        assert!(t_lo > t_hi, "4 dB ({t_lo}) must cost more than 16 dB ({t_hi})");
+        let t_lo: f64 = lo
+            .iter()
+            .map(|f| gpu.decode_with_report(f).decode_seconds)
+            .sum();
+        let t_hi: f64 = hi
+            .iter()
+            .map(|f| gpu.decode_with_report(f).decode_seconds)
+            .sum();
+        assert!(
+            t_lo > t_hi,
+            "4 dB ({t_lo}) must cost more than 16 dB ({t_hi})"
+        );
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Bulk slice helpers for the decoder's hot loops.
+
+use crate::complex::Complex;
+use crate::float::Float;
+
+/// Fill `row` with `values[i]` repeated `width` times each:
+/// `row[i·width .. (i+1)·width] = values[i]`.
+///
+/// This is the broadcast write pattern of the batched node expansion: one
+/// suffix symbol splatted across a node's `P` columns. The splat goes
+/// through a flat scalar view of the slice because `slice::fill` on a
+/// two-field struct compiles to one 16-byte store per element — the store
+/// port then caps throughput — while the flat interleaved loop vectorizes
+/// to full-width register stores.
+///
+/// # Panics
+/// If `row.len() != values.len() * width`.
+pub fn fill_tiles<F: Float>(row: &mut [Complex<F>], values: &[Complex<F>], width: usize) {
+    assert_eq!(row.len(), values.len() * width, "tile shape mismatch");
+    // SAFETY: `Complex<F>` is `repr(C)` with fields `[re, im]`, so a slice
+    // of `row.len()` complexes is layout-identical to a slice of
+    // `2 · row.len()` scalars; the flat view writes exactly the bytes the
+    // typed view would, and the borrow is released before `row` is usable
+    // again.
+    let flat = unsafe { std::slice::from_raw_parts_mut(row.as_mut_ptr() as *mut F, row.len() * 2) };
+    for (tile, v) in flat.chunks_exact_mut(2 * width).zip(values) {
+        let (re, im) = (v.re, v.im);
+        for pair in tile.chunks_exact_mut(2) {
+            pair[0] = re;
+            pair[1] = im;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_per_tile_fill() {
+        let values: Vec<Complex<f64>> = (0..7)
+            .map(|i| Complex::new(i as f64 + 0.5, -(i as f64)))
+            .collect();
+        for width in [1, 2, 3, 16] {
+            let mut fast = vec![Complex::<f64>::zero(); values.len() * width];
+            let mut slow = fast.clone();
+            fill_tiles(&mut fast, &values, width);
+            for (tile, v) in slow.chunks_exact_mut(width).zip(&values) {
+                tile.fill(*v);
+            }
+            assert_eq!(fast, slow, "width {width}");
+        }
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let values = [Complex::<f32>::new(1.25, -2.0), Complex::new(0.0, 3.5)];
+        let mut row = vec![Complex::<f32>::zero(); 8];
+        fill_tiles(&mut row, &values, 4);
+        assert!(row[..4].iter().all(|&c| c == values[0]));
+        assert!(row[4..].iter().all(|&c| c == values[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile shape mismatch")]
+    fn rejects_bad_shape() {
+        let values = [Complex::<f64>::zero()];
+        let mut row = vec![Complex::<f64>::zero(); 3];
+        fill_tiles(&mut row, &values, 2);
+    }
+}

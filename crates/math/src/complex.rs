@@ -10,7 +10,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im` over any [`Float`] scalar.
+///
+/// `repr(C)` pins the layout to `[re, im]` so bulk helpers (e.g.
+/// [`crate::fill_tiles`]) may view slices of `Complex<F>` as flat
+/// interleaved scalars.
 #[derive(Copy, Clone, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex<F> {
     /// Real part.
     pub re: F,

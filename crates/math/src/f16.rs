@@ -81,12 +81,12 @@ impl F16 {
             let mant16 = full_mant >> shift;
             let round_mask = 1u32 << (shift - 1);
             let round_bits = full_mant & ((1u32 << shift) - 1);
-            let rounded = if round_bits > round_mask || (round_bits == round_mask && (mant16 & 1) == 1)
-            {
-                mant16 + 1
-            } else {
-                mant16
-            };
+            let rounded =
+                if round_bits > round_mask || (round_bits == round_mask && (mant16 & 1) == 1) {
+                    mant16 + 1
+                } else {
+                    mant16
+                };
             return F16(sign | rounded as u16);
         }
         // Underflow to signed zero.

@@ -22,6 +22,94 @@ use rayon::prelude::*;
 /// row-block keeps three tiles ((64×64)×3×8 B ≈ 96 KiB in f32) within L2.
 const BLOCK: usize = 64;
 
+/// Column-block edge, widened for wide-and-skinny products.
+///
+/// The decoder's batched node expansion is `1 × (d+1) × (B·P)`: one or two
+/// rows of `A`/`C` in play and a huge streamed `n`. There the only cache
+/// pressure is the `B`/`C` row traffic itself, so a larger column panel
+/// amortizes the block-loop overhead; square-ish products keep the
+/// classical [`BLOCK`] edge.
+#[inline]
+fn col_block(m: usize, k: usize) -> usize {
+    if m * k <= BLOCK {
+        8 * BLOCK
+    } else {
+        BLOCK
+    }
+}
+
+/// Columns processed per unrolled iteration of the inner kernel. Eight
+/// complex columns are sixteen scalar lanes — two AVX-512 registers (or
+/// four AVX2 registers) of independent accumulator chains.
+const UNROLL: usize = 8;
+
+/// Register-blocked inner kernel:
+/// `C[i, jj+j] += Σ_l a_blk[l] · B[ll+l, jj+j]` for the `c_row.len()`
+/// columns starting at `jj`, [`UNROLL`] columns per iteration.
+///
+/// Each output column accumulates in ascending-`l` order starting from the
+/// incoming `C` value, running [`Complex::mul_acc`]'s four fmas with the
+/// per-component order preserved: the first lane pass applies the `a.re`
+/// products (fmas 1 and 3), the second the `±a.im` cross products (fmas 2
+/// and 4). The lanes stay in interleaved `re, im` layout, so the
+/// vectorizer needs one in-pair swap per step instead of a full
+/// de-interleave; lanes are independent chains, so fusing them changes
+/// instruction-level parallelism, never the result bits.
+#[inline]
+fn micro_kernel<F: Float>(
+    a_blk: &[Complex<F>],
+    b_data: &[Complex<F>],
+    ll: usize,
+    n: usize,
+    jj: usize,
+    c_row: &mut [Complex<F>],
+) {
+    let width = c_row.len();
+    let mut j = 0;
+    while j + UNROLL <= width {
+        let cols = &mut c_row[j..j + UNROLL];
+        // Flat interleaved accumulators: [re0, im0, re1, im1, …].
+        let mut acc = [F::ZERO; 2 * UNROLL];
+        for v in 0..UNROLL {
+            acc[2 * v] = cols[v].re;
+            acc[2 * v + 1] = cols[v].im;
+        }
+        for (dl, &aval) in a_blk.iter().enumerate() {
+            let base = (ll + dl) * n + jj + j;
+            let brow = &b_data[base..base + UNROLL];
+            let mut b = [F::ZERO; 2 * UNROLL];
+            for v in 0..UNROLL {
+                b[2 * v] = brow[v].re;
+                b[2 * v + 1] = brow[v].im;
+            }
+            // mul_acc fmas 1 and 3: both components scaled by a.re.
+            for x in 0..2 * UNROLL {
+                acc[x] = aval.re.mul_add(b[x], acc[x]);
+            }
+            // mul_acc fmas 2 and 4: the swapped pair scaled by ∓a.im.
+            let neg_im = -aval.im;
+            for v in 0..UNROLL {
+                acc[2 * v] = neg_im.mul_add(b[2 * v + 1], acc[2 * v]);
+                acc[2 * v + 1] = aval.im.mul_add(b[2 * v], acc[2 * v + 1]);
+            }
+        }
+        for v in 0..UNROLL {
+            cols[v].re = acc[2 * v];
+            cols[v].im = acc[2 * v + 1];
+        }
+        j += UNROLL;
+    }
+    // Scalar edge for the remaining columns.
+    while j < width {
+        let mut acc = c_row[j];
+        for (dl, &aval) in a_blk.iter().enumerate() {
+            Complex::mul_acc(&mut acc, aval, b_data[(ll + dl) * n + jj + j]);
+        }
+        c_row[j] = acc;
+        j += 1;
+    }
+}
+
 /// Kernel selection for [`gemm`] / [`gemm_into`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum GemmAlgo {
@@ -50,6 +138,123 @@ pub fn gemm<F: Float>(a: &Matrix<F>, b: &Matrix<F>, algo: GemmAlgo) -> Matrix<F>
 /// # Panics
 /// If the shapes are inconsistent.
 pub fn gemm_into<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>, algo: GemmAlgo) {
+    check_shapes(a, b, c);
+    match algo {
+        GemmAlgo::Naive => naive(a, b, c),
+        GemmAlgo::Blocked => blocked(a, b, c),
+        GemmAlgo::Parallel => parallel(a, b, c),
+    }
+}
+
+/// `C += A × B` — the `beta = 1` accumulate form of [`gemm_into`].
+///
+/// Each output column keeps accumulating in ascending-`l` order *from the
+/// incoming `C` value*, so seeding `C` with a product and accumulating the
+/// remaining terms is bit-identical to one [`gemm_into`] over the full
+/// operands — the decoder's batched expansion exploits this to evaluate
+/// the shared diagonal term once per level instead of once per node.
+/// `k = 0` operands are valid and leave `C` untouched.
+///
+/// # Panics
+/// If the shapes are inconsistent.
+pub fn gemm_acc_into<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>, algo: GemmAlgo) {
+    check_shapes(a, b, c);
+    match algo {
+        GemmAlgo::Naive => naive_acc(a, b, c),
+        GemmAlgo::Blocked => blocked_acc(a, b, c),
+        GemmAlgo::Parallel => parallel_acc(a, b, c),
+    }
+}
+
+/// `C += A × S` where `S` is given in *compressed broadcast form*: the
+/// virtual operand has `S[l, ti·width + j] = values[l, ti]` for every
+/// `j < width`, i.e. each entry of `values` spans `width` identical
+/// columns.
+///
+/// This is the shape of the sphere decoder's batched tree-state matrix —
+/// a node's fixed suffix symbol is shared by all `P` of its children — so
+/// the kernel splats each value in-register instead of materializing (and
+/// then re-streaming) the `width`-times-larger operand, turning a
+/// store-port-bound assembly pass into pure fused-multiply-add work.
+///
+/// Every output column accumulates in ascending-`l` order from the
+/// incoming `C` value with [`Complex::mul_acc`]'s fma ordering, so the
+/// result is bit-identical to materializing `S` (e.g. with
+/// [`crate::fill_tiles`]) and calling [`gemm_acc_into`] — a property the
+/// tests assert exactly.
+///
+/// # Panics
+/// If `a.cols() != values.rows()` or `c.shape() != (a.rows(),
+/// values.cols() · width)`.
+pub fn gemm_broadcast_acc_into<F: Float>(
+    a: &Matrix<F>,
+    values: &Matrix<F>,
+    width: usize,
+    c: &mut Matrix<F>,
+) {
+    let (m, k) = a.shape();
+    let t = values.cols();
+    let n = t * width;
+    assert_eq!(
+        k,
+        values.rows(),
+        "gemm_broadcast: inner dimensions differ ({m}x{k} * {}x{t})",
+        values.rows()
+    );
+    assert_eq!(c.shape(), (m, n), "gemm_broadcast: output shape mismatch");
+    let a_data = a.as_slice();
+    let v_data = values.as_slice();
+    let c_data = c.as_mut_slice();
+
+    for i in 0..m {
+        let c_row = &mut c_data[i * n..(i + 1) * n];
+        for (ti, tile) in c_row.chunks_exact_mut(width).enumerate() {
+            let mut j = 0;
+            while j + UNROLL <= width {
+                let cols = &mut tile[j..j + UNROLL];
+                // Flat interleaved accumulators: [re0, im0, re1, im1, …].
+                let mut acc = [F::ZERO; 2 * UNROLL];
+                for v in 0..UNROLL {
+                    acc[2 * v] = cols[v].re;
+                    acc[2 * v + 1] = cols[v].im;
+                }
+                for l in 0..k {
+                    let av = a_data[i * k + l];
+                    let sv = v_data[l * t + ti];
+                    let (ar, ai) = (av.re, av.im);
+                    let (sr, si) = (sv.re, sv.im);
+                    let nai = -ai;
+                    // mul_acc fmas 1 and 3: both components scaled by a.re.
+                    for v in 0..UNROLL {
+                        acc[2 * v] = ar.mul_add(sr, acc[2 * v]);
+                        acc[2 * v + 1] = ar.mul_add(si, acc[2 * v + 1]);
+                    }
+                    // mul_acc fmas 2 and 4: the swapped pair scaled by ∓a.im.
+                    for v in 0..UNROLL {
+                        acc[2 * v] = nai.mul_add(si, acc[2 * v]);
+                        acc[2 * v + 1] = ai.mul_add(sr, acc[2 * v + 1]);
+                    }
+                }
+                for v in 0..UNROLL {
+                    cols[v].re = acc[2 * v];
+                    cols[v].im = acc[2 * v + 1];
+                }
+                j += UNROLL;
+            }
+            // Scalar edge for narrow tiles.
+            while j < width {
+                let mut acc = tile[j];
+                for l in 0..k {
+                    Complex::mul_acc(&mut acc, a_data[i * k + l], v_data[l * t + ti]);
+                }
+                tile[j] = acc;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn check_shapes<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &Matrix<F>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -64,11 +269,6 @@ pub fn gemm_into<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>, algo
         (a.rows(), b.cols()),
         "gemm: output shape mismatch"
     );
-    match algo {
-        GemmAlgo::Naive => naive(a, b, c),
-        GemmAlgo::Blocked => blocked(a, b, c),
-        GemmAlgo::Parallel => parallel(a, b, c),
-    }
 }
 
 /// Number of real floating-point operations a complex `m×k × k×n` GEMM
@@ -78,11 +278,18 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
 }
 
 fn naive<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
+    for x in c.as_mut_slice() {
+        *x = Complex::zero();
+    }
+    naive_acc(a, b, c);
+}
+
+fn naive_acc<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
     let (m, k) = a.shape();
     let n = b.cols();
     for i in 0..m {
         for j in 0..n {
-            let mut acc = Complex::zero();
+            let mut acc = c[(i, j)];
             for l in 0..k {
                 Complex::mul_acc(&mut acc, a[(i, l)], b[(l, j)]);
             }
@@ -94,31 +301,30 @@ fn naive<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
 /// Tiled i-k-j loop order: the innermost loop streams a row of `B` and a row
 /// of `C`, which are both contiguous in row-major layout.
 fn blocked<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
-    let (m, k) = a.shape();
-    let n = b.cols();
     for x in c.as_mut_slice() {
         *x = Complex::zero();
     }
+    blocked_acc(a, b, c);
+}
+
+fn blocked_acc<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
+    let (m, k) = a.shape();
+    let n = b.cols();
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let c_data = c.as_mut_slice();
 
+    let jb = col_block(m, k);
     for ii in (0..m).step_by(BLOCK) {
         let i_end = (ii + BLOCK).min(m);
         for ll in (0..k).step_by(BLOCK) {
             let l_end = (ll + BLOCK).min(k);
-            for jj in (0..n).step_by(BLOCK) {
-                let j_end = (jj + BLOCK).min(n);
+            for jj in (0..n).step_by(jb) {
+                let j_end = (jj + jb).min(n);
                 for i in ii..i_end {
-                    let a_row = &a_data[i * k..(i + 1) * k];
+                    let a_blk = &a_data[i * k + ll..i * k + l_end];
                     let c_row = &mut c_data[i * n + jj..i * n + j_end];
-                    for l in ll..l_end {
-                        let aval = a_row[l];
-                        let b_row = &b_data[l * n + jj..l * n + j_end];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                            Complex::mul_acc(cv, aval, *bv);
-                        }
-                    }
+                    micro_kernel(a_blk, b_data, ll, n, jj, c_row);
                 }
             }
         }
@@ -128,13 +334,32 @@ fn blocked<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
 /// Row-block parallel kernel: each rayon task owns a disjoint slab of `C`,
 /// so no synchronization is needed inside the hot loop.
 fn parallel<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
-    let (m, k) = a.shape();
-    let n = b.cols();
+    let (m, n) = (a.rows(), b.cols());
+    let k = a.cols();
     // For small problems the fork/join overhead dominates; fall back.
     if m * n * k < 32 * 32 * 32 {
         blocked(a, b, c);
         return;
     }
+    for x in c.as_mut_slice() {
+        *x = Complex::zero();
+    }
+    parallel_slabs(a, b, c);
+}
+
+fn parallel_acc<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
+    let (m, n) = (a.rows(), b.cols());
+    let k = a.cols();
+    if m * n * k < 32 * 32 * 32 {
+        blocked_acc(a, b, c);
+        return;
+    }
+    parallel_slabs(a, b, c);
+}
+
+fn parallel_slabs<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
+    let (m, k) = a.shape();
+    let n = b.cols();
     let a_data = a.as_slice();
     let b_data = b.as_slice();
 
@@ -144,24 +369,16 @@ fn parallel<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &mut Matrix<F>) {
         .for_each(|(chunk_idx, c_slab)| {
             let row0 = chunk_idx * BLOCK;
             let rows_here = c_slab.len() / n;
-            for x in c_slab.iter_mut() {
-                *x = Complex::zero();
-            }
+            let jb = col_block(m, k);
             for ll in (0..k).step_by(BLOCK) {
                 let l_end = (ll + BLOCK).min(k);
-                for jj in (0..n).step_by(BLOCK) {
-                    let j_end = (jj + BLOCK).min(n);
+                for jj in (0..n).step_by(jb) {
+                    let j_end = (jj + jb).min(n);
                     for di in 0..rows_here {
                         let i = row0 + di;
-                        let a_row = &a_data[i * k..(i + 1) * k];
+                        let a_blk = &a_data[i * k + ll..i * k + l_end];
                         let c_row = &mut c_slab[di * n + jj..di * n + j_end];
-                        for l in ll..l_end {
-                            let aval = a_row[l];
-                            let b_row = &b_data[l * n + jj..l * n + j_end];
-                            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                                Complex::mul_acc(cv, aval, *bv);
-                            }
-                        }
+                        micro_kernel(a_blk, b_data, ll, n, jj, c_row);
                     }
                 }
             }
@@ -199,7 +416,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_on_odd_sizes() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 33), (65, 70, 67), (128, 64, 1)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 9, 33),
+            (65, 70, 67),
+            (128, 64, 1),
+        ] {
             let a = random_matrix(m, k, &mut rng);
             let b = random_matrix(k, n, &mut rng);
             let c0 = gemm(&a, &b, GemmAlgo::Naive);
@@ -260,6 +483,149 @@ mod tests {
         let a = M::zeros(2, 3);
         let b = M::zeros(2, 3);
         gemm(&a, &b, GemmAlgo::Naive);
+    }
+
+    #[test]
+    fn kernels_are_bit_identical_on_decoder_shapes() {
+        // The batched node expansion relies on every kernel accumulating
+        // each output column in ascending-l order, so the unrolled /
+        // blocked / parallel paths must match the naive oracle *exactly*,
+        // not just within tolerance. Shapes cover the decoder's
+        // 1×(d+1)×(B·P) products, non-multiple-of-4 edges, and k > BLOCK.
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(m, k, n) in &[
+            (1, 1, 3),
+            (1, 5, 4096),
+            (1, 17, 1023),
+            (2, 16, 513),
+            (3, 70, 130),
+            (65, 70, 67),
+        ] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let c0 = gemm(&a, &b, GemmAlgo::Naive);
+            for algo in [GemmAlgo::Blocked, GemmAlgo::Parallel] {
+                let c = gemm(&a, &b, algo);
+                for i in 0..m {
+                    for j in 0..n {
+                        assert!(
+                            c[(i, j)].re == c0[(i, j)].re && c[(i, j)].im == c0[(i, j)].im,
+                            "{algo:?} not bit-identical at ({i},{j}) of {m}x{k}x{n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acc_form_matches_prepended_row_bitwise() {
+        // The decoder seeds C with the first inner-product term and
+        // accumulates the rest: gemm_acc_into(A[:, 1..], B[1.., :]) on a
+        // C pre-seeded with A[:, 0] · B[0, :] must equal one gemm_into
+        // over the full operands bit for bit, for every kernel.
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m, k, n) in &[(1, 9, 4096), (1, 1, 16), (2, 17, 130), (65, 70, 67)] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let mut full = Matrix::zeros(m, n);
+            gemm_into(&a, &b, &mut full, GemmAlgo::Naive);
+
+            let a_tail = a.block(0, m, 1, k);
+            let b_tail = b.block(1, k, 0, n);
+            for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+                let mut c = Matrix::zeros(m, n);
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut seed = Complex::zero();
+                        Complex::mul_acc(&mut seed, a[(i, 0)], b[(0, j)]);
+                        c[(i, j)] = seed;
+                    }
+                }
+                gemm_acc_into(&a_tail, &b_tail, &mut c, algo);
+                for i in 0..m {
+                    for j in 0..n {
+                        assert!(
+                            c[(i, j)].re == full[(i, j)].re && c[(i, j)].im == full[(i, j)].im,
+                            "{algo:?} acc form not bit-identical at ({i},{j}) of {m}x{k}x{n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_form_matches_materialized_bitwise() {
+        // gemm_broadcast_acc_into against the compressed operand must match
+        // materializing the width-expanded S (fill_tiles) and running the
+        // ordinary accumulate GEMM, bit for bit, for every kernel.
+        let mut rng = StdRng::seed_from_u64(15);
+        for &(m, k, t, width) in &[(1, 8, 256, 16), (1, 1, 3, 5), (2, 13, 9, 7), (3, 4, 6, 1)] {
+            let a = random_matrix(m, k, &mut rng);
+            let values = random_matrix(k, t, &mut rng);
+            let c0 = random_matrix(m, t * width, &mut rng);
+
+            let mut s = Matrix::zeros(k, t * width);
+            for l in 0..k {
+                crate::fill_tiles(
+                    &mut s.as_mut_slice()[l * t * width..(l + 1) * t * width],
+                    &values.as_slice()[l * t..(l + 1) * t],
+                    width,
+                );
+            }
+
+            let mut fast = c0.clone();
+            gemm_broadcast_acc_into(&a, &values, width, &mut fast);
+            for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+                let mut reference = c0.clone();
+                gemm_acc_into(&a, &s, &mut reference, algo);
+                for i in 0..m {
+                    for j in 0..t * width {
+                        assert!(
+                            fast[(i, j)].re == reference[(i, j)].re
+                                && fast[(i, j)].im == reference[(i, j)].im,
+                            "broadcast form not bit-identical to {algo:?} at ({i},{j}) \
+                             of {m}x{k}, {t} tiles of width {width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_form_accepts_empty_inner_dimension() {
+        // k = 0 is the decoder's root expansion: the seeded C must pass
+        // through untouched.
+        let mut rng = StdRng::seed_from_u64(16);
+        let c0 = random_matrix(1, 32, &mut rng);
+        let mut c = c0.clone();
+        gemm_broadcast_acc_into(&M::zeros(1, 0), &M::zeros(0, 2), 16, &mut c);
+        for j in 0..32 {
+            assert_eq!(
+                c[(0, j)],
+                c0[(0, j)],
+                "broadcast form modified C with k = 0"
+            );
+        }
+    }
+
+    #[test]
+    fn acc_form_accepts_empty_inner_dimension() {
+        // k = 0 is the decoder's root expansion: the seeded C must pass
+        // through untouched.
+        let mut rng = StdRng::seed_from_u64(14);
+        let c0 = random_matrix(1, 16, &mut rng);
+        let a = M::zeros(1, 0);
+        let b = M::zeros(0, 16);
+        for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let mut c = c0.clone();
+            gemm_acc_into(&a, &b, &mut c, algo);
+            for j in 0..16 {
+                assert_eq!(c[(0, j)], c0[(0, j)], "{algo:?} modified C with k = 0");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 // `!(d > 0)` is the NaN-robust positivity test in the Cholesky pivot check.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod bulk;
 pub mod cholesky;
 pub mod complex;
 pub mod condition;
@@ -42,12 +43,13 @@ pub mod rng;
 pub mod solve;
 pub mod vector;
 
+pub use bulk::fill_tiles;
 pub use cholesky::{cholesky, solve_hermitian, CholeskyError};
 pub use complex::Complex;
 pub use condition::{condition_estimate, smallest_singular_estimate, spectral_norm_estimate};
 pub use f16::F16;
 pub use float::Float;
-pub use gemm::{gemm, gemm_flops, gemm_into, GemmAlgo};
+pub use gemm::{gemm, gemm_acc_into, gemm_broadcast_acc_into, gemm_flops, gemm_into, GemmAlgo};
 pub use matrix::Matrix;
 pub use qr::{qr, qr_with_qty, QrDecomposition};
 pub use rng::ComplexNormal;

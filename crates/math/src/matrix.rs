@@ -37,7 +37,11 @@ impl<F: Float> Matrix<F> {
     }
 
     /// Build each entry from a closure `(row, col) -> value`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<F>) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex<F>,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -59,6 +63,36 @@ impl<F: Float> Matrix<F> {
             data.len()
         );
         Matrix { rows, cols, data }
+    }
+
+    /// Reshape to `rows × cols`, zero-filling every entry. The backing
+    /// buffer is reused, so once a scratch matrix has seen its largest
+    /// shape, later `resize` calls never touch the allocator — the
+    /// property the decoder's steady-state expansion loop relies on.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex::zero());
+    }
+
+    /// Reshape to `rows × cols` *without* zeroing the retained prefix —
+    /// only entries past the old length start zeroed. For scratch
+    /// operands whose every entry is rewritten before being read (the
+    /// batched expansion's tree-state matrix), this skips [`resize`]'s
+    /// full zero-fill pass, which would otherwise rewrite the entire
+    /// buffer on every expansion.
+    ///
+    /// [`resize`]: Matrix::resize
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if self.data.len() > len {
+            self.data.truncate(len);
+        } else if self.data.len() < len {
+            self.data.resize(len, Complex::zero());
+        }
     }
 
     /// Build from rows of `f64` pairs — convenient in tests.
@@ -371,7 +405,10 @@ mod tests {
     fn col_copies_column() {
         let m = sample();
         let c1 = m.col(1);
-        assert_eq!(c1, vec![C::new(2.0, 1.0), C::new(3.0, 0.0), C::new(-1.0, 0.5)]);
+        assert_eq!(
+            c1,
+            vec![C::new(2.0, 1.0), C::new(3.0, 0.0), C::new(-1.0, 0.5)]
+        );
     }
 
     #[test]

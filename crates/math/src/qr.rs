@@ -100,11 +100,7 @@ fn householder<F: Float>(a: &mut Matrix<F>) -> Reflectors<F> {
         // v = x - beta·e1; v^H v = 2(‖x‖² + |x₀|·‖x‖) so tau = 2/(v^H v).
         x[0] = alpha - beta;
         let vhv = norm_x * norm_x + alpha_abs * norm_x;
-        let tau = if vhv > F::ZERO {
-            F::ONE / vhv
-        } else {
-            F::ZERO
-        };
+        let tau = if vhv > F::ZERO { F::ONE / vhv } else { F::ZERO };
 
         // Apply the reflector to the trailing columns k..m of A.
         for c in k..m {
@@ -152,10 +148,7 @@ pub fn qr<F: Float>(a: &Matrix<F>) -> QrDecomposition<F> {
 /// `ȳ = Q^H y`, returning the thin `m × m` upper-triangular `R` and the
 /// first `m` entries of `ȳ` (the only parts the tree search uses), plus the
 /// residual energy `‖ȳ[m..]‖²` that is constant over all hypotheses.
-pub fn qr_with_qty<F: Float>(
-    h: &Matrix<F>,
-    y: &[Complex<F>],
-) -> (Matrix<F>, CVector<F>, F) {
+pub fn qr_with_qty<F: Float>(h: &Matrix<F>, y: &[Complex<F>]) -> (Matrix<F>, CVector<F>, F) {
     let (n, m) = h.shape();
     assert_eq!(y.len(), n, "y length must equal rows of H");
     let mut r_full = h.clone();

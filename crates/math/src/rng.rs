@@ -84,7 +84,11 @@ mod tests {
         let sampler = ComplexNormal::with_variance(2.0);
         let n = 200_000;
         let samples: Vec<Complex<f64>> = sampler.sample_vec(n, &mut rng);
-        let mean: Complex<f64> = samples.iter().copied().sum::<Complex<f64>>().scale(1.0 / n as f64);
+        let mean: Complex<f64> = samples
+            .iter()
+            .copied()
+            .sum::<Complex<f64>>()
+            .scale(1.0 / n as f64);
         let var: f64 = samples.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean:?} too far from 0");
         assert!((var - 2.0).abs() < 0.05, "variance {var} too far from 2");

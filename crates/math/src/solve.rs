@@ -53,10 +53,7 @@ pub fn back_substitute<F: Float>(u: &Matrix<F>, b: &[Complex<F>]) -> CVector<F> 
 
 /// Solve `L^H x = z` given the *lower* factor `L`, without materializing
 /// `L^H` (used by the Cholesky solve).
-pub fn back_substitute_hermitian_of_lower<F: Float>(
-    l: &Matrix<F>,
-    z: &[Complex<F>],
-) -> CVector<F> {
+pub fn back_substitute_hermitian_of_lower<F: Float>(l: &Matrix<F>, z: &[Complex<F>]) -> CVector<F> {
     let n = l.rows();
     assert_eq!(l.cols(), n);
     assert_eq!(z.len(), n);
@@ -93,7 +90,10 @@ pub fn forward_substitute_hermitian_of_upper<F: Float>(
             acc -= delta;
         }
         let d = u[(i, i)].conj();
-        assert!(d.norm_sqr() > F::ZERO, "hermitian forward-sub: zero pivot {i}");
+        assert!(
+            d.norm_sqr() > F::ZERO,
+            "hermitian forward-sub: zero pivot {i}"
+        );
         z[i] = acc / d;
     }
     z

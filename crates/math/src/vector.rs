@@ -84,7 +84,7 @@ mod tests {
     fn dotc_conjugates_first_arg() {
         let x = v(&[(0.0, 1.0)]); // i
         let y = v(&[(0.0, 1.0)]); // i
-        // conj(i)*i = -i*i = 1
+                                  // conj(i)*i = -i*i = 1
         assert_eq!(dotc(&x, &y), C::new(1.0, 0.0));
         // unconjugated: i*i = -1
         assert_eq!(dotu(&x, &y), C::new(-1.0, 0.0));

@@ -14,7 +14,10 @@ impl Channel {
     /// Draw a fresh channel realization for `n_rx` receivers and `n_tx`
     /// transmitters.
     pub fn rayleigh<R: Rng + ?Sized>(n_rx: usize, n_tx: usize, rng: &mut R) -> Self {
-        assert!(n_rx >= n_tx, "need at least as many receivers as transmitters");
+        assert!(
+            n_rx >= n_tx,
+            "need at least as many receivers as transmitters"
+        );
         assert!(n_tx > 0, "n_tx must be positive");
         Channel {
             h: ComplexNormal::standard().sample_matrix(n_rx, n_tx, rng),

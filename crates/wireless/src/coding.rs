@@ -58,7 +58,10 @@ impl ConvolutionalCode {
         let mut out = Vec::with_capacity(self.coded_len(info.len()));
         let mut shift: u32 = 0;
         let mask = (1u32 << self.constraint) - 1;
-        for &b in info.iter().chain(std::iter::repeat_n(&0u8, self.constraint - 1)) {
+        for &b in info
+            .iter()
+            .chain(std::iter::repeat_n(&0u8, self.constraint - 1))
+        {
             shift = ((shift << 1) | b as u32) & mask;
             for &g in &self.generators {
                 out.push(((shift & g).count_ones() & 1) as u8);
@@ -87,7 +90,11 @@ impl ConvolutionalCode {
     /// bits (tail removed).
     pub fn viterbi_with_metrics(&self, metrics: &[f64]) -> Vec<u8> {
         let nd = self.rate_denominator();
-        assert_eq!(metrics.len() % nd, 0, "metric length must be a multiple of 1/rate");
+        assert_eq!(
+            metrics.len() % nd,
+            0,
+            "metric length must be a multiple of 1/rate"
+        );
         let steps = metrics.len() / nd;
         assert!(
             steps >= self.constraint - 1,
@@ -141,7 +148,10 @@ impl ConvolutionalCode {
 
     /// Hard-decision Viterbi from received coded bits.
     pub fn viterbi_hard(&self, coded: &[u8]) -> Vec<u8> {
-        let metrics: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let metrics: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         self.viterbi_with_metrics(&metrics)
     }
 
@@ -164,7 +174,10 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_both_codes() {
-        for code in [ConvolutionalCode::toy_k3(), ConvolutionalCode::standard_k7()] {
+        for code in [
+            ConvolutionalCode::toy_k3(),
+            ConvolutionalCode::standard_k7(),
+        ] {
             let info = random_bits(100, 1);
             let coded = code.encode(&info);
             assert_eq!(coded.len(), code.coded_len(100));
@@ -191,7 +204,11 @@ mod tests {
         for i in (0..coded.len()).step_by(40) {
             coded[i] ^= 1;
         }
-        assert_eq!(code.viterbi_hard(&coded), info, "free distance 10 corrects these");
+        assert_eq!(
+            code.viterbi_hard(&coded),
+            info,
+            "free distance 10 corrects these"
+        );
     }
 
     #[test]
@@ -201,7 +218,10 @@ mod tests {
         let code = ConvolutionalCode::toy_k3();
         let info = random_bits(60, 3);
         let coded = code.encode(&info);
-        let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 8.0 } else { -8.0 }).collect();
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 8.0 } else { -8.0 })
+            .collect();
         // Corrupt 6 positions but with low confidence.
         for i in (5..llrs.len()).step_by(17) {
             llrs[i] = -llrs[i].signum() * 0.3;
@@ -232,8 +252,16 @@ mod tests {
             let hard_in: Vec<u8> = llrs.iter().map(|&l| u8::from(l < 0.0)).collect();
             let hard_out = code.viterbi_hard(&hard_in);
             let soft_out = code.viterbi_soft(&llrs);
-            hard_errs += hard_out.iter().zip(info.iter()).filter(|(a, b)| a != b).count() as u64;
-            soft_errs += soft_out.iter().zip(info.iter()).filter(|(a, b)| a != b).count() as u64;
+            hard_errs += hard_out
+                .iter()
+                .zip(info.iter())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            soft_errs += soft_out
+                .iter()
+                .zip(info.iter())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
             bits += info.len() as u64;
         }
         assert!(

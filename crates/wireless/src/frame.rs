@@ -24,7 +24,11 @@ pub struct TxFrame {
 
 impl TxFrame {
     /// Draw uniformly random bits and map them.
-    pub fn random<R: Rng + ?Sized>(n_tx: usize, constellation: &Constellation, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(
+        n_tx: usize,
+        constellation: &Constellation,
+        rng: &mut R,
+    ) -> Self {
         let bps = constellation.bits_per_symbol();
         let bits: Vec<u8> = (0..n_tx * bps).map(|_| rng.gen_range(0..=1u8)).collect();
         Self::from_bits(&bits, constellation)

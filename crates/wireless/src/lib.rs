@@ -35,7 +35,7 @@ pub use coding::ConvolutionalCode;
 pub use constellation::{Constellation, Modulation};
 pub use frame::{FrameData, TxFrame};
 pub use models::{corrupt_csi, ChannelModel};
-pub use ofdm::{OfdmConfig, OfdmSymbol};
 pub use montecarlo::{run_link, run_link_parallel, LinkConfig, LinkStats};
 pub use noise::awgn;
+pub use ofdm::{OfdmConfig, OfdmSymbol};
 pub use snr::{noise_variance, snr_db_from_variance, SnrConvention, REAL_TIME_BUDGET};

@@ -38,8 +38,7 @@ impl ChannelModel {
             ChannelModel::KroneckerExponential { rho_tx, rho_rx } => {
                 assert!((0.0..1.0).contains(&rho_tx), "rho_tx must be in [0,1)");
                 assert!((0.0..1.0).contains(&rho_rx), "rho_rx must be in [0,1)");
-                let h_iid: Matrix<f64> =
-                    ComplexNormal::standard().sample_matrix(n_rx, n_tx, rng);
+                let h_iid: Matrix<f64> = ComplexNormal::standard().sample_matrix(n_rx, n_tx, rng);
                 let l_rx = correlation_root(n_rx, rho_rx);
                 let l_tx = correlation_root(n_tx, rho_tx);
                 // H = L_rx · H_iid · L_tx^H colours both sides; unit
@@ -83,9 +82,9 @@ pub fn corrupt_csi<R: Rng + ?Sized>(frame: &mut FrameData, epsilon: f64, rng: &m
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::FrameData;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use crate::frame::FrameData;
     use sd_wireless_test_helpers::*;
 
     // Local helper namespace so the tests read cleanly.

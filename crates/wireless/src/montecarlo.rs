@@ -248,9 +248,7 @@ mod tests {
         // matched filter output — bad but reproducible.
         let decode = |frame: &FrameData| -> Vec<usize> {
             let c = Constellation::new(Modulation::Qam4);
-            (0..frame.tx.n_tx())
-                .map(|i| c.slice(frame.y[i]))
-                .collect()
+            (0..frame.tx.n_tx()).map(|i| c.slice(frame.y[i])).collect()
         };
         let s1 = run_link(&cfg, decode);
         let s2 = run_link_parallel(&cfg, decode);

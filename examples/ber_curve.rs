@@ -19,7 +19,10 @@ fn main() {
     let decoder: SphereDecoder<f32> = SphereDecoder::new(constellation.clone());
 
     println!("BER vs SNR — {n}x{n} MIMO, 4-QAM, {frames} frames/point\n");
-    println!("{:>8} {:>12} {:>12} {:>14}", "SNR(dB)", "BER", "SER", "95% CI");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "SNR(dB)", "BER", "SER", "95% CI"
+    );
 
     let mut curve = BerCurve::new("SD (sorted DFS)");
     for &snr_db in &PAPER_SNR_GRID_DB {
@@ -40,7 +43,14 @@ fn main() {
         let lo = 10f64.powi(-(decade + 1));
         print!("  1e-{} |", decade + 1);
         for p in &curve.points {
-            print!("{}", if p.ber <= hi && p.ber > lo { "  *  " } else { "     " });
+            print!(
+                "{}",
+                if p.ber <= hi && p.ber > lo {
+                    "  *  "
+                } else {
+                    "     "
+                }
+            );
         }
         println!();
     }

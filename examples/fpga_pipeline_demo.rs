@@ -32,7 +32,11 @@ fn main() {
         let c = report.cycles;
         let total = c.total();
 
-        println!("---- {:?} design @ {} MHz ----", config.variant, config.freq_mhz());
+        println!(
+            "---- {:?} design @ {} MHz ----",
+            config.variant,
+            config.freq_mhz()
+        );
         println!(
             "decoded {:?} ({} expansions, {} leaves)",
             report.detection.indices,
@@ -49,7 +53,10 @@ fn main() {
             ("control/list", c.control),
         ] {
             let bar = "#".repeat((60 * cycles / total.max(1)) as usize);
-            println!("  {stage:<14} {cycles:>10} cyc {:>5.1}%  {bar}", 100.0 * cycles as f64 / total as f64);
+            println!(
+                "  {stage:<14} {cycles:>10} cyc {:>5.1}%  {bar}",
+                100.0 * cycles as f64 / total as f64
+            );
         }
         println!(
             "  total          {total:>10} cyc  -> decode time {:.3} ms",

@@ -39,7 +39,10 @@ fn main() {
         100.0 * detection.stats.explored_fraction(constellation.order(), n),
     );
     let errors = frame.bit_errors(&detection.indices, &constellation);
-    println!("bit errors this frame: {errors} / {}\n", frame.tx.bits.len());
+    println!(
+        "bit errors this frame: {errors} / {}\n",
+        frame.tx.bits.len()
+    );
 
     // ---- 4. A short Monte-Carlo burst for a BER estimate.
     let cfg = LinkConfig::square(n, Modulation::Qam16, snr_db).with_frames(2_000);

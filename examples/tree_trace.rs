@@ -20,7 +20,10 @@ fn main() {
     let prep = preprocess::<f64>(&frame, &constellation);
 
     println!("== Sphere decoder tree walk: 3 Tx, BPSK, r = 10 (Fig. 2/3) ==\n");
-    println!("transmitted symbols (antenna order): {:?}", frame.tx.indices);
+    println!(
+        "transmitted symbols (antenna order): {:?}",
+        frame.tx.indices
+    );
     println!("initial squared radius r^2 = 100\n");
 
     let mut scratch = PdScratch::new(2, 3);
@@ -72,8 +75,8 @@ fn main() {
     println!("ground truth:            {:?}", frame.tx.indices);
 
     // Cross-check against the library decoder with the same fixed radius.
-    let reference: SphereDecoder<f64> = SphereDecoder::new(constellation.clone())
-        .with_initial_radius(InitialRadius::Fixed(100.0));
+    let reference: SphereDecoder<f64> =
+        SphereDecoder::new(constellation.clone()).with_initial_radius(InitialRadius::Fixed(100.0));
     let d = reference.detect(&frame);
     assert_eq!(d.indices, indices, "trace must match the library decoder");
     println!("\nlibrary decoder agrees ✓");

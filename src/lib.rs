@@ -46,10 +46,10 @@ pub use sd_wireless;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sd_core::{
-        batch::{batch_stats, decode_batch},
-        BestFirstSd, BfsGemmSd, ColumnOrdering, Detection, DetectionStats, Detector,
-        EvalStrategy, FixedComplexitySd, InitialRadius, KBestSd, MlDetector, MmseDetector,
-        MrcDetector, RvdSphereDecoder, SoftDetection, SoftSphereDecoder, SphereDecoder,
+        batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector},
+        BestFirstSd, BfsGemmSd, ColumnOrdering, Detection, DetectionStats, Detector, EvalStrategy,
+        FixedComplexitySd, InitialRadius, KBestSd, MlDetector, MmseDetector, MrcDetector,
+        RvdSphereDecoder, SearchWorkspace, SoftDetection, SoftSphereDecoder, SphereDecoder,
         StatPruningSd, SubtreeParallelSd, ZfDetector,
     };
     pub use sd_fpga::{
@@ -59,8 +59,8 @@ pub mod prelude {
     pub use sd_gpu::{A100Model, GpuSphereDecoder};
     pub use sd_math::{Complex, Float, Matrix, C32, C64, F16};
     pub use sd_wireless::{
-        corrupt_csi, noise_variance, run_link, run_link_parallel, BerCurve, BerPoint,
-        Channel, ChannelModel, Constellation, ErrorCounter, FrameData, LinkConfig, LinkStats,
-        Modulation, SnrConvention, TxFrame, REAL_TIME_BUDGET,
+        corrupt_csi, noise_variance, run_link, run_link_parallel, BerCurve, BerPoint, Channel,
+        ChannelModel, Constellation, ErrorCounter, FrameData, LinkConfig, LinkStats, Modulation,
+        SnrConvention, TxFrame, REAL_TIME_BUDGET,
     };
 }

@@ -1,0 +1,152 @@
+//! Steady-state allocation audit for the arena searches.
+//!
+//! A counting `#[global_allocator]` proves the ISSUE's core claim: once a
+//! [`SearchWorkspace`] has warmed up to capacity, decoding performs **no
+//! per-node heap allocation** — the remaining per-*decode* allocations
+//! (the returned index vector, the stats' per-level histogram, the BFS
+//! trace) are a small constant, while the search generates thousands of
+//! nodes. The seed implementation cloned a `Vec<usize>` path per surviving
+//! child, so its allocation count scaled with the node count.
+
+use sd_core::preprocess::{preprocess, Prepared};
+use sd_core::{BestFirstSd, BfsGemmSd, KBestSd, SearchWorkspace, SphereDecoder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Fixed 8×8 16-QAM problem set, prepared outside the measured region.
+/// Returns `(constellation, noise variance, prepared problems)`.
+fn prepared_problems() -> (sd_wireless::Constellation, f64, Vec<Prepared<f64>>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let c = sd_wireless::Constellation::new(sd_wireless::Modulation::Qam16);
+    let sigma2 = sd_wireless::noise_variance(14.0, 8);
+    let mut rng = StdRng::seed_from_u64(0x5DC0DE);
+    let preps = (0..8)
+        .map(|_| {
+            let f = sd_wireless::FrameData::generate(8, 8, &c, sigma2, &mut rng);
+            preprocess::<f64>(&f, &c)
+        })
+        .collect();
+    (c, sigma2, preps)
+}
+
+/// Run `decode` over all problems twice (warm-up + measured) and return
+/// `(alloc calls in the measured pass, nodes generated in it)`.
+fn measure(
+    preps: &[Prepared<f64>],
+    mut decode: impl FnMut(&Prepared<f64>) -> sd_core::Detection,
+) -> (u64, u64) {
+    for p in preps {
+        std::hint::black_box(decode(p));
+    }
+    let before = allocs();
+    let mut nodes = 0;
+    for p in preps {
+        nodes += std::hint::black_box(decode(p)).stats.nodes_generated;
+    }
+    (allocs() - before, nodes)
+}
+
+/// Per-decode allocation budget: index vector + stats histogram + a few
+/// fixed-size odds and ends (the BFS trace), all independent of tree size.
+const PER_DECODE_BUDGET: u64 = 16;
+
+#[test]
+fn dfs_steady_state_is_node_allocation_free() {
+    let (c, _sigma2, preps) = prepared_problems();
+    let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+    let mut ws = SearchWorkspace::new();
+    let (allocs, nodes) = measure(&preps, |p| sd.detect_prepared_in(p, f64::INFINITY, &mut ws));
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the search loop allocates"
+    );
+}
+
+#[test]
+fn best_first_steady_state_is_node_allocation_free() {
+    let (c, _sigma2, preps) = prepared_problems();
+    let bf: BestFirstSd<f64> = BestFirstSd::new(c);
+    let mut ws = SearchWorkspace::new();
+    let (allocs, nodes) = measure(&preps, |p| bf.detect_prepared_in(p, f64::INFINITY, &mut ws));
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the search loop allocates"
+    );
+}
+
+#[test]
+fn bfs_steady_state_is_node_allocation_free() {
+    let (c, _sigma2, preps) = prepared_problems();
+    let bfs: BfsGemmSd<f64> = BfsGemmSd::new(c).with_max_frontier(256);
+    let mut ws = SearchWorkspace::new();
+    let r2 = sd_core::InitialRadius::ScaledNoise(2.0).resolve(8, _sigma2);
+    // The per-decode trace allocates its level vector; still O(M), not O(nodes).
+    let (allocs, nodes) = measure(&preps, |p| bfs.detect_prepared_traced_in(p, r2, &mut ws).0);
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= 2 * PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the level loop allocates"
+    );
+}
+
+#[test]
+fn kbest_steady_state_is_node_allocation_free() {
+    let (c, _sigma2, preps) = prepared_problems();
+    let kb: KBestSd<f64> = KBestSd::new(c, 64);
+    let mut ws = SearchWorkspace::new();
+    let (allocs, nodes) = measure(&preps, |p| kb.detect_prepared_in(p, &mut ws));
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the sweep allocates"
+    );
+}
+
+#[test]
+fn reference_implementation_allocates_per_node() {
+    // Sanity check that the counter actually sees the seed behavior this
+    // PR removes: the path-cloning reference allocates proportionally to
+    // the number of surviving nodes.
+    let (_, _, preps) = prepared_problems();
+    let before = allocs();
+    let mut nodes = 0;
+    for p in &preps {
+        nodes += sd_core::reference::kbest_reference(p, 64)
+            .stats
+            .nodes_generated;
+    }
+    let delta = allocs() - before;
+    assert!(
+        delta > nodes / 4,
+        "reference made only {delta} allocations for {nodes} nodes?"
+    );
+}

@@ -1,0 +1,107 @@
+//! Seeded Monte-Carlo bit-identity suite (ISSUE 1 acceptance gate).
+//!
+//! Over a fixed frame population (seed `0x5DC0DE`), the arena searches
+//! with batched GEMM expansion must decode to **bit-identical symbol
+//! indices** — and identical statistics — as the seed path-cloning
+//! implementations, for DFS, best-first, BFS and K-best, at both the
+//! paper's 16×16/16-QAM operating point and a smaller low-SNR point where
+//! the searches are deep.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_core::preprocess::{preprocess, Prepared};
+use sd_core::reference::{best_first_reference, bfs_reference, dfs_reference, kbest_reference};
+use sd_core::{BestFirstSd, BfsGemmSd, EvalStrategy, InitialRadius, KBestSd, SphereDecoder};
+use sd_math::GemmAlgo;
+use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
+
+const SEED: u64 = 0x5DC0DE;
+
+/// The two Monte-Carlo operating points of the suite:
+/// `(antennas, modulation, SNR dB, frames)`.
+const POINTS: [(usize, Modulation, f64, usize); 2] = [
+    (16, Modulation::Qam16, 22.0, 12),
+    (8, Modulation::Qam4, 8.0, 25),
+];
+
+fn suite(
+    n: usize,
+    m: Modulation,
+    snr_db: f64,
+    count: usize,
+) -> (Constellation, f64, Vec<Prepared<f64>>) {
+    let c = Constellation::new(m);
+    let sigma2 = noise_variance(snr_db, n);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let preps = (0..count)
+        .map(|_| {
+            let f = FrameData::generate(n, n, &c, sigma2, &mut rng);
+            preprocess::<f64>(&f, &c)
+        })
+        .collect();
+    (c, sigma2, preps)
+}
+
+#[test]
+fn dfs_is_bit_identical_to_seed() {
+    for (n, m, snr, count) in POINTS {
+        let (c, _, preps) = suite(n, m, snr, count);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        for (i, prep) in preps.iter().enumerate() {
+            let a = sd.detect_prepared(prep, f64::INFINITY);
+            let b = dfs_reference(prep, f64::INFINITY, EvalStrategy::Gemm, true);
+            assert_eq!(a.indices, b.indices, "frame {i} at {n}x{n}");
+            assert_eq!(a.stats, b.stats, "frame {i} at {n}x{n}");
+        }
+    }
+}
+
+#[test]
+fn best_first_is_bit_identical_to_seed() {
+    for (n, m, snr, count) in POINTS {
+        let (c, _, preps) = suite(n, m, snr, count);
+        let bf: BestFirstSd<f64> = BestFirstSd::new(c);
+        for (i, prep) in preps.iter().enumerate() {
+            let a = bf.detect_prepared(prep, f64::INFINITY);
+            let b = best_first_reference(prep, f64::INFINITY, EvalStrategy::Gemm);
+            assert_eq!(a.indices, b.indices, "frame {i} at {n}x{n}");
+            assert_eq!(a.stats, b.stats, "frame {i} at {n}x{n}");
+        }
+    }
+}
+
+#[test]
+fn bfs_batched_gemm_is_bit_identical_to_seed() {
+    for (n, m, snr, count) in POINTS {
+        let (c, sigma2, preps) = suite(n, m, snr, count);
+        let cap = 512;
+        let r2 = InitialRadius::ScaledNoise(2.0).resolve(n, sigma2);
+        for algo in [GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let bfs: BfsGemmSd<f64> = BfsGemmSd::new(c.clone())
+                .with_max_frontier(cap)
+                .with_batch_algo(algo);
+            for (i, prep) in preps.iter().enumerate() {
+                let a = bfs.detect_prepared_traced(prep, r2).0;
+                let b = bfs_reference(prep, r2, cap);
+                assert_eq!(a.indices, b.indices, "frame {i} at {n}x{n} with {algo:?}");
+                assert_eq!(a.stats, b.stats, "frame {i} at {n}x{n} with {algo:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn kbest_batched_gemm_is_bit_identical_to_seed() {
+    for (n, m, snr, count) in POINTS {
+        let (c, _, preps) = suite(n, m, snr, count);
+        for algo in [GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let kb: KBestSd<f64> = KBestSd::new(c.clone(), 32).with_batch_algo(algo);
+            for (i, prep) in preps.iter().enumerate() {
+                let a = kb.detect_prepared(prep);
+                let b = kbest_reference(prep, 32);
+                assert_eq!(a.indices, b.indices, "frame {i} at {n}x{n} with {algo:?}");
+                assert_eq!(a.stats, b.stats, "frame {i} at {n}x{n} with {algo:?}");
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@ fn ordering_never_changes_the_answer() {
     let c = Constellation::new(cfg.modulation);
     let (_, frames) = generate_frames(&cfg);
     let natural: SphereDecoder<f64> = SphereDecoder::new(c.clone());
-    for ordering in [ColumnOrdering::NormDescending, ColumnOrdering::NormAscending] {
+    for ordering in [
+        ColumnOrdering::NormDescending,
+        ColumnOrdering::NormAscending,
+    ] {
         let ordered: SphereDecoder<f64> = SphereDecoder::new(c.clone()).with_ordering(ordering);
         for f in &frames {
             assert_eq!(
@@ -33,7 +36,10 @@ fn kbest_interpolates_between_linear_and_ml() {
     let zf = ZfDetector::new(c.clone());
     let kb: KBestSd<f64> = KBestSd::new(c.clone(), 16);
     let errs = |det: &dyn Detector| -> u64 {
-        frames.iter().map(|f| f.bit_errors(&det.detect(f).indices, &c)).sum()
+        frames
+            .iter()
+            .map(|f| f.bit_errors(&det.detect(f).indices, &c))
+            .sum()
     };
     let e_ml = errs(&ml);
     let e_kb = errs(&kb);
@@ -91,8 +97,14 @@ fn correlated_channels_are_harder_for_every_detector() {
         },
         1,
     );
-    assert!(e_corr > e_iid, "correlation must cost BER: {e_iid} vs {e_corr}");
-    assert!(n_corr > n_iid, "correlation must inflate the tree: {n_iid} vs {n_corr}");
+    assert!(
+        e_corr > e_iid,
+        "correlation must cost BER: {e_iid} vs {e_corr}"
+    );
+    assert!(
+        n_corr > n_iid,
+        "correlation must inflate the tree: {n_iid} vs {n_corr}"
+    );
 }
 
 #[test]
