@@ -6,7 +6,7 @@ pub mod tables;
 
 use crate::report::{Report, RunOpts};
 use crate::CpuTimeModel;
-use sd_core::{Detector, SphereDecoder};
+use sd_core::{DetectionStats, Detector, SphereDecoder};
 use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
 use sd_wireless::montecarlo::generate_frames;
 use sd_wireless::{Constellation, FrameData, LinkConfig, Modulation};
@@ -21,7 +21,7 @@ pub const ALL_EXPERIMENTS: [&str; 10] = [
 ];
 
 /// Extension experiment ids (beyond the paper's evaluation).
-pub const EXT_EXPERIMENTS: [&str; 8] = [
+pub const EXT_EXPERIMENTS: [&str; 9] = [
     "ext-fp16",
     "ext-ordering",
     "ext-dualpipe",
@@ -30,6 +30,7 @@ pub const EXT_EXPERIMENTS: [&str; 8] = [
     "ext-companions",
     "ext-ofdm",
     "ext-coded",
+    "ext-serve",
 ];
 
 /// Run one experiment by id; returns its report.
@@ -53,6 +54,7 @@ pub fn run(id: &str, opts: &RunOpts) -> Option<Report> {
         "ext-companions" => extensions::ext_companions(opts),
         "ext-ofdm" => extensions::ext_ofdm(opts),
         "ext-coded" => extensions::ext_coded(opts),
+        "ext-serve" => extensions::ext_serve(opts),
         _ => return None,
     };
     Some(report)
@@ -106,12 +108,11 @@ pub fn measure_point(n: usize, modulation: Modulation, snr_db: f64, opts: &RunOp
     }
     t.cpu_native_ms = t0.elapsed().as_secs_f64() * 1e3 / frames.len() as f64;
 
-    for d in &detections {
-        t.cpu_model_ms += cpu_model.decode_seconds(&d.stats) * 1e3;
-        t.expansions += d.stats.nodes_expanded as f64;
-    }
-    t.cpu_model_ms /= frames.len() as f64;
-    t.expansions /= frames.len() as f64;
+    // Fold every frame's instrumentation in one pass; the time model is
+    // linear in the aggregate, so this matches per-frame summation exactly.
+    let total: DetectionStats = detections.iter().map(|d| &d.stats).sum();
+    t.cpu_model_ms = cpu_model.decode_seconds(&total) * 1e3 / frames.len() as f64;
+    t.expansions = total.nodes_expanded as f64 / frames.len() as f64;
 
     for f in &frames {
         t.fpga_base_ms += base.decode_with_report(f).decode_seconds * 1e3;

@@ -63,6 +63,33 @@ impl DetectionStats {
         self.final_radius_sqr = self.final_radius_sqr.max(other.final_radius_sqr);
     }
 
+    /// Merge an iterator of stats into one aggregate — the cheap way to
+    /// fold a whole batch (`detections.iter().map(|d| &d.stats)`) without
+    /// hand-summing individual counters.
+    pub fn accumulate<'a, I: IntoIterator<Item = &'a DetectionStats>>(stats: I) -> DetectionStats {
+        let mut acc = DetectionStats::default();
+        for s in stats {
+            acc.merge(s);
+        }
+        acc
+    }
+
+    /// Zero every counter and (re)size the per-level histogram to
+    /// `n_levels` without giving up its capacity. Decoders use this to
+    /// write stats into a caller-owned struct allocation-free.
+    pub fn reset(&mut self, n_levels: usize) {
+        self.nodes_expanded = 0;
+        self.nodes_generated = 0;
+        self.nodes_pruned = 0;
+        self.leaves_reached = 0;
+        self.radius_updates = 0;
+        self.flops = 0;
+        self.per_level_generated.clear();
+        self.per_level_generated.resize(n_levels, 0);
+        self.final_radius_sqr = 0.0;
+        self.restarts = 0;
+    }
+
     /// Fraction of a full `P^M` enumeration this search visited.
     pub fn explored_fraction(&self, order: usize, n_tx: usize) -> f64 {
         let total = (order as f64).powi(n_tx as i32);
@@ -70,8 +97,24 @@ impl DetectionStats {
     }
 }
 
+impl<'a> std::iter::Sum<&'a DetectionStats> for DetectionStats {
+    fn sum<I: Iterator<Item = &'a DetectionStats>>(iter: I) -> Self {
+        DetectionStats::accumulate(iter)
+    }
+}
+
+impl std::iter::Sum for DetectionStats {
+    fn sum<I: Iterator<Item = DetectionStats>>(iter: I) -> Self {
+        let mut acc = DetectionStats::default();
+        for s in iter {
+            acc.merge(&s);
+        }
+        acc
+    }
+}
+
 /// Result of one decode.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Detection {
     /// Constellation point index per transmit antenna (the decoded `ŝ`).
     pub indices: Vec<usize>,
@@ -123,6 +166,55 @@ mod tests {
         assert_eq!(a.per_level_generated, vec![8, 16, 8]);
         assert_eq!(a.final_radius_sqr, 1.5);
         assert_eq!(a.restarts, 2);
+    }
+
+    #[test]
+    fn accumulate_and_sum_match_pairwise_merge() {
+        let a = DetectionStats {
+            nodes_expanded: 3,
+            nodes_generated: 12,
+            flops: 7,
+            per_level_generated: vec![4, 8],
+            final_radius_sqr: 2.0,
+            ..Default::default()
+        };
+        let b = DetectionStats {
+            nodes_expanded: 2,
+            nodes_generated: 8,
+            flops: 5,
+            per_level_generated: vec![8],
+            restarts: 1,
+            ..Default::default()
+        };
+        let mut manual = DetectionStats::default();
+        manual.merge(&a);
+        manual.merge(&b);
+        let acc = DetectionStats::accumulate([&a, &b]);
+        assert_eq!(acc, manual);
+        let summed: DetectionStats = [&a, &b].into_iter().sum();
+        assert_eq!(summed, manual);
+        let owned: DetectionStats = vec![a.clone(), b].into_iter().sum();
+        assert_eq!(owned, manual);
+    }
+
+    #[test]
+    fn reset_keeps_histogram_capacity() {
+        let mut s = DetectionStats {
+            nodes_expanded: 9,
+            per_level_generated: vec![1, 2, 3, 4],
+            final_radius_sqr: 5.0,
+            ..Default::default()
+        };
+        let cap = s.per_level_generated.capacity();
+        s.reset(3);
+        assert_eq!(s.nodes_expanded, 0);
+        assert_eq!(s.final_radius_sqr, 0.0);
+        assert_eq!(s.per_level_generated, vec![0; 3]);
+        assert_eq!(
+            s.per_level_generated.capacity(),
+            cap,
+            "reset must not shrink"
+        );
     }
 
     #[test]

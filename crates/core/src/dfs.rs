@@ -93,43 +93,59 @@ impl<F: Float> SphereDecoder<F> {
         radius_sqr: f64,
         ws: &mut SearchWorkspace<F>,
     ) -> Detection {
+        let mut out = Detection::default();
+        self.detect_prepared_into(prep, radius_sqr, ws, &mut out);
+        out
+    }
+
+    /// [`SphereDecoder::detect_prepared_in`] writing into a caller-owned
+    /// [`Detection`] whose index vector and per-level histogram keep their
+    /// capacity — with a warm `ws` and `out`, a decode performs zero heap
+    /// allocations. Bit-identical results.
+    pub fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         ws.prepare(prep.order, prep.n_tx);
+        out.stats.reset(prep.n_tx);
         let ws = &mut *ws;
-        let mut search = Search {
-            prep,
-            scratch: &mut ws.scratch,
-            stats: DetectionStats {
-                per_level_generated: vec![0; prep.n_tx],
-                ..Default::default()
-            },
-            path: &mut ws.path,
-            best_path: &mut ws.best_path,
-            sort_bufs: &mut ws.sort_bufs,
-            best_metric: F::from_f64(radius_sqr),
-            sort: self.sort_children,
-            eval: self.eval,
-        };
-        let mut r2 = radius_sqr;
-        loop {
-            search.descend(F::ZERO);
-            if !search.best_path.is_empty() {
-                break;
+        let best_metric;
+        {
+            let mut search = Search {
+                prep,
+                scratch: &mut ws.scratch,
+                stats: &mut out.stats,
+                path: &mut ws.path,
+                best_path: &mut ws.best_path,
+                sort_bufs: &mut ws.sort_bufs,
+                best_metric: F::from_f64(radius_sqr),
+                sort: self.sort_children,
+                eval: self.eval,
+            };
+            let mut r2 = radius_sqr;
+            loop {
+                search.descend(F::ZERO);
+                if !search.best_path.is_empty() {
+                    break;
+                }
+                // Empty sphere: enlarge and retry (keeps the decoder exact
+                // for finite initial radii).
+                r2 *= InitialRadius::RESTART_GROWTH;
+                search.stats.restarts += 1;
+                search.best_metric = F::from_f64(r2);
+                assert!(
+                    search.stats.restarts < 64,
+                    "sphere radius failed to capture any leaf"
+                );
             }
-            // Empty sphere: enlarge and retry (keeps the decoder exact for
-            // finite initial radii).
-            r2 *= InitialRadius::RESTART_GROWTH;
-            search.stats.restarts += 1;
-            search.best_metric = F::from_f64(r2);
-            assert!(
-                search.stats.restarts < 64,
-                "sphere radius failed to capture any leaf"
-            );
+            best_metric = search.best_metric;
         }
-        let indices = prep.indices_from_path(search.best_path);
-        let mut stats = search.stats;
-        stats.final_radius_sqr = search.best_metric.to_f64();
-        stats.flops += prep.prep_flops;
-        Detection { indices, stats }
+        prep.indices_from_path_into(&ws.best_path, &mut out.indices);
+        out.stats.final_radius_sqr = best_metric.to_f64();
+        out.stats.flops += prep.prep_flops;
     }
 }
 
@@ -162,7 +178,7 @@ impl<F: Float> crate::batch::WorkspaceDetector<F> for SphereDecoder<F> {
 struct Search<'a, F: Float> {
     prep: &'a Prepared<F>,
     scratch: &'a mut PdScratch<F>,
-    stats: DetectionStats,
+    stats: &'a mut DetectionStats,
     /// Current path, depth order (`path[d]` = antenna `M−1−d`).
     path: &'a mut Vec<usize>,
     best_path: &'a mut Vec<usize>,

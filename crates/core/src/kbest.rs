@@ -17,7 +17,7 @@
 //! original fixed-precision semantics bit for bit.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::detector::{Detection, Detector};
 use crate::pd::eval_children_batch;
 use crate::preprocess::{preprocess, Prepared};
 use sd_math::{Float, GemmAlgo};
@@ -60,13 +60,25 @@ impl<F: Float> KBestSd<F> {
 
     /// [`KBestSd::detect_prepared`] reusing a caller-owned workspace.
     pub fn detect_prepared_in(&self, prep: &Prepared<F>, ws: &mut SearchWorkspace<F>) -> Detection {
+        let mut out = Detection::default();
+        self.detect_prepared_into(prep, ws, &mut out);
+        out
+    }
+
+    /// [`KBestSd::detect_prepared_in`] writing into a caller-owned
+    /// [`Detection`] so a warm workspace + output pair decodes without heap
+    /// allocation. Bit-identical results.
+    pub fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
         ws.prepare(p, m);
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            ..Default::default()
-        };
+        out.stats.reset(m);
+        let stats = &mut out.stats;
 
         // Frontier of (pd, arena id), capped at K after each level.
         ws.frontier_f.clear();
@@ -107,8 +119,7 @@ impl<F: Float> KBestSd<F> {
         stats.final_radius_sqr = best_pd.to_f64();
         stats.flops += prep.prep_flops;
         ws.arena.path_into(best_id, &mut ws.path_buf);
-        let indices = prep.indices_from_path(&ws.path_buf);
-        Detection { indices, stats }
+        prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
     }
 }
 

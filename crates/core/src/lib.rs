@@ -69,7 +69,9 @@ pub use linear::{MmseDetector, MrcDetector, ZfDetector};
 pub use ml::MlDetector;
 pub use multi_pe::SubtreeParallelSd;
 pub use pd::EvalStrategy;
-pub use preprocess::{preprocess, preprocess_ordered, ColumnOrdering, Prepared};
+pub use preprocess::{
+    preprocess, preprocess_ordered, preprocess_ordered_into, ColumnOrdering, PrepScratch, Prepared,
+};
 pub use radius::InitialRadius;
 pub use rvd::RvdSphereDecoder;
 pub use soft::{SoftDetection, SoftSphereDecoder};

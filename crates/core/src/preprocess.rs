@@ -6,7 +6,7 @@
 //! use and is shared by every tree decoder, so cross-decoder comparisons
 //! are exact.
 
-use sd_math::{qr_with_qty, Complex, Float, Matrix};
+use sd_math::{qr_with_qty, Complex, Float, Matrix, QrScratch};
 use sd_wireless::{Constellation, FrameData};
 use serde::{Deserialize, Serialize};
 
@@ -28,27 +28,45 @@ pub enum ColumnOrdering {
 }
 
 impl ColumnOrdering {
-    /// Column permutation `perm` such that `H_perm[:, k] = H[:, perm[k]]`.
-    fn permutation<F: Float>(self, h: &Matrix<F>) -> Vec<usize> {
+    /// Column permutation `perm` such that `H_perm[:, k] = H[:, perm[k]]`,
+    /// written into caller-owned buffers (`norms` is scratch).
+    fn permutation_into<F: Float>(
+        self,
+        h: &Matrix<F>,
+        perm: &mut Vec<usize>,
+        norms: &mut Vec<f64>,
+    ) {
         let m = h.cols();
-        let mut perm: Vec<usize> = (0..m).collect();
+        perm.clear();
+        perm.extend(0..m);
         if self == ColumnOrdering::Natural {
-            return perm;
+            return;
         }
-        let norms: Vec<f64> = (0..m)
-            .map(|j| {
-                (0..h.rows())
-                    .map(|i| h[(i, j)].norm_sqr().to_f64())
-                    .sum::<f64>()
-            })
-            .collect();
+        norms.clear();
+        norms.extend((0..m).map(|j| {
+            (0..h.rows())
+                .map(|i| h[(i, j)].norm_sqr().to_f64())
+                .sum::<f64>()
+        }));
         // Tree level 0 fixes the LAST column, so "detected first" means
-        // sorted to the end of the permutation.
+        // sorted to the end of the permutation. `sort_unstable_by` keeps
+        // this path allocation-free (ties are measure-zero for random H).
         match self {
-            ColumnOrdering::NormDescending => perm.sort_by(|&a, &b| norms[a].total_cmp(&norms[b])),
-            ColumnOrdering::NormAscending => perm.sort_by(|&a, &b| norms[b].total_cmp(&norms[a])),
+            ColumnOrdering::NormDescending => {
+                perm.sort_unstable_by(|&a, &b| norms[a].total_cmp(&norms[b]))
+            }
+            ColumnOrdering::NormAscending => {
+                perm.sort_unstable_by(|&a, &b| norms[b].total_cmp(&norms[a]))
+            }
             ColumnOrdering::Natural => unreachable!(),
         }
+    }
+
+    /// Column permutation `perm` such that `H_perm[:, k] = H[:, perm[k]]`.
+    fn permutation<F: Float>(self, h: &Matrix<F>) -> Vec<usize> {
+        let mut perm = Vec::new();
+        let mut norms = Vec::new();
+        self.permutation_into(h, &mut perm, &mut norms);
         perm
     }
 }
@@ -83,13 +101,25 @@ pub struct Prepared<F: Float> {
 
 /// Build the per-depth `1 × (d+1)` GEMM row operands from `R`.
 pub(crate) fn row_blocks_from_r<F: Float>(r: &Matrix<F>) -> Vec<Matrix<F>> {
+    let mut blocks = Vec::new();
+    row_blocks_into(r, &mut blocks);
+    blocks
+}
+
+/// [`row_blocks_from_r`] into a caller-owned vector, reusing each block's
+/// backing buffer (allocation-free at steady state for a fixed `M`).
+pub(crate) fn row_blocks_into<F: Float>(r: &Matrix<F>, blocks: &mut Vec<Matrix<F>>) {
     let m = r.cols();
-    (0..m)
-        .map(|depth| {
-            let i = m - 1 - depth;
-            Matrix::from_fn(1, depth + 1, |_, l| r[(i, i + l)])
-        })
-        .collect()
+    if blocks.len() != m {
+        blocks.resize_with(m, || Matrix::zeros(0, 0));
+    }
+    for (depth, block) in blocks.iter_mut().enumerate() {
+        let i = m - 1 - depth;
+        block.resize_for_overwrite(1, depth + 1);
+        for l in 0..=depth {
+            block[(0, l)] = r[(i, i + l)];
+        }
+    }
 }
 
 /// Approximate real-flop count of a complex Householder QR of an `n × m`
@@ -133,17 +163,111 @@ pub fn preprocess_ordered<F: Float>(
     }
 }
 
+/// Reusable buffers for [`preprocess_ordered_into`]: the QR scratch plus
+/// the cast / permuted channel matrices and the cast receive vector.
+pub struct PrepScratch<F: Float> {
+    qr: QrScratch<F>,
+    h_cast: Matrix<F>,
+    h_perm: Matrix<F>,
+    y: Vec<Complex<F>>,
+    norms: Vec<f64>,
+}
+
+impl<F: Float> Default for PrepScratch<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> PrepScratch<F> {
+    /// Empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        PrepScratch {
+            qr: QrScratch::new(),
+            h_cast: Matrix::zeros(0, 0),
+            h_perm: Matrix::zeros(0, 0),
+            y: Vec::new(),
+            norms: Vec::new(),
+        }
+    }
+}
+
+/// [`preprocess_ordered`] into a caller-owned [`Prepared`], drawing every
+/// intermediate from `scratch`. Bit-identical to the allocating variant;
+/// after each problem shape has been seen once, neither `scratch` nor
+/// `prep` touches the allocator again — the serving runtime's per-request
+/// preprocessing path.
+pub fn preprocess_ordered_into<F: Float>(
+    frame: &FrameData,
+    constellation: &Constellation,
+    ordering: ColumnOrdering,
+    scratch: &mut PrepScratch<F>,
+    prep: &mut Prepared<F>,
+) {
+    let (n, m) = frame.h.shape();
+    scratch.h_cast.resize_for_overwrite(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            scratch.h_cast[(i, j)] = frame.h[(i, j)].cast();
+        }
+    }
+    ordering.permutation_into(&scratch.h_cast, &mut prep.perm, &mut scratch.norms);
+    scratch.h_perm.resize_for_overwrite(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            scratch.h_perm[(i, j)] = scratch.h_cast[(i, prep.perm[j])];
+        }
+    }
+    scratch.y.clear();
+    scratch.y.extend(frame.y.iter().map(|c| c.cast()));
+    prep.tail_energy =
+        scratch
+            .qr
+            .qr_with_qty_into(&scratch.h_perm, &scratch.y, &mut prep.r, &mut prep.ybar);
+    prep.points.clear();
+    prep.points
+        .extend(constellation.points().iter().map(|p| p.cast()));
+    prep.n_tx = m;
+    prep.order = constellation.order();
+    prep.prep_flops = qr_flops(n, m);
+    row_blocks_into(&prep.r, &mut prep.row_blocks);
+}
+
 impl<F: Float> Prepared<F> {
+    /// An empty placeholder to preprocess into (see
+    /// [`preprocess_ordered_into`]); not a valid decoding problem until
+    /// filled.
+    pub fn empty() -> Self {
+        Prepared {
+            r: Matrix::zeros(0, 0),
+            ybar: Vec::new(),
+            tail_energy: F::ZERO,
+            points: Vec::new(),
+            n_tx: 0,
+            order: 0,
+            prep_flops: 0,
+            perm: Vec::new(),
+            row_blocks: Vec::new(),
+        }
+    }
+
     /// Map a depth-order tree path (`path[d]` = tree level `d`'s symbol)
     /// back to physical antenna order, undoing the column permutation.
     pub fn indices_from_path(&self, path: &[usize]) -> Vec<usize> {
+        let mut physical = Vec::new();
+        self.indices_from_path_into(path, &mut physical);
+        physical
+    }
+
+    /// [`Prepared::indices_from_path`] into a caller-owned vector.
+    pub fn indices_from_path_into(&self, path: &[usize], out: &mut Vec<usize>) {
         let m = self.n_tx;
         assert_eq!(path.len(), m, "need a complete leaf path");
-        let mut physical = vec![0usize; m];
+        out.clear();
+        out.resize(m, 0);
         for (d, &c) in path.iter().enumerate() {
-            physical[self.perm[m - 1 - d]] = c;
+            out[self.perm[m - 1 - d]] = c;
         }
-        physical
     }
 
     /// Full metric `‖y − Hs‖²` of a complete symbol-index vector in
@@ -273,6 +397,44 @@ mod tests {
         let m_nat = natural.full_metric(&physical);
         let m_ord = ordered.full_metric(&tree);
         assert!((m_nat - m_ord).abs() < 1e-9, "{m_nat} vs {m_ord}");
+    }
+
+    #[test]
+    fn preprocess_into_is_bit_identical_to_fresh() {
+        let mut scratch: PrepScratch<f64> = PrepScratch::new();
+        let mut prep = Prepared::empty();
+        for (seed, ordering) in [
+            (21u64, ColumnOrdering::Natural),
+            (22, ColumnOrdering::NormDescending),
+            (23, ColumnOrdering::NormAscending),
+            (24, ColumnOrdering::Natural),
+        ] {
+            let (c, f) = frame(7, Modulation::Qam16, seed);
+            let fresh: Prepared<f64> = preprocess_ordered(&f, &c, ordering);
+            preprocess_ordered_into(&f, &c, ordering, &mut scratch, &mut prep);
+            assert_eq!(fresh.r, prep.r, "{ordering:?}: R differs");
+            assert_eq!(fresh.ybar, prep.ybar);
+            assert_eq!(fresh.tail_energy.to_bits(), prep.tail_energy.to_bits());
+            assert_eq!(fresh.points, prep.points);
+            assert_eq!(fresh.n_tx, prep.n_tx);
+            assert_eq!(fresh.order, prep.order);
+            assert_eq!(fresh.prep_flops, prep.prep_flops);
+            assert_eq!(fresh.perm, prep.perm);
+            assert_eq!(fresh.row_blocks.len(), prep.row_blocks.len());
+            for (a, b) in fresh.row_blocks.iter().zip(prep.row_blocks.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn indices_from_path_into_matches_allocating_variant() {
+        let (c, f) = frame(6, Modulation::Qam4, 31);
+        let prep: Prepared<f64> = preprocess_ordered(&f, &c, ColumnOrdering::NormDescending);
+        let path = vec![3usize, 1, 0, 2, 3, 1];
+        let mut buf = vec![9usize; 2];
+        prep.indices_from_path_into(&path, &mut buf);
+        assert_eq!(buf, prep.indices_from_path(&path));
     }
 
     #[test]

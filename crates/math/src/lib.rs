@@ -51,7 +51,7 @@ pub use f16::F16;
 pub use float::Float;
 pub use gemm::{gemm, gemm_acc_into, gemm_broadcast_acc_into, gemm_flops, gemm_into, GemmAlgo};
 pub use matrix::Matrix;
-pub use qr::{qr, qr_with_qty, QrDecomposition};
+pub use qr::{qr, qr_with_qty, QrDecomposition, QrScratch};
 pub use rng::ComplexNormal;
 pub use vector::CVector;
 

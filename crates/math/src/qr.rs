@@ -32,25 +32,30 @@ struct Reflectors<F> {
     n: usize,
 }
 
+/// Apply `H_k … H_0` (i.e. `Q^H`) to `x` in place.
+fn apply_qh_slices<F: Float>(vs: &[CVector<F>], taus: &[F], x: &mut [Complex<F>]) {
+    for (k, (v, &tau)) in vs.iter().zip(taus.iter()).enumerate() {
+        if tau == F::ZERO {
+            continue;
+        }
+        // w = v^H x[k..]
+        let mut w = Complex::zero();
+        for (vi, xi) in v.iter().zip(x[k..].iter()) {
+            Complex::mul_acc(&mut w, vi.conj(), *xi);
+        }
+        let w = w.scale(tau);
+        // x[k..] -= w * v
+        for (vi, xi) in v.iter().zip(x[k..].iter_mut()) {
+            *xi -= w * *vi;
+        }
+    }
+}
+
 impl<F: Float> Reflectors<F> {
     /// Apply `H_k … H_0` (i.e. `Q^H`) to `x` in place.
     fn apply_qh(&self, x: &mut [Complex<F>]) {
         assert_eq!(x.len(), self.n);
-        for (k, (v, &tau)) in self.vs.iter().zip(self.taus.iter()).enumerate() {
-            if tau == F::ZERO {
-                continue;
-            }
-            // w = v^H x[k..]
-            let mut w = Complex::zero();
-            for (vi, xi) in v.iter().zip(x[k..].iter()) {
-                Complex::mul_acc(&mut w, vi.conj(), *xi);
-            }
-            let w = w.scale(tau);
-            // x[k..] -= w * v
-            for (vi, xi) in v.iter().zip(x[k..].iter_mut()) {
-                *xi -= w * *vi;
-            }
-        }
+        apply_qh_slices(&self.vs, &self.taus, x);
     }
 
     /// Apply `H_0 … H_k` (i.e. `Q`) to `x` in place.
@@ -72,20 +77,26 @@ impl<F: Float> Reflectors<F> {
     }
 }
 
-/// Factorize in place, returning the reflectors and leaving `R` in `a`.
-fn householder<F: Float>(a: &mut Matrix<F>) -> Reflectors<F> {
+/// Factorize in place, writing the reflectors into `vs`/`taus` (whose
+/// element buffers are reused across calls, so steady-state callers never
+/// touch the allocator) and leaving `R` in `a`.
+fn householder_into<F: Float>(a: &mut Matrix<F>, vs: &mut Vec<CVector<F>>, taus: &mut Vec<F>) {
     let (n, m) = a.shape();
     assert!(n >= m, "QR requires rows >= cols (got {n}x{m})");
     let steps = m.min(n.saturating_sub(1));
-    let mut vs = Vec::with_capacity(steps);
-    let mut taus = Vec::with_capacity(steps);
+    if vs.len() < steps {
+        vs.resize_with(steps, Vec::new);
+    }
+    vs.truncate(steps);
+    taus.clear();
 
     for k in 0..steps {
         // Column tail x = A[k.., k].
-        let mut x: CVector<F> = (k..n).map(|r| a[(r, k)]).collect();
-        let norm_x = crate::vector::norm(&x);
+        let x = &mut vs[k];
+        x.clear();
+        x.extend((k..n).map(|r| a[(r, k)]));
+        let norm_x = crate::vector::norm(x);
         if norm_x <= F::epsilon() {
-            vs.push(x);
             taus.push(F::ZERO);
             continue;
         }
@@ -120,9 +131,16 @@ fn householder<F: Float>(a: &mut Matrix<F>) -> Reflectors<F> {
         for r in k + 1..n {
             a[(r, k)] = Complex::zero();
         }
-        vs.push(x);
         taus.push(tau);
     }
+}
+
+/// Factorize in place, returning the reflectors and leaving `R` in `a`.
+fn householder<F: Float>(a: &mut Matrix<F>) -> Reflectors<F> {
+    let n = a.rows();
+    let mut vs = Vec::new();
+    let mut taus = Vec::new();
+    householder_into(a, &mut vs, &mut taus);
     Reflectors { vs, taus, n }
 }
 
@@ -159,6 +177,72 @@ pub fn qr_with_qty<F: Float>(h: &Matrix<F>, y: &[Complex<F>]) -> (Matrix<F>, CVe
     let tail_energy = crate::vector::norm_sqr(&ybar[m..]);
     ybar.truncate(m);
     (r_thin, ybar, tail_energy)
+}
+
+/// Reusable buffers for [`QrScratch::qr_with_qty_into`]: the full-size `R`
+/// work matrix, the Householder reflectors, and the `Q^H y` vector. After
+/// one factorization of each problem shape, later calls never touch the
+/// allocator — the property the serving runtime's steady-state decode path
+/// is gated on.
+pub struct QrScratch<F: Float> {
+    r_full: Matrix<F>,
+    vs: Vec<CVector<F>>,
+    taus: Vec<F>,
+    ybar: CVector<F>,
+}
+
+impl<F: Float> Default for QrScratch<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> QrScratch<F> {
+    /// Empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        QrScratch {
+            r_full: Matrix::zeros(0, 0),
+            vs: Vec::new(),
+            taus: Vec::new(),
+            ybar: Vec::new(),
+        }
+    }
+
+    /// [`qr_with_qty`], writing the thin `R` into `r_out` and `ȳ[..m]`
+    /// into `ybar_out` (both reusing their existing capacity) and
+    /// returning the tail energy `‖ȳ[m..]‖²`. Bit-identical to
+    /// [`qr_with_qty`]; allocation-free once every buffer has seen the
+    /// problem shape.
+    pub fn qr_with_qty_into(
+        &mut self,
+        h: &Matrix<F>,
+        y: &[Complex<F>],
+        r_out: &mut Matrix<F>,
+        ybar_out: &mut CVector<F>,
+    ) -> F {
+        let (n, m) = h.shape();
+        assert_eq!(y.len(), n, "y length must equal rows of H");
+        self.r_full.resize_for_overwrite(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                self.r_full[(i, j)] = h[(i, j)];
+            }
+        }
+        householder_into(&mut self.r_full, &mut self.vs, &mut self.taus);
+        self.ybar.clear();
+        self.ybar.extend_from_slice(y);
+        apply_qh_slices(&self.vs, &self.taus, &mut self.ybar);
+        r_out.resize_for_overwrite(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                r_out[(i, j)] = self.r_full[(i, j)];
+            }
+        }
+        let tail_energy = crate::vector::norm_sqr(&self.ybar[m..]);
+        ybar_out.clear();
+        ybar_out.extend_from_slice(&self.ybar[..m]);
+        tail_energy
+    }
 }
 
 /// Thin QR via modified Gram–Schmidt: returns (`Q` `n×m` with orthonormal
@@ -337,5 +421,25 @@ mod tests {
     #[should_panic(expected = "rows >= cols")]
     fn wide_matrix_rejected() {
         qr(&M::zeros(2, 5));
+    }
+
+    #[test]
+    fn scratch_qr_is_bit_identical_to_fresh() {
+        let mut scratch: QrScratch<f64> = QrScratch::new();
+        let mut r_out = M::zeros(0, 0);
+        let mut ybar_out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0xABCD);
+        // Alternate shapes so the scratch shrinks and regrows.
+        for &(n, m, seed) in &[(8, 5, 1u64), (4, 4, 2), (10, 10, 3), (6, 3, 4), (10, 10, 5)] {
+            let h = random_matrix(n, m, seed);
+            let y: Vec<_> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let (r, ybar, tail) = qr_with_qty(&h, &y);
+            let tail2 = scratch.qr_with_qty_into(&h, &y, &mut r_out, &mut ybar_out);
+            assert_eq!(r, r_out, "{n}x{m}: R differs");
+            assert_eq!(ybar, ybar_out, "{n}x{m}: ybar differs");
+            assert!(tail.to_bits() == tail2.to_bits(), "{n}x{m}: tail differs");
+        }
     }
 }

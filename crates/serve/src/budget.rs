@@ -1,0 +1,197 @@
+//! Running cost model feeding the degradation ladder.
+//!
+//! Exact sphere decoding has SNR-dependent cost (the paper's Fig. 6–10:
+//! low SNR explores orders of magnitude more nodes), so a deadline
+//! decision needs a *per-SNR* estimate. The model keeps an EWMA of
+//! nodes-generated per SNR bucket (4 dB wide) plus a global EWMA of
+//! nanoseconds-per-node, both fed by every served request's
+//! [`sd_core::DetectionStats`]. Predicted exact cost is
+//! `nodes[bucket] × ns_per_node`; K-best cost uses the *analytic* node
+//! count of a width-`K` sweep (its workload is SNR-independent by
+//! construction) times the same ns-per-node.
+//!
+//! Unsampled buckets predict zero — the model is optimistic until it has
+//! evidence, so a cold runtime starts at the exact tier and only degrades
+//! once observations justify it. All cells are `f64` bit-patterns in
+//! atomics: readers never lock, writers CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// 4 dB-wide SNR buckets covering 0–28 dB (clamped outside).
+const N_SNR_BUCKETS: usize = 8;
+const BUCKET_WIDTH_DB: f64 = 4.0;
+/// EWMA smoothing factor.
+const ALPHA: f64 = 0.2;
+
+fn bucket(snr_db: f64) -> usize {
+    ((snr_db / BUCKET_WIDTH_DB)
+        .floor()
+        .clamp(0.0, (N_SNR_BUCKETS - 1) as f64)) as usize
+}
+
+fn load_f64(cell: &AtomicU64) -> f64 {
+    f64::from_bits(cell.load(Ordering::Relaxed))
+}
+
+/// EWMA update via CAS; a zero cell (unsampled) adopts the first sample.
+fn ewma_update(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let old = f64::from_bits(cur);
+        let new = if old == 0.0 {
+            x
+        } else {
+            old + ALPHA * (x - old)
+        };
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Shared, lock-free cost model.
+pub struct CostModel {
+    /// EWMA of exact-SD nodes generated, per SNR bucket (f64 bits).
+    nodes: [AtomicU64; N_SNR_BUCKETS],
+    /// EWMA of decode nanoseconds per generated node (f64 bits), fed by
+    /// every tree-search decode regardless of tier.
+    ns_per_node: AtomicU64,
+    /// EWMA of MMSE service nanoseconds (f64 bits, informational).
+    mmse_ns: AtomicU64,
+}
+
+impl CostModel {
+    /// Fresh (fully optimistic) model.
+    pub fn new() -> Self {
+        CostModel {
+            nodes: std::array::from_fn(|_| AtomicU64::new(0)),
+            ns_per_node: AtomicU64::new(0),
+            mmse_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one tree-search decode. `exact` selects whether the node
+    /// count also updates the per-SNR exact-cost curve (K-best workloads
+    /// are fixed by construction and would bias it).
+    pub fn observe_tree(&self, snr_db: f64, nodes_generated: u64, elapsed_ns: u64, exact: bool) {
+        if nodes_generated == 0 {
+            return;
+        }
+        if exact {
+            ewma_update(&self.nodes[bucket(snr_db)], nodes_generated as f64);
+        }
+        ewma_update(
+            &self.ns_per_node,
+            elapsed_ns as f64 / nodes_generated as f64,
+        );
+    }
+
+    /// Record one MMSE decode.
+    pub fn observe_mmse(&self, elapsed_ns: u64) {
+        ewma_update(&self.mmse_ns, elapsed_ns as f64);
+    }
+
+    /// Expected exact-SD nodes at this SNR (0 when unsampled).
+    pub fn predicted_nodes(&self, snr_db: f64) -> f64 {
+        load_f64(&self.nodes[bucket(snr_db)])
+    }
+
+    /// Current ns-per-node estimate (0 when unsampled).
+    pub fn ns_per_node(&self) -> f64 {
+        load_f64(&self.ns_per_node)
+    }
+
+    /// Observed mean MMSE service time in ns (0 when unsampled).
+    pub fn mmse_ns(&self) -> f64 {
+        load_f64(&self.mmse_ns)
+    }
+
+    /// Predicted exact-SD decode nanoseconds at this SNR; 0 (optimistic)
+    /// until both the node curve and the node rate have samples.
+    pub fn predict_exact_ns(&self, snr_db: f64) -> f64 {
+        self.predicted_nodes(snr_db) * self.ns_per_node()
+    }
+
+    /// Predicted K-best decode nanoseconds for an `m`-antenna, order-`p`,
+    /// width-`k` sweep (analytic node count, observed node rate).
+    pub fn predict_kbest_ns(&self, m: usize, p: usize, k: usize) -> f64 {
+        kbest_nodes(m, p, k) as f64 * self.ns_per_node()
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Exact node count of a K-best sweep: the frontier starts at the root,
+/// multiplies by `p` each level, and is truncated at `k` survivors.
+pub fn kbest_nodes(m: usize, p: usize, k: usize) -> u64 {
+    let mut frontier = 1u64;
+    let mut total = 0u64;
+    for _ in 0..m {
+        total += frontier * p as u64;
+        frontier = (frontier * p as u64).min(k as u64);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_grid() {
+        assert_eq!(bucket(-3.0), 0);
+        assert_eq!(bucket(0.0), 0);
+        assert_eq!(bucket(4.0), 1);
+        assert_eq!(bucket(13.9), 3);
+        assert_eq!(bucket(40.0), 7);
+    }
+
+    #[test]
+    fn kbest_node_count_matches_hand_calc() {
+        // m=3, p=4, k=8: 4 + 16 + 32 (frontier 1 → 4 → 8 capped).
+        assert_eq!(kbest_nodes(3, 4, 8), 52);
+        // Uncapped (k huge) is the full tree P + P² + P³.
+        assert_eq!(kbest_nodes(3, 4, 1_000_000), 4 + 16 + 64);
+    }
+
+    #[test]
+    fn cold_model_is_optimistic() {
+        let m = CostModel::new();
+        assert_eq!(m.predict_exact_ns(8.0), 0.0);
+        assert_eq!(m.predict_kbest_ns(8, 4, 16), 0.0);
+    }
+
+    #[test]
+    fn observations_separate_snr_buckets() {
+        let m = CostModel::new();
+        // Low SNR: big trees. High SNR: small trees. Same node rate.
+        m.observe_tree(4.0, 10_000, 1_000_000, true);
+        m.observe_tree(20.0, 100, 10_000, true);
+        assert!(m.predict_exact_ns(4.0) > 50.0 * m.predict_exact_ns(20.0));
+        assert!((m.ns_per_node() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_regime() {
+        let m = CostModel::new();
+        m.observe_tree(8.0, 1_000, 100_000, true);
+        for _ in 0..50 {
+            m.observe_tree(8.0, 3_000, 300_000, true);
+        }
+        let nodes = m.predicted_nodes(8.0);
+        assert!(nodes > 2_900.0 && nodes <= 3_000.0, "nodes = {nodes}");
+    }
+
+    #[test]
+    fn kbest_observation_does_not_bias_exact_curve() {
+        let m = CostModel::new();
+        m.observe_tree(8.0, 500, 50_000, false);
+        assert_eq!(m.predicted_nodes(8.0), 0.0, "only node rate learned");
+        assert!(m.ns_per_node() > 0.0);
+    }
+}

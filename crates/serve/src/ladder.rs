@@ -1,0 +1,123 @@
+//! The degradation ladder: exact SD → K-best → MMSE.
+//!
+//! Sphere decoding is exact but has heavy-tailed, SNR-dependent latency;
+//! a deadline-bound service cannot always afford it. Instead of missing
+//! deadlines or shedding admitted work, the runtime *degrades*: each
+//! request is decoded at the best rung whose predicted cost (from the
+//! [`crate::budget::CostModel`]) fits the time remaining until its
+//! deadline. Accuracy falls gracefully (exact → near-ML → linear) while
+//! latency stays bounded — admitted work is always answered.
+
+use crate::budget::CostModel;
+use crate::request::DecodeTier;
+use std::time::Duration;
+
+/// Ladder configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct LadderConfig {
+    /// Master switch; disabled means every request decodes exactly
+    /// (deadlines can then be missed — the benchmark's control arm).
+    pub enabled: bool,
+    /// Survivors per level at the K-best rung.
+    pub kbest_k: usize,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            enabled: true,
+            kbest_k: 16,
+        }
+    }
+}
+
+/// Pick the best rung whose predicted cost fits the remaining budget.
+///
+/// An exhausted budget (`remaining == 0`) goes straight to MMSE: the
+/// deadline is already lost, so the cheapest answer minimizes the damage
+/// to everything still queued behind. A cold model predicts zero cost and
+/// therefore chooses `Exact` — optimistic until evidence accumulates.
+pub fn choose_tier(
+    cfg: &LadderConfig,
+    model: &CostModel,
+    snr_db: f64,
+    m: usize,
+    p: usize,
+    remaining: Duration,
+) -> DecodeTier {
+    if !cfg.enabled {
+        return DecodeTier::Exact;
+    }
+    if remaining.is_zero() {
+        return DecodeTier::Mmse;
+    }
+    let budget_ns = remaining.as_nanos() as f64;
+    if model.predict_exact_ns(snr_db) <= budget_ns {
+        DecodeTier::Exact
+    } else if model.predict_kbest_ns(m, p, cfg.kbest_k) <= budget_ns {
+        DecodeTier::KBest
+    } else {
+        DecodeTier::Mmse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_model() -> CostModel {
+        let m = CostModel::new();
+        // 100 ns/node; exact cost at 8 dB ≈ 10_000 nodes = 1 ms.
+        m.observe_tree(8.0, 10_000, 1_000_000, true);
+        m
+    }
+
+    #[test]
+    fn disabled_ladder_always_exact() {
+        let cfg = LadderConfig {
+            enabled: false,
+            kbest_k: 16,
+        };
+        let model = trained_model();
+        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::ZERO);
+        assert_eq!(t, DecodeTier::Exact);
+    }
+
+    #[test]
+    fn zero_budget_goes_to_mmse() {
+        let cfg = LadderConfig::default();
+        let model = CostModel::new(); // even a cold model
+        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::ZERO);
+        assert_eq!(t, DecodeTier::Mmse);
+    }
+
+    #[test]
+    fn cold_model_is_optimistic() {
+        let cfg = LadderConfig::default();
+        let model = CostModel::new();
+        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_nanos(1));
+        assert_eq!(t, DecodeTier::Exact);
+    }
+
+    #[test]
+    fn ladder_descends_with_budget() {
+        let cfg = LadderConfig::default();
+        let model = trained_model();
+        // Plenty of budget: exact (predicted 1 ms).
+        assert_eq!(
+            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_millis(10)),
+            DecodeTier::Exact
+        );
+        // K-best at 8 antennas, order 4, K=16: analytic nodes × 100 ns
+        // ≈ 44 µs ≪ 500 µs < 1 ms → middle rung.
+        assert_eq!(
+            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_micros(500)),
+            DecodeTier::KBest
+        );
+        // Too tight even for K-best → MMSE.
+        assert_eq!(
+            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_micros(10)),
+            DecodeTier::Mmse
+        );
+    }
+}

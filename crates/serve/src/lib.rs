@@ -1,0 +1,58 @@
+//! # sd-serve
+//!
+//! A deadline-aware batching detection runtime over the sphere-decoder
+//! core, with graceful degradation and a closed-loop load harness.
+//!
+//! The paper frames signal detection as a *real-time service*: decisions
+//! are worthless after the ~10 ms response line
+//! ([`sd_wireless::REAL_TIME_BUDGET`]). Exact sphere decoding, however,
+//! has heavy-tailed SNR-dependent latency — exactly the wrong shape for a
+//! deadline. This crate is the systems layer that closes that gap:
+//!
+//! * **Admission control** — a bounded MPMC ingress [queue](queue);
+//!   overload is shed *at the door* with a typed [`Rejected`], never
+//!   queued without bound, and every admitted request is answered
+//!   (drain-then-join shutdown).
+//! * **Adaptive batching** — workers drain requests in flush-on-size-or-
+//!   age [batches](batcher), amortizing every per-request lock and
+//!   metrics update; the same trick the paper's GEMM formulation plays on
+//!   partial distances.
+//! * **Graceful degradation** — a [ladder](ladder) (exact SD → K-best →
+//!   MMSE) driven by a running per-SNR [cost model](budget) picks the
+//!   best decoder whose predicted cost fits each request's remaining
+//!   deadline budget.
+//! * **Zero-allocation steady state** — the decode path writes into
+//!   recycled buffers through the `_into` entry points of `sd-core`;
+//!   after warm-up a request is served without touching the allocator.
+//! * **Observability** — lock-light [metrics](metrics) (latency/wait
+//!   histograms, batch-size distribution, tier and shed counters,
+//!   aggregated [`sd_core::DetectionStats`]).
+//! * **A load harness** — a seeded [load generator](loadgen) that paces a
+//!   reproducible request mixture at an offered rate and reduces the run
+//!   to throughput / percentile-latency / miss-rate / degradation-mix.
+//!
+//! With one worker and degradation disabled, served decisions are
+//! bit-identical to calling [`sd_core::SphereDecoder`] directly — the
+//! runtime adds scheduling, not numerics (`tests/serve_exactness.rs`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batcher;
+pub mod budget;
+pub mod ladder;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod runtime;
+mod worker;
+
+pub use batcher::BatchPolicy;
+pub use budget::{kbest_nodes, CostModel};
+pub use ladder::{choose_tier, LadderConfig};
+pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
+pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot};
+pub use queue::{BoundedQueue, PushError};
+pub use request::{DecodeTier, DetectionRequest, DetectionResponse, RejectReason, Rejected};
+pub use runtime::{ServeConfig, ServeRuntime};

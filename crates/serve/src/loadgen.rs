@@ -1,0 +1,279 @@
+//! Seeded closed-loop load harness.
+//!
+//! Generates a reproducible request stream (frames drawn per-seed over an
+//! SNR mixture), paces submissions at a configurable offered rate against
+//! a virtual arrival clock, collects responses opportunistically while
+//! pacing, and reduces everything to a [`LoadReport`] — throughput,
+//! latency percentiles, deadline-miss rate, shed/degradation mix, and the
+//! accuracy cost of degradation (bit errors against the generator's
+//! ground truth).
+
+use crate::metrics::MetricsSnapshot;
+use crate::request::{DecodeTier, DetectionRequest, DetectionResponse};
+use crate::runtime::ServeRuntime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_core::DetectionStats;
+use sd_wireless::{noise_variance, Constellation, FrameData, Modulation, REAL_TIME_BUDGET};
+use std::time::{Duration, Instant};
+
+/// Workload description for one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Transmit antennas.
+    pub n_tx: usize,
+    /// Receive antennas.
+    pub n_rx: usize,
+    /// Constellation.
+    pub modulation: Modulation,
+    /// SNR mixture: requests cycle through these operating points.
+    pub snr_grid_db: Vec<f64>,
+    /// Total requests to offer.
+    pub n_requests: usize,
+    /// Offered arrival rate in requests/s; `0.0` submits as fast as the
+    /// queue accepts (saturation probe).
+    pub offered_rate_hz: f64,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Seed for the frame stream.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            n_tx: 8,
+            n_rx: 8,
+            modulation: Modulation::Qam4,
+            snr_grid_db: vec![6.0, 10.0, 14.0],
+            n_requests: 1000,
+            offered_rate_hz: 0.0,
+            deadline: REAL_TIME_BUDGET,
+            seed: 0x5EC0DE,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Responses collected.
+    pub served: u64,
+    /// Wall-clock of the whole run (submission through drain).
+    pub wall: Duration,
+    /// Served responses per second of wall-clock.
+    pub throughput_hz: f64,
+    /// Exact median end-to-end latency in µs (from per-response samples,
+    /// not histogram buckets).
+    pub p50_latency_us: f64,
+    /// Exact 99th-percentile end-to-end latency in µs.
+    pub p99_latency_us: f64,
+    /// Fraction of served responses that missed their deadline.
+    pub deadline_miss_rate: f64,
+    /// Served at the exact rung.
+    pub tier_exact: u64,
+    /// Served at the K-best rung.
+    pub tier_kbest: u64,
+    /// Served at the MMSE rung.
+    pub tier_mmse: u64,
+    /// Bit errors across served responses (ground truth known here).
+    pub bit_errors: u64,
+    /// Total information bits across served responses.
+    pub total_bits: u64,
+    /// Aggregated decoder instrumentation (via [`DetectionStats`] `Sum`).
+    pub stats: DetectionStats,
+    /// Runtime metrics at the end of the run.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl LoadReport {
+    /// Bit error rate over served traffic.
+    pub fn ber(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.total_bits as f64
+        }
+    }
+}
+
+/// Build the deterministic request stream for a config.
+pub fn build_requests(cfg: &LoadConfig, constellation: &Constellation) -> Vec<DetectionRequest> {
+    assert!(!cfg.snr_grid_db.is_empty(), "SNR grid must be non-empty");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.n_requests)
+        .map(|i| {
+            let snr = cfg.snr_grid_db[i % cfg.snr_grid_db.len()];
+            let sigma2 = noise_variance(snr, cfg.n_tx);
+            let frame = FrameData::generate(cfg.n_rx, cfg.n_tx, constellation, sigma2, &mut rng);
+            DetectionRequest::new(i as u64, frame, snr, cfg.deadline)
+        })
+        .collect()
+}
+
+/// Offer `cfg.n_requests` requests to `rt` at the configured rate, drain
+/// all responses, and reduce to a [`LoadReport`]. The runtime is left
+/// running (callers own shutdown).
+pub fn run_load(rt: &ServeRuntime, cfg: &LoadConfig, constellation: &Constellation) -> LoadReport {
+    let requests = build_requests(cfg, constellation);
+    let offered = requests.len() as u64;
+    let period = if cfg.offered_rate_hz > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / cfg.offered_rate_hz))
+    } else {
+        None
+    };
+
+    let mut responses: Vec<DetectionResponse> = Vec::with_capacity(requests.len());
+    let mut shed = 0u64;
+    let t0 = Instant::now();
+    let mut next_arrival = t0;
+    for req in requests {
+        if let Some(period) = period {
+            // Open-loop pacing: wait for the virtual arrival instant,
+            // harvesting finished responses instead of sleeping.
+            while Instant::now() < next_arrival {
+                match rt.try_collect() {
+                    Some(r) => responses.push(r),
+                    None => std::hint::spin_loop(),
+                }
+            }
+            next_arrival += period;
+        }
+        if rt.submit(req).is_err() {
+            shed += 1;
+        }
+        while let Some(r) = rt.try_collect() {
+            responses.push(r);
+        }
+    }
+    // Drain the tail.
+    let mut last_progress = Instant::now();
+    while (responses.len() as u64) + shed < offered {
+        match rt.collect_timeout(Duration::from_millis(20)) {
+            Some(r) => {
+                responses.push(r);
+                last_progress = Instant::now();
+            }
+            None => {
+                assert!(
+                    last_progress.elapsed() < Duration::from_secs(10),
+                    "runtime stalled: {} of {} responses after shedding {}",
+                    responses.len(),
+                    offered,
+                    shed
+                );
+            }
+        }
+    }
+    let wall = t0.elapsed();
+
+    let served = responses.len() as u64;
+    let mut latencies_us: Vec<f64> = responses
+        .iter()
+        .map(|r| r.latency.as_secs_f64() * 1e6)
+        .collect();
+    latencies_us.sort_unstable_by(f64::total_cmp);
+    let pct = |q: f64| -> f64 {
+        if latencies_us.is_empty() {
+            0.0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let missed = responses.iter().filter(|r| r.deadline_missed).count() as u64;
+    let tier_count =
+        |t: DecodeTier| -> u64 { responses.iter().filter(|r| r.tier == t).count() as u64 };
+    let bits_per_frame = (cfg.n_tx * constellation.bits_per_symbol()) as u64;
+    let bit_errors: u64 = responses
+        .iter()
+        .map(|r| {
+            r.request
+                .frame
+                .bit_errors(&r.detection.indices, constellation)
+        })
+        .sum();
+    // The satellite API in action: fold every response's stats in one go.
+    let stats: DetectionStats = responses.iter().map(|r| &r.detection.stats).sum();
+
+    LoadReport {
+        offered,
+        shed,
+        served,
+        wall,
+        throughput_hz: served as f64 / wall.as_secs_f64().max(1e-9),
+        p50_latency_us: pct(0.50),
+        p99_latency_us: pct(0.99),
+        deadline_miss_rate: if served == 0 {
+            0.0
+        } else {
+            missed as f64 / served as f64
+        },
+        tier_exact: tier_count(DecodeTier::Exact),
+        tier_kbest: tier_count(DecodeTier::KBest),
+        tier_mmse: tier_count(DecodeTier::Mmse),
+        bit_errors,
+        total_bits: served * bits_per_frame,
+        stats,
+        snapshot: rt.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::ServeConfig;
+
+    #[test]
+    fn request_stream_is_deterministic() {
+        let cfg = LoadConfig {
+            n_requests: 6,
+            ..Default::default()
+        };
+        let c = Constellation::new(cfg.modulation);
+        let a = build_requests(&cfg, &c);
+        let b = build_requests(&cfg, &c);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.snr_db, y.snr_db);
+            assert_eq!(x.frame.tx.indices, y.frame.tx.indices);
+            assert_eq!(x.frame.y, y.frame.y);
+        }
+        // The SNR mixture cycles.
+        assert_eq!(a[0].snr_db, 6.0);
+        assert_eq!(a[1].snr_db, 10.0);
+        assert_eq!(a[3].snr_db, 6.0);
+    }
+
+    #[test]
+    fn firehose_run_serves_everything() {
+        let cfg = LoadConfig {
+            n_tx: 4,
+            n_rx: 4,
+            n_requests: 60,
+            snr_grid_db: vec![12.0],
+            ..Default::default()
+        };
+        let c = Constellation::new(cfg.modulation);
+        let rt = ServeRuntime::start(
+            ServeConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(cfg.n_requests),
+            c.clone(),
+        );
+        let report = run_load(&rt, &cfg, &c);
+        rt.shutdown();
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.shed, 0, "queue sized for the whole run");
+        assert_eq!(report.served, 60);
+        assert_eq!(report.tier_exact + report.tier_kbest + report.tier_mmse, 60);
+        assert!(report.throughput_hz > 0.0);
+        assert!(report.p99_latency_us >= report.p50_latency_us);
+        assert!(report.stats.nodes_generated > 0);
+        assert_eq!(report.total_bits, 60 * 8);
+    }
+}

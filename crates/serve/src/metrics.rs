@@ -1,0 +1,268 @@
+//! Lock-light runtime metrics: atomic counters, log2 latency histograms,
+//! and one aggregated [`DetectionStats`] merged per batch.
+//!
+//! Everything on the per-request path is a relaxed atomic increment; the
+//! only lock is the per-*batch* [`DetectionStats`] merge, amortized by the
+//! batcher. [`Metrics::snapshot`] materializes a plain-data
+//! [`MetricsSnapshot`] for reports and the load harness.
+
+use sd_core::DetectionStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const N_BUCKETS: usize = 64;
+
+/// Histogram over power-of-two buckets: bucket `i` counts values with
+/// `floor(log2(v)) == i` (value 0 lands in bucket 0). Records are one
+/// relaxed atomic increment; quantiles are computed from a snapshot and
+/// are upper bounds (bucket upper edge), so p50/p99 never understate.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        let idx = 63 - (v | 1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts.
+    pub fn counts(&self) -> [u64; N_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total records in a snapshot.
+    pub fn total(counts: &[u64; N_BUCKETS]) -> u64 {
+        counts.iter().sum()
+    }
+
+    /// Quantile `q` in `[0, 1]` from snapshotted counts, as the upper edge
+    /// of the containing bucket; 0 when empty.
+    pub fn quantile(counts: &[u64; N_BUCKETS], q: f64) -> u64 {
+        let total = Self::total(counts);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared runtime counters. All fields are written on the hot path with
+/// relaxed atomics except `stats`, merged once per batch.
+pub struct Metrics {
+    /// Requests admitted into the ingress queue.
+    pub accepted: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Requests refused because the runtime was shutting down.
+    pub rejected_shutdown: AtomicU64,
+    /// Responses produced.
+    pub served: AtomicU64,
+    /// Responses served at the exact-SD rung.
+    pub tier_exact: AtomicU64,
+    /// Responses served at the K-best rung.
+    pub tier_kbest: AtomicU64,
+    /// Responses served at the MMSE rung.
+    pub tier_mmse: AtomicU64,
+    /// Responses whose end-to-end latency exceeded their deadline.
+    pub deadline_missed: AtomicU64,
+    /// Batches drained from the ingress queue.
+    pub batches: AtomicU64,
+    /// Total requests across all batches (mean batch = items / batches).
+    pub batch_items: AtomicU64,
+    /// End-to-end latency distribution (nanoseconds).
+    pub latency_ns: Log2Histogram,
+    /// Queue-wait distribution (nanoseconds).
+    pub queue_wait_ns: Log2Histogram,
+    /// Batch-size distribution.
+    pub batch_size: Log2Histogram,
+    /// Aggregated decoder instrumentation, merged per batch.
+    stats: Mutex<DetectionStats>,
+}
+
+impl Metrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Metrics {
+            accepted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            tier_exact: AtomicU64::new(0),
+            tier_kbest: AtomicU64::new(0),
+            tier_mmse: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_items: AtomicU64::new(0),
+            latency_ns: Log2Histogram::new(),
+            queue_wait_ns: Log2Histogram::new(),
+            batch_size: Log2Histogram::new(),
+            stats: Mutex::new(DetectionStats::default()),
+        }
+    }
+
+    /// Merge one batch's aggregated decoder stats.
+    pub fn merge_stats(&self, batch: &DetectionStats) {
+        self.stats.lock().unwrap().merge(batch);
+    }
+
+    /// Materialize a plain-data snapshot. `queue_depth` is sampled by the
+    /// caller (the runtime knows the queue; the metrics do not).
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let lat = self.latency_ns.counts();
+        let wait = self.queue_wait_ns.counts();
+        let served = self.served.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let items = self.batch_items.load(Ordering::Relaxed);
+        let missed = self.deadline_missed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            served,
+            tier_exact: self.tier_exact.load(Ordering::Relaxed),
+            tier_kbest: self.tier_kbest.load(Ordering::Relaxed),
+            tier_mmse: self.tier_mmse.load(Ordering::Relaxed),
+            deadline_missed: missed,
+            deadline_miss_rate: if served == 0 {
+                0.0
+            } else {
+                missed as f64 / served as f64
+            },
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                items as f64 / batches as f64
+            },
+            queue_depth,
+            p50_latency_us: Log2Histogram::quantile(&lat, 0.50) as f64 / 1e3,
+            p99_latency_us: Log2Histogram::quantile(&lat, 0.99) as f64 / 1e3,
+            p99_queue_wait_us: Log2Histogram::quantile(&wait, 0.99) as f64 / 1e3,
+            stats: self.stats.lock().unwrap().clone(),
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data view of [`Metrics`] at one instant.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests shed at admission (queue full).
+    pub rejected_full: u64,
+    /// Requests refused during shutdown.
+    pub rejected_shutdown: u64,
+    /// Responses produced.
+    pub served: u64,
+    /// Served at the exact-SD rung.
+    pub tier_exact: u64,
+    /// Served at the K-best rung.
+    pub tier_kbest: u64,
+    /// Served at the MMSE rung.
+    pub tier_mmse: u64,
+    /// Deadline misses among served responses.
+    pub deadline_missed: u64,
+    /// `deadline_missed / served`.
+    pub deadline_miss_rate: f64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch_size: f64,
+    /// Ingress depth when the snapshot was taken.
+    pub queue_depth: usize,
+    /// Median end-to-end latency (µs, bucket upper bound).
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency (µs, bucket upper bound).
+    pub p99_latency_us: f64,
+    /// 99th-percentile queue wait (µs, bucket upper bound).
+    pub p99_queue_wait_us: f64,
+    /// Aggregated decoder instrumentation across all served requests.
+    pub stats: DetectionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Log2Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        let c = h.counts();
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[10], 1);
+        assert_eq!(Log2Histogram::total(&c), 5);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper edge 127
+        }
+        h.record(1 << 20); // one outlier
+        let c = h.counts();
+        assert_eq!(Log2Histogram::quantile(&c, 0.50), 127);
+        assert_eq!(Log2Histogram::quantile(&c, 0.99), 127);
+        assert_eq!(Log2Histogram::quantile(&c, 1.0), (1 << 21) - 1);
+        assert_eq!(Log2Histogram::quantile(&[0; N_BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_computes_rates() {
+        let m = Metrics::new();
+        m.served.store(8, Ordering::Relaxed);
+        m.deadline_missed.store(2, Ordering::Relaxed);
+        m.batches.store(4, Ordering::Relaxed);
+        m.batch_items.store(8, Ordering::Relaxed);
+        let batch = DetectionStats {
+            nodes_generated: 40,
+            ..Default::default()
+        };
+        m.merge_stats(&batch);
+        m.merge_stats(&batch);
+        let s = m.snapshot(3);
+        assert_eq!(s.queue_depth, 3);
+        assert!((s.deadline_miss_rate - 0.25).abs() < 1e-12);
+        assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
+        assert_eq!(s.stats.nodes_generated, 80);
+    }
+}

@@ -1,0 +1,324 @@
+//! Bounded MPMC queue with batched consumption and a pause gate.
+//!
+//! One `Mutex<VecDeque>` + `Condvar` — deliberately simple, allocation-free
+//! once the deque has grown to capacity, and fair enough for a handful of
+//! workers. Producers never block: [`BoundedQueue::try_push`] either
+//! enqueues or hands the item straight back (explicit backpressure).
+//! Consumers drain in batches via [`BoundedQueue::pop_batch`], which
+//! implements the flush-on-size-or-age policy described in
+//! [`crate::batcher`].
+//!
+//! The pause gate freezes consumers (producers still enqueue) so tests can
+//! build a deterministic backlog; [`BoundedQueue::close`] clears the gate
+//! and lets consumers drain everything before they observe shutdown —
+//! drain-then-join, never drop.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Queue at capacity; the item is returned with the observed depth.
+    Full(T, usize),
+    /// Queue closed; the item is returned.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    paused: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` items (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+                paused: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue: returns the item on a full or closed queue.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            let depth = g.items.len();
+            return Err(PushError::Full(item, depth));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue all of `items` (used for the unbounded response side, where
+    /// every item corresponds to an admitted request, so depth is already
+    /// bounded by admission control). One lock acquisition per batch.
+    pub fn push_all(&self, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        for item in items.drain(..) {
+            g.items.push_back(item);
+        }
+        drop(g);
+        self.not_empty.notify_all();
+    }
+
+    /// Pop a single item without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        if g.paused {
+            return None;
+        }
+        g.items.pop_front()
+    }
+
+    /// Pop a single item, waiting up to `timeout`. Returns `None` on
+    /// timeout or when the queue is closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if !g.paused {
+                if let Some(item) = g.items.pop_front() {
+                    return Some(item);
+                }
+                if g.closed {
+                    return None;
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g2, _timeout) = self.not_empty.wait_timeout(g, deadline - now).unwrap();
+            g = g2;
+        }
+    }
+
+    /// Drain up to `max` items into `out`, blocking until at least one is
+    /// available. After the first item, waits up to `max_wait` for the
+    /// batch to fill (flush on size or age). Returns `false` only when the
+    /// queue is closed **and** fully drained — the consumer's signal to
+    /// exit.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize, max_wait: Duration) -> bool {
+        debug_assert!(max >= 1);
+        let mut g = self.inner.lock().unwrap();
+        // Phase 1: block for the first item (respecting the pause gate).
+        loop {
+            if !g.paused {
+                if !g.items.is_empty() {
+                    break;
+                }
+                if g.closed {
+                    return false;
+                }
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+        out.push(g.items.pop_front().unwrap());
+        // Phase 2: age-bounded accumulation up to `max`.
+        let deadline = Instant::now() + max_wait;
+        while out.len() < max {
+            if let Some(item) = g.items.pop_front() {
+                out.push(item);
+                continue;
+            }
+            if g.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g2, _timeout) = self.not_empty.wait_timeout(g, deadline - now).unwrap();
+            g = g2;
+        }
+        true
+    }
+
+    /// Freeze consumers; producers continue to enqueue (up to capacity).
+    pub fn pause(&self) {
+        self.inner.lock().unwrap().paused = true;
+    }
+
+    /// Release the pause gate.
+    pub fn resume(&self) {
+        self.inner.lock().unwrap().paused = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Stop accepting new items. Consumers drain the backlog and then see
+    /// end-of-stream; an active pause gate is cleared so shutdown always
+    /// drains.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        g.paused = false;
+        drop(g);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn full_queue_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item, depth)) => {
+                assert_eq!(item, 3);
+                assert_eq!(depth, 2);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_returns_item_and_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(&mut batch, 8, Duration::ZERO));
+        assert_eq!(batch, vec![1]);
+        batch.clear();
+        assert!(
+            !q.pop_batch(&mut batch, 8, Duration::ZERO),
+            "drained+closed"
+        );
+    }
+
+    #[test]
+    fn batch_flushes_on_size() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(&mut batch, 4, Duration::from_secs(1)));
+        assert_eq!(batch, vec![0, 1, 2, 3], "size bound flushes immediately");
+    }
+
+    #[test]
+    fn batch_flushes_on_age() {
+        let q = BoundedQueue::new(16);
+        q.try_push(7).unwrap();
+        let mut batch = Vec::new();
+        let t0 = Instant::now();
+        assert!(q.pop_batch(&mut batch, 4, Duration::from_millis(5)));
+        assert_eq!(batch, vec![7], "partial batch after max_wait");
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pause_gates_consumers_not_producers() {
+        let q = BoundedQueue::new(8);
+        q.pause();
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_pop(), None, "paused consumer sees nothing");
+        q.resume();
+        assert_eq!(q.try_pop(), Some(1));
+    }
+
+    #[test]
+    fn close_clears_pause_for_drain() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.pause();
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut batch = Vec::new();
+            let mut n = 0;
+            while q2.pop_batch(&mut batch, 4, Duration::ZERO) {
+                n += batch.len();
+                batch.clear();
+            }
+            n
+        });
+        // Consumer is gated; closing must release it and drain the item.
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut batch = Vec::new();
+            while q2.pop_batch(&mut batch, 8, Duration::from_millis(1)) {
+                got.append(&mut batch);
+            }
+            got
+        });
+        for i in 0..100 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_, _)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

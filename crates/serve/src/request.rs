@@ -1,0 +1,138 @@
+//! Request/response types: the runtime's external contract.
+//!
+//! A [`DetectionRequest`] is one channel use to decode plus its service
+//! constraints (the claimed SNR operating point and a per-request
+//! deadline). The runtime answers every accepted request with a
+//! [`DetectionResponse`] that carries the request back to the caller —
+//! ownership round-trips, so a closed-loop client can resubmit the same
+//! buffers forever without touching the allocator. Requests the runtime
+//! cannot accept are returned immediately as a typed [`Rejected`]; nothing
+//! is ever dropped silently.
+
+use sd_core::Detection;
+use sd_wireless::FrameData;
+use std::time::{Duration, Instant};
+
+/// Which rung of the degradation ladder served a request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DecodeTier {
+    /// Exact sphere decoding (ML-optimal, SNR-dependent cost).
+    Exact,
+    /// K-best sweep (bounded cost, near-ML).
+    KBest,
+    /// MMSE linear detection (cheapest, worst BER — the last resort).
+    Mmse,
+}
+
+impl DecodeTier {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodeTier::Exact => "exact",
+            DecodeTier::KBest => "k-best",
+            DecodeTier::Mmse => "mmse",
+        }
+    }
+}
+
+/// One frame to decode, with its service constraints.
+#[derive(Debug)]
+pub struct DetectionRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// The received frame (channel estimate, receive vector, σ²).
+    pub frame: FrameData,
+    /// Operating SNR in dB — the key into the runtime's cost model.
+    pub snr_db: f64,
+    /// Response-time budget measured from admission. The paper's
+    /// real-time line is [`sd_wireless::REAL_TIME_BUDGET`] (10 ms).
+    pub deadline: Duration,
+    /// Stamped by [`crate::ServeRuntime::submit`].
+    pub(crate) enqueued_at: Option<Instant>,
+}
+
+impl DetectionRequest {
+    /// Build a request.
+    pub fn new(id: u64, frame: FrameData, snr_db: f64, deadline: Duration) -> Self {
+        DetectionRequest {
+            id,
+            frame,
+            snr_db,
+            deadline,
+            enqueued_at: None,
+        }
+    }
+}
+
+/// A served request: the decision plus where and how fast it was made.
+#[derive(Debug)]
+pub struct DetectionResponse {
+    /// The original request, returned to the caller (frame ownership
+    /// round-trips so buffers can be reused).
+    pub request: DetectionRequest,
+    /// Decoded indices and search instrumentation. The buffer comes from
+    /// the runtime's response pool; hand it back with
+    /// [`crate::ServeRuntime::recycle`].
+    pub detection: Detection,
+    /// Ladder rung that produced the decision.
+    pub tier: DecodeTier,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time the worker spent decoding.
+    pub service_time: Duration,
+    /// End-to-end admission-to-decision time.
+    pub latency: Duration,
+    /// Whether `latency` exceeded the request's deadline.
+    pub deadline_missed: bool,
+}
+
+/// Why a submission was refused. The request always comes back to the
+/// caller — admission control sheds load explicitly instead of queuing
+/// without bound.
+#[derive(Debug)]
+pub struct Rejected {
+    /// The request, returned unprocessed.
+    pub request: DetectionRequest,
+    /// The reason for refusal.
+    pub reason: RejectReason,
+}
+
+/// Reason a request was refused at admission.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded ingress queue was at capacity.
+    QueueFull {
+        /// Queue depth observed at rejection time (== capacity).
+        depth: usize,
+    },
+    /// The runtime is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth } => write!(f, "ingress queue full ({depth} queued)"),
+            RejectReason::ShuttingDown => write!(f, "runtime shutting down"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(DecodeTier::Exact.name(), "exact");
+        assert_eq!(DecodeTier::KBest.name(), "k-best");
+        assert_eq!(DecodeTier::Mmse.name(), "mmse");
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        let s = format!("{}", RejectReason::QueueFull { depth: 7 });
+        assert!(s.contains('7'));
+        assert!(format!("{}", RejectReason::ShuttingDown).contains("shutting"));
+    }
+}

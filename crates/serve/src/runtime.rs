@@ -1,0 +1,300 @@
+//! The runtime: admission control, the worker pool, and the shutdown
+//! contract.
+//!
+//! Lifecycle of a request:
+//!
+//! 1. [`ServeRuntime::submit`] stamps the admission time and offers the
+//!    request to the bounded ingress queue. A full (or closing) queue
+//!    returns it immediately as [`Rejected`] — load is shed at the door,
+//!    never queued without bound.
+//! 2. A worker drains it as part of a batch ([`crate::batcher`]), picks a
+//!    ladder rung from the time left until its deadline
+//!    ([`crate::ladder`]), decodes into a pooled [`sd_core::Detection`]
+//!    slot, and pushes the response.
+//! 3. The caller collects the [`DetectionResponse`] and (optionally)
+//!    [`ServeRuntime::recycle`]s it, returning the detection buffer to the
+//!    pool and regaining ownership of the request.
+//!
+//! [`ServeRuntime::shutdown`] closes the ingress queue, lets workers drain
+//! every admitted request (drain-then-join — nothing admitted is ever
+//! dropped), joins them, and returns the final metrics snapshot.
+
+use crate::batcher::BatchPolicy;
+use crate::budget::CostModel;
+use crate::ladder::LadderConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
+use crate::worker::Worker;
+use sd_core::Detection;
+use sd_wireless::Constellation;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub n_workers: usize,
+    /// Bounded ingress queue depth (admission control).
+    pub queue_capacity: usize,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+    /// Degradation ladder.
+    pub ladder: LadderConfig,
+    /// Start with the worker gate paused (deterministic tests build a
+    /// backlog, then [`ServeRuntime::resume`]).
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_workers: 4,
+            queue_capacity: 256,
+            batch: BatchPolicy::default(),
+            ladder: LadderConfig::default(),
+            start_paused: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder: worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.n_workers = n;
+        self
+    }
+
+    /// Builder: ingress queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Builder: batching policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder: degradation ladder.
+    pub fn with_ladder(mut self, ladder: LadderConfig) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Builder: start with workers gated (see [`ServeRuntime::resume`]).
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+/// State shared between the runtime handle and its workers.
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<DetectionRequest>,
+    pub(crate) out: BoundedQueue<DetectionResponse>,
+    pub(crate) pool: Mutex<Vec<Detection>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) model: CostModel,
+    pub(crate) config: ServeConfig,
+    pub(crate) constellation: Constellation,
+}
+
+/// A running detection service.
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Spawn the worker pool and start serving.
+    pub fn start(config: ServeConfig, constellation: Constellation) -> Self {
+        assert!(config.n_workers >= 1, "need at least one worker");
+        config.batch.check();
+        let queue = BoundedQueue::new(config.queue_capacity);
+        if config.start_paused {
+            queue.pause();
+        }
+        // Responses are bounded by admission control (≤ queue_capacity in
+        // flight per uncollected client), not by this queue.
+        let out = BoundedQueue::new(usize::MAX);
+        let shared = Arc::new(Shared {
+            queue,
+            out,
+            pool: Mutex::new(Vec::new()),
+            metrics: Metrics::new(),
+            model: CostModel::new(),
+            config: config.clone(),
+            constellation,
+        });
+        let workers = (0..config.n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sd-serve-{i}"))
+                    .spawn(move || Worker::new(shared).run())
+                    .expect("spawn worker")
+            })
+            .collect();
+        ServeRuntime { shared, workers }
+    }
+
+    /// Offer a request. Returns it as [`Rejected`] when the ingress queue
+    /// is full or the runtime is shutting down.
+    // The large Err is the contract: shedding hands the request (and its
+    // frame buffers) straight back without touching the allocator.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, mut req: DetectionRequest) -> Result<(), Rejected> {
+        use std::sync::atomic::Ordering::Relaxed;
+        req.enqueued_at = Some(Instant::now());
+        match self.shared.queue.try_push(req) {
+            Ok(()) => {
+                self.shared.metrics.accepted.fetch_add(1, Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(request, depth)) => {
+                self.shared.metrics.rejected_full.fetch_add(1, Relaxed);
+                Err(Rejected {
+                    request,
+                    reason: RejectReason::QueueFull { depth },
+                })
+            }
+            Err(PushError::Closed(request)) => {
+                self.shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+                Err(Rejected {
+                    request,
+                    reason: RejectReason::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Collect one response without blocking.
+    pub fn try_collect(&self) -> Option<DetectionResponse> {
+        self.shared.out.try_pop()
+    }
+
+    /// Collect one response, waiting up to `timeout`.
+    pub fn collect_timeout(&self, timeout: Duration) -> Option<DetectionResponse> {
+        self.shared.out.pop_timeout(timeout)
+    }
+
+    /// Return a response's detection buffer to the pool and hand the
+    /// request (with its frame) back to the caller for reuse.
+    pub fn recycle(&self, resp: DetectionResponse) -> DetectionRequest {
+        self.shared.pool.lock().unwrap().push(resp.detection);
+        resp.request
+    }
+
+    /// Gate the workers (requests keep queuing up to capacity).
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Release the worker gate.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Current ingress backlog.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Snapshot the runtime metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.queue_depth())
+    }
+
+    /// Read-only view of the cost model (for reports).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.model
+    }
+
+    /// Stop accepting work, drain every admitted request, join the
+    /// workers, and return the final metrics together with any responses
+    /// the caller had not yet collected — nothing admitted is dropped.
+    pub fn shutdown(mut self) -> (MetricsSnapshot, Vec<DetectionResponse>) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        // Everything admitted has now been served; scoop up any responses
+        // the caller has not collected so nothing is silently dropped.
+        let mut leftover = Vec::new();
+        while let Some(r) = self.shared.out.try_pop() {
+            leftover.push(r);
+        }
+        (self.shared.metrics.snapshot(0), leftover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, FrameData, Modulation};
+
+    fn request(id: u64, rng: &mut StdRng, c: &Constellation) -> DetectionRequest {
+        let snr = 12.0;
+        let f = FrameData::generate(4, 4, c, noise_variance(snr, 4), rng);
+        DetectionRequest::new(id, f, snr, Duration::from_millis(10))
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(2), c.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        for id in 0..20 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        let mut got = 0;
+        while got < 20 {
+            if rt.collect_timeout(Duration::from_secs(5)).is_some() {
+                got += 1;
+            } else {
+                panic!("runtime stalled");
+            }
+        }
+        let (snap, leftover) = rt.shutdown();
+        assert!(leftover.is_empty());
+        assert_eq!(snap.accepted, 20);
+        assert_eq!(snap.served, 20);
+        assert_eq!(snap.rejected_full + snap.rejected_shutdown, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(1).paused(), c.clone());
+        let mut rng = StdRng::seed_from_u64(8);
+        for id in 0..5 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        // Workers are gated; shutdown must still serve all 5.
+        let (snap, leftover) = rt.shutdown();
+        assert_eq!(snap.served, 5, "drain-then-join");
+        assert_eq!(leftover.len(), 5, "uncollected responses handed back");
+    }
+
+    #[test]
+    fn recycle_returns_request_ownership() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(1), c.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        rt.submit(request(42, &mut rng, &c)).unwrap();
+        let resp = rt.collect_timeout(Duration::from_secs(5)).expect("served");
+        assert_eq!(resp.request.id, 42);
+        let req = rt.recycle(resp);
+        assert_eq!(req.id, 42);
+        rt.submit(req).unwrap();
+        let resp = rt.collect_timeout(Duration::from_secs(5)).expect("served");
+        assert_eq!(resp.request.id, 42);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,183 @@
+//! The worker loop: drain a batch, decode each request at its ladder
+//! rung, push the batch of responses.
+//!
+//! Each worker owns every scratch buffer the decode path needs
+//! ([`PrepScratch`], [`SearchWorkspace`], a reusable [`Prepared`], the
+//! batch and response vectors, a batch-level stats accumulator), so the
+//! steady-state path performs **zero heap allocations per request**: the
+//! `_into` preprocessing/decoding entry points write into recycled
+//! [`Detection`] slots from the runtime's response pool, and all
+//! synchronization costs (ingress lock, response push, metrics merge) are
+//! paid once per batch.
+
+use crate::ladder::choose_tier;
+use crate::request::{DecodeTier, DetectionRequest, DetectionResponse};
+use crate::runtime::Shared;
+use sd_core::{
+    preprocess_ordered_into, DetectionStats, Detector, KBestSd, MmseDetector, PrepScratch,
+    Prepared, SearchWorkspace, SphereDecoder,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub(crate) struct Worker {
+    shared: Arc<Shared>,
+    sd: SphereDecoder<f64>,
+    kb: KBestSd<f64>,
+    mmse: MmseDetector,
+    order: usize,
+    prep_scratch: PrepScratch<f64>,
+    prep: Prepared<f64>,
+    ws: SearchWorkspace<f64>,
+    batch: Vec<DetectionRequest>,
+    done: Vec<DetectionResponse>,
+    batch_stats: DetectionStats,
+}
+
+impl Worker {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        let c = shared.constellation.clone();
+        Worker {
+            sd: SphereDecoder::new(c.clone()),
+            kb: KBestSd::new(c.clone(), shared.config.ladder.kbest_k),
+            mmse: MmseDetector::new(c.clone()),
+            order: c.order(),
+            prep_scratch: PrepScratch::new(),
+            prep: Prepared::empty(),
+            ws: SearchWorkspace::new(),
+            batch: Vec::new(),
+            done: Vec::new(),
+            batch_stats: DetectionStats::default(),
+            shared,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let policy = self.shared.config.batch;
+        loop {
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.clear();
+            if !self
+                .shared
+                .queue
+                .pop_batch(&mut batch, policy.max_batch, policy.max_wait)
+            {
+                return; // closed and drained: shutdown
+            }
+            let size = batch.len();
+            self.batch_stats.reset(0);
+            for req in batch.drain(..) {
+                let resp = self.serve_one(req);
+                self.batch_stats.merge(&resp.detection.stats);
+                self.done.push(resp);
+            }
+            self.batch = batch;
+            let m = &self.shared.metrics;
+            m.served.fetch_add(size as u64, Relaxed);
+            m.batches.fetch_add(1, Relaxed);
+            m.batch_items.fetch_add(size as u64, Relaxed);
+            m.batch_size.record(size as u64);
+            m.merge_stats(&self.batch_stats);
+            self.shared.out.push_all(&mut self.done);
+        }
+    }
+
+    fn serve_one(&mut self, req: DetectionRequest) -> DetectionResponse {
+        use std::sync::atomic::Ordering::Relaxed;
+        let started = Instant::now();
+        let enqueued = req.enqueued_at.unwrap_or(started);
+        let queue_wait = started.saturating_duration_since(enqueued);
+        let remaining = req.deadline.saturating_sub(queue_wait);
+        let m = req.frame.h.cols();
+        let tier = choose_tier(
+            &self.shared.config.ladder,
+            &self.shared.model,
+            req.snr_db,
+            m,
+            self.order,
+            remaining,
+        );
+        let mut det = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
+        match tier {
+            DecodeTier::Exact => {
+                preprocess_ordered_into(
+                    &req.frame,
+                    self.sd.constellation(),
+                    self.sd.ordering,
+                    &mut self.prep_scratch,
+                    &mut self.prep,
+                );
+                let r2 = self
+                    .sd
+                    .initial_radius
+                    .resolve(req.frame.h.rows(), req.frame.noise_variance);
+                self.sd
+                    .detect_prepared_into(&self.prep, r2, &mut self.ws, &mut det);
+            }
+            DecodeTier::KBest => {
+                preprocess_ordered_into(
+                    &req.frame,
+                    self.sd.constellation(),
+                    self.sd.ordering,
+                    &mut self.prep_scratch,
+                    &mut self.prep,
+                );
+                self.kb
+                    .detect_prepared_into(&self.prep, &mut self.ws, &mut det);
+            }
+            DecodeTier::Mmse => {
+                // The last-resort rung tolerates the linear solver's
+                // allocations: it only runs when budgets are blown.
+                let d = self.mmse.detect(&req.frame);
+                det.indices.clear();
+                det.indices.extend_from_slice(&d.indices);
+                det.stats.reset(0);
+                det.stats.flops = d.stats.flops;
+            }
+        }
+        let service_time = started.elapsed();
+        let latency = queue_wait + service_time;
+        let deadline_missed = latency > req.deadline;
+
+        let metrics = &self.shared.metrics;
+        let tier_counter = match tier {
+            DecodeTier::Exact => &metrics.tier_exact,
+            DecodeTier::KBest => &metrics.tier_kbest,
+            DecodeTier::Mmse => &metrics.tier_mmse,
+        };
+        tier_counter.fetch_add(1, Relaxed);
+        if deadline_missed {
+            metrics.deadline_missed.fetch_add(1, Relaxed);
+        }
+        metrics.latency_ns.record(latency.as_nanos() as u64);
+        metrics.queue_wait_ns.record(queue_wait.as_nanos() as u64);
+
+        let service_ns = service_time.as_nanos() as u64;
+        match tier {
+            DecodeTier::Exact => self.shared.model.observe_tree(
+                req.snr_db,
+                det.stats.nodes_generated,
+                service_ns,
+                true,
+            ),
+            DecodeTier::KBest => self.shared.model.observe_tree(
+                req.snr_db,
+                det.stats.nodes_generated,
+                service_ns,
+                false,
+            ),
+            DecodeTier::Mmse => self.shared.model.observe_mmse(service_ns),
+        }
+
+        DetectionResponse {
+            request: req,
+            detection: det,
+            tier,
+            queue_wait,
+            service_time,
+            latency,
+            deadline_missed,
+        }
+    }
+}

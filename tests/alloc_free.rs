@@ -39,6 +39,14 @@ fn allocs() -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed)
 }
 
+/// The counter is process-global, so tests in this binary must not overlap
+/// their measurement windows: each takes this gate for its whole body.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Fixed 8×8 16-QAM problem set, prepared outside the measured region.
 /// Returns `(constellation, noise variance, prepared problems)`.
 fn prepared_problems() -> (sd_wireless::Constellation, f64, Vec<Prepared<f64>>) {
@@ -79,6 +87,7 @@ const PER_DECODE_BUDGET: u64 = 16;
 
 #[test]
 fn dfs_steady_state_is_node_allocation_free() {
+    let _g = serialized();
     let (c, _sigma2, preps) = prepared_problems();
     let sd: SphereDecoder<f64> = SphereDecoder::new(c);
     let mut ws = SearchWorkspace::new();
@@ -92,6 +101,7 @@ fn dfs_steady_state_is_node_allocation_free() {
 
 #[test]
 fn best_first_steady_state_is_node_allocation_free() {
+    let _g = serialized();
     let (c, _sigma2, preps) = prepared_problems();
     let bf: BestFirstSd<f64> = BestFirstSd::new(c);
     let mut ws = SearchWorkspace::new();
@@ -105,6 +115,7 @@ fn best_first_steady_state_is_node_allocation_free() {
 
 #[test]
 fn bfs_steady_state_is_node_allocation_free() {
+    let _g = serialized();
     let (c, _sigma2, preps) = prepared_problems();
     let bfs: BfsGemmSd<f64> = BfsGemmSd::new(c).with_max_frontier(256);
     let mut ws = SearchWorkspace::new();
@@ -120,6 +131,7 @@ fn bfs_steady_state_is_node_allocation_free() {
 
 #[test]
 fn kbest_steady_state_is_node_allocation_free() {
+    let _g = serialized();
     let (c, _sigma2, preps) = prepared_problems();
     let kb: KBestSd<f64> = KBestSd::new(c, 64);
     let mut ws = SearchWorkspace::new();
@@ -133,6 +145,7 @@ fn kbest_steady_state_is_node_allocation_free() {
 
 #[test]
 fn reference_implementation_allocates_per_node() {
+    let _g = serialized();
     // Sanity check that the counter actually sees the seed behavior this
     // PR removes: the path-cloning reference allocates proportionally to
     // the number of surviving nodes.
@@ -149,4 +162,73 @@ fn reference_implementation_allocates_per_node() {
         delta > nodes / 4,
         "reference made only {delta} allocations for {nodes} nodes?"
     );
+}
+
+/// One lock-step pass over the ring: submit each request, wait for its
+/// response, recycle the detection buffer, and put the request back.
+/// Returns the nodes generated during the pass.
+fn serve_roundtrip(
+    rt: &sd_serve::ServeRuntime,
+    ring: &mut std::collections::VecDeque<sd_serve::DetectionRequest>,
+) -> u64 {
+    let mut nodes = 0;
+    for _ in 0..ring.len() {
+        let req = ring.pop_front().unwrap();
+        rt.submit(req).expect("lock-step never fills the queue");
+        let resp = rt
+            .collect_timeout(std::time::Duration::from_secs(10))
+            .expect("runtime stalled");
+        nodes += resp.detection.stats.nodes_generated;
+        ring.push_back(rt.recycle(resp));
+    }
+    nodes
+}
+
+#[test]
+fn serve_steady_state_is_request_allocation_free() {
+    let _g = serialized();
+    use sd_serve::{BatchPolicy, LadderConfig, LoadConfig, ServeConfig, ServeRuntime};
+    // Closed-loop client over the serving runtime: every buffer —
+    // ingress/response queues, the worker's scratch, the pooled Detection
+    // slot, the request frames themselves — round-trips, so after warm-up
+    // the whole submit→decode→collect→recycle cycle must not allocate.
+    let cfg = LoadConfig {
+        n_tx: 8,
+        n_rx: 8,
+        modulation: sd_wireless::Modulation::Qam16,
+        snr_grid_db: vec![14.0],
+        n_requests: 8,
+        offered_rate_hz: 0.0,
+        deadline: std::time::Duration::from_secs(1),
+        seed: 0xA110C,
+    };
+    let c = sd_wireless::Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(16)
+            .with_batch(BatchPolicy::unbatched())
+            .with_ladder(LadderConfig {
+                enabled: false,
+                kbest_k: 16,
+            }),
+        c.clone(),
+    );
+    let mut ring: std::collections::VecDeque<_> = sd_serve::build_requests(&cfg, &c).into();
+    for _ in 0..3 {
+        serve_roundtrip(&rt, &mut ring);
+    }
+    let before = allocs();
+    let mut nodes = 0;
+    for _ in 0..8 {
+        nodes += serve_roundtrip(&rt, &mut ring);
+    }
+    let delta = allocs() - before;
+    assert!(nodes > 10_000, "search too small to be meaningful: {nodes}");
+    assert_eq!(
+        delta, 0,
+        "{delta} allocations across 64 served requests ({nodes} nodes): \
+         the steady-state serve path allocates"
+    );
+    rt.shutdown();
 }

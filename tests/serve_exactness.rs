@@ -1,0 +1,75 @@
+//! The serving layer adds scheduling, not numerics: with degradation
+//! disabled and a single seeded worker, every decision served by
+//! `sd-serve` is **bit-identical** — indices *and* search statistics — to
+//! calling the sphere decoder directly on the same frame.
+
+use sd_core::{Detector, SphereDecoder};
+use sd_serve::{build_requests, DecodeTier, LadderConfig, LoadConfig, ServeConfig, ServeRuntime};
+use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[test]
+fn served_decisions_are_bit_identical_to_direct_decode() {
+    let cfg = LoadConfig {
+        n_tx: 6,
+        n_rx: 6,
+        modulation: Modulation::Qam4,
+        snr_grid_db: vec![4.0, 8.0, 16.0],
+        n_requests: 45,
+        offered_rate_hz: 0.0,
+        deadline: REAL_TIME_BUDGET,
+        seed: 0xE1AC,
+    };
+    let c = Constellation::new(cfg.modulation);
+
+    // Ground truth: direct decode of the identical seeded request stream.
+    let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+    let direct: Vec<_> = build_requests(&cfg, &c)
+        .iter()
+        .map(|req| sd.detect(&req.frame))
+        .collect();
+
+    // Served: one worker, ladder off, generous queue.
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(cfg.n_requests)
+            .with_ladder(LadderConfig {
+                enabled: false,
+                kbest_k: 16,
+            }),
+        c.clone(),
+    );
+    for req in build_requests(&cfg, &c) {
+        rt.submit(req).expect("queue sized for the whole stream");
+    }
+    let mut served = HashMap::new();
+    for _ in 0..cfg.n_requests {
+        let resp = rt
+            .collect_timeout(Duration::from_secs(10))
+            .expect("runtime stalled");
+        assert_eq!(resp.tier, DecodeTier::Exact, "ladder disabled");
+        served.insert(resp.request.id, resp);
+    }
+    let (snap, leftover) = rt.shutdown();
+    assert!(leftover.is_empty());
+    assert_eq!(snap.served, cfg.n_requests as u64);
+
+    for (i, truth) in direct.iter().enumerate() {
+        let resp = &served[&(i as u64)];
+        assert_eq!(
+            resp.detection.indices, truth.indices,
+            "request {i}: decisions differ"
+        );
+        assert_eq!(
+            resp.detection.stats, truth.stats,
+            "request {i}: search statistics differ"
+        );
+        assert_eq!(
+            resp.detection.stats.final_radius_sqr.to_bits(),
+            truth.stats.final_radius_sqr.to_bits(),
+            "request {i}: solution metric differs in bits"
+        );
+    }
+}

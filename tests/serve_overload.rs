@@ -1,0 +1,159 @@
+//! Overload behavior is deterministic and bounded: a seeded burst beyond
+//! queue capacity sheds exactly the overflow, degradation under an
+//! exhausted deadline budget is total and typed, queue depth never
+//! exceeds its bound, and shutdown drains everything admitted without
+//! deadlocking.
+
+use sd_serve::{
+    build_requests, DecodeTier, LadderConfig, LoadConfig, RejectReason, ServeConfig, ServeRuntime,
+};
+use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
+use std::time::Duration;
+
+fn burst_config(n_requests: usize, deadline: Duration) -> LoadConfig {
+    LoadConfig {
+        n_tx: 4,
+        n_rx: 4,
+        modulation: Modulation::Qam4,
+        snr_grid_db: vec![8.0, 14.0],
+        n_requests,
+        offered_rate_hz: 0.0,
+        deadline,
+        seed: 0x0E71,
+    }
+}
+
+#[test]
+fn burst_beyond_capacity_sheds_exactly_the_overflow() {
+    const CAPACITY: usize = 16;
+    const BURST: usize = 45;
+    let cfg = burst_config(BURST, REAL_TIME_BUDGET);
+    let c = Constellation::new(cfg.modulation);
+    // Workers gated: the burst lands on a frozen queue, so admission
+    // arithmetic is exact — no race with concurrent draining.
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(CAPACITY)
+            .paused(),
+        c.clone(),
+    );
+    let mut shed = 0usize;
+    for req in build_requests(&cfg, &c) {
+        match rt.submit(req) {
+            Ok(()) => {}
+            Err(rej) => {
+                assert_eq!(
+                    rej.reason,
+                    RejectReason::QueueFull { depth: CAPACITY },
+                    "typed rejection carries the bounded depth"
+                );
+                shed += 1;
+            }
+        }
+        assert!(rt.queue_depth() <= CAPACITY, "queue depth stays bounded");
+    }
+    assert_eq!(shed, BURST - CAPACITY, "deterministic shed count");
+    assert_eq!(rt.queue_depth(), CAPACITY);
+
+    // Drain-then-join: shutdown releases the gate, serves every admitted
+    // request, and returns them — nothing is silently dropped.
+    let (snap, leftover) = rt.shutdown();
+    assert_eq!(snap.accepted, CAPACITY as u64);
+    assert_eq!(snap.rejected_full, (BURST - CAPACITY) as u64);
+    assert_eq!(snap.served, CAPACITY as u64);
+    assert_eq!(leftover.len(), CAPACITY);
+    assert_eq!(snap.queue_depth, 0);
+}
+
+#[test]
+fn exhausted_deadline_budget_degrades_deterministically() {
+    const BURST: usize = 24;
+    // Zero deadline: every request's budget is exhausted at pickup, so
+    // with the ladder enabled, every one of them must take the MMSE rung.
+    let cfg = burst_config(BURST, Duration::ZERO);
+    let c = Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(BURST)
+            .with_ladder(LadderConfig {
+                enabled: true,
+                kbest_k: 8,
+            })
+            .paused(),
+        c.clone(),
+    );
+    for req in build_requests(&cfg, &c) {
+        rt.submit(req).expect("queue sized for the burst");
+    }
+    let (snap, leftover) = rt.shutdown();
+    assert_eq!(snap.served, BURST as u64);
+    assert_eq!(
+        snap.tier_mmse, BURST as u64,
+        "all degraded to the last rung"
+    );
+    assert_eq!(snap.tier_exact + snap.tier_kbest, 0);
+    assert_eq!(snap.deadline_missed, BURST as u64);
+    for resp in &leftover {
+        assert_eq!(resp.tier, DecodeTier::Mmse);
+        assert!(resp.deadline_missed);
+        assert_eq!(
+            resp.detection.indices.len(),
+            cfg.n_tx,
+            "degraded responses still carry full decisions"
+        );
+    }
+}
+
+#[test]
+fn degradation_off_never_sheds_admitted_work_even_when_late() {
+    const BURST: usize = 12;
+    let cfg = burst_config(BURST, Duration::ZERO);
+    let c = Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(BURST)
+            .with_ladder(LadderConfig {
+                enabled: false,
+                kbest_k: 8,
+            })
+            .paused(),
+        c.clone(),
+    );
+    for req in build_requests(&cfg, &c) {
+        rt.submit(req).expect("queue sized for the burst");
+    }
+    let (snap, leftover) = rt.shutdown();
+    // Every request decoded exactly (and therefore late) — the control
+    // arm the benchmark compares the ladder against.
+    assert_eq!(snap.served, BURST as u64);
+    assert_eq!(snap.tier_exact, BURST as u64);
+    assert_eq!(snap.deadline_missed, BURST as u64);
+    assert_eq!(leftover.len(), BURST);
+}
+
+#[test]
+fn repeated_shutdown_under_load_never_deadlocks() {
+    // Start/flood/shutdown repeatedly; a drain-then-join bug (lost
+    // notification, worker waiting forever) would hang this test.
+    let cfg = burst_config(30, REAL_TIME_BUDGET);
+    let c = Constellation::new(cfg.modulation);
+    for round in 0..5 {
+        let rt = ServeRuntime::start(
+            ServeConfig::default()
+                .with_workers(3)
+                .with_queue_capacity(8),
+            c.clone(),
+        );
+        let mut accepted = 0u64;
+        for req in build_requests(&cfg, &c) {
+            if rt.submit(req).is_ok() {
+                accepted += 1;
+            }
+        }
+        let (snap, _leftover) = rt.shutdown();
+        assert_eq!(snap.served, accepted, "round {round}: drained exactly");
+    }
+}
