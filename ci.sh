@@ -13,6 +13,18 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+# Compile (but don't execute) every Criterion bench so the harness can't
+# bit-rot between full bench runs.
+cargo bench --workspace --no-run
+
+echo "==> cargo doc --no-deps"
+# Broken intra-doc links are rustdoc warnings; promote them to errors.
+# The compat/* shims are vendored stand-ins, not product docs — skip them.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude criterion --exclude proptest --exclude rand --exclude rayon \
+  --exclude serde --exclude serde_derive
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

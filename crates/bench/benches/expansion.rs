@@ -21,7 +21,7 @@ use sd_core::arena::{NodeArena, NIL};
 use sd_core::pd::{eval_children, eval_children_batch, PdScratch};
 use sd_core::preprocess::{preprocess, Prepared};
 use sd_core::reference::{dfs_reference, kbest_reference};
-use sd_core::{EvalStrategy, KBestSd, SearchWorkspace, SphereDecoder};
+use sd_core::{EvalStrategy, KBestSd, PreparedDetector, SearchWorkspace, SphereDecoder};
 use sd_math::GemmAlgo;
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
@@ -144,7 +144,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             frames
                 .iter()
-                .map(|p| kb.detect_prepared_in(p, &mut ws).indices[0])
+                .map(|p| kb.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
                 .sum::<usize>()
         });
     });

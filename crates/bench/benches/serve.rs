@@ -12,11 +12,18 @@
 //!    no-degradation control at the same load, trading BER for latency
 //!    instead of blowing the 10 ms real-time line.
 //!
+//! A third scenario exercises the configurable tier registry: a custom
+//! four-rung descent (exact → best-first → K-best → MMSE) built from the
+//! unified [`sd_core::PreparedDetector`] engine API and run end to end at
+//! overload through [`ServeRuntime::start_with_registry`].
+//!
 //! Like `expansion.rs` this bench has a hand-rolled `main` that writes
 //! `BENCH_serve.json` in the repo root.
 
+use sd_core::{BestFirstSd, KBestSd, MmseDetector, SphereDecoder};
 use sd_serve::{
-    run_load, BatchPolicy, LadderConfig, LoadConfig, LoadReport, ServeConfig, ServeRuntime,
+    run_load, BatchPolicy, LadderConfig, LoadConfig, LoadReport, ServeConfig, ServeRuntime, Tier,
+    TierCostClass,
 };
 use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
 use std::time::Duration;
@@ -103,12 +110,73 @@ fn sweep_point(rate_hz: f64, lad: LadderConfig) -> LoadReport {
     report
 }
 
+/// The custom descent for the registry scenario: the stock ladder with a
+/// best-first rung wedged between exact and K-best.
+fn four_rung_registry(c: &Constellation, k: usize) -> Vec<Tier> {
+    vec![
+        Tier::new(
+            "exact",
+            TierCostClass::Adaptive,
+            Box::new(SphereDecoder::<f64>::new(c.clone())),
+        ),
+        Tier::new(
+            "best-first",
+            TierCostClass::Adaptive,
+            Box::new(BestFirstSd::<f64>::new(c.clone())),
+        ),
+        Tier::new(
+            "k-best",
+            TierCostClass::fixed_kbest(k),
+            Box::new(KBestSd::<f64>::new(c.clone(), k)),
+        ),
+        Tier::new(
+            "mmse",
+            TierCostClass::Linear,
+            Box::new(MmseDetector::new(c.clone())),
+        ),
+    ]
+}
+
+/// One paced run of the four-rung registry against a bounded queue.
+fn registry_point(rate_hz: f64) -> LoadReport {
+    let cfg = sweep_workload(rate_hz);
+    let c = Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start_with_registry(
+        ServeConfig::default()
+            .with_workers(WORKERS)
+            .with_queue_capacity(SWEEP_QUEUE)
+            .with_ladder(ladder(true)),
+        four_rung_registry(&c, 16),
+    );
+    let report = run_load(&rt, &cfg, &c);
+    rt.shutdown();
+    report
+}
+
+fn tiers_json(r: &LoadReport) -> String {
+    let fields: Vec<String> = r
+        .tiers
+        .iter()
+        .map(|(label, n)| format!("\"{label}\": {n}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn tiers_human(r: &LoadReport) -> String {
+    let fields: Vec<String> = r
+        .tiers
+        .iter()
+        .map(|(label, n)| format!("{label}={n}"))
+        .collect();
+    fields.join(" ")
+}
+
 fn report_json(r: &LoadReport) -> String {
     format!(
         "{{\"offered\": {}, \"shed\": {}, \"served\": {}, \
          \"throughput_hz\": {:.0}, \"p50_latency_us\": {:.1}, \
          \"p99_latency_us\": {:.1}, \"deadline_miss_rate\": {:.4}, \
-         \"tier_exact\": {}, \"tier_kbest\": {}, \"tier_mmse\": {}, \
+         \"tiers\": {}, \
          \"ber\": {:.5}, \"mean_batch_size\": {:.2}}}",
         r.offered,
         r.shed,
@@ -117,9 +185,7 @@ fn report_json(r: &LoadReport) -> String {
         r.p50_latency_us,
         r.p99_latency_us,
         r.deadline_miss_rate,
-        r.tier_exact,
-        r.tier_kbest,
-        r.tier_mmse,
+        tiers_json(r),
         r.ber(),
         r.snapshot.mean_batch_size,
     )
@@ -162,12 +228,10 @@ fn main() {
         eprintln!("sweep: {mult}x capacity ({rate:.0}/s), ladder on ...");
         let on = sweep_point(rate, ladder(true));
         eprintln!(
-            "  miss rate {:.1}% -> {:.1}%  (tiers on: {}/{}/{})",
+            "  miss rate {:.1}% -> {:.1}%  (tiers on: {})",
             100.0 * off.deadline_miss_rate,
             100.0 * on.deadline_miss_rate,
-            on.tier_exact,
-            on.tier_kbest,
-            on.tier_mmse
+            tiers_human(&on),
         );
         sweep.push((mult, rate, off, on));
     }
@@ -180,6 +244,16 @@ fn main() {
         100.0 * top_on.deadline_miss_rate,
         top_off.ber(),
         top_on.ber()
+    );
+
+    // -------- Claim 3: a custom registry runs end to end ---------------
+    let registry_rate = 2.0 * cap_hz;
+    eprintln!("registry: four-rung descent at 2x capacity ({registry_rate:.0}/s) ...");
+    let registry = registry_point(registry_rate);
+    eprintln!(
+        "  miss rate {:.1}%, tiers: {}",
+        100.0 * registry.deadline_miss_rate,
+        tiers_human(&registry),
     );
 
     let sweep_rows: Vec<String> = sweep
@@ -202,7 +276,9 @@ fn main() {
          \"speedup\": {:.3}\n  }},\n  \
          \"capacity_probe_hz\": {:.0},\n  \"sweep\": [\n{}\n  ],\n  \
          \"ladder_at_top_load\": {{\"miss_rate_off\": {:.4}, \"miss_rate_on\": {:.4}, \
-         \"ber_off\": {:.5}, \"ber_on\": {:.5}}}\n}}\n",
+         \"ber_off\": {:.5}, \"ber_on\": {:.5}}},\n  \
+         \"registry_four_rung\": {{\"rungs\": [\"exact\", \"best-first\", \"k-best\", \"mmse\"], \
+         \"load_multiplier\": 2.0,\n    \"report\": {}}}\n}}\n",
         report_json(&unbatched),
         report_json(&batched),
         batching_speedup,
@@ -212,6 +288,7 @@ fn main() {
         top_on.deadline_miss_rate,
         top_off.ber(),
         top_on.ber(),
+        report_json(&registry),
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

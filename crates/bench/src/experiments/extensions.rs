@@ -558,9 +558,9 @@ pub fn ext_serve(opts: &RunOpts) -> Report {
                 Cell::Int(rep.shed),
                 Cell::Num(rep.p99_latency_us, 0),
                 Cell::Num(rep.deadline_miss_rate, 3),
-                Cell::Int(rep.tier_exact),
-                Cell::Int(rep.tier_kbest),
-                Cell::Int(rep.tier_mmse),
+                Cell::Int(rep.tier_count("exact")),
+                Cell::Int(rep.tier_count("k-best")),
+                Cell::Int(rep.tier_count("mmse")),
                 Cell::Sci(rep.ber()),
             ]);
         }

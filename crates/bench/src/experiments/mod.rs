@@ -6,7 +6,10 @@ pub mod tables;
 
 use crate::report::{Report, RunOpts};
 use crate::CpuTimeModel;
-use sd_core::{DetectionStats, Detector, SphereDecoder};
+use sd_core::{
+    Detection, DetectionStats, PrepScratch, Prepared, PreparedDetector, SearchWorkspace,
+    SphereDecoder,
+};
 use sd_fpga::{FpgaConfig, FpgaSphereDecoder};
 use sd_wireless::montecarlo::generate_frames;
 use sd_wireless::{Constellation, FrameData, LinkConfig, Modulation};
@@ -100,11 +103,21 @@ pub fn measure_point(n: usize, modulation: Modulation, snr_db: f64, opts: &RunOp
     let opt = FpgaSphereDecoder::new(FpgaConfig::optimized(modulation, n), constellation);
 
     let mut t = PointTiming::default();
-    // Native wall-clock (serial, as the per-frame latency figure).
+    // Native wall-clock (serial, as the per-frame latency figure), driven
+    // through the unified engine API with reused preprocessing and search
+    // scratch — the same zero-allocation decode path the serve runtime and
+    // alloc-free gate exercise.
+    let mut scratch = PrepScratch::new();
+    let mut prep = Prepared::empty();
+    let mut ws = SearchWorkspace::new();
     let t0 = Instant::now();
     let mut detections = Vec::with_capacity(frames.len());
     for f in &frames {
-        detections.push(std::hint::black_box(cpu.detect(f)));
+        let mut det = Detection::default();
+        cpu.prepare_frame_into(f, &mut scratch, &mut prep);
+        let r2 = cpu.initial_radius_sqr(f.h.rows(), f.noise_variance);
+        cpu.detect_prepared_into(&prep, r2, &mut ws, &mut det);
+        detections.push(std::hint::black_box(det));
     }
     t.cpu_native_ms = t0.elapsed().as_secs_f64() * 1e3 / frames.len() as f64;
 

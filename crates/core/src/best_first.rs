@@ -14,12 +14,13 @@
 //! materialized exactly once at the end.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{eval_children_from_arena, EvalStrategy};
-use crate::preprocess::{preprocess, Prepared};
+use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
 use sd_math::Float;
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 use std::cmp::Ordering;
 
 /// Priority-queue (min-PD-first) sphere decoder.
@@ -90,29 +91,32 @@ impl<F: Float> BestFirstSd<F> {
         self.initial_radius = r;
         self
     }
+}
 
-    /// Decode an already-preprocessed problem.
-    pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
-        let mut ws = SearchWorkspace::new();
-        self.detect_prepared_in(prep, radius_sqr, &mut ws)
+impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    /// [`BestFirstSd::detect_prepared`] reusing a caller-owned workspace:
-    /// after the buffers reach steady-state capacity, the search loop
+    fn initial_radius_sqr(&self, n_rx: usize, noise_variance: f64) -> f64 {
+        self.initial_radius.resolve(n_rx, noise_variance)
+    }
+
+    /// Best-first search into a caller-owned [`Detection`]: after the
+    /// workspace buffers reach steady-state capacity, the search loop
     /// performs no heap allocation.
-    pub fn detect_prepared_in(
+    fn detect_prepared_into(
         &self,
         prep: &Prepared<F>,
         radius_sqr: f64,
         ws: &mut SearchWorkspace<F>,
-    ) -> Detection {
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
         ws.prepare(p, m);
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            ..Default::default()
-        };
+        out.stats.reset(m);
+        let stats = &mut out.stats;
         let mut r2 = radius_sqr;
         // Winning leaf as (pd, parent id, leaf symbol): the arena is only
         // cleared on restart, which can only happen while `best` is None,
@@ -175,43 +179,22 @@ impl<F: Float> BestFirstSd<F> {
         ws.path_buf.push(leaf_sym);
         stats.final_radius_sqr = best_pd;
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&ws.path_buf);
-        Detection { indices, stats }
+        prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
     }
 }
 
-impl<F: Float> Detector for BestFirstSd<F> {
-    fn name(&self) -> &'static str {
-        "SD best-first"
-    }
-
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        let r2 = self
-            .initial_radius
-            .resolve(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared(&prep, r2)
-    }
-}
-
-impl<F: Float> crate::batch::WorkspaceDetector<F> for BestFirstSd<F> {
-    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        let r2 = self
-            .initial_radius
-            .resolve(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared_in(&prep, r2, ws)
-    }
-}
+impl_detector_via_prepared!(BestFirstSd<F>, "SD best-first");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::dfs::SphereDecoder;
     use crate::ml::MlDetector;
+    use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{noise_variance, Modulation};
+    use sd_wireless::{noise_variance, FrameData, Modulation};
     use std::collections::BinaryHeap;
 
     fn frames(

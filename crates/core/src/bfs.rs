@@ -23,9 +23,10 @@
 //! trace.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::eval_children_batch;
-use crate::preprocess::{preprocess, Prepared};
+use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
 use sd_math::{Float, GemmAlgo};
 use sd_wireless::{Constellation, FrameData};
@@ -111,7 +112,7 @@ impl<F: Float> BfsGemmSd<F> {
 
     /// Decode and return the per-level trace alongside the detection.
     pub fn detect_traced(&self, frame: &FrameData) -> (Detection, BfsLevelTrace) {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        let prep: Prepared<F> = self.prepare_frame(frame);
         let r2 = self
             .initial_radius
             .resolve(frame.h.rows(), frame.noise_variance);
@@ -137,19 +138,36 @@ impl<F: Float> BfsGemmSd<F> {
         radius_sqr: f64,
         ws: &mut SearchWorkspace<F>,
     ) -> (Detection, BfsLevelTrace) {
+        let mut out = Detection::default();
+        let mut trace = BfsLevelTrace::default();
+        self.bfs_core(prep, radius_sqr, ws, &mut out, Some(&mut trace));
+        (out, trace)
+    }
+
+    /// The level-synchronous sweep shared by the traced and engine entry
+    /// points. `trace` is `None` on the engine path, which skips every
+    /// per-level record and keeps the decode allocation-free; the decode
+    /// itself is identical either way.
+    fn bfs_core(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+        mut trace: Option<&mut BfsLevelTrace>,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
         ws.prepare(p, m);
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            ..Default::default()
-        };
-        let mut trace = BfsLevelTrace::default();
+        out.stats.reset(m);
+        let stats = &mut out.stats;
         let mut r2 = radius_sqr;
 
         'restart: loop {
-            trace.levels.clear();
-            trace.clipped = false;
+            if let Some(t) = trace.as_deref_mut() {
+                t.levels.clear();
+                t.clipped = false;
+            }
             ws.arena.clear();
             ws.frontier.clear();
             ws.frontier.push((0.0, NIL));
@@ -184,10 +202,12 @@ impl<F: Float> BfsGemmSd<F> {
                 info.survivors = ws.next.len();
                 if ws.next.is_empty() {
                     // Empty sphere: grow radius and restart the whole BFS.
-                    trace.levels.push(info);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.levels.push(info);
+                        t.restarts += 1;
+                    }
                     r2 *= InitialRadius::RESTART_GROWTH;
                     stats.restarts += 1;
-                    trace.restarts += 1;
                     assert!(stats.restarts < 64, "radius failed to capture any leaf");
                     continue 'restart;
                 }
@@ -196,9 +216,13 @@ impl<F: Float> BfsGemmSd<F> {
                     ws.next.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                     stats.nodes_pruned += (ws.next.len() - self.max_frontier) as u64;
                     ws.next.truncate(self.max_frontier);
-                    trace.clipped = true;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.clipped = true;
+                    }
                 }
-                trace.levels.push(info);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.levels.push(info);
+                }
                 std::mem::swap(&mut ws.frontier, &mut ws.next);
             }
 
@@ -213,35 +237,38 @@ impl<F: Float> BfsGemmSd<F> {
             stats.final_radius_sqr = best_pd;
             stats.flops += prep.prep_flops;
             ws.arena.path_into(best_id, &mut ws.path_buf);
-            let indices = prep.indices_from_path(&ws.path_buf);
-            return (Detection { indices, stats }, trace);
+            prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+            return;
         }
     }
 }
 
-impl<F: Float> Detector for BfsGemmSd<F> {
-    fn name(&self) -> &'static str {
-        "SD BFS-GEMM (GPU baseline)"
+impl<F: Float> PreparedDetector<F> for BfsGemmSd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        self.detect_traced(frame).0
+    fn initial_radius_sqr(&self, n_rx: usize, noise_variance: f64) -> f64 {
+        self.initial_radius.resolve(n_rx, noise_variance)
+    }
+
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.bfs_core(prep, radius_sqr, ws, out, None);
     }
 }
 
-impl<F: Float> crate::batch::WorkspaceDetector<F> for BfsGemmSd<F> {
-    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        let r2 = self
-            .initial_radius
-            .resolve(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared_traced_in(&prep, r2, ws).0
-    }
-}
+impl_detector_via_prepared!(BfsGemmSd<F>, "SD BFS-GEMM (GPU baseline)");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::dfs::SphereDecoder;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;

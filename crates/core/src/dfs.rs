@@ -10,12 +10,13 @@
 //! exactness holds for every [`InitialRadius`].
 
 use crate::arena::SearchWorkspace;
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::detector::{Detection, DetectionStats};
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{children_into, eval_children, sorted_children_into, EvalStrategy, PdScratch};
-use crate::preprocess::{preprocess_ordered, ColumnOrdering, Prepared};
+use crate::preprocess::{ColumnOrdering, Prepared};
 use crate::radius::InitialRadius;
 use sd_math::Float;
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 
 /// Sorted-DFS sphere decoder (the paper's algorithm), generic over the
 /// working precision `F`.
@@ -76,33 +77,27 @@ impl<F: Float> SphereDecoder<F> {
     pub fn constellation(&self) -> &Constellation {
         &self.constellation
     }
+}
 
-    /// Decode an already-preprocessed problem. Exposed so the FPGA
-    /// simulator and ablation benches can drive the identical search.
-    pub fn detect_prepared(&self, prep: &Prepared<F>, radius_sqr: f64) -> Detection {
-        let mut ws = SearchWorkspace::new();
-        self.detect_prepared_in(prep, radius_sqr, &mut ws)
+impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    /// [`SphereDecoder::detect_prepared`] reusing a caller-owned
-    /// workspace: the path, best-path and per-depth child-sort buffers all
-    /// come from `ws`, so the steady-state descent allocates nothing.
-    pub fn detect_prepared_in(
-        &self,
-        prep: &Prepared<F>,
-        radius_sqr: f64,
-        ws: &mut SearchWorkspace<F>,
-    ) -> Detection {
-        let mut out = Detection::default();
-        self.detect_prepared_into(prep, radius_sqr, ws, &mut out);
-        out
+    fn ordering(&self) -> ColumnOrdering {
+        self.ordering
     }
 
-    /// [`SphereDecoder::detect_prepared_in`] writing into a caller-owned
-    /// [`Detection`] whose index vector and per-level histogram keep their
-    /// capacity — with a warm `ws` and `out`, a decode performs zero heap
-    /// allocations. Bit-identical results.
-    pub fn detect_prepared_into(
+    fn initial_radius_sqr(&self, n_rx: usize, noise_variance: f64) -> f64 {
+        self.initial_radius.resolve(n_rx, noise_variance)
+    }
+
+    /// Decode an already-preprocessed problem into a caller-owned
+    /// [`Detection`]: the path, best-path and per-depth child-sort
+    /// buffers all come from `ws`, and `out`'s index vector and
+    /// per-level histogram keep their capacity — with a warm `ws` and
+    /// `out`, a decode performs zero heap allocations.
+    fn detect_prepared_into(
         &self,
         prep: &Prepared<F>,
         radius_sqr: f64,
@@ -149,29 +144,7 @@ impl<F: Float> SphereDecoder<F> {
     }
 }
 
-impl<F: Float> Detector for SphereDecoder<F> {
-    fn name(&self) -> &'static str {
-        "SD sorted-DFS (paper)"
-    }
-
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess_ordered(frame, &self.constellation, self.ordering);
-        let r2 = self
-            .initial_radius
-            .resolve(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared(&prep, r2)
-    }
-}
-
-impl<F: Float> crate::batch::WorkspaceDetector<F> for SphereDecoder<F> {
-    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
-        let prep: Prepared<F> = preprocess_ordered(frame, &self.constellation, self.ordering);
-        let r2 = self
-            .initial_radius
-            .resolve(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared_in(&prep, r2, ws)
-    }
-}
+impl_detector_via_prepared!(SphereDecoder<F>, "SD sorted-DFS (paper)");
 
 /// One in-flight tree search, borrowing all buffers from a
 /// [`SearchWorkspace`].
@@ -254,10 +227,12 @@ impl<F: Float> Search<'_, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
     use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sd_wireless::FrameData;
     use sd_wireless::{noise_variance, Modulation};
 
     fn frames(

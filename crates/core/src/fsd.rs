@@ -8,11 +8,13 @@
 //! why the paper's related work calls it "massively parallelizable but
 //! resource hungry".
 
-use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, EvalStrategy, PdScratch};
-use crate::preprocess::{preprocess, Prepared};
+use crate::arena::SearchWorkspace;
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::pd::{eval_children, EvalStrategy};
+use crate::preprocess::Prepared;
 use sd_math::Float;
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 
 /// Fixed-complexity sphere decoder.
 #[derive(Clone, Debug)]
@@ -49,35 +51,49 @@ impl<F: Float> FixedComplexitySd<F> {
             .order()
             .pow(self.full_expansion_levels as u32)
     }
+}
 
-    /// Decode a prepared problem.
-    pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
+impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Fixed-complexity sweep into a caller-owned [`Detection`]. The
+    /// workload is fixed by construction, so `radius_sqr` is ignored; a
+    /// warm workspace + output pair decodes without heap allocation.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        _radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
         let n_fe = self.full_expansion_levels.min(m);
-        let mut scratch = PdScratch::new(p, m);
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            ..Default::default()
-        };
+        ws.prepare(p, m);
+        out.stats.reset(m);
+        let stats = &mut out.stats;
 
         // Enumerate the fully-expanded prefix; each prefix then follows a
-        // greedy SIC descent (pick the best child at every level).
+        // greedy SIC descent (pick the best child at every level). The
+        // prefix odometer lives in `path_buf`, the descent in `path`, the
+        // incumbent in `best_path`.
         let mut best_metric = F::infinity();
-        let mut best_path: Vec<usize> = Vec::new();
-        let mut prefix = vec![0usize; n_fe];
+        ws.path_buf.resize(n_fe, 0);
         loop {
             // PD of the current prefix.
             let mut pd = F::ZERO;
             let mut ok = true;
-            let mut path: Vec<usize> = Vec::with_capacity(m);
-            for (d, &digit) in prefix.iter().enumerate().take(n_fe) {
+            ws.path.clear();
+            for d in 0..n_fe {
+                let digit = ws.path_buf[d];
                 stats.nodes_expanded += 1;
-                stats.flops += eval_children(prep, &path, EvalStrategy::Gemm, &mut scratch);
+                stats.flops += eval_children(prep, &ws.path, EvalStrategy::Gemm, &mut ws.scratch);
                 stats.nodes_generated += p as u64;
                 stats.per_level_generated[d] += p as u64;
-                pd += scratch.increments[digit];
-                path.push(digit);
+                pd += ws.scratch.increments[digit];
+                ws.path.push(digit);
                 if !(pd < best_metric) {
                     ok = false;
                     break;
@@ -87,29 +103,30 @@ impl<F: Float> FixedComplexitySd<F> {
                 // SIC tail: greedy best child per level.
                 for d in n_fe..m {
                     stats.nodes_expanded += 1;
-                    stats.flops += eval_children(prep, &path, EvalStrategy::Gemm, &mut scratch);
+                    stats.flops +=
+                        eval_children(prep, &ws.path, EvalStrategy::Gemm, &mut ws.scratch);
                     stats.nodes_generated += p as u64;
                     stats.per_level_generated[d] += p as u64;
-                    let (mut best_c, mut best_inc) = (0usize, scratch.increments[0]);
-                    for (c, &inc) in scratch.increments.iter().enumerate().skip(1) {
+                    let (mut best_c, mut best_inc) = (0usize, ws.scratch.increments[0]);
+                    for (c, &inc) in ws.scratch.increments.iter().enumerate().skip(1) {
                         if inc < best_inc {
                             best_c = c;
                             best_inc = inc;
                         }
                     }
                     pd += best_inc;
-                    path.push(best_c);
+                    ws.path.push(best_c);
                 }
                 stats.leaves_reached += 1;
                 if pd < best_metric {
                     best_metric = pd;
-                    best_path = path;
+                    std::mem::swap(&mut ws.path, &mut ws.best_path);
                     stats.radius_updates += 1;
                 }
             }
             // Odometer over the prefix.
             let mut carry = true;
-            for digit in prefix.iter_mut().rev() {
+            for digit in ws.path_buf.iter_mut().rev() {
                 if carry {
                     *digit += 1;
                     if *digit == p {
@@ -126,29 +143,21 @@ impl<F: Float> FixedComplexitySd<F> {
 
         stats.final_radius_sqr = best_metric.to_f64();
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&best_path);
-        Detection { indices, stats }
+        prep.indices_from_path_into(&ws.best_path, &mut out.indices);
     }
 }
 
-impl<F: Float> Detector for FixedComplexitySd<F> {
-    fn name(&self) -> &'static str {
-        "FSD"
-    }
-
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        self.detect_prepared(&prep)
-    }
-}
+impl_detector_via_prepared!(FixedComplexitySd<F>, "FSD");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
+    use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{noise_variance, Modulation};
+    use sd_wireless::{noise_variance, FrameData, Modulation};
 
     fn frames(n: usize, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
         let c = Constellation::new(Modulation::Qam4);

@@ -17,11 +17,12 @@
 //! original fixed-precision semantics bit for bit.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::{Detection, Detector};
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::eval_children_batch;
-use crate::preprocess::{preprocess, Prepared};
+use crate::preprocess::Prepared;
 use sd_math::{Float, GemmAlgo};
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 
 /// K-best breadth-limited decoder.
 #[derive(Clone, Debug)]
@@ -51,26 +52,21 @@ impl<F: Float> KBestSd<F> {
         self.batch_algo = algo;
         self
     }
+}
 
-    /// Decode an already-preprocessed problem.
-    pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
-        let mut ws = SearchWorkspace::new();
-        self.detect_prepared_in(prep, &mut ws)
+impl<F: Float> PreparedDetector<F> for KBestSd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    /// [`KBestSd::detect_prepared`] reusing a caller-owned workspace.
-    pub fn detect_prepared_in(&self, prep: &Prepared<F>, ws: &mut SearchWorkspace<F>) -> Detection {
-        let mut out = Detection::default();
-        self.detect_prepared_into(prep, ws, &mut out);
-        out
-    }
-
-    /// [`KBestSd::detect_prepared_in`] writing into a caller-owned
-    /// [`Detection`] so a warm workspace + output pair decodes without heap
-    /// allocation. Bit-identical results.
-    pub fn detect_prepared_into(
+    /// Level-synchronous K-best sweep into a caller-owned [`Detection`]:
+    /// a warm workspace + output pair decodes without heap allocation.
+    /// The sweep is breadth-limited rather than radius-bounded, so
+    /// `radius_sqr` is ignored.
+    fn detect_prepared_into(
         &self,
         prep: &Prepared<F>,
+        _radius_sqr: f64,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
@@ -123,31 +119,17 @@ impl<F: Float> KBestSd<F> {
     }
 }
 
-impl<F: Float> Detector for KBestSd<F> {
-    fn name(&self) -> &'static str {
-        "SD K-best"
-    }
-
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        self.detect_prepared(&prep)
-    }
-}
-
-impl<F: Float> crate::batch::WorkspaceDetector<F> for KBestSd<F> {
-    fn detect_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        self.detect_prepared_in(&prep, ws)
-    }
-}
+impl_detector_via_prepared!(KBestSd<F>, "SD K-best");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
+    use crate::preprocess::preprocess;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{noise_variance, Modulation};
+    use sd_wireless::{noise_variance, FrameData, Modulation};
 
     fn frames(n: usize, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
         let c = Constellation::new(Modulation::Qam4);
@@ -232,8 +214,8 @@ mod tests {
         let mut ws = SearchWorkspace::new();
         for f in &frames {
             let prep: Prepared<f64> = preprocess(f, &c);
-            let fresh = kb.detect_prepared(&prep);
-            let reused = kb.detect_prepared_in(&prep, &mut ws);
+            let fresh = kb.detect_prepared(&prep, f64::INFINITY);
+            let reused = kb.detect_prepared_in(&prep, f64::INFINITY, &mut ws);
             assert_eq!(fresh.indices, reused.indices);
             assert_eq!(fresh.stats, reused.stats);
         }

@@ -19,6 +19,15 @@
 //! * [`ZfDetector`] / [`MmseDetector`] / [`MrcDetector`] — the linear
 //!   baselines of Fig. 12.
 //!
+//! ## Engine trait
+//!
+//! Every decoder implements [`PreparedDetector`] ([`engine`]): one
+//! scratch-reusing decode entry point (`detect_prepared_into`) plus small
+//! policy hooks, from which the allocating conveniences and the
+//! [`Detector`] / [`WorkspaceDetector`] bridges are derived. Higher
+//! layers (the serve tier registry, batch drivers, benches) treat the
+//! whole zoo interchangeably through it.
+//!
 //! ## Parallel layer
 //!
 //! * [`batch`] — rayon frame-level parallel decoding,
@@ -43,6 +52,7 @@ pub mod best_first;
 pub mod bfs;
 pub mod detector;
 pub mod dfs;
+pub mod engine;
 pub mod fsd;
 pub mod kbest;
 pub mod linear;
@@ -63,6 +73,7 @@ pub use best_first::BestFirstSd;
 pub use bfs::{BfsGemmSd, BfsLevelTrace};
 pub use detector::{Detection, DetectionStats, Detector};
 pub use dfs::SphereDecoder;
+pub use engine::PreparedDetector;
 pub use fsd::FixedComplexitySd;
 pub use kbest::KBestSd;
 pub use linear::{MmseDetector, MrcDetector, ZfDetector};

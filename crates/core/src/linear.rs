@@ -6,7 +6,10 @@
 //! * **MRC** (maximum ratio combining): per-antenna matched filter that
 //!   ignores inter-stream interference entirely — cheapest, worst BER.
 
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::arena::SearchWorkspace;
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::preprocess::{PrepScratch, Prepared};
 use sd_math::{solve_hermitian, Complex, C64};
 use sd_wireless::{Constellation, FrameData};
 
@@ -23,22 +26,40 @@ impl ZfDetector {
     }
 }
 
-impl Detector for ZfDetector {
-    fn name(&self) -> &'static str {
-        "ZF"
+impl PreparedDetector<f64> for ZfDetector {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let x = sd_math::solve::least_squares(&frame.h, &frame.y);
-        let indices = x.iter().map(|&v| self.constellation.slice(v)).collect();
-        let (n, m) = frame.h.shape();
-        let stats = DetectionStats {
-            flops: crate::preprocess::qr_flops(n, m) + 4 * (m * m) as u64,
-            ..Default::default()
-        };
-        Detection { indices, stats }
+    /// Linear detectors skip the QR tree preprocessing: preparation is
+    /// just the raw frame view (`H`, `y`, `σ²`).
+    fn prepare_frame_into(
+        &self,
+        frame: &FrameData,
+        _scratch: &mut PrepScratch<f64>,
+        prep: &mut Prepared<f64>,
+    ) {
+        prep.load_frame(frame);
+    }
+
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<f64>,
+        _radius_sqr: f64,
+        _ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        let x = sd_math::solve::least_squares(&prep.h, &prep.y);
+        let (n, m) = prep.h.shape();
+        out.stats.reset(0);
+        out.stats.flops = crate::preprocess::qr_flops(n, m) + 4 * (m * m) as u64;
+        out.indices.clear();
+        out.indices
+            .extend(x.iter().map(|&v| self.constellation.slice(v)));
     }
 }
+
+impl_detector_via_prepared!(ZfDetector, "ZF");
 
 /// Minimum mean-square-error detector.
 #[derive(Clone, Debug)]
@@ -53,31 +74,48 @@ impl MmseDetector {
     }
 }
 
-impl Detector for MmseDetector {
-    fn name(&self) -> &'static str {
-        "MMSE"
+impl PreparedDetector<f64> for MmseDetector {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let h = &frame.h;
+    /// See [`ZfDetector::prepare_frame_into`]: no QR, just the frame view.
+    fn prepare_frame_into(
+        &self,
+        frame: &FrameData,
+        _scratch: &mut PrepScratch<f64>,
+        prep: &mut Prepared<f64>,
+    ) {
+        prep.load_frame(frame);
+    }
+
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<f64>,
+        _radius_sqr: f64,
+        _ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        let h = &prep.h;
         let (n, m) = h.shape();
         let hh = h.hermitian();
         // Gram matrix + regularization: A = H^H H + σ² I.
         let mut a = sd_math::gemm(&hh, h, sd_math::GemmAlgo::Blocked);
         for i in 0..m {
-            a[(i, i)] += Complex::new(frame.noise_variance, 0.0);
+            a[(i, i)] += Complex::new(prep.noise_variance, 0.0);
         }
-        let rhs = hh.mul_vec(&frame.y);
+        let rhs = hh.mul_vec(&prep.y);
         let x = solve_hermitian(&a, &rhs)
             .expect("H^H H + σ² I is positive definite for σ² > 0 or full-rank H");
-        let indices = x.iter().map(|&v| self.constellation.slice(v)).collect();
-        let stats = DetectionStats {
-            flops: sd_math::gemm::gemm_flops(m, n, m) + (m * m * m) as u64 * 8 / 3,
-            ..Default::default()
-        };
-        Detection { indices, stats }
+        out.stats.reset(0);
+        out.stats.flops = sd_math::gemm::gemm_flops(m, n, m) + (m * m * m) as u64 * 8 / 3;
+        out.indices.clear();
+        out.indices
+            .extend(x.iter().map(|&v| self.constellation.slice(v)));
     }
 }
+
+impl_detector_via_prepared!(MmseDetector, "MMSE");
 
 /// Maximum-ratio-combining detector.
 #[derive(Clone, Debug)]
@@ -92,38 +130,54 @@ impl MrcDetector {
     }
 }
 
-impl Detector for MrcDetector {
-    fn name(&self) -> &'static str {
-        "MRC"
+impl PreparedDetector<f64> for MrcDetector {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let h = &frame.h;
+    /// See [`ZfDetector::prepare_frame_into`]: no QR, just the frame view.
+    fn prepare_frame_into(
+        &self,
+        frame: &FrameData,
+        _scratch: &mut PrepScratch<f64>,
+        prep: &mut Prepared<f64>,
+    ) {
+        prep.load_frame(frame);
+    }
+
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<f64>,
+        _radius_sqr: f64,
+        _ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        let h = &prep.h;
         let (n, m) = h.shape();
-        let mut indices = Vec::with_capacity(m);
+        out.stats.reset(0);
+        out.stats.flops = 12 * (n * m) as u64;
+        out.indices.clear();
         for j in 0..m {
             // x̂_j = h_j^H y / ‖h_j‖².
             let mut num = C64::zero();
             let mut den = 0.0f64;
             for i in 0..n {
                 let hij = h[(i, j)];
-                Complex::mul_acc(&mut num, hij.conj(), frame.y[i]);
+                Complex::mul_acc(&mut num, hij.conj(), prep.y[i]);
                 den += hij.norm_sqr();
             }
             let est = num.scale(1.0 / den);
-            indices.push(self.constellation.slice(est));
+            out.indices.push(self.constellation.slice(est));
         }
-        let stats = DetectionStats {
-            flops: 12 * (n * m) as u64,
-            ..Default::default()
-        };
-        Detection { indices, stats }
     }
 }
+
+impl_detector_via_prepared!(MrcDetector, "MRC");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

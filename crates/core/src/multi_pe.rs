@@ -12,12 +12,13 @@
 //! the synchronization step \[4\] identifies as essential.
 
 use crate::arena::SearchWorkspace;
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::detector::{Detection, DetectionStats};
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{eval_children, sorted_children, sorted_children_into, EvalStrategy, PdScratch};
-use crate::preprocess::{preprocess, Prepared};
+use crate::preprocess::Prepared;
 use rayon::prelude::*;
 use sd_math::Float;
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-tree parallel sphere decoder.
@@ -72,16 +73,31 @@ impl<F: Float> SubtreeParallelSd<F> {
         self.eval = eval;
         self
     }
+}
 
-    /// Decode a prepared problem with one PE per level-1 sub-tree.
-    pub fn detect_prepared(&self, prep: &Prepared<F>) -> Detection {
+impl<F: Float> PreparedDetector<F> for SubtreeParallelSd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Decode a prepared problem with one PE per level-1 sub-tree. The
+    /// shared radius always starts infinite (each PE tightens it through
+    /// the atomic), so `radius_sqr` is ignored; `ws` supplies the root
+    /// expansion scratch while each PE owns a private workspace.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        _radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
 
         // Root expansion (common to all PEs).
-        let mut scratch = PdScratch::new(p, m);
-        let root_flops = eval_children(prep, &[], self.eval, &mut scratch);
-        let root_children = sorted_children(&scratch.increments);
+        ws.prepare(p, m);
+        let root_flops = eval_children(prep, &[], self.eval, &mut ws.scratch);
+        let root_children = sorted_children(&ws.scratch.increments);
 
         let shared = SharedRadius::new();
 
@@ -128,13 +144,11 @@ impl<F: Float> SubtreeParallelSd<F> {
             })
             .collect();
 
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            nodes_expanded: 1,
-            nodes_generated: p as u64,
-            flops: root_flops,
-            ..Default::default()
-        };
+        out.stats.reset(m);
+        let stats = &mut out.stats;
+        stats.nodes_expanded = 1;
+        stats.nodes_generated = p as u64;
+        stats.flops = root_flops;
         stats.per_level_generated[0] = p as u64;
         let mut best: Option<(f64, Vec<usize>)> = None;
         for (pe_best, pe_stats) in results {
@@ -148,21 +162,11 @@ impl<F: Float> SubtreeParallelSd<F> {
         let (best_pd, best_path) = best.expect("infinite initial radius always finds a leaf");
         stats.final_radius_sqr = best_pd;
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&best_path);
-        Detection { indices, stats }
+        prep.indices_from_path_into(&best_path, &mut out.indices);
     }
 }
 
-impl<F: Float> Detector for SubtreeParallelSd<F> {
-    fn name(&self) -> &'static str {
-        "SD multi-PE"
-    }
-
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
-        self.detect_prepared(&prep)
-    }
-}
+impl_detector_via_prepared!(SubtreeParallelSd<F>, "SD multi-PE");
 
 /// One PE's depth-first search over its sub-tree, borrowing its buffers
 /// from a per-PE [`SearchWorkspace`].
@@ -220,11 +224,12 @@ impl<F: Float> PeSearch<'_, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::dfs::SphereDecoder;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{noise_variance, Modulation};
+    use sd_wireless::{noise_variance, FrameData, Modulation};
 
     fn frames(
         n: usize,

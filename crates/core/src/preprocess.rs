@@ -97,6 +97,16 @@ pub struct Prepared<F: Float> {
     /// (deepest-first). Built once here so the batched expansion of
     /// [`crate::pd::eval_children_batch`] never re-gathers `R` rows.
     pub row_blocks: Vec<Matrix<F>>,
+    /// Native-precision copy of the channel matrix `H` (unpermuted, as
+    /// received). Carried so detectors that work on the raw system —
+    /// the linear ZF/MMSE/MRC family — can decode from a [`Prepared`]
+    /// without a round trip back to the frame.
+    pub h: Matrix<f64>,
+    /// Native-precision copy of the receive vector `y` (see [`Prepared::h`]).
+    pub y: Vec<Complex<f64>>,
+    /// Noise variance `σ²` of the frame; used by MMSE regularization and
+    /// the soft/statistical decoders' noise-scaled thresholds.
+    pub noise_variance: f64,
 }
 
 /// Build the per-depth `1 × (d+1)` GEMM row operands from `R`.
@@ -160,6 +170,9 @@ pub fn preprocess_ordered<F: Float>(
         prep_flops: qr_flops(frame.h.rows(), frame.h.cols()),
         perm,
         row_blocks,
+        h: frame.h.clone(),
+        y: frame.y.clone(),
+        noise_variance: frame.noise_variance,
     }
 }
 
@@ -231,6 +244,7 @@ pub fn preprocess_ordered_into<F: Float>(
     prep.order = constellation.order();
     prep.prep_flops = qr_flops(n, m);
     row_blocks_into(&prep.r, &mut prep.row_blocks);
+    prep.load_frame(frame);
 }
 
 impl<F: Float> Prepared<F> {
@@ -248,7 +262,28 @@ impl<F: Float> Prepared<F> {
             prep_flops: 0,
             perm: Vec::new(),
             row_blocks: Vec::new(),
+            h: Matrix::zeros(0, 0),
+            y: Vec::new(),
+            noise_variance: 0.0,
         }
+    }
+
+    /// Copy the frame view (`H`, `y`, `σ²`) into this problem without
+    /// touching the QR factors — allocation-free once the shape has been
+    /// seen. Detectors that skip tree preprocessing entirely (the linear
+    /// family) use this as their whole preparation step.
+    pub fn load_frame(&mut self, frame: &FrameData) {
+        let (n, m) = frame.h.shape();
+        self.h.resize_for_overwrite(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                self.h[(i, j)] = frame.h[(i, j)];
+            }
+        }
+        self.y.clear();
+        self.y.extend_from_slice(&frame.y);
+        self.noise_variance = frame.noise_variance;
+        self.n_tx = m;
     }
 
     /// Map a depth-order tree path (`path[d]` = tree level `d`'s symbol)
@@ -424,6 +459,12 @@ mod tests {
             for (a, b) in fresh.row_blocks.iter().zip(prep.row_blocks.iter()) {
                 assert_eq!(a, b);
             }
+            assert_eq!(fresh.h, prep.h, "{ordering:?}: frame view H differs");
+            assert_eq!(fresh.y, prep.y);
+            assert_eq!(
+                fresh.noise_variance.to_bits(),
+                prep.noise_variance.to_bits()
+            );
         }
     }
 

@@ -19,9 +19,11 @@
 //! Only square QAM constellations decompose (their real/imaginary parts
 //! are independent PAM alphabets); BPSK is rejected.
 
-use crate::detector::{Detection, Detector};
+use crate::arena::SearchWorkspace;
+use crate::detector::Detection;
 use crate::dfs::SphereDecoder;
-use crate::preprocess::{qr_flops, Prepared};
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::preprocess::{qr_flops, PrepScratch, Prepared};
 use sd_math::{qr_with_qty, Complex, Float, Matrix};
 use sd_wireless::{Constellation, FrameData, Modulation};
 
@@ -114,40 +116,66 @@ impl<F: Float> RvdSphereDecoder<F> {
             prep_flops: qr_flops(2 * n, 2 * m),
             perm: (0..2 * m).collect(),
             row_blocks,
+            h: frame.h.clone(),
+            y: frame.y.clone(),
+            noise_variance: frame.noise_variance,
         }
     }
 }
 
-impl<F: Float> Detector for RvdSphereDecoder<F> {
-    fn name(&self) -> &'static str {
-        "SD real-valued decomposition"
+impl<F: Float> PreparedDetector<F> for RvdSphereDecoder<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let m = frame.h.cols();
-        let prep = self.prepare(frame);
-        let r2 = self
-            .inner
-            .initial_radius
-            .resolve(2 * frame.h.rows(), frame.noise_variance);
-        let mut real_detection = self.inner.detect_prepared(&prep, r2);
+    fn initial_radius_sqr(&self, n_rx: usize, noise_variance: f64) -> f64 {
+        // The real system doubles the row count, so the noise-scaled
+        // radius policies see `2N` receive dimensions.
+        self.inner.initial_radius.resolve(2 * n_rx, noise_variance)
+    }
 
+    /// RVD replaces the shared complex-domain QR with its doubled real
+    /// system; `scratch` is unused because the decomposition rebuilds the
+    /// problem from the raw frame.
+    fn prepare_frame_into(
+        &self,
+        frame: &FrameData,
+        _scratch: &mut PrepScratch<F>,
+        prep: &mut Prepared<F>,
+    ) {
+        *prep = self.prepare(frame);
+    }
+
+    /// Run the inner sorted-DFS over the `2M`-level real tree, then fold
+    /// the interleaved PAM decisions back to `M` complex symbols in
+    /// place.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        PreparedDetector::detect_prepared_into(&self.inner, prep, radius_sqr, ws, out);
         // Map the interleaved 2M PAM decisions back to M complex symbols.
-        let indices: Vec<usize> = (0..m)
-            .map(|k| {
-                let re = self.pam_levels[real_detection.indices[2 * k]];
-                let im = self.pam_levels[real_detection.indices[2 * k + 1]];
-                self.constellation.slice(Complex::new(re, im))
-            })
-            .collect();
-        real_detection.indices = indices;
-        real_detection
+        // In-place is safe: iteration `k` writes slot `k` and only reads
+        // slots `2k`/`2k+1`, which no later iteration has overwritten.
+        let m = prep.n_tx / 2;
+        for k in 0..m {
+            let re = self.pam_levels[out.indices[2 * k]];
+            let im = self.pam_levels[out.indices[2 * k + 1]];
+            out.indices[k] = self.constellation.slice(Complex::new(re, im));
+        }
+        out.indices.truncate(m);
     }
 }
+
+impl_detector_via_prepared!(RvdSphereDecoder<F>, "SD real-valued decomposition");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -16,7 +16,9 @@
 //! decision (sign of the LLRs) is exactly the ML decision because the
 //! ML leaf is always in the list.
 
-use crate::detector::{Detection, DetectionStats, Detector};
+use crate::arena::SearchWorkspace;
+use crate::detector::{Detection, DetectionStats};
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
 use crate::preprocess::{preprocess, Prepared};
 use sd_math::Float;
@@ -91,6 +93,12 @@ impl<F: Float> SoftSphereDecoder<F> {
     /// Soft decode one frame.
     pub fn detect_soft(&self, frame: &FrameData) -> SoftDetection {
         let prep: Prepared<F> = preprocess(frame, &self.constellation);
+        self.detect_soft_prepared(&prep)
+    }
+
+    /// Soft decode a prepared problem; the LLR noise variance is read
+    /// from the prepared frame view.
+    pub fn detect_soft_prepared(&self, prep: &Prepared<F>) -> SoftDetection {
         let m = prep.n_tx;
         let p = prep.order;
         let mut scratch = PdScratch::new(p, m);
@@ -115,7 +123,7 @@ impl<F: Float> SoftSphereDecoder<F> {
             }
             let depth = path.len();
             stats.nodes_expanded += 1;
-            stats.flops += eval_children(&prep, &path, EvalStrategy::Gemm, &mut scratch);
+            stats.flops += eval_children(prep, &path, EvalStrategy::Gemm, &mut scratch);
             stats.nodes_generated += p as u64;
             stats.per_level_generated[depth] += p as u64;
             let children = sorted_children(&scratch.increments);
@@ -178,7 +186,7 @@ impl<F: Float> SoftSphereDecoder<F> {
 
         // Max-log LLRs.
         let bps = self.constellation.bits_per_symbol();
-        let sigma2 = frame.noise_variance.max(1e-30);
+        let sigma2 = prep.noise_variance.max(1e-30);
         let mut llrs = vec![0.0f64; m * bps];
         for (ant, llr_chunk) in llrs.chunks_mut(bps).enumerate() {
             for (bit, llr) in llr_chunk.iter_mut().enumerate() {
@@ -212,19 +220,33 @@ impl<F: Float> SoftSphereDecoder<F> {
     }
 }
 
-impl<F: Float> Detector for SoftSphereDecoder<F> {
-    fn name(&self) -> &'static str {
-        "SD soft-output (list)"
+impl<F: Float> PreparedDetector<F> for SoftSphereDecoder<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        self.detect_soft(frame).detection
+    /// Hard-decision entry point: runs the list search (the inflated
+    /// bound replaces the sphere radius, so `radius_sqr` is ignored) and
+    /// keeps only the best candidate. Use
+    /// [`SoftSphereDecoder::detect_soft_prepared`] when the LLRs are
+    /// wanted.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        _radius_sqr: f64,
+        _ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        *out = self.detect_soft_prepared(prep).detection;
     }
 }
+
+impl_detector_via_prepared!(SoftSphereDecoder<F>, "SD soft-output (list)");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -10,11 +10,13 @@
 //! recovers the exact decoder; the fallback doubles `α` when everything
 //! was pruned, so a decision is always produced.
 
-use crate::detector::{Detection, DetectionStats, Detector};
-use crate::pd::{eval_children, sorted_children, EvalStrategy, PdScratch};
-use crate::preprocess::{preprocess, Prepared};
+use crate::arena::SearchWorkspace;
+use crate::detector::Detection;
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::pd::{eval_children, sorted_children, EvalStrategy};
+use crate::preprocess::Prepared;
 use sd_math::Float;
-use sd_wireless::{Constellation, FrameData};
+use sd_wireless::Constellation;
 
 /// Sphere decoder with per-level statistical pruning thresholds.
 #[derive(Clone, Debug)]
@@ -37,21 +39,27 @@ impl<F: Float> StatPruningSd<F> {
     }
 }
 
-impl<F: Float> Detector for StatPruningSd<F> {
-    fn name(&self) -> &'static str {
-        "SD statistical pruning [16]"
+impl<F: Float> PreparedDetector<F> for StatPruningSd<F> {
+    fn constellation(&self) -> &Constellation {
+        &self.constellation
     }
 
-    fn detect(&self, frame: &FrameData) -> Detection {
-        let prep: Prepared<F> = preprocess(frame, &self.constellation);
+    /// Dual-prune sorted DFS into a caller-owned [`Detection`]. The
+    /// statistical threshold replaces the sphere radius, so `radius_sqr`
+    /// is ignored; the noise variance is read from the prepared problem.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        _radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
-        let sigma2 = frame.noise_variance.max(1e-30);
-        let mut scratch = PdScratch::new(p, m);
-        let mut stats = DetectionStats {
-            per_level_generated: vec![0; m],
-            ..Default::default()
-        };
+        let sigma2 = prep.noise_variance.max(1e-30);
+        ws.prepare(p, m);
+        out.stats.reset(m);
+        let stats = &mut out.stats;
 
         let mut alpha = self.alpha;
         let (best_metric, best_path) = loop {
@@ -67,11 +75,11 @@ impl<F: Float> Detector for StatPruningSd<F> {
                 }
                 let depth = path.len();
                 stats.nodes_expanded += 1;
-                stats.flops += eval_children(&prep, &path, EvalStrategy::Gemm, &mut scratch);
+                stats.flops += eval_children(prep, &path, EvalStrategy::Gemm, &mut ws.scratch);
                 stats.nodes_generated += p as u64;
                 stats.per_level_generated[depth] += p as u64;
                 let threshold = alpha * (depth as f64 + 1.0) * sigma2;
-                let children = sorted_children(&scratch.increments);
+                let children = sorted_children(&ws.scratch.increments);
                 if depth + 1 == m {
                     for (inc, c) in children {
                         let metric = pd.to_f64() + inc.to_f64();
@@ -110,19 +118,21 @@ impl<F: Float> Detector for StatPruningSd<F> {
 
         stats.final_radius_sqr = best_metric;
         stats.flops += prep.prep_flops;
-        let indices = prep.indices_from_path(&best_path);
-        Detection { indices, stats }
+        prep.indices_from_path_into(&best_path, &mut out.indices);
     }
 }
+
+impl_detector_via_prepared!(StatPruningSd<F>, "SD statistical pruning [16]");
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use crate::dfs::SphereDecoder;
     use crate::ml::MlDetector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sd_wireless::{noise_variance, Modulation};
+    use sd_wireless::{noise_variance, FrameData, Modulation};
 
     fn frames(n: usize, snr_db: f64, count: usize, seed: u64) -> (Constellation, Vec<FrameData>) {
         let c = Constellation::new(Modulation::Qam4);

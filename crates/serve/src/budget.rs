@@ -2,18 +2,23 @@
 //!
 //! Exact sphere decoding has SNR-dependent cost (the paper's Fig. 6–10:
 //! low SNR explores orders of magnitude more nodes), so a deadline
-//! decision needs a *per-SNR* estimate. The model keeps an EWMA of
-//! nodes-generated per SNR bucket (4 dB wide) plus a global EWMA of
-//! nanoseconds-per-node, both fed by every served request's
-//! [`sd_core::DetectionStats`]. Predicted exact cost is
-//! `nodes[bucket] × ns_per_node`; K-best cost uses the *analytic* node
-//! count of a width-`K` sweep (its workload is SNR-independent by
-//! construction) times the same ns-per-node.
+//! decision needs a *per-SNR* estimate. The model keeps, per registered
+//! tier, an EWMA of nodes-generated per SNR bucket (4 dB wide) plus a
+//! tier-level EWMA of service nanoseconds, and a single shared EWMA of
+//! nanoseconds-per-node fed by every tree-search decode. How a tier's
+//! cost is predicted is declared by its [`TierCostClass`]:
 //!
-//! Unsampled buckets predict zero — the model is optimistic until it has
-//! evidence, so a cold runtime starts at the exact tier and only degrades
-//! once observations justify it. All cells are `f64` bit-patterns in
-//! atomics: readers never lock, writers CAS.
+//! * [`TierCostClass::Adaptive`] — `nodes[bucket] × ns_per_node`
+//!   (SNR-dependent tree searches, e.g. the exact decoder);
+//! * [`TierCostClass::Fixed`] — `analytic_nodes(m, p) × ns_per_node`
+//!   (workloads fixed by construction, e.g. a K-best sweep);
+//! * [`TierCostClass::Linear`] — the tier's flat service-time EWMA
+//!   (the linear detectors, whose cost has no tree at all).
+//!
+//! Unsampled cells predict zero — the model is optimistic until it has
+//! evidence, so a cold runtime starts at the most accurate tier and only
+//! degrades once observations justify it. All cells are `f64`
+//! bit-patterns in atomics: readers never lock, writers CAS.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -50,79 +55,136 @@ fn ewma_update(cell: &AtomicU64, x: f64) {
     }
 }
 
-/// Shared, lock-free cost model.
-pub struct CostModel {
-    /// EWMA of exact-SD nodes generated, per SNR bucket (f64 bits).
+/// How a registered tier's decode cost is modeled and predicted.
+pub enum TierCostClass {
+    /// SNR-dependent tree search: a per-SNR-bucket EWMA node curve times
+    /// the shared ns-per-node rate. Observations feed both.
+    Adaptive,
+    /// Workload fixed by construction: an analytic node count (a function
+    /// of antennas `m` and constellation order `p`) times the shared
+    /// ns-per-node rate. Observations feed only the node rate — a fixed
+    /// workload would bias the adaptive curves.
+    Fixed(Box<dyn Fn(usize, usize) -> u64 + Send + Sync>),
+    /// No tree: predicted cost is the tier's own flat service-time EWMA.
+    Linear,
+}
+
+impl TierCostClass {
+    /// The [`TierCostClass::Fixed`] class of a width-`k` K-best sweep.
+    pub fn fixed_kbest(k: usize) -> Self {
+        TierCostClass::Fixed(Box::new(move |m, p| kbest_nodes(m, p, k)))
+    }
+}
+
+impl std::fmt::Debug for TierCostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TierCostClass::Adaptive => "Adaptive",
+            TierCostClass::Fixed(_) => "Fixed(..)",
+            TierCostClass::Linear => "Linear",
+        })
+    }
+}
+
+/// Per-tier model cells.
+struct TierCost {
+    /// EWMA of nodes generated, per SNR bucket (f64 bits); only fed by
+    /// [`TierCostClass::Adaptive`] tiers.
     nodes: [AtomicU64; N_SNR_BUCKETS],
+    /// EWMA of this tier's service nanoseconds (f64 bits); prediction
+    /// input for [`TierCostClass::Linear`], informational otherwise.
+    service_ns: AtomicU64,
+}
+
+/// Shared, lock-free cost model over the registered tiers.
+pub struct CostModel {
+    tiers: Vec<TierCost>,
     /// EWMA of decode nanoseconds per generated node (f64 bits), fed by
     /// every tree-search decode regardless of tier.
     ns_per_node: AtomicU64,
-    /// EWMA of MMSE service nanoseconds (f64 bits, informational).
-    mmse_ns: AtomicU64,
 }
 
 impl CostModel {
-    /// Fresh (fully optimistic) model.
-    pub fn new() -> Self {
+    /// Fresh (fully optimistic) model for `n_tiers` registered tiers.
+    pub fn new(n_tiers: usize) -> Self {
         CostModel {
-            nodes: std::array::from_fn(|_| AtomicU64::new(0)),
+            tiers: (0..n_tiers)
+                .map(|_| TierCost {
+                    nodes: std::array::from_fn(|_| AtomicU64::new(0)),
+                    service_ns: AtomicU64::new(0),
+                })
+                .collect(),
             ns_per_node: AtomicU64::new(0),
-            mmse_ns: AtomicU64::new(0),
         }
     }
 
-    /// Record one tree-search decode. `exact` selects whether the node
-    /// count also updates the per-SNR exact-cost curve (K-best workloads
-    /// are fixed by construction and would bias it).
-    pub fn observe_tree(&self, snr_db: f64, nodes_generated: u64, elapsed_ns: u64, exact: bool) {
-        if nodes_generated == 0 {
-            return;
+    /// Record one served decode at tier `tier` with cost class `class`.
+    /// Tree tiers (`nodes_generated > 0` required) feed the shared node
+    /// rate, adaptive tiers additionally feed their per-SNR node curve,
+    /// and every tier feeds its own service-time EWMA.
+    pub fn observe(
+        &self,
+        tier: usize,
+        class: &TierCostClass,
+        snr_db: f64,
+        nodes_generated: u64,
+        elapsed_ns: u64,
+    ) {
+        let cells = &self.tiers[tier];
+        ewma_update(&cells.service_ns, elapsed_ns as f64);
+        match class {
+            TierCostClass::Adaptive | TierCostClass::Fixed(_) => {
+                if nodes_generated == 0 {
+                    return;
+                }
+                if matches!(class, TierCostClass::Adaptive) {
+                    ewma_update(&cells.nodes[bucket(snr_db)], nodes_generated as f64);
+                }
+                ewma_update(
+                    &self.ns_per_node,
+                    elapsed_ns as f64 / nodes_generated as f64,
+                );
+            }
+            TierCostClass::Linear => {}
         }
-        if exact {
-            ewma_update(&self.nodes[bucket(snr_db)], nodes_generated as f64);
+    }
+
+    /// Predicted decode nanoseconds for tier `tier` under `class` at this
+    /// operating point; 0 (optimistic) until the relevant cells have
+    /// samples.
+    pub fn predict_ns(
+        &self,
+        tier: usize,
+        class: &TierCostClass,
+        snr_db: f64,
+        m: usize,
+        p: usize,
+    ) -> f64 {
+        match class {
+            TierCostClass::Adaptive => self.predicted_nodes(tier, snr_db) * self.ns_per_node(),
+            TierCostClass::Fixed(nodes) => nodes(m, p) as f64 * self.ns_per_node(),
+            TierCostClass::Linear => self.tier_service_ns(tier),
         }
-        ewma_update(
-            &self.ns_per_node,
-            elapsed_ns as f64 / nodes_generated as f64,
-        );
     }
 
-    /// Record one MMSE decode.
-    pub fn observe_mmse(&self, elapsed_ns: u64) {
-        ewma_update(&self.mmse_ns, elapsed_ns as f64);
+    /// Expected nodes for an adaptive tier at this SNR (0 when unsampled).
+    pub fn predicted_nodes(&self, tier: usize, snr_db: f64) -> f64 {
+        load_f64(&self.tiers[tier].nodes[bucket(snr_db)])
     }
 
-    /// Expected exact-SD nodes at this SNR (0 when unsampled).
-    pub fn predicted_nodes(&self, snr_db: f64) -> f64 {
-        load_f64(&self.nodes[bucket(snr_db)])
-    }
-
-    /// Current ns-per-node estimate (0 when unsampled).
+    /// Current shared ns-per-node estimate (0 when unsampled).
     pub fn ns_per_node(&self) -> f64 {
         load_f64(&self.ns_per_node)
     }
 
-    /// Observed mean MMSE service time in ns (0 when unsampled).
-    pub fn mmse_ns(&self) -> f64 {
-        load_f64(&self.mmse_ns)
+    /// Observed mean service time of tier `tier` in ns (0 when unsampled).
+    pub fn tier_service_ns(&self, tier: usize) -> f64 {
+        load_f64(&self.tiers[tier].service_ns)
     }
 
-    /// Predicted exact-SD decode nanoseconds at this SNR; 0 (optimistic)
-    /// until both the node curve and the node rate have samples.
-    pub fn predict_exact_ns(&self, snr_db: f64) -> f64 {
-        self.predicted_nodes(snr_db) * self.ns_per_node()
-    }
-
-    /// Predicted K-best decode nanoseconds for an `m`-antenna, order-`p`,
-    /// width-`k` sweep (analytic node count, observed node rate).
-    pub fn predict_kbest_ns(&self, m: usize, p: usize, k: usize) -> f64 {
-        kbest_nodes(m, p, k) as f64 * self.ns_per_node()
-    }
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        Self::new()
+    /// Number of registered tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
     }
 }
 
@@ -161,37 +223,52 @@ mod tests {
 
     #[test]
     fn cold_model_is_optimistic() {
-        let m = CostModel::new();
-        assert_eq!(m.predict_exact_ns(8.0), 0.0);
-        assert_eq!(m.predict_kbest_ns(8, 4, 16), 0.0);
+        let m = CostModel::new(3);
+        let kb = TierCostClass::fixed_kbest(16);
+        assert_eq!(m.predict_ns(0, &TierCostClass::Adaptive, 8.0, 8, 4), 0.0);
+        assert_eq!(m.predict_ns(1, &kb, 8.0, 8, 4), 0.0);
+        assert_eq!(m.predict_ns(2, &TierCostClass::Linear, 8.0, 8, 4), 0.0);
     }
 
     #[test]
     fn observations_separate_snr_buckets() {
-        let m = CostModel::new();
+        let m = CostModel::new(1);
+        let exact = TierCostClass::Adaptive;
         // Low SNR: big trees. High SNR: small trees. Same node rate.
-        m.observe_tree(4.0, 10_000, 1_000_000, true);
-        m.observe_tree(20.0, 100, 10_000, true);
-        assert!(m.predict_exact_ns(4.0) > 50.0 * m.predict_exact_ns(20.0));
+        m.observe(0, &exact, 4.0, 10_000, 1_000_000);
+        m.observe(0, &exact, 20.0, 100, 10_000);
+        assert!(m.predict_ns(0, &exact, 4.0, 8, 4) > 50.0 * m.predict_ns(0, &exact, 20.0, 8, 4));
         assert!((m.ns_per_node() - 100.0).abs() < 1e-9);
     }
 
     #[test]
     fn ewma_converges_toward_new_regime() {
-        let m = CostModel::new();
-        m.observe_tree(8.0, 1_000, 100_000, true);
+        let m = CostModel::new(1);
+        m.observe(0, &TierCostClass::Adaptive, 8.0, 1_000, 100_000);
         for _ in 0..50 {
-            m.observe_tree(8.0, 3_000, 300_000, true);
+            m.observe(0, &TierCostClass::Adaptive, 8.0, 3_000, 300_000);
         }
-        let nodes = m.predicted_nodes(8.0);
+        let nodes = m.predicted_nodes(0, 8.0);
         assert!(nodes > 2_900.0 && nodes <= 3_000.0, "nodes = {nodes}");
     }
 
     #[test]
-    fn kbest_observation_does_not_bias_exact_curve() {
-        let m = CostModel::new();
-        m.observe_tree(8.0, 500, 50_000, false);
-        assert_eq!(m.predicted_nodes(8.0), 0.0, "only node rate learned");
+    fn fixed_observation_does_not_bias_adaptive_curve() {
+        let m = CostModel::new(2);
+        let kb = TierCostClass::fixed_kbest(8);
+        m.observe(1, &kb, 8.0, 500, 50_000);
+        assert_eq!(m.predicted_nodes(0, 8.0), 0.0, "exact curve untouched");
+        assert_eq!(m.predicted_nodes(1, 8.0), 0.0, "only node rate learned");
         assert!(m.ns_per_node() > 0.0);
+    }
+
+    #[test]
+    fn linear_tier_predicts_its_own_service_time() {
+        let m = CostModel::new(1);
+        let lin = TierCostClass::Linear;
+        m.observe(0, &lin, 8.0, 0, 40_000);
+        assert_eq!(m.tier_service_ns(0), 40_000.0);
+        assert_eq!(m.predict_ns(0, &lin, 8.0, 8, 4), 40_000.0);
+        assert_eq!(m.ns_per_node(), 0.0, "no tree, no node rate");
     }
 }

@@ -1,24 +1,25 @@
-//! The degradation ladder: exact SD → K-best → MMSE.
+//! The degradation ladder over the tier registry.
 //!
 //! Sphere decoding is exact but has heavy-tailed, SNR-dependent latency;
 //! a deadline-bound service cannot always afford it. Instead of missing
 //! deadlines or shedding admitted work, the runtime *degrades*: each
-//! request is decoded at the best rung whose predicted cost (from the
-//! [`crate::budget::CostModel`]) fits the time remaining until its
-//! deadline. Accuracy falls gracefully (exact → near-ML → linear) while
-//! latency stays bounded — admitted work is always answered.
+//! request is decoded at the first registry tier (ordered most → least
+//! accurate) whose predicted cost (from the [`crate::budget::CostModel`])
+//! fits the time remaining until its deadline. Accuracy falls gracefully
+//! down the registry while latency stays bounded — admitted work is
+//! always answered, in the worst case by the registry's floor tier.
 
 use crate::budget::CostModel;
-use crate::request::DecodeTier;
+use crate::registry::Tier;
 use std::time::Duration;
 
 /// Ladder configuration.
 #[derive(Copy, Clone, Debug)]
 pub struct LadderConfig {
-    /// Master switch; disabled means every request decodes exactly
+    /// Master switch; disabled means every request decodes at tier 0
     /// (deadlines can then be missed — the benchmark's control arm).
     pub enabled: bool,
-    /// Survivors per level at the K-best rung.
+    /// Survivors per level at the default registry's K-best rung.
     pub kbest_k: usize,
 }
 
@@ -31,93 +32,132 @@ impl Default for LadderConfig {
     }
 }
 
-/// Pick the best rung whose predicted cost fits the remaining budget.
+/// Pick the first tier (index into `tiers`) whose predicted cost fits the
+/// remaining budget; the last tier is the unconditional floor and its
+/// prediction is never consulted.
 ///
-/// An exhausted budget (`remaining == 0`) goes straight to MMSE: the
+/// An exhausted budget (`remaining == 0`) goes straight to the floor: the
 /// deadline is already lost, so the cheapest answer minimizes the damage
 /// to everything still queued behind. A cold model predicts zero cost and
-/// therefore chooses `Exact` — optimistic until evidence accumulates.
+/// therefore chooses tier 0 — optimistic until evidence accumulates.
 pub fn choose_tier(
     cfg: &LadderConfig,
     model: &CostModel,
+    tiers: &[Tier],
     snr_db: f64,
     m: usize,
     p: usize,
     remaining: Duration,
-) -> DecodeTier {
+) -> usize {
+    let last = tiers.len() - 1;
     if !cfg.enabled {
-        return DecodeTier::Exact;
+        return 0;
     }
     if remaining.is_zero() {
-        return DecodeTier::Mmse;
+        return last;
     }
     let budget_ns = remaining.as_nanos() as f64;
-    if model.predict_exact_ns(snr_db) <= budget_ns {
-        DecodeTier::Exact
-    } else if model.predict_kbest_ns(m, p, cfg.kbest_k) <= budget_ns {
-        DecodeTier::KBest
-    } else {
-        DecodeTier::Mmse
+    for (i, tier) in tiers[..last].iter().enumerate() {
+        if model.predict_ns(i, &tier.cost, snr_db, m, p) <= budget_ns {
+            return i;
+        }
     }
+    last
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::default_registry;
+    use sd_wireless::{Constellation, Modulation};
+
+    fn registry() -> Vec<Tier> {
+        default_registry(
+            &Constellation::new(Modulation::Qam4),
+            &LadderConfig::default(),
+        )
+    }
 
     fn trained_model() -> CostModel {
-        let m = CostModel::new();
+        let m = CostModel::new(3);
         // 100 ns/node; exact cost at 8 dB ≈ 10_000 nodes = 1 ms.
-        m.observe_tree(8.0, 10_000, 1_000_000, true);
+        m.observe(
+            0,
+            &crate::budget::TierCostClass::Adaptive,
+            8.0,
+            10_000,
+            1_000_000,
+        );
         m
     }
 
     #[test]
-    fn disabled_ladder_always_exact() {
+    fn disabled_ladder_always_tier_zero() {
         let cfg = LadderConfig {
             enabled: false,
             kbest_k: 16,
         };
         let model = trained_model();
-        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::ZERO);
-        assert_eq!(t, DecodeTier::Exact);
+        let t = choose_tier(&cfg, &model, &registry(), 8.0, 8, 4, Duration::ZERO);
+        assert_eq!(t, 0);
     }
 
     #[test]
-    fn zero_budget_goes_to_mmse() {
+    fn zero_budget_goes_to_floor() {
         let cfg = LadderConfig::default();
-        let model = CostModel::new(); // even a cold model
-        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::ZERO);
-        assert_eq!(t, DecodeTier::Mmse);
+        let model = CostModel::new(3); // even a cold model
+        let t = choose_tier(&cfg, &model, &registry(), 8.0, 8, 4, Duration::ZERO);
+        assert_eq!(t, 2);
     }
 
     #[test]
     fn cold_model_is_optimistic() {
         let cfg = LadderConfig::default();
-        let model = CostModel::new();
-        let t = choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_nanos(1));
-        assert_eq!(t, DecodeTier::Exact);
+        let model = CostModel::new(3);
+        let t = choose_tier(
+            &cfg,
+            &model,
+            &registry(),
+            8.0,
+            8,
+            4,
+            Duration::from_nanos(1),
+        );
+        assert_eq!(t, 0);
     }
 
     #[test]
     fn ladder_descends_with_budget() {
         let cfg = LadderConfig::default();
         let model = trained_model();
+        let tiers = registry();
         // Plenty of budget: exact (predicted 1 ms).
         assert_eq!(
-            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_millis(10)),
-            DecodeTier::Exact
+            choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::from_millis(10)),
+            0
         );
         // K-best at 8 antennas, order 4, K=16: analytic nodes × 100 ns
         // ≈ 44 µs ≪ 500 µs < 1 ms → middle rung.
         assert_eq!(
-            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_micros(500)),
-            DecodeTier::KBest
+            choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::from_micros(500)),
+            1
         );
-        // Too tight even for K-best → MMSE.
+        // Too tight even for K-best → the MMSE floor.
         assert_eq!(
-            choose_tier(&cfg, &model, 8.0, 8, 4, Duration::from_micros(10)),
-            DecodeTier::Mmse
+            choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::from_micros(10)),
+            2
+        );
+    }
+
+    #[test]
+    fn single_tier_registry_never_degrades() {
+        let cfg = LadderConfig::default();
+        let model = CostModel::new(1);
+        let mut tiers = registry();
+        tiers.truncate(1);
+        assert_eq!(
+            choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::ZERO),
+            0
         );
     }
 }

@@ -9,7 +9,7 @@
 //! has heavy-tailed SNR-dependent latency — exactly the wrong shape for a
 //! deadline. This crate is the systems layer that closes that gap:
 //!
-//! * **Admission control** — a bounded MPMC ingress [queue](queue);
+//! * **Admission control** — a bounded MPMC ingress [queue];
 //!   overload is shed *at the door* with a typed [`Rejected`], never
 //!   queued without bound, and every admitted request is answered
 //!   (drain-then-join shutdown).
@@ -17,14 +17,17 @@
 //!   age [batches](batcher), amortizing every per-request lock and
 //!   metrics update; the same trick the paper's GEMM formulation plays on
 //!   partial distances.
-//! * **Graceful degradation** — a [ladder](ladder) (exact SD → K-best →
-//!   MMSE) driven by a running per-SNR [cost model](budget) picks the
-//!   best decoder whose predicted cost fits each request's remaining
-//!   deadline budget.
+//! * **Graceful degradation** — a [ladder] over a configurable
+//!   [tier registry](registry) (stock: exact SD → K-best → MMSE), driven
+//!   by a running per-SNR [cost model](budget), picks the first tier
+//!   whose predicted cost fits each request's remaining deadline budget.
+//!   Tiers are [`sd_core::PreparedDetector`] trait objects, so any engine
+//!   in the detector zoo can be stacked into a custom descent via
+//!   [`ServeRuntime::start_with_registry`].
 //! * **Zero-allocation steady state** — the decode path writes into
 //!   recycled buffers through the `_into` entry points of `sd-core`;
 //!   after warm-up a request is served without touching the allocator.
-//! * **Observability** — lock-light [metrics](metrics) (latency/wait
+//! * **Observability** — lock-light [metrics] (latency/wait
 //!   histograms, batch-size distribution, tier and shed counters,
 //!   aggregated [`sd_core::DetectionStats`]).
 //! * **A load harness** — a seeded [load generator](loadgen) that paces a
@@ -44,15 +47,17 @@ pub mod ladder;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod request;
 pub mod runtime;
 mod worker;
 
 pub use batcher::BatchPolicy;
-pub use budget::{kbest_nodes, CostModel};
+pub use budget::{kbest_nodes, CostModel, TierCostClass};
 pub use ladder::{choose_tier, LadderConfig};
 pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
-pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
 pub use queue::{BoundedQueue, PushError};
-pub use request::{DecodeTier, DetectionRequest, DetectionResponse, RejectReason, Rejected};
+pub use registry::{default_registry, Tier};
+pub use request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
 pub use runtime::{ServeConfig, ServeRuntime};

@@ -9,12 +9,13 @@
 //! ground truth).
 
 use crate::metrics::MetricsSnapshot;
-use crate::request::{DecodeTier, DetectionRequest, DetectionResponse};
+use crate::request::{DetectionRequest, DetectionResponse};
 use crate::runtime::ServeRuntime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::DetectionStats;
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation, REAL_TIME_BUDGET};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Workload description for one load-generation run.
@@ -74,12 +75,8 @@ pub struct LoadReport {
     pub p99_latency_us: f64,
     /// Fraction of served responses that missed their deadline.
     pub deadline_miss_rate: f64,
-    /// Served at the exact rung.
-    pub tier_exact: u64,
-    /// Served at the K-best rung.
-    pub tier_kbest: u64,
-    /// Served at the MMSE rung.
-    pub tier_mmse: u64,
+    /// Served count per registry tier, in ladder order (label, count).
+    pub tiers: Vec<(Arc<str>, u64)>,
     /// Bit errors across served responses (ground truth known here).
     pub bit_errors: u64,
     /// Total information bits across served responses.
@@ -98,6 +95,14 @@ impl LoadReport {
         } else {
             self.bit_errors as f64 / self.total_bits as f64
         }
+    }
+
+    /// Served count of the tier labelled `label` (0 if absent).
+    pub fn tier_count(&self, label: &str) -> u64 {
+        self.tiers
+            .iter()
+            .find(|(l, _)| &**l == label)
+            .map_or(0, |&(_, n)| n)
     }
 }
 
@@ -185,8 +190,15 @@ pub fn run_load(rt: &ServeRuntime, cfg: &LoadConfig, constellation: &Constellati
         }
     };
     let missed = responses.iter().filter(|r| r.deadline_missed).count() as u64;
-    let tier_count =
-        |t: DecodeTier| -> u64 { responses.iter().filter(|r| r.tier == t).count() as u64 };
+    let tiers: Vec<(Arc<str>, u64)> = rt
+        .tier_labels()
+        .into_iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let n = responses.iter().filter(|r| r.tier == i).count() as u64;
+            (label, n)
+        })
+        .collect();
     let bits_per_frame = (cfg.n_tx * constellation.bits_per_symbol()) as u64;
     let bit_errors: u64 = responses
         .iter()
@@ -212,9 +224,7 @@ pub fn run_load(rt: &ServeRuntime, cfg: &LoadConfig, constellation: &Constellati
         } else {
             missed as f64 / served as f64
         },
-        tier_exact: tier_count(DecodeTier::Exact),
-        tier_kbest: tier_count(DecodeTier::KBest),
-        tier_mmse: tier_count(DecodeTier::Mmse),
+        tiers,
         bit_errors,
         total_bits: served * bits_per_frame,
         stats,
@@ -270,7 +280,8 @@ mod tests {
         assert_eq!(report.offered, 60);
         assert_eq!(report.shed, 0, "queue sized for the whole run");
         assert_eq!(report.served, 60);
-        assert_eq!(report.tier_exact + report.tier_kbest + report.tier_mmse, 60);
+        let total: u64 = report.tiers.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 60, "every response attributed to a tier");
         assert!(report.throughput_hz > 0.0);
         assert!(report.p99_latency_us >= report.p50_latency_us);
         assert!(report.stats.nodes_generated > 0);

@@ -1,14 +1,17 @@
 //! Lock-light runtime metrics: atomic counters, log2 latency histograms,
-//! and one aggregated [`DetectionStats`] merged per batch.
+//! per-tier serve counters with cost-model validation, and one aggregated
+//! [`DetectionStats`] merged per batch.
 //!
 //! Everything on the per-request path is a relaxed atomic increment; the
 //! only lock is the per-*batch* [`DetectionStats`] merge, amortized by the
-//! batcher. [`Metrics::snapshot`] materializes a plain-data
-//! [`MetricsSnapshot`] for reports and the load harness.
+//! batcher. Tier-indexed metrics are sized from the runtime's tier
+//! registry at construction, so custom registries get first-class
+//! accounting with no code changes. [`Metrics::snapshot`] materializes a
+//! plain-data [`MetricsSnapshot`] for reports and the load harness.
 
 use sd_core::DetectionStats;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const N_BUCKETS: usize = 64;
 
@@ -73,6 +76,17 @@ impl Default for Log2Histogram {
     }
 }
 
+/// Per-tier hot-path counters, one slot per registry tier.
+pub struct TierMetrics {
+    /// The tier's registry label.
+    pub label: Arc<str>,
+    /// Responses served at this tier.
+    pub served: AtomicU64,
+    /// Cost-model validation: distribution of `|predicted − actual|`
+    /// decode nanoseconds for requests served at this tier.
+    pub predict_err_ns: Log2Histogram,
+}
+
 /// Shared runtime counters. All fields are written on the hot path with
 /// relaxed atomics except `stats`, merged once per batch.
 pub struct Metrics {
@@ -84,12 +98,8 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// Responses produced.
     pub served: AtomicU64,
-    /// Responses served at the exact-SD rung.
-    pub tier_exact: AtomicU64,
-    /// Responses served at the K-best rung.
-    pub tier_kbest: AtomicU64,
-    /// Responses served at the MMSE rung.
-    pub tier_mmse: AtomicU64,
+    /// Per-tier serve counters and cost-model error, indexed by tier.
+    pub tiers: Vec<TierMetrics>,
     /// Responses whose end-to-end latency exceeded their deadline.
     pub deadline_missed: AtomicU64,
     /// Batches drained from the ingress queue.
@@ -107,16 +117,21 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Zeroed metrics.
-    pub fn new() -> Self {
+    /// Zeroed metrics with one tier slot per registry label.
+    pub fn new(tier_labels: Vec<Arc<str>>) -> Self {
         Metrics {
             accepted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            tier_exact: AtomicU64::new(0),
-            tier_kbest: AtomicU64::new(0),
-            tier_mmse: AtomicU64::new(0),
+            tiers: tier_labels
+                .into_iter()
+                .map(|label| TierMetrics {
+                    label,
+                    served: AtomicU64::new(0),
+                    predict_err_ns: Log2Histogram::new(),
+                })
+                .collect(),
             deadline_missed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_items: AtomicU64::new(0),
@@ -146,9 +161,19 @@ impl Metrics {
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             served,
-            tier_exact: self.tier_exact.load(Ordering::Relaxed),
-            tier_kbest: self.tier_kbest.load(Ordering::Relaxed),
-            tier_mmse: self.tier_mmse.load(Ordering::Relaxed),
+            tiers: self
+                .tiers
+                .iter()
+                .map(|t| {
+                    let err = t.predict_err_ns.counts();
+                    TierSnapshot {
+                        label: Arc::clone(&t.label),
+                        served: t.served.load(Ordering::Relaxed),
+                        p50_predict_err_us: Log2Histogram::quantile(&err, 0.50) as f64 / 1e3,
+                        p99_predict_err_us: Log2Histogram::quantile(&err, 0.99) as f64 / 1e3,
+                    }
+                })
+                .collect(),
             deadline_missed: missed,
             deadline_miss_rate: if served == 0 {
                 0.0
@@ -170,10 +195,18 @@ impl Metrics {
     }
 }
 
-impl Default for Metrics {
-    fn default() -> Self {
-        Self::new()
-    }
+/// One tier's plain-data view at snapshot time.
+#[derive(Clone, Debug)]
+pub struct TierSnapshot {
+    /// The tier's registry label.
+    pub label: Arc<str>,
+    /// Responses served at this tier.
+    pub served: u64,
+    /// Median `|predicted − actual|` decode time (µs, bucket upper bound)
+    /// — how well the cost model knows this tier.
+    pub p50_predict_err_us: f64,
+    /// 99th-percentile cost-model error (µs, bucket upper bound).
+    pub p99_predict_err_us: f64,
 }
 
 /// Plain-data view of [`Metrics`] at one instant.
@@ -187,12 +220,8 @@ pub struct MetricsSnapshot {
     pub rejected_shutdown: u64,
     /// Responses produced.
     pub served: u64,
-    /// Served at the exact-SD rung.
-    pub tier_exact: u64,
-    /// Served at the K-best rung.
-    pub tier_kbest: u64,
-    /// Served at the MMSE rung.
-    pub tier_mmse: u64,
+    /// Per-tier serve counts and cost-model error, indexed by tier.
+    pub tiers: Vec<TierSnapshot>,
     /// Deadline misses among served responses.
     pub deadline_missed: u64,
     /// `deadline_missed / served`.
@@ -213,9 +242,23 @@ pub struct MetricsSnapshot {
     pub stats: DetectionStats,
 }
 
+impl MetricsSnapshot {
+    /// Serve count of the tier labelled `label` (0 if absent).
+    pub fn tier_served(&self, label: &str) -> u64 {
+        self.tiers
+            .iter()
+            .find(|t| &*t.label == label)
+            .map_or(0, |t| t.served)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn labels(names: &[&str]) -> Vec<Arc<str>> {
+        names.iter().map(|&n| Arc::from(n)).collect()
+    }
 
     #[test]
     fn histogram_buckets_by_log2() {
@@ -248,7 +291,7 @@ mod tests {
 
     #[test]
     fn snapshot_computes_rates() {
-        let m = Metrics::new();
+        let m = Metrics::new(labels(&["exact", "mmse"]));
         m.served.store(8, Ordering::Relaxed);
         m.deadline_missed.store(2, Ordering::Relaxed);
         m.batches.store(4, Ordering::Relaxed);
@@ -264,5 +307,20 @@ mod tests {
         assert!((s.deadline_miss_rate - 0.25).abs() < 1e-12);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
         assert_eq!(s.stats.nodes_generated, 80);
+    }
+
+    #[test]
+    fn tier_slots_track_serves_and_predict_error() {
+        let m = Metrics::new(labels(&["exact", "k-best", "mmse"]));
+        m.tiers[0].served.fetch_add(5, Ordering::Relaxed);
+        m.tiers[0].predict_err_ns.record(100_000); // 100 µs off
+        m.tiers[2].served.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot(0);
+        assert_eq!(s.tier_served("exact"), 5);
+        assert_eq!(s.tier_served("k-best"), 0);
+        assert_eq!(s.tier_served("mmse"), 1);
+        assert_eq!(s.tier_served("nonexistent"), 0);
+        assert!(s.tiers[0].p50_predict_err_us >= 100.0);
+        assert_eq!(s.tiers[1].p50_predict_err_us, 0.0);
     }
 }

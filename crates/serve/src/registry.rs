@@ -1,0 +1,110 @@
+//! The tier registry: which detectors the runtime can degrade through.
+//!
+//! A [`Tier`] pairs a boxed [`PreparedDetector`] engine with a label (for
+//! metrics and responses) and a [`TierCostClass`] telling the cost model
+//! how to predict its decode time. The runtime holds a `Vec<Tier>`
+//! ordered **most → least accurate**: the ladder walks it front to back
+//! and serves the first tier whose predicted cost fits the remaining
+//! deadline budget, falling through to the last tier (the floor) when
+//! nothing fits. Tier *indices* into this vector are the identity used by
+//! the ladder, the cost model, the metrics, and the responses.
+//!
+//! [`default_registry`] reproduces the fixed pre-registry ladder — exact
+//! sphere decoding, then a K-best sweep, then MMSE — and any
+//! [`crate::ServeRuntime::start_with_registry`] caller can stack a custom
+//! descent (e.g. exact → best-first → K-best → MMSE) from the same parts.
+
+use crate::budget::TierCostClass;
+use crate::ladder::LadderConfig;
+use sd_core::{KBestSd, MmseDetector, PreparedDetector, SphereDecoder};
+use sd_wireless::Constellation;
+use std::sync::Arc;
+
+/// One rung of the degradation ladder.
+pub struct Tier {
+    /// Human-readable tier name, carried into responses and metrics.
+    pub label: Arc<str>,
+    /// How the cost model predicts this tier's decode time.
+    pub cost: TierCostClass,
+    /// The decode engine itself.
+    pub detector: Box<dyn PreparedDetector<f64>>,
+}
+
+impl Tier {
+    /// Build a tier from its parts.
+    pub fn new(
+        label: impl Into<Arc<str>>,
+        cost: TierCostClass,
+        detector: Box<dyn PreparedDetector<f64>>,
+    ) -> Self {
+        Tier {
+            label: label.into(),
+            cost,
+            detector,
+        }
+    }
+}
+
+impl std::fmt::Debug for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tier")
+            .field("label", &self.label)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The stock three-rung descent: exact SD → K-best(`ladder.kbest_k`) →
+/// MMSE. Decision-identical to the runtime's original hard-wired ladder.
+pub fn default_registry(constellation: &Constellation, ladder: &LadderConfig) -> Vec<Tier> {
+    vec![
+        Tier::new(
+            "exact",
+            TierCostClass::Adaptive,
+            Box::new(SphereDecoder::<f64>::new(constellation.clone())),
+        ),
+        Tier::new(
+            "k-best",
+            TierCostClass::fixed_kbest(ladder.kbest_k),
+            Box::new(KBestSd::<f64>::new(constellation.clone(), ladder.kbest_k)),
+        ),
+        Tier::new(
+            "mmse",
+            TierCostClass::Linear,
+            Box::new(MmseDetector::new(constellation.clone())),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_wireless::Modulation;
+
+    #[test]
+    fn default_registry_shape() {
+        let c = Constellation::new(Modulation::Qam4);
+        let tiers = default_registry(&c, &LadderConfig::default());
+        let labels: Vec<&str> = tiers.iter().map(|t| &*t.label).collect();
+        assert_eq!(labels, ["exact", "k-best", "mmse"]);
+        assert!(matches!(tiers[0].cost, TierCostClass::Adaptive));
+        assert!(matches!(tiers[1].cost, TierCostClass::Fixed(_)));
+        assert!(matches!(tiers[2].cost, TierCostClass::Linear));
+    }
+
+    #[test]
+    fn registry_tiers_decode_through_the_engine_api() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sd_wireless::{noise_variance, FrameData};
+
+        let c = Constellation::new(Modulation::Qam4);
+        let tiers = default_registry(&c, &LadderConfig::default());
+        let mut rng = StdRng::seed_from_u64(0x7EE5);
+        let frame = FrameData::generate(4, 4, &c, noise_variance(20.0, 4), &mut rng);
+        for tier in &tiers {
+            let d = tier.detector.detect_frame(&frame);
+            assert_eq!(d.indices.len(), 4, "tier {}", tier.label);
+        }
+    }
+}

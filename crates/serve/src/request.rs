@@ -11,29 +11,8 @@
 
 use sd_core::Detection;
 use sd_wireless::FrameData;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Which rung of the degradation ladder served a request.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum DecodeTier {
-    /// Exact sphere decoding (ML-optimal, SNR-dependent cost).
-    Exact,
-    /// K-best sweep (bounded cost, near-ML).
-    KBest,
-    /// MMSE linear detection (cheapest, worst BER — the last resort).
-    Mmse,
-}
-
-impl DecodeTier {
-    /// Short label for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            DecodeTier::Exact => "exact",
-            DecodeTier::KBest => "k-best",
-            DecodeTier::Mmse => "mmse",
-        }
-    }
-}
 
 /// One frame to decode, with its service constraints.
 #[derive(Debug)]
@@ -74,8 +53,12 @@ pub struct DetectionResponse {
     /// the runtime's response pool; hand it back with
     /// [`crate::ServeRuntime::recycle`].
     pub detection: Detection,
-    /// Ladder rung that produced the decision.
-    pub tier: DecodeTier,
+    /// Index into the runtime's tier registry of the rung that produced
+    /// the decision (0 = most accurate).
+    pub tier: usize,
+    /// Registry label of that rung (e.g. `"exact"`); sharing the
+    /// registry's `Arc<str>` keeps the response path allocation-free.
+    pub tier_label: Arc<str>,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Duration,
     /// Time the worker spent decoding.
@@ -121,13 +104,6 @@ impl std::fmt::Display for RejectReason {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn tier_names() {
-        assert_eq!(DecodeTier::Exact.name(), "exact");
-        assert_eq!(DecodeTier::KBest.name(), "k-best");
-        assert_eq!(DecodeTier::Mmse.name(), "mmse");
-    }
 
     #[test]
     fn reject_reason_display() {

@@ -24,6 +24,7 @@ use crate::budget::CostModel;
 use crate::ladder::LadderConfig;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{default_registry, Tier};
 use crate::request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
 use crate::worker::Worker;
 use sd_core::Detection;
@@ -100,7 +101,7 @@ pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
     pub(crate) model: CostModel,
     pub(crate) config: ServeConfig,
-    pub(crate) constellation: Constellation,
+    pub(crate) tiers: Vec<Tier>,
 }
 
 /// A running detection service.
@@ -110,9 +111,19 @@ pub struct ServeRuntime {
 }
 
 impl ServeRuntime {
-    /// Spawn the worker pool and start serving.
+    /// Spawn the worker pool with the stock registry (exact SD → K-best →
+    /// MMSE) and start serving.
     pub fn start(config: ServeConfig, constellation: Constellation) -> Self {
+        let tiers = default_registry(&constellation, &config.ladder);
+        Self::start_with_registry(config, tiers)
+    }
+
+    /// Spawn the worker pool over a caller-built tier registry, ordered
+    /// most → least accurate. The last tier is the unconditional floor
+    /// that serves any request nothing cheaper could.
+    pub fn start_with_registry(config: ServeConfig, tiers: Vec<Tier>) -> Self {
         assert!(config.n_workers >= 1, "need at least one worker");
+        assert!(!tiers.is_empty(), "registry needs at least one tier");
         config.batch.check();
         let queue = BoundedQueue::new(config.queue_capacity);
         if config.start_paused {
@@ -121,14 +132,15 @@ impl ServeRuntime {
         // Responses are bounded by admission control (≤ queue_capacity in
         // flight per uncollected client), not by this queue.
         let out = BoundedQueue::new(usize::MAX);
+        let labels = tiers.iter().map(|t| Arc::clone(&t.label)).collect();
         let shared = Arc::new(Shared {
             queue,
             out,
             pool: Mutex::new(Vec::new()),
-            metrics: Metrics::new(),
-            model: CostModel::new(),
+            metrics: Metrics::new(labels),
+            model: CostModel::new(tiers.len()),
             config: config.clone(),
-            constellation,
+            tiers,
         });
         let workers = (0..config.n_workers)
             .map(|i| {
@@ -212,6 +224,15 @@ impl ServeRuntime {
     /// Read-only view of the cost model (for reports).
     pub fn cost_model(&self) -> &CostModel {
         &self.shared.model
+    }
+
+    /// Labels of the registry tiers, in ladder order (index = tier id).
+    pub fn tier_labels(&self) -> Vec<Arc<str>> {
+        self.shared
+            .tiers
+            .iter()
+            .map(|t| Arc::clone(&t.label))
+            .collect()
     }
 
     /// Stop accepting work, drain every admitted request, join the

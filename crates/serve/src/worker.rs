@@ -5,26 +5,24 @@
 //! ([`PrepScratch`], [`SearchWorkspace`], a reusable [`Prepared`], the
 //! batch and response vectors, a batch-level stats accumulator), so the
 //! steady-state path performs **zero heap allocations per request**: the
-//! `_into` preprocessing/decoding entry points write into recycled
-//! [`Detection`] slots from the runtime's response pool, and all
+//! registry tiers are driven entirely through
+//! [`sd_core::PreparedDetector`]'s `_into` entry points, which write into
+//! recycled [`Detection`] slots from the runtime's response pool, and all
 //! synchronization costs (ingress lock, response push, metrics merge) are
-//! paid once per batch.
+//! paid once per batch. Because every tier speaks the same engine trait,
+//! the worker has no per-detector code at all — serving a new tier is
+//! purely a registry entry.
 
 use crate::ladder::choose_tier;
-use crate::request::{DecodeTier, DetectionRequest, DetectionResponse};
+use crate::request::{DetectionRequest, DetectionResponse};
 use crate::runtime::Shared;
-use sd_core::{
-    preprocess_ordered_into, DetectionStats, Detector, KBestSd, MmseDetector, PrepScratch,
-    Prepared, SearchWorkspace, SphereDecoder,
-};
+use sd_core::{Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace};
 use std::sync::Arc;
 use std::time::Instant;
 
 pub(crate) struct Worker {
     shared: Arc<Shared>,
-    sd: SphereDecoder<f64>,
-    kb: KBestSd<f64>,
-    mmse: MmseDetector,
+    /// Constellation order `P`, an input to the analytic cost curves.
     order: usize,
     prep_scratch: PrepScratch<f64>,
     prep: Prepared<f64>,
@@ -36,12 +34,8 @@ pub(crate) struct Worker {
 
 impl Worker {
     pub(crate) fn new(shared: Arc<Shared>) -> Self {
-        let c = shared.constellation.clone();
         Worker {
-            sd: SphereDecoder::new(c.clone()),
-            kb: KBestSd::new(c.clone(), shared.config.ladder.kbest_k),
-            mmse: MmseDetector::new(c.clone()),
-            order: c.order(),
+            order: shared.tiers[0].detector.constellation().order(),
             prep_scratch: PrepScratch::new(),
             prep: Prepared::empty(),
             ws: SearchWorkspace::new(),
@@ -90,90 +84,61 @@ impl Worker {
         let queue_wait = started.saturating_duration_since(enqueued);
         let remaining = req.deadline.saturating_sub(queue_wait);
         let m = req.frame.h.cols();
-        let tier = choose_tier(
+        let tier_idx = choose_tier(
             &self.shared.config.ladder,
             &self.shared.model,
+            &self.shared.tiers,
             req.snr_db,
             m,
             self.order,
             remaining,
         );
-        let mut det = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
-        match tier {
-            DecodeTier::Exact => {
-                preprocess_ordered_into(
-                    &req.frame,
-                    self.sd.constellation(),
-                    self.sd.ordering,
-                    &mut self.prep_scratch,
-                    &mut self.prep,
-                );
-                let r2 = self
-                    .sd
-                    .initial_radius
-                    .resolve(req.frame.h.rows(), req.frame.noise_variance);
-                self.sd
-                    .detect_prepared_into(&self.prep, r2, &mut self.ws, &mut det);
-            }
-            DecodeTier::KBest => {
-                preprocess_ordered_into(
-                    &req.frame,
-                    self.sd.constellation(),
-                    self.sd.ordering,
-                    &mut self.prep_scratch,
-                    &mut self.prep,
-                );
-                self.kb
-                    .detect_prepared_into(&self.prep, &mut self.ws, &mut det);
-            }
-            DecodeTier::Mmse => {
-                // The last-resort rung tolerates the linear solver's
-                // allocations: it only runs when budgets are blown.
-                let d = self.mmse.detect(&req.frame);
-                det.indices.clear();
-                det.indices.extend_from_slice(&d.indices);
-                det.stats.reset(0);
-                det.stats.flops = d.stats.flops;
-            }
-        }
+        let tier = &self.shared.tiers[tier_idx];
+        // Sample the prediction the ladder acted on, so the validation
+        // histogram measures exactly the model the decision saw.
+        let predicted_ns = self
+            .shared
+            .model
+            .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order);
+
+        let mut det: Detection = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
+        tier.detector
+            .prepare_frame_into(&req.frame, &mut self.prep_scratch, &mut self.prep);
+        let r2 = tier
+            .detector
+            .initial_radius_sqr(req.frame.h.rows(), req.frame.noise_variance);
+        tier.detector
+            .detect_prepared_into(&self.prep, r2, &mut self.ws, &mut det);
+
         let service_time = started.elapsed();
         let latency = queue_wait + service_time;
         let deadline_missed = latency > req.deadline;
 
         let metrics = &self.shared.metrics;
-        let tier_counter = match tier {
-            DecodeTier::Exact => &metrics.tier_exact,
-            DecodeTier::KBest => &metrics.tier_kbest,
-            DecodeTier::Mmse => &metrics.tier_mmse,
-        };
-        tier_counter.fetch_add(1, Relaxed);
+        let tm = &metrics.tiers[tier_idx];
+        tm.served.fetch_add(1, Relaxed);
+        let service_ns = service_time.as_nanos() as u64;
+        tm.predict_err_ns
+            .record((predicted_ns as i64 - service_ns as i64).unsigned_abs());
         if deadline_missed {
             metrics.deadline_missed.fetch_add(1, Relaxed);
         }
         metrics.latency_ns.record(latency.as_nanos() as u64);
         metrics.queue_wait_ns.record(queue_wait.as_nanos() as u64);
 
-        let service_ns = service_time.as_nanos() as u64;
-        match tier {
-            DecodeTier::Exact => self.shared.model.observe_tree(
-                req.snr_db,
-                det.stats.nodes_generated,
-                service_ns,
-                true,
-            ),
-            DecodeTier::KBest => self.shared.model.observe_tree(
-                req.snr_db,
-                det.stats.nodes_generated,
-                service_ns,
-                false,
-            ),
-            DecodeTier::Mmse => self.shared.model.observe_mmse(service_ns),
-        }
+        self.shared.model.observe(
+            tier_idx,
+            &tier.cost,
+            req.snr_db,
+            det.stats.nodes_generated,
+            service_ns,
+        );
 
         DetectionResponse {
             request: req,
             detection: det,
-            tier,
+            tier: tier_idx,
+            tier_label: Arc::clone(&tier.label),
             queue_wait,
             service_time,
             latency,

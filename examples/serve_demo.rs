@@ -21,14 +21,27 @@ fn show(label: &str, r: &LoadReport) {
         r.p99_latency_us,
         100.0 * r.deadline_miss_rate
     );
+    let tiers: Vec<String> = r
+        .tiers
+        .iter()
+        .map(|(label, n)| format!("{label}={n}"))
+        .collect();
     println!(
-        "  tiers exact/k-best/mmse: {}/{}/{} | BER {:.2e} | mean batch {:.1}",
-        r.tier_exact,
-        r.tier_kbest,
-        r.tier_mmse,
+        "  tiers {} | BER {:.2e} | mean batch {:.1}",
+        tiers.join(" "),
         r.ber(),
         r.snapshot.mean_batch_size
     );
+    // Cost-model validation: how far the EWMA prediction the ladder acted
+    // on was from the decode time actually measured, per tier.
+    for t in &r.snapshot.tiers {
+        if t.served > 0 {
+            println!(
+                "  cost model [{}]: |predicted - actual| p50 {:.0} us, p99 {:.0} us over {} decodes",
+                t.label, t.p50_predict_err_us, t.p99_predict_err_us, t.served
+            );
+        }
+    }
     println!(
         "  search: {} nodes generated across served requests\n",
         r.stats.nodes_generated

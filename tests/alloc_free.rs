@@ -9,7 +9,10 @@
 //! child, so its allocation count scaled with the node count.
 
 use sd_core::preprocess::{preprocess, Prepared};
-use sd_core::{BestFirstSd, BfsGemmSd, KBestSd, SearchWorkspace, SphereDecoder};
+use sd_core::{
+    BestFirstSd, BfsGemmSd, FixedComplexitySd, KBestSd, PreparedDetector, SearchWorkspace,
+    SphereDecoder,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,11 +138,44 @@ fn kbest_steady_state_is_node_allocation_free() {
     let (c, _sigma2, preps) = prepared_problems();
     let kb: KBestSd<f64> = KBestSd::new(c, 64);
     let mut ws = SearchWorkspace::new();
-    let (allocs, nodes) = measure(&preps, |p| kb.detect_prepared_in(p, &mut ws));
+    let (allocs, nodes) = measure(&preps, |p| kb.detect_prepared_in(p, f64::INFINITY, &mut ws));
     assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
     assert!(
         allocs <= PER_DECODE_BUDGET * preps.len() as u64,
         "{allocs} allocations for {nodes} nodes: the sweep allocates"
+    );
+}
+
+#[test]
+fn bfs_untrace_prepared_path_is_node_allocation_free() {
+    let _g = serialized();
+    // The plain engine entry point (no trace) must match the traced path's
+    // steady-state behavior: recycled workspace, constant per-decode cost.
+    let (c, sigma2, preps) = prepared_problems();
+    let bfs: BfsGemmSd<f64> = BfsGemmSd::new(c).with_max_frontier(256);
+    let mut ws = SearchWorkspace::new();
+    let r2 = sd_core::InitialRadius::ScaledNoise(2.0).resolve(8, sigma2);
+    let (allocs, nodes) = measure(&preps, |p| bfs.detect_prepared_in(p, r2, &mut ws));
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the level loop allocates"
+    );
+}
+
+#[test]
+fn fsd_steady_state_is_node_allocation_free() {
+    let _g = serialized();
+    let (c, _sigma2, preps) = prepared_problems();
+    let fsd: FixedComplexitySd<f64> = FixedComplexitySd::new(c);
+    let mut ws = SearchWorkspace::new();
+    let (allocs, nodes) = measure(&preps, |p| {
+        fsd.detect_prepared_in(p, f64::INFINITY, &mut ws)
+    });
+    assert!(nodes > 1_000, "search too small to be meaningful: {nodes}");
+    assert!(
+        allocs <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{allocs} allocations for {nodes} nodes: the prefix sweep allocates"
     );
 }
 

@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::preprocess::preprocess;
 use sd_core::reference::{best_first_reference, bfs_reference, dfs_reference, kbest_reference};
-use sd_core::{BestFirstSd, BfsGemmSd, EvalStrategy, InitialRadius, KBestSd, SphereDecoder};
+use sd_core::{
+    BestFirstSd, BfsGemmSd, EvalStrategy, InitialRadius, KBestSd, PreparedDetector, SphereDecoder,
+};
 use sd_math::GemmAlgo;
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
@@ -124,7 +126,7 @@ proptest! {
         prop_assume!(m.order().pow(n as u32) <= 1 << 14);
         let (c, frame) = make_frame(n, m, snr_db, seed);
         let prep = preprocess::<f64>(&frame, &c);
-        let arena = KBestSd::<f64>::new(c.clone(), k).detect_prepared(&prep);
+        let arena = KBestSd::<f64>::new(c.clone(), k).detect_prepared(&prep, f64::INFINITY);
         let seed_impl = kbest_reference(&prep, k);
         prop_assert_eq!(&arena.indices, &seed_impl.indices);
         prop_assert_eq!(&arena.stats, &seed_impl.stats);

@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::preprocess::{preprocess, Prepared};
 use sd_core::reference::{best_first_reference, bfs_reference, dfs_reference, kbest_reference};
-use sd_core::{BestFirstSd, BfsGemmSd, EvalStrategy, InitialRadius, KBestSd, SphereDecoder};
+use sd_core::{
+    BestFirstSd, BfsGemmSd, EvalStrategy, InitialRadius, KBestSd, PreparedDetector, SphereDecoder,
+};
 use sd_math::GemmAlgo;
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
@@ -97,7 +99,7 @@ fn kbest_batched_gemm_is_bit_identical_to_seed() {
         for algo in [GemmAlgo::Blocked, GemmAlgo::Parallel] {
             let kb: KBestSd<f64> = KBestSd::new(c.clone(), 32).with_batch_algo(algo);
             for (i, prep) in preps.iter().enumerate() {
-                let a = kb.detect_prepared(prep);
+                let a = kb.detect_prepared(prep, f64::INFINITY);
                 let b = kbest_reference(prep, 32);
                 assert_eq!(a.indices, b.indices, "frame {i} at {n}x{n} with {algo:?}");
                 assert_eq!(a.stats, b.stats, "frame {i} at {n}x{n} with {algo:?}");

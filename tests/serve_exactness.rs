@@ -1,17 +1,25 @@
 //! The serving layer adds scheduling, not numerics: with degradation
 //! disabled and a single seeded worker, every decision served by
 //! `sd-serve` is **bit-identical** — indices *and* search statistics — to
-//! calling the sphere decoder directly on the same frame.
+//! driving the same engine directly through the
+//! [`sd_core::PreparedDetector`] entry points on the same frames. The
+//! check is parameterized over *every* tier of the registry (stock plus a
+//! best-first rung), since each one rides the same unified decode path.
 
-use sd_core::{Detector, SphereDecoder};
-use sd_serve::{build_requests, DecodeTier, LadderConfig, LoadConfig, ServeConfig, ServeRuntime};
+use sd_core::{
+    BestFirstSd, Detection, Detector, PrepScratch, Prepared, PreparedDetector, SearchWorkspace,
+    SphereDecoder,
+};
+use sd_serve::{
+    build_requests, default_registry, LadderConfig, LoadConfig, ServeConfig, ServeRuntime, Tier,
+    TierCostClass,
+};
 use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
 use std::collections::HashMap;
 use std::time::Duration;
 
-#[test]
-fn served_decisions_are_bit_identical_to_direct_decode() {
-    let cfg = LoadConfig {
+fn workload() -> LoadConfig {
+    LoadConfig {
         n_tx: 6,
         n_rx: 6,
         modulation: Modulation::Qam4,
@@ -20,18 +28,48 @@ fn served_decisions_are_bit_identical_to_direct_decode() {
         offered_rate_hz: 0.0,
         deadline: REAL_TIME_BUDGET,
         seed: 0xE1AC,
-    };
-    let c = Constellation::new(cfg.modulation);
+    }
+}
 
-    // Ground truth: direct decode of the identical seeded request stream.
-    let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
-    let direct: Vec<_> = build_requests(&cfg, &c)
+/// Every tier under test: the stock registry plus a best-first rung, so
+/// the parameterization spans adaptive, fixed, and linear cost classes.
+fn tiers_under_test(c: &Constellation) -> Vec<Tier> {
+    let mut tiers = default_registry(c, &LadderConfig::default());
+    tiers.push(Tier::new(
+        "best-first",
+        TierCostClass::Adaptive,
+        Box::new(BestFirstSd::<f64>::new(c.clone())),
+    ));
+    tiers
+}
+
+/// Ground truth for one tier: drive its engine directly (prepare →
+/// initial radius → decode-into), exactly the calls the worker makes.
+fn direct_decodes(
+    detector: &dyn PreparedDetector<f64>,
+    cfg: &LoadConfig,
+    c: &Constellation,
+) -> Vec<Detection> {
+    let mut scratch = PrepScratch::new();
+    let mut prep = Prepared::empty();
+    let mut ws = SearchWorkspace::new();
+    build_requests(cfg, c)
         .iter()
-        .map(|req| sd.detect(&req.frame))
-        .collect();
+        .map(|req| {
+            let mut det = Detection::default();
+            detector.prepare_frame_into(&req.frame, &mut scratch, &mut prep);
+            let r2 = detector.initial_radius_sqr(req.frame.h.rows(), req.frame.noise_variance);
+            detector.detect_prepared_into(&prep, r2, &mut ws, &mut det);
+            det
+        })
+        .collect()
+}
 
-    // Served: one worker, ladder off, generous queue.
-    let rt = ServeRuntime::start(
+/// Serve the workload through a single-tier registry (1 worker, ladder
+/// off) and compare each response bit-for-bit against `truth`.
+fn assert_served_matches(tier: Tier, truth: &[Detection], cfg: &LoadConfig, c: &Constellation) {
+    let label = tier.label.to_string();
+    let rt = ServeRuntime::start_with_registry(
         ServeConfig::default()
             .with_workers(1)
             .with_queue_capacity(cfg.n_requests)
@@ -39,9 +77,9 @@ fn served_decisions_are_bit_identical_to_direct_decode() {
                 enabled: false,
                 kbest_k: 16,
             }),
-        c.clone(),
+        vec![tier],
     );
-    for req in build_requests(&cfg, &c) {
+    for req in build_requests(cfg, c) {
         rt.submit(req).expect("queue sized for the whole stream");
     }
     let mut served = HashMap::new();
@@ -49,27 +87,59 @@ fn served_decisions_are_bit_identical_to_direct_decode() {
         let resp = rt
             .collect_timeout(Duration::from_secs(10))
             .expect("runtime stalled");
-        assert_eq!(resp.tier, DecodeTier::Exact, "ladder disabled");
+        assert_eq!(resp.tier, 0, "ladder disabled: tier 0 only");
+        assert_eq!(&*resp.tier_label, label, "tier label");
         served.insert(resp.request.id, resp);
     }
     let (snap, leftover) = rt.shutdown();
     assert!(leftover.is_empty());
     assert_eq!(snap.served, cfg.n_requests as u64);
+    assert_eq!(snap.tier_served(&label), cfg.n_requests as u64);
 
-    for (i, truth) in direct.iter().enumerate() {
+    for (i, truth) in truth.iter().enumerate() {
         let resp = &served[&(i as u64)];
         assert_eq!(
             resp.detection.indices, truth.indices,
-            "request {i}: decisions differ"
+            "{label} request {i}: decisions differ"
         );
         assert_eq!(
             resp.detection.stats, truth.stats,
-            "request {i}: search statistics differ"
+            "{label} request {i}: search statistics differ"
         );
         assert_eq!(
             resp.detection.stats.final_radius_sqr.to_bits(),
             truth.stats.final_radius_sqr.to_bits(),
-            "request {i}: solution metric differs in bits"
+            "{label} request {i}: solution metric differs in bits"
         );
+    }
+}
+
+#[test]
+fn served_decisions_are_bit_identical_to_direct_decode_for_every_tier() {
+    let cfg = workload();
+    let c = Constellation::new(cfg.modulation);
+    // Compute all ground truths first, then consume the tiers one
+    // single-tier runtime at a time.
+    let truths: Vec<Vec<Detection>> = tiers_under_test(&c)
+        .iter()
+        .map(|t| direct_decodes(&*t.detector, &cfg, &c))
+        .collect();
+    for (tier, truth) in tiers_under_test(&c).into_iter().zip(&truths) {
+        assert_served_matches(tier, truth, &cfg, &c);
+    }
+}
+
+#[test]
+fn engine_direct_decode_matches_legacy_detector_api() {
+    // Anchor the ground-truth helper itself: for the exact tier it must
+    // reproduce the plain `Detector::detect` path bit-for-bit.
+    let cfg = workload();
+    let c = Constellation::new(cfg.modulation);
+    let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+    let via_engine = direct_decodes(&sd, &cfg, &c);
+    for (req, truth) in build_requests(&cfg, &c).iter().zip(&via_engine) {
+        let legacy = sd.detect(&req.frame);
+        assert_eq!(legacy.indices, truth.indices);
+        assert_eq!(legacy.stats, truth.stats);
     }
 }

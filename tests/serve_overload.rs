@@ -4,9 +4,7 @@
 //! exceeds its bound, and shutdown drains everything admitted without
 //! deadlocking.
 
-use sd_serve::{
-    build_requests, DecodeTier, LadderConfig, LoadConfig, RejectReason, ServeConfig, ServeRuntime,
-};
+use sd_serve::{build_requests, LadderConfig, LoadConfig, RejectReason, ServeConfig, ServeRuntime};
 use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
 use std::time::Duration;
 
@@ -90,13 +88,15 @@ fn exhausted_deadline_budget_degrades_deterministically() {
     let (snap, leftover) = rt.shutdown();
     assert_eq!(snap.served, BURST as u64);
     assert_eq!(
-        snap.tier_mmse, BURST as u64,
+        snap.tier_served("mmse"),
+        BURST as u64,
         "all degraded to the last rung"
     );
-    assert_eq!(snap.tier_exact + snap.tier_kbest, 0);
+    assert_eq!(snap.tier_served("exact") + snap.tier_served("k-best"), 0);
     assert_eq!(snap.deadline_missed, BURST as u64);
     for resp in &leftover {
-        assert_eq!(resp.tier, DecodeTier::Mmse);
+        assert_eq!(resp.tier, 2, "index of the floor tier");
+        assert_eq!(&*resp.tier_label, "mmse");
         assert!(resp.deadline_missed);
         assert_eq!(
             resp.detection.indices.len(),
@@ -129,7 +129,7 @@ fn degradation_off_never_sheds_admitted_work_even_when_late() {
     // Every request decoded exactly (and therefore late) — the control
     // arm the benchmark compares the ladder against.
     assert_eq!(snap.served, BURST as u64);
-    assert_eq!(snap.tier_exact, BURST as u64);
+    assert_eq!(snap.tier_served("exact"), BURST as u64);
     assert_eq!(snap.deadline_missed, BURST as u64);
     assert_eq!(leftover.len(), BURST);
 }
