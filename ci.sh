@@ -10,6 +10,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> serve_demo --smoke"
+# End-to-end smoke: tiny serve run that renders the Prometheus + JSON
+# export surfaces and self-validates the JSON line (non-zero on failure).
+cargo run --release --example serve_demo -- --smoke >/dev/null
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

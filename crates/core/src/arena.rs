@@ -23,6 +23,7 @@
 
 use crate::best_first::OpenNode;
 use crate::pd::PdScratch;
+use crate::trace::{SearchTelemetry, TraceSink};
 use sd_math::Float;
 use std::collections::BinaryHeap;
 
@@ -172,6 +173,9 @@ pub struct SearchWorkspace<F: Float> {
     pub(crate) best_path: Vec<usize>,
     /// Per-depth `(increment, child)` sort buffers for sorted descent.
     pub(crate) sort_bufs: Vec<Vec<(F, usize)>>,
+    /// Optional observability sink; engines emit search events into it
+    /// when present and skip every emission when `None`.
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
 }
 
 impl<F: Float> SearchWorkspace<F> {
@@ -190,7 +194,40 @@ impl<F: Float> SearchWorkspace<F> {
             path: Vec::new(),
             best_path: Vec::new(),
             sort_bufs: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Install a [`TraceSink`]; every subsequent decode through this
+    /// workspace emits its search events into it. Returns the previously
+    /// installed sink, if any.
+    pub fn install_trace(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.trace.replace(sink)
+    }
+
+    /// Convenience: install a fresh [`SearchTelemetry`] recorder
+    /// (retrievable through [`SearchWorkspace::telemetry`]).
+    pub fn install_telemetry(&mut self) {
+        self.install_trace(Box::new(SearchTelemetry::new()));
+    }
+
+    /// Remove and return the installed sink (tracing is disabled again).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Whether a sink is installed (decodes will emit events).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The installed sink, when it is a [`SearchTelemetry`] recorder —
+    /// the post-decode read path for per-level counters and the phase
+    /// profile.
+    pub fn telemetry(&self) -> Option<&SearchTelemetry> {
+        self.trace
+            .as_ref()
+            .and_then(|t| t.as_any().downcast_ref::<SearchTelemetry>())
     }
 
     /// Size the per-problem buffers for branching factor `order` and tree

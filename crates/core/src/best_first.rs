@@ -19,6 +19,7 @@ use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{eval_children_from_arena, EvalStrategy};
 use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
+use crate::trace::{span_clock, span_ns, Phase};
 use sd_math::Float;
 use sd_wireless::Constellation;
 use std::cmp::Ordering;
@@ -116,6 +117,10 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
         let p = prep.order;
         ws.prepare(p, m);
         out.stats.reset(m);
+        let mut trace = ws.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_decode_start(m);
+        }
         let stats = &mut out.stats;
         let mut r2 = radius_sqr;
         // Winning leaf as (pd, parent id, leaf symbol): the arena is only
@@ -140,8 +145,13 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
                 }
                 let depth = node.depth as usize;
                 stats.nodes_expanded += 1;
+                let t0 = span_clock(trace.is_some());
                 stats.flops +=
                     eval_children_from_arena(prep, &ws.arena, node.id, self.eval, &mut ws.scratch);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.on_phase(Phase::Expand, span_ns(t0));
+                    t.on_expand(depth, 1, p as u64);
+                }
                 stats.nodes_generated += p as u64;
                 stats.per_level_generated[depth] += p as u64;
 
@@ -153,6 +163,10 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
                             stats.leaves_reached += 1;
                             stats.radius_updates += 1;
                             best = Some((child_pd, node.id, c));
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.on_accept(depth, 1);
+                                t.on_radius_update(depth, child_pd);
+                            }
                         } else {
                             let id = ws.arena.alloc(node.id, c);
                             ws.heap.push(OpenNode {
@@ -160,9 +174,15 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
                                 id,
                                 depth: node.depth + 1,
                             });
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.on_accept(depth, 1);
+                            }
                         }
                     } else {
                         stats.nodes_pruned += 1;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.on_prune(depth, 1);
+                        }
                     }
                 }
             }
@@ -171,12 +191,20 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
             }
             r2 *= InitialRadius::RESTART_GROWTH;
             stats.restarts += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.on_restart();
+            }
             assert!(stats.restarts < 64, "radius failed to capture any leaf");
         }
 
         let (best_pd, parent, leaf_sym) = best.expect("loop exits only with a solution");
+        let t0 = span_clock(trace.is_some());
         ws.arena.path_into(parent, &mut ws.path_buf);
         ws.path_buf.push(leaf_sym);
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_phase(Phase::Leaf, span_ns(t0));
+        }
+        ws.trace = trace;
         stats.final_radius_sqr = best_pd;
         stats.flops += prep.prep_flops;
         prep.indices_from_path_into(&ws.path_buf, &mut out.indices);

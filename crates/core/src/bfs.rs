@@ -28,6 +28,7 @@ use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::eval_children_batch;
 use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
+use crate::trace::{span_clock, span_ns, Phase, TraceSink};
 use sd_math::{Float, GemmAlgo};
 use sd_wireless::{Constellation, FrameData};
 use serde::{Deserialize, Serialize};
@@ -139,55 +140,60 @@ impl<F: Float> BfsGemmSd<F> {
         ws: &mut SearchWorkspace<F>,
     ) -> (Detection, BfsLevelTrace) {
         let mut out = Detection::default();
-        let mut trace = BfsLevelTrace::default();
-        self.bfs_core(prep, radius_sqr, ws, &mut out, Some(&mut trace));
-        (out, trace)
+        let mut adapter = BfsTraceAdapter::default();
+        self.bfs_core(prep, radius_sqr, ws, &mut out, Some(&mut adapter));
+        (out, adapter.trace)
     }
 
     /// The level-synchronous sweep shared by the traced and engine entry
-    /// points. `trace` is `None` on the engine path, which skips every
-    /// per-level record and keeps the decode allocation-free; the decode
-    /// itself is identical either way.
+    /// points. `trace` is `None` when no sink is installed, which skips
+    /// every emission and keeps the decode allocation-free; the decode
+    /// itself is identical either way. The traced APIs pass a
+    /// [`BfsTraceAdapter`] that folds the event stream back into a
+    /// [`BfsLevelTrace`].
     fn bfs_core(
         &self,
         prep: &Prepared<F>,
         radius_sqr: f64,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
-        mut trace: Option<&mut BfsLevelTrace>,
+        mut trace: Option<&mut (dyn TraceSink + 'static)>,
     ) {
         let m = prep.n_tx;
         let p = prep.order;
         ws.prepare(p, m);
         out.stats.reset(m);
+        if let Some(t) = trace.as_mut() {
+            t.on_decode_start(m);
+        }
         let stats = &mut out.stats;
         let mut r2 = radius_sqr;
 
         'restart: loop {
-            if let Some(t) = trace.as_deref_mut() {
-                t.levels.clear();
-                t.clipped = false;
-            }
             ws.arena.clear();
             ws.frontier.clear();
             ws.frontier.push((0.0, NIL));
             for depth in 0..m {
-                let mut info = BfsLevelInfo {
-                    frontier_in: ws.frontier.len(),
-                    children: ws.frontier.len() * p,
-                    survivors: 0,
-                    gemm_shape: (1, depth + 1, ws.frontier.len() * p),
-                };
                 // One batched GEMM for the whole level.
                 ws.ids.clear();
                 ws.ids.extend(ws.frontier.iter().map(|&(_, id)| id));
+                let t0 = span_clock(trace.is_some());
                 stats.flops +=
                     eval_children_batch(prep, &ws.arena, &ws.ids, self.batch_algo, &mut ws.scratch);
+                if let Some(t) = trace.as_mut() {
+                    t.on_phase(Phase::Expand, span_ns(t0));
+                    t.on_expand(
+                        depth,
+                        ws.frontier.len() as u64,
+                        (ws.frontier.len() * p) as u64,
+                    );
+                }
                 stats.nodes_expanded += ws.frontier.len() as u64;
                 stats.nodes_generated += (ws.frontier.len() * p) as u64;
                 stats.per_level_generated[depth] += (ws.frontier.len() * p) as u64;
 
                 ws.next.clear();
+                let mut radius_pruned = 0u64;
                 for (bi, &(pd, id)) in ws.frontier.iter().enumerate() {
                     for c in 0..p {
                         let child_pd = pd + ws.scratch.batch_increments[bi * p + c].to_f64();
@@ -195,16 +201,18 @@ impl<F: Float> BfsGemmSd<F> {
                             let child = ws.arena.alloc(id, c);
                             ws.next.push((child_pd, child));
                         } else {
-                            stats.nodes_pruned += 1;
+                            radius_pruned += 1;
                         }
                     }
                 }
-                info.survivors = ws.next.len();
+                stats.nodes_pruned += radius_pruned;
+                if let Some(t) = trace.as_mut() {
+                    t.on_prune(depth, radius_pruned);
+                }
                 if ws.next.is_empty() {
                     // Empty sphere: grow radius and restart the whole BFS.
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.levels.push(info);
-                        t.restarts += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.on_restart();
                     }
                     r2 *= InitialRadius::RESTART_GROWTH;
                     stats.restarts += 1;
@@ -213,21 +221,28 @@ impl<F: Float> BfsGemmSd<F> {
                 }
                 if ws.next.len() > self.max_frontier {
                     // GPU-memory surrogate: keep the best nodes only.
+                    let sorted = ws.next.len();
+                    let t0 = span_clock(trace.is_some());
                     ws.next.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                    stats.nodes_pruned += (ws.next.len() - self.max_frontier) as u64;
+                    let dropped = (sorted - self.max_frontier) as u64;
+                    stats.nodes_pruned += dropped;
                     ws.next.truncate(self.max_frontier);
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.clipped = true;
+                    if let Some(t) = trace.as_mut() {
+                        t.on_phase(Phase::Sort, span_ns(t0));
+                        t.on_sort(depth, sorted as u64);
+                        t.on_clip(depth, dropped);
+                        t.on_prune(depth, dropped);
                     }
                 }
-                if let Some(t) = trace.as_deref_mut() {
-                    t.levels.push(info);
+                if let Some(t) = trace.as_mut() {
+                    t.on_accept(depth, ws.next.len() as u64);
                 }
                 std::mem::swap(&mut ws.frontier, &mut ws.next);
             }
 
             // Leaf level: pick the minimum-PD survivor.
             stats.leaves_reached += ws.frontier.len() as u64;
+            let t0 = span_clock(trace.is_some());
             let &(best_pd, best_id) = ws
                 .frontier
                 .iter()
@@ -237,9 +252,64 @@ impl<F: Float> BfsGemmSd<F> {
             stats.final_radius_sqr = best_pd;
             stats.flops += prep.prep_flops;
             ws.arena.path_into(best_id, &mut ws.path_buf);
+            if let Some(t) = trace.as_mut() {
+                t.on_phase(Phase::Leaf, span_ns(t0));
+                t.on_radius_update(m - 1, best_pd);
+            }
             prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
             return;
         }
+    }
+}
+
+/// Folds the generic [`TraceSink`] event stream back into the legacy
+/// [`BfsLevelTrace`] record the GPU cost model consumes. `survivors`
+/// keeps its historical pre-clip meaning: the accepted count reported
+/// after a clip is topped back up with the clipped-off nodes.
+#[derive(Debug, Default)]
+struct BfsTraceAdapter {
+    trace: BfsLevelTrace,
+    pending_clip: u64,
+}
+
+impl TraceSink for BfsTraceAdapter {
+    fn on_decode_start(&mut self, _n_levels: usize) {
+        self.trace.levels.clear();
+        self.trace.restarts = 0;
+        self.trace.clipped = false;
+        self.pending_clip = 0;
+    }
+
+    fn on_expand(&mut self, level: usize, parents: u64, children: u64) {
+        self.trace.levels.push(BfsLevelInfo {
+            frontier_in: parents as usize,
+            children: children as usize,
+            survivors: 0,
+            gemm_shape: (1, level + 1, children as usize),
+        });
+    }
+
+    fn on_accept(&mut self, _level: usize, n: u64) {
+        if let Some(last) = self.trace.levels.last_mut() {
+            last.survivors = (n + self.pending_clip) as usize;
+        }
+        self.pending_clip = 0;
+    }
+
+    fn on_clip(&mut self, _level: usize, dropped: u64) {
+        self.trace.clipped = true;
+        self.pending_clip += dropped;
+    }
+
+    fn on_restart(&mut self) {
+        self.trace.restarts += 1;
+        self.trace.levels.clear();
+        self.trace.clipped = false;
+        self.pending_clip = 0;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -259,7 +329,9 @@ impl<F: Float> PreparedDetector<F> for BfsGemmSd<F> {
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
-        self.bfs_core(prep, radius_sqr, ws, out, None);
+        let mut trace = ws.trace.take();
+        self.bfs_core(prep, radius_sqr, ws, out, trace.as_deref_mut());
+        ws.trace = trace;
     }
 }
 

@@ -15,6 +15,7 @@ use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{children_into, eval_children, sorted_children_into, EvalStrategy, PdScratch};
 use crate::preprocess::{ColumnOrdering, Prepared};
 use crate::radius::InitialRadius;
+use crate::trace::{span_clock, span_ns, Phase, TraceSink};
 use sd_math::Float;
 use sd_wireless::Constellation;
 
@@ -106,6 +107,12 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
     ) {
         ws.prepare(prep.order, prep.n_tx);
         out.stats.reset(prep.n_tx);
+        // The sink leaves the workspace for the duration of the decode so
+        // the search can borrow it alongside the other buffers.
+        let mut trace = ws.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_decode_start(prep.n_tx);
+        }
         let ws = &mut *ws;
         let best_metric;
         {
@@ -119,6 +126,7 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
                 best_metric: F::from_f64(radius_sqr),
                 sort: self.sort_children,
                 eval: self.eval,
+                trace: trace.as_deref_mut(),
             };
             let mut r2 = radius_sqr;
             loop {
@@ -130,6 +138,9 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
                 // for finite initial radii).
                 r2 *= InitialRadius::RESTART_GROWTH;
                 search.stats.restarts += 1;
+                if let Some(t) = search.trace.as_mut() {
+                    t.on_restart();
+                }
                 search.best_metric = F::from_f64(r2);
                 assert!(
                     search.stats.restarts < 64,
@@ -138,6 +149,7 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
             }
             best_metric = search.best_metric;
         }
+        ws.trace = trace;
         prep.indices_from_path_into(&ws.best_path, &mut out.indices);
         out.stats.final_radius_sqr = best_metric.to_f64();
         out.stats.flops += prep.prep_flops;
@@ -163,6 +175,8 @@ struct Search<'a, F: Float> {
     best_metric: F,
     sort: bool,
     eval: EvalStrategy,
+    /// Observability sink, taken out of the workspace for the decode.
+    trace: Option<&'a mut (dyn TraceSink + 'static)>,
 }
 
 impl<F: Float> Search<'_, F> {
@@ -172,7 +186,12 @@ impl<F: Float> Search<'_, F> {
         let m = self.prep.n_tx;
         let p = self.prep.order;
         self.stats.nodes_expanded += 1;
+        let t0 = span_clock(self.trace.is_some());
         self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
+        if let Some(t) = self.trace.as_mut() {
+            t.on_phase(Phase::Expand, span_ns(t0));
+            t.on_expand(depth, 1, p as u64);
+        }
         self.stats.nodes_generated += p as u64;
         self.stats.per_level_generated[depth] += p as u64;
 
@@ -181,12 +200,20 @@ impl<F: Float> Search<'_, F> {
         // the seed implementation cloned them every expansion.
         let mut children = std::mem::take(&mut self.sort_bufs[depth]);
         if self.sort {
+            let t0 = span_clock(self.trace.is_some());
             sorted_children_into(&self.scratch.increments, &mut children);
+            if let Some(t) = self.trace.as_mut() {
+                t.on_phase(Phase::Sort, span_ns(t0));
+                t.on_sort(depth, p as u64);
+            }
             for (rank, &(inc, child)) in children.iter().enumerate() {
                 let child_pd = pd + inc;
                 if !(child_pd < self.best_metric) {
                     // Sorted order ⇒ every remaining sibling is pruned too.
                     self.stats.nodes_pruned += (p - rank) as u64;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.on_prune(depth, (p - rank) as u64);
+                    }
                     break;
                 }
                 self.visit(child, child_pd, depth, m);
@@ -200,6 +227,9 @@ impl<F: Float> Search<'_, F> {
                     self.visit(child, child_pd, depth, m);
                 } else {
                     self.stats.nodes_pruned += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.on_prune(depth, 1);
+                    }
                 }
             }
         }
@@ -208,14 +238,22 @@ impl<F: Float> Search<'_, F> {
 
     #[inline]
     fn visit(&mut self, child: usize, child_pd: F, depth: usize, m: usize) {
+        if let Some(t) = self.trace.as_mut() {
+            t.on_accept(depth, 1);
+        }
         if depth + 1 == m {
             // Leaf inside the sphere: Algorithm 1 lines 7–9.
             self.stats.leaves_reached += 1;
             self.stats.radius_updates += 1;
             self.best_metric = child_pd;
+            let t0 = span_clock(self.trace.is_some());
             self.best_path.clear();
             self.best_path.extend_from_slice(self.path);
             self.best_path.push(child);
+            if let Some(t) = self.trace.as_mut() {
+                t.on_phase(Phase::Leaf, span_ns(t0));
+                t.on_radius_update(depth, child_pd.to_f64());
+            }
         } else {
             self.path.push(child);
             self.descend(child_pd);

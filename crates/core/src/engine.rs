@@ -107,10 +107,21 @@ pub trait PreparedDetector<F: Float>: Send + Sync {
     /// buffers), resolve the initial radius, decode. What the
     /// [`WorkspaceDetector`](crate::batch::WorkspaceDetector) bridge
     /// forwards to.
+    ///
+    /// When a [`TraceSink`](crate::trace::TraceSink) is installed on `ws`
+    /// the preprocessing time is reported as
+    /// [`Phase::Prepare`](crate::trace::Phase) — emitted after the decode
+    /// so it survives the sink's per-decode reset.
     fn detect_frame_in(&self, frame: &FrameData, ws: &mut SearchWorkspace<F>) -> Detection {
+        let t0 = crate::trace::span_clock(ws.trace.is_some());
         let prep = self.prepare_frame(frame);
+        let prep_ns = crate::trace::span_ns(t0);
         let radius_sqr = self.initial_radius_sqr(frame.h.rows(), frame.noise_variance);
-        self.detect_prepared_in(&prep, radius_sqr, ws)
+        let out = self.detect_prepared_in(&prep, radius_sqr, ws);
+        if let Some(t) = ws.trace.as_deref_mut() {
+            t.on_phase(crate::trace::Phase::Prepare, prep_ns);
+        }
+        out
     }
 
     /// Frame-level one-shot decode. What the [`Detector`](crate::detector::Detector)

@@ -13,6 +13,7 @@ use crate::detector::Detection;
 use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::{eval_children, EvalStrategy};
 use crate::preprocess::Prepared;
+use crate::trace::{span_clock, span_ns, Phase};
 use sd_math::Float;
 use sd_wireless::Constellation;
 
@@ -73,6 +74,10 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
         let n_fe = self.full_expansion_levels.min(m);
         ws.prepare(p, m);
         out.stats.reset(m);
+        let mut trace = ws.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_decode_start(m);
+        }
         let stats = &mut out.stats;
 
         // Enumerate the fully-expanded prefix; each prefix then follows a
@@ -89,22 +94,43 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
             for d in 0..n_fe {
                 let digit = ws.path_buf[d];
                 stats.nodes_expanded += 1;
+                let t0 = span_clock(trace.is_some());
                 stats.flops += eval_children(prep, &ws.path, EvalStrategy::Gemm, &mut ws.scratch);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.on_phase(Phase::Expand, span_ns(t0));
+                    t.on_expand(d, 1, p as u64);
+                }
                 stats.nodes_generated += p as u64;
                 stats.per_level_generated[d] += p as u64;
                 pd += ws.scratch.increments[digit];
                 ws.path.push(digit);
                 if !(pd < best_metric) {
+                    // Dominated prefix: every child of this expansion is
+                    // abandoned.
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.on_prune(d, p as u64);
+                    }
                     ok = false;
                     break;
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.on_accept(d, 1);
+                    t.on_prune(d, (p - 1) as u64);
                 }
             }
             if ok {
                 // SIC tail: greedy best child per level.
                 for d in n_fe..m {
                     stats.nodes_expanded += 1;
+                    let t0 = span_clock(trace.is_some());
                     stats.flops +=
                         eval_children(prep, &ws.path, EvalStrategy::Gemm, &mut ws.scratch);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.on_phase(Phase::Expand, span_ns(t0));
+                        t.on_expand(d, 1, p as u64);
+                        t.on_accept(d, 1);
+                        t.on_prune(d, (p - 1) as u64);
+                    }
                     stats.nodes_generated += p as u64;
                     stats.per_level_generated[d] += p as u64;
                     let (mut best_c, mut best_inc) = (0usize, ws.scratch.increments[0]);
@@ -120,8 +146,13 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
                 stats.leaves_reached += 1;
                 if pd < best_metric {
                     best_metric = pd;
+                    let t0 = span_clock(trace.is_some());
                     std::mem::swap(&mut ws.path, &mut ws.best_path);
                     stats.radius_updates += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.on_phase(Phase::Leaf, span_ns(t0));
+                        t.on_radius_update(m - 1, pd.to_f64());
+                    }
                 }
             }
             // Odometer over the prefix.
@@ -143,6 +174,7 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
 
         stats.final_radius_sqr = best_metric.to_f64();
         stats.flops += prep.prep_flops;
+        ws.trace = trace;
         prep.indices_from_path_into(&ws.best_path, &mut out.indices);
     }
 }

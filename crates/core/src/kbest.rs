@@ -21,6 +21,7 @@ use crate::detector::Detection;
 use crate::engine::{impl_detector_via_prepared, PreparedDetector};
 use crate::pd::eval_children_batch;
 use crate::preprocess::Prepared;
+use crate::trace::{span_clock, span_ns, Phase};
 use sd_math::{Float, GemmAlgo};
 use sd_wireless::Constellation;
 
@@ -74,6 +75,10 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         let p = prep.order;
         ws.prepare(p, m);
         out.stats.reset(m);
+        let mut trace = ws.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_decode_start(m);
+        }
         let stats = &mut out.stats;
 
         // Frontier of (pd, arena id), capped at K after each level.
@@ -82,8 +87,17 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         for depth in 0..m {
             ws.ids.clear();
             ws.ids.extend(ws.frontier_f.iter().map(|&(_, id)| id));
+            let t0 = span_clock(trace.is_some());
             stats.flops +=
                 eval_children_batch(prep, &ws.arena, &ws.ids, self.batch_algo, &mut ws.scratch);
+            if let Some(t) = trace.as_deref_mut() {
+                t.on_phase(Phase::Expand, span_ns(t0));
+                t.on_expand(
+                    depth,
+                    ws.frontier_f.len() as u64,
+                    (ws.frontier_f.len() * p) as u64,
+                );
+            }
             stats.nodes_expanded += ws.frontier_f.len() as u64;
             stats.nodes_generated += (ws.frontier_f.len() * p) as u64;
             stats.per_level_generated[depth] += (ws.frontier_f.len() * p) as u64;
@@ -97,15 +111,26 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
                 }
             }
             if ws.next_f.len() > self.k {
+                let sorted = ws.next_f.len();
+                let t0 = span_clock(trace.is_some());
                 ws.next_f
                     .sort_unstable_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()));
                 stats.nodes_pruned += (ws.next_f.len() - self.k) as u64;
                 ws.next_f.truncate(self.k);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.on_phase(Phase::Sort, span_ns(t0));
+                    t.on_sort(depth, sorted as u64);
+                    t.on_prune(depth, (sorted - self.k) as u64);
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.on_accept(depth, ws.next_f.len() as u64);
             }
             std::mem::swap(&mut ws.frontier_f, &mut ws.next_f);
         }
 
         stats.leaves_reached = ws.frontier_f.len() as u64;
+        let t0 = span_clock(trace.is_some());
         let &(best_pd, best_id) = ws
             .frontier_f
             .iter()
@@ -115,6 +140,11 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         stats.final_radius_sqr = best_pd.to_f64();
         stats.flops += prep.prep_flops;
         ws.arena.path_into(best_id, &mut ws.path_buf);
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_phase(Phase::Leaf, span_ns(t0));
+            t.on_radius_update(m - 1, best_pd.to_f64());
+        }
+        ws.trace = trace;
         prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
     }
 }

@@ -65,6 +65,7 @@ pub mod reference;
 pub mod rvd;
 pub mod soft;
 pub mod stat_pruning;
+pub mod trace;
 
 pub use analysis::{profile_detector, ComplexityProfile, ComplexitySample};
 pub use arena::{NodeArena, SearchWorkspace};
@@ -87,3 +88,4 @@ pub use radius::InitialRadius;
 pub use rvd::RvdSphereDecoder;
 pub use soft::{SoftDetection, SoftSphereDecoder};
 pub use stat_pruning::StatPruningSd;
+pub use trace::{LevelTelemetry, Phase, PhaseProfile, PhaseUnit, SearchTelemetry, TraceSink};

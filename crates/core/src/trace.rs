@@ -1,0 +1,445 @@
+//! Search observability: the [`TraceSink`] event interface, the
+//! [`SearchTelemetry`] per-level recorder, and the [`PhaseProfile`]
+//! scoped-span accumulator.
+//!
+//! The paper's whole argument rests on *observed* search behaviour —
+//! SNR-dependent node counts (Fig. 6–10), the "<1 % explored" claim of
+//! Sec. IV-F, per-stage pipeline occupancy — so every engine behind
+//! [`PreparedDetector`](crate::engine::PreparedDetector) emits a uniform
+//! event stream describing its search: expansions, per-level child
+//! generation, pruning, sorting, radius shrinks, restarts. A sink is
+//! installed into the [`SearchWorkspace`](crate::arena::SearchWorkspace)
+//! (`install_trace` / `install_telemetry`); when none is installed the
+//! engines skip every emission (a single `Option` check per site), so the
+//! disabled path stays allocation-free and within the alloc-free gate's
+//! budget (`tests/alloc_free.rs`).
+//!
+//! Two recorders ship with the crate:
+//!
+//! * [`SearchTelemetry`] — per-level [`LevelTelemetry`] counters plus a
+//!   [`PhaseProfile`]. Its accounting reconciles *exactly* with
+//!   [`DetectionStats`](crate::detector::DetectionStats): for every level
+//!   `generated == accepted + pruned`, and the generated totals match
+//!   `nodes_generated` (asserted by `tests/telemetry.rs`).
+//! * The BFS adapter in [`crate::bfs`] — rebuilds the historical
+//!   [`BfsLevelTrace`](crate::bfs::BfsLevelTrace) (consumed by the
+//!   `sd-gpu` cost model) from the same event stream, replacing the
+//!   one-off tracing plumbing that used to live inside the decoder.
+//!
+//! [`PhaseProfile`] also serves as the common schema for phase-level cost
+//! views: wall-clock spans here (unit [`PhaseUnit::Nanoseconds`]) and the
+//! fpga-sim cycle breakdown (unit [`PhaseUnit::Cycles`]) render through
+//! the same type, making simulated-cycle and measured-time views directly
+//! comparable in bench reports.
+
+use std::any::Any;
+use std::time::Instant;
+
+/// A prepared-decode phase a scoped span can be charged to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// QR / ordering preprocessing (frame → prepared problem).
+    Prepare,
+    /// Child evaluation (the GEMM formulation, Phases 1–2 of Fig. 4).
+    Expand,
+    /// Child sorting / frontier truncation (Phase 3).
+    Sort,
+    /// Leaf handling: incumbent update, path materialization.
+    Leaf,
+}
+
+/// Unit of the amounts accumulated in a [`PhaseProfile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseUnit {
+    /// Wall-clock nanoseconds (software spans).
+    Nanoseconds,
+    /// Simulated hardware cycles (the fpga-sim accounting).
+    Cycles,
+}
+
+impl PhaseUnit {
+    /// Short suffix for rendered amounts (`"ns"` / `"cyc"`).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            PhaseUnit::Nanoseconds => "ns",
+            PhaseUnit::Cycles => "cyc",
+        }
+    }
+}
+
+/// Per-decode accumulation of cost per [`Phase`], in one [`PhaseUnit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Cost charged to [`Phase::Prepare`].
+    pub prepare: u64,
+    /// Cost charged to [`Phase::Expand`].
+    pub expand: u64,
+    /// Cost charged to [`Phase::Sort`].
+    pub sort: u64,
+    /// Cost charged to [`Phase::Leaf`].
+    pub leaf: u64,
+    /// What the amounts measure.
+    pub unit: PhaseUnit,
+}
+
+impl PhaseProfile {
+    /// Zeroed profile in the given unit.
+    pub fn new(unit: PhaseUnit) -> Self {
+        PhaseProfile {
+            prepare: 0,
+            expand: 0,
+            sort: 0,
+            leaf: 0,
+            unit,
+        }
+    }
+
+    /// Add `amount` to `phase`.
+    pub fn record(&mut self, phase: Phase, amount: u64) {
+        match phase {
+            Phase::Prepare => self.prepare += amount,
+            Phase::Expand => self.expand += amount,
+            Phase::Sort => self.sort += amount,
+            Phase::Leaf => self.leaf += amount,
+        }
+    }
+
+    /// Accumulated amount of one phase.
+    pub fn get(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Prepare => self.prepare,
+            Phase::Expand => self.expand,
+            Phase::Sort => self.sort,
+            Phase::Leaf => self.leaf,
+        }
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.prepare + self.expand + self.sort + self.leaf
+    }
+
+    /// Fraction of the total charged to `phase` (0 when empty).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+
+    /// Zero every phase, keeping the unit.
+    pub fn clear(&mut self) {
+        *self = PhaseProfile::new(self.unit);
+    }
+
+    /// One-line human rendering, e.g.
+    /// `prepare=120 expand=3400 sort=200 leaf=40 total=3760 ns`.
+    pub fn render(&self) -> String {
+        format!(
+            "prepare={} expand={} sort={} leaf={} total={} {}",
+            self.prepare,
+            self.expand,
+            self.sort,
+            self.leaf,
+            self.total(),
+            self.unit.suffix()
+        )
+    }
+}
+
+impl Default for PhaseProfile {
+    fn default() -> Self {
+        PhaseProfile::new(PhaseUnit::Nanoseconds)
+    }
+}
+
+/// Receiver of search events from a decode.
+///
+/// Every method has a no-op default, so a sink implements only what it
+/// consumes. Engines hold the sink behind an `Option` and skip emission
+/// entirely when none is installed — the disabled path costs one branch
+/// per site and performs no allocation.
+///
+/// Level indices refer to the tree depth of the *generated children*
+/// (index into `DetectionStats::per_level_generated`), and counters
+/// accumulate across radius restarts within one decode, matching how
+/// [`DetectionStats`](crate::detector::DetectionStats) accumulates. The
+/// per-level contract engines uphold: between `on_decode_start` calls,
+/// `children` summed over `on_expand` equals the sum of `on_accept` and
+/// `on_prune` counts at the same level.
+pub trait TraceSink: Send {
+    /// A decode over `n_levels` tree levels is starting; recorders reset
+    /// per-decode state here (keeping capacity).
+    fn on_decode_start(&mut self, _n_levels: usize) {}
+
+    /// `parents` nodes at `level` were expanded, generating `children`.
+    fn on_expand(&mut self, _level: usize, _parents: u64, _children: u64) {}
+
+    /// `n` generated children at `level` were accepted into the search
+    /// (visited, pushed to a frontier/heap, or registered as leaves).
+    fn on_accept(&mut self, _level: usize, _n: u64) {}
+
+    /// `n` generated children at `level` were discarded (radius bound,
+    /// K-best truncation, frontier clip, dominated prefix).
+    fn on_prune(&mut self, _level: usize, _n: u64) {}
+
+    /// A sort over `elements` entries ran at `level`.
+    fn on_sort(&mut self, _level: usize, _elements: u64) {}
+
+    /// A frontier cap at `level` dropped `dropped` nodes that had passed
+    /// the radius test (the drop is also reported via [`Self::on_prune`]).
+    fn on_clip(&mut self, _level: usize, _dropped: u64) {}
+
+    /// A leaf at `level` shrank the sphere to `radius_sqr`.
+    fn on_radius_update(&mut self, _level: usize, _radius_sqr: f64) {}
+
+    /// The sphere was empty; the decode restarts with a grown radius.
+    fn on_restart(&mut self) {}
+
+    /// A scoped span over `phase` measured `amount`
+    /// ([`PhaseUnit::Nanoseconds`] on the software engines).
+    fn on_phase(&mut self, _phase: Phase, _amount: u64) {}
+
+    /// Downcasting hook so a concrete recorder can be recovered from the
+    /// workspace's type-erased slot (see
+    /// [`SearchWorkspace::telemetry`](crate::arena::SearchWorkspace::telemetry)).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Start a span clock only when a sink is listening; `None` otherwise, so
+/// the disabled path never calls [`Instant::now`].
+#[inline]
+pub(crate) fn span_clock(active: bool) -> Option<Instant> {
+    if active {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Elapsed nanoseconds of a [`span_clock`] (0 when tracing is disabled).
+#[inline]
+pub(crate) fn span_ns(t0: Option<Instant>) -> u64 {
+    t0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+/// Counters for one tree level of a decode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelTelemetry {
+    /// Parent nodes expanded to generate this level's children.
+    pub expanded: u64,
+    /// Children generated at this level.
+    pub generated: u64,
+    /// Children accepted into the search.
+    pub accepted: u64,
+    /// Children pruned (radius, truncation, clip, domination).
+    pub pruned: u64,
+    /// Sort invocations at this level.
+    pub sorts: u64,
+    /// Total elements passed through those sorts.
+    pub sorted_elements: u64,
+    /// Radius shrinks triggered by leaves at this level.
+    pub radius_updates: u64,
+}
+
+/// The stock [`TraceSink`]: per-level counters + a phase profile,
+/// resetting (capacity-preserving) at every `on_decode_start` so the view
+/// after a decode describes exactly that decode.
+#[derive(Debug, Default)]
+pub struct SearchTelemetry {
+    levels: Vec<LevelTelemetry>,
+    /// Radius restarts observed.
+    pub restarts: u64,
+    /// Frontier-cap clip events observed.
+    pub clips: u64,
+    /// Scoped-span accumulation over the decode phases.
+    pub phases: PhaseProfile,
+}
+
+impl SearchTelemetry {
+    /// Fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-level counters, index = tree depth of the generated children.
+    pub fn levels(&self) -> &[LevelTelemetry] {
+        &self.levels
+    }
+
+    /// Total children generated across levels; reconciles exactly with
+    /// [`DetectionStats::nodes_generated`](crate::detector::DetectionStats)
+    /// of the traced decode.
+    pub fn nodes_generated(&self) -> u64 {
+        self.levels.iter().map(|l| l.generated).sum()
+    }
+
+    /// Total children accepted across levels.
+    pub fn nodes_accepted(&self) -> u64 {
+        self.levels.iter().map(|l| l.accepted).sum()
+    }
+
+    /// Total children pruned across levels.
+    pub fn nodes_pruned(&self) -> u64 {
+        self.levels.iter().map(|l| l.pruned).sum()
+    }
+
+    /// `true` when every level satisfies the conservation identity
+    /// `generated == accepted + pruned`.
+    pub fn per_level_identity_holds(&self) -> bool {
+        self.levels
+            .iter()
+            .all(|l| l.generated == l.accepted + l.pruned)
+    }
+
+    #[inline]
+    fn level_mut(&mut self, level: usize) -> &mut LevelTelemetry {
+        if level >= self.levels.len() {
+            self.levels.resize(level + 1, LevelTelemetry::default());
+        }
+        &mut self.levels[level]
+    }
+}
+
+impl TraceSink for SearchTelemetry {
+    fn on_decode_start(&mut self, n_levels: usize) {
+        self.levels.clear();
+        self.levels.resize(n_levels, LevelTelemetry::default());
+        self.restarts = 0;
+        self.clips = 0;
+        self.phases.clear();
+    }
+
+    fn on_expand(&mut self, level: usize, parents: u64, children: u64) {
+        let l = self.level_mut(level);
+        l.expanded += parents;
+        l.generated += children;
+    }
+
+    fn on_accept(&mut self, level: usize, n: u64) {
+        self.level_mut(level).accepted += n;
+    }
+
+    fn on_prune(&mut self, level: usize, n: u64) {
+        self.level_mut(level).pruned += n;
+    }
+
+    fn on_sort(&mut self, level: usize, elements: u64) {
+        let l = self.level_mut(level);
+        l.sorts += 1;
+        l.sorted_elements += elements;
+    }
+
+    fn on_clip(&mut self, _level: usize, _dropped: u64) {
+        self.clips += 1;
+    }
+
+    fn on_radius_update(&mut self, level: usize, _radius_sqr: f64) {
+        self.level_mut(level).radius_updates += 1;
+    }
+
+    fn on_restart(&mut self) {
+        self.restarts += 1;
+    }
+
+    fn on_phase(&mut self, phase: Phase, amount: u64) {
+        self.phases.record(phase, amount);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_profile_accumulates_and_renders() {
+        let mut p = PhaseProfile::new(PhaseUnit::Nanoseconds);
+        p.record(Phase::Expand, 100);
+        p.record(Phase::Expand, 50);
+        p.record(Phase::Sort, 30);
+        p.record(Phase::Prepare, 10);
+        p.record(Phase::Leaf, 10);
+        assert_eq!(p.total(), 200);
+        assert_eq!(p.get(Phase::Expand), 150);
+        assert!((p.fraction(Phase::Expand) - 0.75).abs() < 1e-12);
+        let line = p.render();
+        assert!(line.contains("expand=150"), "{line}");
+        assert!(line.ends_with("ns"), "{line}");
+        p.clear();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.unit, PhaseUnit::Nanoseconds);
+    }
+
+    #[test]
+    fn cycles_profile_renders_its_unit() {
+        let mut p = PhaseProfile::new(PhaseUnit::Cycles);
+        p.record(Phase::Sort, 7);
+        assert!(p.render().ends_with("cyc"));
+        assert_eq!(p.fraction(Phase::Sort), 1.0);
+    }
+
+    #[test]
+    fn empty_profile_fraction_is_zero() {
+        let p = PhaseProfile::default();
+        assert_eq!(p.fraction(Phase::Expand), 0.0);
+    }
+
+    #[test]
+    fn telemetry_tracks_per_level_identity() {
+        let mut t = SearchTelemetry::new();
+        t.on_decode_start(2);
+        t.on_expand(0, 1, 4);
+        t.on_accept(0, 3);
+        t.on_prune(0, 1);
+        t.on_expand(1, 3, 12);
+        t.on_accept(1, 2);
+        t.on_prune(1, 10);
+        assert!(t.per_level_identity_holds());
+        assert_eq!(t.nodes_generated(), 16);
+        assert_eq!(t.nodes_accepted(), 5);
+        assert_eq!(t.nodes_pruned(), 11);
+        t.on_prune(1, 1); // break the identity
+        assert!(!t.per_level_identity_holds());
+    }
+
+    #[test]
+    fn decode_start_resets_per_decode_state() {
+        let mut t = SearchTelemetry::new();
+        t.on_decode_start(3);
+        t.on_expand(2, 1, 4);
+        t.on_restart();
+        t.on_clip(1, 2);
+        t.on_phase(Phase::Expand, 99);
+        t.on_decode_start(3);
+        assert_eq!(t.nodes_generated(), 0);
+        assert_eq!(t.restarts, 0);
+        assert_eq!(t.clips, 0);
+        assert_eq!(t.phases.total(), 0);
+        assert_eq!(t.levels().len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_level_grows_the_table() {
+        // Sinks must tolerate events beyond the announced depth (engines
+        // with restarts or adapters may emit before decode_start).
+        let mut t = SearchTelemetry::new();
+        t.on_decode_start(1);
+        t.on_expand(5, 1, 2);
+        assert_eq!(t.levels().len(), 6);
+        assert_eq!(t.levels()[5].generated, 2);
+    }
+
+    #[test]
+    fn telemetry_downcasts_through_as_any() {
+        let mut t = SearchTelemetry::new();
+        t.on_decode_start(1);
+        let sink: &dyn TraceSink = &t;
+        assert!(sink.as_any().downcast_ref::<SearchTelemetry>().is_some());
+    }
+}

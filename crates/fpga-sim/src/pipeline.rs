@@ -91,6 +91,20 @@ impl CycleBreakdown {
     pub fn total(&self) -> u64 {
         self.host_transfer + self.prefetch + self.gemm + self.norm + self.sort + self.control
     }
+
+    /// Render the cycle accounting through the unified observability
+    /// schema ([`sd_core::PhaseProfile`], unit = cycles): host transfer
+    /// and prefetch are decode preparation, GEMM + NORM are expansion,
+    /// the bitonic sorter is the sort phase, and control/list management
+    /// is leaf/bookkeeping work. `total()` is preserved exactly.
+    pub fn phase_profile(&self) -> sd_core::PhaseProfile {
+        let mut p = sd_core::PhaseProfile::new(sd_core::PhaseUnit::Cycles);
+        p.record(sd_core::Phase::Prepare, self.host_transfer + self.prefetch);
+        p.record(sd_core::Phase::Expand, self.gemm + self.norm);
+        p.record(sd_core::Phase::Sort, self.sort);
+        p.record(sd_core::Phase::Leaf, self.control);
+        p
+    }
 }
 
 /// Full report of one FPGA decode.
@@ -109,6 +123,14 @@ pub struct FpgaDecodeReport {
     /// `true` when the MST fits the device's on-chip memory budget
     /// (URAM + BRAM, 60 % usable for the table).
     pub mst_fits_onchip: bool,
+}
+
+impl FpgaDecodeReport {
+    /// The cycle accounting in the unified [`sd_core::PhaseProfile`]
+    /// schema (see [`CycleBreakdown::phase_profile`]).
+    pub fn phase_profile(&self) -> sd_core::PhaseProfile {
+        self.cycles.phase_profile()
+    }
 }
 
 /// The FPGA sphere-decoder accelerator model.
@@ -380,6 +402,28 @@ mod tests {
             assert_eq!(a.indices, b.indices, "hardware must match software");
             assert_eq!(a.stats.nodes_expanded, b.stats.nodes_expanded);
             assert_eq!(a.stats.nodes_generated, b.stats.nodes_generated);
+        }
+    }
+
+    #[test]
+    fn phase_profile_preserves_cycle_total() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 5, 205);
+        let hw = FpgaSphereDecoder::new(FpgaConfig::optimized(Modulation::Qam4, 6), c);
+        for f in &frames {
+            let report = hw.decode_with_report(f);
+            let profile = report.phase_profile();
+            assert_eq!(profile.unit, sd_core::PhaseUnit::Cycles);
+            assert_eq!(
+                profile.total(),
+                report.cycles.total(),
+                "schema mapping must not lose cycles"
+            );
+            assert_eq!(
+                profile.get(sd_core::Phase::Expand),
+                report.cycles.gemm + report.cycles.norm
+            );
+            assert_eq!(profile.get(sd_core::Phase::Sort), report.cycles.sort);
+            assert!(profile.render().ends_with("cyc"));
         }
     }
 

@@ -1,0 +1,525 @@
+//! Export surfaces for [`MetricsSnapshot`]: Prometheus text exposition
+//! and JSON lines.
+//!
+//! Both renderers are dependency-free string builders (the workspace
+//! carries no JSON library), covering the full snapshot: admission and
+//! serve counters, deadline accounting, batch shape, latency / queue-wait
+//! quantiles, per-tier serve counts with the cost-model
+//! `|predicted − actual|` error quantiles, and the aggregated decoder
+//! stats. [`validate_json`] is a minimal recursive-descent JSON checker
+//! used by the demo's smoke mode (and tests) to prove the emitted line
+//! actually parses.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Rendering used by the export helpers and the periodic reporter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Prometheus text exposition format (`# HELP` / `# TYPE` / samples).
+    Prometheus,
+    /// One self-contained JSON object per snapshot.
+    JsonLines,
+}
+
+/// Render a snapshot in the requested format.
+pub fn render(snap: &MetricsSnapshot, format: ExportFormat) -> String {
+    match format {
+        ExportFormat::Prometheus => prometheus_text(snap),
+        ExportFormat::JsonLines => json_line(snap),
+    }
+}
+
+/// JSON numbers must be finite; NaN/∞ degrade to 0.
+fn json_f64(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Escape a string for a JSON string literal or a Prometheus label value.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counter samples carry the conventional `_total` suffix; quantile
+/// summaries use a `quantile` label; per-tier samples a `tier` label.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut o = String::with_capacity(2048);
+    let mut counter = |name: &str, help: &str, v: u64| {
+        let _ = writeln!(o, "# HELP {name} {help}");
+        let _ = writeln!(o, "# TYPE {name} counter");
+        let _ = writeln!(o, "{name} {v}");
+    };
+    counter(
+        "sd_serve_accepted_total",
+        "Requests admitted into the ingress queue.",
+        snap.accepted,
+    );
+    counter(
+        "sd_serve_rejected_full_total",
+        "Requests shed at admission (queue full).",
+        snap.rejected_full,
+    );
+    counter(
+        "sd_serve_rejected_shutdown_total",
+        "Requests refused during shutdown.",
+        snap.rejected_shutdown,
+    );
+    counter("sd_serve_served_total", "Responses produced.", snap.served);
+    counter(
+        "sd_serve_deadline_missed_total",
+        "Responses that exceeded their deadline.",
+        snap.deadline_missed,
+    );
+    counter(
+        "sd_serve_batches_total",
+        "Batches drained from the ingress queue.",
+        snap.batches,
+    );
+    counter(
+        "sd_serve_nodes_generated_total",
+        "Search-tree nodes generated across all served decodes.",
+        snap.stats.nodes_generated,
+    );
+
+    let mut gauge = |name: &str, help: &str, v: f64| {
+        let _ = writeln!(o, "# HELP {name} {help}");
+        let _ = writeln!(o, "# TYPE {name} gauge");
+        let _ = writeln!(o, "{name} {}", json_f64(v));
+    };
+    gauge(
+        "sd_serve_deadline_miss_rate",
+        "deadline_missed / served.",
+        snap.deadline_miss_rate,
+    );
+    gauge(
+        "sd_serve_mean_batch_size",
+        "Mean requests per batch.",
+        snap.mean_batch_size,
+    );
+    gauge(
+        "sd_serve_queue_depth",
+        "Ingress backlog at snapshot time.",
+        snap.queue_depth as f64,
+    );
+
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_latency_us End-to-end latency quantiles (bucket upper bound)."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_latency_us summary");
+    let _ = writeln!(
+        o,
+        "sd_serve_latency_us{{quantile=\"0.5\"}} {}",
+        json_f64(snap.p50_latency_us)
+    );
+    let _ = writeln!(
+        o,
+        "sd_serve_latency_us{{quantile=\"0.99\"}} {}",
+        json_f64(snap.p99_latency_us)
+    );
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_queue_wait_us Queue-wait quantiles (bucket upper bound)."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_queue_wait_us summary");
+    let _ = writeln!(
+        o,
+        "sd_serve_queue_wait_us{{quantile=\"0.99\"}} {}",
+        json_f64(snap.p99_queue_wait_us)
+    );
+
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_tier_served_total Responses served per ladder tier."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_tier_served_total counter");
+    for t in &snap.tiers {
+        let _ = writeln!(
+            o,
+            "sd_serve_tier_served_total{{tier=\"{}\"}} {}",
+            escape(&t.label),
+            t.served
+        );
+    }
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_tier_predict_err_us Cost-model |predicted-actual| decode time per tier."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_tier_predict_err_us summary");
+    for t in &snap.tiers {
+        let _ = writeln!(
+            o,
+            "sd_serve_tier_predict_err_us{{tier=\"{}\",quantile=\"0.5\"}} {}",
+            escape(&t.label),
+            json_f64(t.p50_predict_err_us)
+        );
+        let _ = writeln!(
+            o,
+            "sd_serve_tier_predict_err_us{{tier=\"{}\",quantile=\"0.99\"}} {}",
+            escape(&t.label),
+            json_f64(t.p99_predict_err_us)
+        );
+    }
+    o
+}
+
+/// Render a snapshot as one self-contained JSON object (no trailing
+/// newline) — the JSON-lines record format.
+pub fn json_line(snap: &MetricsSnapshot) -> String {
+    let mut o = String::with_capacity(1024);
+    let _ = write!(
+        o,
+        "{{\"accepted\":{},\"rejected_full\":{},\"rejected_shutdown\":{},\"served\":{},\
+         \"deadline_missed\":{},\"deadline_miss_rate\":{},\"batches\":{},\
+         \"mean_batch_size\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
+         \"p99_latency_us\":{},\"p99_queue_wait_us\":{},\"nodes_generated\":{},\
+         \"leaves_reached\":{},\"tiers\":[",
+        snap.accepted,
+        snap.rejected_full,
+        snap.rejected_shutdown,
+        snap.served,
+        snap.deadline_missed,
+        json_f64(snap.deadline_miss_rate),
+        snap.batches,
+        json_f64(snap.mean_batch_size),
+        snap.queue_depth,
+        json_f64(snap.p50_latency_us),
+        json_f64(snap.p99_latency_us),
+        json_f64(snap.p99_queue_wait_us),
+        snap.stats.nodes_generated,
+        snap.stats.leaves_reached,
+    );
+    for (i, t) in snap.tiers.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"label\":\"{}\",\"served\":{},\"p50_predict_err_us\":{},\
+             \"p99_predict_err_us\":{}}}",
+            escape(&t.label),
+            t.served,
+            json_f64(t.p50_predict_err_us),
+            json_f64(t.p99_predict_err_us),
+        );
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Check that `s` is exactly one well-formed JSON value (with optional
+/// surrounding whitespace). Returns the byte offset and a description on
+/// the first violation.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != b.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.pos)
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.b.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.b[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("malformed literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        if self.b.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            if self.b.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.pos += 1; // '['
+        self.skip_ws();
+        if self.b.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        if self.b.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.pos += 1;
+        while let Some(&c) = self.b.get(self.pos) {
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.b.get(self.pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.b.get(self.pos) {
+                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.b.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("expected digits"));
+        }
+        // Leading zeros are invalid JSON ("01"), a bare zero is fine.
+        if self.b[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(self.err("leading zero"));
+        }
+        if self.b.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.b.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.b.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, TierSnapshot};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let m = Metrics::new(vec![Arc::from("exact"), Arc::from("mmse")]);
+        m.accepted.store(10, Ordering::Relaxed);
+        m.served.store(9, Ordering::Relaxed);
+        m.deadline_missed.store(1, Ordering::Relaxed);
+        m.batches.store(3, Ordering::Relaxed);
+        m.batch_items.store(9, Ordering::Relaxed);
+        m.latency_ns.record(150_000);
+        m.tiers[0].served.fetch_add(7, Ordering::Relaxed);
+        m.tiers[0].predict_err_ns.record(40_000);
+        m.tiers[1].served.fetch_add(2, Ordering::Relaxed);
+        m.snapshot(2)
+    }
+
+    #[test]
+    fn prometheus_text_contains_all_families() {
+        let text = prometheus_text(&sample_snapshot());
+        for needle in [
+            "sd_serve_served_total 9",
+            "sd_serve_accepted_total 10",
+            "sd_serve_deadline_missed_total 1",
+            "sd_serve_queue_depth 2",
+            "sd_serve_tier_served_total{tier=\"exact\"} 7",
+            "sd_serve_tier_served_total{tier=\"mmse\"} 2",
+            "sd_serve_tier_predict_err_us{tier=\"exact\",quantile=\"0.5\"}",
+            "sd_serve_latency_us{quantile=\"0.99\"}",
+            "# TYPE sd_serve_served_total counter",
+            "# TYPE sd_serve_deadline_miss_rate gauge",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_line_is_valid_json_with_tiers() {
+        let snap = sample_snapshot();
+        let line = json_line(&snap);
+        validate_json(&line).expect("snapshot JSON must parse");
+        assert!(!line.contains('\n'), "JSON-lines records are single-line");
+        assert!(line.contains("\"served\":9"));
+        assert!(line.contains("\"label\":\"exact\",\"served\":7"));
+        assert!(line.contains("p99_predict_err_us"));
+    }
+
+    #[test]
+    fn render_dispatches_by_format() {
+        let snap = sample_snapshot();
+        assert_eq!(
+            render(&snap, ExportFormat::Prometheus),
+            prometheus_text(&snap)
+        );
+        assert_eq!(render(&snap, ExportFormat::JsonLines), json_line(&snap));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut snap = sample_snapshot();
+        snap.tiers.push(TierSnapshot {
+            label: Arc::from("we\"ird\\tier"),
+            served: 1,
+            p50_predict_err_us: 0.0,
+            p99_predict_err_us: 0.0,
+        });
+        let line = json_line(&snap);
+        validate_json(&line).expect("escaped label must stay parseable");
+        assert!(line.contains("we\\\"ird\\\\tier"));
+    }
+
+    #[test]
+    fn non_finite_rates_degrade_to_zero() {
+        let mut snap = sample_snapshot();
+        snap.deadline_miss_rate = f64::NAN;
+        snap.mean_batch_size = f64::INFINITY;
+        validate_json(&json_line(&snap)).expect("NaN/inf must not leak into JSON");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "  {\"a\": [1, 2.5, -3e4, true, false, null, \"s\\n\"]} ",
+            "0",
+            "-0.5",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} should parse: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} extra",
+            "01",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "NaN",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod batcher;
 pub mod budget;
+pub mod export;
 pub mod ladder;
 pub mod loadgen;
 pub mod metrics;
@@ -54,10 +55,11 @@ mod worker;
 
 pub use batcher::BatchPolicy;
 pub use budget::{kbest_nodes, CostModel, TierCostClass};
+pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat};
 pub use ladder::{choose_tier, LadderConfig};
 pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
 pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{default_registry, Tier};
 pub use request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
-pub use runtime::{ServeConfig, ServeRuntime};
+pub use runtime::{ReporterConfig, ServeConfig, ServeRuntime};

@@ -48,7 +48,10 @@ impl Log2Histogram {
     }
 
     /// Quantile `q` in `[0, 1]` from snapshotted counts, as the upper edge
-    /// of the containing bucket; 0 when empty.
+    /// of the containing bucket; 0 when empty. The top bucket has no finite
+    /// upper edge, so it saturates to its lower edge (`2^63`) — still an
+    /// honest "at least this much" figure, without the `u64::MAX` sentinel
+    /// poisoning every downstream µs conversion.
     pub fn quantile(counts: &[u64; N_BUCKETS], q: f64) -> u64 {
         let total = Self::total(counts);
         if total == 0 {
@@ -59,14 +62,14 @@ impl Log2Histogram {
         for (i, &c) in counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return if i >= 63 {
-                    u64::MAX
+                return if i >= N_BUCKETS - 1 {
+                    1u64 << (N_BUCKETS - 1)
                 } else {
                     (1u64 << (i + 1)) - 1
                 };
             }
         }
-        u64::MAX
+        1u64 << (N_BUCKETS - 1)
     }
 }
 
@@ -152,10 +155,13 @@ impl Metrics {
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
         let lat = self.latency_ns.counts();
         let wait = self.queue_wait_ns.counts();
+        // Load `missed` before `served`: workers bump `served` first, so
+        // this order can only under-report the miss rate mid-update, never
+        // push it above 1.
+        let missed = self.deadline_missed.load(Ordering::Relaxed);
         let served = self.served.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let items = self.batch_items.load(Ordering::Relaxed);
-        let missed = self.deadline_missed.load(Ordering::Relaxed);
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
@@ -287,6 +293,21 @@ mod tests {
         assert_eq!(Log2Histogram::quantile(&c, 0.99), 127);
         assert_eq!(Log2Histogram::quantile(&c, 1.0), (1 << 21) - 1);
         assert_eq!(Log2Histogram::quantile(&[0; N_BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn top_bucket_quantile_saturates() {
+        // The top bucket's upper edge would overflow u64; the quantile
+        // saturates to the bucket's lower edge instead of the old
+        // `u64::MAX` sentinel (which rendered as ~1.8e16 µs).
+        let h = Log2Histogram::new();
+        h.record(u64::MAX);
+        let c = h.counts();
+        assert_eq!(c[N_BUCKETS - 1], 1);
+        let top = Log2Histogram::quantile(&c, 1.0);
+        assert_eq!(top, 1u64 << (N_BUCKETS - 1));
+        assert!(top < u64::MAX);
+        assert_eq!(Log2Histogram::quantile(&c, 0.5), top);
     }
 
     #[test]

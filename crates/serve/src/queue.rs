@@ -153,15 +153,19 @@ impl<T> BoundedQueue<T> {
             g = self.not_empty.wait(g).unwrap();
         }
         out.push(g.items.pop_front().unwrap());
-        // Phase 2: age-bounded accumulation up to `max`.
+        // Phase 2: age-bounded accumulation up to `max` (still respecting
+        // the pause gate — a pause landing mid-batch must not keep feeding
+        // this consumer).
         let deadline = Instant::now() + max_wait;
         while out.len() < max {
-            if let Some(item) = g.items.pop_front() {
-                out.push(item);
-                continue;
-            }
-            if g.closed {
-                break;
+            if !g.paused {
+                if let Some(item) = g.items.pop_front() {
+                    out.push(item);
+                    continue;
+                }
+                if g.closed {
+                    break;
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -273,6 +277,29 @@ mod tests {
         assert_eq!(q.try_pop(), None, "paused consumer sees nothing");
         q.resume();
         assert_eq!(q.try_pop(), Some(1));
+    }
+
+    #[test]
+    fn pause_gates_batch_accumulation() {
+        // A pause landing between the first item and the rest of the batch
+        // must stop the accumulation loop from draining further items.
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut batch = Vec::new();
+            assert!(q2.pop_batch(&mut batch, 4, Duration::from_millis(200)));
+            batch
+        });
+        // Let the consumer grab item 1 and enter phase 2, then gate it and
+        // enqueue more work.
+        std::thread::sleep(Duration::from_millis(50));
+        q.pause();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        let batch = h.join().unwrap();
+        assert_eq!(batch, vec![1], "paused accumulation must not drain");
+        assert_eq!(q.len(), 2, "items pushed under pause stay queued");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::batcher::BatchPolicy;
 use crate::budget::CostModel;
+use crate::export::{render, ExportFormat};
 use crate::ladder::LadderConfig;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
@@ -29,9 +30,19 @@ use crate::request::{DetectionRequest, DetectionResponse, RejectReason, Rejected
 use crate::worker::Worker;
 use sd_core::Detection;
 use sd_wireless::Constellation;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Periodic metrics reporter: every `period`, the runtime renders a fresh
+/// [`MetricsSnapshot`] in `format` to stderr from a dedicated thread.
+#[derive(Clone, Debug)]
+pub struct ReporterConfig {
+    /// Interval between reports.
+    pub period: Duration,
+    /// Rendering used for each report.
+    pub format: ExportFormat,
+}
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -47,6 +58,8 @@ pub struct ServeConfig {
     /// Start with the worker gate paused (deterministic tests build a
     /// backlog, then [`ServeRuntime::resume`]).
     pub start_paused: bool,
+    /// Optional periodic metrics reporter.
+    pub reporter: Option<ReporterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +70,7 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             ladder: LadderConfig::default(),
             start_paused: false,
+            reporter: None,
         }
     }
 }
@@ -91,6 +105,12 @@ impl ServeConfig {
         self.start_paused = true;
         self
     }
+
+    /// Builder: report metrics to stderr every `period` in `format`.
+    pub fn with_reporter(mut self, period: Duration, format: ExportFormat) -> Self {
+        self.reporter = Some(ReporterConfig { period, format });
+        self
+    }
 }
 
 /// State shared between the runtime handle and its workers.
@@ -108,6 +128,46 @@ pub(crate) struct Shared {
 pub struct ServeRuntime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    reporter: Option<Reporter>,
+}
+
+/// The periodic reporter thread and its stop latch.
+struct Reporter {
+    handle: JoinHandle<()>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Reporter {
+    fn spawn(shared: Arc<Shared>, config: ReporterConfig) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let latch = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sd-serve-reporter".into())
+            .spawn(move || {
+                let (lock, cv) = &*latch;
+                let mut stopped = lock.lock().unwrap();
+                loop {
+                    let (g, timeout) = cv.wait_timeout(stopped, config.period).unwrap();
+                    stopped = g;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        let snap = shared.metrics.snapshot(shared.queue.len());
+                        eprintln!("{}", render(&snap, config.format).trim_end());
+                    }
+                }
+            })
+            .expect("spawn reporter");
+        Reporter { handle, stop }
+    }
+
+    fn stop(self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        self.handle.join().expect("reporter panicked");
+    }
 }
 
 impl ServeRuntime {
@@ -151,7 +211,14 @@ impl ServeRuntime {
                     .expect("spawn worker")
             })
             .collect();
-        ServeRuntime { shared, workers }
+        let reporter = config
+            .reporter
+            .map(|rc| Reporter::spawn(Arc::clone(&shared), rc));
+        ServeRuntime {
+            shared,
+            workers,
+            reporter,
+        }
     }
 
     /// Offer a request. Returns it as [`Rejected`] when the ingress queue
@@ -243,6 +310,9 @@ impl ServeRuntime {
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
         }
+        if let Some(reporter) = self.reporter.take() {
+            reporter.stop();
+        }
         // Everything admitted has now been served; scoop up any responses
         // the caller has not collected so nothing is silently dropped.
         let mut leftover = Vec::new();
@@ -301,6 +371,58 @@ mod tests {
         let (snap, leftover) = rt.shutdown();
         assert_eq!(snap.served, 5, "drain-then-join");
         assert_eq!(leftover.len(), 5, "uncollected responses handed back");
+    }
+
+    #[test]
+    fn snapshot_never_reports_missed_above_served() {
+        // Zero deadlines make every served request a miss; concurrent
+        // snapshots taken mid-batch must still satisfy missed ≤ served
+        // (the old per-batch `served` bump could report miss rates > 1).
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(2), c.clone());
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut submitted = 0u64;
+        for id in 0..200 {
+            let snr = 12.0;
+            let f = FrameData::generate(4, 4, &c, noise_variance(snr, 4), &mut rng);
+            if rt
+                .submit(DetectionRequest::new(id, f, snr, Duration::ZERO))
+                .is_ok()
+            {
+                submitted += 1;
+            }
+            let snap = rt.metrics();
+            assert!(
+                snap.deadline_missed <= snap.served,
+                "missed {} > served {}",
+                snap.deadline_missed,
+                snap.served
+            );
+            assert!(snap.deadline_miss_rate <= 1.0);
+        }
+        let (snap, _) = rt.shutdown();
+        assert_eq!(snap.served, submitted);
+        assert_eq!(snap.deadline_missed, submitted, "zero deadline misses all");
+        assert!((snap.deadline_miss_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reporter_thread_reports_and_stops() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_reporter(Duration::from_millis(5), ExportFormat::JsonLines),
+            c.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        for id in 0..8 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        // Let at least one reporting period elapse with the runtime live.
+        std::thread::sleep(Duration::from_millis(25));
+        let (snap, _) = rt.shutdown();
+        assert_eq!(snap.served, 8, "reporter must not disturb serving");
     }
 
     #[test]

@@ -68,7 +68,6 @@ impl Worker {
             }
             self.batch = batch;
             let m = &self.shared.metrics;
-            m.served.fetch_add(size as u64, Relaxed);
             m.batches.fetch_add(1, Relaxed);
             m.batch_items.fetch_add(size as u64, Relaxed);
             m.batch_size.record(size as u64);
@@ -120,6 +119,10 @@ impl Worker {
         let service_ns = service_time.as_nanos() as u64;
         tm.predict_err_ns
             .record((predicted_ns as i64 - service_ns as i64).unsigned_abs());
+        // `served` is bumped per request, *before* any miss increment, so
+        // a concurrent snapshot never observes missed > served (the old
+        // per-batch bump could report miss rates above 1 mid-batch).
+        metrics.served.fetch_add(1, Relaxed);
         if deadline_missed {
             metrics.deadline_missed.fetch_add(1, Relaxed);
         }

@@ -3,11 +3,21 @@
 //! 10 ms real-time line.
 //!
 //! ```text
-//! cargo run --release --example serve_demo
+//! cargo run --release --example serve_demo            # full demo
+//! cargo run --release --example serve_demo -- --smoke # tiny CI smoke run
 //! ```
+//!
+//! Both modes finish by rendering the final [`sd_serve::MetricsSnapshot`]
+//! through the export surfaces — Prometheus text exposition and a JSON
+//! line — and the smoke mode self-checks the JSON with
+//! [`sd_serve::validate_json`], exiting non-zero on any violation.
 
-use sd_serve::{run_load, LadderConfig, LoadConfig, LoadReport, ServeConfig, ServeRuntime};
+use sd_serve::{
+    json_line, prometheus_text, run_load, validate_json, ExportFormat, LadderConfig, LoadConfig,
+    LoadReport, MetricsSnapshot, ServeConfig, ServeRuntime,
+};
 use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
+use std::time::Duration;
 
 fn show(label: &str, r: &LoadReport) {
     println!("-- {label} --");
@@ -48,7 +58,69 @@ fn show(label: &str, r: &LoadReport) {
     );
 }
 
+fn show_exports(snapshot: &MetricsSnapshot) {
+    println!("-- metrics export: Prometheus text exposition --");
+    print!("{}", prometheus_text(snapshot));
+    println!("\n-- metrics export: JSON line --");
+    println!("{}", json_line(snapshot));
+}
+
+/// Tiny deterministic run for CI: exercise the runtime end to end,
+/// render both export formats, and machine-check the JSON line. Any
+/// violated invariant panics, so the process exits non-zero on failure.
+fn smoke() {
+    let cfg = LoadConfig {
+        n_tx: 4,
+        n_rx: 4,
+        modulation: Modulation::Qam4,
+        snr_grid_db: vec![8.0, 12.0],
+        n_requests: 64,
+        offered_rate_hz: 0.0,
+        deadline: REAL_TIME_BUDGET,
+        seed: 0x5340CE,
+    };
+    let c = Constellation::new(cfg.modulation);
+    // The periodic reporter emits JSON lines on stderr while the run is
+    // live; stdout stays reserved for the validated final snapshot.
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(cfg.n_requests)
+            .with_reporter(Duration::from_millis(20), ExportFormat::JsonLines),
+        c.clone(),
+    );
+    let report = run_load(&rt, &cfg, &c);
+    let (snapshot, _) = rt.shutdown();
+
+    show("smoke run (4x4 QAM4, 64 requests)", &report);
+    show_exports(&snapshot);
+
+    assert_eq!(report.served, cfg.n_requests as u64, "smoke must serve all");
+    let line = json_line(&snapshot);
+    validate_json(&line).expect("JSON export must parse");
+    assert!(
+        snapshot.deadline_missed <= snapshot.served,
+        "missed ({}) must never exceed served ({})",
+        snapshot.deadline_missed,
+        snapshot.served
+    );
+    let prom = prometheus_text(&snapshot);
+    for needle in [
+        "sd_serve_served_total",
+        "sd_serve_deadline_miss_rate",
+        "sd_serve_tier_served_total{tier=",
+        "sd_serve_tier_predict_err_us{tier=",
+    ] {
+        assert!(prom.contains(needle), "Prometheus export missing {needle}");
+    }
+    println!("smoke OK: {} served, exports validated", snapshot.served);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let base = LoadConfig {
         n_tx: 8,
         n_rx: 8,
@@ -107,4 +179,6 @@ fn main() {
         snapshot.rejected_full,
         snapshot.rejected_shutdown
     );
+    println!();
+    show_exports(&snapshot);
 }

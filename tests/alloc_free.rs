@@ -180,6 +180,68 @@ fn fsd_steady_state_is_node_allocation_free() {
 }
 
 #[test]
+fn disabled_trace_decode_is_exactly_allocation_free() {
+    let _g = serialized();
+    // With no TraceSink installed the observability layer must cost
+    // nothing: a warm workspace + recycled Detection decode performs zero
+    // allocations — not merely "within budget" — across the engine zoo.
+    let (c, _sigma2, preps) = prepared_problems();
+    let dets: Vec<Box<dyn PreparedDetector<f64>>> = vec![
+        Box::new(SphereDecoder::new(c.clone())),
+        Box::new(BestFirstSd::new(c.clone())),
+        Box::new(KBestSd::new(c, 64)),
+    ];
+    let mut ws = SearchWorkspace::new();
+    assert!(!ws.trace_enabled());
+    let mut out = sd_core::Detection::default();
+    for det in &dets {
+        for p in &preps {
+            det.detect_prepared_into(p, f64::INFINITY, &mut ws, &mut out);
+        }
+    }
+    let before = allocs();
+    let mut nodes = 0;
+    for det in &dets {
+        for p in &preps {
+            det.detect_prepared_into(p, f64::INFINITY, &mut ws, &mut out);
+            nodes += std::hint::black_box(&out).stats.nodes_generated;
+        }
+    }
+    let delta = allocs() - before;
+    assert!(nodes > 10_000, "search too small to be meaningful: {nodes}");
+    assert_eq!(
+        delta, 0,
+        "{delta} allocations with tracing disabled ({nodes} nodes): \
+         the observability layer leaks into the hot path"
+    );
+}
+
+#[test]
+fn installed_telemetry_cost_is_per_level_not_per_node() {
+    let _g = serialized();
+    // With a SearchTelemetry recorder installed the per-decode cost may
+    // include the level table, but must stay O(M) — never O(nodes).
+    let (c, _sigma2, preps) = prepared_problems();
+    let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+    let mut ws = SearchWorkspace::new();
+    ws.install_telemetry();
+    let mut out = sd_core::Detection::default();
+    let warm = |ws: &mut SearchWorkspace<f64>, out: &mut sd_core::Detection| {
+        for p in &preps {
+            sd.detect_prepared_into(p, f64::INFINITY, ws, out);
+        }
+    };
+    warm(&mut ws, &mut out);
+    let before = allocs();
+    warm(&mut ws, &mut out);
+    let delta = allocs() - before;
+    assert!(
+        delta <= PER_DECODE_BUDGET * preps.len() as u64,
+        "{delta} allocations with telemetry installed: recorder allocates per node"
+    );
+}
+
+#[test]
 fn reference_implementation_allocates_per_node() {
     let _g = serialized();
     // Sanity check that the counter actually sees the seed behavior this
