@@ -10,6 +10,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> parallel determinism stress (SD_STRESS_ITERS=200)"
+# The subtree-parallel decoder must return bit-identical answers on every
+# run regardless of thread interleaving; hammer it at full hardware
+# parallelism long enough for scheduling races to surface.
+SD_STRESS_ITERS=200 cargo test -q --release --test parallel_exactness \
+  repeated_parallel_decodes_are_deterministic
+
 echo "==> serve_demo --smoke"
 # End-to-end smoke: tiny serve run that renders the Prometheus + JSON
 # export surfaces and self-validates the JSON line (non-zero on failure).

@@ -9,6 +9,7 @@
 //! no work stealing; for the coarse-grained frame/GEMM-slab workloads
 //! here, static chunking is within noise of a real work-stealing pool.
 
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 pub mod prelude {
@@ -17,10 +18,242 @@ pub mod prelude {
 }
 
 /// Worker count: one thread per logical CPU.
-fn max_threads() -> usize {
+pub fn max_threads() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Builder for a persistent [`ThreadPool`] (subset of
+/// `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; kept for API
+/// parity with rayon (this implementation cannot actually fail short of
+/// the OS refusing to spawn threads, which panics instead).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder; defaults to one thread per logical CPU.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the worker count (`0` = `available_parallelism()`).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawn the workers and return the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            max_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool::with_threads(n))
+    }
+}
+
+/// Per-invocation context handed to every worker of a
+/// [`ThreadPool::broadcast`].
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// This worker's index in `0..num_threads`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Type-erased pointer to the caller's broadcast closure. The pointee
+/// lives on the broadcaster's stack; `broadcast` blocks until every
+/// worker has finished with it, which is what makes the erased lifetime
+/// sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(BroadcastContext) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared by all workers) and outlives the
+// job (broadcast joins before returning), so sending the pointer to the
+// worker threads is sound.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Monotone job counter; workers run each epoch exactly once.
+    epoch: u64,
+    /// Highest epoch every worker has finished.
+    completed: u64,
+    job: Option<Job>,
+    /// Workers still running the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new job (or shutdown) is published.
+    work: Condvar,
+    /// Signalled when a job completes.
+    done: Condvar,
+}
+
+/// A persistent worker pool supporting blocking broadcasts — the subset
+/// of `rayon::ThreadPool` the sphere-decoder's subtree-parallel engine
+/// needs. Unlike the scoped-thread combinators above, the workers are
+/// spawned once and parked on a condvar between jobs, so a steady-state
+/// `broadcast` performs no heap allocation and no thread spawn.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("n_threads", &self.n_threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    fn with_threads(n: usize) -> Self {
+        let n = n.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                completed: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("sd-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index, n))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            n_threads: n,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run `op` once on every worker, blocking until all have finished.
+    ///
+    /// `op` receives a [`BroadcastContext`] carrying the worker index.
+    /// Concurrent `broadcast` calls from different threads serialize on
+    /// the single job slot.
+    pub fn broadcast<OP>(&self, op: OP)
+    where
+        OP: Fn(BroadcastContext) + Sync,
+    {
+        let op_ref: &(dyn Fn(BroadcastContext) + Sync) = &op;
+        // SAFETY: erases the stack lifetime of `op`; we block below until
+        // `completed` covers this job's epoch, so no worker touches the
+        // pointer after this function returns.
+        let job = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(BroadcastContext) + Sync),
+                *const (dyn Fn(BroadcastContext) + Sync),
+            >(op_ref as *const _)
+        });
+        let mut st = self.shared.state.lock().unwrap();
+        // Wait for the slot (only relevant when multiple threads share
+        // the pool): the job is cleared when its last worker finishes.
+        while st.job.is_some() {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.epoch += 1;
+        let my_epoch = st.epoch;
+        st.job = Some(job);
+        st.active = self.n_threads;
+        self.shared.work.notify_all();
+        while st.completed < my_epoch {
+            st = self.shared.done.wait(st).unwrap();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, index: usize, n_threads: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, epoch) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break (st.job.expect("job published with epoch"), st.epoch);
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the broadcaster keeps the closure alive until
+        // `completed` reaches this epoch, which happens strictly after
+        // this call returns.
+        let f: &(dyn Fn(BroadcastContext) + Sync) = unsafe { &*job.0 };
+        f(BroadcastContext {
+            index,
+            num_threads: n_threads,
+        });
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            st.job = None;
+            st.completed = epoch;
+            shared.done.notify_all();
+        }
+    }
 }
 
 /// Split `data` into `workers` contiguous chunks, map each on its own
@@ -244,5 +477,69 @@ mod tests {
         assert!(out.is_empty());
         let mut e: Vec<u32> = Vec::new();
         e.par_chunks_mut(8).enumerate().for_each(|(_, _)| panic!());
+    }
+
+    mod pool {
+        use crate::{ThreadPool, ThreadPoolBuilder};
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+        #[test]
+        fn broadcast_runs_once_per_worker() {
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            assert_eq!(pool.current_num_threads(), 4);
+            let hits: [AtomicUsize; 4] = std::array::from_fn(|_| AtomicUsize::new(0));
+            pool.broadcast(|ctx| {
+                assert_eq!(ctx.num_threads(), 4);
+                hits[ctx.index()].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
+
+        #[test]
+        fn repeated_broadcasts_reuse_the_workers() {
+            let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+            let total = AtomicU64::new(0);
+            for round in 0..100u64 {
+                pool.broadcast(|ctx| {
+                    total.fetch_add(round * 10 + ctx.index() as u64, Ordering::Relaxed);
+                });
+            }
+            // Sum over rounds of (30·round + 0+1+2).
+            let expected: u64 = (0..100).map(|r| 30 * r + 3).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expected);
+        }
+
+        #[test]
+        fn broadcast_observes_results_after_return() {
+            // The blocking contract: worker writes are visible to the
+            // broadcaster once broadcast() returns.
+            let pool = ThreadPool::with_threads(8);
+            let mut slots = vec![0u64; 8];
+            let cells: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+            pool.broadcast(|ctx| {
+                cells[ctx.index()].store(ctx.index() as u64 + 1, Ordering::Release);
+            });
+            for (s, c) in slots.iter_mut().zip(cells.iter()) {
+                *s = c.load(Ordering::Acquire);
+            }
+            assert_eq!(slots, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+
+        #[test]
+        fn zero_threads_means_available_parallelism() {
+            let pool = ThreadPoolBuilder::new().build().unwrap();
+            assert_eq!(pool.current_num_threads(), crate::max_threads());
+        }
+
+        #[test]
+        fn drop_joins_cleanly() {
+            for _ in 0..10 {
+                let pool = ThreadPool::with_threads(2);
+                pool.broadcast(|_| {});
+                drop(pool);
+            }
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Node-expansion and end-to-end before/after benchmarks for the arena +
-//! batched-GEMM refactoring (ISSUE 1).
+//! batched-GEMM refactoring (ISSUE 1) and the subtree-parallel exact
+//! decoder (ISSUE 5).
 //!
 //! "Before" is the seed formulation preserved in [`sd_core::reference`]:
 //! every open node owns a `Vec<usize>` path (cloned per expansion) and
@@ -21,7 +22,9 @@ use sd_core::arena::{NodeArena, NIL};
 use sd_core::pd::{eval_children, eval_children_batch, PdScratch};
 use sd_core::preprocess::{preprocess, Prepared};
 use sd_core::reference::{dfs_reference, kbest_reference};
-use sd_core::{EvalStrategy, KBestSd, PreparedDetector, SearchWorkspace, SphereDecoder};
+use sd_core::{
+    EvalStrategy, KBestSd, ParallelSphereDecoder, PreparedDetector, SearchWorkspace, SphereDecoder,
+};
 use sd_math::GemmAlgo;
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
@@ -131,6 +134,26 @@ fn bench_end_to_end(c: &mut Criterion) {
         });
     });
 
+    // The tentpole engine: top-L subtrees fanned over a persistent worker
+    // pool pruning against one shared atomic radius. Same frames, same
+    // exact answer — only the wall clock moves.
+    let mut out = sd_core::Detection::default();
+    for workers in [2usize, 4, 8] {
+        let par: ParallelSphereDecoder<f64> =
+            ParallelSphereDecoder::new(constellation.clone()).with_workers(workers);
+        group.bench_function(format!("dfs/parallel{workers}"), |b| {
+            b.iter(|| {
+                frames
+                    .iter()
+                    .map(|p| {
+                        par.detect_prepared_into(p, f64::INFINITY, &mut ws, &mut out);
+                        out.indices[0]
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+
     let kb: KBestSd<f64> = KBestSd::new(constellation, 32);
     group.bench_function("kbest32/reference", |b| {
         b.iter(|| {
@@ -168,10 +191,15 @@ fn main() {
     let before = find(&c, "per_node_path_clone");
     let after_blocked = find(&c, "batched_gemm_blocked");
     let after_parallel = find(&c, "batched_gemm_parallel");
-    let e2e_before = find(&c, "dfs/reference");
-    let e2e_after = find(&c, "dfs/arena_workspace");
+    let e2e_reference = find(&c, "dfs/reference");
+    let e2e_sequential = find(&c, "dfs/arena_workspace");
     let kb_before = find(&c, "kbest32/reference");
     let kb_after = find(&c, "kbest32/arena_batched");
+    let (par_workers, par_ns) = [2usize, 4, 8]
+        .map(|w| (w, find(&c, &format!("dfs/parallel{w}"))))
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
 
     let children = (BATCH * 16) as f64;
     let rows: Vec<String> = c
@@ -184,16 +212,21 @@ fn main() {
             )
         })
         .collect();
+    // The parallel rows only show their scaling on a multi-core host;
+    // record how many cores this run actually had so the numbers are
+    // interpretable (on 1 core the fan-out can only cost, never pay).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"config\": {{\"n_tx\": {N_TX}, \"modulation\": \"QAM16\", \"batch\": {BATCH}, \
-         \"depth\": {DEPTH}, \"seed\": \"0x5DC0DE\"}},\n  \"results\": [\n{}\n  ],\n  \
+         \"depth\": {DEPTH}, \"seed\": \"0x5DC0DE\", \"host_cores\": {cores}}},\n  \"results\": [\n{}\n  ],\n  \
          \"node_expansion\": {{\n    \
          \"before_children_per_sec\": {:.0},\n    \
          \"after_blocked_children_per_sec\": {:.0},\n    \
          \"after_parallel_children_per_sec\": {:.0},\n    \
          \"speedup_blocked\": {:.2},\n    \
          \"speedup_parallel\": {:.2}\n  }},\n  \
-         \"end_to_end_dfs\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"end_to_end_dfs\": {{\"reference_ns\": {:.0}, \"before_ns\": {:.0}, \
+         \"after_ns\": {:.0}, \"workers\": {}, \"speedup\": {:.2}}},\n  \
          \"end_to_end_kbest32\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}}\n}}\n",
         rows.join(",\n"),
         children * 1e9 / before,
@@ -201,9 +234,11 @@ fn main() {
         children * 1e9 / after_parallel,
         before / after_blocked,
         before / after_parallel,
-        e2e_before,
-        e2e_after,
-        e2e_before / e2e_after,
+        e2e_reference,
+        e2e_sequential,
+        par_ns,
+        par_workers,
+        e2e_sequential / par_ns,
         kb_before,
         kb_after,
         kb_before / kb_after,
@@ -221,5 +256,12 @@ fn main() {
         "node expansion speedup: blocked {:.2}x, parallel {:.2}x",
         before / after_blocked,
         before / after_parallel
+    );
+    eprintln!(
+        "end-to-end DFS: sequential {:.1} ms -> parallel{} {:.1} ms ({:.2}x)",
+        e2e_sequential / 1e6,
+        par_workers,
+        par_ns / 1e6,
+        e2e_sequential / par_ns
     );
 }

@@ -17,16 +17,25 @@
 //! unified [`sd_core::PreparedDetector`] engine API and run end to end at
 //! overload through [`ServeRuntime::start_with_registry`].
 //!
+//! A fourth scenario measures channel-coherent preparation caching
+//! (ISSUE 5): a workload whose requests arrive in coherence blocks
+//! sharing one `H` is served with the per-worker prep cache on vs off;
+//! caching skips the QR half of preparation on every hit.
+//!
 //! Like `expansion.rs` this bench has a hand-rolled `main` that writes
 //! `BENCH_serve.json` in the repo root.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sd_core::{BestFirstSd, KBestSd, MmseDetector, SphereDecoder};
 use sd_serve::{
-    run_load, BatchPolicy, LadderConfig, LoadConfig, LoadReport, ServeConfig, ServeRuntime, Tier,
-    TierCostClass,
+    run_load, BatchPolicy, DetectionRequest, LadderConfig, LoadConfig, LoadReport, MetricsSnapshot,
+    ServeConfig, ServeRuntime, Tier, TierCostClass,
 };
-use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
-use std::time::Duration;
+use sd_wireless::{
+    noise_variance, Channel, Constellation, FrameData, Modulation, TxFrame, REAL_TIME_BUDGET,
+};
+use std::time::{Duration, Instant};
 
 /// Workers in every scenario.
 const WORKERS: usize = 4;
@@ -153,6 +162,81 @@ fn registry_point(rate_hz: f64) -> LoadReport {
     report
 }
 
+/// Coherence block length for the prep-cache scenario: consecutive
+/// requests sharing one channel matrix (fresh `y` each), as produced by a
+/// block-fading channel.
+const COHERENCE_BLOCK: usize = 16;
+
+/// The prep-cache workload: 16×16 at a benign SNR, the block-fading
+/// regime the cache targets — the sorted DFS expands almost nothing, so
+/// the O(M³) QR half of preparation dominates per-request service time.
+fn coherent_workload() -> LoadConfig {
+    LoadConfig {
+        n_tx: 16,
+        n_rx: 16,
+        modulation: Modulation::Qam4,
+        snr_grid_db: vec![30.0],
+        n_requests: N_REQUESTS,
+        offered_rate_hz: 0.0,
+        deadline: Duration::from_secs(1),
+        seed: 0xC0_4E7E,
+    }
+}
+
+/// A block-fading request stream: one Rayleigh channel per coherence
+/// block, each request in the block a fresh transmit vector through it.
+fn coherent_requests(cfg: &LoadConfig, c: &Constellation) -> Vec<DetectionRequest> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let snr = cfg.snr_grid_db[0];
+    let sigma2 = noise_variance(snr, cfg.n_tx);
+    let mut channel = Channel::rayleigh(cfg.n_rx, cfg.n_tx, &mut rng);
+    (0..cfg.n_requests)
+        .map(|i| {
+            if i > 0 && i % COHERENCE_BLOCK == 0 {
+                channel = Channel::rayleigh(cfg.n_rx, cfg.n_tx, &mut rng);
+            }
+            let tx = TxFrame::random(cfg.n_tx, c, &mut rng);
+            let y = channel.transmit(&tx.symbols, sigma2, &mut rng);
+            let frame = FrameData {
+                h: channel.matrix().clone(),
+                y,
+                noise_variance: sigma2,
+                tx,
+            };
+            DetectionRequest::new(i as u64, frame, snr, cfg.deadline)
+        })
+        .collect()
+}
+
+/// Firehose the coherent workload through a single-tier exact runtime with
+/// the given prep-cache capacity; return (throughput, final snapshot).
+fn prep_cache_point(cache: usize) -> (f64, MetricsSnapshot) {
+    let cfg = coherent_workload();
+    let c = Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(WORKERS)
+            .with_queue_capacity(cfg.n_requests)
+            .with_prep_cache(cache)
+            .with_ladder(ladder(false)),
+        c.clone(),
+    );
+    let reqs = coherent_requests(&cfg, &c);
+    let n = reqs.len();
+    let t0 = Instant::now();
+    for req in reqs {
+        rt.submit(req).expect("queue sized for the whole stream");
+    }
+    for _ in 0..n {
+        rt.collect_timeout(Duration::from_secs(60))
+            .expect("runtime stalled");
+    }
+    let throughput = n as f64 / t0.elapsed().as_secs_f64();
+    let (snap, leftover) = rt.shutdown();
+    assert!(leftover.is_empty());
+    (throughput, snap)
+}
+
 fn tiers_json(r: &LoadReport) -> String {
     let fields: Vec<String> = r
         .tiers
@@ -256,6 +340,18 @@ fn main() {
         tiers_human(&registry),
     );
 
+    // -------- Claim 4: channel-coherent prep caching ------------------
+    eprintln!("prep cache: coherent workload (block {COHERENCE_BLOCK}), cache off ...");
+    let (cache_off_hz, _) = prep_cache_point(0);
+    eprintln!("prep cache: coherent workload (block {COHERENCE_BLOCK}), cache on ...");
+    let (cache_on_hz, cache_snap) = prep_cache_point(8);
+    let cache_speedup = cache_on_hz / cache_off_hz;
+    eprintln!(
+        "  throughput {cache_off_hz:.0}/s -> {cache_on_hz:.0}/s ({cache_speedup:.2}x, \
+         {} hits / {} misses)",
+        cache_snap.prep_cache_hits, cache_snap.prep_cache_misses,
+    );
+
     let sweep_rows: Vec<String> = sweep
         .iter()
         .map(|(mult, rate, off, on)| {
@@ -278,7 +374,12 @@ fn main() {
          \"ladder_at_top_load\": {{\"miss_rate_off\": {:.4}, \"miss_rate_on\": {:.4}, \
          \"ber_off\": {:.5}, \"ber_on\": {:.5}}},\n  \
          \"registry_four_rung\": {{\"rungs\": [\"exact\", \"best-first\", \"k-best\", \"mmse\"], \
-         \"load_multiplier\": 2.0,\n    \"report\": {}}}\n}}\n",
+         \"load_multiplier\": 2.0,\n    \"report\": {}}},\n  \
+         \"prep_cache\": {{\"workload\": \"16x16 QAM4 @ 30 dB\", \
+         \"coherence_block\": {COHERENCE_BLOCK},\n    \
+         \"throughput_off_hz\": {cache_off_hz:.0}, \"throughput_on_hz\": {cache_on_hz:.0}, \
+         \"speedup\": {cache_speedup:.3},\n    \
+         \"hits\": {}, \"misses\": {}, \"bypass\": {}}}\n}}\n",
         report_json(&unbatched),
         report_json(&batched),
         batching_speedup,
@@ -289,6 +390,9 @@ fn main() {
         top_off.ber(),
         top_on.ber(),
         report_json(&registry),
+        cache_snap.prep_cache_hits,
+        cache_snap.prep_cache_misses,
+        cache_snap.prep_cache_bypass,
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

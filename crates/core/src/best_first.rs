@@ -103,6 +103,10 @@ impl<F: Float> PreparedDetector<F> for BestFirstSd<F> {
         self.initial_radius.resolve(n_rx, noise_variance)
     }
 
+    fn channel_cacheable(&self) -> bool {
+        true
+    }
+
     /// Best-first search into a caller-owned [`Detection`]: after the
     /// workspace buffers reach steady-state capacity, the search loop
     /// performs no heap allocation.

@@ -93,6 +93,10 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
         self.initial_radius.resolve(n_rx, noise_variance)
     }
 
+    fn channel_cacheable(&self) -> bool {
+        true
+    }
+
     /// Decode an already-preprocessed problem into a caller-owned
     /// [`Detection`]: the path, best-path and per-depth child-sort
     /// buffers all come from `ws`, and `out`'s index vector and

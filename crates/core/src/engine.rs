@@ -62,6 +62,18 @@ pub trait PreparedDetector<F: Float>: Send + Sync {
         f64::INFINITY
     }
 
+    /// Whether this detector's [`Self::prepare_frame_into`] is exactly
+    /// the shared QR preprocessing under [`Self::ordering`] — i.e. its
+    /// prepared state splits into a channel-only half (QR factors,
+    /// ordering) and a per-request half (`ȳ = Qᴴy`), so a serving layer
+    /// may cache the channel half across requests that share `H`
+    /// ([`prepare_with_channel_into`](crate::preprocess::prepare_with_channel_into)).
+    /// Detectors that override [`Self::prepare_frame_into`] (the linear
+    /// family, the real-valued decomposition) keep the default `false`.
+    fn channel_cacheable(&self) -> bool {
+        false
+    }
+
     /// Turn a frame into this detector's prepared problem, reusing
     /// `scratch` and `prep`. Defaults to the shared QR preprocessing
     /// under [`Self::ordering`]; allocation-free at steady state.

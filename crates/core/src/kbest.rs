@@ -60,6 +60,10 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         &self.constellation
     }
 
+    fn channel_cacheable(&self) -> bool {
+        true
+    }
+
     /// Level-synchronous K-best sweep into a caller-owned [`Detection`]:
     /// a warm workspace + output pair decodes without heap allocation.
     /// The sweep is breadth-limited rather than radius-bounded, so

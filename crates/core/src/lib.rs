@@ -31,9 +31,10 @@
 //! ## Parallel layer
 //!
 //! * [`batch`] — rayon frame-level parallel decoding,
-//! * [`multi_pe`] — the paper's future-work direction: the level-1
-//!   sub-trees are partitioned over processing entities that share the
-//!   sphere radius through an atomic, preserving exactness.
+//! * [`parallel`] — the paper's future-work direction: the top tree
+//!   levels are partitioned into sub-trees fanned over a persistent
+//!   worker pool that shares the shrinking sphere radius through a
+//!   lock-free atomic fetch-min, preserving exactness.
 //!
 //! All tree decoders are generic over the scalar precision
 //! ([`sd_math::Float`]), enabling the paper's FP16 future-work study via
@@ -57,7 +58,7 @@ pub mod fsd;
 pub mod kbest;
 pub mod linear;
 pub mod ml;
-pub mod multi_pe;
+pub mod parallel;
 pub mod pd;
 pub mod preprocess;
 pub mod radius;
@@ -79,10 +80,11 @@ pub use fsd::FixedComplexitySd;
 pub use kbest::KBestSd;
 pub use linear::{MmseDetector, MrcDetector, ZfDetector};
 pub use ml::MlDetector;
-pub use multi_pe::SubtreeParallelSd;
+pub use parallel::{ParallelSphereDecoder, SubtreeParallelSd};
 pub use pd::EvalStrategy;
 pub use preprocess::{
-    preprocess, preprocess_ordered, preprocess_ordered_into, ColumnOrdering, PrepScratch, Prepared,
+    prepare_channel_into, prepare_with_channel_into, preprocess, preprocess_ordered,
+    preprocess_ordered_into, ChannelPrep, ColumnOrdering, PrepScratch, Prepared,
 };
 pub use radius::InitialRadius;
 pub use rvd::RvdSphereDecoder;

@@ -1,0 +1,820 @@
+//! Subtree-parallel exact sphere decoding with a shared pruning radius.
+//!
+//! The conclusion of the paper proposes "partitioning the search tree
+//! over multiple Processing Entities (PEs)"; fixed-complexity
+//! decompositions (Barbero & Thompson's FSD) show the top levels of the
+//! tree partition cleanly into independent subtrees. This module is that
+//! design in software, generalized from the level-1 split of the earlier
+//! `multi_pe` prototype:
+//!
+//! 1. **Subtree enumeration** — the top `L` levels are walked on the
+//!    calling thread in Schnorr–Euchner (sorted-children) order, pruning
+//!    against the initial radius, producing every surviving depth-`L`
+//!    prefix as a *subtree root*.
+//! 2. **Fan-out** — the roots, sorted by partial distance so the most
+//!    promising subtrees are entered first, are dealt round-robin to the
+//!    workers of a persistent [`rayon::ThreadPool`]. Each worker runs the
+//!    same sorted depth-first descent as the sequential
+//!    [`SphereDecoder`](crate::dfs::SphereDecoder) inside its subtrees.
+//! 3. **Shared radius** — workers prune through one
+//!    [`AtomicF64Min`]: a lock-free fetch-min over the IEEE-754 bits of
+//!    the squared radius. Any worker's leaf immediately tightens every
+//!    other worker's sphere, the synchronization Nikitopoulos et al. \[4\]
+//!    identify as essential. Sharing only ever *shrinks* the sphere
+//!    toward valid leaf metrics, so the combined search remains exactly
+//!    ML: a stale (larger) radius read merely delays a prune, never
+//!    causes a wrong one.
+//!
+//! Per-worker [`SearchWorkspace`]s and the subtree-root buffers persist
+//! inside the decoder, so the steady-state decode path performs no heap
+//! allocation and no thread spawn (`tests/alloc_free.rs`). With one
+//! worker the decoder takes the sequential code path outright and is
+//! bit-identical — stats included — to [`SphereDecoder`](crate::dfs::SphereDecoder).
+//!
+//! Determinism: the returned *metric* is the exact ML minimum and is
+//! bit-identical to the sequential decoder's (both accumulate the same
+//! `pd + increment` chain along the winning path). Node/prune *counts*
+//! depend on radius-update timing and may vary run to run.
+
+use crate::arena::SearchWorkspace;
+use crate::detector::{Detection, DetectionStats};
+use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::pd::{eval_children, sorted_children_into, EvalStrategy, PdScratch};
+use crate::preprocess::{ColumnOrdering, Prepared};
+use crate::radius::InitialRadius;
+use crate::trace::{span_clock, span_ns, Phase, SearchTelemetry, TraceSink};
+use sd_math::{AtomicF64Min, Float};
+use sd_wireless::Constellation;
+use std::sync::Mutex;
+
+/// Subtree-parallel exact sphere decoder (see the module docs).
+///
+/// The established [`SubtreeParallelSd`] name is kept as an alias; all
+/// prior call sites (`SubtreeParallelSd::new(c)`) behave as before but
+/// now fan over a persistent pool with a configurable split depth.
+pub struct ParallelSphereDecoder<F: Float = f64> {
+    /// Sequential twin: holds the shared configuration (constellation,
+    /// eval, radius policy, ordering) and serves the 1-worker path.
+    seq: crate::dfs::SphereDecoder<F>,
+    workers: usize,
+    split_levels: Option<usize>,
+    runtime: Mutex<ParRuntime<F>>,
+}
+
+/// The established name of the subtree-parallel decoder.
+pub type SubtreeParallelSd<F = f64> = ParallelSphereDecoder<F>;
+
+impl<F: Float> std::fmt::Debug for ParallelSphereDecoder<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSphereDecoder")
+            .field("workers", &self.workers)
+            .field("split_levels", &self.split_levels)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<F: Float> Clone for ParallelSphereDecoder<F> {
+    fn clone(&self) -> Self {
+        ParallelSphereDecoder {
+            seq: self.seq.clone(),
+            workers: self.workers,
+            split_levels: self.split_levels,
+            runtime: Mutex::new(ParRuntime::new()),
+        }
+    }
+}
+
+impl<F: Float> ParallelSphereDecoder<F> {
+    /// Parallel decoder with the paper's defaults (GEMM evaluation,
+    /// infinite initial radius) and one worker per logical CPU.
+    pub fn new(constellation: Constellation) -> Self {
+        ParallelSphereDecoder {
+            seq: crate::dfs::SphereDecoder::new(constellation),
+            workers: rayon::max_threads(),
+            split_levels: None,
+            runtime: Mutex::new(ParRuntime::new()),
+        }
+    }
+
+    /// Builder: number of parallel workers (`1` = fully sequential, no
+    /// pool is ever spawned).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder: split depth `L` — the number of top tree levels
+    /// enumerated into subtree roots. Clamped to `[1, n_tx − 1]` at
+    /// decode time, so an `L ≥ n_tx` request degrades gracefully.
+    /// Default: the smallest `L` with `P^L ≥ 2 · workers`.
+    pub fn with_split_levels(mut self, levels: usize) -> Self {
+        self.split_levels = Some(levels);
+        self
+    }
+
+    /// Builder: evaluation strategy.
+    pub fn with_eval(mut self, eval: EvalStrategy) -> Self {
+        self.seq = self.seq.with_eval(eval);
+        self
+    }
+
+    /// Builder: initial radius policy.
+    pub fn with_initial_radius(mut self, r: InitialRadius) -> Self {
+        self.seq = self.seq.with_initial_radius(r);
+        self
+    }
+
+    /// Builder: detection-order preprocessing.
+    pub fn with_ordering(mut self, ordering: ColumnOrdering) -> Self {
+        self.seq = self.seq.with_ordering(ordering);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Effective split depth for a tree of `n_tx` levels with branching
+    /// factor `order`.
+    pub fn effective_split_levels(&self, n_tx: usize, order: usize) -> usize {
+        let cap = n_tx.saturating_sub(1).max(1);
+        let l = self.split_levels.unwrap_or_else(|| {
+            // Smallest L with order^L >= 2·workers: enough subtrees that
+            // the round-robin deal keeps every worker busy.
+            let target = (2 * self.workers) as u64;
+            let mut l = 1usize;
+            let mut count = order.max(2) as u64;
+            while count < target && l < cap {
+                l += 1;
+                count = count.saturating_mul(order.max(2) as u64);
+            }
+            l
+        });
+        l.clamp(1, cap)
+    }
+}
+
+/// One surviving depth-`L` prefix: its partial distance and the offset of
+/// its path in the flattened path buffer.
+#[derive(Clone, Copy)]
+struct RootRef<F> {
+    pd: F,
+    off: u32,
+}
+
+/// Per-worker persistent state: a full search workspace plus the stats /
+/// telemetry / incumbent the worker accumulates during a decode.
+struct WorkerSlot<F: Float> {
+    ws: SearchWorkspace<F>,
+    stats: DetectionStats,
+    telemetry: SearchTelemetry,
+    best_pd: Option<f64>,
+    best_path: Vec<usize>,
+}
+
+impl<F: Float> WorkerSlot<F> {
+    fn new() -> Self {
+        WorkerSlot {
+            ws: SearchWorkspace::new(),
+            stats: DetectionStats::default(),
+            telemetry: SearchTelemetry::new(),
+            best_pd: None,
+            best_path: Vec::new(),
+        }
+    }
+}
+
+/// Lazily initialized parallel-decode machinery, behind the decoder's
+/// decode gate (one decode at a time per decoder instance; the serve
+/// registry shares detector objects across serve workers).
+struct ParRuntime<F: Float> {
+    pool: Option<rayon::ThreadPool>,
+    slots: Vec<Mutex<WorkerSlot<F>>>,
+    roots: Vec<RootRef<F>>,
+    root_paths: Vec<usize>,
+    shared: AtomicF64Min,
+}
+
+impl<F: Float> ParRuntime<F> {
+    fn new() -> Self {
+        ParRuntime {
+            pool: None,
+            slots: Vec::new(),
+            roots: Vec::new(),
+            root_paths: Vec::new(),
+            shared: AtomicF64Min::new(),
+        }
+    }
+
+    fn ensure_pool(&mut self, workers: usize) {
+        if self.pool.is_none() {
+            self.pool = Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers)
+                    .build()
+                    .expect("spawn decode pool"),
+            );
+            self.slots = (0..workers)
+                .map(|_| Mutex::new(WorkerSlot::new()))
+                .collect();
+        }
+    }
+}
+
+impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
+    fn constellation(&self) -> &Constellation {
+        self.seq.constellation()
+    }
+
+    fn ordering(&self) -> ColumnOrdering {
+        self.seq.ordering
+    }
+
+    fn initial_radius_sqr(&self, n_rx: usize, noise_variance: f64) -> f64 {
+        self.seq.initial_radius.resolve(n_rx, noise_variance)
+    }
+
+    fn channel_cacheable(&self) -> bool {
+        true
+    }
+
+    /// Decode a prepared problem over the worker pool. With one worker
+    /// (or a degenerate single-level tree) this is exactly the
+    /// sequential [`SphereDecoder`](crate::dfs::SphereDecoder) decode —
+    /// no pool is consulted and the stats are bit-identical.
+    fn detect_prepared_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        let m = prep.n_tx;
+        let p = prep.order;
+        if self.workers <= 1 || m < 2 {
+            return self.seq.detect_prepared_into(prep, radius_sqr, ws, out);
+        }
+        let split = self.effective_split_levels(m, p);
+
+        let mut rt = self.runtime.lock().unwrap();
+        let rt = &mut *rt;
+        rt.ensure_pool(self.workers);
+
+        ws.prepare(p, m);
+        out.stats.reset(m);
+        let mut trace = ws.trace.take();
+        if let Some(t) = trace.as_deref_mut() {
+            t.on_decode_start(m);
+        }
+        let tracing = trace.is_some();
+        for slot in &rt.slots {
+            let mut slot = slot.lock().unwrap();
+            slot.stats.reset(m);
+            slot.best_pd = None;
+            slot.best_path.clear();
+            if tracing {
+                slot.telemetry.on_decode_start(m);
+            }
+        }
+
+        let eval = self.seq.eval;
+        let mut r2 = radius_sqr;
+        loop {
+            rt.roots.clear();
+            rt.root_paths.clear();
+            {
+                let ws = &mut *ws;
+                let mut enumerate = Enumerate {
+                    prep,
+                    scratch: &mut ws.scratch,
+                    stats: &mut out.stats,
+                    path: &mut ws.path,
+                    sort_bufs: &mut ws.sort_bufs,
+                    radius: F::from_f64(r2),
+                    split,
+                    eval,
+                    trace: trace.as_deref_mut(),
+                    roots: &mut rt.roots,
+                    root_paths: &mut rt.root_paths,
+                };
+                enumerate.descend(F::ZERO);
+            }
+
+            if !rt.roots.is_empty() {
+                // Most promising subtrees first: the earlier a tight leaf
+                // lands, the harder everyone prunes. Ties (measure-zero
+                // for random channels) break on enumeration order, so the
+                // deal is deterministic.
+                rt.roots
+                    .sort_unstable_by(|a, b| match a.pd.partial_cmp(&b.pd) {
+                        Some(core::cmp::Ordering::Equal) | None => a.off.cmp(&b.off),
+                        Some(o) => o,
+                    });
+                rt.shared.store(r2);
+
+                let slots = &rt.slots;
+                let roots = &rt.roots[..];
+                let root_paths = &rt.root_paths[..];
+                let shared = &rt.shared;
+                rt.pool.as_ref().unwrap().broadcast(|ctx| {
+                    let mut slot = slots[ctx.index()].lock().unwrap();
+                    worker_search(
+                        prep,
+                        eval,
+                        split,
+                        shared,
+                        roots,
+                        root_paths,
+                        ctx.index(),
+                        ctx.num_threads(),
+                        &mut slot,
+                        tracing,
+                    );
+                });
+
+                let found = rt.slots.iter().any(|s| s.lock().unwrap().best_pd.is_some());
+                if found {
+                    break;
+                }
+            }
+
+            // Empty sphere: enlarge and retry (keeps the decoder exact
+            // for finite initial radii), mirroring the sequential loop.
+            r2 *= InitialRadius::RESTART_GROWTH;
+            out.stats.restarts += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.on_restart();
+            }
+            assert!(
+                out.stats.restarts < 64,
+                "sphere radius failed to capture any leaf"
+            );
+        }
+
+        // Merge worker stats and pick the incumbent: the shared radius
+        // admits one winner per value, so the global best lives in
+        // exactly one slot.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, slot) in rt.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap();
+            out.stats.merge(&slot.stats);
+            if let Some(pd) = slot.best_pd {
+                if best.is_none_or(|(b, _)| pd < b) {
+                    best = Some((pd, i));
+                }
+            }
+        }
+        let (best_pd, winner) = best.expect("loop breaks only once a leaf is found");
+        if let Some(t) = trace.as_deref_mut() {
+            for slot in &rt.slots {
+                let slot = slot.lock().unwrap();
+                replay_telemetry(t, &slot.telemetry, best_pd);
+            }
+        }
+        {
+            let slot = rt.slots[winner].lock().unwrap();
+            prep.indices_from_path_into(&slot.best_path, &mut out.indices);
+        }
+        out.stats.final_radius_sqr = best_pd;
+        out.stats.flops += prep.prep_flops;
+        ws.trace = trace;
+    }
+}
+
+impl_detector_via_prepared!(ParallelSphereDecoder<F>, "SD subtree-parallel");
+
+/// Replay one worker's recorded telemetry into the decode's main sink as
+/// aggregate events. Counter totals (and therefore the per-level
+/// `generated == accepted + pruned` identity) are preserved exactly;
+/// span structure is aggregated (one `on_phase` per phase with the total)
+/// and radius-update values are reported as the final radius, since the
+/// recorder keeps counts, not event values.
+fn replay_telemetry(t: &mut dyn TraceSink, rec: &SearchTelemetry, final_radius_sqr: f64) {
+    for (level, l) in rec.levels().iter().enumerate() {
+        if l.expanded > 0 || l.generated > 0 {
+            t.on_expand(level, l.expanded, l.generated);
+        }
+        if l.accepted > 0 {
+            t.on_accept(level, l.accepted);
+        }
+        if l.pruned > 0 {
+            t.on_prune(level, l.pruned);
+        }
+        // Preserve both the sort count and the element total: n−1 empty
+        // sorts plus one carrying every element.
+        for _ in 1..l.sorts {
+            t.on_sort(level, 0);
+        }
+        if l.sorts > 0 {
+            t.on_sort(level, l.sorted_elements);
+        }
+        for _ in 0..l.radius_updates {
+            t.on_radius_update(level, final_radius_sqr);
+        }
+    }
+    for phase in [Phase::Expand, Phase::Sort, Phase::Leaf] {
+        let amount = rec.phases.get(phase);
+        if amount > 0 {
+            t.on_phase(phase, amount);
+        }
+    }
+}
+
+/// Walk the top `split` levels in Schnorr–Euchner order on the calling
+/// thread, pruning against the (fixed) initial radius and pushing every
+/// surviving depth-`split` prefix as a subtree root.
+struct Enumerate<'a, F: Float> {
+    prep: &'a Prepared<F>,
+    scratch: &'a mut PdScratch<F>,
+    stats: &'a mut DetectionStats,
+    path: &'a mut Vec<usize>,
+    sort_bufs: &'a mut [Vec<(F, usize)>],
+    radius: F,
+    split: usize,
+    eval: EvalStrategy,
+    trace: Option<&'a mut (dyn TraceSink + 'static)>,
+    roots: &'a mut Vec<RootRef<F>>,
+    root_paths: &'a mut Vec<usize>,
+}
+
+impl<F: Float> Enumerate<'_, F> {
+    fn descend(&mut self, pd: F) {
+        let depth = self.path.len();
+        let p = self.prep.order;
+        self.stats.nodes_expanded += 1;
+        let t0 = span_clock(self.trace.is_some());
+        self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
+        if let Some(t) = self.trace.as_mut() {
+            t.on_phase(Phase::Expand, span_ns(t0));
+            t.on_expand(depth, 1, p as u64);
+        }
+        self.stats.nodes_generated += p as u64;
+        self.stats.per_level_generated[depth] += p as u64;
+
+        let mut children = std::mem::take(&mut self.sort_bufs[depth]);
+        let t0 = span_clock(self.trace.is_some());
+        sorted_children_into(&self.scratch.increments, &mut children);
+        if let Some(t) = self.trace.as_mut() {
+            t.on_phase(Phase::Sort, span_ns(t0));
+            t.on_sort(depth, p as u64);
+        }
+        for (rank, &(inc, child)) in children.iter().enumerate() {
+            let child_pd = pd + inc;
+            if !(child_pd < self.radius) {
+                // Sorted order ⇒ every remaining sibling is pruned too.
+                self.stats.nodes_pruned += (p - rank) as u64;
+                if let Some(t) = self.trace.as_mut() {
+                    t.on_prune(depth, (p - rank) as u64);
+                }
+                break;
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.on_accept(depth, 1);
+            }
+            if depth + 1 == self.split {
+                self.roots.push(RootRef {
+                    pd: child_pd,
+                    off: self.root_paths.len() as u32,
+                });
+                self.root_paths.extend_from_slice(self.path);
+                self.root_paths.push(child);
+            } else {
+                self.path.push(child);
+                self.descend(child_pd);
+                self.path.pop();
+            }
+        }
+        self.sort_bufs[depth] = children;
+    }
+}
+
+/// One worker's turn of a broadcast: run the sorted depth-first search
+/// over every subtree dealt to `windex`, pruning through the shared
+/// radius.
+#[allow(clippy::too_many_arguments)]
+fn worker_search<F: Float>(
+    prep: &Prepared<F>,
+    eval: EvalStrategy,
+    split: usize,
+    shared: &AtomicF64Min,
+    roots: &[RootRef<F>],
+    root_paths: &[usize],
+    windex: usize,
+    nworkers: usize,
+    slot: &mut WorkerSlot<F>,
+    tracing: bool,
+) {
+    let m = prep.n_tx;
+    let p = prep.order;
+    slot.ws.prepare(p, m);
+    let slot = &mut *slot;
+    let mut search = WorkerSearch {
+        prep,
+        scratch: &mut slot.ws.scratch,
+        stats: &mut slot.stats,
+        path: &mut slot.ws.path,
+        sort_bufs: &mut slot.ws.sort_bufs,
+        best_pd: &mut slot.best_pd,
+        best_path: &mut slot.best_path,
+        shared,
+        eval,
+        trace: if tracing {
+            Some(&mut slot.telemetry)
+        } else {
+            None
+        },
+    };
+    let mut i = windex;
+    while i < roots.len() {
+        let root = roots[i];
+        i += nworkers;
+        // A subtree whose root already falls outside everyone's sphere
+        // is dead; its children were never generated, so skipping keeps
+        // the per-level accounting consistent.
+        if !(root.pd.to_f64() < shared.load()) {
+            continue;
+        }
+        let path = &root_paths[root.off as usize..root.off as usize + split];
+        search.path.clear();
+        search.path.extend_from_slice(path);
+        search.descend(root.pd);
+    }
+}
+
+/// One worker's depth-first search below a subtree root — the sequential
+/// [`Search`](crate::dfs) loop with the incumbent radius replaced by the
+/// shared atomic.
+struct WorkerSearch<'a, F: Float> {
+    prep: &'a Prepared<F>,
+    scratch: &'a mut PdScratch<F>,
+    stats: &'a mut DetectionStats,
+    path: &'a mut Vec<usize>,
+    sort_bufs: &'a mut [Vec<(F, usize)>],
+    best_pd: &'a mut Option<f64>,
+    best_path: &'a mut Vec<usize>,
+    shared: &'a AtomicF64Min,
+    eval: EvalStrategy,
+    trace: Option<&'a mut SearchTelemetry>,
+}
+
+impl<F: Float> WorkerSearch<'_, F> {
+    fn descend(&mut self, pd: F) {
+        let depth = self.path.len();
+        let m = self.prep.n_tx;
+        let p = self.prep.order;
+        self.stats.nodes_expanded += 1;
+        let t0 = span_clock(self.trace.is_some());
+        self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
+        if let Some(t) = self.trace.as_mut() {
+            t.on_phase(Phase::Expand, span_ns(t0));
+            t.on_expand(depth, 1, p as u64);
+        }
+        self.stats.nodes_generated += p as u64;
+        self.stats.per_level_generated[depth] += p as u64;
+
+        let mut children = std::mem::take(&mut self.sort_bufs[depth]);
+        let t0 = span_clock(self.trace.is_some());
+        sorted_children_into(&self.scratch.increments, &mut children);
+        if let Some(t) = self.trace.as_mut() {
+            t.on_phase(Phase::Sort, span_ns(t0));
+            t.on_sort(depth, p as u64);
+        }
+        for (rank, &(inc, child)) in children.iter().enumerate() {
+            let child_pd = pd + inc;
+            // Prune against everyone's best, not just our own.
+            if !(child_pd.to_f64() < self.shared.load()) {
+                self.stats.nodes_pruned += (p - rank) as u64;
+                if let Some(t) = self.trace.as_mut() {
+                    t.on_prune(depth, (p - rank) as u64);
+                }
+                break;
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.on_accept(depth, 1);
+            }
+            if depth + 1 == m {
+                let leaf_pd = child_pd.to_f64();
+                self.stats.leaves_reached += 1;
+                if self.shared.try_lower(leaf_pd) {
+                    self.stats.radius_updates += 1;
+                    *self.best_pd = Some(leaf_pd);
+                    let t0 = span_clock(self.trace.is_some());
+                    self.best_path.clear();
+                    self.best_path.extend_from_slice(self.path);
+                    self.best_path.push(child);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.on_phase(Phase::Leaf, span_ns(t0));
+                        t.on_radius_update(depth, leaf_pd);
+                    }
+                }
+            } else {
+                self.path.push(child);
+                self.descend(child_pd);
+                self.path.pop();
+            }
+        }
+        self.sort_bufs[depth] = children;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::dfs::SphereDecoder;
+    use crate::ml::MlDetector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{noise_variance, FrameData, Modulation};
+
+    fn frames(
+        n: usize,
+        m: Modulation,
+        snr_db: f64,
+        count: usize,
+        seed: u64,
+    ) -> (Constellation, Vec<FrameData>) {
+        let c = Constellation::new(m);
+        let sigma2 = noise_variance(snr_db, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (0..count)
+            .map(|_| FrameData::generate(n, n, &c, sigma2, &mut rng))
+            .collect();
+        (c, f)
+    }
+
+    #[test]
+    fn matches_ml() {
+        let (c, frames) = frames(5, Modulation::Qam4, 6.0, 25, 100);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn matches_serial_dfs_metric_bitwise() {
+        let (c, frames) = frames(8, Modulation::Qam4, 8.0, 15, 101);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone()).with_workers(4);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        for f in &frames {
+            let a = mp.detect(f);
+            let b = sd.detect(f);
+            // Same optimum: the winning leaf's metric is the same
+            // pd + increment accumulation in both engines.
+            assert_eq!(
+                a.stats.final_radius_sqr.to_bits(),
+                b.stats.final_radius_sqr.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_qam_exactness() {
+        let (c, frames) = frames(3, Modulation::Qam16, 8.0, 10, 102);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn single_antenna_degenerate_case() {
+        // m = 1 cannot split below the root; must fall back to the
+        // sequential path and stay exact.
+        let (c, frames) = frames(1, Modulation::Qam4, 15.0, 10, 103);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone());
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn one_worker_is_bit_identical_to_sequential_including_stats() {
+        let (c, frames) = frames(6, Modulation::Qam16, 10.0, 10, 105);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone()).with_workers(1);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f), sd.detect(f));
+        }
+    }
+
+    #[test]
+    fn oversized_split_depth_is_clamped() {
+        let (c, frames) = frames(4, Modulation::Qam4, 8.0, 10, 106);
+        // L = 99 ≥ n_tx: must clamp to n_tx − 1 and stay exact.
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone())
+            .with_workers(2)
+            .with_split_levels(99);
+        assert_eq!(mp.effective_split_levels(4, 4), 3);
+        let ml = MlDetector::new(c);
+        for f in &frames {
+            assert_eq!(mp.detect(f).indices, ml.detect(f).indices);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_subtrees_leaves_some_idle() {
+        // BPSK at L=1 yields only 2 subtree roots for 8 workers; the six
+        // empty workers must not disturb exactness or stats merging.
+        let c = Constellation::new(Modulation::Bpsk);
+        let sigma2 = noise_variance(8.0, 5);
+        let mut rng = StdRng::seed_from_u64(107);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone())
+            .with_workers(8)
+            .with_split_levels(1);
+        let ml = MlDetector::new(c.clone());
+        for _ in 0..10 {
+            let f = FrameData::generate(5, 5, &c, sigma2, &mut rng);
+            let d = mp.detect(&f);
+            assert_eq!(d.indices, ml.detect(&f).indices);
+            assert_eq!(
+                d.stats.nodes_generated,
+                d.stats.per_level_generated.iter().sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn finite_radius_restarts_stay_exact() {
+        let (c, frames) = frames(4, Modulation::Qam4, 4.0, 25, 108);
+        let inf: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone()).with_workers(4);
+        let tight: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone())
+            .with_workers(4)
+            .with_initial_radius(InitialRadius::ScaledNoise(0.01));
+        let mut saw_restart = false;
+        for f in &frames {
+            let a = inf.detect(f);
+            let b = tight.detect(f);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(
+                a.stats.final_radius_sqr.to_bits(),
+                b.stats.final_radius_sqr.to_bits()
+            );
+            saw_restart |= b.stats.restarts > 0;
+        }
+        assert!(saw_restart, "0.01·N·σ² should be empty at least once");
+    }
+
+    #[test]
+    fn deeper_splits_stay_exact() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 10, 109);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        for l in 1..=5 {
+            let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone())
+                .with_workers(3)
+                .with_split_levels(l);
+            for f in &frames {
+                let a = mp.detect(f);
+                let b = sd.detect(f);
+                assert_eq!(
+                    a.stats.final_radius_sqr.to_bits(),
+                    b.stats.final_radius_sqr.to_bits(),
+                    "split depth {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_does_not_explode_vs_serial() {
+        // Parallel workers start without the serial search's early
+        // radius, so some extra work is expected — but sharing must keep
+        // it bounded (well under the blowup of independent subtrees).
+        let (c, frames) = frames(8, Modulation::Qam4, 8.0, 10, 104);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone());
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let np: u64 = frames
+            .iter()
+            .map(|f| mp.detect(f).stats.nodes_generated)
+            .sum();
+        let ns: u64 = frames
+            .iter()
+            .map(|f| sd.detect(f).stats.nodes_generated)
+            .sum();
+        assert!(
+            np < ns * 3,
+            "parallel explored {np} vs serial {ns}: sharing is broken"
+        );
+    }
+
+    #[test]
+    fn stats_reconcile_under_parallelism() {
+        let (c, frames) = frames(6, Modulation::Qam16, 12.0, 8, 110);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c).with_workers(4);
+        for f in &frames {
+            let d = mp.detect(f);
+            let s = &d.stats;
+            assert_eq!(s.nodes_generated, s.per_level_generated.iter().sum::<u64>());
+            assert_eq!(s.nodes_generated, s.nodes_expanded * 16);
+            assert!(s.leaves_reached >= 1);
+            assert!(s.final_radius_sqr.is_finite());
+            assert!(s.flops > 0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Lock-free atomic minimum over non-negative `f64` values.
+//!
+//! The subtree-parallel sphere decoder shares its shrinking squared
+//! radius between workers through this primitive: non-negative IEEE-754
+//! doubles order exactly like their bit patterns interpreted as unsigned
+//! integers, so a CAS fetch-min over the bits is a fetch-min over the
+//! floats — no lock, no float-atomic hardware support needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically decreasing shared `f64` (e.g. a sphere radius).
+///
+/// Only non-negative values (including `+∞`) are supported; the bit-level
+/// ordering trick breaks for negative floats and `try_lower` debug-asserts
+/// against them. Updates only ever *lower* the stored value, which is
+/// what makes relaxed readers safe in a pruning context: a stale read is
+/// merely a looser bound, never an incorrect one.
+#[derive(Debug)]
+pub struct AtomicF64Min(AtomicU64);
+
+impl AtomicF64Min {
+    /// New shared minimum holding `+∞` (no bound yet).
+    pub fn new() -> Self {
+        AtomicF64Min(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Reset to `value` unconditionally (e.g. at the start of a search
+    /// attempt). Not for concurrent use with `try_lower`.
+    pub fn store(&self, value: f64) {
+        debug_assert!(value >= 0.0);
+        self.0.store(value.to_bits(), Ordering::Release);
+    }
+
+    /// Lower the stored value to `value` if it improves it; returns
+    /// whether this call won the update. Equal values do *not* win, so
+    /// exactly one caller ever owns a given minimum.
+    pub fn try_lower(&self, value: f64) -> bool {
+        debug_assert!(value >= 0.0);
+        let bits = value.to_bits();
+        self.0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                // Non-negative IEEE-754 doubles order like their bit
+                // patterns, so integer comparison is float comparison.
+                (bits < cur).then_some(bits)
+            })
+            .is_ok()
+    }
+}
+
+impl Default for AtomicF64Min {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_min_semantics() {
+        let r = AtomicF64Min::new();
+        assert!(r.load().is_infinite());
+        assert!(r.try_lower(5.0));
+        assert!(!r.try_lower(7.0), "raising must fail");
+        assert!(r.try_lower(1.5));
+        assert_eq!(r.load(), 1.5);
+        assert!(!r.try_lower(1.5), "equal must fail");
+    }
+
+    #[test]
+    fn store_resets_the_floor() {
+        let r = AtomicF64Min::new();
+        assert!(r.try_lower(2.0));
+        r.store(10.0);
+        assert_eq!(r.load(), 10.0);
+        assert!(r.try_lower(9.0), "reset floor must be lowerable again");
+    }
+
+    #[test]
+    fn concurrent_lowering_converges_to_global_min() {
+        let r = AtomicF64Min::new();
+        let wins: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let r = &r;
+                    s.spawn(move || {
+                        let mut wins = 0u64;
+                        for i in 0..1000u64 {
+                            // Values dense around the global min 1.0.
+                            let v = 1.0 + ((t * 1000 + i) % 97) as f64 / 7.0;
+                            if r.try_lower(v) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(r.load(), 1.0);
+        assert!(wins >= 1, "someone must have set the min");
+    }
+}

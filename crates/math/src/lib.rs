@@ -30,6 +30,7 @@
 // `!(d > 0)` is the NaN-robust positivity test in the Cholesky pivot check.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod atomic;
 pub mod bulk;
 pub mod cholesky;
 pub mod complex;
@@ -43,6 +44,7 @@ pub mod rng;
 pub mod solve;
 pub mod vector;
 
+pub use atomic::AtomicF64Min;
 pub use bulk::fill_tiles;
 pub use cholesky::{cholesky, solve_hermitian, CholeskyError};
 pub use complex::Complex;
@@ -51,7 +53,7 @@ pub use f16::F16;
 pub use float::Float;
 pub use gemm::{gemm, gemm_acc_into, gemm_broadcast_acc_into, gemm_flops, gemm_into, GemmAlgo};
 pub use matrix::Matrix;
-pub use qr::{qr, qr_with_qty, QrDecomposition, QrScratch};
+pub use qr::{qr, qr_with_qty, QrDecomposition, QrFactors, QrScratch};
 pub use rng::ComplexNormal;
 pub use vector::CVector;
 

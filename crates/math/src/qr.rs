@@ -179,16 +179,92 @@ pub fn qr_with_qty<F: Float>(h: &Matrix<F>, y: &[Complex<F>]) -> (Matrix<F>, CVe
     (r_thin, ybar, tail_energy)
 }
 
+/// The channel-dependent half of a decoder QR, split from the
+/// receive-vector half so it can be cached and reused across frames that
+/// share one `H` (channel-coherent serving): [`QrFactors::factor`] runs
+/// the Householder factorization (everything that touches only `H`), and
+/// [`QrFactors::apply_qty_into`] replays the stored reflectors onto a
+/// fresh `y`. Composing the two is bit-identical to
+/// [`QrScratch::qr_with_qty_into`] by construction — the factorization
+/// never reads `y`, and the reflector application is the identical
+/// `apply_qh` loop.
+///
+/// All buffers are reused across calls, so both halves are
+/// allocation-free once a problem shape has been seen.
+pub struct QrFactors<F: Float> {
+    /// Factored work matrix: full-size `R` after [`QrFactors::factor`].
+    r_full: Matrix<F>,
+    vs: Vec<CVector<F>>,
+    taus: Vec<F>,
+    /// Work buffer for the full-length `Q^H y` product.
+    ybar: CVector<F>,
+}
+
+impl<F: Float> Default for QrFactors<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> QrFactors<F> {
+    /// Empty factors; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        QrFactors {
+            r_full: Matrix::zeros(0, 0),
+            vs: Vec::new(),
+            taus: Vec::new(),
+            ybar: Vec::new(),
+        }
+    }
+
+    /// Factorize `h`, storing the Householder reflectors in `self` and
+    /// writing the thin `m × m` upper-triangular factor into `r_out`.
+    pub fn factor(&mut self, h: &Matrix<F>, r_out: &mut Matrix<F>) {
+        let (n, m) = h.shape();
+        self.r_full.resize_for_overwrite(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                self.r_full[(i, j)] = h[(i, j)];
+            }
+        }
+        householder_into(&mut self.r_full, &mut self.vs, &mut self.taus);
+        r_out.resize_for_overwrite(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                r_out[(i, j)] = self.r_full[(i, j)];
+            }
+        }
+    }
+
+    /// Apply the stored `Q^H` to `y`, writing the first `m` entries into
+    /// `ybar_out` and returning the tail energy `‖(Q^H y)[m..]‖²`. Must
+    /// follow a [`QrFactors::factor`] of an `n × m` matrix with
+    /// `y.len() == n`.
+    pub fn apply_qty_into(&mut self, y: &[Complex<F>], ybar_out: &mut CVector<F>) -> F {
+        let (n, m) = self.r_full.shape();
+        assert_eq!(y.len(), n, "y length must equal rows of the factored H");
+        self.ybar.clear();
+        self.ybar.extend_from_slice(y);
+        apply_qh_slices(&self.vs, &self.taus, &mut self.ybar);
+        let tail_energy = crate::vector::norm_sqr(&self.ybar[m..]);
+        ybar_out.clear();
+        ybar_out.extend_from_slice(&self.ybar[..m]);
+        tail_energy
+    }
+
+    /// Shape `(n, m)` of the most recently factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.r_full.shape()
+    }
+}
+
 /// Reusable buffers for [`QrScratch::qr_with_qty_into`]: the full-size `R`
 /// work matrix, the Householder reflectors, and the `Q^H y` vector. After
 /// one factorization of each problem shape, later calls never touch the
 /// allocator — the property the serving runtime's steady-state decode path
 /// is gated on.
 pub struct QrScratch<F: Float> {
-    r_full: Matrix<F>,
-    vs: Vec<CVector<F>>,
-    taus: Vec<F>,
-    ybar: CVector<F>,
+    factors: QrFactors<F>,
 }
 
 impl<F: Float> Default for QrScratch<F> {
@@ -201,10 +277,7 @@ impl<F: Float> QrScratch<F> {
     /// Empty scratch; buffers grow to steady state on first use.
     pub fn new() -> Self {
         QrScratch {
-            r_full: Matrix::zeros(0, 0),
-            vs: Vec::new(),
-            taus: Vec::new(),
-            ybar: Vec::new(),
+            factors: QrFactors::new(),
         }
     }
 
@@ -212,7 +285,9 @@ impl<F: Float> QrScratch<F> {
     /// into `ybar_out` (both reusing their existing capacity) and
     /// returning the tail energy `‖ȳ[m..]‖²`. Bit-identical to
     /// [`qr_with_qty`]; allocation-free once every buffer has seen the
-    /// problem shape.
+    /// problem shape. Implemented as [`QrFactors::factor`] followed by
+    /// [`QrFactors::apply_qty_into`] — the factor/apply split the serve
+    /// layer's channel-coherent prep cache builds on.
     pub fn qr_with_qty_into(
         &mut self,
         h: &Matrix<F>,
@@ -220,28 +295,9 @@ impl<F: Float> QrScratch<F> {
         r_out: &mut Matrix<F>,
         ybar_out: &mut CVector<F>,
     ) -> F {
-        let (n, m) = h.shape();
-        assert_eq!(y.len(), n, "y length must equal rows of H");
-        self.r_full.resize_for_overwrite(n, m);
-        for i in 0..n {
-            for j in 0..m {
-                self.r_full[(i, j)] = h[(i, j)];
-            }
-        }
-        householder_into(&mut self.r_full, &mut self.vs, &mut self.taus);
-        self.ybar.clear();
-        self.ybar.extend_from_slice(y);
-        apply_qh_slices(&self.vs, &self.taus, &mut self.ybar);
-        r_out.resize_for_overwrite(m, m);
-        for i in 0..m {
-            for j in 0..m {
-                r_out[(i, j)] = self.r_full[(i, j)];
-            }
-        }
-        let tail_energy = crate::vector::norm_sqr(&self.ybar[m..]);
-        ybar_out.clear();
-        ybar_out.extend_from_slice(&self.ybar[..m]);
-        tail_energy
+        assert_eq!(y.len(), h.rows(), "y length must equal rows of H");
+        self.factors.factor(h, r_out);
+        self.factors.apply_qty_into(y, ybar_out)
     }
 }
 
@@ -421,6 +477,31 @@ mod tests {
     #[should_panic(expected = "rows >= cols")]
     fn wide_matrix_rejected() {
         qr(&M::zeros(2, 5));
+    }
+
+    #[test]
+    fn factor_apply_split_is_bit_identical_to_fused() {
+        // The cacheable split: factor H once, replay Q^H onto many y's.
+        // Every replay must match the fused path bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(0xFAC7);
+        for &(n, m, seed) in &[(8, 5, 11u64), (6, 6, 12), (12, 12, 13)] {
+            let h = random_matrix(n, m, seed);
+            let mut factors: QrFactors<f64> = QrFactors::new();
+            let mut r_split = M::zeros(0, 0);
+            factors.factor(&h, &mut r_split);
+            assert_eq!(factors.shape(), (n, m));
+            for _ in 0..4 {
+                let y: Vec<_> = (0..n)
+                    .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                    .collect();
+                let (r_fused, ybar_fused, tail_fused) = qr_with_qty(&h, &y);
+                let mut ybar_split = Vec::new();
+                let tail_split = factors.apply_qty_into(&y, &mut ybar_split);
+                assert_eq!(r_fused, r_split, "{n}x{m}: R differs");
+                assert_eq!(ybar_fused, ybar_split, "{n}x{m}: ybar differs");
+                assert_eq!(tail_fused.to_bits(), tail_split.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,21 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         snap.deadline_missed,
     );
     counter(
+        "sd_serve_prep_cache_hits_total",
+        "Requests whose preparation reused a cached channel factorization.",
+        snap.prep_cache_hits,
+    );
+    counter(
+        "sd_serve_prep_cache_misses_total",
+        "Requests whose preparation factored and cached their channel.",
+        snap.prep_cache_misses,
+    );
+    counter(
+        "sd_serve_prep_cache_bypass_total",
+        "Requests prepared outside the channel cache.",
+        snap.prep_cache_bypass,
+    );
+    counter(
         "sd_serve_batches_total",
         "Batches drained from the ingress queue.",
         snap.batches,
@@ -190,7 +205,8 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
     let _ = write!(
         o,
         "{{\"accepted\":{},\"rejected_full\":{},\"rejected_shutdown\":{},\"served\":{},\
-         \"deadline_missed\":{},\"deadline_miss_rate\":{},\"batches\":{},\
+         \"deadline_missed\":{},\"deadline_miss_rate\":{},\"prep_cache_hits\":{},\
+         \"prep_cache_misses\":{},\"prep_cache_bypass\":{},\"batches\":{},\
          \"mean_batch_size\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
          \"p99_latency_us\":{},\"p99_queue_wait_us\":{},\"nodes_generated\":{},\
          \"leaves_reached\":{},\"tiers\":[",
@@ -200,6 +216,9 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         snap.served,
         snap.deadline_missed,
         json_f64(snap.deadline_miss_rate),
+        snap.prep_cache_hits,
+        snap.prep_cache_misses,
+        snap.prep_cache_bypass,
         snap.batches,
         json_f64(snap.mean_batch_size),
         snap.queue_depth,
@@ -428,6 +447,9 @@ mod tests {
         m.batches.store(3, Ordering::Relaxed);
         m.batch_items.store(9, Ordering::Relaxed);
         m.latency_ns.record(150_000);
+        m.prep_cache_hits.store(5, Ordering::Relaxed);
+        m.prep_cache_misses.store(3, Ordering::Relaxed);
+        m.prep_cache_bypass.store(1, Ordering::Relaxed);
         m.tiers[0].served.fetch_add(7, Ordering::Relaxed);
         m.tiers[0].predict_err_ns.record(40_000);
         m.tiers[1].served.fetch_add(2, Ordering::Relaxed);
@@ -442,6 +464,9 @@ mod tests {
             "sd_serve_accepted_total 10",
             "sd_serve_deadline_missed_total 1",
             "sd_serve_queue_depth 2",
+            "sd_serve_prep_cache_hits_total 5",
+            "sd_serve_prep_cache_misses_total 3",
+            "sd_serve_prep_cache_bypass_total 1",
             "sd_serve_tier_served_total{tier=\"exact\"} 7",
             "sd_serve_tier_served_total{tier=\"mmse\"} 2",
             "sd_serve_tier_predict_err_us{tier=\"exact\",quantile=\"0.5\"}",
@@ -460,6 +485,9 @@ mod tests {
         validate_json(&line).expect("snapshot JSON must parse");
         assert!(!line.contains('\n'), "JSON-lines records are single-line");
         assert!(line.contains("\"served\":9"));
+        assert!(line.contains("\"prep_cache_hits\":5"));
+        assert!(line.contains("\"prep_cache_misses\":3"));
+        assert!(line.contains("\"prep_cache_bypass\":1"));
         assert!(line.contains("\"label\":\"exact\",\"served\":7"));
         assert!(line.contains("p99_predict_err_us"));
     }

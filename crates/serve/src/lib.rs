@@ -27,6 +27,10 @@
 //! * **Zero-allocation steady state** — the decode path writes into
 //!   recycled buffers through the `_into` entry points of `sd-core`;
 //!   after warm-up a request is served without touching the allocator.
+//! * **Channel-coherent preparation caching** — requests sharing one
+//!   channel matrix (a coherence block) reuse a cached QR factorization
+//!   per worker ([`prep_cache`]); only the cheap `ȳ = Qᴴy` half runs per
+//!   request, bit-identically to the uncached path.
 //! * **Observability** — lock-light [metrics] (latency/wait
 //!   histograms, batch-size distribution, tier and shed counters,
 //!   aggregated [`sd_core::DetectionStats`]).
@@ -47,6 +51,7 @@ pub mod export;
 pub mod ladder;
 pub mod loadgen;
 pub mod metrics;
+pub mod prep_cache;
 pub mod queue;
 pub mod registry;
 pub mod request;
@@ -59,6 +64,7 @@ pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat
 pub use ladder::{choose_tier, LadderConfig};
 pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
 pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
+pub use prep_cache::PrepCache;
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{default_registry, Tier};
 pub use request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};

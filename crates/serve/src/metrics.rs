@@ -105,6 +105,14 @@ pub struct Metrics {
     pub tiers: Vec<TierMetrics>,
     /// Responses whose end-to-end latency exceeded their deadline.
     pub deadline_missed: AtomicU64,
+    /// Requests whose preparation reused a cached channel factorization.
+    pub prep_cache_hits: AtomicU64,
+    /// Requests whose preparation factored (and cached) their channel.
+    pub prep_cache_misses: AtomicU64,
+    /// Requests prepared outside the cache (cache disabled, or the tier's
+    /// preprocessing is not channel-cacheable). Every served request is
+    /// exactly one of hit / miss / bypass.
+    pub prep_cache_bypass: AtomicU64,
     /// Batches drained from the ingress queue.
     pub batches: AtomicU64,
     /// Total requests across all batches (mean batch = items / batches).
@@ -136,6 +144,9 @@ impl Metrics {
                 })
                 .collect(),
             deadline_missed: AtomicU64::new(0),
+            prep_cache_hits: AtomicU64::new(0),
+            prep_cache_misses: AtomicU64::new(0),
+            prep_cache_bypass: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_items: AtomicU64::new(0),
             latency_ns: Log2Histogram::new(),
@@ -181,6 +192,9 @@ impl Metrics {
                 })
                 .collect(),
             deadline_missed: missed,
+            prep_cache_hits: self.prep_cache_hits.load(Ordering::Relaxed),
+            prep_cache_misses: self.prep_cache_misses.load(Ordering::Relaxed),
+            prep_cache_bypass: self.prep_cache_bypass.load(Ordering::Relaxed),
             deadline_miss_rate: if served == 0 {
                 0.0
             } else {
@@ -230,6 +244,13 @@ pub struct MetricsSnapshot {
     pub tiers: Vec<TierSnapshot>,
     /// Deadline misses among served responses.
     pub deadline_missed: u64,
+    /// Requests whose preparation reused a cached channel factorization.
+    pub prep_cache_hits: u64,
+    /// Requests whose preparation factored (and cached) their channel.
+    pub prep_cache_misses: u64,
+    /// Requests prepared outside the cache (disabled or non-cacheable
+    /// tier). `hits + misses + bypass` counts every prepared request.
+    pub prep_cache_bypass: u64,
     /// `deadline_missed / served`.
     pub deadline_miss_rate: f64,
     /// Batches drained.

@@ -1,0 +1,308 @@
+//! Channel-coherent prepared-state cache.
+//!
+//! In a coherence block the channel matrix `H` is estimated once and then
+//! shared by every symbol vector until the next estimate — so consecutive
+//! detection requests overwhelmingly repeat the same `H` with fresh `y`.
+//! The QR factorization is the expensive, `y`-independent half of the
+//! preprocessing ([`sd_core::prepare_channel_into`]); this cache keys that
+//! half by `(tier, H-bits)` so a worker factors each channel once per
+//! coherence block and replays `ȳ = Qᴴy` per request — the paper's
+//! amortize-preprocessing-across-shared-`H` argument applied to serving.
+//!
+//! The cache is **per worker** (no sharing, no locks) and **bounded**:
+//! eviction replaces the least-recently-used entry in place, reusing its
+//! buffers, so a warm cache serves hits *and* misses without heap
+//! allocation. Lookups compare the full `H` bit pattern after the hash,
+//! so a hash collision can never decode against the wrong channel, and a
+//! hit is bit-identical to an uncached preparation by the factor/apply
+//! split contract of [`sd_core::ChannelPrep`].
+
+use sd_core::{
+    prepare_channel_into, prepare_with_channel_into, ChannelPrep, ColumnOrdering, PrepScratch,
+    Prepared,
+};
+use sd_math::Matrix;
+use sd_wireless::{Constellation, FrameData};
+
+/// One cached channel factorization.
+struct Entry {
+    tier: usize,
+    hash: u64,
+    /// Exact-bits copy of the keyed channel matrix (collision guard).
+    h: Matrix<f64>,
+    chan: ChannelPrep<f64>,
+    /// Last-use stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// Per-worker bounded LRU cache of channel factorizations.
+pub struct PrepCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// FNV-1a-style xor-multiply over the bit patterns of `H` plus the tier
+/// index, mixing one 64-bit word per step (a byte-at-a-time FNV costs 8
+/// serial multiplies per element — more than the QR a hit saves at small
+/// `M`). Any decent 64-bit mix works here — the full `H` comparison
+/// catches collisions.
+fn channel_hash(tier: usize, h: &Matrix<f64>) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut acc = OFFSET;
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(PRIME);
+    };
+    mix(tier as u64);
+    let (n, m) = h.shape();
+    mix(n as u64);
+    mix(m as u64);
+    for c in h.as_slice() {
+        mix(c.re.to_bits());
+        mix(c.im.to_bits());
+    }
+    acc
+}
+
+fn same_h(a: &Matrix<f64>, b: &Matrix<f64>) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+impl PrepCache {
+    /// Cache holding up to `capacity` channel factorizations
+    /// (0 disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        PrepCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of cached factorizations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of factorizations currently cached (≤ capacity, always).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses (entries factored) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Prepare `frame` for decoding at `tier`, through the cache: reuse
+    /// the tier's factorization of this exact `H` when present, factor
+    /// (and cache, evicting the LRU entry in place if full) when not.
+    /// Returns `true` on a hit. The written `prep` is bit-identical to
+    /// `preprocess_ordered_into(frame, …, ordering, …)` either way.
+    ///
+    /// Panics if the cache was built with capacity 0 — callers gate on
+    /// [`PrepCache::capacity`] and take the uncached path instead.
+    pub fn prepare(
+        &mut self,
+        tier: usize,
+        frame: &FrameData,
+        ordering: ColumnOrdering,
+        constellation: &Constellation,
+        scratch: &mut PrepScratch<f64>,
+        prep: &mut Prepared<f64>,
+    ) -> bool {
+        assert!(self.capacity > 0, "capacity-0 cache cannot prepare");
+        self.clock += 1;
+        let hash = channel_hash(tier, &frame.h);
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.tier == tier && e.hash == hash && same_h(&e.h, &frame.h));
+        let hit = slot.is_some();
+        let slot = match slot {
+            Some(i) => i,
+            None => {
+                self.misses += 1;
+                let i = if self.entries.len() < self.capacity {
+                    self.entries.push(Entry {
+                        tier,
+                        hash,
+                        h: Matrix::zeros(0, 0),
+                        chan: ChannelPrep::new(),
+                        stamp: 0,
+                    });
+                    self.entries.len() - 1
+                } else {
+                    // Evict the least recently used entry in place; its
+                    // Matrix / ChannelPrep buffers are reused below.
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .unwrap()
+                };
+                let e = &mut self.entries[i];
+                e.tier = tier;
+                e.hash = hash;
+                let (n, m) = frame.h.shape();
+                e.h.resize_for_overwrite(n, m);
+                e.h.as_mut_slice().copy_from_slice(frame.h.as_slice());
+                prepare_channel_into(frame, ordering, scratch, &mut e.chan);
+                i
+            }
+        };
+        if hit {
+            self.hits += 1;
+        }
+        let e = &mut self.entries[slot];
+        e.stamp = self.clock;
+        prepare_with_channel_into(frame, constellation, scratch, &mut e.chan, prep);
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_core::preprocess_ordered_into;
+    use sd_wireless::Modulation;
+
+    fn setup(seed: u64) -> (Constellation, FrameData) {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = FrameData::generate(4, 4, &c, 0.1, &mut rng);
+        (c, f)
+    }
+
+    #[test]
+    fn cached_preparation_is_bit_identical_to_uncached() {
+        let (c, f) = setup(1);
+        let mut cache = PrepCache::new(4);
+        let mut scratch = PrepScratch::new();
+        let mut cached = Prepared::empty();
+        let mut fresh = Prepared::empty();
+        let mut rng = StdRng::seed_from_u64(2);
+        for round in 0..3 {
+            // Same H, new y each round: miss then hits.
+            let mut fy = f.clone();
+            fy.y = FrameData::generate(4, 4, &c, 0.1, &mut rng).y;
+            let hit = cache.prepare(
+                0,
+                &fy,
+                ColumnOrdering::Natural,
+                &c,
+                &mut scratch,
+                &mut cached,
+            );
+            assert_eq!(hit, round > 0);
+            preprocess_ordered_into(&fy, &c, ColumnOrdering::Natural, &mut scratch, &mut fresh);
+            assert_eq!(fresh.r, cached.r);
+            assert_eq!(fresh.ybar, cached.ybar);
+            assert_eq!(fresh.tail_energy.to_bits(), cached.tail_energy.to_bits());
+            assert_eq!(fresh.perm, cached.perm);
+            assert_eq!(fresh.row_blocks, cached.row_blocks);
+            assert_eq!(fresh.prep_flops, cached.prep_flops, "hits charge QR flops");
+        }
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+
+    #[test]
+    fn distinct_tiers_do_not_share_entries() {
+        let (c, f) = setup(3);
+        let mut cache = PrepCache::new(4);
+        let mut scratch = PrepScratch::new();
+        let mut prep = Prepared::empty();
+        assert!(!cache.prepare(0, &f, ColumnOrdering::Natural, &c, &mut scratch, &mut prep));
+        assert!(!cache.prepare(1, &f, ColumnOrdering::Natural, &c, &mut scratch, &mut prep));
+        assert!(cache.prepare(0, &f, ColumnOrdering::Natural, &c, &mut scratch, &mut prep));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_lru() {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let frames: Vec<FrameData> = (0..5)
+            .map(|_| FrameData::generate(4, 4, &c, 0.1, &mut rng))
+            .collect();
+        let mut cache = PrepCache::new(2);
+        let mut scratch = PrepScratch::new();
+        let mut prep = Prepared::empty();
+        let mut go = |cache: &mut PrepCache, i: usize| {
+            cache.prepare(
+                0,
+                &frames[i],
+                ColumnOrdering::Natural,
+                &c,
+                &mut scratch,
+                &mut prep,
+            )
+        };
+        assert!(!go(&mut cache, 0)); // miss, cache {0}
+        assert!(!go(&mut cache, 1)); // miss, cache {0,1}
+        assert_eq!(cache.len(), 2);
+        assert!(go(&mut cache, 0)); // hit, 1 becomes LRU
+        assert!(!go(&mut cache, 2)); // miss, evicts 1 -> {0,2}
+        assert_eq!(cache.len(), 2, "bounded at capacity");
+        assert!(go(&mut cache, 0), "0 survived eviction");
+        assert!(!go(&mut cache, 1), "1 was evicted");
+    }
+
+    #[test]
+    fn random_channel_stream_stays_bounded() {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cache = PrepCache::new(3);
+        let mut scratch = PrepScratch::new();
+        let mut prep = Prepared::empty();
+        for _ in 0..50 {
+            let f = FrameData::generate(4, 4, &c, 0.1, &mut rng);
+            cache.prepare(0, &f, ColumnOrdering::Natural, &c, &mut scratch, &mut prep);
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.misses(), 50, "i.i.d. channels never repeat");
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn hash_differs_across_tiers_and_channels() {
+        let (_, f) = setup(6);
+        let (_, g) = setup(7);
+        assert_ne!(channel_hash(0, &f.h), channel_hash(1, &f.h));
+        assert_ne!(channel_hash(0, &f.h), channel_hash(0, &g.h));
+        assert_eq!(channel_hash(0, &f.h), channel_hash(0, &f.h));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity-0")]
+    fn zero_capacity_prepare_panics() {
+        let (c, f) = setup(8);
+        let mut cache = PrepCache::new(0);
+        let mut scratch = PrepScratch::new();
+        let mut prep = Prepared::empty();
+        cache.prepare(0, &f, ColumnOrdering::Natural, &c, &mut scratch, &mut prep);
+    }
+}

@@ -60,6 +60,10 @@ pub struct ServeConfig {
     pub start_paused: bool,
     /// Optional periodic metrics reporter.
     pub reporter: Option<ReporterConfig>,
+    /// Per-worker channel-coherent preparation cache capacity (cached QR
+    /// factorizations per worker; see [`crate::prep_cache`]). `0`
+    /// disables the cache — every request then pays its own QR.
+    pub prep_cache: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,7 @@ impl Default for ServeConfig {
             ladder: LadderConfig::default(),
             start_paused: false,
             reporter: None,
+            prep_cache: 8,
         }
     }
 }
@@ -109,6 +114,13 @@ impl ServeConfig {
     /// Builder: report metrics to stderr every `period` in `format`.
     pub fn with_reporter(mut self, period: Duration, format: ExportFormat) -> Self {
         self.reporter = Some(ReporterConfig { period, format });
+        self
+    }
+
+    /// Builder: per-worker channel-coherent preparation cache capacity
+    /// (`0` disables caching).
+    pub fn with_prep_cache(mut self, capacity: usize) -> Self {
+        self.prep_cache = capacity;
         self
     }
 }

@@ -14,6 +14,7 @@
 //! purely a registry entry.
 
 use crate::ladder::choose_tier;
+use crate::prep_cache::PrepCache;
 use crate::request::{DetectionRequest, DetectionResponse};
 use crate::runtime::Shared;
 use sd_core::{Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace};
@@ -26,6 +27,10 @@ pub(crate) struct Worker {
     order: usize,
     prep_scratch: PrepScratch<f64>,
     prep: Prepared<f64>,
+    /// Per-worker channel-coherent factorization cache (see
+    /// [`crate::prep_cache`]); capacity comes from
+    /// [`ServeConfig::prep_cache`](crate::runtime::ServeConfig).
+    prep_cache: PrepCache,
     ws: SearchWorkspace<f64>,
     batch: Vec<DetectionRequest>,
     done: Vec<DetectionResponse>,
@@ -38,6 +43,7 @@ impl Worker {
             order: shared.tiers[0].detector.constellation().order(),
             prep_scratch: PrepScratch::new(),
             prep: Prepared::empty(),
+            prep_cache: PrepCache::new(shared.config.prep_cache),
             ws: SearchWorkspace::new(),
             batch: Vec::new(),
             done: Vec::new(),
@@ -101,8 +107,31 @@ impl Worker {
             .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order);
 
         let mut det: Detection = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
-        tier.detector
-            .prepare_frame_into(&req.frame, &mut self.prep_scratch, &mut self.prep);
+        // Channel-coherent preparation: tiers whose preprocessing is the
+        // shared QR split go through the per-worker factorization cache,
+        // so requests repeating one H inside a coherence block skip the
+        // QR. Bit-identical either way; `prep_flops` is charged in full
+        // on hits so complexity accounting stays comparable.
+        let metrics = &self.shared.metrics;
+        if self.prep_cache.capacity() > 0 && tier.detector.channel_cacheable() {
+            let hit = self.prep_cache.prepare(
+                tier_idx,
+                &req.frame,
+                tier.detector.ordering(),
+                tier.detector.constellation(),
+                &mut self.prep_scratch,
+                &mut self.prep,
+            );
+            if hit {
+                metrics.prep_cache_hits.fetch_add(1, Relaxed);
+            } else {
+                metrics.prep_cache_misses.fetch_add(1, Relaxed);
+            }
+        } else {
+            tier.detector
+                .prepare_frame_into(&req.frame, &mut self.prep_scratch, &mut self.prep);
+            metrics.prep_cache_bypass.fetch_add(1, Relaxed);
+        }
         let r2 = tier
             .detector
             .initial_radius_sqr(req.frame.h.rows(), req.frame.noise_variance);
@@ -113,7 +142,6 @@ impl Worker {
         let latency = queue_wait + service_time;
         let deadline_missed = latency > req.deadline;
 
-        let metrics = &self.shared.metrics;
         let tm = &metrics.tiers[tier_idx];
         tm.served.fetch_add(1, Relaxed);
         let service_ns = service_time.as_nanos() as u64;

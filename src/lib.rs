@@ -49,8 +49,8 @@ pub mod prelude {
         batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector},
         BestFirstSd, BfsGemmSd, ColumnOrdering, Detection, DetectionStats, Detector, EvalStrategy,
         FixedComplexitySd, InitialRadius, KBestSd, MlDetector, MmseDetector, MrcDetector,
-        RvdSphereDecoder, SearchWorkspace, SoftDetection, SoftSphereDecoder, SphereDecoder,
-        StatPruningSd, SubtreeParallelSd, ZfDetector,
+        ParallelSphereDecoder, RvdSphereDecoder, SearchWorkspace, SoftDetection, SoftSphereDecoder,
+        SphereDecoder, StatPruningSd, SubtreeParallelSd, ZfDetector,
     };
     pub use sd_fpga::{
         estimate_resources, CpuPowerModel, FpgaConfig, FpgaPowerModel, FpgaSphereDecoder,

@@ -217,6 +217,36 @@ fn disabled_trace_decode_is_exactly_allocation_free() {
 }
 
 #[test]
+fn parallel_decode_steady_state_is_exactly_allocation_free() {
+    let _g = serialized();
+    // The subtree-parallel engine must match the sequential zero-alloc
+    // guarantee: the first decode builds the persistent worker pool and
+    // per-worker workspaces; after that, enumeration, the broadcast, the
+    // shared-radius CAS loop, stat merging, and telemetry-free searches
+    // perform zero allocations.
+    let (c, _sigma2, preps) = prepared_problems();
+    let par = sd_core::ParallelSphereDecoder::<f64>::new(c).with_workers(4);
+    let mut ws = SearchWorkspace::new();
+    let mut out = sd_core::Detection::default();
+    for p in &preps {
+        par.detect_prepared_into(p, f64::INFINITY, &mut ws, &mut out);
+    }
+    let before = allocs();
+    let mut nodes = 0;
+    for p in &preps {
+        par.detect_prepared_into(p, f64::INFINITY, &mut ws, &mut out);
+        nodes += std::hint::black_box(&out).stats.nodes_generated;
+    }
+    let delta = allocs() - before;
+    assert!(nodes > 10_000, "search too small to be meaningful: {nodes}");
+    assert_eq!(
+        delta, 0,
+        "{delta} allocations across 8 parallel decodes ({nodes} nodes): \
+         the fan-out/join path allocates in steady state"
+    );
+}
+
+#[test]
 fn installed_telemetry_cost_is_per_level_not_per_node() {
     let _g = serialized();
     // With a SearchTelemetry recorder installed the per-decode cost may

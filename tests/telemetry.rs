@@ -10,8 +10,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::{
-    BestFirstSd, BfsGemmSd, FixedComplexitySd, InitialRadius, KBestSd, Phase, PreparedDetector,
-    SearchWorkspace, SphereDecoder,
+    BestFirstSd, BfsGemmSd, FixedComplexitySd, InitialRadius, KBestSd, ParallelSphereDecoder,
+    Phase, PreparedDetector, SearchWorkspace, SphereDecoder,
 };
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
@@ -125,6 +125,31 @@ fn fsd_reconciles_with_stats() {
         &FixedComplexitySd::<f64>::new(c).with_full_expansion(2),
         &frames,
         "FSD",
+    );
+}
+
+#[test]
+fn parallel_dfs_reconciles_with_stats() {
+    // Per-worker telemetry is recorded locally and replayed into the
+    // caller's sink after the join; the merged stream must reconcile with
+    // the merged DetectionStats exactly, level by level.
+    let (c, frames) = frames(6, Modulation::Qam4, 8.0, 10, 912);
+    assert_reconciles(
+        &ParallelSphereDecoder::<f64>::new(c).with_workers(4),
+        &frames,
+        "subtree-parallel DFS",
+    );
+}
+
+#[test]
+fn parallel_dfs_with_restarts_reconciles_with_stats() {
+    let (c, frames) = frames(4, Modulation::Qam4, 4.0, 10, 913);
+    assert_reconciles(
+        &ParallelSphereDecoder::<f64>::new(c)
+            .with_workers(3)
+            .with_initial_radius(InitialRadius::ScaledNoise(0.01)),
+        &frames,
+        "parallel restarts",
     );
 }
 
