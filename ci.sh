@@ -10,6 +10,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> fixed-point kernels: intrinsics feature gate"
+# The AVX2 kernels must build everywhere and be bit-identical to the
+# portable fallback wherever the host can actually run them (the tests
+# runtime-detect AVX2 and skip the comparison on hosts without it).
+cargo test -q -p sd-math -p sd-core --features simd-intrinsics
+
+echo "==> quantized BER gate (release)"
+# The 16x16/16-QAM degradation bound that licenses the fixed-point serve
+# rungs; debug-ignored because the exact f64 oracle sweep needs release
+# speed.
+cargo test -q --release --test quantized -- --ignored
+
 echo "==> parallel determinism stress (SD_STRESS_ITERS=200)"
 # The subtree-parallel decoder must return bit-identical answers on every
 # run regardless of thread interleaving; hammer it at full hardware

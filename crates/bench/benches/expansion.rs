@@ -23,9 +23,11 @@ use sd_core::pd::{eval_children, eval_children_batch, PdScratch};
 use sd_core::preprocess::{preprocess, Prepared};
 use sd_core::reference::{dfs_reference, kbest_reference};
 use sd_core::{
-    EvalStrategy, KBestSd, ParallelSphereDecoder, PreparedDetector, SearchWorkspace, SphereDecoder,
+    EvalStrategy, FixedComplexitySd, KBestSd, MetricKind, ParallelSphereDecoder, PreparedDetector,
+    QuantizedFsd, QuantizedKBestSd, SearchWorkspace, SphereDecoder,
 };
-use sd_math::GemmAlgo;
+use sd_math::fixed::{COEF_TARGET, SYM_QMAX, Y_CLAMP};
+use sd_math::{fx_expand_level, fx_metric_update, GemmAlgo};
 use sd_wireless::{noise_variance, Constellation, FrameData, Modulation};
 
 /// The paper's operating point: 16×16 antennas, 16-QAM.
@@ -103,6 +105,70 @@ fn bench_node_expansion(c: &mut Criterion) {
             });
         });
     }
+
+    // The fixed-point kernel on the same shape: one level's broadcast
+    // suffix-MAC + per-child metric update for the whole batch, on
+    // i16/i32 lanes instead of f64.
+    let mut rng = StdRng::seed_from_u64(0x5DC0DE);
+    let a_re: Vec<i16> = (0..DEPTH).map(|_| rng.gen_range(-2047..=2047)).collect();
+    let a_im: Vec<i16> = (0..DEPTH).map(|_| rng.gen_range(-2047..=2047)).collect();
+    let coef = COEF_TARGET as i32;
+    let sym = SYM_QMAX as i16;
+    let plane = |rng: &mut StdRng| -> Vec<i16> {
+        (0..DEPTH * BATCH)
+            .map(|_| rng.gen_range(-sym..=sym))
+            .collect()
+    };
+    let (s_re, s_im) = (plane(&mut rng), plane(&mut rng));
+    let seed_plane = |rng: &mut StdRng| -> Vec<i32> {
+        (0..p)
+            .map(|_| rng.gen_range(-coef * SYM_QMAX..=coef * SYM_QMAX))
+            .collect()
+    };
+    let (seed_re, seed_im) = (seed_plane(&mut rng), seed_plane(&mut rng));
+    let (mut w_re, mut w_im) = (vec![0i32; BATCH], vec![0i32; BATCH]);
+    let mut out = vec![0i64; BATCH * p];
+    group.bench_function(BenchmarkId::new("fixed_i16", BATCH), |b| {
+        b.iter(|| {
+            fx_expand_level(
+                &a_re,
+                &a_im,
+                &s_re,
+                &s_im,
+                BATCH,
+                77_000,
+                -42_000,
+                &seed_re,
+                &seed_im,
+                MetricKind::L2,
+                &mut w_re,
+                &mut w_im,
+                &mut out,
+            );
+            out[0]
+        });
+    });
+    group.finish();
+
+    // The per-level metric update alone, per norm: the ℓ∞ variant trades
+    // the two squaring multiplies for two abs/max pairs.
+    let mut group = c.benchmark_group("metric_update");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements((BATCH * p) as u64));
+    let res: Vec<i32> = (0..BATCH * p)
+        .map(|_| rng.gen_range(-(Y_CLAMP / 2)..=Y_CLAMP / 2))
+        .collect();
+    let res_im: Vec<i32> = (0..BATCH * p)
+        .map(|_| rng.gen_range(-(Y_CLAMP / 2)..=Y_CLAMP / 2))
+        .collect();
+    for (name, metric) in [("l2", MetricKind::L2), ("linf", MetricKind::LInf)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                fx_metric_update(9_999, -7_777, &res, &res_im, metric, &mut out);
+                out[0]
+            });
+        });
+    }
     group.finish();
 }
 
@@ -154,7 +220,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         });
     }
 
-    let kb: KBestSd<f64> = KBestSd::new(constellation, 32);
+    let kb: KBestSd<f64> = KBestSd::new(constellation.clone(), 32);
     group.bench_function("kbest32/reference", |b| {
         b.iter(|| {
             frames
@@ -168,6 +234,35 @@ fn bench_end_to_end(c: &mut Criterion) {
             frames
                 .iter()
                 .map(|p| kb.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
+                .sum::<usize>()
+        });
+    });
+
+    // The quantized rungs: the same sweeps on i16/i32 kernels.
+    let kb_fx = QuantizedKBestSd::new(constellation.clone(), 32);
+    group.bench_function("kbest32/fixed_i16", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| kb_fx.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
+                .sum::<usize>()
+        });
+    });
+    let fsd: FixedComplexitySd<f64> = FixedComplexitySd::new(constellation.clone());
+    group.bench_function("fsd1/float", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| fsd.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
+                .sum::<usize>()
+        });
+    });
+    let fsd_fx = QuantizedFsd::new(constellation).with_metric(MetricKind::LInf);
+    group.bench_function("fsd1/fixed_i16_linf", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|p| fsd_fx.detect_prepared_in(p, f64::INFINITY, &mut ws).indices[0])
                 .sum::<usize>()
         });
     });
@@ -195,6 +290,9 @@ fn main() {
     let e2e_sequential = find(&c, "dfs/arena_workspace");
     let kb_before = find(&c, "kbest32/reference");
     let kb_after = find(&c, "kbest32/arena_batched");
+    let kb_fixed = find(&c, "kbest32/fixed_i16");
+    let fsd_float = find(&c, "fsd1/float");
+    let fsd_fixed = find(&c, "fsd1/fixed_i16_linf");
     let (par_workers, par_ns) = [2usize, 4, 8]
         .map(|w| (w, find(&c, &format!("dfs/parallel{w}"))))
         .into_iter()
@@ -227,7 +325,10 @@ fn main() {
          \"speedup_parallel\": {:.2}\n  }},\n  \
          \"end_to_end_dfs\": {{\"reference_ns\": {:.0}, \"before_ns\": {:.0}, \
          \"after_ns\": {:.0}, \"workers\": {}, \"speedup\": {:.2}}},\n  \
-         \"end_to_end_kbest32\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}}\n}}\n",
+         \"end_to_end_kbest32\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"quantized\": {{\"kbest32_float_ns\": {:.0}, \"kbest32_fixed_ns\": {:.0}, \
+         \"kbest32_speedup\": {:.2}, \"fsd1_float_ns\": {:.0}, \"fsd1_fixed_linf_ns\": {:.0}, \
+         \"fsd1_speedup\": {:.2}}}\n}}\n",
         rows.join(",\n"),
         children * 1e9 / before,
         children * 1e9 / after_blocked,
@@ -242,6 +343,12 @@ fn main() {
         kb_before,
         kb_after,
         kb_before / kb_after,
+        kb_after,
+        kb_fixed,
+        kb_after / kb_fixed,
+        fsd_float,
+        fsd_fixed,
+        fsd_float / fsd_fixed,
     );
 
     // Walk up from the bench crate to the workspace root.
@@ -263,5 +370,14 @@ fn main() {
         par_workers,
         par_ns / 1e6,
         e2e_sequential / par_ns
+    );
+    eprintln!(
+        "quantized: kbest32 {:.2} ms -> {:.2} ms ({:.2}x), fsd1 {:.2} ms -> {:.2} ms ({:.2}x)",
+        kb_after / 1e6,
+        kb_fixed / 1e6,
+        kb_after / kb_fixed,
+        fsd_float / 1e6,
+        fsd_fixed / 1e6,
+        fsd_float / fsd_fixed
     );
 }

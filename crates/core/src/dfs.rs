@@ -19,6 +19,85 @@ use crate::trace::{span_clock, span_ns, Phase, TraceSink};
 use sd_math::Float;
 use sd_wireless::Constellation;
 
+/// Compile-time observability switch for the DFS hot path.
+///
+/// The search is generic over its sink so that the common untraced decode
+/// monomorphizes with [`NoSink`]: every `on_*` call inlines to nothing and
+/// `S::ACTIVE == false` makes [`span_clock`] skip the `Instant` reads —
+/// the traced and untraced paths share one source of truth for the
+/// traversal and accounting, but the untraced binary carries zero
+/// per-node branches for it. (Boxing the sink into an `Option<&mut dyn>`
+/// field cost ~11% end-to-end on 16×16/16-QAM; see BENCH_expansion.json.)
+trait DfsSink {
+    /// Whether phase spans should read the clock.
+    const ACTIVE: bool;
+    fn on_phase(&mut self, phase: Phase, ns: u64);
+    fn on_expand(&mut self, level: usize, parents: u64, children: u64);
+    fn on_sort(&mut self, level: usize, elements: u64);
+    fn on_prune(&mut self, level: usize, n: u64);
+    fn on_accept(&mut self, level: usize, n: u64);
+    fn on_radius_update(&mut self, level: usize, radius_sqr: f64);
+    fn on_restart(&mut self);
+}
+
+/// The untraced decode: all hooks are no-ops and the optimizer deletes
+/// them (and the clock reads guarded by `ACTIVE`).
+struct NoSink;
+
+impl DfsSink for NoSink {
+    const ACTIVE: bool = false;
+    #[inline(always)]
+    fn on_phase(&mut self, _: Phase, _: u64) {}
+    #[inline(always)]
+    fn on_expand(&mut self, _: usize, _: u64, _: u64) {}
+    #[inline(always)]
+    fn on_sort(&mut self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn on_prune(&mut self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn on_accept(&mut self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn on_radius_update(&mut self, _: usize, _: f64) {}
+    #[inline(always)]
+    fn on_restart(&mut self) {}
+}
+
+/// The traced decode: forwards every hook to the workspace's
+/// [`TraceSink`].
+struct DynSink<'a>(&'a mut (dyn TraceSink + 'static));
+
+impl DfsSink for DynSink<'_> {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn on_phase(&mut self, phase: Phase, ns: u64) {
+        self.0.on_phase(phase, ns);
+    }
+    #[inline]
+    fn on_expand(&mut self, level: usize, parents: u64, children: u64) {
+        self.0.on_expand(level, parents, children);
+    }
+    #[inline]
+    fn on_sort(&mut self, level: usize, elements: u64) {
+        self.0.on_sort(level, elements);
+    }
+    #[inline]
+    fn on_prune(&mut self, level: usize, n: u64) {
+        self.0.on_prune(level, n);
+    }
+    #[inline]
+    fn on_accept(&mut self, level: usize, n: u64) {
+        self.0.on_accept(level, n);
+    }
+    #[inline]
+    fn on_radius_update(&mut self, level: usize, radius_sqr: f64) {
+        self.0.on_radius_update(level, radius_sqr);
+    }
+    #[inline]
+    fn on_restart(&mut self) {
+        self.0.on_restart();
+    }
+}
+
 /// Sorted-DFS sphere decoder (the paper's algorithm), generic over the
 /// working precision `F`.
 #[derive(Clone, Debug)]
@@ -112,47 +191,17 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
         ws.prepare(prep.order, prep.n_tx);
         out.stats.reset(prep.n_tx);
         // The sink leaves the workspace for the duration of the decode so
-        // the search can borrow it alongside the other buffers.
+        // the search can borrow it alongside the other buffers. Dispatch
+        // on its presence ONCE, here, so the per-node hot path is
+        // monomorphized trace-free when no sink is installed.
         let mut trace = ws.trace.take();
-        if let Some(t) = trace.as_deref_mut() {
-            t.on_decode_start(prep.n_tx);
-        }
-        let ws = &mut *ws;
-        let best_metric;
-        {
-            let mut search = Search {
-                prep,
-                scratch: &mut ws.scratch,
-                stats: &mut out.stats,
-                path: &mut ws.path,
-                best_path: &mut ws.best_path,
-                sort_bufs: &mut ws.sort_bufs,
-                best_metric: F::from_f64(radius_sqr),
-                sort: self.sort_children,
-                eval: self.eval,
-                trace: trace.as_deref_mut(),
-            };
-            let mut r2 = radius_sqr;
-            loop {
-                search.descend(F::ZERO);
-                if !search.best_path.is_empty() {
-                    break;
-                }
-                // Empty sphere: enlarge and retry (keeps the decoder exact
-                // for finite initial radii).
-                r2 *= InitialRadius::RESTART_GROWTH;
-                search.stats.restarts += 1;
-                if let Some(t) = search.trace.as_mut() {
-                    t.on_restart();
-                }
-                search.best_metric = F::from_f64(r2);
-                assert!(
-                    search.stats.restarts < 64,
-                    "sphere radius failed to capture any leaf"
-                );
+        let best_metric = match trace.as_deref_mut() {
+            Some(t) => {
+                t.on_decode_start(prep.n_tx);
+                self.run(prep, radius_sqr, ws, out, DynSink(t))
             }
-            best_metric = search.best_metric;
-        }
+            None => self.run(prep, radius_sqr, ws, out, NoSink),
+        };
         ws.trace = trace;
         prep.indices_from_path_into(&ws.best_path, &mut out.indices);
         out.stats.final_radius_sqr = best_metric.to_f64();
@@ -160,11 +209,55 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
     }
 }
 
+impl<F: Float> SphereDecoder<F> {
+    /// The restart loop, monomorphized per sink type. Returns the final
+    /// squared radius.
+    fn run<S: DfsSink>(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+        sink: S,
+    ) -> F {
+        let mut search = Search {
+            prep,
+            scratch: &mut ws.scratch,
+            stats: &mut out.stats,
+            path: &mut ws.path,
+            best_path: &mut ws.best_path,
+            sort_bufs: &mut ws.sort_bufs,
+            best_metric: F::from_f64(radius_sqr),
+            sort: self.sort_children,
+            eval: self.eval,
+            sink,
+        };
+        let mut r2 = radius_sqr;
+        loop {
+            search.descend(F::ZERO);
+            if !search.best_path.is_empty() {
+                break;
+            }
+            // Empty sphere: enlarge and retry (keeps the decoder exact
+            // for finite initial radii).
+            r2 *= InitialRadius::RESTART_GROWTH;
+            search.stats.restarts += 1;
+            search.sink.on_restart();
+            search.best_metric = F::from_f64(r2);
+            assert!(
+                search.stats.restarts < 64,
+                "sphere radius failed to capture any leaf"
+            );
+        }
+        search.best_metric
+    }
+}
+
 impl_detector_via_prepared!(SphereDecoder<F>, "SD sorted-DFS (paper)");
 
 /// One in-flight tree search, borrowing all buffers from a
 /// [`SearchWorkspace`].
-struct Search<'a, F: Float> {
+struct Search<'a, F: Float, S: DfsSink> {
     prep: &'a Prepared<F>,
     scratch: &'a mut PdScratch<F>,
     stats: &'a mut DetectionStats,
@@ -179,23 +272,21 @@ struct Search<'a, F: Float> {
     best_metric: F,
     sort: bool,
     eval: EvalStrategy,
-    /// Observability sink, taken out of the workspace for the decode.
-    trace: Option<&'a mut (dyn TraceSink + 'static)>,
+    /// Observability sink ([`NoSink`] on the untraced hot path).
+    sink: S,
 }
 
-impl<F: Float> Search<'_, F> {
+impl<F: Float, S: DfsSink> Search<'_, F, S> {
     /// Expand the node identified by `self.path` whose PD is `pd`.
     fn descend(&mut self, pd: F) {
         let depth = self.path.len();
         let m = self.prep.n_tx;
         let p = self.prep.order;
         self.stats.nodes_expanded += 1;
-        let t0 = span_clock(self.trace.is_some());
+        let t0 = span_clock(S::ACTIVE);
         self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
-        if let Some(t) = self.trace.as_mut() {
-            t.on_phase(Phase::Expand, span_ns(t0));
-            t.on_expand(depth, 1, p as u64);
-        }
+        self.sink.on_phase(Phase::Expand, span_ns(t0));
+        self.sink.on_expand(depth, 1, p as u64);
         self.stats.nodes_generated += p as u64;
         self.stats.per_level_generated[depth] += p as u64;
 
@@ -204,20 +295,16 @@ impl<F: Float> Search<'_, F> {
         // the seed implementation cloned them every expansion.
         let mut children = std::mem::take(&mut self.sort_bufs[depth]);
         if self.sort {
-            let t0 = span_clock(self.trace.is_some());
+            let t0 = span_clock(S::ACTIVE);
             sorted_children_into(&self.scratch.increments, &mut children);
-            if let Some(t) = self.trace.as_mut() {
-                t.on_phase(Phase::Sort, span_ns(t0));
-                t.on_sort(depth, p as u64);
-            }
+            self.sink.on_phase(Phase::Sort, span_ns(t0));
+            self.sink.on_sort(depth, p as u64);
             for (rank, &(inc, child)) in children.iter().enumerate() {
                 let child_pd = pd + inc;
                 if !(child_pd < self.best_metric) {
                     // Sorted order ⇒ every remaining sibling is pruned too.
                     self.stats.nodes_pruned += (p - rank) as u64;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.on_prune(depth, (p - rank) as u64);
-                    }
+                    self.sink.on_prune(depth, (p - rank) as u64);
                     break;
                 }
                 self.visit(child, child_pd, depth, m);
@@ -231,9 +318,7 @@ impl<F: Float> Search<'_, F> {
                     self.visit(child, child_pd, depth, m);
                 } else {
                     self.stats.nodes_pruned += 1;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.on_prune(depth, 1);
-                    }
+                    self.sink.on_prune(depth, 1);
                 }
             }
         }
@@ -242,22 +327,18 @@ impl<F: Float> Search<'_, F> {
 
     #[inline]
     fn visit(&mut self, child: usize, child_pd: F, depth: usize, m: usize) {
-        if let Some(t) = self.trace.as_mut() {
-            t.on_accept(depth, 1);
-        }
+        self.sink.on_accept(depth, 1);
         if depth + 1 == m {
             // Leaf inside the sphere: Algorithm 1 lines 7–9.
             self.stats.leaves_reached += 1;
             self.stats.radius_updates += 1;
             self.best_metric = child_pd;
-            let t0 = span_clock(self.trace.is_some());
+            let t0 = span_clock(S::ACTIVE);
             self.best_path.clear();
             self.best_path.extend_from_slice(self.path);
             self.best_path.push(child);
-            if let Some(t) = self.trace.as_mut() {
-                t.on_phase(Phase::Leaf, span_ns(t0));
-                t.on_radius_update(depth, child_pd.to_f64());
-            }
+            self.sink.on_phase(Phase::Leaf, span_ns(t0));
+            self.sink.on_radius_update(depth, child_pd.to_f64());
         } else {
             self.path.push(child);
             self.descend(child_pd);

@@ -61,6 +61,7 @@ pub mod ml;
 pub mod parallel;
 pub mod pd;
 pub mod preprocess;
+pub mod quantized;
 pub mod radius;
 pub mod reference;
 pub mod rvd;
@@ -86,8 +87,12 @@ pub use preprocess::{
     prepare_channel_into, prepare_with_channel_into, preprocess, preprocess_ordered,
     preprocess_ordered_into, ChannelPrep, ColumnOrdering, PrepScratch, Prepared,
 };
+pub use quantized::{
+    FxPrepared, QuantizedFsd, QuantizedKBestSd, QuantizedSphereDecoder, MAX_QUANT_DEGRADATION_DB,
+};
 pub use radius::InitialRadius;
 pub use rvd::RvdSphereDecoder;
+pub use sd_math::fixed::MetricKind;
 pub use soft::{SoftDetection, SoftSphereDecoder};
 pub use stat_pruning::StatPruningSd;
 pub use trace::{LevelTelemetry, Phase, PhaseProfile, PhaseUnit, SearchTelemetry, TraceSink};

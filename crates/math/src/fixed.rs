@@ -1,0 +1,176 @@
+//! Fixed-point (i16/i32) number layer for the quantized decode path.
+//!
+//! The paper's FPGA decoder runs every partial-distance MAC on fixed-point
+//! DSP slices; this module defines the Q-format that the software
+//! reproduction of that datapath uses and the saturating conversions into
+//! it. The format is chosen so that *every* intermediate of the per-level
+//! kernels in [`crate::fxkernel`] provably fits its container — overflow
+//! is excluded by construction (and re-checked by debug assertions), not
+//! hoped away.
+//!
+//! ## Q-format and scaling
+//!
+//! Three quantities enter the metric `|ŷ_i − Σ_j r̂_ij ŝ_j|`:
+//!
+//! * **Symbols** `s` — fixed scale `2^12` (Q3.12 in an `i16`). The unit-
+//!   energy constellations keep `|Re s|, |Im s| ≤ 1.0801` (64-QAM), so a
+//!   quantized component is at most [`SYM_QMAX`] `= 4424 < 2^13`.
+//! * **Coefficients** `R` — dynamic per-problem scale `α` chosen so the
+//!   largest component of `R` maps to [`COEF_TARGET`] `= 2047 < 2^11`
+//!   (see [`coef_scale`]). `R` is data-dependent, so a fixed scale would
+//!   either waste range or clip; scaling to a fixed target preserves
+//!   precision *relative to the problem*, exactly like a hardware block-
+//!   floating-point normalizer.
+//! * **Received vector** `ȳ` — quantized at the *product* scale `α·2^12`
+//!   into an `i32`, saturated to ±[`Y_CLAMP`] `= 2^29`, so the residual
+//!   `ŷ − Σ r̂ŝ` lives on the same grid as the accumulated products.
+//!
+//! ## Overflow analysis
+//!
+//! For a suffix of length `k+1 ≤ M` (one row of `R` against the fixed
+//! symbols), the complex accumulator obeys
+//!
+//! ```text
+//! |Re Σ r̂ŝ| ≤ M · 2 · COEF_TARGET · SYM_QMAX = M · 18 111 856 < 2^31  for M ≤ 118
+//! ```
+//!
+//! and the residual `d = ŷ − Σ r̂ŝ` obeys `|d| ≤ 2^29 + M·1.82e7 < 2^31`
+//! for `M ≤` [`MAX_FX_ANTENNAS`] `= 64` — so suffix sums and residuals are
+//! exact in `i32` with no saturation inside the kernel loops. The squared
+//! ℓ2 increment `d_re² + d_im²` is then at most `2·(1.7e9)² < 2^63`,
+//! exact in `i64`; only the *running path metric* (a sum of up to `M`
+//! increments) uses `saturating_add`, and the ℓ∞ metric (a max) can never
+//! grow at all. Saturation therefore appears in exactly two places:
+//! input quantization ([`quantize_i16`], [`quantize_i32`]) and path-metric
+//! accumulation ([`MetricKind::combine`]).
+
+/// Fractional bits of the symbol quantization (Q3.12).
+pub const SYM_FRAC_BITS: u32 = 12;
+
+/// Symbol scale `2^SYM_FRAC_BITS`.
+pub const SYM_SCALE: f64 = (1i64 << SYM_FRAC_BITS) as f64;
+
+/// Largest quantized symbol component: `round(1.0801 · 4096)` for the
+/// unit-energy 64-QAM corner point.
+pub const SYM_QMAX: i32 = 4424;
+
+/// Target magnitude of the largest quantized `R` component (`< 2^11`),
+/// the headroom that makes the `i32` suffix accumulation exact.
+pub const COEF_TARGET: f64 = 2047.0;
+
+/// Saturation bound of the quantized received vector `ŷ` (`2^29`).
+pub const Y_CLAMP: i32 = 1 << 29;
+
+/// Largest antenna count for which the overflow analysis above holds.
+pub const MAX_FX_ANTENNAS: usize = 64;
+
+/// Round-to-nearest quantization of `x·scale` saturated to the `i16`
+/// range.
+#[inline]
+pub fn quantize_i16(x: f64, scale: f64) -> i16 {
+    let q = (x * scale).round();
+    q.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// Round-to-nearest quantization of `x·scale` saturated to ±[`Y_CLAMP`].
+#[inline]
+pub fn quantize_i32(x: f64, scale: f64) -> i32 {
+    let q = (x * scale).round();
+    q.clamp(-(Y_CLAMP as f64), Y_CLAMP as f64) as i32
+}
+
+/// Dynamic coefficient scale `α` for a matrix whose largest component
+/// magnitude is `max_abs`: maps it onto [`COEF_TARGET`]. Degenerate
+/// all-zero inputs keep `α = 1`.
+#[inline]
+pub fn coef_scale(max_abs: f64) -> f64 {
+    if max_abs > 0.0 && max_abs.is_finite() {
+        COEF_TARGET / max_abs
+    } else {
+        1.0
+    }
+}
+
+/// Which per-level metric the search accumulates.
+///
+/// * [`MetricKind::L2`] — the ML metric: squared Euclidean distance,
+///   combined by (saturating) addition.
+/// * [`MetricKind::LInf`] — the infinity-norm relaxation of Seethaler &
+///   Bölcskei: the per-level increment is `max(|Re d|, |Im d|)` and path
+///   metrics combine by `max`. Replaces the two multiplies of `|d|²` with
+///   two compares, and is *monotone non-decreasing along any path* — the
+///   property that keeps sphere pruning admissible (a prefix's metric
+///   never exceeds any of its leaves'), at a small BER cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Sum of squared component distances (the exact ML metric).
+    #[default]
+    L2,
+    /// Max of component absolute distances (ℓ∞ sphere decoding).
+    LInf,
+}
+
+impl MetricKind {
+    /// Fold a child increment into a path metric: saturating sum for ℓ2,
+    /// max for ℓ∞. Both keep the metric monotone non-decreasing in depth.
+    #[inline]
+    pub fn combine(self, path: i64, increment: i64) -> i64 {
+        match self {
+            MetricKind::L2 => path.saturating_add(increment),
+            MetricKind::LInf => path.max(increment),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        assert_eq!(quantize_i16(1.0, SYM_SCALE), 4096);
+        assert_eq!(quantize_i16(-1.0, SYM_SCALE), -4096);
+        assert_eq!(quantize_i16(1.00012, SYM_SCALE), 4096); // 4096.49 rounds down
+        assert_eq!(quantize_i16(0.5 / SYM_SCALE, SYM_SCALE), 1); // round half away
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        assert_eq!(quantize_i16(1e9, 1.0), i16::MAX);
+        assert_eq!(quantize_i16(-1e9, 1.0), i16::MIN);
+        assert_eq!(quantize_i32(1e18, 1.0), Y_CLAMP);
+        assert_eq!(quantize_i32(-1e18, 1.0), -Y_CLAMP);
+    }
+
+    #[test]
+    fn sym_qmax_covers_qam64_corner() {
+        // 64-QAM unit-energy corner component is 7/√42.
+        let corner = 7.0 / 42f64.sqrt();
+        assert_eq!(quantize_i16(corner, SYM_SCALE) as i32, SYM_QMAX);
+    }
+
+    #[test]
+    fn coef_scale_hits_target_and_guards_degenerate() {
+        let a = coef_scale(3.5);
+        assert!(((3.5 * a) - COEF_TARGET).abs() < 1e-9);
+        assert_eq!(coef_scale(0.0), 1.0);
+        assert_eq!(coef_scale(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn suffix_accumulation_bound_fits_i32() {
+        // The documented bound: M·2·COEF_TARGET·SYM_QMAX must fit i32 for
+        // MAX_FX_ANTENNAS, with the ŷ clamp added for the residual.
+        let per_term = 2.0 * COEF_TARGET * SYM_QMAX as f64;
+        let acc = MAX_FX_ANTENNAS as f64 * per_term;
+        assert!(acc + (Y_CLAMP as f64) < i32::MAX as f64);
+    }
+
+    #[test]
+    fn combine_l2_saturates_linf_maxes() {
+        assert_eq!(MetricKind::L2.combine(i64::MAX, 1), i64::MAX);
+        assert_eq!(MetricKind::L2.combine(3, 4), 7);
+        assert_eq!(MetricKind::LInf.combine(3, 4), 4);
+        assert_eq!(MetricKind::LInf.combine(9, 4), 9);
+    }
+}

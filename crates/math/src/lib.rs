@@ -36,7 +36,9 @@ pub mod cholesky;
 pub mod complex;
 pub mod condition;
 pub mod f16;
+pub mod fixed;
 pub mod float;
+pub mod fxkernel;
 pub mod gemm;
 pub mod matrix;
 pub mod qr;
@@ -50,7 +52,9 @@ pub use cholesky::{cholesky, solve_hermitian, CholeskyError};
 pub use complex::Complex;
 pub use condition::{condition_estimate, smallest_singular_estimate, spectral_norm_estimate};
 pub use f16::F16;
+pub use fixed::MetricKind;
 pub use float::Float;
+pub use fxkernel::{fx_expand_level, fx_metric_update, fx_suffix_cmac};
 pub use gemm::{gemm, gemm_acc_into, gemm_broadcast_acc_into, gemm_flops, gemm_into, GemmAlgo};
 pub use matrix::Matrix;
 pub use qr::{qr, qr_with_qty, QrDecomposition, QrFactors, QrScratch};

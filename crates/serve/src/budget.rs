@@ -74,6 +74,12 @@ impl TierCostClass {
     pub fn fixed_kbest(k: usize) -> Self {
         TierCostClass::Fixed(Box::new(move |m, p| kbest_nodes(m, p, k)))
     }
+
+    /// The [`TierCostClass::Fixed`] class of an FSD sweep with `n_fe`
+    /// full-expansion levels.
+    pub fn fixed_fsd(n_fe: usize) -> Self {
+        TierCostClass::Fixed(Box::new(move |m, p| fsd_nodes(m, p, n_fe)))
+    }
 }
 
 impl std::fmt::Debug for TierCostClass {
@@ -200,6 +206,22 @@ pub fn kbest_nodes(m: usize, p: usize, k: usize) -> u64 {
     total
 }
 
+/// Exact node count of an FSD sweep with `n_fe` full-expansion levels:
+/// the frontier multiplies by `p` across the first `n_fe` levels, then
+/// stays flat while each survivor extends by its single best (SIC)
+/// child. Every level still *evaluates* `frontier × p` children.
+pub fn fsd_nodes(m: usize, p: usize, n_fe: usize) -> u64 {
+    let mut frontier = 1u64;
+    let mut total = 0u64;
+    for d in 0..m {
+        total += frontier * p as u64;
+        if d < n_fe {
+            frontier *= p as u64;
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +241,17 @@ mod tests {
         assert_eq!(kbest_nodes(3, 4, 8), 52);
         // Uncapped (k huge) is the full tree P + P² + P³.
         assert_eq!(kbest_nodes(3, 4, 1_000_000), 4 + 16 + 64);
+    }
+
+    #[test]
+    fn fsd_node_count_matches_hand_calc() {
+        // m=3, p=4, n_fe=1: level 0 expands 1·4, then the frontier is
+        // flat at 4 survivors → 4 + 16 + 16.
+        assert_eq!(fsd_nodes(3, 4, 1), 36);
+        // n_fe = m degenerates to the full tree.
+        assert_eq!(fsd_nodes(3, 4, 3), 4 + 16 + 64);
+        // n_fe = 0 is pure SIC: p evaluated per level.
+        assert_eq!(fsd_nodes(3, 4, 0), 12);
     }
 
     #[test]

@@ -59,13 +59,13 @@ pub mod runtime;
 mod worker;
 
 pub use batcher::BatchPolicy;
-pub use budget::{kbest_nodes, CostModel, TierCostClass};
+pub use budget::{fsd_nodes, kbest_nodes, CostModel, TierCostClass};
 pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat};
 pub use ladder::{choose_tier, LadderConfig};
 pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
 pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
 pub use prep_cache::PrepCache;
 pub use queue::{BoundedQueue, PushError};
-pub use registry::{default_registry, Tier};
+pub use registry::{default_registry, quantized_registry, Tier};
 pub use request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
 pub use runtime::{ReporterConfig, ServeConfig, ServeRuntime};

@@ -16,7 +16,10 @@
 
 use crate::budget::TierCostClass;
 use crate::ladder::LadderConfig;
-use sd_core::{KBestSd, MmseDetector, PreparedDetector, SphereDecoder};
+use sd_core::{
+    KBestSd, MetricKind, MmseDetector, PreparedDetector, QuantizedFsd, QuantizedKBestSd,
+    SphereDecoder,
+};
 use sd_wireless::Constellation;
 use std::sync::Arc;
 
@@ -76,6 +79,42 @@ pub fn default_registry(constellation: &Constellation, ladder: &LadderConfig) ->
     ]
 }
 
+/// The five-rung descent with the fixed-point engines as cheap rungs:
+/// exact SD → float K-best → fixed-i16 K-best (ℓ2) → fixed-i16 FSD (ℓ∞)
+/// → MMSE. The quantized tiers run the same sweeps on i16/i32 kernels
+/// (within the measured ≤[`sd_core::MAX_QUANT_DEGRADATION_DB`] dB BER
+/// cost), giving the ladder two extra stops between "approximate tree
+/// search" and "no tree at all".
+pub fn quantized_registry(constellation: &Constellation, ladder: &LadderConfig) -> Vec<Tier> {
+    vec![
+        Tier::new(
+            "exact",
+            TierCostClass::Adaptive,
+            Box::new(SphereDecoder::<f64>::new(constellation.clone())),
+        ),
+        Tier::new(
+            "k-best",
+            TierCostClass::fixed_kbest(ladder.kbest_k),
+            Box::new(KBestSd::<f64>::new(constellation.clone(), ladder.kbest_k)),
+        ),
+        Tier::new(
+            "k-best-fx",
+            TierCostClass::fixed_kbest(ladder.kbest_k),
+            Box::new(QuantizedKBestSd::new(constellation.clone(), ladder.kbest_k)),
+        ),
+        Tier::new(
+            "fsd-fx-linf",
+            TierCostClass::fixed_fsd(1),
+            Box::new(QuantizedFsd::new(constellation.clone()).with_metric(MetricKind::LInf)),
+        ),
+        Tier::new(
+            "mmse",
+            TierCostClass::Linear,
+            Box::new(MmseDetector::new(constellation.clone())),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +144,53 @@ mod tests {
         for tier in &tiers {
             let d = tier.detector.detect_frame(&frame);
             assert_eq!(d.indices.len(), 4, "tier {}", tier.label);
+        }
+    }
+
+    #[test]
+    fn quantized_registry_shape() {
+        let c = Constellation::new(Modulation::Qam4);
+        let tiers = quantized_registry(&c, &LadderConfig::default());
+        let labels: Vec<&str> = tiers.iter().map(|t| &*t.label).collect();
+        assert_eq!(
+            labels,
+            ["exact", "k-best", "k-best-fx", "fsd-fx-linf", "mmse"]
+        );
+        assert!(matches!(tiers[0].cost, TierCostClass::Adaptive));
+        assert!(matches!(tiers[2].cost, TierCostClass::Fixed(_)));
+        assert!(matches!(tiers[3].cost, TierCostClass::Fixed(_)));
+        assert!(matches!(tiers[4].cost, TierCostClass::Linear));
+    }
+
+    #[test]
+    fn quantized_tiers_decode_and_mostly_agree_at_high_snr() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sd_wireless::{noise_variance, FrameData};
+
+        let c = Constellation::new(Modulation::Qam16);
+        let tiers = quantized_registry(&c, &LadderConfig::default());
+        let mut rng = StdRng::seed_from_u64(0xF1);
+        let mut agree = [0usize; 5];
+        const FRAMES: usize = 20;
+        for _ in 0..FRAMES {
+            let frame = FrameData::generate(8, 8, &c, noise_variance(24.0, 8), &mut rng);
+            let exact = tiers[0].detector.detect_frame(&frame);
+            for (t, tier) in tiers.iter().enumerate() {
+                let d = tier.detector.detect_frame(&frame);
+                assert_eq!(d.indices.len(), 8, "tier {}", tier.label);
+                agree[t] += usize::from(d.indices == exact.indices);
+            }
+        }
+        // At 24 dB every tree rung should virtually always match exact;
+        // the quantized rungs are gated far tighter than this elsewhere.
+        for (t, tier) in tiers.iter().enumerate().take(4) {
+            assert!(
+                agree[t] >= FRAMES - 2,
+                "tier {} agreed on only {}/{FRAMES} frames",
+                tier.label,
+                agree[t]
+            );
         }
     }
 }

@@ -145,6 +145,44 @@ impl BerCurve {
             .windows(2)
             .all(|w| w[1].ber <= w[0].ber * (1.0 + slack) + 1e-9)
     }
+
+    /// SNR (dB) at which this curve crosses `target_ber`, by linear
+    /// interpolation of `log10(BER)` between the bracketing measured
+    /// points — the standard waterfall-region read-off. `None` when the
+    /// curve never reaches the target inside its measured span (or has
+    /// fewer than two points). A point with `ber == 0` (error floor of
+    /// the measurement, not the detector) is treated as just below the
+    /// smallest resolvable BER `1/bits` so the crossing stays finite.
+    pub fn snr_at_ber(&self, target_ber: f64) -> Option<f64> {
+        assert!(target_ber > 0.0, "target BER must be positive");
+        let log_ber = |p: &BerPoint| {
+            let floor = 1.0 / (p.bits.max(1) as f64);
+            p.ber.max(floor * 0.5).log10()
+        };
+        let t = target_ber.log10();
+        for w in self.points.windows(2) {
+            let (a, b) = (log_ber(&w[0]), log_ber(&w[1]));
+            // Crossing requires the target between the two samples
+            // (curves are non-increasing in SNR, so a ≥ t ≥ b).
+            if a >= t && t >= b {
+                if a == b {
+                    return Some(w[0].snr_db);
+                }
+                let frac = (a - t) / (a - b);
+                return Some(w[0].snr_db + frac * (w[1].snr_db - w[0].snr_db));
+            }
+        }
+        None
+    }
+}
+
+/// SNR penalty (dB) of `candidate` relative to `reference` at
+/// `target_ber`: how much more transmit power the candidate detector
+/// needs to hit the same BER. Positive means the candidate is worse.
+/// `None` when either curve never crosses the target in its measured
+/// span.
+pub fn degradation_db(reference: &BerCurve, candidate: &BerCurve, target_ber: f64) -> Option<f64> {
+    Some(candidate.snr_at_ber(target_ber)? - reference.snr_at_ber(target_ber)?)
 }
 
 #[cfg(test)]
@@ -229,5 +267,58 @@ mod tests {
     #[should_panic(expected = "more bit errors")]
     fn impossible_counts_rejected() {
         ErrorCounter::new().record(5, 6, 5, 0);
+    }
+
+    fn curve_from(label: &str, pts: &[(f64, u64, u64)]) -> BerCurve {
+        let mut curve = BerCurve::new(label);
+        for &(snr, errs, bits) in pts {
+            let mut c = ErrorCounter::new();
+            c.record(bits, errs, bits / 2, errs / 2);
+            curve.push(BerPoint::from_counter(snr, &c));
+        }
+        curve
+    }
+
+    #[test]
+    fn snr_at_ber_interpolates_log_linearly() {
+        // BER 1e-1 at 4 dB, 1e-3 at 8 dB: 1e-2 is the log-midpoint.
+        let curve = curve_from("c", &[(4.0, 100_000, 1_000_000), (8.0, 1_000, 1_000_000)]);
+        let snr = curve.snr_at_ber(1e-2).unwrap();
+        assert!((snr - 6.0).abs() < 1e-9, "snr = {snr}");
+        // Exactly at a measured point.
+        assert!((curve.snr_at_ber(1e-1).unwrap() - 4.0).abs() < 1e-9);
+        assert!((curve.snr_at_ber(1e-3).unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_at_ber_out_of_span_is_none() {
+        let curve = curve_from("c", &[(4.0, 100_000, 1_000_000), (8.0, 1_000, 1_000_000)]);
+        assert_eq!(curve.snr_at_ber(1e-6), None, "below the measured span");
+        assert_eq!(curve.snr_at_ber(0.5), None, "above the measured span");
+        assert_eq!(BerCurve::new("one-point").snr_at_ber(1e-2), None);
+    }
+
+    #[test]
+    fn snr_at_ber_zero_error_point_stays_finite() {
+        // The 8 dB point measured no errors in 1e6 bits: treated as just
+        // below 1e-6, so a 1e-4 target still crosses between the points.
+        let curve = curve_from("c", &[(4.0, 10_000, 1_000_000), (8.0, 0, 1_000_000)]);
+        let snr = curve.snr_at_ber(1e-4).unwrap();
+        assert!(snr > 4.0 && snr < 8.0, "snr = {snr}");
+    }
+
+    #[test]
+    fn degradation_is_signed_snr_gap() {
+        let reference = curve_from("ref", &[(4.0, 100_000, 1_000_000), (8.0, 1_000, 1_000_000)]);
+        // Same slope shifted +1 dB: candidate needs 1 dB more power.
+        let candidate = curve_from(
+            "cand",
+            &[(5.0, 100_000, 1_000_000), (9.0, 1_000, 1_000_000)],
+        );
+        let d = degradation_db(&reference, &candidate, 1e-2).unwrap();
+        assert!((d - 1.0).abs() < 1e-9, "degradation = {d}");
+        let better = degradation_db(&candidate, &reference, 1e-2).unwrap();
+        assert!((better + 1.0).abs() < 1e-9);
+        assert_eq!(degradation_db(&reference, &candidate, 1e-9), None);
     }
 }

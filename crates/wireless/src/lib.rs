@@ -29,7 +29,7 @@ pub mod noise;
 pub mod ofdm;
 pub mod snr;
 
-pub use ber::{BerCurve, BerPoint, ErrorCounter};
+pub use ber::{degradation_db, BerCurve, BerPoint, ErrorCounter};
 pub use channel::Channel;
 pub use coding::ConvolutionalCode;
 pub use constellation::{Constellation, Modulation};

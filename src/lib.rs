@@ -48,9 +48,10 @@ pub mod prelude {
     pub use sd_core::{
         batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector},
         BestFirstSd, BfsGemmSd, ColumnOrdering, Detection, DetectionStats, Detector, EvalStrategy,
-        FixedComplexitySd, InitialRadius, KBestSd, MlDetector, MmseDetector, MrcDetector,
-        ParallelSphereDecoder, RvdSphereDecoder, SearchWorkspace, SoftDetection, SoftSphereDecoder,
-        SphereDecoder, StatPruningSd, SubtreeParallelSd, ZfDetector,
+        FixedComplexitySd, InitialRadius, KBestSd, MetricKind, MlDetector, MmseDetector,
+        MrcDetector, ParallelSphereDecoder, QuantizedFsd, QuantizedKBestSd, QuantizedSphereDecoder,
+        RvdSphereDecoder, SearchWorkspace, SoftDetection, SoftSphereDecoder, SphereDecoder,
+        StatPruningSd, SubtreeParallelSd, ZfDetector,
     };
     pub use sd_fpga::{
         estimate_resources, CpuPowerModel, FpgaConfig, FpgaPowerModel, FpgaSphereDecoder,
