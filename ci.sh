@@ -29,9 +29,15 @@ echo "==> parallel determinism stress (SD_STRESS_ITERS=200)"
 SD_STRESS_ITERS=200 cargo test -q --release --test parallel_exactness \
   repeated_parallel_decodes_are_deterministic
 
+echo "==> frame-path exactness"
+# Whole-frame submission must be bit-identical to per-vector submission
+# through every registry tier, including under overload/shedding.
+cargo test -q --test serve_frames
+
 echo "==> serve_demo --smoke"
-# End-to-end smoke: tiny serve run that renders the Prometheus + JSON
-# export surfaces and self-validates the JSON line (non-zero on failure).
+# End-to-end smoke: tiny per-vector run plus a frame loadgen pass, each
+# rendering the Prometheus + JSON export surfaces and self-validating the
+# JSON line (non-zero on failure).
 cargo run --release --example serve_demo -- --smoke >/dev/null
 
 echo "==> cargo clippy -- -D warnings"

@@ -22,6 +22,13 @@
 //! sharing one `H` is served with the per-worker prep cache on vs off;
 //! caching skips the QR half of preparation on every hit.
 //!
+//! A fifth scenario measures frame-scale serving (ISSUE 7): the same
+//! coherent resource-grid traffic submitted once as whole-block
+//! [`sd_serve::FrameRequest`]s and once exploded to per-vector requests
+//! (prep cache on — the strongest per-vector baseline). The frame path
+//! pays one submit, one ladder decision, one QR and one batched
+//! `ȳ = QᴴY` per block instead of per subcarrier.
+//!
 //! Like `expansion.rs` this bench has a hand-rolled `main` that writes
 //! `BENCH_serve.json` in the repo root.
 
@@ -29,11 +36,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::{BestFirstSd, KBestSd, MmseDetector, SphereDecoder};
 use sd_serve::{
-    run_load, BatchPolicy, DetectionRequest, LadderConfig, LoadConfig, LoadReport, MetricsSnapshot,
-    ServeConfig, ServeRuntime, Tier, TierCostClass,
+    build_frame_requests, explode_frames, run_frame_load, run_load, run_request_stream,
+    BatchPolicy, DetectionRequest, FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig,
+    LoadReport, MetricsSnapshot, ServeConfig, ServeRuntime, Tier, TierCostClass,
 };
 use sd_wireless::{
-    noise_variance, Channel, Constellation, FrameData, Modulation, TxFrame, REAL_TIME_BUDGET,
+    noise_variance, Channel, Constellation, FrameData, GridConfig, Modulation, TxFrame,
+    REAL_TIME_BUDGET,
 };
 use std::time::{Duration, Instant};
 
@@ -232,9 +241,61 @@ fn prep_cache_point(cache: usize) -> (f64, MetricsSnapshot) {
             .expect("runtime stalled");
     }
     let throughput = n as f64 / t0.elapsed().as_secs_f64();
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     assert!(leftover.is_empty());
     (throughput, snap)
+}
+
+/// The frame-serving workload: an 8×8 link at a benign SNR over a
+/// 64-subcarrier × 256-symbol resource grid with 16×4 coherence blocks —
+/// small fast decodes, so the per-request costs the frame path amortizes
+/// (submit, collect, ladder decision, cost-model update, QR) are a
+/// visible fraction of service time, as they are on a real base station.
+fn frame_workload() -> FrameLoadConfig {
+    FrameLoadConfig {
+        grid: GridConfig::new(64, 256, 8, 8)
+            .with_coherence(16, 4)
+            .with_snr(30.0, 0.0),
+        modulation: Modulation::Qam4,
+        offered_rate_hz: 0.0,
+        deadline: Duration::from_secs(1),
+        seed: 0xF4A7E,
+    }
+}
+
+/// Firehose the grid as whole-frame requests through a single-tier exact
+/// runtime (one ladder decision, one QR, one batched apply per block).
+fn frame_point(cfg: &FrameLoadConfig) -> FrameLoadReport {
+    let c = Constellation::new(cfg.modulation);
+    let n_frames = build_frame_requests(cfg, &c).len();
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(WORKERS)
+            .with_queue_capacity(n_frames)
+            .with_ladder(ladder(false)),
+        c.clone(),
+    );
+    let report = run_frame_load(&rt, cfg, &c);
+    rt.shutdown();
+    report
+}
+
+/// Firehose the identical traffic one subcarrier at a time — the
+/// strongest per-vector baseline (prep cache on at its default size).
+fn vector_point(cfg: &FrameLoadConfig) -> LoadReport {
+    let c = Constellation::new(cfg.modulation);
+    let requests = explode_frames(&build_frame_requests(cfg, &c));
+    let n = requests.len();
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(WORKERS)
+            .with_queue_capacity(n)
+            .with_ladder(ladder(false)),
+        c.clone(),
+    );
+    let report = run_request_stream(&rt, requests, 0.0, &c);
+    rt.shutdown();
+    report
 }
 
 fn tiers_json(r: &LoadReport) -> String {
@@ -352,6 +413,30 @@ fn main() {
         cache_snap.prep_cache_hits, cache_snap.prep_cache_misses,
     );
 
+    // -------- Claim 5: frame-scale serving vs per-vector --------------
+    let fw = frame_workload();
+    let warmup = FrameLoadConfig {
+        grid: GridConfig::new(64, 16, 8, 8)
+            .with_coherence(16, 4)
+            .with_snr(30.0, 0.0),
+        ..fw.clone()
+    };
+    eprintln!("frames: warm-up ...");
+    frame_point(&warmup);
+    vector_point(&warmup);
+    eprintln!("frames: per-vector baseline (prep cache on) ...");
+    let by_vector = vector_point(&fw);
+    eprintln!("frames: whole-frame submission ...");
+    let by_frame = frame_point(&fw);
+    let frame_speedup = by_frame.throughput_hz / by_vector.throughput_hz;
+    eprintln!(
+        "  subcarriers/s: per-vector {:.0} -> frames {:.0} ({frame_speedup:.2}x, \
+         {:.1} subcarriers per QR)",
+        by_vector.throughput_hz,
+        by_frame.throughput_hz,
+        by_frame.prep_amortization(),
+    );
+
     let sweep_rows: Vec<String> = sweep
         .iter()
         .map(|(mult, rate, off, on)| {
@@ -379,7 +464,15 @@ fn main() {
          \"coherence_block\": {COHERENCE_BLOCK},\n    \
          \"throughput_off_hz\": {cache_off_hz:.0}, \"throughput_on_hz\": {cache_on_hz:.0}, \
          \"speedup\": {cache_speedup:.3},\n    \
-         \"hits\": {}, \"misses\": {}, \"bypass\": {}}}\n}}\n",
+         \"hits\": {}, \"misses\": {}, \"bypass\": {}}},\n  \
+         \"frame_serving\": {{\"workload\": \"64x256 grid, 8x8 QAM4 @ 30 dB, \
+         coherence 16x4\",\n    \
+         \"frames\": {}, \"subcarriers_per_frame\": {:.0},\n    \
+         \"per_vector_throughput_hz\": {:.0}, \"frame_throughput_hz\": {:.0}, \
+         \"speedup\": {frame_speedup:.3},\n    \
+         \"prep_factors\": {}, \"prep_amortization\": {:.1}, \
+         \"ber_per_vector\": {:.5}, \"ber_frame\": {:.5},\n    \
+         \"vector_hits\": {}, \"vector_misses\": {}, \"vector_bypass\": {}}}\n}}\n",
         report_json(&unbatched),
         report_json(&batched),
         batching_speedup,
@@ -393,6 +486,17 @@ fn main() {
         cache_snap.prep_cache_hits,
         cache_snap.prep_cache_misses,
         cache_snap.prep_cache_bypass,
+        by_frame.served_frames,
+        by_frame.subcarriers as f64 / by_frame.served_frames.max(1) as f64,
+        by_vector.throughput_hz,
+        by_frame.throughput_hz,
+        by_frame.prep_factors,
+        by_frame.prep_amortization(),
+        by_vector.ber(),
+        by_frame.ber(),
+        by_vector.snapshot.prep_cache_hits,
+        by_vector.snapshot.prep_cache_misses,
+        by_vector.snapshot.prep_cache_bypass,
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

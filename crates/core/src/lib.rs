@@ -51,6 +51,7 @@ pub mod arena;
 pub mod batch;
 pub mod best_first;
 pub mod bfs;
+pub mod block;
 pub mod detector;
 pub mod dfs;
 pub mod engine;
@@ -74,6 +75,7 @@ pub use arena::{NodeArena, SearchWorkspace};
 pub use batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector};
 pub use best_first::BestFirstSd;
 pub use bfs::{BfsGemmSd, BfsLevelTrace};
+pub use block::decode_block_into;
 pub use detector::{Detection, DetectionStats, Detector};
 pub use dfs::SphereDecoder;
 pub use engine::PreparedDetector;
@@ -84,8 +86,9 @@ pub use ml::MlDetector;
 pub use parallel::{ParallelSphereDecoder, SubtreeParallelSd};
 pub use pd::EvalStrategy;
 pub use preprocess::{
-    prepare_channel_into, prepare_with_channel_into, preprocess, preprocess_ordered,
-    preprocess_ordered_into, ChannelPrep, ColumnOrdering, PrepScratch, Prepared,
+    prepare_channel_into, prepare_frame_block_into, prepare_with_channel_into, preprocess,
+    preprocess_ordered, preprocess_ordered_into, BlockPrep, ChannelPrep, ColumnOrdering,
+    PrepScratch, Prepared,
 };
 pub use quantized::{
     FxPrepared, QuantizedFsd, QuantizedKBestSd, QuantizedSphereDecoder, MAX_QUANT_DEGRADATION_DB,

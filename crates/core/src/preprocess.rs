@@ -354,6 +354,133 @@ pub fn prepare_with_channel_into<F: Float>(
     prep.load_frame(frame);
 }
 
+/// Shared-prep state of one coherence block: a single factored channel
+/// plus the **batched** `ȳ = QᴴY` products and metric tails of every
+/// receive vector that shares it.
+///
+/// This is the frame-serving counterpart of [`ChannelPrep`]: where the
+/// per-request split factors once and replays `Qᴴ` vector by vector, the
+/// block path factors once and applies `Qᴴ` to the whole block in one
+/// [`sd_math::QrFactors::apply_qty_block_into`] sweep, then hands out
+/// per-subcarrier [`Prepared`] problems via [`BlockPrep::fill_prepared`].
+/// Both halves are bit-identical to the per-vector pipeline.
+pub struct BlockPrep<F: Float> {
+    chan: ChannelPrep<F>,
+    /// Cast receive vectors, one column per subcarrier (`n × B`).
+    ys: Matrix<F>,
+    /// `(Qᴴ y_b)[..m]`, one column per subcarrier (`m × B`).
+    ybars: Matrix<F>,
+    /// `‖(Qᴴ y_b)[m..]‖²` per subcarrier.
+    tails: Vec<F>,
+    len: usize,
+}
+
+impl<F: Float> Default for BlockPrep<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> BlockPrep<F> {
+    /// Empty block state; not usable until [`prepare_frame_block_into`]
+    /// fills it. Buffers are reused across blocks.
+    pub fn new() -> Self {
+        BlockPrep {
+            chan: ChannelPrep::new(),
+            ys: Matrix::zeros(0, 0),
+            ybars: Matrix::zeros(0, 0),
+            tails: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of subcarriers in the most recently prepared block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no block has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Complete `prep` for subcarrier `k` of the prepared block: the
+    /// shared channel state (`R`, permutation, flop charge) plus this
+    /// subcarrier's batched `ȳ` column, tail, and frame view. Bit-identical
+    /// to [`prepare_with_channel_into`] of the same frame against the same
+    /// factored channel. `frame` must be the subcarrier the block was
+    /// prepared from (its `y` fed column `k`).
+    pub fn fill_prepared(
+        &self,
+        k: usize,
+        frame: &FrameData,
+        constellation: &Constellation,
+        prep: &mut Prepared<F>,
+    ) {
+        assert!(k < self.len, "subcarrier {k} out of range ({})", self.len);
+        let (_, m) = self.chan.shape();
+        prep.r.resize_for_overwrite(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                prep.r[(i, j)] = self.chan.r[(i, j)];
+            }
+        }
+        prep.perm.clone_from(&self.chan.perm);
+        prep.ybar.clear();
+        prep.ybar.extend((0..m).map(|i| self.ybars[(i, k)]));
+        prep.tail_energy = self.tails[k];
+        prep.points.clear();
+        prep.points
+            .extend(constellation.points().iter().map(|p| p.cast()));
+        prep.n_tx = m;
+        prep.order = constellation.order();
+        // Same accounting convention as the per-vector cached path: each
+        // subcarrier is charged the full factorization cost so flop-based
+        // complexity numbers stay comparable across serving strategies.
+        prep.prep_flops = self.chan.prep_flops;
+        row_blocks_into(&prep.r, &mut prep.row_blocks);
+        prep.load_frame(frame);
+    }
+}
+
+/// Prepare a whole coherence block: factor `frames[0]`'s channel once
+/// (all frames must carry the same `H`) and apply `Qᴴ` to every receive
+/// vector in one batched sweep. The per-subcarrier problems are then read
+/// out with [`BlockPrep::fill_prepared`]. Allocation-free once the block
+/// shape has been seen.
+///
+/// # Panics
+/// If `frames` is empty or any frame's `H` differs from `frames[0]`'s.
+pub fn prepare_frame_block_into<F: Float>(
+    frames: &[FrameData],
+    ordering: ColumnOrdering,
+    scratch: &mut PrepScratch<F>,
+    block: &mut BlockPrep<F>,
+) {
+    assert!(!frames.is_empty(), "empty coherence block");
+    let first = &frames[0];
+    let (n, _) = first.h.shape();
+    for (k, f) in frames.iter().enumerate().skip(1) {
+        assert!(
+            f.h == first.h,
+            "block frame {k} does not share the block channel"
+        );
+    }
+    prepare_channel_into(first, ordering, scratch, &mut block.chan);
+    block.ys.resize_for_overwrite(n, frames.len());
+    for (b, f) in frames.iter().enumerate() {
+        assert_eq!(f.y.len(), n, "frame {b}: y length must equal rows of H");
+        for i in 0..n {
+            block.ys[(i, b)] = f.y[i].cast();
+        }
+    }
+    block
+        .chan
+        .factors
+        .apply_qty_block_into(&block.ys, &mut block.ybars, &mut block.tails);
+    block.len = frames.len();
+}
+
 impl<F: Float> Prepared<F> {
     /// An empty placeholder to preprocess into (see
     /// [`preprocess_ordered_into`]); not a valid decoding problem until
@@ -615,6 +742,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn block_prep_is_bit_identical_to_per_vector_channel_split() {
+        let mut scratch: PrepScratch<f64> = PrepScratch::new();
+        let mut chan: ChannelPrep<f64> = ChannelPrep::new();
+        let mut block: BlockPrep<f64> = BlockPrep::new();
+        let mut from_block = Prepared::empty();
+        let mut from_vec = Prepared::empty();
+        for (seed, ordering) in [
+            (61u64, ColumnOrdering::Natural),
+            (62, ColumnOrdering::NormDescending),
+            (63, ColumnOrdering::NormAscending),
+        ] {
+            let (c, f) = frame(6, Modulation::Qam16, seed);
+            // A coherence block: one H, fresh y per subcarrier.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C);
+            let frames: Vec<FrameData> = (0..5)
+                .map(|_| {
+                    let mut fk = f.clone();
+                    fk.y = FrameData::generate(6, 6, &c, 0.1, &mut rng).y;
+                    fk
+                })
+                .collect();
+            prepare_frame_block_into(&frames, ordering, &mut scratch, &mut block);
+            assert_eq!(block.len(), 5);
+            prepare_channel_into(&frames[0], ordering, &mut scratch, &mut chan);
+            for (k, fk) in frames.iter().enumerate() {
+                block.fill_prepared(k, fk, &c, &mut from_block);
+                prepare_with_channel_into(fk, &c, &mut scratch, &mut chan, &mut from_vec);
+                assert_eq!(from_vec.r, from_block.r, "{ordering:?} sc {k}: R");
+                assert_eq!(from_vec.ybar, from_block.ybar, "{ordering:?} sc {k}: ybar");
+                assert_eq!(
+                    from_vec.tail_energy.to_bits(),
+                    from_block.tail_energy.to_bits()
+                );
+                assert_eq!(from_vec.points, from_block.points);
+                assert_eq!(from_vec.n_tx, from_block.n_tx);
+                assert_eq!(from_vec.order, from_block.order);
+                assert_eq!(from_vec.prep_flops, from_block.prep_flops);
+                assert_eq!(from_vec.perm, from_block.perm);
+                assert_eq!(from_vec.row_blocks, from_block.row_blocks);
+                assert_eq!(from_vec.h, from_block.h);
+                assert_eq!(from_vec.y, from_block.y);
+                assert_eq!(
+                    from_vec.noise_variance.to_bits(),
+                    from_block.noise_variance.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not share the block channel")]
+    fn block_with_mixed_channels_panics() {
+        let mut scratch: PrepScratch<f64> = PrepScratch::new();
+        let mut block: BlockPrep<f64> = BlockPrep::new();
+        let (c, f0) = frame(5, Modulation::Qam4, 71);
+        let mut rng = StdRng::seed_from_u64(72);
+        let f1 = FrameData::generate(5, 5, &c, 0.1, &mut rng);
+        prepare_frame_block_into(&[f0, f1], ColumnOrdering::Natural, &mut scratch, &mut block);
     }
 
     #[test]

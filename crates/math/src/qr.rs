@@ -198,6 +198,10 @@ pub struct QrFactors<F: Float> {
     taus: Vec<F>,
     /// Work buffer for the full-length `Q^H y` product.
     ybar: CVector<F>,
+    /// Work matrix for the block apply: `Q^H Y` over all columns at once.
+    yblock: Matrix<F>,
+    /// Per-column reflector coefficients `w_b = τ·(v^H Y[k.., b])`.
+    wrow: CVector<F>,
 }
 
 impl<F: Float> Default for QrFactors<F> {
@@ -214,6 +218,8 @@ impl<F: Float> QrFactors<F> {
             vs: Vec::new(),
             taus: Vec::new(),
             ybar: Vec::new(),
+            yblock: Matrix::zeros(0, 0),
+            wrow: Vec::new(),
         }
     }
 
@@ -250,6 +256,67 @@ impl<F: Float> QrFactors<F> {
         ybar_out.clear();
         ybar_out.extend_from_slice(&self.ybar[..m]);
         tail_energy
+    }
+
+    /// Batched [`QrFactors::apply_qty_into`]: apply the stored `Q^H` to a
+    /// whole block of receive vectors at once. `ys` is `n × B` (one column
+    /// per vector); on return `ybars` is `m × B` (column `b` is
+    /// `(Q^H y_b)[..m]`) and `tails[b]` is `‖(Q^H y_b)[m..]‖²`.
+    ///
+    /// This is the frame-serving GEMM apply: one reflector sweep updates
+    /// every column, with the inner loop running contiguously across the
+    /// block (row-major `ys`), instead of `B` separate vector replays.
+    /// Columns are arithmetically independent and each column performs the
+    /// exact per-reflector operation sequence of the vector path, so every
+    /// column is **bit-identical** to a standalone
+    /// [`QrFactors::apply_qty_into`] of that `y`.
+    pub fn apply_qty_block_into(
+        &mut self,
+        ys: &Matrix<F>,
+        ybars: &mut Matrix<F>,
+        tails: &mut Vec<F>,
+    ) {
+        let (n, m) = self.r_full.shape();
+        assert_eq!(ys.rows(), n, "ys rows must equal rows of the factored H");
+        let b = ys.cols();
+        self.yblock.resize_for_overwrite(n, b);
+        self.yblock.as_mut_slice().copy_from_slice(ys.as_slice());
+        for (k, (v, &tau)) in self.vs.iter().zip(self.taus.iter()).enumerate() {
+            if tau == F::ZERO {
+                continue;
+            }
+            // w = v^H Y[k..] — accumulated row by row so each column sums
+            // its products in the same order as the vector path.
+            self.wrow.clear();
+            self.wrow.resize(b, Complex::zero());
+            for (i, vi) in v.iter().enumerate() {
+                let c = vi.conj();
+                for (w, x) in self.wrow.iter_mut().zip(self.yblock.row(k + i).iter()) {
+                    Complex::mul_acc(w, c, *x);
+                }
+            }
+            for w in self.wrow.iter_mut() {
+                *w = w.scale(tau);
+            }
+            // Y[k..] -= v w (rank-1 update, contiguous across the block).
+            for (i, &vi) in v.iter().enumerate() {
+                let wrow = &self.wrow;
+                for (x, w) in self.yblock.row_mut(k + i).iter_mut().zip(wrow.iter()) {
+                    *x -= *w * vi;
+                }
+            }
+        }
+        ybars.resize_for_overwrite(m, b);
+        for i in 0..m {
+            ybars.row_mut(i).copy_from_slice(self.yblock.row(i));
+        }
+        tails.clear();
+        tails.resize(b, F::ZERO);
+        for i in m..n {
+            for (t, x) in tails.iter_mut().zip(self.yblock.row(i).iter()) {
+                *t += x.norm_sqr();
+            }
+        }
     }
 
     /// Shape `(n, m)` of the most recently factored matrix.
@@ -500,6 +567,44 @@ mod tests {
                 assert_eq!(r_fused, r_split, "{n}x{m}: R differs");
                 assert_eq!(ybar_fused, ybar_split, "{n}x{m}: ybar differs");
                 assert_eq!(tail_fused.to_bits(), tail_split.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn block_apply_is_bit_identical_to_per_vector() {
+        // The frame-serving batched apply: one reflector sweep over an
+        // n×B block must reproduce B standalone vector applies exactly.
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for &(n, m, bcols, seed) in &[(8, 5, 7usize, 21u64), (6, 6, 1, 22), (12, 12, 16, 23)] {
+            let h = random_matrix(n, m, seed);
+            let mut factors: QrFactors<f64> = QrFactors::new();
+            let mut r = M::zeros(0, 0);
+            factors.factor(&h, &mut r);
+            let ys = Matrix::from_fn(n, bcols, |_, _| {
+                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            });
+            let mut ybars = M::zeros(0, 0);
+            let mut tails = Vec::new();
+            factors.apply_qty_block_into(&ys, &mut ybars, &mut tails);
+            assert_eq!(ybars.shape(), (m, bcols));
+            assert_eq!(tails.len(), bcols);
+            for b in 0..bcols {
+                let y: Vec<_> = (0..n).map(|i| ys[(i, b)]).collect();
+                let mut ybar_one = Vec::new();
+                let tail_one = factors.apply_qty_into(&y, &mut ybar_one);
+                for i in 0..m {
+                    assert_eq!(
+                        ybars[(i, b)],
+                        ybar_one[i],
+                        "{n}x{m} col {b}: ybar[{i}] differs"
+                    );
+                }
+                assert_eq!(
+                    tails[b].to_bits(),
+                    tail_one.to_bits(),
+                    "{n}x{m} col {b}: tail differs"
+                );
             }
         }
     }

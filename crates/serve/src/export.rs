@@ -111,6 +111,41 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         snap.batches,
     );
     counter(
+        "sd_serve_frames_accepted_total",
+        "Frame (coherence-block) requests admitted.",
+        snap.frames_accepted,
+    );
+    counter(
+        "sd_serve_frames_rejected_full_total",
+        "Frame requests shed at admission (queue full).",
+        snap.frames_rejected_full,
+    );
+    counter(
+        "sd_serve_frames_rejected_shutdown_total",
+        "Frame requests refused during shutdown.",
+        snap.frames_rejected_shutdown,
+    );
+    counter(
+        "sd_serve_frames_served_total",
+        "Frame responses produced.",
+        snap.frames_served,
+    );
+    counter(
+        "sd_serve_frames_deadline_missed_total",
+        "Frames that exceeded their deadline.",
+        snap.frames_deadline_missed,
+    );
+    counter(
+        "sd_serve_frame_subcarriers_total",
+        "Subcarriers decoded through the frame path.",
+        snap.frame_subcarriers,
+    );
+    counter(
+        "sd_serve_frame_prep_factors_total",
+        "Channel preparations performed by the frame path.",
+        snap.frame_prep_factors,
+    );
+    counter(
         "sd_serve_nodes_generated_total",
         "Search-tree nodes generated across all served decodes.",
         snap.stats.nodes_generated,
@@ -136,6 +171,16 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         "Ingress backlog at snapshot time.",
         snap.queue_depth as f64,
     );
+    gauge(
+        "sd_serve_mean_frame_size",
+        "Mean subcarriers per served frame.",
+        snap.mean_frame_size,
+    );
+    gauge(
+        "sd_serve_prep_amortization",
+        "Subcarriers served per channel preparation on the frame path.",
+        snap.prep_amortization,
+    );
 
     let _ = writeln!(
         o,
@@ -151,6 +196,16 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         o,
         "sd_serve_latency_us{{quantile=\"0.99\"}} {}",
         json_f64(snap.p99_latency_us)
+    );
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_frame_latency_us Frame end-to-end latency quantiles (bucket upper bound)."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_frame_latency_us summary");
+    let _ = writeln!(
+        o,
+        "sd_serve_frame_latency_us{{quantile=\"0.99\"}} {}",
+        json_f64(snap.p99_frame_latency_us)
     );
     let _ = writeln!(
         o,
@@ -207,7 +262,11 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         "{{\"accepted\":{},\"rejected_full\":{},\"rejected_shutdown\":{},\"served\":{},\
          \"deadline_missed\":{},\"deadline_miss_rate\":{},\"prep_cache_hits\":{},\
          \"prep_cache_misses\":{},\"prep_cache_bypass\":{},\"batches\":{},\
-         \"mean_batch_size\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
+         \"mean_batch_size\":{},\"frames_accepted\":{},\"frames_rejected_full\":{},\
+         \"frames_rejected_shutdown\":{},\"frames_served\":{},\
+         \"frames_deadline_missed\":{},\"frame_subcarriers\":{},\
+         \"frame_prep_factors\":{},\"mean_frame_size\":{},\"prep_amortization\":{},\
+         \"p99_frame_latency_us\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
          \"p99_latency_us\":{},\"p99_queue_wait_us\":{},\"nodes_generated\":{},\
          \"leaves_reached\":{},\"tiers\":[",
         snap.accepted,
@@ -221,6 +280,16 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         snap.prep_cache_bypass,
         snap.batches,
         json_f64(snap.mean_batch_size),
+        snap.frames_accepted,
+        snap.frames_rejected_full,
+        snap.frames_rejected_shutdown,
+        snap.frames_served,
+        snap.frames_deadline_missed,
+        snap.frame_subcarriers,
+        snap.frame_prep_factors,
+        json_f64(snap.mean_frame_size),
+        json_f64(snap.prep_amortization),
+        json_f64(snap.p99_frame_latency_us),
         snap.queue_depth,
         json_f64(snap.p50_latency_us),
         json_f64(snap.p99_latency_us),
@@ -450,6 +519,11 @@ mod tests {
         m.prep_cache_hits.store(5, Ordering::Relaxed);
         m.prep_cache_misses.store(3, Ordering::Relaxed);
         m.prep_cache_bypass.store(1, Ordering::Relaxed);
+        m.frames_accepted.store(2, Ordering::Relaxed);
+        m.frames_served.store(2, Ordering::Relaxed);
+        m.frame_subcarriers.store(32, Ordering::Relaxed);
+        m.frame_prep_factors.store(2, Ordering::Relaxed);
+        m.frame_latency_ns.record(500_000);
         m.tiers[0].served.fetch_add(7, Ordering::Relaxed);
         m.tiers[0].predict_err_ns.record(40_000);
         m.tiers[1].served.fetch_add(2, Ordering::Relaxed);
@@ -467,6 +541,13 @@ mod tests {
             "sd_serve_prep_cache_hits_total 5",
             "sd_serve_prep_cache_misses_total 3",
             "sd_serve_prep_cache_bypass_total 1",
+            "sd_serve_frames_accepted_total 2",
+            "sd_serve_frames_served_total 2",
+            "sd_serve_frame_subcarriers_total 32",
+            "sd_serve_frame_prep_factors_total 2",
+            "sd_serve_prep_amortization 16",
+            "sd_serve_mean_frame_size 16",
+            "sd_serve_frame_latency_us{quantile=\"0.99\"}",
             "sd_serve_tier_served_total{tier=\"exact\"} 7",
             "sd_serve_tier_served_total{tier=\"mmse\"} 2",
             "sd_serve_tier_predict_err_us{tier=\"exact\",quantile=\"0.5\"}",
@@ -488,6 +569,10 @@ mod tests {
         assert!(line.contains("\"prep_cache_hits\":5"));
         assert!(line.contains("\"prep_cache_misses\":3"));
         assert!(line.contains("\"prep_cache_bypass\":1"));
+        assert!(line.contains("\"frames_served\":2"));
+        assert!(line.contains("\"frame_subcarriers\":32"));
+        assert!(line.contains("\"prep_amortization\":16"));
+        assert!(line.contains("p99_frame_latency_us"));
         assert!(line.contains("\"label\":\"exact\",\"served\":7"));
         assert!(line.contains("p99_predict_err_us"));
     }

@@ -49,6 +49,26 @@ pub fn choose_tier(
     p: usize,
     remaining: Duration,
 ) -> usize {
+    choose_tier_block(cfg, model, tiers, snr_db, m, p, remaining, 1)
+}
+
+/// Frame-aware variant of [`choose_tier`]: one ladder decision for a
+/// whole coherence block of `block` receive vectors. The per-vector
+/// prediction is scaled by the block size before being compared against
+/// the frame's remaining budget, so a 64-subcarrier frame degrades when
+/// 64× the per-vector cost would blow its deadline — not when one vector
+/// would.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_tier_block(
+    cfg: &LadderConfig,
+    model: &CostModel,
+    tiers: &[Tier],
+    snr_db: f64,
+    m: usize,
+    p: usize,
+    remaining: Duration,
+    block: usize,
+) -> usize {
     let last = tiers.len() - 1;
     if !cfg.enabled {
         return 0;
@@ -58,7 +78,7 @@ pub fn choose_tier(
     }
     let budget_ns = remaining.as_nanos() as f64;
     for (i, tier) in tiers[..last].iter().enumerate() {
-        if model.predict_ns(i, &tier.cost, snr_db, m, p) <= budget_ns {
+        if model.predict_ns(i, &tier.cost, snr_db, m, p) * block as f64 <= budget_ns {
             return i;
         }
     }
@@ -146,6 +166,40 @@ mod tests {
         assert_eq!(
             choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::from_micros(10)),
             2
+        );
+    }
+
+    #[test]
+    fn block_scaling_degrades_frames_earlier() {
+        // At 500 µs a single vector rides K-best (~44 µs predicted; exact
+        // is 1 ms). A 16-vector block multiplies every rung's cost:
+        // 16 × 44 µs ≈ 700 µs > 500 µs pushes the whole block to the MMSE
+        // floor.
+        let cfg = LadderConfig::default();
+        let model = trained_model();
+        let tiers = registry();
+        let budget = Duration::from_micros(500);
+        assert_eq!(
+            choose_tier_block(&cfg, &model, &tiers, 8.0, 8, 4, budget, 1),
+            1
+        );
+        assert_eq!(
+            choose_tier_block(&cfg, &model, &tiers, 8.0, 8, 4, budget, 16),
+            2
+        );
+        // A big-enough budget restores the exact rung even at block 16.
+        assert_eq!(
+            choose_tier_block(
+                &cfg,
+                &model,
+                &tiers,
+                8.0,
+                8,
+                4,
+                Duration::from_millis(100),
+                16
+            ),
+            0
         );
     }
 

@@ -31,6 +31,13 @@
 //!   channel matrix (a coherence block) reuse a cached QR factorization
 //!   per worker ([`prep_cache`]); only the cheap `ȳ = Qᴴy` half runs per
 //!   request, bit-identically to the uncached path.
+//! * **Frame-scale serving** — a whole coherence block submitted as one
+//!   [`FrameRequest`] travels intact to one worker, gets one ladder
+//!   decision (cost scaled by block size), one shared channel
+//!   factorization and one batched `ȳ = QᴴY` apply
+//!   ([`sd_core::decode_block_into`]), and comes back as a
+//!   [`FrameResponse`] with per-subcarrier detections — bit-identical to
+//!   per-vector submission, at a fraction of the per-request overhead.
 //! * **Observability** — lock-light [metrics] (latency/wait
 //!   histograms, batch-size distribution, tier and shed counters,
 //!   aggregated [`sd_core::DetectionStats`]).
@@ -61,11 +68,17 @@ mod worker;
 pub use batcher::BatchPolicy;
 pub use budget::{fsd_nodes, kbest_nodes, CostModel, TierCostClass};
 pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat};
-pub use ladder::{choose_tier, LadderConfig};
-pub use loadgen::{build_requests, run_load, LoadConfig, LoadReport};
+pub use ladder::{choose_tier, choose_tier_block, LadderConfig};
+pub use loadgen::{
+    build_frame_requests, build_requests, explode_frames, run_frame_load, run_load,
+    run_request_stream, FrameLoadConfig, FrameLoadReport, LoadConfig, LoadReport,
+};
 pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
 pub use prep_cache::PrepCache;
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{default_registry, quantized_registry, Tier};
-pub use request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
+pub use request::{
+    DetectionRequest, DetectionResponse, FrameRequest, FrameResponse, RejectReason, Rejected,
+    RejectedFrame,
+};
 pub use runtime::{ReporterConfig, ServeConfig, ServeRuntime};

@@ -117,6 +117,31 @@ pub struct Metrics {
     pub batches: AtomicU64,
     /// Total requests across all batches (mean batch = items / batches).
     pub batch_items: AtomicU64,
+    /// Frame requests admitted (their subcarriers also count in
+    /// `accepted`, so vector-level accounting stays closed over mixed
+    /// traffic).
+    pub frames_accepted: AtomicU64,
+    /// Frame requests shed at admission (queue full).
+    pub frames_rejected_full: AtomicU64,
+    /// Frame requests refused during shutdown.
+    pub frames_rejected_shutdown: AtomicU64,
+    /// Frame responses produced (their subcarriers also count in
+    /// `served`).
+    pub frames_served: AtomicU64,
+    /// Frames whose end-to-end latency exceeded their deadline (their
+    /// subcarriers also count in `deadline_missed`).
+    pub frames_deadline_missed: AtomicU64,
+    /// Subcarriers decoded through the frame path.
+    pub frame_subcarriers: AtomicU64,
+    /// Channel preparations the frame path performed — 1 per frame on the
+    /// shared-prep path, `block_len` on the per-vector fallback. The
+    /// prep-amortization ratio is `frame_subcarriers / frame_prep_factors`
+    /// (block size when every frame shares its prep).
+    pub frame_prep_factors: AtomicU64,
+    /// Subcarriers-per-frame distribution.
+    pub frame_size: Log2Histogram,
+    /// Frame end-to-end latency distribution (nanoseconds).
+    pub frame_latency_ns: Log2Histogram,
     /// End-to-end latency distribution (nanoseconds).
     pub latency_ns: Log2Histogram,
     /// Queue-wait distribution (nanoseconds).
@@ -149,6 +174,15 @@ impl Metrics {
             prep_cache_bypass: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_items: AtomicU64::new(0),
+            frames_accepted: AtomicU64::new(0),
+            frames_rejected_full: AtomicU64::new(0),
+            frames_rejected_shutdown: AtomicU64::new(0),
+            frames_served: AtomicU64::new(0),
+            frames_deadline_missed: AtomicU64::new(0),
+            frame_subcarriers: AtomicU64::new(0),
+            frame_prep_factors: AtomicU64::new(0),
+            frame_size: Log2Histogram::new(),
+            frame_latency_ns: Log2Histogram::new(),
             latency_ns: Log2Histogram::new(),
             queue_wait_ns: Log2Histogram::new(),
             batch_size: Log2Histogram::new(),
@@ -166,11 +200,19 @@ impl Metrics {
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
         let lat = self.latency_ns.counts();
         let wait = self.queue_wait_ns.counts();
+        let flat = self.frame_latency_ns.counts();
         // Load `missed` before `served`: workers bump `served` first, so
         // this order can only under-report the miss rate mid-update, never
-        // push it above 1.
+        // push it above 1. Same order for the frame-level pair.
         let missed = self.deadline_missed.load(Ordering::Relaxed);
         let served = self.served.load(Ordering::Relaxed);
+        let frames_missed = self.frames_deadline_missed.load(Ordering::Relaxed);
+        let frames_served = self.frames_served.load(Ordering::Relaxed);
+        // Amortization ratio = subcarriers / factors. Workers bump factors
+        // before subcarriers and this load order is the reverse, so a
+        // mid-update read can only under-report the ratio.
+        let frame_subcarriers = self.frame_subcarriers.load(Ordering::Relaxed);
+        let frame_prep_factors = self.frame_prep_factors.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let items = self.batch_items.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -206,6 +248,24 @@ impl Metrics {
             } else {
                 items as f64 / batches as f64
             },
+            frames_accepted: self.frames_accepted.load(Ordering::Relaxed),
+            frames_rejected_full: self.frames_rejected_full.load(Ordering::Relaxed),
+            frames_rejected_shutdown: self.frames_rejected_shutdown.load(Ordering::Relaxed),
+            frames_served,
+            frames_deadline_missed: frames_missed,
+            frame_subcarriers,
+            frame_prep_factors,
+            mean_frame_size: if frames_served == 0 {
+                0.0
+            } else {
+                frame_subcarriers as f64 / frames_served as f64
+            },
+            prep_amortization: if frame_prep_factors == 0 {
+                0.0
+            } else {
+                frame_subcarriers as f64 / frame_prep_factors as f64
+            },
+            p99_frame_latency_us: Log2Histogram::quantile(&flat, 0.99) as f64 / 1e3,
             queue_depth,
             p50_latency_us: Log2Histogram::quantile(&lat, 0.50) as f64 / 1e3,
             p99_latency_us: Log2Histogram::quantile(&lat, 0.99) as f64 / 1e3,
@@ -257,6 +317,28 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Mean requests per batch.
     pub mean_batch_size: f64,
+    /// Frame requests admitted (subcarriers also count in `accepted`).
+    pub frames_accepted: u64,
+    /// Frame requests shed at admission.
+    pub frames_rejected_full: u64,
+    /// Frame requests refused during shutdown.
+    pub frames_rejected_shutdown: u64,
+    /// Frame responses produced (subcarriers also count in `served`).
+    pub frames_served: u64,
+    /// Frames that exceeded their deadline.
+    pub frames_deadline_missed: u64,
+    /// Subcarriers decoded through the frame path.
+    pub frame_subcarriers: u64,
+    /// Channel preparations the frame path performed.
+    pub frame_prep_factors: u64,
+    /// Mean subcarriers per served frame.
+    pub mean_frame_size: f64,
+    /// `frame_subcarriers / frame_prep_factors` — how many subcarriers
+    /// each channel factorization served (block size when every frame
+    /// rode the shared-prep path; 1.0 means no amortization).
+    pub prep_amortization: f64,
+    /// 99th-percentile frame end-to-end latency (µs, bucket upper bound).
+    pub p99_frame_latency_us: f64,
     /// Ingress depth when the snapshot was taken.
     pub queue_depth: usize,
     /// Median end-to-end latency (µs, bucket upper bound).
@@ -349,6 +431,31 @@ mod tests {
         assert!((s.deadline_miss_rate - 0.25).abs() < 1e-12);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
         assert_eq!(s.stats.nodes_generated, 80);
+    }
+
+    #[test]
+    fn snapshot_computes_frame_rates() {
+        let m = Metrics::new(labels(&["exact"]));
+        m.frames_accepted.store(5, Ordering::Relaxed);
+        m.frames_served.store(4, Ordering::Relaxed);
+        m.frames_deadline_missed.store(1, Ordering::Relaxed);
+        m.frame_subcarriers.store(64, Ordering::Relaxed);
+        m.frame_prep_factors.store(4, Ordering::Relaxed);
+        m.frame_size.record(16);
+        m.frame_latency_ns.record(2_000_000);
+        let s = m.snapshot(0);
+        assert_eq!(s.frames_accepted, 5);
+        assert_eq!(s.frames_served, 4);
+        assert_eq!(s.frames_deadline_missed, 1);
+        assert_eq!(s.frame_subcarriers, 64);
+        assert_eq!(s.frame_prep_factors, 4);
+        assert!((s.mean_frame_size - 16.0).abs() < 1e-12);
+        assert!((s.prep_amortization - 16.0).abs() < 1e-12);
+        assert!(s.p99_frame_latency_us >= 2_000.0);
+        // Empty frame path: ratios degrade to 0, not NaN.
+        let empty = Metrics::new(labels(&["exact"])).snapshot(0);
+        assert_eq!(empty.mean_frame_size, 0.0);
+        assert_eq!(empty.prep_amortization, 0.0);
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! buffers forever without touching the allocator. Requests the runtime
 //! cannot accept are returned immediately as a typed [`Rejected`]; nothing
 //! is ever dropped silently.
+//!
+//! A [`FrameRequest`] is the block-scale variant: one coherence block of
+//! an OFDM resource grid — many receive vectors sharing one channel
+//! matrix — submitted as a single unit with one deadline. The runtime
+//! keeps the block intact through the worker pool, factors the shared
+//! channel once, and answers with a [`FrameResponse`] carrying one
+//! [`Detection`] per subcarrier. The same ownership round-trip applies
+//! ([`RejectedFrame`] on refusal, [`crate::ServeRuntime::recycle_frame`]
+//! on collection).
 
 use sd_core::Detection;
 use sd_wireless::FrameData;
@@ -69,6 +78,98 @@ pub struct DetectionResponse {
     pub deadline_missed: bool,
 }
 
+/// One coherence block to decode: a block of receive vectors sharing a
+/// single channel matrix, served as one unit.
+#[derive(Debug)]
+pub struct FrameRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// Per-subcarrier detection problems. Every `h` must be bit-identical
+    /// to `subcarriers[0].h` — that shared channel is what the frame path
+    /// factors once for the whole block.
+    pub subcarriers: Vec<FrameData>,
+    /// Operating SNR in dB for the whole block (a grid generator uses the
+    /// block mean) — the key into the runtime's cost model.
+    pub snr_db: f64,
+    /// Response-time budget for the *whole block*, measured from
+    /// admission.
+    pub deadline: Duration,
+    /// Stamped by [`crate::ServeRuntime::submit_frame`].
+    pub(crate) enqueued_at: Option<Instant>,
+}
+
+impl FrameRequest {
+    /// Build a frame request.
+    ///
+    /// # Panics
+    /// If `subcarriers` is empty, or any subcarrier's channel is not
+    /// bit-identical to the first's — a frame is *defined* by its shared
+    /// channel; mixed channels must be submitted as separate frames.
+    pub fn new(id: u64, subcarriers: Vec<FrameData>, snr_db: f64, deadline: Duration) -> Self {
+        assert!(
+            !subcarriers.is_empty(),
+            "a frame needs at least one subcarrier"
+        );
+        let h0 = &subcarriers[0].h;
+        for (k, f) in subcarriers.iter().enumerate().skip(1) {
+            assert!(
+                f.h == *h0,
+                "subcarrier {k} does not share the frame channel"
+            );
+        }
+        FrameRequest {
+            id,
+            subcarriers,
+            snr_db,
+            deadline,
+            enqueued_at: None,
+        }
+    }
+
+    /// Subcarriers (receive vectors) in the block.
+    pub fn block_len(&self) -> usize {
+        self.subcarriers.len()
+    }
+}
+
+/// A served frame: one decision per subcarrier plus where and how fast
+/// the block was decoded.
+#[derive(Debug)]
+pub struct FrameResponse {
+    /// The original request, returned to the caller.
+    pub request: FrameRequest,
+    /// Per-subcarrier detections, in `request.subcarriers` order. The
+    /// buffer comes from the runtime's frame pool; hand it back with
+    /// [`crate::ServeRuntime::recycle_frame`].
+    pub detections: Vec<Detection>,
+    /// Registry index of the rung that decoded the whole block (one
+    /// ladder decision per frame).
+    pub tier: usize,
+    /// Registry label of that rung.
+    pub tier_label: Arc<str>,
+    /// Channel preparations the block cost: 1 on the shared-prep path,
+    /// `block_len()` on the per-vector fallback — the numerator of the
+    /// prep-amortization ratio.
+    pub prep_factors: usize,
+    /// Time spent queued before a worker picked the frame up.
+    pub queue_wait: Duration,
+    /// Time the worker spent decoding the whole block.
+    pub service_time: Duration,
+    /// End-to-end admission-to-last-decision time.
+    pub latency: Duration,
+    /// Whether `latency` exceeded the frame's deadline.
+    pub deadline_missed: bool,
+}
+
+/// Why a frame submission was refused; the block always comes back.
+#[derive(Debug)]
+pub struct RejectedFrame {
+    /// The frame, returned unprocessed.
+    pub request: FrameRequest,
+    /// The reason for refusal.
+    pub reason: RejectReason,
+}
+
 /// Why a submission was refused. The request always comes back to the
 /// caller — admission control sheds load explicitly instead of queuing
 /// without bound.
@@ -104,11 +205,51 @@ impl std::fmt::Display for RejectReason {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_wireless::{Constellation, Modulation};
 
     #[test]
     fn reject_reason_display() {
         let s = format!("{}", RejectReason::QueueFull { depth: 7 });
         assert!(s.contains('7'));
         assert!(format!("{}", RejectReason::ShuttingDown).contains("shutting"));
+    }
+
+    fn coherent_frames(len: usize) -> Vec<FrameData> {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = FrameData::generate(4, 4, &c, 0.1, &mut rng);
+        (0..len)
+            .map(|_| {
+                let mut f = base.clone();
+                let fresh = FrameData::generate(4, 4, &c, 0.1, &mut rng);
+                f.y = fresh.y;
+                f.tx = fresh.tx;
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_request_validates_the_shared_channel() {
+        let req = FrameRequest::new(1, coherent_frames(5), 10.0, Duration::from_millis(10));
+        assert_eq!(req.block_len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not share the frame channel")]
+    fn mixed_channel_frame_rejected() {
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut frames = coherent_frames(3);
+        frames.push(FrameData::generate(4, 4, &c, 0.1, &mut rng));
+        FrameRequest::new(2, frames, 10.0, Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subcarrier")]
+    fn empty_frame_rejected() {
+        FrameRequest::new(3, Vec::new(), 10.0, Duration::from_millis(10));
     }
 }

@@ -26,7 +26,10 @@ use crate::ladder::LadderConfig;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{default_registry, Tier};
-use crate::request::{DetectionRequest, DetectionResponse, RejectReason, Rejected};
+use crate::request::{
+    DetectionRequest, DetectionResponse, FrameRequest, FrameResponse, RejectReason, Rejected,
+    RejectedFrame,
+};
 use crate::worker::Worker;
 use sd_core::Detection;
 use sd_wireless::Constellation;
@@ -125,11 +128,22 @@ impl ServeConfig {
     }
 }
 
+/// One unit of admitted work: a single vector or a whole coherence
+/// block. A frame is ONE queue item, so its block travels intact through
+/// the batcher to one worker — the invariant the shared-prep fast path
+/// depends on.
+pub(crate) enum Ingress {
+    Vector(DetectionRequest),
+    Frame(FrameRequest),
+}
+
 /// State shared between the runtime handle and its workers.
 pub(crate) struct Shared {
-    pub(crate) queue: BoundedQueue<DetectionRequest>,
+    pub(crate) queue: BoundedQueue<Ingress>,
     pub(crate) out: BoundedQueue<DetectionResponse>,
+    pub(crate) out_frames: BoundedQueue<FrameResponse>,
     pub(crate) pool: Mutex<Vec<Detection>>,
+    pub(crate) frame_pool: Mutex<Vec<Vec<Detection>>>,
     pub(crate) metrics: Metrics,
     pub(crate) model: CostModel,
     pub(crate) config: ServeConfig,
@@ -202,13 +216,16 @@ impl ServeRuntime {
             queue.pause();
         }
         // Responses are bounded by admission control (≤ queue_capacity in
-        // flight per uncollected client), not by this queue.
+        // flight per uncollected client), not by these queues.
         let out = BoundedQueue::new(usize::MAX);
+        let out_frames = BoundedQueue::new(usize::MAX);
         let labels = tiers.iter().map(|t| Arc::clone(&t.label)).collect();
         let shared = Arc::new(Shared {
             queue,
             out,
+            out_frames,
             pool: Mutex::new(Vec::new()),
+            frame_pool: Mutex::new(Vec::new()),
             metrics: Metrics::new(labels),
             model: CostModel::new(tiers.len()),
             config: config.clone(),
@@ -241,24 +258,70 @@ impl ServeRuntime {
     pub fn submit(&self, mut req: DetectionRequest) -> Result<(), Rejected> {
         use std::sync::atomic::Ordering::Relaxed;
         req.enqueued_at = Some(Instant::now());
-        match self.shared.queue.try_push(req) {
+        match self.shared.queue.try_push(Ingress::Vector(req)) {
             Ok(()) => {
                 self.shared.metrics.accepted.fetch_add(1, Relaxed);
                 Ok(())
             }
-            Err(PushError::Full(request, depth)) => {
+            Err(PushError::Full(Ingress::Vector(request), depth)) => {
                 self.shared.metrics.rejected_full.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
                     reason: RejectReason::QueueFull { depth },
                 })
             }
-            Err(PushError::Closed(request)) => {
+            Err(PushError::Closed(Ingress::Vector(request))) => {
                 self.shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
                     reason: RejectReason::ShuttingDown,
                 })
+            }
+            Err(PushError::Full(Ingress::Frame(_), _) | PushError::Closed(Ingress::Frame(_))) => {
+                unreachable!("push returns the item it was offered")
+            }
+        }
+    }
+
+    /// Offer a whole coherence block as one unit. The frame is never
+    /// split: it travels through the queue and batcher as a single item
+    /// and is decoded by one worker with one shared channel preparation.
+    /// Returns it as [`RejectedFrame`] when the ingress queue is full or
+    /// the runtime is shutting down.
+    ///
+    /// Its subcarriers also count into the vector-level `accepted` /
+    /// `rejected_*` counters, so `accepted == served` stays closed over
+    /// mixed vector/frame traffic.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_frame(&self, mut req: FrameRequest) -> Result<(), RejectedFrame> {
+        use std::sync::atomic::Ordering::Relaxed;
+        req.enqueued_at = Some(Instant::now());
+        let b = req.block_len() as u64;
+        let m = &self.shared.metrics;
+        match self.shared.queue.try_push(Ingress::Frame(req)) {
+            Ok(()) => {
+                m.frames_accepted.fetch_add(1, Relaxed);
+                m.accepted.fetch_add(b, Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(Ingress::Frame(request), depth)) => {
+                m.frames_rejected_full.fetch_add(1, Relaxed);
+                m.rejected_full.fetch_add(b, Relaxed);
+                Err(RejectedFrame {
+                    request,
+                    reason: RejectReason::QueueFull { depth },
+                })
+            }
+            Err(PushError::Closed(Ingress::Frame(request))) => {
+                m.frames_rejected_shutdown.fetch_add(1, Relaxed);
+                m.rejected_shutdown.fetch_add(b, Relaxed);
+                Err(RejectedFrame {
+                    request,
+                    reason: RejectReason::ShuttingDown,
+                })
+            }
+            Err(PushError::Full(Ingress::Vector(_), _) | PushError::Closed(Ingress::Vector(_))) => {
+                unreachable!("push returns the item it was offered")
             }
         }
     }
@@ -273,10 +336,27 @@ impl ServeRuntime {
         self.shared.out.pop_timeout(timeout)
     }
 
+    /// Collect one frame response without blocking.
+    pub fn try_collect_frame(&self) -> Option<FrameResponse> {
+        self.shared.out_frames.try_pop()
+    }
+
+    /// Collect one frame response, waiting up to `timeout`.
+    pub fn collect_frame_timeout(&self, timeout: Duration) -> Option<FrameResponse> {
+        self.shared.out_frames.pop_timeout(timeout)
+    }
+
     /// Return a response's detection buffer to the pool and hand the
     /// request (with its frame) back to the caller for reuse.
     pub fn recycle(&self, resp: DetectionResponse) -> DetectionRequest {
         self.shared.pool.lock().unwrap().push(resp.detection);
+        resp.request
+    }
+
+    /// Return a frame response's detection block to the frame pool and
+    /// hand the request (with its subcarrier buffers) back for reuse.
+    pub fn recycle_frame(&self, resp: FrameResponse) -> FrameRequest {
+        self.shared.frame_pool.lock().unwrap().push(resp.detections);
         resp.request
     }
 
@@ -315,9 +395,10 @@ impl ServeRuntime {
     }
 
     /// Stop accepting work, drain every admitted request, join the
-    /// workers, and return the final metrics together with any responses
-    /// the caller had not yet collected — nothing admitted is dropped.
-    pub fn shutdown(mut self) -> (MetricsSnapshot, Vec<DetectionResponse>) {
+    /// workers, and return the final metrics together with any vector and
+    /// frame responses the caller had not yet collected — nothing
+    /// admitted is dropped.
+    pub fn shutdown(mut self) -> (MetricsSnapshot, Vec<DetectionResponse>, Vec<FrameResponse>) {
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
@@ -331,7 +412,11 @@ impl ServeRuntime {
         while let Some(r) = self.shared.out.try_pop() {
             leftover.push(r);
         }
-        (self.shared.metrics.snapshot(0), leftover)
+        let mut leftover_frames = Vec::new();
+        while let Some(r) = self.shared.out_frames.try_pop() {
+            leftover_frames.push(r);
+        }
+        (self.shared.metrics.snapshot(0), leftover, leftover_frames)
     }
 }
 
@@ -364,7 +449,7 @@ mod tests {
                 panic!("runtime stalled");
             }
         }
-        let (snap, leftover) = rt.shutdown();
+        let (snap, leftover, _) = rt.shutdown();
         assert!(leftover.is_empty());
         assert_eq!(snap.accepted, 20);
         assert_eq!(snap.served, 20);
@@ -380,7 +465,7 @@ mod tests {
             rt.submit(request(id, &mut rng, &c)).unwrap();
         }
         // Workers are gated; shutdown must still serve all 5.
-        let (snap, leftover) = rt.shutdown();
+        let (snap, leftover, _) = rt.shutdown();
         assert_eq!(snap.served, 5, "drain-then-join");
         assert_eq!(leftover.len(), 5, "uncollected responses handed back");
     }
@@ -412,7 +497,7 @@ mod tests {
             );
             assert!(snap.deadline_miss_rate <= 1.0);
         }
-        let (snap, _) = rt.shutdown();
+        let (snap, _, _) = rt.shutdown();
         assert_eq!(snap.served, submitted);
         assert_eq!(snap.deadline_missed, submitted, "zero deadline misses all");
         assert!((snap.deadline_miss_rate - 1.0).abs() < 1e-12);
@@ -433,8 +518,98 @@ mod tests {
         }
         // Let at least one reporting period elapse with the runtime live.
         std::thread::sleep(Duration::from_millis(25));
-        let (snap, _) = rt.shutdown();
+        let (snap, _, _) = rt.shutdown();
         assert_eq!(snap.served, 8, "reporter must not disturb serving");
+    }
+
+    fn frame_request(id: u64, block: usize, rng: &mut StdRng, c: &Constellation) -> FrameRequest {
+        let snr = 12.0;
+        let sigma2 = noise_variance(snr, 4);
+        let base = FrameData::generate(4, 4, c, sigma2, rng);
+        let subcarriers = (0..block)
+            .map(|_| {
+                let mut f = base.clone();
+                let fresh = FrameData::generate(4, 4, c, sigma2, rng);
+                f.y = fresh.y;
+                f.tx = fresh.tx;
+                f
+            })
+            .collect();
+        FrameRequest::new(id, subcarriers, snr, Duration::from_millis(50))
+    }
+
+    #[test]
+    fn frames_round_trip_with_subcarrier_accounting() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(2), c.clone());
+        let mut rng = StdRng::seed_from_u64(21);
+        for id in 0..4 {
+            rt.submit_frame(frame_request(id, 8, &mut rng, &c)).unwrap();
+        }
+        // Mixed traffic: a couple of plain vectors ride along.
+        for id in 100..102 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        let mut frames = Vec::new();
+        while frames.len() < 4 {
+            match rt.collect_frame_timeout(Duration::from_secs(5)) {
+                Some(f) => frames.push(f),
+                None => panic!("frame path stalled"),
+            }
+        }
+        for f in &frames {
+            assert_eq!(f.detections.len(), 8, "one detection per subcarrier");
+            assert_eq!(f.prep_factors, 1, "shared-prep path on the stock registry");
+        }
+        for f in frames {
+            rt.recycle_frame(f);
+        }
+        let (snap, _, _) = rt.shutdown();
+        assert_eq!(snap.frames_accepted, 4);
+        assert_eq!(snap.frames_served, 4);
+        assert_eq!(snap.frame_subcarriers, 32);
+        assert_eq!(snap.frame_prep_factors, 4);
+        assert!((snap.prep_amortization - 8.0).abs() < 1e-12);
+        // Vector-level counters stay closed over the mixture.
+        assert_eq!(snap.accepted, 32 + 2);
+        assert_eq!(snap.served, 32 + 2);
+        assert_eq!(
+            snap.prep_cache_hits + snap.prep_cache_misses + snap.prep_cache_bypass,
+            snap.served
+        );
+    }
+
+    #[test]
+    fn shutdown_hands_back_uncollected_frames() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(1), c.clone());
+        let mut rng = StdRng::seed_from_u64(22);
+        for id in 0..3 {
+            rt.submit_frame(frame_request(id, 4, &mut rng, &c)).unwrap();
+        }
+        let (snap, _, leftover_frames) = rt.shutdown();
+        assert_eq!(snap.frames_served, 3, "drain-then-join covers frames");
+        assert_eq!(leftover_frames.len(), 3, "uncollected frames handed back");
+    }
+
+    #[test]
+    fn recycle_frame_returns_block_ownership() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(ServeConfig::default().with_workers(1), c.clone());
+        let mut rng = StdRng::seed_from_u64(23);
+        rt.submit_frame(frame_request(7, 5, &mut rng, &c)).unwrap();
+        let resp = rt
+            .collect_frame_timeout(Duration::from_secs(5))
+            .expect("served");
+        assert_eq!(resp.request.id, 7);
+        let req = rt.recycle_frame(resp);
+        assert_eq!(req.block_len(), 5);
+        rt.submit_frame(req).unwrap();
+        let resp = rt
+            .collect_frame_timeout(Duration::from_secs(5))
+            .expect("served again");
+        assert_eq!(resp.request.id, 7);
+        rt.shutdown();
     }
 
     #[test]

@@ -2,22 +2,30 @@
 //! rung, push the batch of responses.
 //!
 //! Each worker owns every scratch buffer the decode path needs
-//! ([`PrepScratch`], [`SearchWorkspace`], a reusable [`Prepared`], the
-//! batch and response vectors, a batch-level stats accumulator), so the
-//! steady-state path performs **zero heap allocations per request**: the
-//! registry tiers are driven entirely through
-//! [`sd_core::PreparedDetector`]'s `_into` entry points, which write into
-//! recycled [`Detection`] slots from the runtime's response pool, and all
-//! synchronization costs (ingress lock, response push, metrics merge) are
-//! paid once per batch. Because every tier speaks the same engine trait,
-//! the worker has no per-detector code at all — serving a new tier is
-//! purely a registry entry.
+//! ([`PrepScratch`], [`SearchWorkspace`], a reusable [`Prepared`], a
+//! [`BlockPrep`] for the frame path, the batch and response vectors, a
+//! batch-level stats accumulator), so the steady-state path performs
+//! **zero heap allocations per request**: the registry tiers are driven
+//! entirely through [`sd_core::PreparedDetector`]'s `_into` entry points,
+//! which write into recycled [`Detection`] slots from the runtime's
+//! response pools, and all synchronization costs (ingress lock, response
+//! push, metrics merge) are paid once per batch. Because every tier
+//! speaks the same engine trait, the worker has no per-detector code at
+//! all — serving a new tier is purely a registry entry.
+//!
+//! A batch item is either one vector ([`DetectionRequest`]) or one whole
+//! coherence block ([`crate::FrameRequest`]); frames are never split, so
+//! one worker decodes the block with **one** shared channel preparation
+//! ([`sd_core::decode_block_into`]) and one ladder decision scaled by the
+//! block size.
 
-use crate::ladder::choose_tier;
+use crate::ladder::{choose_tier, choose_tier_block};
 use crate::prep_cache::PrepCache;
-use crate::request::{DetectionRequest, DetectionResponse};
-use crate::runtime::Shared;
-use sd_core::{Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace};
+use crate::request::{DetectionRequest, DetectionResponse, FrameRequest, FrameResponse};
+use crate::runtime::{Ingress, Shared};
+use sd_core::{
+    decode_block_into, BlockPrep, Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,11 +37,16 @@ pub(crate) struct Worker {
     prep: Prepared<f64>,
     /// Per-worker channel-coherent factorization cache (see
     /// [`crate::prep_cache`]); capacity comes from
-    /// [`ServeConfig::prep_cache`](crate::runtime::ServeConfig).
+    /// [`ServeConfig::prep_cache`](crate::runtime::ServeConfig). Frame
+    /// requests bypass it — their request shape already carries the
+    /// coherence structure the cache exists to rediscover.
     prep_cache: PrepCache,
+    /// Shared-prep block state for the frame path.
+    block: BlockPrep<f64>,
     ws: SearchWorkspace<f64>,
-    batch: Vec<DetectionRequest>,
+    batch: Vec<Ingress>,
     done: Vec<DetectionResponse>,
+    done_frames: Vec<FrameResponse>,
     batch_stats: DetectionStats,
 }
 
@@ -44,9 +57,11 @@ impl Worker {
             prep_scratch: PrepScratch::new(),
             prep: Prepared::empty(),
             prep_cache: PrepCache::new(shared.config.prep_cache),
+            block: BlockPrep::new(),
             ws: SearchWorkspace::new(),
             batch: Vec::new(),
             done: Vec::new(),
+            done_frames: Vec::new(),
             batch_stats: DetectionStats::default(),
             shared,
         }
@@ -67,10 +82,21 @@ impl Worker {
             }
             let size = batch.len();
             self.batch_stats.reset(0);
-            for req in batch.drain(..) {
-                let resp = self.serve_one(req);
-                self.batch_stats.merge(&resp.detection.stats);
-                self.done.push(resp);
+            for item in batch.drain(..) {
+                match item {
+                    Ingress::Vector(req) => {
+                        let resp = self.serve_one(req);
+                        self.batch_stats.merge(&resp.detection.stats);
+                        self.done.push(resp);
+                    }
+                    Ingress::Frame(req) => {
+                        let resp = self.serve_frame(req);
+                        for d in &resp.detections {
+                            self.batch_stats.merge(&d.stats);
+                        }
+                        self.done_frames.push(resp);
+                    }
+                }
             }
             self.batch = batch;
             let m = &self.shared.metrics;
@@ -79,6 +105,7 @@ impl Worker {
             m.batch_size.record(size as u64);
             m.merge_stats(&self.batch_stats);
             self.shared.out.push_all(&mut self.done);
+            self.shared.out_frames.push_all(&mut self.done_frames);
         }
     }
 
@@ -170,6 +197,111 @@ impl Worker {
             detection: det,
             tier: tier_idx,
             tier_label: Arc::clone(&tier.label),
+            queue_wait,
+            service_time,
+            latency,
+            deadline_missed,
+        }
+    }
+
+    /// Decode one whole coherence block: one ladder decision (per-vector
+    /// cost scaled by the block size), one shared channel preparation on
+    /// cacheable tiers ([`decode_block_into`]), per-subcarrier detections
+    /// into a pooled block buffer. Frames bypass the prep cache — every
+    /// subcarrier counts as a `prep_cache_bypass` so
+    /// `hits + misses + bypass == served` stays an invariant over mixed
+    /// traffic.
+    fn serve_frame(&mut self, req: FrameRequest) -> FrameResponse {
+        use std::sync::atomic::Ordering::Relaxed;
+        let started = Instant::now();
+        let enqueued = req.enqueued_at.unwrap_or(started);
+        let queue_wait = started.saturating_duration_since(enqueued);
+        let remaining = req.deadline.saturating_sub(queue_wait);
+        let b = req.block_len();
+        let m = req.subcarriers[0].h.cols();
+        let tier_idx = choose_tier_block(
+            &self.shared.config.ladder,
+            &self.shared.model,
+            &self.shared.tiers,
+            req.snr_db,
+            m,
+            self.order,
+            remaining,
+            b,
+        );
+        let tier = &self.shared.tiers[tier_idx];
+        // The prediction the ladder compared against the budget: the
+        // per-vector model scaled to the block.
+        let predicted_ns = self
+            .shared
+            .model
+            .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order)
+            * b as f64;
+
+        let mut dets: Vec<Detection> = self
+            .shared
+            .frame_pool
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_default();
+        dets.resize_with(b, Detection::default);
+        let prep_factors = decode_block_into(
+            &*tier.detector,
+            &req.subcarriers,
+            &mut self.prep_scratch,
+            &mut self.block,
+            &mut self.prep,
+            &mut self.ws,
+            &mut dets,
+        );
+
+        let service_time = started.elapsed();
+        let latency = queue_wait + service_time;
+        let deadline_missed = latency > req.deadline;
+
+        let metrics = &self.shared.metrics;
+        let tm = &metrics.tiers[tier_idx];
+        tm.served.fetch_add(b as u64, Relaxed);
+        let service_ns = service_time.as_nanos() as u64;
+        tm.predict_err_ns
+            .record((predicted_ns as i64 - service_ns as i64).unsigned_abs());
+        // Subcarriers count into the vector-level counters (served before
+        // missed, factors before subcarriers — both orders keep concurrent
+        // snapshots conservative), frame-level counters track blocks.
+        metrics.served.fetch_add(b as u64, Relaxed);
+        metrics.frames_served.fetch_add(1, Relaxed);
+        if deadline_missed {
+            metrics.deadline_missed.fetch_add(b as u64, Relaxed);
+            metrics.frames_deadline_missed.fetch_add(1, Relaxed);
+        }
+        metrics.prep_cache_bypass.fetch_add(b as u64, Relaxed);
+        metrics
+            .frame_prep_factors
+            .fetch_add(prep_factors as u64, Relaxed);
+        metrics.frame_subcarriers.fetch_add(b as u64, Relaxed);
+        metrics.frame_size.record(b as u64);
+        metrics.frame_latency_ns.record(latency.as_nanos() as u64);
+        metrics.queue_wait_ns.record(queue_wait.as_nanos() as u64);
+
+        // One observation per frame at per-vector granularity, so the
+        // cost model keeps predicting single-vector service time and the
+        // ladder's block scaling stays dimensionally consistent.
+        let nodes: u64 = dets.iter().map(|d| d.stats.nodes_generated).sum();
+        self.shared.model.observe(
+            tier_idx,
+            &tier.cost,
+            req.snr_db,
+            nodes / b as u64,
+            service_ns / b as u64,
+        );
+
+        FrameResponse {
+            request: req,
+            detections: dets,
+            tier: tier_idx,
+            tier_label: Arc::clone(&tier.label),
+            prep_factors,
             queue_wait,
             service_time,
             latency,

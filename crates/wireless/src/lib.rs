@@ -23,6 +23,7 @@ pub mod channel;
 pub mod coding;
 pub mod constellation;
 pub mod frame;
+pub mod grid;
 pub mod models;
 pub mod montecarlo;
 pub mod noise;
@@ -34,6 +35,7 @@ pub use channel::Channel;
 pub use coding::ConvolutionalCode;
 pub use constellation::{Constellation, Modulation};
 pub use frame::{FrameData, TxFrame};
+pub use grid::{CoherenceBlock, GridConfig, ResourceGrid};
 pub use models::{corrupt_csi, ChannelModel};
 pub use montecarlo::{run_link, run_link_parallel, LinkConfig, LinkStats};
 pub use noise::awgn;

@@ -86,46 +86,70 @@ impl OfdmSymbol {
 
     /// Decode every subcarrier serially with `decode`; returns
     /// `(bit errors, total bits)`.
+    ///
+    /// The closure receives `(frame, new_channel)`: `new_channel` is true
+    /// exactly when the subcarrier starts a new coherence run (its `H`
+    /// differs from the previous subcarrier's). A decoder holding a
+    /// `ChannelPrep`-style factor/apply split factors only when the flag
+    /// fires and replays `Qᴴy` otherwise, so each distinct channel is
+    /// factored **once** instead of once per subcarrier.
     pub fn decode_serial<D>(&self, constellation: &Constellation, mut decode: D) -> (u64, u64)
     where
-        D: FnMut(&FrameData) -> Vec<usize>,
+        D: FnMut(&FrameData, bool) -> Vec<usize>,
     {
         let mut errs = 0u64;
         let mut bits = 0u64;
-        for f in &self.frames {
-            let d = decode(f);
-            errs += f.bit_errors(&d, constellation);
-            bits += f.tx.bits.len() as u64;
+        for run in self.coherence_runs() {
+            for (i, f) in self.frames[run].iter().enumerate() {
+                let d = decode(f, i == 0);
+                errs += f.bit_errors(&d, constellation);
+                bits += f.tx.bits.len() as u64;
+            }
         }
         (errs, bits)
     }
 
-    /// Decode subcarriers in parallel with rayon — the software analogue
-    /// of fanning subcarriers over FPGA pipelines.
+    /// Decode in parallel with rayon — the software analogue of fanning
+    /// subcarriers over FPGA pipelines. Parallelism is over **coherence
+    /// runs** (not individual subcarriers), each run decoded serially with
+    /// the same `(frame, new_channel)` protocol as
+    /// [`OfdmSymbol::decode_serial`], so per-run channel-prep amortization
+    /// survives the fan-out.
     pub fn decode_parallel<D>(&self, constellation: &Constellation, decode: D) -> (u64, u64)
     where
-        D: Fn(&FrameData) -> Vec<usize> + Sync,
+        D: Fn(&FrameData, bool) -> Vec<usize> + Sync,
     {
-        self.frames
-            .par_iter()
-            .map(|f| {
-                let d = decode(f);
-                (f.bit_errors(&d, constellation), f.tx.bits.len() as u64)
+        let runs = self.coherence_runs();
+        runs.par_iter()
+            .map(|run| {
+                let mut errs = 0u64;
+                let mut bits = 0u64;
+                for (i, f) in self.frames[run.clone()].iter().enumerate() {
+                    let d = decode(f, i == 0);
+                    errs += f.bit_errors(&d, constellation);
+                    bits += f.tx.bits.len() as u64;
+                }
+                (errs, bits)
             })
             .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     }
 
+    /// Maximal runs of consecutive subcarriers sharing one channel
+    /// realization, in subcarrier order.
+    pub fn coherence_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let mut runs: Vec<std::ops::Range<usize>> = Vec::new();
+        for (k, f) in self.frames.iter().enumerate() {
+            match runs.last_mut() {
+                Some(run) if self.frames[run.start].h.approx_eq(&f.h, 0.0) => run.end = k + 1,
+                _ => runs.push(k..k + 1),
+            }
+        }
+        runs
+    }
+
     /// Distinct channel realizations in this symbol.
     pub fn distinct_channels(&self) -> usize {
-        let mut count = 0usize;
-        let mut last: Option<&FrameData> = None;
-        for f in &self.frames {
-            if last.is_none_or(|p| !p.h.approx_eq(&f.h, 0.0)) {
-                count += 1;
-            }
-            last = Some(f);
-        }
-        count
+        self.coherence_runs().len()
     }
 }
 
@@ -163,7 +187,7 @@ mod tests {
     #[test]
     fn genie_decode_counts_all_bits() {
         let (c, s) = symbol(8, 2, 0.05);
-        let (errs, bits) = s.decode_serial(&c, |f| f.tx.indices.clone());
+        let (errs, bits) = s.decode_serial(&c, |f, _| f.tx.indices.clone());
         assert_eq!(errs, 0);
         assert_eq!(bits, 8 * 4 * 2);
     }
@@ -172,13 +196,47 @@ mod tests {
     fn parallel_matches_serial() {
         let (c, s) = symbol(24, 3, 0.5);
         // A deterministic sub-optimal decoder: slice y element-wise.
-        let decode = |f: &FrameData| -> Vec<usize> {
+        let decode = |f: &FrameData, _new: bool| -> Vec<usize> {
             let c = Constellation::new(Modulation::Qam4);
             (0..f.tx.n_tx()).map(|i| c.slice(f.y[i])).collect()
         };
         let serial = s.decode_serial(&c, decode);
         let parallel = s.decode_parallel(&c, decode);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn coherence_runs_partition_the_symbol_in_order() {
+        let (_, s) = symbol(16, 4, 0.1);
+        let runs = s.coherence_runs();
+        assert_eq!(runs.len(), 4);
+        let mut next = 0usize;
+        for run in &runs {
+            assert_eq!(run.start, next, "runs must tile the symbol");
+            assert_eq!(run.len(), 4);
+            next = run.end;
+        }
+        assert_eq!(next, 16);
+    }
+
+    #[test]
+    fn new_channel_flag_fires_once_per_distinct_channel() {
+        // The amortization contract: a caller factoring only on the flag
+        // performs exactly `distinct_channels()` factorizations, and every
+        // frame it replays against belongs to the factored channel.
+        let (c, s) = symbol(20, 5, 0.1);
+        let mut factored: Option<sd_math::Matrix<f64>> = None;
+        let mut factorizations = 0usize;
+        s.decode_serial(&c, |f, new_channel| {
+            if new_channel {
+                factored = Some(f.h.clone());
+                factorizations += 1;
+            }
+            let h = factored.as_ref().expect("first frame flags a new channel");
+            assert!(h.approx_eq(&f.h, 0.0), "replay against a stale channel");
+            f.tx.indices.clone()
+        });
+        assert_eq!(factorizations, s.distinct_channels());
     }
 
     #[test]

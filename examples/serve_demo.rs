@@ -13,10 +13,11 @@
 //! [`sd_serve::validate_json`], exiting non-zero on any violation.
 
 use sd_serve::{
-    json_line, prometheus_text, run_load, validate_json, ExportFormat, LadderConfig, LoadConfig,
-    LoadReport, MetricsSnapshot, ServeConfig, ServeRuntime,
+    json_line, prometheus_text, run_frame_load, run_load, validate_json, ExportFormat,
+    FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig, LoadReport, MetricsSnapshot,
+    ServeConfig, ServeRuntime,
 };
-use sd_wireless::{Constellation, Modulation, REAL_TIME_BUDGET};
+use sd_wireless::{Constellation, GridConfig, Modulation, REAL_TIME_BUDGET};
 use std::time::Duration;
 
 fn show(label: &str, r: &LoadReport) {
@@ -58,6 +59,24 @@ fn show(label: &str, r: &LoadReport) {
     );
 }
 
+fn show_frames(label: &str, r: &FrameLoadReport) {
+    println!("-- {label} --");
+    println!(
+        "  frames offered {} | served {} | shed {} | {:.0} subcarriers/s",
+        r.offered_frames, r.served_frames, r.shed_frames, r.throughput_hz
+    );
+    println!(
+        "  frame latency p50 {:.0} us, p99 {:.0} us | {} QRs for {} subcarriers \
+         ({:.1}x amortization) | BER {:.2e}\n",
+        r.p50_latency_us,
+        r.p99_latency_us,
+        r.prep_factors,
+        r.subcarriers,
+        r.prep_amortization(),
+        r.ber()
+    );
+}
+
 fn show_exports(snapshot: &MetricsSnapshot) {
     println!("-- metrics export: Prometheus text exposition --");
     print!("{}", prometheus_text(snapshot));
@@ -90,7 +109,7 @@ fn smoke() {
         c.clone(),
     );
     let report = run_load(&rt, &cfg, &c);
-    let (snapshot, _) = rt.shutdown();
+    let (snapshot, _, _) = rt.shutdown();
 
     show("smoke run (4x4 QAM4, 64 requests)", &report);
     show_exports(&snapshot);
@@ -114,6 +133,66 @@ fn smoke() {
         assert!(prom.contains(needle), "Prometheus export missing {needle}");
     }
     println!("smoke OK: {} served, exports validated", snapshot.served);
+
+    // Second pass: the frame path. A small resource grid served as
+    // whole-frame requests, with the frame rows of both exports
+    // machine-checked the same way.
+    let fcfg = FrameLoadConfig {
+        grid: GridConfig::new(16, 4, 4, 4)
+            .with_coherence(8, 2)
+            .with_snr(12.0, 2.0),
+        modulation: Modulation::Qam4,
+        offered_rate_hz: 0.0,
+        deadline: REAL_TIME_BUDGET,
+        seed: 0x5340CF,
+    };
+    let c = Constellation::new(fcfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(8),
+        c.clone(),
+    );
+    let report = run_frame_load(&rt, &fcfg, &c);
+    let (snapshot, _, _) = rt.shutdown();
+
+    show_frames("frame smoke run (16x4 grid, 4x4 QAM4)", &report);
+    show_exports(&snapshot);
+
+    assert_eq!(
+        report.served_frames, report.offered_frames,
+        "frame smoke must serve every frame"
+    );
+    assert_eq!(snapshot.frames_served, report.served_frames);
+    assert_eq!(snapshot.frame_subcarriers, report.subcarriers);
+    assert!(
+        snapshot.prep_amortization >= 1.0,
+        "coherence blocks must amortize preparation (got {})",
+        snapshot.prep_amortization
+    );
+    assert_eq!(
+        snapshot.prep_cache_hits + snapshot.prep_cache_misses + snapshot.prep_cache_bypass,
+        snapshot.served,
+        "prep accounting must close over frame traffic"
+    );
+    let line = json_line(&snapshot);
+    validate_json(&line).expect("frame JSON export must parse");
+    for needle in ["\"frames_served\":", "\"prep_amortization\":"] {
+        assert!(line.contains(needle), "JSON export missing {needle}");
+    }
+    let prom = prometheus_text(&snapshot);
+    for needle in [
+        "sd_serve_frames_served_total",
+        "sd_serve_frame_subcarriers_total",
+        "sd_serve_prep_amortization",
+        "sd_serve_frame_latency_us",
+    ] {
+        assert!(prom.contains(needle), "Prometheus export missing {needle}");
+    }
+    println!(
+        "frame smoke OK: {} frames / {} subcarriers served, exports validated",
+        snapshot.frames_served, snapshot.frame_subcarriers
+    );
 }
 
 fn main() {
@@ -170,7 +249,7 @@ fn main() {
         c.clone(),
     );
     let report = run_load(&rt, &overload, &c);
-    let (snapshot, _) = rt.shutdown();
+    let (snapshot, _, _) = rt.shutdown();
     show("2x overload, degradation ladder on", &report);
     println!(
         "final runtime metrics: {} batches, p99 queue wait {:.0} us, rejected {} (full) / {} (shutdown)",

@@ -91,7 +91,7 @@ fn assert_served_matches(tier: Tier, truth: &[Detection], cfg: &LoadConfig, c: &
         assert_eq!(&*resp.tier_label, label, "tier label");
         served.insert(resp.request.id, resp);
     }
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     assert!(leftover.is_empty());
     assert_eq!(snap.served, cfg.n_requests as u64);
     assert_eq!(snap.tier_served(&label), cfg.n_requests as u64);

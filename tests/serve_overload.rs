@@ -56,7 +56,7 @@ fn burst_beyond_capacity_sheds_exactly_the_overflow() {
 
     // Drain-then-join: shutdown releases the gate, serves every admitted
     // request, and returns them — nothing is silently dropped.
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     assert_eq!(snap.accepted, CAPACITY as u64);
     assert_eq!(snap.rejected_full, (BURST - CAPACITY) as u64);
     assert_eq!(snap.served, CAPACITY as u64);
@@ -85,7 +85,7 @@ fn exhausted_deadline_budget_degrades_deterministically() {
     for req in build_requests(&cfg, &c) {
         rt.submit(req).expect("queue sized for the burst");
     }
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     assert_eq!(snap.served, BURST as u64);
     assert_eq!(
         snap.tier_served("mmse"),
@@ -125,7 +125,7 @@ fn degradation_off_never_sheds_admitted_work_even_when_late() {
     for req in build_requests(&cfg, &c) {
         rt.submit(req).expect("queue sized for the burst");
     }
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     // Every request decoded exactly (and therefore late) — the control
     // arm the benchmark compares the ladder against.
     assert_eq!(snap.served, BURST as u64);
@@ -153,7 +153,7 @@ fn repeated_shutdown_under_load_never_deadlocks() {
                 accepted += 1;
             }
         }
-        let (snap, _leftover) = rt.shutdown();
+        let (snap, _leftover, _) = rt.shutdown();
         assert_eq!(snap.served, accepted, "round {round}: drained exactly");
     }
 }

@@ -78,7 +78,7 @@ fn serve_all(
             .expect("runtime stalled");
         served.insert(resp.request.id, resp.detection);
     }
-    let (snap, leftover) = rt.shutdown();
+    let (snap, leftover, _) = rt.shutdown();
     assert!(leftover.is_empty());
     assert_eq!(snap.served, n as u64);
     (served, snap)
