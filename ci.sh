@@ -34,6 +34,21 @@ echo "==> frame-path exactness"
 # through every registry tier, including under overload/shedding.
 cargo test -q --test serve_frames
 
+echo "==> shard matrix (SD_SHARDS in 1 2 4)"
+# The sharded runtime must be bit-identical to the single-queue runtime
+# at every topology the config space allows: one shard (the classic
+# runtime), two (the default under test), and four (more shards than
+# this container has cores, so stealing and round-robin worker dealing
+# are both exercised hard).
+for s in 1 2 4; do
+  SD_SHARDS=$s cargo test -q --release --test serve_shards
+done
+
+echo "==> sharded determinism stress (SD_STRESS_ITERS=25)"
+# Steals land on different workers run to run; the served bits must not.
+SD_STRESS_ITERS=25 cargo test -q --release --test serve_shards \
+  repeated_sharded_runs_are_deterministic
+
 echo "==> serve_demo --smoke"
 # End-to-end smoke: tiny per-vector run plus a frame loadgen pass, each
 # rendering the Prometheus + JSON export surfaces and self-validating the

@@ -29,6 +29,12 @@
 //! pays one submit, one ladder decision, one QR and one batched
 //! `ȳ = QᴴY` per block instead of per subcarrier.
 //!
+//! A sixth scenario measures sharded channel-affinity serving (ISSUE 8):
+//! coherent, i.i.d., and whole-frame traffic each served through one
+//! shard (the classic single-queue runtime) and through N affinity
+//! shards with work stealing, comparing throughput and prep-cache hit
+//! rate. `host_cores` is recorded so single-core results read honestly.
+//!
 //! Like `expansion.rs` this bench has a hand-rolled `main` that writes
 //! `BENCH_serve.json` in the repo root.
 
@@ -36,9 +42,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_core::{BestFirstSd, KBestSd, MmseDetector, SphereDecoder};
 use sd_serve::{
-    build_frame_requests, explode_frames, run_frame_load, run_load, run_request_stream,
-    BatchPolicy, DetectionRequest, FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig,
-    LoadReport, MetricsSnapshot, ServeConfig, ServeRuntime, Tier, TierCostClass,
+    build_coherent_requests, build_frame_requests, default_core_allowance, explode_frames,
+    host_cores, run_frame_load, run_load, run_request_stream, BatchPolicy, DetectionRequest,
+    FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig, LoadReport, MetricsSnapshot,
+    ServeConfig, ServeRuntime, Tier, TierCostClass,
 };
 use sd_wireless::{
     noise_variance, Channel, Constellation, FrameData, GridConfig, Modulation, TxFrame,
@@ -46,8 +53,11 @@ use sd_wireless::{
 };
 use std::time::{Duration, Instant};
 
-/// Workers in every scenario.
-const WORKERS: usize = 4;
+/// Workers in every scenario: the host's core allowance (the old
+/// hardcoded 4 oversubscribed small hosts and left big ones idle).
+fn workers() -> usize {
+    default_core_allowance()
+}
 /// Requests per measured run.
 const N_REQUESTS: usize = 4000;
 /// Bounded ingress queue for the sweep (deep enough that a saturated
@@ -101,7 +111,7 @@ fn saturated(cfg: &LoadConfig, batch: BatchPolicy, lad: LadderConfig) -> LoadRep
     let c = Constellation::new(cfg.modulation);
     let rt = ServeRuntime::start(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(cfg.n_requests)
             .with_batch(batch)
             .with_ladder(lad),
@@ -118,7 +128,7 @@ fn sweep_point(rate_hz: f64, lad: LadderConfig) -> LoadReport {
     let c = Constellation::new(cfg.modulation);
     let rt = ServeRuntime::start(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(SWEEP_QUEUE)
             .with_ladder(lad),
         c.clone(),
@@ -161,7 +171,7 @@ fn registry_point(rate_hz: f64) -> LoadReport {
     let c = Constellation::new(cfg.modulation);
     let rt = ServeRuntime::start_with_registry(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(SWEEP_QUEUE)
             .with_ladder(ladder(true)),
         four_rung_registry(&c, 16),
@@ -224,7 +234,7 @@ fn prep_cache_point(cache: usize) -> (f64, MetricsSnapshot) {
     let c = Constellation::new(cfg.modulation);
     let rt = ServeRuntime::start(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(cfg.n_requests)
             .with_prep_cache(cache)
             .with_ladder(ladder(false)),
@@ -270,7 +280,7 @@ fn frame_point(cfg: &FrameLoadConfig) -> FrameLoadReport {
     let n_frames = build_frame_requests(cfg, &c).len();
     let rt = ServeRuntime::start(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(n_frames)
             .with_ladder(ladder(false)),
         c.clone(),
@@ -288,7 +298,7 @@ fn vector_point(cfg: &FrameLoadConfig) -> LoadReport {
     let n = requests.len();
     let rt = ServeRuntime::start(
         ServeConfig::default()
-            .with_workers(WORKERS)
+            .with_workers(workers())
             .with_queue_capacity(n)
             .with_ladder(ladder(false)),
         c.clone(),
@@ -296,6 +306,69 @@ fn vector_point(cfg: &FrameLoadConfig) -> LoadReport {
     let report = run_request_stream(&rt, requests, 0.0, &c);
     rt.shutdown();
     report
+}
+
+/// Shard count for the affinity scenario: at least two, so the sharded
+/// arm actually exercises routing and stealing even on a small host, up
+/// to the core allowance on bigger ones.
+fn affinity_shards() -> usize {
+    default_core_allowance().max(2)
+}
+
+/// Firehose a coherent (or `block = 1`: i.i.d.) stream through an
+/// exact-tier runtime at the given shard count; return (throughput,
+/// final snapshot).
+fn affinity_point(cfg: &LoadConfig, block: usize, n_shards: usize) -> (f64, MetricsSnapshot) {
+    let c = Constellation::new(cfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(workers().max(2))
+            .with_shards(n_shards)
+            .with_queue_capacity(cfg.n_requests * n_shards)
+            .with_ladder(ladder(false)),
+        c.clone(),
+    );
+    let reqs = build_coherent_requests(cfg, block, &c);
+    let n = reqs.len();
+    let t0 = Instant::now();
+    for req in reqs {
+        rt.submit(req).expect("queue sized for the whole stream");
+    }
+    for _ in 0..n {
+        rt.collect_timeout(Duration::from_secs(60))
+            .expect("runtime stalled");
+    }
+    let throughput = n as f64 / t0.elapsed().as_secs_f64();
+    let (snap, leftover, _) = rt.shutdown();
+    assert!(leftover.is_empty());
+    (throughput, snap)
+}
+
+/// The frame arm of the affinity scenario: whole-block submission at the
+/// given shard count.
+fn frame_affinity_point(cfg: &FrameLoadConfig, n_shards: usize) -> FrameLoadReport {
+    let c = Constellation::new(cfg.modulation);
+    let n_frames = build_frame_requests(cfg, &c).len();
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(workers().max(2))
+            .with_shards(n_shards)
+            .with_queue_capacity(n_frames * n_shards)
+            .with_ladder(ladder(false)),
+        c.clone(),
+    );
+    let report = run_frame_load(&rt, cfg, &c);
+    rt.shutdown();
+    report
+}
+
+/// Prep-cache hit rate over everything served.
+fn hit_rate(s: &MetricsSnapshot) -> f64 {
+    if s.served == 0 {
+        0.0
+    } else {
+        s.prep_cache_hits as f64 / s.served as f64
+    }
 }
 
 fn tiers_json(r: &LoadReport) -> String {
@@ -437,6 +510,34 @@ fn main() {
         by_frame.prep_amortization(),
     );
 
+    // -------- Claim 6: sharded channel-affinity serving ----------------
+    let n_shards = affinity_shards();
+    let acfg = coherent_workload();
+    eprintln!("affinity: coherent block {COHERENCE_BLOCK}, 1 shard ...");
+    let (coh_one_hz, coh_one) = affinity_point(&acfg, COHERENCE_BLOCK, 1);
+    eprintln!("affinity: coherent block {COHERENCE_BLOCK}, {n_shards} shards ...");
+    let (coh_n_hz, coh_n) = affinity_point(&acfg, COHERENCE_BLOCK, n_shards);
+    eprintln!("affinity: i.i.d. channels, 1 shard ...");
+    let (iid_one_hz, _) = affinity_point(&acfg, 1, 1);
+    eprintln!("affinity: i.i.d. channels, {n_shards} shards ...");
+    let (iid_n_hz, _) = affinity_point(&acfg, 1, n_shards);
+    eprintln!("affinity: frame traffic, 1 shard ...");
+    let fr_one = frame_affinity_point(&fw, 1);
+    eprintln!("affinity: frame traffic, {n_shards} shards ...");
+    let fr_n = frame_affinity_point(&fw, n_shards);
+    let coh_stolen: u64 = coh_n.shards.iter().map(|s| s.stolen_in).sum();
+    eprintln!(
+        "  coherent {coh_one_hz:.0}/s -> {coh_n_hz:.0}/s ({:.2}x) at hit rate \
+         {:.3} -> {:.3} ({coh_stolen} stolen); iid {iid_one_hz:.0}/s -> {iid_n_hz:.0}/s; \
+         frames {:.0} -> {:.0} subcarriers/s on {} host core(s)",
+        coh_n_hz / coh_one_hz,
+        hit_rate(&coh_one),
+        hit_rate(&coh_n),
+        fr_one.throughput_hz,
+        fr_n.throughput_hz,
+        host_cores(),
+    );
+
     let sweep_rows: Vec<String> = sweep
         .iter()
         .map(|(mult, rate, off, on)| {
@@ -448,8 +549,9 @@ fn main() {
             )
         })
         .collect();
+    let w = workers();
     let json = format!(
-        "{{\n  \"config\": {{\"workers\": {WORKERS}, \"n_requests\": {N_REQUESTS}, \
+        "{{\n  \"config\": {{\"workers\": {w}, \"n_requests\": {N_REQUESTS}, \
          \"sweep_queue\": {SWEEP_QUEUE}, \"deadline_ms\": 10,\n    \
          \"batching_workload\": \"4x4 QAM4 @ 12 dB\", \
          \"sweep_workload\": \"8x8 QAM4 @ {{6,10,14}} dB\"}},\n  \
@@ -472,7 +574,16 @@ fn main() {
          \"speedup\": {frame_speedup:.3},\n    \
          \"prep_factors\": {}, \"prep_amortization\": {:.1}, \
          \"ber_per_vector\": {:.5}, \"ber_frame\": {:.5},\n    \
-         \"vector_hits\": {}, \"vector_misses\": {}, \"vector_bypass\": {}}}\n}}\n",
+         \"vector_hits\": {}, \"vector_misses\": {}, \"vector_bypass\": {}}},\n  \
+         \"sharded_affinity\": {{\"host_cores\": {}, \"n_shards\": {n_shards}, \
+         \"workers\": {}, \"coherent_block\": {COHERENCE_BLOCK},\n    \
+         \"coherent\": {{\"one_shard_hz\": {coh_one_hz:.0}, \"sharded_hz\": {coh_n_hz:.0}, \
+         \"speedup\": {:.3}, \"hit_rate_one_shard\": {:.4}, \"hit_rate_sharded\": {:.4}, \
+         \"stolen\": {coh_stolen}}},\n    \
+         \"iid\": {{\"one_shard_hz\": {iid_one_hz:.0}, \"sharded_hz\": {iid_n_hz:.0}, \
+         \"speedup\": {:.3}}},\n    \
+         \"frames\": {{\"one_shard_hz\": {:.0}, \"sharded_hz\": {:.0}, \
+         \"speedup\": {:.3}}}}}\n}}\n",
         report_json(&unbatched),
         report_json(&batched),
         batching_speedup,
@@ -497,6 +608,15 @@ fn main() {
         by_vector.snapshot.prep_cache_hits,
         by_vector.snapshot.prep_cache_misses,
         by_vector.snapshot.prep_cache_bypass,
+        host_cores(),
+        workers().max(2),
+        coh_n_hz / coh_one_hz,
+        hit_rate(&coh_one),
+        hit_rate(&coh_n),
+        iid_n_hz / iid_one_hz,
+        fr_one.throughput_hz,
+        fr_n.throughput_hz,
+        fr_n.throughput_hz / fr_one.throughput_hz,
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -150,6 +150,11 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         "Search-tree nodes generated across all served decodes.",
         snap.stats.nodes_generated,
     );
+    counter(
+        "sd_serve_budget_replans_total",
+        "Core-budget plan changes by the adaptive controller.",
+        snap.budget_replans,
+    );
 
     let mut gauge = |name: &str, help: &str, v: f64| {
         let _ = writeln!(o, "# HELP {name} {help}");
@@ -181,6 +186,92 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         "Subcarriers served per channel preparation on the frame path.",
         snap.prep_amortization,
     );
+    gauge(
+        "sd_serve_host_cores",
+        "Logical cores the host reported at startup.",
+        snap.host_cores as f64,
+    );
+    gauge(
+        "sd_serve_n_shards",
+        "Number of runtime shards.",
+        snap.n_shards as f64,
+    );
+    gauge(
+        "sd_serve_core_budget",
+        "Subtree-decoder lane allowance planned by the controller.",
+        snap.core_budget as f64,
+    );
+
+    // Per-shard rows: the shard index is the label, so one scrape shows
+    // where affinity routing concentrated the traffic and how much of it
+    // moved by stealing.
+    let shard_counter = |o: &mut String, name: &str, help: &str, pick: &dyn Fn(usize) -> u64| {
+        let _ = writeln!(o, "# HELP {name} {help}");
+        let _ = writeln!(o, "# TYPE {name} counter");
+        for i in 0..snap.shards.len() {
+            let _ = writeln!(o, "{name}{{shard=\"{i}\"}} {}", pick(i));
+        }
+    };
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_routed_total",
+        "Items admission routed to this shard.",
+        &|i| snap.shards[i].routed,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_served_total",
+        "Items served by this shard's workers.",
+        &|i| snap.shards[i].served,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_affinity_served_total",
+        "Items served from this shard's own affinity-routed queue.",
+        &|i| snap.shards[i].affinity_served,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_stolen_in_total",
+        "Items this shard's workers stole from other shards.",
+        &|i| snap.shards[i].stolen_in,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_stolen_out_total",
+        "Items other shards stole from this queue.",
+        &|i| snap.shards[i].stolen_out,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_prep_hits_total",
+        "Prep-cache hits on this shard.",
+        &|i| snap.shards[i].prep_hits,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_prep_misses_total",
+        "Prep-cache misses on this shard.",
+        &|i| snap.shards[i].prep_misses,
+    );
+    shard_counter(
+        &mut o,
+        "sd_serve_shard_prep_bypass_total",
+        "Prep-cache bypasses on this shard.",
+        &|i| snap.shards[i].prep_bypass,
+    );
+    let _ = writeln!(
+        o,
+        "# HELP sd_serve_shard_queue_depth This shard queue's backlog at snapshot time."
+    );
+    let _ = writeln!(o, "# TYPE sd_serve_shard_queue_depth gauge");
+    for (i, s) in snap.shards.iter().enumerate() {
+        let _ = writeln!(
+            o,
+            "sd_serve_shard_queue_depth{{shard=\"{i}\"}} {}",
+            s.queue_depth
+        );
+    }
 
     let _ = writeln!(
         o,
@@ -268,7 +359,8 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
          \"frame_prep_factors\":{},\"mean_frame_size\":{},\"prep_amortization\":{},\
          \"p99_frame_latency_us\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
          \"p99_latency_us\":{},\"p99_queue_wait_us\":{},\"nodes_generated\":{},\
-         \"leaves_reached\":{},\"tiers\":[",
+         \"leaves_reached\":{},\"host_cores\":{},\"n_shards\":{},\"core_budget\":{},\
+         \"budget_replans\":{},\"shards\":[",
         snap.accepted,
         snap.rejected_full,
         snap.rejected_shutdown,
@@ -296,7 +388,32 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         json_f64(snap.p99_queue_wait_us),
         snap.stats.nodes_generated,
         snap.stats.leaves_reached,
+        snap.host_cores,
+        snap.n_shards,
+        snap.core_budget,
+        snap.budget_replans,
     );
+    for (i, s) in snap.shards.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"routed\":{},\"served\":{},\"affinity_served\":{},\"stolen_in\":{},\
+             \"stolen_out\":{},\"prep_hits\":{},\"prep_misses\":{},\"prep_bypass\":{},\
+             \"queue_depth\":{}}}",
+            s.routed,
+            s.served,
+            s.affinity_served,
+            s.stolen_in,
+            s.stolen_out,
+            s.prep_hits,
+            s.prep_misses,
+            s.prep_bypass,
+            s.queue_depth,
+        );
+    }
+    o.push_str("],\"tiers\":[");
     for (i, t) in snap.tiers.iter().enumerate() {
         if i > 0 {
             o.push(',');
@@ -509,7 +626,16 @@ mod tests {
     use std::sync::Arc;
 
     fn sample_snapshot() -> MetricsSnapshot {
-        let m = Metrics::new(vec![Arc::from("exact"), Arc::from("mmse")]);
+        let m = Metrics::new(vec![Arc::from("exact"), Arc::from("mmse")], 2, 4);
+        m.shards[0].routed.store(6, Ordering::Relaxed);
+        m.shards[0].served.store(5, Ordering::Relaxed);
+        m.shards[0].affinity_served.store(4, Ordering::Relaxed);
+        m.shards[0].stolen_out.store(1, Ordering::Relaxed);
+        m.shards[1].routed.store(4, Ordering::Relaxed);
+        m.shards[1].served.store(4, Ordering::Relaxed);
+        m.shards[1].stolen_in.store(1, Ordering::Relaxed);
+        m.core_budget.store(4, Ordering::Relaxed);
+        m.budget_replans.store(3, Ordering::Relaxed);
         m.accepted.store(10, Ordering::Relaxed);
         m.served.store(9, Ordering::Relaxed);
         m.deadline_missed.store(1, Ordering::Relaxed);
@@ -527,7 +653,7 @@ mod tests {
         m.tiers[0].served.fetch_add(7, Ordering::Relaxed);
         m.tiers[0].predict_err_ns.record(40_000);
         m.tiers[1].served.fetch_add(2, Ordering::Relaxed);
-        m.snapshot(2)
+        m.snapshot(&[2, 0])
     }
 
     #[test]
@@ -554,6 +680,19 @@ mod tests {
             "sd_serve_latency_us{quantile=\"0.99\"}",
             "# TYPE sd_serve_served_total counter",
             "# TYPE sd_serve_deadline_miss_rate gauge",
+            "sd_serve_host_cores 4",
+            "sd_serve_n_shards 2",
+            "sd_serve_core_budget 4",
+            "sd_serve_budget_replans_total 3",
+            "sd_serve_shard_routed_total{shard=\"0\"} 6",
+            "sd_serve_shard_routed_total{shard=\"1\"} 4",
+            "sd_serve_shard_served_total{shard=\"0\"} 5",
+            "sd_serve_shard_affinity_served_total{shard=\"0\"} 4",
+            "sd_serve_shard_stolen_in_total{shard=\"1\"} 1",
+            "sd_serve_shard_stolen_out_total{shard=\"0\"} 1",
+            "sd_serve_shard_queue_depth{shard=\"0\"} 2",
+            "sd_serve_shard_queue_depth{shard=\"1\"} 0",
+            "# TYPE sd_serve_shard_routed_total counter",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
@@ -575,6 +714,13 @@ mod tests {
         assert!(line.contains("p99_frame_latency_us"));
         assert!(line.contains("\"label\":\"exact\",\"served\":7"));
         assert!(line.contains("p99_predict_err_us"));
+        assert!(line.contains("\"host_cores\":4"));
+        assert!(line.contains("\"n_shards\":2"));
+        assert!(line.contains("\"core_budget\":4"));
+        assert!(line.contains("\"budget_replans\":3"));
+        assert!(line.contains("\"shards\":[{\"routed\":6"));
+        assert!(line.contains("\"stolen_in\":1"));
+        assert!(line.contains("\"queue_depth\":2"));
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! fits the time remaining until its deadline. Accuracy falls gracefully
 //! down the registry while latency stays bounded — admitted work is
 //! always answered, in the worst case by the registry's floor tier.
+//!
+//! Under a sharded runtime each shard owns its own `CostModel`, so the
+//! ladder's predictions are trained by the traffic that shard actually
+//! serves — affinity routing keeps a channel population's cost history
+//! with its shard. A worker serving stolen work consults its *own*
+//! shard's model (the ladder decision is advisory; correctness never
+//! depends on which model predicted).
 
 use crate::budget::CostModel;
 use crate::registry::Tier;

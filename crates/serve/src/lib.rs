@@ -27,10 +27,26 @@
 //! * **Zero-allocation steady state** — the decode path writes into
 //!   recycled buffers through the `_into` entry points of `sd-core`;
 //!   after warm-up a request is served without touching the allocator.
+//! * **Sharded channel-affinity runtime** — the pool is split into
+//!   shards, each owning a bounded ingress queue, its workers, a
+//!   channel-coherent prep cache and a cost model; admission routes by a
+//!   hash of the channel matrix ([`prep_cache::route_hash`]), so one
+//!   channel's traffic stays on one shard and its cache. Idle shard
+//!   workers **steal** whole queue items (never splitting a frame) from
+//!   loaded neighbors, bounded to half the victim's backlog — load
+//!   imbalance costs latency, not idle cores. One shard (the default) is
+//!   exactly the classic single-queue runtime.
 //! * **Channel-coherent preparation caching** — requests sharing one
 //!   channel matrix (a coherence block) reuse a cached QR factorization
-//!   per worker ([`prep_cache`]); only the cheap `ȳ = Qᴴy` half runs per
+//!   per shard ([`prep_cache`]); only the cheap `ȳ = Qᴴy` half runs per
 //!   request, bit-identically to the uncached path.
+//! * **Adaptive core budget** — an optional controller
+//!   ([`ServeConfig::with_core_budget`]) splits the physical core
+//!   allowance between request-level workers and the subtree-parallel
+//!   exact decoder's lanes via a shared [`sd_core::WorkerBudget`]: low
+//!   load widens the decoder (latency), sustained backlog narrows it so
+//!   cores serve independent requests (throughput), with EWMA smoothing
+//!   and watermark hysteresis so the plan never flaps.
 //! * **Frame-scale serving** — a whole coherence block submitted as one
 //!   [`FrameRequest`] travels intact to one worker, gets one ladder
 //!   decision (cost scaled by block size), one shared channel
@@ -66,19 +82,23 @@ pub mod runtime;
 mod worker;
 
 pub use batcher::BatchPolicy;
-pub use budget::{fsd_nodes, kbest_nodes, CostModel, TierCostClass};
+pub use budget::{
+    fsd_nodes, kbest_nodes, CoreBudgetPolicy, CostModel, TierCostClass, WorkerBudget,
+};
 pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat};
 pub use ladder::{choose_tier, choose_tier_block, LadderConfig};
 pub use loadgen::{
-    build_frame_requests, build_requests, explode_frames, run_frame_load, run_load,
-    run_request_stream, FrameLoadConfig, FrameLoadReport, LoadConfig, LoadReport,
+    build_coherent_requests, build_frame_requests, build_requests, explode_frames, run_frame_load,
+    run_load, run_request_stream, FrameLoadConfig, FrameLoadReport, LoadConfig, LoadReport,
 };
-pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, TierSnapshot};
-pub use prep_cache::PrepCache;
-pub use queue::{BoundedQueue, PushError};
+pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, ShardSnapshot, TierSnapshot};
+pub use prep_cache::{route_hash, PrepCache};
+pub use queue::{BatchPop, BoundedQueue, PushError};
 pub use registry::{default_registry, quantized_registry, Tier};
 pub use request::{
     DetectionRequest, DetectionResponse, FrameRequest, FrameResponse, RejectReason, Rejected,
     RejectedFrame,
 };
-pub use runtime::{ReporterConfig, ServeConfig, ServeRuntime};
+pub use runtime::{
+    default_core_allowance, host_cores, CoreBudgetConfig, ReporterConfig, ServeConfig, ServeRuntime,
+};

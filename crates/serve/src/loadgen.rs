@@ -132,6 +132,44 @@ pub fn build_requests(cfg: &LoadConfig, constellation: &Constellation) -> Vec<De
         .collect()
 }
 
+/// Build a deterministic **channel-coherent** request stream: requests
+/// come in coherence blocks of `block` consecutive arrivals sharing one
+/// channel matrix `H` (fresh symbols and noise per request), cycling the
+/// SNR mixture per block. This is the traffic shape affinity routing and
+/// the per-shard [`crate::prep_cache`] are built for — every request in a
+/// block hashes to the same shard and, after the leader's miss, hits its
+/// cached factorization. `block = 1` degenerates to [`build_requests`]'
+/// i.i.d. shape.
+pub fn build_coherent_requests(
+    cfg: &LoadConfig,
+    block: usize,
+    constellation: &Constellation,
+) -> Vec<DetectionRequest> {
+    assert!(!cfg.snr_grid_db.is_empty(), "SNR grid must be non-empty");
+    assert!(block >= 1, "coherence block must be at least 1");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.n_requests);
+    let mut leader: Option<FrameData> = None;
+    for i in 0..cfg.n_requests {
+        let snr = cfg.snr_grid_db[(i / block) % cfg.snr_grid_db.len()];
+        let sigma2 = noise_variance(snr, cfg.n_tx);
+        let fresh = FrameData::generate(cfg.n_rx, cfg.n_tx, constellation, sigma2, &mut rng);
+        let frame = if i % block == 0 {
+            leader = Some(fresh.clone());
+            fresh
+        } else {
+            // Follower: the leader's channel, this arrival's symbols.
+            let mut f = leader.as_ref().expect("leader set at block start").clone();
+            f.y = fresh.y;
+            f.tx = fresh.tx;
+            f.noise_variance = fresh.noise_variance;
+            f
+        };
+        out.push(DetectionRequest::new(i as u64, frame, snr, cfg.deadline));
+    }
+    out
+}
+
 /// Offer `cfg.n_requests` requests to `rt` at the configured rate, drain
 /// all responses, and reduce to a [`LoadReport`]. The runtime is left
 /// running (callers own shutdown).
@@ -523,6 +561,37 @@ mod tests {
         assert_eq!(a[0].snr_db, 6.0);
         assert_eq!(a[1].snr_db, 10.0);
         assert_eq!(a[3].snr_db, 6.0);
+    }
+
+    #[test]
+    fn coherent_stream_repeats_channels_in_blocks() {
+        let cfg = LoadConfig {
+            n_tx: 4,
+            n_rx: 4,
+            n_requests: 12,
+            snr_grid_db: vec![6.0, 14.0],
+            ..Default::default()
+        };
+        let c = Constellation::new(cfg.modulation);
+        let a = build_coherent_requests(&cfg, 4, &c);
+        let b = build_coherent_requests(&cfg, 4, &c);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x.frame.h == y.frame.h && x.frame.y == y.frame.y, "seeded");
+        }
+        for blk in a.chunks(4) {
+            for r in &blk[1..] {
+                assert!(r.frame.h == blk[0].frame.h, "block shares the leader H");
+                assert!(r.frame.y != blk[0].frame.y, "fresh observation per request");
+                assert_eq!(r.snr_db, blk[0].snr_db, "one operating point per block");
+            }
+        }
+        assert!(a[0].frame.h != a[4].frame.h, "fresh H per block");
+        assert_eq!(a[0].snr_db, 6.0);
+        assert_eq!(a[4].snr_db, 14.0, "SNR mixture cycles per block");
+        // block = 1 degenerates to the i.i.d. stream.
+        let iid = build_coherent_requests(&cfg, 1, &c);
+        assert!(iid[0].frame.h != iid[1].frame.h);
     }
 
     #[test]

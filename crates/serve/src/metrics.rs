@@ -90,9 +90,44 @@ pub struct TierMetrics {
     pub predict_err_ns: Log2Histogram,
 }
 
+/// Per-shard hot-path counters, one slot per runtime shard. Summed over
+/// shards these close the global invariants (`Σ routed == accepted`,
+/// `Σ served == served`, per-shard `hits + misses + bypass == served`);
+/// individually they show where affinity routing sent the traffic and how
+/// much of it was stolen away.
+pub struct ShardMetrics {
+    /// Items admission routed to this shard (subcarriers for frames).
+    pub routed: AtomicU64,
+    /// Items served by this shard's workers (from its own queue or loot).
+    pub served: AtomicU64,
+    /// Items served from the shard's *own* queue — the affinity-routed
+    /// path. `served − affinity_served` arrived by stealing.
+    pub affinity_served: AtomicU64,
+    /// Items this shard's workers stole from other shards.
+    pub stolen_in: AtomicU64,
+    /// Items other shards' workers stole from this queue.
+    pub stolen_out: AtomicU64,
+    /// This shard's prep-cache hits (see the global counters).
+    pub prep_hits: AtomicU64,
+    /// This shard's prep-cache misses.
+    pub prep_misses: AtomicU64,
+    /// This shard's cache bypasses (disabled, non-cacheable tier, frames).
+    pub prep_bypass: AtomicU64,
+}
+
 /// Shared runtime counters. All fields are written on the hot path with
 /// relaxed atomics except `stats`, merged once per batch.
 pub struct Metrics {
+    /// Logical cores the host reported at startup (the default worker and
+    /// core-budget allowance derive from it).
+    pub host_cores: usize,
+    /// Current subtree-decoder lane allowance planned by the adaptive
+    /// core-budget controller (0 until a controller is attached).
+    pub core_budget: AtomicU64,
+    /// Times the controller changed the plan.
+    pub budget_replans: AtomicU64,
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardMetrics>,
     /// Requests admitted into the ingress queue.
     pub accepted: AtomicU64,
     /// Requests refused because the queue was full.
@@ -153,9 +188,26 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Zeroed metrics with one tier slot per registry label.
-    pub fn new(tier_labels: Vec<Arc<str>>) -> Self {
+    /// Zeroed metrics with one tier slot per registry label and one shard
+    /// slot per runtime shard. `host_cores` is recorded verbatim for the
+    /// exports.
+    pub fn new(tier_labels: Vec<Arc<str>>, n_shards: usize, host_cores: usize) -> Self {
         Metrics {
+            host_cores,
+            core_budget: AtomicU64::new(0),
+            budget_replans: AtomicU64::new(0),
+            shards: (0..n_shards)
+                .map(|_| ShardMetrics {
+                    routed: AtomicU64::new(0),
+                    served: AtomicU64::new(0),
+                    affinity_served: AtomicU64::new(0),
+                    stolen_in: AtomicU64::new(0),
+                    stolen_out: AtomicU64::new(0),
+                    prep_hits: AtomicU64::new(0),
+                    prep_misses: AtomicU64::new(0),
+                    prep_bypass: AtomicU64::new(0),
+                })
+                .collect(),
             accepted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
@@ -195,9 +247,12 @@ impl Metrics {
         self.stats.lock().unwrap().merge(batch);
     }
 
-    /// Materialize a plain-data snapshot. `queue_depth` is sampled by the
-    /// caller (the runtime knows the queue; the metrics do not).
-    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+    /// Materialize a plain-data snapshot. `shard_depths` holds each shard
+    /// queue's depth, sampled by the caller (the runtime knows the queues;
+    /// the metrics do not) — the aggregate `queue_depth` is their sum, and
+    /// an empty slice reads as all-empty (shutdown snapshots).
+    pub fn snapshot(&self, shard_depths: &[usize]) -> MetricsSnapshot {
+        let queue_depth = shard_depths.iter().sum();
         let lat = self.latency_ns.counts();
         let wait = self.queue_wait_ns.counts();
         let flat = self.frame_latency_ns.counts();
@@ -216,6 +271,26 @@ impl Metrics {
         let batches = self.batches.load(Ordering::Relaxed);
         let items = self.batch_items.load(Ordering::Relaxed);
         MetricsSnapshot {
+            host_cores: self.host_cores,
+            n_shards: self.shards.len(),
+            core_budget: self.core_budget.load(Ordering::Relaxed),
+            budget_replans: self.budget_replans.load(Ordering::Relaxed),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardSnapshot {
+                    routed: s.routed.load(Ordering::Relaxed),
+                    served: s.served.load(Ordering::Relaxed),
+                    affinity_served: s.affinity_served.load(Ordering::Relaxed),
+                    stolen_in: s.stolen_in.load(Ordering::Relaxed),
+                    stolen_out: s.stolen_out.load(Ordering::Relaxed),
+                    prep_hits: s.prep_hits.load(Ordering::Relaxed),
+                    prep_misses: s.prep_misses.load(Ordering::Relaxed),
+                    prep_bypass: s.prep_bypass.load(Ordering::Relaxed),
+                    queue_depth: shard_depths.get(i).copied().unwrap_or(0),
+                })
+                .collect(),
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
@@ -289,9 +364,42 @@ pub struct TierSnapshot {
     pub p99_predict_err_us: f64,
 }
 
+/// One shard's plain-data view at snapshot time (see [`ShardMetrics`]).
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Items admission routed here (subcarriers for frames).
+    pub routed: u64,
+    /// Items served by this shard's workers.
+    pub served: u64,
+    /// Items served from the shard's own (affinity-routed) queue.
+    pub affinity_served: u64,
+    /// Items this shard's workers stole from other shards.
+    pub stolen_in: u64,
+    /// Items other shards stole from this queue.
+    pub stolen_out: u64,
+    /// This shard's prep-cache hits.
+    pub prep_hits: u64,
+    /// This shard's prep-cache misses.
+    pub prep_misses: u64,
+    /// This shard's cache bypasses.
+    pub prep_bypass: u64,
+    /// This shard queue's depth when the snapshot was taken.
+    pub queue_depth: usize,
+}
+
 /// Plain-data view of [`Metrics`] at one instant.
 #[derive(Clone, Debug)]
 pub struct MetricsSnapshot {
+    /// Logical cores the host reported at startup.
+    pub host_cores: usize,
+    /// Number of runtime shards.
+    pub n_shards: usize,
+    /// Current subtree-decoder lane allowance (0 without a controller).
+    pub core_budget: u64,
+    /// Times the core-budget controller changed the plan.
+    pub budget_replans: u64,
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
     /// Requests admitted.
     pub accepted: u64,
     /// Requests shed at admission (queue full).
@@ -414,8 +522,36 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_records_shards_and_host() {
+        let m = Metrics::new(labels(&["exact"]), 2, 8);
+        m.shards[0].routed.store(5, Ordering::Relaxed);
+        m.shards[0].served.store(4, Ordering::Relaxed);
+        m.shards[0].affinity_served.store(3, Ordering::Relaxed);
+        m.shards[0].stolen_out.store(1, Ordering::Relaxed);
+        m.shards[1].stolen_in.store(1, Ordering::Relaxed);
+        m.core_budget.store(6, Ordering::Relaxed);
+        m.budget_replans.store(2, Ordering::Relaxed);
+        let s = m.snapshot(&[3, 1]);
+        assert_eq!(s.host_cores, 8);
+        assert_eq!(s.n_shards, 2);
+        assert_eq!(s.core_budget, 6);
+        assert_eq!(s.budget_replans, 2);
+        assert_eq!(s.queue_depth, 4, "aggregate depth sums the shards");
+        assert_eq!(s.shards[0].queue_depth, 3);
+        assert_eq!(s.shards[1].queue_depth, 1);
+        assert_eq!(s.shards[0].routed, 5);
+        assert_eq!(s.shards[0].affinity_served, 3);
+        assert_eq!(s.shards[0].stolen_out, 1);
+        assert_eq!(s.shards[1].stolen_in, 1);
+        // A shutdown snapshot may pass an empty depth slice.
+        let s = m.snapshot(&[]);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.shards[0].queue_depth, 0);
+    }
+
+    #[test]
     fn snapshot_computes_rates() {
-        let m = Metrics::new(labels(&["exact", "mmse"]));
+        let m = Metrics::new(labels(&["exact", "mmse"]), 1, 1);
         m.served.store(8, Ordering::Relaxed);
         m.deadline_missed.store(2, Ordering::Relaxed);
         m.batches.store(4, Ordering::Relaxed);
@@ -426,7 +562,7 @@ mod tests {
         };
         m.merge_stats(&batch);
         m.merge_stats(&batch);
-        let s = m.snapshot(3);
+        let s = m.snapshot(&[3]);
         assert_eq!(s.queue_depth, 3);
         assert!((s.deadline_miss_rate - 0.25).abs() < 1e-12);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
@@ -435,7 +571,7 @@ mod tests {
 
     #[test]
     fn snapshot_computes_frame_rates() {
-        let m = Metrics::new(labels(&["exact"]));
+        let m = Metrics::new(labels(&["exact"]), 1, 1);
         m.frames_accepted.store(5, Ordering::Relaxed);
         m.frames_served.store(4, Ordering::Relaxed);
         m.frames_deadline_missed.store(1, Ordering::Relaxed);
@@ -443,7 +579,7 @@ mod tests {
         m.frame_prep_factors.store(4, Ordering::Relaxed);
         m.frame_size.record(16);
         m.frame_latency_ns.record(2_000_000);
-        let s = m.snapshot(0);
+        let s = m.snapshot(&[0]);
         assert_eq!(s.frames_accepted, 5);
         assert_eq!(s.frames_served, 4);
         assert_eq!(s.frames_deadline_missed, 1);
@@ -453,18 +589,18 @@ mod tests {
         assert!((s.prep_amortization - 16.0).abs() < 1e-12);
         assert!(s.p99_frame_latency_us >= 2_000.0);
         // Empty frame path: ratios degrade to 0, not NaN.
-        let empty = Metrics::new(labels(&["exact"])).snapshot(0);
+        let empty = Metrics::new(labels(&["exact"]), 1, 1).snapshot(&[0]);
         assert_eq!(empty.mean_frame_size, 0.0);
         assert_eq!(empty.prep_amortization, 0.0);
     }
 
     #[test]
     fn tier_slots_track_serves_and_predict_error() {
-        let m = Metrics::new(labels(&["exact", "k-best", "mmse"]));
+        let m = Metrics::new(labels(&["exact", "k-best", "mmse"]), 1, 1);
         m.tiers[0].served.fetch_add(5, Ordering::Relaxed);
         m.tiers[0].predict_err_ns.record(100_000); // 100 µs off
         m.tiers[2].served.fetch_add(1, Ordering::Relaxed);
-        let s = m.snapshot(0);
+        let s = m.snapshot(&[0]);
         assert_eq!(s.tier_served("exact"), 5);
         assert_eq!(s.tier_served("k-best"), 0);
         assert_eq!(s.tier_served("mmse"), 1);

@@ -9,13 +9,16 @@
 //! coherence block and replays `ȳ = Qᴴy` per request — the paper's
 //! amortize-preprocessing-across-shared-`H` argument applied to serving.
 //!
-//! The cache is **per worker** (no sharing, no locks) and **bounded**:
-//! eviction replaces the least-recently-used entry in place, reusing its
-//! buffers, so a warm cache serves hits *and* misses without heap
-//! allocation. Lookups compare the full `H` bit pattern after the hash,
-//! so a hash collision can never decode against the wrong channel, and a
-//! hit is bit-identical to an uncached preparation by the factor/apply
-//! split contract of [`sd_core::ChannelPrep`].
+//! The cache is **per shard** (one short-lived lock per lookup, shared
+//! only by that shard's workers — channel-affinity routing sends every
+//! repeat of an `H` to one shard, so the coherent hits it exists for all
+//! land in one cache) and **bounded**: eviction replaces the
+//! least-recently-used entry in place, reusing its buffers, so a warm
+//! cache serves hits *and* misses without heap allocation. Lookups
+//! compare the full `H` bit pattern after the hash, so a hash collision
+//! can never decode against the wrong channel, and a hit is bit-identical
+//! to an uncached preparation by the factor/apply split contract of
+//! [`sd_core::ChannelPrep`].
 
 use sd_core::{
     prepare_channel_into, prepare_with_channel_into, ChannelPrep, ColumnOrdering, PrepScratch,
@@ -50,14 +53,24 @@ pub struct PrepCache {
 /// `M`). Any decent 64-bit mix works here — the full `H` comparison
 /// catches collisions.
 fn channel_hash(tier: usize, h: &Matrix<f64>) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
+    mix_channel(0xcbf29ce484222325u64.wrapping_add(tier as u64), h)
+}
+
+/// Channel-affinity routing hash: the same wordwise mix over `H` alone
+/// (no tier term), so the sharded runtime sends *every* tier's requests
+/// for one channel — per-vector and frame alike — to one shard via
+/// `route_hash(h) % n_shards`, concentrating that channel's cache hits.
+pub fn route_hash(h: &Matrix<f64>) -> u64 {
+    mix_channel(0xcbf29ce484222325, h)
+}
+
+fn mix_channel(offset: u64, h: &Matrix<f64>) -> u64 {
     const PRIME: u64 = 0x100000001b3;
-    let mut acc = OFFSET;
+    let mut acc = offset;
     let mut mix = |v: u64| {
         acc ^= v;
         acc = acc.wrapping_mul(PRIME);
     };
-    mix(tier as u64);
     let (n, m) = h.shape();
     mix(n as u64);
     mix(m as u64);
@@ -294,6 +307,14 @@ mod tests {
         assert_ne!(channel_hash(0, &f.h), channel_hash(1, &f.h));
         assert_ne!(channel_hash(0, &f.h), channel_hash(0, &g.h));
         assert_eq!(channel_hash(0, &f.h), channel_hash(0, &f.h));
+    }
+
+    #[test]
+    fn route_hash_is_stable_and_channel_sensitive() {
+        let (_, f) = setup(9);
+        let (_, g) = setup(10);
+        assert_eq!(route_hash(&f.h), route_hash(&f.h), "routing is stable");
+        assert_ne!(route_hash(&f.h), route_hash(&g.h));
     }
 
     #[test]

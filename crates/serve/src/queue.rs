@@ -26,6 +26,18 @@ pub enum PushError<T> {
     Closed(T),
 }
 
+/// Outcome of a bounded-wait batch pop ([`BoundedQueue::pop_batch_timeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPop {
+    /// At least one item was drained into `out`.
+    Batch,
+    /// The first-item wait elapsed with nothing available (the sharded
+    /// worker's cue to go look at a steal victim).
+    Empty,
+    /// Closed and fully drained — the consumer's signal to exit.
+    Closed,
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -138,19 +150,59 @@ impl<T> BoundedQueue<T> {
     /// queue is closed **and** fully drained — the consumer's signal to
     /// exit.
     pub fn pop_batch(&self, out: &mut Vec<T>, max: usize, max_wait: Duration) -> bool {
+        match self.pop_batch_inner(out, max, max_wait, None) {
+            BatchPop::Batch => true,
+            BatchPop::Closed => false,
+            BatchPop::Empty => unreachable!("unbounded first wait never returns Empty"),
+        }
+    }
+
+    /// [`BoundedQueue::pop_batch`] with a bounded first-item wait: when
+    /// nothing arrives within `first_wait`, returns [`BatchPop::Empty`]
+    /// instead of blocking forever. This is the sharded worker loop's
+    /// primitive — drain my shard or, after a short poll, go steal.
+    pub fn pop_batch_timeout(
+        &self,
+        out: &mut Vec<T>,
+        max: usize,
+        max_wait: Duration,
+        first_wait: Duration,
+    ) -> BatchPop {
+        self.pop_batch_inner(out, max, max_wait, Some(first_wait))
+    }
+
+    fn pop_batch_inner(
+        &self,
+        out: &mut Vec<T>,
+        max: usize,
+        max_wait: Duration,
+        first_wait: Option<Duration>,
+    ) -> BatchPop {
         debug_assert!(max >= 1);
+        let first_deadline = first_wait.map(|w| Instant::now() + w);
         let mut g = self.inner.lock().unwrap();
-        // Phase 1: block for the first item (respecting the pause gate).
+        // Phase 1: wait for the first item (respecting the pause gate) —
+        // indefinitely, or up to `first_wait` when one was given.
         loop {
             if !g.paused {
                 if !g.items.is_empty() {
                     break;
                 }
                 if g.closed {
-                    return false;
+                    return BatchPop::Closed;
                 }
             }
-            g = self.not_empty.wait(g).unwrap();
+            match first_deadline {
+                None => g = self.not_empty.wait(g).unwrap(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return BatchPop::Empty;
+                    }
+                    let (g2, _timeout) = self.not_empty.wait_timeout(g, deadline - now).unwrap();
+                    g = g2;
+                }
+            }
         }
         out.push(g.items.pop_front().unwrap());
         // Phase 2: age-bounded accumulation up to `max` (still respecting
@@ -174,7 +226,28 @@ impl<T> BoundedQueue<T> {
             let (g2, _timeout) = self.not_empty.wait_timeout(g, deadline - now).unwrap();
             g = g2;
         }
-        true
+        BatchPop::Batch
+    }
+
+    /// Work stealing: move up to `max` items — but never more than half
+    /// the backlog (rounded up) — from the front of this queue into `out`,
+    /// without blocking. Items leave in FIFO order and whole (a frame is
+    /// one item, so blocks are never split). Returns the number taken; a
+    /// paused queue yields nothing, so deterministic-backlog tests see no
+    /// back-door drain.
+    pub fn steal_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if g.paused {
+            return 0;
+        }
+        let take = max.min(g.items.len().div_ceil(2));
+        for _ in 0..take {
+            out.push(g.items.pop_front().unwrap());
+        }
+        take
     }
 
     /// Freeze consumers; producers continue to enqueue (up to capacity).
@@ -321,6 +394,61 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn bounded_first_wait_reports_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let mut batch = Vec::new();
+        let t0 = Instant::now();
+        assert_eq!(
+            q.pop_batch_timeout(&mut batch, 4, Duration::ZERO, Duration::from_millis(5)),
+            BatchPop::Empty
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert!(batch.is_empty());
+        q.try_push(9).unwrap();
+        assert_eq!(
+            q.pop_batch_timeout(&mut batch, 4, Duration::ZERO, Duration::from_millis(5)),
+            BatchPop::Batch
+        );
+        assert_eq!(batch, vec![9]);
+        batch.clear();
+        q.close();
+        assert_eq!(
+            q.pop_batch_timeout(&mut batch, 4, Duration::ZERO, Duration::from_millis(5)),
+            BatchPop::Closed
+        );
+    }
+
+    #[test]
+    fn steal_takes_at_most_half_the_backlog() {
+        let q = BoundedQueue::new(16);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut loot = Vec::new();
+        // ceil(5/2) = 3 available to a thief, FIFO from the front.
+        assert_eq!(q.steal_into(&mut loot, 8), 3);
+        assert_eq!(loot, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+        // A smaller ask is honored exactly.
+        loot.clear();
+        assert_eq!(q.steal_into(&mut loot, 1), 1);
+        assert_eq!(loot, vec![3]);
+    }
+
+    #[test]
+    fn steal_respects_pause_and_empty() {
+        let q = BoundedQueue::new(8);
+        let mut loot = Vec::new();
+        assert_eq!(q.steal_into(&mut loot, 4), 0, "empty queue");
+        q.try_push(1).unwrap();
+        q.pause();
+        assert_eq!(q.steal_into(&mut loot, 4), 0, "paused queue is gated");
+        q.resume();
+        assert_eq!(q.steal_into(&mut loot, 4), 1);
+        assert_eq!(loot, vec![1]);
     }
 
     #[test]

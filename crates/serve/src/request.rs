@@ -184,7 +184,10 @@ pub struct Rejected {
 /// Reason a request was refused at admission.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The bounded ingress queue was at capacity.
+    /// The bounded ingress queue was at capacity. Under a sharded
+    /// topology this is the *target shard's* queue — the one the
+    /// request's channel hashed to — so `depth` reports that shard's
+    /// backlog (== its share of the total capacity), not a global sum.
     QueueFull {
         /// Queue depth observed at rejection time (== capacity).
         depth: usize,

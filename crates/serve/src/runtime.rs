@@ -1,29 +1,47 @@
-//! The runtime: admission control, the worker pool, and the shutdown
-//! contract.
+//! The runtime: admission control, the sharded worker pool, and the
+//! shutdown contract.
+//!
+//! The runtime is **sharded**: `n_shards` shards each own a bounded
+//! ingress queue, a slice of the worker pool, a channel-coherent
+//! [`PrepCache`], and their own [`CostModel`]. Admission routes every
+//! request by a hash of its channel matrix (`route_hash(H) % n_shards`),
+//! so coherent traffic — requests repeating one `H`, per-vector and
+//! [`FrameRequest`] alike — concentrates on one shard and its cache.
+//! When a shard's queue runs dry its workers steal whole queue items
+//! (never splitting a frame) from other shards, bounded to half the
+//! victim's backlog, so load imbalance costs latency, not idle cores.
 //!
 //! Lifecycle of a request:
 //!
 //! 1. [`ServeRuntime::submit`] stamps the admission time and offers the
-//!    request to the bounded ingress queue. A full (or closing) queue
-//!    returns it immediately as [`Rejected`] — load is shed at the door,
-//!    never queued without bound.
-//! 2. A worker drains it as part of a batch ([`crate::batcher`]), picks a
-//!    ladder rung from the time left until its deadline
+//!    request to its affinity shard's bounded queue. A full (or closing)
+//!    queue returns it immediately as [`Rejected`] — load is shed at the
+//!    door, never queued without bound.
+//! 2. A shard worker drains it as part of a batch ([`crate::batcher`]),
+//!    picks a ladder rung from the time left until its deadline
 //!    ([`crate::ladder`]), decodes into a pooled [`sd_core::Detection`]
 //!    slot, and pushes the response.
 //! 3. The caller collects the [`DetectionResponse`] and (optionally)
 //!    [`ServeRuntime::recycle`]s it, returning the detection buffer to the
 //!    pool and regaining ownership of the request.
 //!
-//! [`ServeRuntime::shutdown`] closes the ingress queue, lets workers drain
-//! every admitted request (drain-then-join — nothing admitted is ever
-//! dropped), joins them, and returns the final metrics snapshot.
+//! On top of the shards, an optional **adaptive core budget**
+//! ([`ServeConfig::with_core_budget`]) re-plans how the physical core
+//! allowance is split between request-level workers and the
+//! subtree-parallel exact decoder's broadcast pool: low load favors a
+//! wide [`sd_core::ParallelSphereDecoder`] (latency), high load narrows
+//! it so the cores serve independent requests (throughput).
+//!
+//! [`ServeRuntime::shutdown`] closes every ingress queue, lets workers
+//! drain every admitted request (drain-then-join — nothing admitted is
+//! ever dropped), joins them, and returns the final metrics snapshot.
 
 use crate::batcher::BatchPolicy;
-use crate::budget::CostModel;
+use crate::budget::{CoreBudgetPolicy, CostModel};
 use crate::export::{render, ExportFormat};
 use crate::ladder::LadderConfig;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::prep_cache::{route_hash, PrepCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{default_registry, Tier};
 use crate::request::{
@@ -31,11 +49,27 @@ use crate::request::{
     RejectedFrame,
 };
 use crate::worker::Worker;
-use sd_core::Detection;
+use sd_core::{Detection, WorkerBudget};
 use sd_wireless::Constellation;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Logical cores the host reports (1 when the host cannot say).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Default worker/core allowance: [`host_cores`] clamped to `[1, 16]`.
+/// The clamp keeps a default runtime from spawning an absurd pool on a
+/// many-core box; the old hardcoded 4 oversubscribed small hosts (the
+/// PR 5 bench showed 4/8 workers *slower* than 2 on few cores).
+/// Override explicitly via [`ServeConfig::with_workers`].
+pub fn default_core_allowance() -> usize {
+    host_cores().clamp(1, 16)
+}
 
 /// Periodic metrics reporter: every `period`, the runtime renders a fresh
 /// [`MetricsSnapshot`] in `format` to stderr from a dedicated thread.
@@ -47,12 +81,32 @@ pub struct ReporterConfig {
     pub format: ExportFormat,
 }
 
+/// Adaptive core-budget controller configuration: the shared
+/// [`WorkerBudget`] handle the subtree-parallel decoder samples, plus the
+/// [`CoreBudgetPolicy`] that re-plans it. Build the registry's exact tier
+/// with [`sd_core::ParallelSphereDecoder::with_worker_budget`] on a clone
+/// of the same handle to close the loop.
+#[derive(Clone, Debug)]
+pub struct CoreBudgetConfig {
+    /// Lane allowance shared with the decoder(s) under control.
+    pub handle: Arc<WorkerBudget>,
+    /// Watermarks, cadence, and core allowance.
+    pub policy: CoreBudgetPolicy,
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Worker threads.
+    /// Worker threads, dealt round-robin across the shards (defaults to
+    /// [`default_core_allowance`]).
     pub n_workers: usize,
-    /// Bounded ingress queue depth (admission control).
+    /// Shards (`1` = the classic single-queue runtime; `0` = one shard
+    /// per worker). Clamped to `n_workers` so every shard has a worker.
+    pub n_shards: usize,
+    /// Allow idle shard workers to steal queued items from other shards.
+    pub steal: bool,
+    /// Total bounded ingress depth (admission control), split evenly
+    /// across the shard queues (each gets at least 1 slot).
     pub queue_capacity: usize,
     /// Batching policy.
     pub batch: BatchPolicy,
@@ -63,21 +117,26 @@ pub struct ServeConfig {
     pub start_paused: bool,
     /// Optional periodic metrics reporter.
     pub reporter: Option<ReporterConfig>,
-    /// Per-worker channel-coherent preparation cache capacity (cached QR
-    /// factorizations per worker; see [`crate::prep_cache`]). `0`
-    /// disables the cache — every request then pays its own QR.
+    /// Optional adaptive core-budget controller.
+    pub core_budget: Option<CoreBudgetConfig>,
+    /// Per-shard channel-coherent preparation cache capacity (cached QR
+    /// factorizations per shard; see [`crate::prep_cache`]). `0` disables
+    /// the cache — every request then pays its own QR.
     pub prep_cache: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            n_workers: 4,
+            n_workers: default_core_allowance(),
+            n_shards: 1,
+            steal: true,
             queue_capacity: 256,
             batch: BatchPolicy::default(),
             ladder: LadderConfig::default(),
             start_paused: false,
             reporter: None,
+            core_budget: None,
             prep_cache: 8,
         }
     }
@@ -90,7 +149,19 @@ impl ServeConfig {
         self
     }
 
-    /// Builder: ingress queue capacity.
+    /// Builder: shard count (`0` = one shard per worker).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.n_shards = n;
+        self
+    }
+
+    /// Builder: enable/disable work stealing between shards.
+    pub fn with_stealing(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Builder: total ingress queue capacity (split across shards).
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
         self
@@ -120,7 +191,15 @@ impl ServeConfig {
         self
     }
 
-    /// Builder: per-worker channel-coherent preparation cache capacity
+    /// Builder: attach the adaptive core-budget controller. `handle` is
+    /// the [`WorkerBudget`] the registry's subtree-parallel decoder was
+    /// built with; the controller re-plans it per `policy`.
+    pub fn with_core_budget(mut self, handle: Arc<WorkerBudget>, policy: CoreBudgetPolicy) -> Self {
+        self.core_budget = Some(CoreBudgetConfig { handle, policy });
+        self
+    }
+
+    /// Builder: per-shard channel-coherent preparation cache capacity
     /// (`0` disables caching).
     pub fn with_prep_cache(mut self, capacity: usize) -> Self {
         self.prep_cache = capacity;
@@ -130,24 +209,57 @@ impl ServeConfig {
 
 /// One unit of admitted work: a single vector or a whole coherence
 /// block. A frame is ONE queue item, so its block travels intact through
-/// the batcher to one worker — the invariant the shared-prep fast path
-/// depends on.
+/// the batcher — and through any steal — to one worker: the invariant
+/// the shared-prep fast path depends on.
 pub(crate) enum Ingress {
     Vector(DetectionRequest),
     Frame(FrameRequest),
 }
 
+impl Ingress {
+    /// Accounting weight: subcarriers for a frame, 1 for a vector.
+    pub(crate) fn weight(&self) -> u64 {
+        match self {
+            Ingress::Vector(_) => 1,
+            Ingress::Frame(f) => f.block_len() as u64,
+        }
+    }
+}
+
+/// One shard: its bounded ingress queue plus the per-shard serving state
+/// its workers share. Affinity routing keeps one channel's traffic on one
+/// shard, so its cache and cost model see a coherent stream.
+pub(crate) struct Shard {
+    pub(crate) queue: BoundedQueue<Ingress>,
+    /// This shard's cost model — fed only by decodes its workers ran, so
+    /// shard-local traffic shape drives shard-local ladder decisions.
+    pub(crate) model: CostModel,
+    /// This shard's channel-coherent factorization cache.
+    pub(crate) prep_cache: Mutex<PrepCache>,
+}
+
 /// State shared between the runtime handle and its workers.
 pub(crate) struct Shared {
-    pub(crate) queue: BoundedQueue<Ingress>,
+    pub(crate) shards: Vec<Shard>,
     pub(crate) out: BoundedQueue<DetectionResponse>,
     pub(crate) out_frames: BoundedQueue<FrameResponse>,
     pub(crate) pool: Mutex<Vec<Detection>>,
     pub(crate) frame_pool: Mutex<Vec<Vec<Detection>>>,
     pub(crate) metrics: Metrics,
-    pub(crate) model: CostModel,
     pub(crate) config: ServeConfig,
     pub(crate) tiers: Vec<Tier>,
+}
+
+impl Shared {
+    /// Depth of every shard queue, in shard order.
+    fn shard_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue.len()).collect()
+    }
+
+    /// Total ingress backlog.
+    fn total_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
 }
 
 /// A running detection service.
@@ -155,6 +267,7 @@ pub struct ServeRuntime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     reporter: Option<Reporter>,
+    controller: Option<Controller>,
 }
 
 /// The periodic reporter thread and its stop latch.
@@ -179,7 +292,7 @@ impl Reporter {
                         return;
                     }
                     if timeout.timed_out() {
-                        let snap = shared.metrics.snapshot(shared.queue.len());
+                        let snap = shared.metrics.snapshot(&shared.shard_depths());
                         eprintln!("{}", render(&snap, config.format).trim_end());
                     }
                 }
@@ -196,6 +309,94 @@ impl Reporter {
     }
 }
 
+/// The adaptive core-budget controller thread and its stop latch.
+///
+/// Every `period` it folds the summed shard backlog into an EWMA,
+/// normalizes by the worker count ("queued items per worker"), and picks
+/// a plan: backlog at or above the high watermark narrows the
+/// subtree-parallel decoder to `max(1, cores / n_workers)` lanes so the
+/// cores serve independent requests (throughput); backlog at or below the
+/// low watermark hands the whole allowance back to the decoder (latency).
+/// Between the watermarks the current plan holds — hysteresis, so a load
+/// hovering near one threshold cannot flap the pool.
+struct Controller {
+    handle: JoinHandle<()>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Controller {
+    fn spawn(shared: Arc<Shared>, cfg: CoreBudgetConfig) -> Self {
+        use std::sync::atomic::Ordering::Relaxed;
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let latch = Arc::clone(&stop);
+        // Start on the latency plan: an idle runtime wants the widest
+        // decoder. Recorded immediately so snapshots never read 0 while a
+        // controller is attached.
+        cfg.handle.set(cfg.policy.cores.max(1));
+        shared
+            .metrics
+            .core_budget
+            .store(cfg.handle.get() as u64, Relaxed);
+        let handle = std::thread::Builder::new()
+            .name("sd-serve-budget".into())
+            .spawn(move || {
+                let (lock, cv) = &*latch;
+                let n_workers = shared.config.n_workers.max(1);
+                let latency_plan = cfg.policy.cores.max(1);
+                let throughput_plan = (cfg.policy.cores / n_workers).max(1);
+                let mut current = latency_plan;
+                let mut ewma = 0.0f64;
+                let mut stopped = lock.lock().unwrap();
+                loop {
+                    let (g, timeout) = cv.wait_timeout(stopped, cfg.policy.period).unwrap();
+                    stopped = g;
+                    if *stopped {
+                        return;
+                    }
+                    if !timeout.timed_out() {
+                        continue;
+                    }
+                    let depth = shared.total_depth();
+                    ewma += cfg.policy.alpha * (depth as f64 - ewma);
+                    let load = ewma / n_workers as f64;
+                    let target = if load >= cfg.policy.high_watermark {
+                        throughput_plan
+                    } else if load <= cfg.policy.low_watermark {
+                        latency_plan
+                    } else {
+                        current // dead band: hold the plan
+                    };
+                    if target != current {
+                        current = target;
+                        cfg.handle.set(current);
+                        shared.metrics.budget_replans.fetch_add(1, Relaxed);
+                    }
+                    shared.metrics.core_budget.store(current as u64, Relaxed);
+                }
+            })
+            .expect("spawn budget controller");
+        Controller { handle, stop }
+    }
+
+    fn stop(self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        self.handle.join().expect("budget controller panicked");
+    }
+}
+
+/// Split a total ingress capacity across `n` shard queues: earlier shards
+/// absorb the remainder; every shard gets at least one slot (a total
+/// below the shard count rounds up — admission stays bounded per shard).
+fn split_capacity(total: usize, n: usize) -> Vec<usize> {
+    let base = total / n;
+    let rem = total % n;
+    (0..n)
+        .map(|i| (base + usize::from(i < rem)).max(1))
+        .collect()
+}
+
 impl ServeRuntime {
     /// Spawn the worker pool with the stock registry (exact SD → K-best →
     /// MMSE) and start serving.
@@ -207,71 +408,104 @@ impl ServeRuntime {
     /// Spawn the worker pool over a caller-built tier registry, ordered
     /// most → least accurate. The last tier is the unconditional floor
     /// that serves any request nothing cheaper could.
-    pub fn start_with_registry(config: ServeConfig, tiers: Vec<Tier>) -> Self {
+    pub fn start_with_registry(mut config: ServeConfig, tiers: Vec<Tier>) -> Self {
         assert!(config.n_workers >= 1, "need at least one worker");
         assert!(!tiers.is_empty(), "registry needs at least one tier");
         config.batch.check();
-        let queue = BoundedQueue::new(config.queue_capacity);
-        if config.start_paused {
-            queue.pause();
+        // Resolve the shard count (0 = one per worker) and pin it in the
+        // stored config so workers and snapshots agree on the topology.
+        let n_shards = if config.n_shards == 0 {
+            config.n_workers
+        } else {
+            config.n_shards
         }
+        .clamp(1, config.n_workers);
+        config.n_shards = n_shards;
+        let shards: Vec<Shard> = split_capacity(config.queue_capacity, n_shards)
+            .into_iter()
+            .map(|cap| {
+                let queue = BoundedQueue::new(cap);
+                if config.start_paused {
+                    queue.pause();
+                }
+                Shard {
+                    queue,
+                    model: CostModel::new(tiers.len()),
+                    prep_cache: Mutex::new(PrepCache::new(config.prep_cache)),
+                }
+            })
+            .collect();
         // Responses are bounded by admission control (≤ queue_capacity in
         // flight per uncollected client), not by these queues.
         let out = BoundedQueue::new(usize::MAX);
         let out_frames = BoundedQueue::new(usize::MAX);
         let labels = tiers.iter().map(|t| Arc::clone(&t.label)).collect();
+        let core_budget = config.core_budget.clone();
         let shared = Arc::new(Shared {
-            queue,
+            shards,
             out,
             out_frames,
             pool: Mutex::new(Vec::new()),
             frame_pool: Mutex::new(Vec::new()),
-            metrics: Metrics::new(labels),
-            model: CostModel::new(tiers.len()),
+            metrics: Metrics::new(labels, n_shards, host_cores()),
             config: config.clone(),
             tiers,
         });
         let workers = (0..config.n_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                // Round-robin deal: worker i serves shard i % n_shards, so
+                // every shard owns ⌈workers/shards⌉ or ⌊workers/shards⌋.
+                let shard_idx = i % n_shards;
                 std::thread::Builder::new()
                     .name(format!("sd-serve-{i}"))
-                    .spawn(move || Worker::new(shared).run())
+                    .spawn(move || Worker::new(shared, shard_idx).run())
                     .expect("spawn worker")
             })
             .collect();
         let reporter = config
             .reporter
             .map(|rc| Reporter::spawn(Arc::clone(&shared), rc));
+        let controller = core_budget.map(|cb| Controller::spawn(Arc::clone(&shared), cb));
         ServeRuntime {
             shared,
             workers,
             reporter,
+            controller,
         }
     }
 
-    /// Offer a request. Returns it as [`Rejected`] when the ingress queue
-    /// is full or the runtime is shutting down.
+    /// The shard affinity routing assigns to channel matrix `h`.
+    fn shard_for(&self, h: &sd_math::Matrix<f64>) -> usize {
+        (route_hash(h) % self.shared.shards.len() as u64) as usize
+    }
+
+    /// Offer a request. Returns it as [`Rejected`] when its affinity
+    /// shard's queue is full or the runtime is shutting down (the depth
+    /// in the rejection is that shard's, not the global backlog).
     // The large Err is the contract: shedding hands the request (and its
     // frame buffers) straight back without touching the allocator.
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, mut req: DetectionRequest) -> Result<(), Rejected> {
         use std::sync::atomic::Ordering::Relaxed;
         req.enqueued_at = Some(Instant::now());
-        match self.shared.queue.try_push(Ingress::Vector(req)) {
+        let idx = self.shard_for(&req.frame.h);
+        let m = &self.shared.metrics;
+        match self.shared.shards[idx].queue.try_push(Ingress::Vector(req)) {
             Ok(()) => {
-                self.shared.metrics.accepted.fetch_add(1, Relaxed);
+                m.accepted.fetch_add(1, Relaxed);
+                m.shards[idx].routed.fetch_add(1, Relaxed);
                 Ok(())
             }
             Err(PushError::Full(Ingress::Vector(request), depth)) => {
-                self.shared.metrics.rejected_full.fetch_add(1, Relaxed);
+                m.rejected_full.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
                     reason: RejectReason::QueueFull { depth },
                 })
             }
             Err(PushError::Closed(Ingress::Vector(request))) => {
-                self.shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+                m.rejected_shutdown.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
                     reason: RejectReason::ShuttingDown,
@@ -284,10 +518,11 @@ impl ServeRuntime {
     }
 
     /// Offer a whole coherence block as one unit. The frame is never
-    /// split: it travels through the queue and batcher as a single item
-    /// and is decoded by one worker with one shared channel preparation.
-    /// Returns it as [`RejectedFrame`] when the ingress queue is full or
-    /// the runtime is shutting down.
+    /// split: it travels through its affinity shard's queue (routed by the
+    /// block's shared `H`, like the vectors repeating that `H`) and the
+    /// batcher as a single item and is decoded by one worker with one
+    /// shared channel preparation. Returns it as [`RejectedFrame`] when
+    /// the shard's queue is full or the runtime is shutting down.
     ///
     /// Its subcarriers also count into the vector-level `accepted` /
     /// `rejected_*` counters, so `accepted == served` stays closed over
@@ -297,11 +532,13 @@ impl ServeRuntime {
         use std::sync::atomic::Ordering::Relaxed;
         req.enqueued_at = Some(Instant::now());
         let b = req.block_len() as u64;
+        let idx = self.shard_for(&req.subcarriers[0].h);
         let m = &self.shared.metrics;
-        match self.shared.queue.try_push(Ingress::Frame(req)) {
+        match self.shared.shards[idx].queue.try_push(Ingress::Frame(req)) {
             Ok(()) => {
                 m.frames_accepted.fetch_add(1, Relaxed);
                 m.accepted.fetch_add(b, Relaxed);
+                m.shards[idx].routed.fetch_add(b, Relaxed);
                 Ok(())
             }
             Err(PushError::Full(Ingress::Frame(request), depth)) => {
@@ -360,29 +597,41 @@ impl ServeRuntime {
         resp.request
     }
 
-    /// Gate the workers (requests keep queuing up to capacity).
+    /// Gate the workers on every shard (requests keep queuing up to each
+    /// shard's capacity). Stealing is gated too — a paused queue yields
+    /// no loot.
     pub fn pause(&self) {
-        self.shared.queue.pause();
+        for s in &self.shared.shards {
+            s.queue.pause();
+        }
     }
 
-    /// Release the worker gate.
+    /// Release the worker gates.
     pub fn resume(&self) {
-        self.shared.queue.resume();
+        for s in &self.shared.shards {
+            s.queue.resume();
+        }
     }
 
-    /// Current ingress backlog.
+    /// Current total ingress backlog (summed over shards).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.total_depth()
+    }
+
+    /// Number of shards the runtime resolved at startup.
+    pub fn n_shards(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Snapshot the runtime metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.queue_depth())
+        self.shared.metrics.snapshot(&self.shared.shard_depths())
     }
 
-    /// Read-only view of the cost model (for reports).
+    /// Read-only view of shard 0's cost model (for reports; each shard
+    /// learns its own model from the decodes it served).
     pub fn cost_model(&self) -> &CostModel {
-        &self.shared.model
+        &self.shared.shards[0].model
     }
 
     /// Labels of the registry tiers, in ladder order (index = tier id).
@@ -399,9 +648,14 @@ impl ServeRuntime {
     /// frame responses the caller had not yet collected — nothing
     /// admitted is dropped.
     pub fn shutdown(mut self) -> (MetricsSnapshot, Vec<DetectionResponse>, Vec<FrameResponse>) {
-        self.shared.queue.close();
+        for s in &self.shared.shards {
+            s.queue.close();
+        }
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
+        }
+        if let Some(controller) = self.controller.take() {
+            controller.stop();
         }
         if let Some(reporter) = self.reporter.take() {
             reporter.stop();
@@ -416,7 +670,7 @@ impl ServeRuntime {
         while let Some(r) = self.shared.out_frames.try_pop() {
             leftover_frames.push(r);
         }
-        (self.shared.metrics.snapshot(0), leftover, leftover_frames)
+        (self.shared.metrics.snapshot(&[]), leftover, leftover_frames)
     }
 }
 
@@ -431,6 +685,41 @@ mod tests {
         let snr = 12.0;
         let f = FrameData::generate(4, 4, c, noise_variance(snr, 4), rng);
         DetectionRequest::new(id, f, snr, Duration::from_millis(10))
+    }
+
+    #[test]
+    fn capacity_split_covers_total_and_floors_at_one() {
+        assert_eq!(split_capacity(8, 3), vec![3, 3, 2]);
+        assert_eq!(split_capacity(4, 4), vec![1, 1, 1, 1]);
+        assert_eq!(split_capacity(2, 4), vec![1, 1, 1, 1], "rounds up");
+        assert_eq!(split_capacity(256, 1), vec![256]);
+    }
+
+    #[test]
+    fn default_allowance_tracks_the_host() {
+        let n = default_core_allowance();
+        assert!((1..=16).contains(&n));
+        assert_eq!(n, host_cores().clamp(1, 16));
+        assert_eq!(ServeConfig::default().n_workers, n);
+    }
+
+    #[test]
+    fn shard_count_resolves_auto_and_clamps() {
+        let c = Constellation::new(Modulation::Qam4);
+        // 0 = one shard per worker.
+        let rt = ServeRuntime::start(
+            ServeConfig::default().with_workers(3).with_shards(0),
+            c.clone(),
+        );
+        assert_eq!(rt.n_shards(), 3);
+        rt.shutdown();
+        // More shards than workers clamps down, so no shard is orphaned.
+        let rt = ServeRuntime::start(
+            ServeConfig::default().with_workers(2).with_shards(5),
+            c.clone(),
+        );
+        assert_eq!(rt.n_shards(), 2);
+        rt.shutdown();
     }
 
     #[test]
@@ -454,6 +743,44 @@ mod tests {
         assert_eq!(snap.accepted, 20);
         assert_eq!(snap.served, 20);
         assert_eq!(snap.rejected_full + snap.rejected_shutdown, 0);
+        assert_eq!(snap.host_cores, host_cores());
+        assert_eq!(snap.n_shards, 1);
+        assert_eq!(snap.shards[0].routed, 20);
+        assert_eq!(snap.shards[0].served, 20);
+        assert_eq!(snap.shards[0].affinity_served, 20);
+    }
+
+    #[test]
+    fn sharded_runtime_routes_and_serves_everything() {
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(
+            ServeConfig::default().with_workers(2).with_shards(2),
+            c.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        for id in 0..40 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        let mut got = 0;
+        while got < 40 {
+            assert!(
+                rt.collect_timeout(Duration::from_secs(5)).is_some(),
+                "sharded runtime stalled"
+            );
+            got += 1;
+        }
+        let (snap, _, _) = rt.shutdown();
+        assert_eq!(snap.n_shards, 2);
+        assert_eq!(snap.served, 40);
+        let routed: u64 = snap.shards.iter().map(|s| s.routed).sum();
+        let served: u64 = snap.shards.iter().map(|s| s.served).sum();
+        assert_eq!(routed, snap.accepted, "routing partitions admission");
+        assert_eq!(served, snap.served, "shard serves partition the total");
+        assert!(
+            snap.shards.iter().all(|s| s.routed > 0),
+            "i.i.d. channels should spread across both shards: {:?}",
+            snap.shards
+        );
     }
 
     #[test]
@@ -522,6 +849,34 @@ mod tests {
         assert_eq!(snap.served, 8, "reporter must not disturb serving");
     }
 
+    #[test]
+    fn budget_controller_plans_and_stops() {
+        let c = Constellation::new(Modulation::Qam4);
+        let handle = Arc::new(WorkerBudget::new(1));
+        let rt = ServeRuntime::start(
+            ServeConfig::default().with_workers(1).with_core_budget(
+                Arc::clone(&handle),
+                CoreBudgetPolicy {
+                    cores: 4,
+                    period: Duration::from_millis(5),
+                    ..CoreBudgetPolicy::default()
+                },
+            ),
+            c.clone(),
+        );
+        // The controller starts on the latency plan immediately.
+        assert_eq!(handle.get(), 4);
+        assert_eq!(rt.metrics().core_budget, 4);
+        let mut rng = StdRng::seed_from_u64(12);
+        for id in 0..8 {
+            rt.submit(request(id, &mut rng, &c)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let (snap, _, _) = rt.shutdown();
+        assert_eq!(snap.served, 8, "controller must not disturb serving");
+        assert!(snap.core_budget >= 1);
+    }
+
     fn frame_request(id: u64, block: usize, rng: &mut StdRng, c: &Constellation) -> FrameRequest {
         let snr = 12.0;
         let sigma2 = noise_variance(snr, 4);
@@ -577,6 +932,9 @@ mod tests {
             snap.prep_cache_hits + snap.prep_cache_misses + snap.prep_cache_bypass,
             snap.served
         );
+        // Shard accounting weighs frames by their subcarriers.
+        assert_eq!(snap.shards[0].routed, 34);
+        assert_eq!(snap.shards[0].served, 34);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The worker loop: drain a batch, decode each request at its ladder
-//! rung, push the batch of responses.
+//! The worker loop: drain a batch from the worker's shard, decode each
+//! request at its ladder rung, push the batch of responses.
 //!
 //! Each worker owns every scratch buffer the decode path needs
 //! ([`PrepScratch`], [`SearchWorkspace`], a reusable [`Prepared`], a
@@ -13,34 +13,50 @@
 //! speaks the same engine trait, the worker has no per-detector code at
 //! all — serving a new tier is purely a registry entry.
 //!
+//! A worker is pinned to one shard: its ladder decisions consult that
+//! shard's [`crate::budget::CostModel`] and its cacheable preparations go
+//! through that shard's [`crate::prep_cache::PrepCache`], which affinity
+//! routing keeps hot for the channels hashed there. When the shard's
+//! queue runs dry (a bounded [`BatchPop::Empty`] wait), the worker
+//! **steals** whole queue items from the other shards — at most half a
+//! victim's backlog per raid, round-robin from its right-hand neighbor —
+//! so an imbalanced hash never idles a core. Stolen work is decoded with
+//! the thief's scratch and the thief shard's cache/model; results are
+//! bit-identical because every tier's decode depends only on the request,
+//! never on which worker ran it.
+//!
 //! A batch item is either one vector ([`DetectionRequest`]) or one whole
-//! coherence block ([`crate::FrameRequest`]); frames are never split, so
-//! one worker decodes the block with **one** shared channel preparation
+//! coherence block ([`crate::FrameRequest`]); frames are never split —
+//! not by the batcher and not by a steal — so one worker decodes the
+//! block with **one** shared channel preparation
 //! ([`sd_core::decode_block_into`]) and one ladder decision scaled by the
 //! block size.
 
+use crate::budget::CostModel;
 use crate::ladder::{choose_tier, choose_tier_block};
-use crate::prep_cache::PrepCache;
+use crate::queue::BatchPop;
 use crate::request::{DetectionRequest, DetectionResponse, FrameRequest, FrameResponse};
 use crate::runtime::{Ingress, Shared};
 use sd_core::{
     decode_block_into, BlockPrep, Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker blocks on its own shard before scanning the
+/// other shards for stealable backlog. Short enough that a core never
+/// idles behind a loaded neighbor, long enough that a busy runtime pays
+/// no scan overhead at all.
+const STEAL_POLL: Duration = Duration::from_micros(500);
 
 pub(crate) struct Worker {
     shared: Arc<Shared>,
+    /// The shard this worker drains and attributes its serving to.
+    shard_idx: usize,
     /// Constellation order `P`, an input to the analytic cost curves.
     order: usize,
     prep_scratch: PrepScratch<f64>,
     prep: Prepared<f64>,
-    /// Per-worker channel-coherent factorization cache (see
-    /// [`crate::prep_cache`]); capacity comes from
-    /// [`ServeConfig::prep_cache`](crate::runtime::ServeConfig). Frame
-    /// requests bypass it — their request shape already carries the
-    /// coherence structure the cache exists to rediscover.
-    prep_cache: PrepCache,
     /// Shared-prep block state for the frame path.
     block: BlockPrep<f64>,
     ws: SearchWorkspace<f64>,
@@ -51,12 +67,12 @@ pub(crate) struct Worker {
 }
 
 impl Worker {
-    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+    pub(crate) fn new(shared: Arc<Shared>, shard_idx: usize) -> Self {
         Worker {
+            shard_idx,
             order: shared.tiers[0].detector.constellation().order(),
             prep_scratch: PrepScratch::new(),
             prep: Prepared::empty(),
-            prep_cache: PrepCache::new(shared.config.prep_cache),
             block: BlockPrep::new(),
             ws: SearchWorkspace::new(),
             batch: Vec::new(),
@@ -67,17 +83,65 @@ impl Worker {
         }
     }
 
+    /// This worker's shard-local cost model.
+    fn model(&self) -> &CostModel {
+        &self.shared.shards[self.shard_idx].model
+    }
+
     pub(crate) fn run(mut self) {
         use std::sync::atomic::Ordering::Relaxed;
         let policy = self.shared.config.batch;
+        let n_shards = self.shared.shards.len();
+        let stealing = self.shared.config.steal && n_shards > 1;
         loop {
             let mut batch = std::mem::take(&mut self.batch);
             batch.clear();
-            if !self
-                .shared
-                .queue
-                .pop_batch(&mut batch, policy.max_batch, policy.max_wait)
-            {
+            // `true` when this batch was looted from another shard.
+            let mut stolen = false;
+            if stealing {
+                let own = &self.shared.shards[self.shard_idx].queue;
+                match own.pop_batch_timeout(
+                    &mut batch,
+                    policy.max_batch,
+                    policy.max_wait,
+                    STEAL_POLL,
+                ) {
+                    BatchPop::Closed => {
+                        self.batch = batch;
+                        return; // closed and drained: shutdown
+                    }
+                    BatchPop::Batch => {}
+                    BatchPop::Empty => {
+                        // Own queue is dry: raid the neighbors, starting to
+                        // the right so thieves spread across victims.
+                        for k in 1..n_shards {
+                            let victim = (self.shard_idx + k) % n_shards;
+                            let got = self.shared.shards[victim]
+                                .queue
+                                .steal_into(&mut batch, policy.max_batch);
+                            if got > 0 {
+                                let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                                let m = &self.shared.metrics;
+                                m.shards[self.shard_idx]
+                                    .stolen_in
+                                    .fetch_add(weight, Relaxed);
+                                m.shards[victim].stolen_out.fetch_add(weight, Relaxed);
+                                stolen = true;
+                                break;
+                            }
+                        }
+                        if !stolen {
+                            self.batch = batch;
+                            continue; // nothing anywhere: block on our shard again
+                        }
+                    }
+                }
+            } else if !self.shared.shards[self.shard_idx].queue.pop_batch(
+                &mut batch,
+                policy.max_batch,
+                policy.max_wait,
+            ) {
+                self.batch = batch;
                 return; // closed and drained: shutdown
             }
             let size = batch.len();
@@ -85,12 +149,12 @@ impl Worker {
             for item in batch.drain(..) {
                 match item {
                     Ingress::Vector(req) => {
-                        let resp = self.serve_one(req);
+                        let resp = self.serve_one(req, stolen);
                         self.batch_stats.merge(&resp.detection.stats);
                         self.done.push(resp);
                     }
                     Ingress::Frame(req) => {
-                        let resp = self.serve_frame(req);
+                        let resp = self.serve_frame(req, stolen);
                         for d in &resp.detections {
                             self.batch_stats.merge(&d.stats);
                         }
@@ -109,7 +173,7 @@ impl Worker {
         }
     }
 
-    fn serve_one(&mut self, req: DetectionRequest) -> DetectionResponse {
+    fn serve_one(&mut self, req: DetectionRequest, stolen: bool) -> DetectionResponse {
         use std::sync::atomic::Ordering::Relaxed;
         let started = Instant::now();
         let enqueued = req.enqueued_at.unwrap_or(started);
@@ -118,7 +182,7 @@ impl Worker {
         let m = req.frame.h.cols();
         let tier_idx = choose_tier(
             &self.shared.config.ladder,
-            &self.shared.model,
+            self.model(),
             &self.shared.tiers,
             req.snr_db,
             m,
@@ -129,35 +193,43 @@ impl Worker {
         // Sample the prediction the ladder acted on, so the validation
         // histogram measures exactly the model the decision saw.
         let predicted_ns = self
-            .shared
-            .model
+            .model()
             .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order);
 
         let mut det: Detection = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
         // Channel-coherent preparation: tiers whose preprocessing is the
-        // shared QR split go through the per-worker factorization cache,
-        // so requests repeating one H inside a coherence block skip the
-        // QR. Bit-identical either way; `prep_flops` is charged in full
-        // on hits so complexity accounting stays comparable.
+        // shared QR split go through the shard's factorization cache, so
+        // requests repeating one H — which affinity routing lands on this
+        // shard — skip the QR. Bit-identical either way; `prep_flops` is
+        // charged in full on hits so complexity accounting stays
+        // comparable.
         let metrics = &self.shared.metrics;
-        if self.prep_cache.capacity() > 0 && tier.detector.channel_cacheable() {
-            let hit = self.prep_cache.prepare(
-                tier_idx,
-                &req.frame,
-                tier.detector.ordering(),
-                tier.detector.constellation(),
-                &mut self.prep_scratch,
-                &mut self.prep,
-            );
+        let sm = &metrics.shards[self.shard_idx];
+        if self.shared.config.prep_cache > 0 && tier.detector.channel_cacheable() {
+            let hit = self.shared.shards[self.shard_idx]
+                .prep_cache
+                .lock()
+                .unwrap()
+                .prepare(
+                    tier_idx,
+                    &req.frame,
+                    tier.detector.ordering(),
+                    tier.detector.constellation(),
+                    &mut self.prep_scratch,
+                    &mut self.prep,
+                );
             if hit {
                 metrics.prep_cache_hits.fetch_add(1, Relaxed);
+                sm.prep_hits.fetch_add(1, Relaxed);
             } else {
                 metrics.prep_cache_misses.fetch_add(1, Relaxed);
+                sm.prep_misses.fetch_add(1, Relaxed);
             }
         } else {
             tier.detector
                 .prepare_frame_into(&req.frame, &mut self.prep_scratch, &mut self.prep);
             metrics.prep_cache_bypass.fetch_add(1, Relaxed);
+            sm.prep_bypass.fetch_add(1, Relaxed);
         }
         let r2 = tier
             .detector
@@ -178,13 +250,17 @@ impl Worker {
         // a concurrent snapshot never observes missed > served (the old
         // per-batch bump could report miss rates above 1 mid-batch).
         metrics.served.fetch_add(1, Relaxed);
+        sm.served.fetch_add(1, Relaxed);
+        if !stolen {
+            sm.affinity_served.fetch_add(1, Relaxed);
+        }
         if deadline_missed {
             metrics.deadline_missed.fetch_add(1, Relaxed);
         }
         metrics.latency_ns.record(latency.as_nanos() as u64);
         metrics.queue_wait_ns.record(queue_wait.as_nanos() as u64);
 
-        self.shared.model.observe(
+        self.model().observe(
             tier_idx,
             &tier.cost,
             req.snr_db,
@@ -211,7 +287,7 @@ impl Worker {
     /// subcarrier counts as a `prep_cache_bypass` so
     /// `hits + misses + bypass == served` stays an invariant over mixed
     /// traffic.
-    fn serve_frame(&mut self, req: FrameRequest) -> FrameResponse {
+    fn serve_frame(&mut self, req: FrameRequest, stolen: bool) -> FrameResponse {
         use std::sync::atomic::Ordering::Relaxed;
         let started = Instant::now();
         let enqueued = req.enqueued_at.unwrap_or(started);
@@ -221,7 +297,7 @@ impl Worker {
         let m = req.subcarriers[0].h.cols();
         let tier_idx = choose_tier_block(
             &self.shared.config.ladder,
-            &self.shared.model,
+            self.model(),
             &self.shared.tiers,
             req.snr_db,
             m,
@@ -233,8 +309,7 @@ impl Worker {
         // The prediction the ladder compared against the budget: the
         // per-vector model scaled to the block.
         let predicted_ns = self
-            .shared
-            .model
+            .model()
             .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order)
             * b as f64;
 
@@ -261,6 +336,7 @@ impl Worker {
         let deadline_missed = latency > req.deadline;
 
         let metrics = &self.shared.metrics;
+        let sm = &metrics.shards[self.shard_idx];
         let tm = &metrics.tiers[tier_idx];
         tm.served.fetch_add(b as u64, Relaxed);
         let service_ns = service_time.as_nanos() as u64;
@@ -270,12 +346,17 @@ impl Worker {
         // missed, factors before subcarriers — both orders keep concurrent
         // snapshots conservative), frame-level counters track blocks.
         metrics.served.fetch_add(b as u64, Relaxed);
+        sm.served.fetch_add(b as u64, Relaxed);
+        if !stolen {
+            sm.affinity_served.fetch_add(b as u64, Relaxed);
+        }
         metrics.frames_served.fetch_add(1, Relaxed);
         if deadline_missed {
             metrics.deadline_missed.fetch_add(b as u64, Relaxed);
             metrics.frames_deadline_missed.fetch_add(1, Relaxed);
         }
         metrics.prep_cache_bypass.fetch_add(b as u64, Relaxed);
+        sm.prep_bypass.fetch_add(b as u64, Relaxed);
         metrics
             .frame_prep_factors
             .fetch_add(prep_factors as u64, Relaxed);
@@ -288,7 +369,7 @@ impl Worker {
         // cost model keeps predicting single-vector service time and the
         // ladder's block scaling stays dimensionally consistent.
         let nodes: u64 = dets.iter().map(|d| d.stats.nodes_generated).sum();
-        self.shared.model.observe(
+        self.model().observe(
             tier_idx,
             &tier.cost,
             req.snr_db,

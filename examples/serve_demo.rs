@@ -100,18 +100,21 @@ fn smoke() {
     };
     let c = Constellation::new(cfg.modulation);
     // The periodic reporter emits JSON lines on stderr while the run is
-    // live; stdout stays reserved for the validated final snapshot.
+    // live; stdout stays reserved for the validated final snapshot. Two
+    // shards with stealing on, so the smoke exercises the sharded
+    // topology and its per-shard export rows end to end.
     let rt = ServeRuntime::start(
         ServeConfig::default()
             .with_workers(2)
-            .with_queue_capacity(cfg.n_requests)
+            .with_shards(2)
+            .with_queue_capacity(2 * cfg.n_requests)
             .with_reporter(Duration::from_millis(20), ExportFormat::JsonLines),
         c.clone(),
     );
     let report = run_load(&rt, &cfg, &c);
     let (snapshot, _, _) = rt.shutdown();
 
-    show("smoke run (4x4 QAM4, 64 requests)", &report);
+    show("smoke run (4x4 QAM4, 64 requests, 2 shards)", &report);
     show_exports(&snapshot);
 
     assert_eq!(report.served, cfg.n_requests as u64, "smoke must serve all");
@@ -123,16 +126,38 @@ fn smoke() {
         snapshot.deadline_missed,
         snapshot.served
     );
+    // Shard topology invariants: the export must carry one row per shard
+    // and the per-shard counters must partition the global ones.
+    assert_eq!(snapshot.n_shards, 2, "smoke runs the sharded topology");
+    assert_eq!(snapshot.shards.len(), 2);
+    assert!(snapshot.host_cores >= 1, "host cores recorded");
+    let routed: u64 = snapshot.shards.iter().map(|s| s.routed).sum();
+    let shard_served: u64 = snapshot.shards.iter().map(|s| s.served).sum();
+    assert_eq!(routed, snapshot.accepted, "routing partitions admission");
+    assert_eq!(shard_served, snapshot.served, "shards partition serving");
+    for needle in ["\"host_cores\":", "\"n_shards\":2", "\"shards\":[{"] {
+        assert!(line.contains(needle), "JSON export missing {needle}");
+    }
     let prom = prometheus_text(&snapshot);
     for needle in [
         "sd_serve_served_total",
         "sd_serve_deadline_miss_rate",
         "sd_serve_tier_served_total{tier=",
         "sd_serve_tier_predict_err_us{tier=",
+        "sd_serve_host_cores",
+        "sd_serve_n_shards 2",
+        "sd_serve_shard_routed_total{shard=\"0\"}",
+        "sd_serve_shard_routed_total{shard=\"1\"}",
+        "sd_serve_shard_served_total{shard=\"0\"}",
+        "sd_serve_shard_prep_hits_total{shard=\"0\"}",
+        "sd_serve_shard_queue_depth{shard=\"1\"}",
     ] {
         assert!(prom.contains(needle), "Prometheus export missing {needle}");
     }
-    println!("smoke OK: {} served, exports validated", snapshot.served);
+    println!(
+        "smoke OK: {} served across {} shards, exports validated",
+        snapshot.served, snapshot.n_shards
+    );
 
     // Second pass: the frame path. A small resource grid served as
     // whole-frame requests, with the frame rows of both exports
