@@ -49,10 +49,21 @@ echo "==> sharded determinism stress (SD_STRESS_ITERS=25)"
 SD_STRESS_ITERS=25 cargo test -q --release --test serve_shards \
   repeated_sharded_runs_are_deterministic
 
+echo "==> anytime exactness + truncation + predictive admission"
+# An unexhausted decode budget must change *nothing*: served decisions
+# bit-identical to the unbudgeted engine, every quality flag exact. An
+# exhausted one must truncate deterministically with the counters
+# closing (quality_exact + budget_exhausted == served). The predictive
+# admission gate must shed exactly the doomed requests (PredictedLate)
+# and count them in the snapshot, for vectors and frames both.
+cargo test -q --test serve_anytime
+
 echo "==> serve_demo --smoke"
-# End-to-end smoke: tiny per-vector run plus a frame loadgen pass, each
-# rendering the Prometheus + JSON export surfaces and self-validating the
-# JSON line (non-zero on failure).
+# End-to-end smoke: tiny per-vector run, a frame loadgen pass, an
+# expired-deadline anytime pass, and a frozen-backlog predictive
+# admission pass, each rendering the Prometheus + JSON export surfaces
+# and self-validating the JSON line — including the quality-counter and
+# predictive-shed rows — (non-zero on failure).
 cargo run --release --example serve_demo -- --smoke >/dev/null
 
 echo "==> cargo clippy -- -D warnings"

@@ -35,6 +35,17 @@
 //! shards with work stealing, comparing throughput and prep-cache hit
 //! rate. `host_cores` is recorded so single-core results read honestly.
 //!
+//! A seventh scenario measures predictive admission + anytime decoding
+//! (ISSUE 9): the same 2×-overload traffic served by the reactive ladder
+//! (tier choice only, admit everything the bounded queue holds) and by
+//! the predictive+anytime arm, which (a) sheds requests at ingress when
+//! the shard's backlog, drained at its observed mean service rate, is
+//! already predicted to outlast the whole deadline, and (b) fixes an
+//! explicit node/deadline [`sd_core::DecodeBudget`] per decision so
+//! mispredicted decodes truncate with a best-so-far answer instead of
+//! blowing the deadline. Reported: deadline-miss rate, BER, predictive
+//! sheds, and the truncation counters.
+//!
 //! Like `expansion.rs` this bench has a hand-rolled `main` that writes
 //! `BENCH_serve.json` in the repo root.
 
@@ -71,6 +82,17 @@ fn ladder(enabled: bool) -> LadderConfig {
     LadderConfig {
         enabled,
         kbest_k: 16,
+        anytime: false,
+    }
+}
+
+/// The predictive + anytime arm: reactive tier choice *plus* an explicit
+/// up-front decode budget per decision.
+fn anytime_ladder() -> LadderConfig {
+    LadderConfig {
+        enabled: true,
+        kbest_k: 16,
+        anytime: true,
     }
 }
 
@@ -122,20 +144,28 @@ fn saturated(cfg: &LoadConfig, batch: BatchPolicy, lad: LadderConfig) -> LoadRep
     report
 }
 
-/// One paced sweep point against a bounded queue.
-fn sweep_point(rate_hz: f64, lad: LadderConfig) -> LoadReport {
+/// One paced sweep point against a bounded queue. `predictive` switches
+/// on ingress admission control (the anytime arm runs with it; the
+/// reactive arms admit everything the bounded queue holds, as before).
+fn sweep_point_with(rate_hz: f64, lad: LadderConfig, predictive: bool) -> LoadReport {
     let cfg = sweep_workload(rate_hz);
     let c = Constellation::new(cfg.modulation);
     let rt = ServeRuntime::start(
         ServeConfig::default()
             .with_workers(workers())
             .with_queue_capacity(SWEEP_QUEUE)
-            .with_ladder(lad),
+            .with_ladder(lad)
+            .with_predictive_admission(predictive),
         c.clone(),
     );
     let report = run_load(&rt, &cfg, &c);
     rt.shutdown();
     report
+}
+
+/// One paced sweep point against a bounded queue (reactive admission).
+fn sweep_point(rate_hz: f64, lad: LadderConfig) -> LoadReport {
+    sweep_point_with(rate_hz, lad, false)
 }
 
 /// The custom descent for the registry scenario: the stock ladder with a
@@ -395,7 +425,9 @@ fn report_json(r: &LoadReport) -> String {
          \"throughput_hz\": {:.0}, \"p50_latency_us\": {:.1}, \
          \"p99_latency_us\": {:.1}, \"deadline_miss_rate\": {:.4}, \
          \"tiers\": {}, \
-         \"ber\": {:.5}, \"mean_batch_size\": {:.2}}}",
+         \"ber\": {:.5}, \"mean_batch_size\": {:.2}, \
+         \"quality_exact\": {}, \"budget_exhausted\": {}, \
+         \"truncated_rate\": {:.4}}}",
         r.offered,
         r.shed,
         r.served,
@@ -406,6 +438,9 @@ fn report_json(r: &LoadReport) -> String {
         tiers_json(r),
         r.ber(),
         r.snapshot.mean_batch_size,
+        r.snapshot.quality_exact,
+        r.snapshot.budget_exhausted,
+        r.truncated_rate(),
     )
 }
 
@@ -538,6 +573,22 @@ fn main() {
         host_cores(),
     );
 
+    // -------- Claim 7: predictive + anytime vs reactive at 2x ----------
+    let overload_rate = 2.0 * cap_hz;
+    eprintln!("anytime: 2x overload ({overload_rate:.0}/s), predictive+anytime ladder ...");
+    let anytime = sweep_point_with(overload_rate, anytime_ladder(), true);
+    // `top_on` is the reactive ladder at the same 2x rate — the control.
+    eprintln!(
+        "  miss rate reactive {:.1}% -> anytime {:.1}% (truncated {:.1}% of served, \
+         {} shed on prediction, BER {:.4} -> {:.4})",
+        100.0 * top_on.deadline_miss_rate,
+        100.0 * anytime.deadline_miss_rate,
+        100.0 * anytime.truncated_rate(),
+        anytime.snapshot.rejected_predicted,
+        top_on.ber(),
+        anytime.ber(),
+    );
+
     let sweep_rows: Vec<String> = sweep
         .iter()
         .map(|(mult, rate, off, on)| {
@@ -583,7 +634,14 @@ fn main() {
          \"iid\": {{\"one_shard_hz\": {iid_one_hz:.0}, \"sharded_hz\": {iid_n_hz:.0}, \
          \"speedup\": {:.3}}},\n    \
          \"frames\": {{\"one_shard_hz\": {:.0}, \"sharded_hz\": {:.0}, \
-         \"speedup\": {:.3}}}}}\n}}\n",
+         \"speedup\": {:.3}}}}},\n  \
+         \"predictive_anytime\": {{\"load_multiplier\": 2.0, \
+         \"offered_rate_hz\": {overload_rate:.0}, \"predictive_admission\": true,\n    \
+         \"reactive\": {},\n    \"anytime\": {},\n    \
+         \"miss_rate_reactive\": {:.4}, \"miss_rate_anytime\": {:.4}, \
+         \"ber_reactive\": {:.5}, \"ber_anytime\": {:.5}, \
+         \"anytime_truncated_rate\": {:.4}, \
+         \"anytime_rejected_predicted\": {}}}\n}}\n",
         report_json(&unbatched),
         report_json(&batched),
         batching_speedup,
@@ -617,6 +675,14 @@ fn main() {
         fr_one.throughput_hz,
         fr_n.throughput_hz,
         fr_n.throughput_hz / fr_one.throughput_hz,
+        report_json(top_on),
+        report_json(&anytime),
+        top_on.deadline_miss_rate,
+        anytime.deadline_miss_rate,
+        top_on.ber(),
+        anytime.ber(),
+        anytime.truncated_rate(),
+        anytime.snapshot.rejected_predicted,
     );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -522,6 +522,7 @@ pub fn ext_serve(opts: &RunOpts) -> Report {
     let ladder = |enabled| LadderConfig {
         enabled,
         kbest_k: 16,
+        anytime: false,
     };
     let start = |queue: usize, enabled: bool| {
         ServeRuntime::start(

@@ -16,7 +16,7 @@
 
 use crate::arena::SearchWorkspace;
 use crate::detector::Detection;
-use crate::engine::PreparedDetector;
+use crate::engine::{DecodeBudget, PreparedDetector};
 use crate::preprocess::{prepare_frame_block_into, BlockPrep, PrepScratch, Prepared};
 use sd_math::Float;
 use sd_wireless::FrameData;
@@ -42,6 +42,34 @@ pub fn decode_block_into<F: Float>(
     ws: &mut SearchWorkspace<F>,
     out: &mut [Detection],
 ) -> usize {
+    decode_block_budgeted_into(
+        det,
+        frames,
+        &DecodeBudget::UNLIMITED,
+        scratch,
+        block,
+        prep,
+        ws,
+        out,
+    )
+}
+
+/// [`decode_block_into`] under a per-subcarrier [`DecodeBudget`]: every
+/// subcarrier's search runs with the same budget, so an anytime engine
+/// caps each tree walk independently rather than racing the whole block
+/// against one pool. With [`DecodeBudget::UNLIMITED`] this *is*
+/// `decode_block_into`, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_block_budgeted_into<F: Float>(
+    det: &dyn PreparedDetector<F>,
+    frames: &[FrameData],
+    budget: &DecodeBudget,
+    scratch: &mut PrepScratch<F>,
+    block: &mut BlockPrep<F>,
+    prep: &mut Prepared<F>,
+    ws: &mut SearchWorkspace<F>,
+    out: &mut [Detection],
+) -> usize {
     assert_eq!(
         frames.len(),
         out.len(),
@@ -56,14 +84,14 @@ pub fn decode_block_into<F: Float>(
         for (k, (f, d)) in frames.iter().zip(out.iter_mut()).enumerate() {
             block.fill_prepared(k, f, det.constellation(), prep);
             let r2 = det.initial_radius_sqr(n_rx, f.noise_variance);
-            det.detect_prepared_into(prep, r2, ws, d);
+            det.detect_prepared_budgeted_into(prep, r2, budget, ws, d);
         }
         1
     } else {
         for (f, d) in frames.iter().zip(out.iter_mut()) {
             det.prepare_frame_into(f, scratch, prep);
             let r2 = det.initial_radius_sqr(n_rx, f.noise_variance);
-            det.detect_prepared_into(prep, r2, ws, d);
+            det.detect_prepared_budgeted_into(prep, r2, budget, ws, d);
         }
         frames.len()
     }
@@ -139,6 +167,56 @@ mod tests {
                 let solo = det.detect_frame(f);
                 assert_eq!(out[k], solo, "{name}: subcarrier {k} differs");
             }
+        }
+    }
+
+    /// The budgeted block driver with an unlimited (or unexhausted)
+    /// budget is the plain driver, bit for bit; a zero budget still
+    /// yields complete, flagged detections on every subcarrier.
+    #[test]
+    fn budgeted_block_decode_matches_unbudgeted_until_the_budget_trips() {
+        let c = Constellation::new(Modulation::Qam4);
+        let det = SphereDecoder::<f64>::new(c.clone());
+        let frames = coherence_block(&c, 6, 5, 10.0, 0xB10C_B0D9);
+        let mut scratch = PrepScratch::new();
+        let mut block = BlockPrep::new();
+        let mut prep = Prepared::empty();
+        let mut ws = SearchWorkspace::new();
+        let mut plain: Vec<Detection> = vec![Detection::default(); frames.len()];
+        let mut budgeted: Vec<Detection> = vec![Detection::default(); frames.len()];
+        decode_block_into(
+            &det,
+            &frames,
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut plain,
+        );
+        decode_block_budgeted_into(
+            &det,
+            &frames,
+            &DecodeBudget::UNLIMITED,
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut budgeted,
+        );
+        assert_eq!(budgeted, plain, "unlimited budget must change nothing");
+        decode_block_budgeted_into(
+            &det,
+            &frames,
+            &DecodeBudget::nodes(0),
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut budgeted,
+        );
+        for d in &budgeted {
+            assert_eq!(d.indices.len(), 6, "complete vector per subcarrier");
+            assert!(d.stats.quality.is_truncated());
         }
     }
 

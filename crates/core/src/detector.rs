@@ -9,6 +9,50 @@
 use sd_wireless::FrameData;
 use serde::{Deserialize, Serialize};
 
+/// Whether a decode ran the search to completion or was cut short by a
+/// [`DecodeBudget`](crate::engine::DecodeBudget).
+///
+/// `Exact` is the normal case and means the returned decision is whatever
+/// the engine's unbudgeted contract promises (ML-exact for the sphere
+/// decoders). `BudgetTruncated` means the search stopped early and
+/// returned the best-so-far leaf: still a complete symbol vector, but
+/// possibly not the minimum-metric one. Downstream consumers (the serve
+/// ladder, BER accounting) treat a truncated decision exactly like a
+/// served decision from an approximate tier — usable, counted, and
+/// flagged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchQuality {
+    /// The search ran to its natural completion.
+    #[default]
+    Exact,
+    /// The search hit its [`DecodeBudget`](crate::engine::DecodeBudget)
+    /// and returned the best leaf found so far.
+    BudgetTruncated {
+        /// Nodes generated when the budget tripped (the spend the serve
+        /// layer charges against its prediction).
+        nodes_spent: u64,
+    },
+}
+
+impl SearchQuality {
+    /// `true` when the decode was cut short by a budget.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, SearchQuality::BudgetTruncated { .. })
+    }
+
+    /// Combine qualities when merging per-worker or per-batch stats:
+    /// truncation anywhere taints the aggregate, spends add up.
+    pub fn merge(self, other: SearchQuality) -> SearchQuality {
+        match (self, other) {
+            (SearchQuality::Exact, q) | (q, SearchQuality::Exact) => q,
+            (
+                SearchQuality::BudgetTruncated { nodes_spent: a },
+                SearchQuality::BudgetTruncated { nodes_spent: b },
+            ) => SearchQuality::BudgetTruncated { nodes_spent: a + b },
+        }
+    }
+}
+
 /// Per-decode instrumentation.
 ///
 /// Sphere-decoder variants fill the tree-search fields; linear detectors
@@ -37,6 +81,10 @@ pub struct DetectionStats {
     /// Number of search restarts after an empty sphere (finite initial
     /// radius only).
     pub restarts: u64,
+    /// Whether the search completed or was cut short by a
+    /// [`DecodeBudget`](crate::engine::DecodeBudget).
+    #[serde(default)]
+    pub quality: SearchQuality,
 }
 
 impl DetectionStats {
@@ -61,6 +109,7 @@ impl DetectionStats {
             *a += b;
         }
         self.final_radius_sqr = self.final_radius_sqr.max(other.final_radius_sqr);
+        self.quality = self.quality.merge(other.quality);
     }
 
     /// Merge an iterator of stats into one aggregate — the cheap way to
@@ -88,6 +137,7 @@ impl DetectionStats {
         self.per_level_generated.resize(n_levels, 0);
         self.final_radius_sqr = 0.0;
         self.restarts = 0;
+        self.quality = SearchQuality::Exact;
     }
 
     /// Fraction of a full `P^M` enumeration this search visited.
@@ -148,6 +198,7 @@ mod tests {
             per_level_generated: vec![4, 16],
             final_radius_sqr: 1.5,
             restarts: 0,
+            quality: SearchQuality::Exact,
         };
         let b = DetectionStats {
             nodes_expanded: 1,
@@ -159,6 +210,7 @@ mod tests {
             per_level_generated: vec![4, 0, 8],
             final_radius_sqr: 0.5,
             restarts: 2,
+            quality: SearchQuality::Exact,
         };
         a.merge(&b);
         assert_eq!(a.nodes_expanded, 11);
@@ -215,6 +267,35 @@ mod tests {
             cap,
             "reset must not shrink"
         );
+    }
+
+    #[test]
+    fn quality_merge_is_truncation_dominant() {
+        let e = SearchQuality::Exact;
+        let t3 = SearchQuality::BudgetTruncated { nodes_spent: 3 };
+        let t5 = SearchQuality::BudgetTruncated { nodes_spent: 5 };
+        assert_eq!(e.merge(e), SearchQuality::Exact);
+        assert_eq!(e.merge(t3), t3);
+        assert_eq!(t3.merge(e), t3);
+        assert_eq!(
+            t3.merge(t5),
+            SearchQuality::BudgetTruncated { nodes_spent: 8 }
+        );
+        assert!(!e.is_truncated());
+        assert!(t3.is_truncated());
+    }
+
+    #[test]
+    fn merge_and_reset_carry_quality() {
+        let mut a = DetectionStats::default();
+        let b = DetectionStats {
+            quality: SearchQuality::BudgetTruncated { nodes_spent: 7 },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.quality, SearchQuality::BudgetTruncated { nodes_spent: 7 });
+        a.reset(2);
+        assert_eq!(a.quality, SearchQuality::Exact);
     }
 
     #[test]

@@ -10,14 +10,15 @@
 //! exactness holds for every [`InitialRadius`].
 
 use crate::arena::SearchWorkspace;
-use crate::detector::{Detection, DetectionStats};
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::detector::{Detection, DetectionStats, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
 use crate::pd::{children_into, eval_children, sorted_children_into, EvalStrategy, PdScratch};
 use crate::preprocess::{ColumnOrdering, Prepared};
 use crate::radius::InitialRadius;
 use crate::trace::{span_clock, span_ns, Phase, TraceSink};
 use sd_math::Float;
 use sd_wireless::Constellation;
+use std::time::Instant;
 
 /// Compile-time observability switch for the DFS hot path.
 ///
@@ -188,6 +189,33 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
+        self.decode_budgeted(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.decode_budgeted(prep, radius_sqr, budget, ws, out);
+    }
+}
+
+impl<F: Float> SphereDecoder<F> {
+    /// The shared decode body: the unbudgeted entry point passes
+    /// [`DecodeBudget::UNLIMITED`], which can never trip, so both paths
+    /// run literally the same code.
+    fn decode_budgeted(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         ws.prepare(prep.order, prep.n_tx);
         out.stats.reset(prep.n_tx);
         // The sink leaves the workspace for the duration of the decode so
@@ -198,9 +226,9 @@ impl<F: Float> PreparedDetector<F> for SphereDecoder<F> {
         let best_metric = match trace.as_deref_mut() {
             Some(t) => {
                 t.on_decode_start(prep.n_tx);
-                self.run(prep, radius_sqr, ws, out, DynSink(t))
+                self.run(prep, radius_sqr, budget, ws, out, DynSink(t))
             }
-            None => self.run(prep, radius_sqr, ws, out, NoSink),
+            None => self.run(prep, radius_sqr, budget, ws, out, NoSink),
         };
         ws.trace = trace;
         prep.indices_from_path_into(&ws.best_path, &mut out.indices);
@@ -216,6 +244,7 @@ impl<F: Float> SphereDecoder<F> {
         &self,
         prep: &Prepared<F>,
         radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
         sink: S,
@@ -230,11 +259,26 @@ impl<F: Float> SphereDecoder<F> {
             best_metric: F::from_f64(radius_sqr),
             sort: self.sort_children,
             eval: self.eval,
+            max_nodes: budget.max_nodes,
+            deadline: budget.deadline,
+            truncated: false,
             sink,
         };
         let mut r2 = radius_sqr;
         loop {
             search.descend(F::ZERO);
+            if search.truncated {
+                // The budget tripped: keep the best-so-far leaf, or
+                // complete one greedily if the budget expired before the
+                // first dive reached the bottom. Never restart — the
+                // spend is gone either way.
+                let spent = search.stats.nodes_generated;
+                if search.best_path.is_empty() {
+                    search.greedy_complete();
+                }
+                search.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                break;
+            }
             if !search.best_path.is_empty() {
                 break;
             }
@@ -272,13 +316,42 @@ struct Search<'a, F: Float, S: DfsSink> {
     best_metric: F,
     sort: bool,
     eval: EvalStrategy,
+    /// Node-generation ceiling ([`DecodeBudget::max_nodes`]); `u64::MAX`
+    /// when unbudgeted.
+    max_nodes: u64,
+    /// Wall-clock cutoff, sampled every 64 expansions.
+    deadline: Option<Instant>,
+    /// Latched once the budget trips; unwinds the recursion without
+    /// expanding or accepting anything further.
+    truncated: bool,
     /// Observability sink ([`NoSink`] on the untraced hot path).
     sink: S,
 }
 
 impl<F: Float, S: DfsSink> Search<'_, F, S> {
+    /// Whether the budget has expired. The node check is one integer
+    /// compare per expansion; the deadline is sampled every 64
+    /// expansions and only when one is set, so the unbudgeted hot path
+    /// pays (almost) nothing. A budget only ever *stops* the traversal —
+    /// it never reorders it — which is what keeps budgeted decodes
+    /// bit-identical to unbudgeted ones whenever the budget is not hit.
+    #[inline]
+    fn budget_tripped(&self) -> bool {
+        if self.stats.nodes_generated >= self.max_nodes {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => (self.stats.nodes_expanded & 63) == 0 && Instant::now() >= d,
+            None => false,
+        }
+    }
+
     /// Expand the node identified by `self.path` whose PD is `pd`.
     fn descend(&mut self, pd: F) {
+        if self.truncated || self.budget_tripped() {
+            self.truncated = true;
+            return;
+        }
         let depth = self.path.len();
         let m = self.prep.n_tx;
         let p = self.prep.order;
@@ -300,6 +373,9 @@ impl<F: Float, S: DfsSink> Search<'_, F, S> {
             self.sink.on_phase(Phase::Sort, span_ns(t0));
             self.sink.on_sort(depth, p as u64);
             for (rank, &(inc, child)) in children.iter().enumerate() {
+                if self.truncated {
+                    break;
+                }
                 let child_pd = pd + inc;
                 if !(child_pd < self.best_metric) {
                     // Sorted order ⇒ every remaining sibling is pruned too.
@@ -313,6 +389,9 @@ impl<F: Float, S: DfsSink> Search<'_, F, S> {
             // Plain DFS ablation: natural constellation order.
             children_into(&self.scratch.increments, &mut children);
             for &(inc, child) in children.iter() {
+                if self.truncated {
+                    break;
+                }
                 let child_pd = pd + inc;
                 if child_pd < self.best_metric {
                     self.visit(child, child_pd, depth, m);
@@ -323,6 +402,20 @@ impl<F: Float, S: DfsSink> Search<'_, F, S> {
             }
         }
         self.sort_bufs[depth] = children;
+    }
+
+    /// The budget expired before the first dive reached a leaf: finish a
+    /// path greedily so a truncated decode still returns a complete
+    /// symbol vector (SIC-style, the weakest anytime answer).
+    fn greedy_complete(&mut self) {
+        self.best_metric = greedy_leaf(
+            self.prep,
+            self.eval,
+            self.scratch,
+            self.stats,
+            self.path,
+            self.best_path,
+        );
     }
 
     #[inline]
@@ -345,6 +438,47 @@ impl<F: Float, S: DfsSink> Search<'_, F, S> {
             self.path.pop();
         }
     }
+}
+
+/// Greedily complete one root-to-leaf path — the minimum-increment child
+/// at every level, radius ignored — charging the evaluations to `stats`
+/// like any others. Returns the leaf metric; the path lands in
+/// `best_path` (depth order). Shared by the budget-truncation fallbacks
+/// of the sequential and subtree-parallel decoders.
+pub(crate) fn greedy_leaf<F: Float>(
+    prep: &Prepared<F>,
+    eval: EvalStrategy,
+    scratch: &mut PdScratch<F>,
+    stats: &mut DetectionStats,
+    path: &mut Vec<usize>,
+    best_path: &mut Vec<usize>,
+) -> F {
+    let m = prep.n_tx;
+    let p = prep.order;
+    path.clear();
+    let mut pd = F::ZERO;
+    for depth in 0..m {
+        stats.nodes_expanded += 1;
+        stats.flops += eval_children(prep, path, eval, scratch);
+        stats.nodes_generated += p as u64;
+        stats.per_level_generated[depth] += p as u64;
+        let mut best_child = 0usize;
+        let mut best_inc = scratch.increments[0];
+        for (i, &inc) in scratch.increments.iter().enumerate().skip(1) {
+            if inc < best_inc {
+                best_inc = inc;
+                best_child = i;
+            }
+        }
+        pd += best_inc;
+        path.push(best_child);
+    }
+    stats.leaves_reached += 1;
+    stats.radius_updates += 1;
+    best_path.clear();
+    best_path.extend_from_slice(path);
+    path.clear();
+    pd
 }
 
 #[cfg(test)]
@@ -545,6 +679,108 @@ mod tests {
             n_best < n_worst,
             "descending ({n_best}) must beat ascending ({n_worst})"
         );
+    }
+
+    /// An unexhausted budget must leave the decode bit-identical —
+    /// indices, stats, metric bits — to the unbudgeted engine.
+    #[test]
+    fn generous_budget_is_bit_identical() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 20, 54);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let mut ws = SearchWorkspace::new();
+        let mut plain = Detection::default();
+        let mut budgeted = Detection::default();
+        for f in &frames {
+            let prep = sd.prepare_frame(f);
+            sd.detect_prepared_into(&prep, f64::INFINITY, &mut ws, &mut plain);
+            // One node more than the decode needs: the check can never trip.
+            let budget = DecodeBudget::nodes(plain.stats.nodes_generated + 1);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut budgeted);
+            assert_eq!(budgeted, plain, "unexhausted budget must change nothing");
+            assert_eq!(budgeted.stats.quality, SearchQuality::Exact);
+            // The unlimited budget is the plain decode by construction.
+            sd.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::UNLIMITED,
+                &mut ws,
+                &mut budgeted,
+            );
+            assert_eq!(budgeted, plain);
+        }
+    }
+
+    /// A tight budget must truncate, flag the result, and still return a
+    /// complete symbol vector whose reported metric matches it.
+    #[test]
+    fn exhausted_budget_returns_best_so_far_leaf() {
+        let (c, frames) = frames(8, Modulation::Qam4, 4.0, 20, 55);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c.clone());
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        let mut saw_truncation = false;
+        for f in &frames {
+            let prep = sd.prepare_frame(f);
+            let full = sd.detect_prepared_in(&prep, f64::INFINITY, &mut ws);
+            // Half the full spend: low-SNR 8x8 searches blow well past it.
+            let budget = DecodeBudget::nodes(full.stats.nodes_generated / 2);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut out);
+            assert_eq!(out.indices.len(), 8, "always a complete vector");
+            if let SearchQuality::BudgetTruncated { nodes_spent } = out.stats.quality {
+                saw_truncation = true;
+                assert!(nodes_spent >= budget.max_nodes);
+                // The reported radius is the returned leaf's metric, and
+                // an anytime answer can never beat the exact one.
+                let metric = prep.full_metric(&out.indices) - prep.tail_energy;
+                assert!((metric - out.stats.final_radius_sqr).abs() < 1e-8);
+                assert!(out.stats.final_radius_sqr >= full.stats.final_radius_sqr - 1e-12);
+            }
+        }
+        assert!(saw_truncation, "half-spend budgets must trip somewhere");
+    }
+
+    /// A budget of zero nodes degenerates to the greedy (SIC-style)
+    /// completion: still a complete, flagged answer.
+    #[test]
+    fn zero_budget_degenerates_to_greedy_completion() {
+        let (c, frames) = frames(6, Modulation::Qam4, 10.0, 5, 56);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        for f in &frames {
+            let prep = sd.prepare_frame(f);
+            sd.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::nodes(0),
+                &mut ws,
+                &mut out,
+            );
+            assert_eq!(out.indices.len(), 6);
+            assert!(out.stats.quality.is_truncated());
+            assert_eq!(out.stats.leaves_reached, 1);
+            let metric = prep.full_metric(&out.indices) - prep.tail_energy;
+            assert!((metric - out.stats.final_radius_sqr).abs() < 1e-8);
+        }
+    }
+
+    /// An already-expired deadline truncates immediately.
+    #[test]
+    fn expired_deadline_truncates() {
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 3, 57);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        let budget = DecodeBudget {
+            max_nodes: u64::MAX,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        for f in &frames {
+            let prep = sd.prepare_frame(f);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut out);
+            assert!(out.stats.quality.is_truncated());
+            assert_eq!(out.indices.len(), 6);
+        }
     }
 
     #[test]

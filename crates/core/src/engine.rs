@@ -23,6 +23,57 @@ use crate::detector::Detection;
 use crate::preprocess::{preprocess_ordered_into, ColumnOrdering, PrepScratch, Prepared};
 use sd_math::Float;
 use sd_wireless::{Constellation, FrameData};
+use std::time::Instant;
+
+/// An anytime-decoding budget: how much search a decode is allowed to
+/// spend before returning the best-so-far leaf.
+///
+/// A budget never *changes* the search — it only stops it. An engine
+/// running under a budget expands nodes in exactly the order it would
+/// without one, so whenever the budget is not hit the output (indices,
+/// stats, metric bits) is bit-identical to the unbudgeted decode and
+/// [`SearchQuality::Exact`](crate::detector::SearchQuality) is reported.
+/// When the budget trips, the engine stops descending, completes any
+/// partial path greedily if no leaf has been reached yet, and flags the
+/// result [`SearchQuality::BudgetTruncated`](crate::detector::SearchQuality).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecodeBudget {
+    /// Maximum nodes the search may generate before truncating.
+    /// `u64::MAX` means unlimited.
+    pub max_nodes: u64,
+    /// Wall-clock cutoff; checked coarsely (every few hundred nodes), so
+    /// it is a deadline *guard*, not a precise timer. `None` means no
+    /// deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl DecodeBudget {
+    /// The no-op budget: unlimited nodes, no deadline. Decoding under it
+    /// is bit-identical to not passing a budget at all.
+    pub const UNLIMITED: DecodeBudget = DecodeBudget {
+        max_nodes: u64::MAX,
+        deadline: None,
+    };
+
+    /// A pure node-count budget.
+    pub fn nodes(max_nodes: u64) -> Self {
+        DecodeBudget {
+            max_nodes,
+            deadline: None,
+        }
+    }
+
+    /// `true` when this budget can never trip.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_nodes == u64::MAX && self.deadline.is_none()
+    }
+}
+
+impl Default for DecodeBudget {
+    fn default() -> Self {
+        DecodeBudget::UNLIMITED
+    }
+}
 
 /// A detector that decodes a QR-[`Prepared`] problem into caller-owned
 /// buffers.
@@ -49,6 +100,27 @@ pub trait PreparedDetector<F: Float>: Send + Sync {
 
     /// The constellation this detector decides over.
     fn constellation(&self) -> &Constellation;
+
+    /// Budget-bounded (anytime) decode: like [`Self::detect_prepared_into`]
+    /// but allowed to stop early when `budget` trips, returning the
+    /// best-so-far leaf with
+    /// [`SearchQuality::BudgetTruncated`](crate::detector::SearchQuality)
+    /// set in the stats. The default ignores the budget and runs the full
+    /// decode — correct for fixed-complexity engines (linear, K-best,
+    /// FSD) whose cost is already bounded; the unbounded tree searches
+    /// (DFS, subtree-parallel, quantized DFS) override it. Whenever the
+    /// budget is not hit the output must be bit-identical to
+    /// [`Self::detect_prepared_into`].
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        _budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.detect_prepared_into(prep, radius_sqr, ws, out);
+    }
 
     /// Column ordering applied before QR (policy hook for
     /// [`Self::prepare_frame_into`]'s default).
@@ -245,6 +317,48 @@ mod tests {
                 assert_eq!(det.detect_frame(f), out);
             }
         }
+    }
+
+    /// The default budgeted entry point must be the plain decode,
+    /// bit-for-bit, for every engine that does not override it.
+    #[test]
+    fn default_budgeted_decode_is_the_plain_decode() {
+        let (c, frames) = frames(4);
+        let dets: Vec<Box<dyn PreparedDetector<f64>>> = vec![
+            Box::new(BestFirstSd::new(c.clone())),
+            Box::new(KBestSd::new(c.clone(), 8)),
+        ];
+        let mut ws = SearchWorkspace::new();
+        let mut plain = Detection::default();
+        let mut budgeted = Detection::default();
+        for det in &dets {
+            for f in &frames {
+                let prep = det.prepare_frame(f);
+                let r2 = det.initial_radius_sqr(f.h.rows(), f.noise_variance);
+                det.detect_prepared_into(&prep, r2, &mut ws, &mut plain);
+                det.detect_prepared_budgeted_into(
+                    &prep,
+                    r2,
+                    &DecodeBudget::nodes(1),
+                    &mut ws,
+                    &mut budgeted,
+                );
+                assert_eq!(budgeted, plain, "default impl must ignore the budget");
+                assert!(!budgeted.stats.quality.is_truncated());
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_reports_itself() {
+        assert!(DecodeBudget::UNLIMITED.is_unlimited());
+        assert!(DecodeBudget::default().is_unlimited());
+        assert!(!DecodeBudget::nodes(100).is_unlimited());
+        let with_deadline = DecodeBudget {
+            max_nodes: u64::MAX,
+            deadline: Some(Instant::now()),
+        };
+        assert!(!with_deadline.is_unlimited());
     }
 
     /// The `Detector` bridge is the engine's frame-level decode.

@@ -75,10 +75,10 @@ pub use arena::{NodeArena, SearchWorkspace};
 pub use batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector};
 pub use best_first::BestFirstSd;
 pub use bfs::{BfsGemmSd, BfsLevelTrace};
-pub use block::decode_block_into;
-pub use detector::{Detection, DetectionStats, Detector};
+pub use block::{decode_block_budgeted_into, decode_block_into};
+pub use detector::{Detection, DetectionStats, Detector, SearchQuality};
 pub use dfs::SphereDecoder;
-pub use engine::PreparedDetector;
+pub use engine::{DecodeBudget, PreparedDetector};
 pub use fsd::FixedComplexitySd;
 pub use kbest::KBestSd;
 pub use linear::{MmseDetector, MrcDetector, ZfDetector};
@@ -87,8 +87,8 @@ pub use parallel::{ParallelSphereDecoder, SubtreeParallelSd, WorkerBudget};
 pub use pd::EvalStrategy;
 pub use preprocess::{
     prepare_channel_into, prepare_frame_block_into, prepare_with_channel_into, preprocess,
-    preprocess_ordered, preprocess_ordered_into, BlockPrep, ChannelPrep, ColumnOrdering,
-    PrepScratch, Prepared,
+    preprocess_ordered, preprocess_ordered_into, BlockPrep, ChannelObservables, ChannelPrep,
+    ColumnOrdering, PrepScratch, Prepared,
 };
 pub use quantized::{
     FxPrepared, QuantizedFsd, QuantizedKBestSd, QuantizedSphereDecoder, MAX_QUANT_DEGRADATION_DB,

@@ -37,16 +37,65 @@
 //! depend on radius-update timing and may vary run to run.
 
 use crate::arena::SearchWorkspace;
-use crate::detector::{Detection, DetectionStats};
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::detector::{Detection, DetectionStats, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
 use crate::pd::{eval_children, sorted_children_into, EvalStrategy, PdScratch};
 use crate::preprocess::{ColumnOrdering, Prepared};
 use crate::radius::InitialRadius;
 use crate::trace::{span_clock, span_ns, Phase, SearchTelemetry, TraceSink};
 use sd_math::{AtomicF64Min, Float};
 use sd_wireless::Constellation;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The decode-wide spend ledger of a budgeted parallel decode: one atomic
+/// node counter shared by the enumeration pass and every broadcast lane,
+/// plus a latch that stops all lanes once the budget expires. Allocated
+/// on the decode's stack only when the budget is limited, so the
+/// unbudgeted hot path carries no shared-counter traffic at all.
+struct SharedBudget {
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    spent: AtomicU64,
+    tripped: AtomicBool,
+}
+
+impl SharedBudget {
+    fn new(budget: &DecodeBudget) -> Self {
+        SharedBudget {
+            max_nodes: budget.max_nodes,
+            deadline: budget.deadline,
+            spent: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Called at the top of every expansion: reports whether the budget
+    /// has already expired (latching the trip so every lane sees it),
+    /// and if not, charges the `n` children about to be generated.
+    /// Like the sequential decoder's check, this only ever *stops* the
+    /// search — pruning and ordering are untouched — so an untripped
+    /// budgeted decode explores exactly the tree the unbudgeted one does.
+    #[inline]
+    fn check_and_charge(&self, n: u64) -> bool {
+        if self.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        let spent = self.spent.load(Ordering::Relaxed);
+        let expired = spent >= self.max_nodes || self.deadline.is_some_and(|d| Instant::now() >= d);
+        if expired {
+            self.tripped.store(true, Ordering::Relaxed);
+            return true;
+        }
+        self.spent.fetch_add(n, Ordering::Relaxed);
+        false
+    }
+
+    fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
 
 /// Shared, dynamically adjustable worker allowance for
 /// [`ParallelSphereDecoder`].
@@ -303,6 +352,33 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
+        self.decode_budgeted(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.decode_budgeted(prep, radius_sqr, budget, ws, out);
+    }
+}
+
+impl<F: Float> ParallelSphereDecoder<F> {
+    /// The shared decode body; the unbudgeted entry point passes
+    /// [`DecodeBudget::UNLIMITED`], which allocates no spend ledger and
+    /// can never trip.
+    fn decode_budgeted(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        decode_budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         let p = prep.order;
         // Sample the lane allowance once per decode: the controller may
@@ -312,8 +388,22 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
             None => self.workers,
         };
         if active <= 1 || m < 2 {
-            return self.seq.detect_prepared_into(prep, radius_sqr, ws, out);
+            return self.seq.detect_prepared_budgeted_into(
+                prep,
+                radius_sqr,
+                decode_budget,
+                ws,
+                out,
+            );
         }
+        // The spend ledger lives on this decode's stack; `None` (the
+        // unlimited case) keeps the hot path free of atomic traffic.
+        let shared_budget = if decode_budget.is_unlimited() {
+            None
+        } else {
+            Some(SharedBudget::new(decode_budget))
+        };
+        let shared_budget = shared_budget.as_ref();
         let split = self.effective_split_levels(m, p);
 
         let mut rt = self.runtime.lock().unwrap();
@@ -356,6 +446,8 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
                     trace: trace.as_deref_mut(),
                     roots: &mut rt.roots,
                     root_paths: &mut rt.root_paths,
+                    budget: shared_budget,
+                    truncated: false,
                 };
                 enumerate.descend(F::ZERO);
             }
@@ -395,6 +487,7 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
                         active,
                         &mut slot,
                         tracing,
+                        shared_budget,
                     );
                 });
 
@@ -402,6 +495,13 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
                 if found {
                     break;
                 }
+            }
+
+            // A tripped budget ends the decode — never restart into spend
+            // that is already gone; the merge below completes a leaf
+            // greedily if no lane landed one.
+            if shared_budget.is_some_and(|b| b.is_tripped()) {
+                break;
             }
 
             // Empty sphere: enlarge and retry (keeps the decoder exact
@@ -430,16 +530,46 @@ impl<F: Float> PreparedDetector<F> for ParallelSphereDecoder<F> {
                 }
             }
         }
-        let (best_pd, winner) = best.expect("loop breaks only once a leaf is found");
-        if let Some(t) = trace.as_deref_mut() {
-            for slot in &rt.slots {
-                let slot = slot.lock().unwrap();
-                replay_telemetry(t, &slot.telemetry, best_pd);
+        let tripped = shared_budget.is_some_and(|b| b.is_tripped());
+        let spent = out.stats.nodes_generated;
+        let best_pd = match best {
+            Some((best_pd, winner)) => {
+                if let Some(t) = trace.as_deref_mut() {
+                    for slot in &rt.slots {
+                        let slot = slot.lock().unwrap();
+                        replay_telemetry(t, &slot.telemetry, best_pd);
+                    }
+                }
+                let slot = rt.slots[winner].lock().unwrap();
+                prep.indices_from_path_into(&slot.best_path, &mut out.indices);
+                best_pd
             }
-        }
-        {
-            let slot = rt.slots[winner].lock().unwrap();
-            prep.indices_from_path_into(&slot.best_path, &mut out.indices);
+            None => {
+                // Only reachable on a tripped budget (an unbudgeted loop
+                // exits solely through `found`): no lane landed a leaf,
+                // so complete one greedily on the calling thread.
+                debug_assert!(tripped, "leafless exit without a tripped budget");
+                let pd = crate::dfs::greedy_leaf(
+                    prep,
+                    eval,
+                    &mut ws.scratch,
+                    &mut out.stats,
+                    &mut ws.path,
+                    &mut ws.best_path,
+                )
+                .to_f64();
+                if let Some(t) = trace.as_deref_mut() {
+                    for slot in &rt.slots {
+                        let slot = slot.lock().unwrap();
+                        replay_telemetry(t, &slot.telemetry, pd);
+                    }
+                }
+                prep.indices_from_path_into(&ws.best_path, &mut out.indices);
+                pd
+            }
+        };
+        if tripped {
+            out.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
         }
         out.stats.final_radius_sqr = best_pd;
         out.stats.flops += prep.prep_flops;
@@ -501,12 +631,22 @@ struct Enumerate<'a, F: Float> {
     trace: Option<&'a mut (dyn TraceSink + 'static)>,
     roots: &'a mut Vec<RootRef<F>>,
     root_paths: &'a mut Vec<usize>,
+    /// Spend ledger of a budgeted decode; `None` when unlimited.
+    budget: Option<&'a SharedBudget>,
+    /// Latched once the budget trips; unwinds the enumeration.
+    truncated: bool,
 }
 
 impl<F: Float> Enumerate<'_, F> {
     fn descend(&mut self, pd: F) {
         let depth = self.path.len();
         let p = self.prep.order;
+        if let Some(b) = self.budget {
+            if b.check_and_charge(p as u64) {
+                self.truncated = true;
+                return;
+            }
+        }
         self.stats.nodes_expanded += 1;
         let t0 = span_clock(self.trace.is_some());
         self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
@@ -525,6 +665,9 @@ impl<F: Float> Enumerate<'_, F> {
             t.on_sort(depth, p as u64);
         }
         for (rank, &(inc, child)) in children.iter().enumerate() {
+            if self.truncated {
+                break;
+            }
             let child_pd = pd + inc;
             if !(child_pd < self.radius) {
                 // Sorted order ⇒ every remaining sibling is pruned too.
@@ -569,6 +712,7 @@ fn worker_search<F: Float>(
     nworkers: usize,
     slot: &mut WorkerSlot<F>,
     tracing: bool,
+    budget: Option<&SharedBudget>,
 ) {
     let m = prep.n_tx;
     let p = prep.order;
@@ -584,6 +728,8 @@ fn worker_search<F: Float>(
         best_path: &mut slot.best_path,
         shared,
         eval,
+        budget,
+        truncated: false,
         trace: if tracing {
             Some(&mut slot.telemetry)
         } else {
@@ -592,6 +738,9 @@ fn worker_search<F: Float>(
     };
     let mut i = windex;
     while i < roots.len() {
+        if search.truncated {
+            break;
+        }
         let root = roots[i];
         i += nworkers;
         // A subtree whose root already falls outside everyone's sphere
@@ -620,6 +769,10 @@ struct WorkerSearch<'a, F: Float> {
     best_path: &'a mut Vec<usize>,
     shared: &'a AtomicF64Min,
     eval: EvalStrategy,
+    /// Spend ledger of a budgeted decode; `None` when unlimited.
+    budget: Option<&'a SharedBudget>,
+    /// Latched once the budget trips; unwinds this lane's recursion.
+    truncated: bool,
     trace: Option<&'a mut SearchTelemetry>,
 }
 
@@ -628,6 +781,12 @@ impl<F: Float> WorkerSearch<'_, F> {
         let depth = self.path.len();
         let m = self.prep.n_tx;
         let p = self.prep.order;
+        if let Some(b) = self.budget {
+            if b.check_and_charge(p as u64) {
+                self.truncated = true;
+                return;
+            }
+        }
         self.stats.nodes_expanded += 1;
         let t0 = span_clock(self.trace.is_some());
         self.stats.flops += eval_children(self.prep, self.path, self.eval, self.scratch);
@@ -646,6 +805,9 @@ impl<F: Float> WorkerSearch<'_, F> {
             t.on_sort(depth, p as u64);
         }
         for (rank, &(inc, child)) in children.iter().enumerate() {
+            if self.truncated {
+                break;
+            }
             let child_pd = pd + inc;
             // Prune against everyone's best, not just our own.
             if !(child_pd.to_f64() < self.shared.load()) {
@@ -906,6 +1068,89 @@ mod tests {
         assert_eq!(b.get(), 1);
         b.set(6);
         assert_eq!(b.get(), 6);
+    }
+
+    /// An unlimited budget through the budgeted entry point is literally
+    /// the unbudgeted decode (same code path, no spend ledger).
+    #[test]
+    fn unlimited_budget_matches_plain_parallel_decode() {
+        use crate::engine::DecodeBudget;
+        let (c, frames) = frames(6, Modulation::Qam4, 8.0, 8, 113);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c).with_workers(4);
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        for f in &frames {
+            let prep = mp.prepare_frame(f);
+            let plain = mp.detect_prepared_in(&prep, f64::INFINITY, &mut ws);
+            mp.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::UNLIMITED,
+                &mut ws,
+                &mut out,
+            );
+            // Node counts vary run to run under parallelism, but the
+            // answer and its metric are deterministic.
+            assert_eq!(out.indices, plain.indices);
+            assert_eq!(
+                out.stats.final_radius_sqr.to_bits(),
+                plain.stats.final_radius_sqr.to_bits()
+            );
+            assert_eq!(out.stats.quality, crate::detector::SearchQuality::Exact);
+        }
+    }
+
+    /// A tight budget truncates every lane, flags the result, and still
+    /// returns a complete symbol vector.
+    #[test]
+    fn tight_budget_truncates_parallel_decode() {
+        use crate::engine::DecodeBudget;
+        let (c, frames) = frames(8, Modulation::Qam4, 4.0, 10, 114);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone()).with_workers(4);
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        let mut saw_truncation = false;
+        for f in &frames {
+            let prep = mp.prepare_frame(f);
+            // A handful of nodes: enumeration alone blows through this.
+            mp.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::nodes(8),
+                &mut ws,
+                &mut out,
+            );
+            assert_eq!(out.indices.len(), 8, "always a complete vector");
+            if out.stats.quality.is_truncated() {
+                saw_truncation = true;
+                let metric = prep.full_metric(&out.indices) - prep.tail_energy;
+                assert!(
+                    (metric - out.stats.final_radius_sqr).abs() < 1e-8,
+                    "reported radius must be the returned leaf's metric"
+                );
+            }
+        }
+        assert!(saw_truncation, "8-node budgets must trip at 8x8 / 4 dB");
+    }
+
+    /// Budgets thread through the sequential fallback (1 worker)
+    /// bit-identically to the sequential decoder's budgeted decode.
+    #[test]
+    fn one_worker_budgeted_matches_sequential_budgeted() {
+        use crate::engine::DecodeBudget;
+        let (c, frames) = frames(6, Modulation::Qam4, 6.0, 8, 115);
+        let mp: ParallelSphereDecoder<f64> = ParallelSphereDecoder::new(c.clone()).with_workers(1);
+        let sd: SphereDecoder<f64> = SphereDecoder::new(c);
+        let mut ws = SearchWorkspace::new();
+        let mut a = Detection::default();
+        let mut b = Detection::default();
+        for f in &frames {
+            let prep = mp.prepare_frame(f);
+            let budget = DecodeBudget::nodes(24);
+            mp.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut a);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut b);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -552,6 +552,108 @@ impl<F: Float> Prepared<F> {
         }
         acc
     }
+
+    /// Exact [`ChannelObservables`] of this prepared problem, read off
+    /// the `R` diagonal (one pass over `M` entries — free relative to
+    /// the QR that produced it).
+    pub fn observables(&self) -> ChannelObservables {
+        ChannelObservables::from_gains((0..self.n_tx).map(|i| {
+            let rii = self.r[(i, i)];
+            rii.norm_sqr().to_f64()
+        }))
+    }
+}
+
+/// Pre-decode complexity observables of one channel use — the features
+/// the serve layer's predictive admission control conditions on.
+///
+/// Sphere-decoder search cost at a given SNR is driven by how well
+/// conditioned the channel is (the Dabah et al. trade-off curves): a
+/// small `|r_ii|` anywhere on the diagonal means one tree level barely
+/// discriminates between hypotheses and the search fans out. Two
+/// constructors produce the same shape:
+///
+/// * [`Prepared::observables`] — exact, from the `R` diagonal
+///   (`gain_i = |r_ii|²`, so the product is `det(HᴴH)`);
+/// * [`ChannelObservables::from_channel`] — a pre-QR proxy from the
+///   squared column norms of `H` (Hadamard bound on the same product),
+///   cheap enough to run at admission time before any factorization.
+///
+/// All fields are finite for any input (non-finite or non-positive gains
+/// degrade to the worst-case conditioning), so downstream bucketing is
+/// total.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelObservables {
+    /// Smallest per-stream energy (`min_i |r_ii|²` or `min_j ‖h_j‖²`).
+    pub min_gain_sqr: f64,
+    /// Largest per-stream energy.
+    pub max_gain_sqr: f64,
+    /// `Σᵢ log2 gain_i` — `log2 det(HᴴH)` exactly when built from `R`,
+    /// its Hadamard upper bound when built from `H`.
+    pub log2_gain_product: f64,
+}
+
+impl ChannelObservables {
+    /// Worst-case conditioning reported when a gain is zero, negative or
+    /// non-finite (a singular or corrupt channel): effectively "assume
+    /// the search will fan out maximally".
+    pub const WORST_CONDITION_LOG2: f64 = 64.0;
+
+    /// Build from an iterator of per-stream squared gains.
+    pub fn from_gains<I: IntoIterator<Item = f64>>(gains: I) -> Self {
+        let mut min_gain_sqr = f64::INFINITY;
+        let mut max_gain_sqr = 0.0f64;
+        let mut log2_gain_product = 0.0f64;
+        let mut degenerate = false;
+        let mut n = 0usize;
+        for g in gains {
+            n += 1;
+            if !(g.is_finite() && g > 0.0) {
+                degenerate = true;
+                continue;
+            }
+            min_gain_sqr = min_gain_sqr.min(g);
+            max_gain_sqr = max_gain_sqr.max(g);
+            log2_gain_product += g.log2();
+        }
+        if n == 0 || degenerate || min_gain_sqr > max_gain_sqr {
+            // Empty or singular channel: pin to the worst conditioning
+            // so the predictor assumes maximal fan-out.
+            return ChannelObservables {
+                min_gain_sqr: 0.0,
+                max_gain_sqr: max_gain_sqr.max(0.0),
+                log2_gain_product: f64::MIN_EXP as f64,
+            };
+        }
+        ChannelObservables {
+            min_gain_sqr,
+            max_gain_sqr,
+            log2_gain_product,
+        }
+    }
+
+    /// Pre-QR proxy from the squared column norms of the channel matrix
+    /// (Hadamard bound on `det(HᴴH)`); `O(NM)`, no factorization.
+    pub fn from_channel(h: &Matrix<f64>) -> Self {
+        ChannelObservables::from_gains(
+            (0..h.cols()).map(|j| (0..h.rows()).map(|i| h[(i, j)].norm_sqr()).sum::<f64>()),
+        )
+    }
+
+    /// Condition proxy `log2(κ²) / 2 = log2(max gain / min gain) / 2` —
+    /// 0 for a perfectly balanced channel, growing as the weakest stream
+    /// collapses. Always finite: degenerate channels report
+    /// [`ChannelObservables::WORST_CONDITION_LOG2`].
+    pub fn condition_log2(&self) -> f64 {
+        if !(self.min_gain_sqr > 0.0)
+            || !self.min_gain_sqr.is_finite()
+            || !self.max_gain_sqr.is_finite()
+        {
+            return Self::WORST_CONDITION_LOG2;
+        }
+        ((self.max_gain_sqr / self.min_gain_sqr).log2() / 2.0)
+            .clamp(0.0, Self::WORST_CONDITION_LOG2)
+    }
 }
 
 #[cfg(test)]
@@ -832,5 +934,51 @@ mod tests {
         assert!(qr_flops(10, 10) > 0);
         assert!(qr_flops(20, 20) > qr_flops(10, 10));
         assert!(qr_flops(16, 8) > qr_flops(8, 8));
+    }
+
+    /// The exact observables (R diagonal) and the pre-QR proxy (column
+    /// norms) must agree on the invariants the predictor relies on: the
+    /// exact gain product is `log2 det(HᴴH)` and the Hadamard bound from
+    /// `H` is an upper bound on it; both condition proxies are finite.
+    #[test]
+    fn observables_exact_vs_hadamard_bound() {
+        for seed in 40..46 {
+            let (c, f) = frame(6, Modulation::Qam16, seed);
+            let prep: Prepared<f64> = preprocess(&f, &c);
+            let exact = prep.observables();
+            let proxy = ChannelObservables::from_channel(&f.h);
+            assert!(
+                exact.log2_gain_product <= proxy.log2_gain_product + 1e-9,
+                "Hadamard bound violated: exact {} > proxy {}",
+                exact.log2_gain_product,
+                proxy.log2_gain_product
+            );
+            for o in [&exact, &proxy] {
+                assert!(o.min_gain_sqr > 0.0 && o.min_gain_sqr <= o.max_gain_sqr);
+                assert!(o.condition_log2().is_finite());
+                assert!(o.condition_log2() >= 0.0);
+            }
+        }
+    }
+
+    /// Degenerate inputs (empty, zero, NaN gains) must not poison the
+    /// observables: everything stays finite and reports the worst-case
+    /// conditioning, so downstream bucketing is total.
+    #[test]
+    fn observables_are_total_on_degenerate_channels() {
+        for obs in [
+            ChannelObservables::from_gains([]),
+            ChannelObservables::from_gains([0.0, 1.0]),
+            ChannelObservables::from_gains([f64::NAN, 1.0]),
+            ChannelObservables::from_gains([f64::INFINITY]),
+            ChannelObservables::from_gains([-1.0, 2.0]),
+        ] {
+            assert!(obs.condition_log2().is_finite());
+            assert_eq!(
+                obs.condition_log2(),
+                ChannelObservables::WORST_CONDITION_LOG2
+            );
+            assert!(obs.log2_gain_product.is_finite());
+        }
     }
 }

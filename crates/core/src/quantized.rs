@@ -29,8 +29,8 @@
 //! against the float engines compare like for like.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::Detection;
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::detector::{Detection, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
 use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
 use sd_math::fixed::{
@@ -39,6 +39,7 @@ use sd_math::fixed::{
 use sd_math::fxkernel::{fx_expand_level, fx_metric_update};
 use sd_wireless::Constellation;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Measured BER-degradation budget of the quantized engines against their
 /// f64 counterparts, in dB at the target BER of the standard
@@ -635,13 +636,122 @@ impl QuantizedSphereDecoder {
         st.prepare(prep, self.metric);
         let mut stats = crate::detector::DetectionStats::default();
         stats.reset(prep.n_tx);
-        let best = dfs_bounded(st, self.metric, bound, &mut stats, &mut None);
+        let best = dfs_bounded(
+            st,
+            self.metric,
+            bound,
+            &mut FxBudget::unlimited(),
+            &mut stats,
+            &mut None,
+        );
         best.map(|b| {
             let mut indices = Vec::new();
             prep.indices_from_path_into(&st.best_path, &mut indices);
             (b, indices)
         })
     }
+}
+
+/// Mutable budget ledger for the recursive integer DFS: the fixed-point
+/// analogue of the float DFS's in-struct budget fields. `tripped` latches
+/// so every frame of the recursion unwinds without charging further work.
+struct FxBudget {
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    tripped: bool,
+}
+
+impl FxBudget {
+    fn unlimited() -> Self {
+        FxBudget {
+            max_nodes: u64::MAX,
+            deadline: None,
+            tripped: false,
+        }
+    }
+
+    fn from_budget(budget: &DecodeBudget) -> Self {
+        FxBudget {
+            max_nodes: budget.max_nodes,
+            deadline: budget.deadline,
+            tripped: false,
+        }
+    }
+
+    /// Latching trip check against work already charged to `stats`. The
+    /// deadline is sampled every 64 expansions so the common (node-only)
+    /// budget costs one integer compare per node.
+    #[inline]
+    fn tripping(&mut self, stats: &crate::detector::DetectionStats) -> bool {
+        if self.tripped {
+            return true;
+        }
+        if stats.nodes_generated >= self.max_nodes
+            || self
+                .deadline
+                .is_some_and(|d| (stats.nodes_expanded & 63) == 0 && Instant::now() >= d)
+        {
+            self.tripped = true;
+        }
+        self.tripped
+    }
+}
+
+/// Greedy (SIC-style) completion to the nearest leaf when a budget trips
+/// before any leaf was reached: per level, keep the single lowest-
+/// increment child, ignoring the sphere bound. The fixed-point analogue
+/// of `crate::dfs::greedy_leaf`; work is charged to `stats` like any
+/// other expansion. Leaves the leaf in `st.best_path` and returns its
+/// fixed-domain metric.
+fn fx_greedy_leaf(
+    st: &mut FxState,
+    metric: MetricKind,
+    stats: &mut crate::detector::DetectionStats,
+) -> i64 {
+    let m = st.fx.n_tx;
+    let p = st.fx.order;
+    st.path.clear();
+    let mut pd = 0i64;
+    for depth in 0..m {
+        stats.nodes_expanded += 1;
+        stats.nodes_generated += p as u64;
+        stats.per_level_generated[depth] += p as u64;
+        let level = &st.fx.levels[depth];
+        let mut wr = 0i32;
+        let mut wi = 0i32;
+        for off in 0..depth {
+            let s = st.path[depth - 1 - off];
+            let (ar, ai) = (level.a_re[off] as i32, level.a_im[off] as i32);
+            let (sr, si) = (st.fx.sym_re[s] as i32, st.fx.sym_im[s] as i32);
+            wr += ar * sr - ai * si;
+            wi += ar * si + ai * sr;
+        }
+        st.inc.clear();
+        st.inc.resize(p, 0);
+        fx_metric_update(
+            level.y_re - wr,
+            level.y_im - wi,
+            &level.seed_re,
+            &level.seed_im,
+            metric,
+            &mut st.inc,
+        );
+        stats.flops += fx_level_ops(1, depth, p);
+        let (c, &best_inc) = st
+            .inc
+            .iter()
+            .enumerate()
+            .min_by_key(|&(c, &v)| (v, c))
+            .expect("P > 0");
+        pd = metric.combine(pd, best_inc);
+        st.path.push(c);
+    }
+    stats.leaves_reached += 1;
+    stats.radius_updates += 1;
+    st.best_path.clear();
+    st.best_path.extend_from_slice(&st.path);
+    st.path.clear();
+    pd
 }
 
 /// Recursive bounded integer DFS over `st.fx`. Keeps a leaf when its
@@ -652,24 +762,32 @@ fn dfs_bounded(
     st: &mut FxState,
     metric: MetricKind,
     bound: i64,
+    budget: &mut FxBudget,
     stats: &mut crate::detector::DetectionStats,
     trace: &mut Option<Box<dyn crate::trace::TraceSink>>,
 ) -> Option<i64> {
     st.path.clear();
     let mut best: Option<i64> = None;
-    descend(st, metric, 0, bound, &mut best, stats, trace);
+    descend(st, metric, 0, bound, budget, &mut best, stats, trace);
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend(
     st: &mut FxState,
     metric: MetricKind,
     pd: i64,
     bound: i64,
+    budget: &mut FxBudget,
     best: &mut Option<i64>,
     stats: &mut crate::detector::DetectionStats,
     trace: &mut Option<Box<dyn crate::trace::TraceSink>>,
 ) {
+    // Budget gate *before* charging this expansion, so an untripped
+    // budget leaves every counter bit-identical to the unbudgeted run.
+    if budget.tripping(stats) {
+        return;
+    }
     let depth = st.path.len();
     let m = st.fx.n_tx;
     let p = st.fx.order;
@@ -713,6 +831,9 @@ fn descend(
     }
 
     for (rank, &(child_pd, c)) in children.iter().enumerate() {
+        if budget.tripped {
+            break;
+        }
         // Admissible cut: > the initial bound discards nothing ≤ bound;
         // ≥ the running best only discards non-improving leaves.
         if child_pd > bound || best.is_some_and(|b| child_pd >= b) {
@@ -736,7 +857,7 @@ fn descend(
                 t.on_radius_update(depth, child_pd as f64);
             }
         } else {
-            descend(st, metric, child_pd, bound, best, stats, trace);
+            descend(st, metric, child_pd, bound, budget, best, stats, trace);
         }
         st.path.pop();
     }
@@ -763,6 +884,30 @@ impl PreparedDetector<f64> for QuantizedSphereDecoder {
         ws: &mut SearchWorkspace<f64>,
         out: &mut Detection,
     ) {
+        self.decode_budgeted(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<f64>,
+        radius_sqr: f64,
+        budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        self.decode_budgeted(prep, radius_sqr, budget, ws, out);
+    }
+}
+
+impl QuantizedSphereDecoder {
+    fn decode_budgeted(
+        &self,
+        prep: &Prepared<f64>,
+        radius_sqr: f64,
+        decode_budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
         let m = prep.n_tx;
         ws.prepare(prep.order, m);
         out.stats.reset(m);
@@ -774,10 +919,31 @@ impl PreparedDetector<f64> for QuantizedSphereDecoder {
             t.on_decode_start(m);
         }
 
+        let mut fx_budget = FxBudget::from_budget(decode_budget);
         let mut bound = st.fx.fixed_bound(self.metric, radius_sqr);
         let mut best;
         loop {
-            best = dfs_bounded(st, self.metric, bound, &mut out.stats, &mut trace);
+            best = dfs_bounded(
+                st,
+                self.metric,
+                bound,
+                &mut fx_budget,
+                &mut out.stats,
+                &mut trace,
+            );
+            if fx_budget.tripped {
+                // Anytime exit: keep the best-so-far leaf, or complete
+                // one greedily when the trip came before any leaf. The
+                // spend is what the search cost *at the trip*; the
+                // greedy completion's extra work still lands in the
+                // plain counters. Never restart a truncated search.
+                let spent = out.stats.nodes_generated;
+                if best.is_none() {
+                    best = Some(fx_greedy_leaf(st, self.metric, &mut out.stats));
+                }
+                out.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                break;
+            }
             if best.is_some() || bound == i64::MAX {
                 break;
             }
@@ -1031,5 +1197,96 @@ mod tests {
     #[should_panic(expected = "K must be positive")]
     fn zero_k_rejected() {
         let _ = QuantizedKBestSd::new(Constellation::new(Modulation::Qam4), 0);
+    }
+
+    /// An unexhausted budget must leave the quantized DFS bit-identical
+    /// to the unbudgeted decode — indices, stats, metric bits.
+    #[test]
+    fn generous_budget_is_bit_identical_in_fixed_point() {
+        use crate::engine::DecodeBudget;
+        let (c, fs) = frames(6, Modulation::Qam16, 10.0, 10, 13);
+        let sd = QuantizedSphereDecoder::new(c.clone());
+        let mut ws = SearchWorkspace::new();
+        let mut plain = Detection::default();
+        let mut budgeted = Detection::default();
+        for f in &fs {
+            let prep = preprocess::<f64>(f, &c);
+            sd.detect_prepared_into(&prep, f64::INFINITY, &mut ws, &mut plain);
+            let budget = DecodeBudget::nodes(plain.stats.nodes_generated + 1);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut budgeted);
+            assert_eq!(budgeted, plain, "unexhausted budget must change nothing");
+            assert_eq!(
+                budgeted.stats.quality,
+                crate::detector::SearchQuality::Exact
+            );
+            sd.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::UNLIMITED,
+                &mut ws,
+                &mut budgeted,
+            );
+            assert_eq!(budgeted, plain);
+        }
+    }
+
+    /// A tight budget truncates the quantized DFS, flags the result, and
+    /// still returns a complete vector whose reported metric matches it.
+    #[test]
+    fn exhausted_budget_truncates_quantized_dfs() {
+        use crate::detector::SearchQuality;
+        use crate::engine::DecodeBudget;
+        let (c, fs) = frames(8, Modulation::Qam4, 4.0, 20, 14);
+        let sd = QuantizedSphereDecoder::new(c.clone());
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        let mut saw_truncation = false;
+        for f in &fs {
+            let prep = preprocess::<f64>(f, &c);
+            let full = sd.detect_prepared(&prep, f64::INFINITY);
+            let budget = DecodeBudget::nodes(full.stats.nodes_generated / 2);
+            sd.detect_prepared_budgeted_into(&prep, f64::INFINITY, &budget, &mut ws, &mut out);
+            assert_eq!(out.indices.len(), 8, "always a complete vector");
+            if let SearchQuality::BudgetTruncated { nodes_spent } = out.stats.quality {
+                saw_truncation = true;
+                assert!(nodes_spent >= budget.max_nodes);
+                // The reported radius is the returned leaf's fixed metric,
+                // and an anytime answer can never beat the exact one.
+                let mut fx = FxPrepared::new();
+                fx.quantize_from(&prep);
+                let tree_path: Vec<usize> = (0..prep.n_tx)
+                    .map(|d| out.indices[prep.perm[prep.n_tx - 1 - d]])
+                    .collect();
+                let leaf = fx.leaf_metric(&tree_path, MetricKind::L2);
+                let reported = fx.fixed_bound(MetricKind::L2, out.stats.final_radius_sqr);
+                assert!((leaf - reported).abs() <= 1);
+                assert!(out.stats.final_radius_sqr >= full.stats.final_radius_sqr - 1e-12);
+            }
+        }
+        assert!(saw_truncation, "half-spend budgets must trip somewhere");
+    }
+
+    /// A zero-node budget degenerates to the greedy (SIC) completion:
+    /// one leaf, complete vector, flagged truncated.
+    #[test]
+    fn zero_budget_is_greedy_completion_in_fixed_point() {
+        use crate::engine::DecodeBudget;
+        let (c, fs) = frames(6, Modulation::Qam4, 10.0, 5, 15);
+        let sd = QuantizedSphereDecoder::new(c.clone());
+        let mut ws = SearchWorkspace::new();
+        let mut out = Detection::default();
+        for f in &fs {
+            let prep = preprocess::<f64>(f, &c);
+            sd.detect_prepared_budgeted_into(
+                &prep,
+                f64::INFINITY,
+                &DecodeBudget::nodes(0),
+                &mut ws,
+                &mut out,
+            );
+            assert_eq!(out.indices.len(), 6);
+            assert_eq!(out.stats.leaves_reached, 1, "exactly the greedy leaf");
+            assert!(out.stats.quality.is_truncated());
+        }
     }
 }

@@ -74,25 +74,76 @@ impl Default for CoreBudgetPolicy {
 /// 4 dB-wide SNR buckets covering 0–28 dB (clamped outside).
 const N_SNR_BUCKETS: usize = 8;
 const BUCKET_WIDTH_DB: f64 = 4.0;
+/// Channel-conditioning buckets over the [`sd_core::ChannelObservables`]
+/// condition proxy (`log2` of the per-stream gain spread): near-unitary,
+/// mild, skewed, near-singular. Coarse on purpose — each (SNR, condition)
+/// cell must still see enough traffic to train.
+const N_COND_BUCKETS: usize = 4;
+/// Upper edges of the first `N_COND_BUCKETS − 1` condition buckets; the
+/// last bucket is open-ended.
+const COND_EDGES_LOG2: [f64; N_COND_BUCKETS - 1] = [1.0, 2.5, 5.0];
 /// EWMA smoothing factor.
 const ALPHA: f64 = 0.2;
+/// Bit pattern marking an EWMA cell that has never been written (a quiet
+/// NaN). A *value* sentinel like `0.0` is wrong here: a legitimate 0-ns
+/// observation (coarse clocks, sub-tick decodes) would leave the cell
+/// looking unsampled and re-adopt every next sample forever.
+const UNSAMPLED: u64 = 0x7FF8_0000_0000_0000;
 
+/// SNR bucket index. Total: every `f64` maps somewhere. Non-finite SNR
+/// maps to bucket 0 like any very low SNR — but it can only be *read*
+/// there: request construction rejects non-finite SNR and
+/// [`CostModel::observe_with`] refuses to train on it, so the low-SNR
+/// curve cannot be poisoned through this path.
 fn bucket(snr_db: f64) -> usize {
+    if snr_db.is_nan() {
+        return 0;
+    }
     ((snr_db / BUCKET_WIDTH_DB)
         .floor()
         .clamp(0.0, (N_SNR_BUCKETS - 1) as f64)) as usize
 }
 
-fn load_f64(cell: &AtomicU64) -> f64 {
-    f64::from_bits(cell.load(Ordering::Relaxed))
+/// Condition bucket index from the `log2` condition proxy (see
+/// [`sd_core::ChannelObservables::condition_log2`]). Total: non-finite
+/// maps to the worst (near-singular) bucket.
+fn cond_bucket(condition_log2: f64) -> usize {
+    if !condition_log2.is_finite() {
+        return N_COND_BUCKETS - 1;
+    }
+    COND_EDGES_LOG2
+        .iter()
+        .position(|&edge| condition_log2 < edge)
+        .unwrap_or(N_COND_BUCKETS - 1)
 }
 
-/// EWMA update via CAS; a zero cell (unsampled) adopts the first sample.
+/// Read an EWMA cell as a prediction input: unsampled (NaN sentinel)
+/// reads as 0 so the model stays optimistic until it has evidence.
+fn load_sample(cell: &AtomicU64) -> f64 {
+    let v = f64::from_bits(cell.load(Ordering::Relaxed));
+    if v.is_nan() {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// `true` when the cell has at least one sample.
+fn is_sampled(cell: &AtomicU64) -> bool {
+    !f64::from_bits(cell.load(Ordering::Relaxed)).is_nan()
+}
+
+/// EWMA update via CAS; an unsampled cell (NaN sentinel, *not* `0.0` —
+/// zero is a legitimate observation) adopts the first sample. Non-finite
+/// samples are discarded so no observation stream can poison a cell.
 fn ewma_update(cell: &AtomicU64, x: f64) {
+    if !x.is_finite() {
+        return;
+    }
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let old = f64::from_bits(cur);
-        let new = if old == 0.0 {
+        let new = if old.is_nan() {
             x
         } else {
             old + ALPHA * (x - old)
@@ -144,8 +195,16 @@ impl std::fmt::Debug for TierCostClass {
 /// Per-tier model cells.
 struct TierCost {
     /// EWMA of nodes generated, per SNR bucket (f64 bits); only fed by
-    /// [`TierCostClass::Adaptive`] tiers.
+    /// [`TierCostClass::Adaptive`] tiers. The marginal curve — trained by
+    /// every adaptive observation regardless of channel conditioning.
     nodes: [AtomicU64; N_SNR_BUCKETS],
+    /// Condition-resolved node curve: `N_SNR_BUCKETS × N_COND_BUCKETS`
+    /// cells (SNR-major), fed only by observations that carried a channel
+    /// condition observable. Predictions prefer a sampled conditioned
+    /// cell and fall back to the SNR marginal — the Dabah trade-off: an
+    /// ill-conditioned channel at a given SNR costs orders of magnitude
+    /// more nodes than a well-conditioned one.
+    cond_nodes: [AtomicU64; N_SNR_BUCKETS * N_COND_BUCKETS],
     /// EWMA of this tier's service nanoseconds (f64 bits); prediction
     /// input for [`TierCostClass::Linear`], informational otherwise.
     service_ns: AtomicU64,
@@ -157,6 +216,13 @@ pub struct CostModel {
     /// EWMA of decode nanoseconds per generated node (f64 bits), fed by
     /// every tree-search decode regardless of tier.
     ns_per_node: AtomicU64,
+    /// Tier-blind EWMA of per-vector service nanoseconds (f64 bits), fed
+    /// by every observation regardless of class. This is the runtime's
+    /// drain-rate estimate: under a degradation ladder the served mix is
+    /// bimodal (exact decodes vs floor-tier microseconds), and the EWMA
+    /// of the *mix* — not any one tier's curve — is what predicts how
+    /// fast a backlog in front of a new request will clear.
+    mean_service_ns: AtomicU64,
 }
 
 impl CostModel {
@@ -165,18 +231,21 @@ impl CostModel {
         CostModel {
             tiers: (0..n_tiers)
                 .map(|_| TierCost {
-                    nodes: std::array::from_fn(|_| AtomicU64::new(0)),
-                    service_ns: AtomicU64::new(0),
+                    nodes: std::array::from_fn(|_| AtomicU64::new(UNSAMPLED)),
+                    cond_nodes: std::array::from_fn(|_| AtomicU64::new(UNSAMPLED)),
+                    service_ns: AtomicU64::new(UNSAMPLED),
                 })
                 .collect(),
-            ns_per_node: AtomicU64::new(0),
+            ns_per_node: AtomicU64::new(UNSAMPLED),
+            mean_service_ns: AtomicU64::new(UNSAMPLED),
         }
     }
 
     /// Record one served decode at tier `tier` with cost class `class`.
     /// Tree tiers (`nodes_generated > 0` required) feed the shared node
     /// rate, adaptive tiers additionally feed their per-SNR node curve,
-    /// and every tier feeds its own service-time EWMA.
+    /// and every tier feeds its own service-time EWMA. Equivalent to
+    /// [`CostModel::observe_with`] with no condition observable.
     pub fn observe(
         &self,
         tier: usize,
@@ -185,15 +254,41 @@ impl CostModel {
         nodes_generated: u64,
         elapsed_ns: u64,
     ) {
+        self.observe_with(tier, class, snr_db, None, nodes_generated, elapsed_ns);
+    }
+
+    /// [`CostModel::observe`] carrying the channel-conditioning observable
+    /// (`condition_log2`, see [`sd_core::ChannelObservables`]): adaptive
+    /// observations additionally train the (SNR, condition) cell so later
+    /// predictions can separate benign from near-singular channels at the
+    /// same SNR. A non-finite `snr_db` trains nothing SNR-keyed — it would
+    /// land in bucket 0 and poison the lowest-SNR curve.
+    pub fn observe_with(
+        &self,
+        tier: usize,
+        class: &TierCostClass,
+        snr_db: f64,
+        condition_log2: Option<f64>,
+        nodes_generated: u64,
+        elapsed_ns: u64,
+    ) {
         let cells = &self.tiers[tier];
         ewma_update(&cells.service_ns, elapsed_ns as f64);
+        ewma_update(&self.mean_service_ns, elapsed_ns as f64);
         match class {
             TierCostClass::Adaptive | TierCostClass::Fixed(_) => {
                 if nodes_generated == 0 {
                     return;
                 }
-                if matches!(class, TierCostClass::Adaptive) {
-                    ewma_update(&cells.nodes[bucket(snr_db)], nodes_generated as f64);
+                if matches!(class, TierCostClass::Adaptive) && snr_db.is_finite() {
+                    let b = bucket(snr_db);
+                    ewma_update(&cells.nodes[b], nodes_generated as f64);
+                    if let Some(c) = condition_log2 {
+                        ewma_update(
+                            &cells.cond_nodes[b * N_COND_BUCKETS + cond_bucket(c)],
+                            nodes_generated as f64,
+                        );
+                    }
                 }
                 ewma_update(
                     &self.ns_per_node,
@@ -206,7 +301,8 @@ impl CostModel {
 
     /// Predicted decode nanoseconds for tier `tier` under `class` at this
     /// operating point; 0 (optimistic) until the relevant cells have
-    /// samples.
+    /// samples. Equivalent to [`CostModel::predict_ns_with`] with no
+    /// condition observable.
     pub fn predict_ns(
         &self,
         tier: usize,
@@ -215,8 +311,25 @@ impl CostModel {
         m: usize,
         p: usize,
     ) -> f64 {
+        self.predict_ns_with(tier, class, snr_db, None, m, p)
+    }
+
+    /// [`CostModel::predict_ns`] carrying the channel-conditioning
+    /// observable: an adaptive tier reads the (SNR, condition) cell when
+    /// it has samples, falling back to the SNR marginal otherwise.
+    pub fn predict_ns_with(
+        &self,
+        tier: usize,
+        class: &TierCostClass,
+        snr_db: f64,
+        condition_log2: Option<f64>,
+        m: usize,
+        p: usize,
+    ) -> f64 {
         match class {
-            TierCostClass::Adaptive => self.predicted_nodes(tier, snr_db) * self.ns_per_node(),
+            TierCostClass::Adaptive => {
+                self.predicted_nodes_with(tier, snr_db, condition_log2) * self.ns_per_node()
+            }
             TierCostClass::Fixed(nodes) => nodes(m, p) as f64 * self.ns_per_node(),
             TierCostClass::Linear => self.tier_service_ns(tier),
         }
@@ -224,17 +337,55 @@ impl CostModel {
 
     /// Expected nodes for an adaptive tier at this SNR (0 when unsampled).
     pub fn predicted_nodes(&self, tier: usize, snr_db: f64) -> f64 {
-        load_f64(&self.tiers[tier].nodes[bucket(snr_db)])
+        load_sample(&self.tiers[tier].nodes[bucket(snr_db)])
+    }
+
+    /// Expected nodes for an adaptive tier at this (SNR, condition)
+    /// operating point, falling back to the SNR marginal when the
+    /// conditioned cell is unsampled or no condition was supplied.
+    pub fn predicted_nodes_with(
+        &self,
+        tier: usize,
+        snr_db: f64,
+        condition_log2: Option<f64>,
+    ) -> f64 {
+        let cells = &self.tiers[tier];
+        let b = bucket(snr_db);
+        if let Some(c) = condition_log2 {
+            let cell = &cells.cond_nodes[b * N_COND_BUCKETS + cond_bucket(c)];
+            if is_sampled(cell) {
+                return load_sample(cell);
+            }
+        }
+        load_sample(&cells.nodes[b])
     }
 
     /// Current shared ns-per-node estimate (0 when unsampled).
     pub fn ns_per_node(&self) -> f64 {
-        load_f64(&self.ns_per_node)
+        load_sample(&self.ns_per_node)
     }
 
     /// Observed mean service time of tier `tier` in ns (0 when unsampled).
     pub fn tier_service_ns(&self, tier: usize) -> f64 {
-        load_f64(&self.tiers[tier].service_ns)
+        load_sample(&self.tiers[tier].service_ns)
+    }
+
+    /// Tier-blind mean per-vector service time in ns (0 when unsampled) —
+    /// the drain rate of whatever tier mix this model's shard is serving.
+    pub fn mean_service_ns(&self) -> f64 {
+        load_sample(&self.mean_service_ns)
+    }
+
+    /// Predicted queue wait in front of a newly offered request:
+    /// `backlog` already-queued vectors (frames weighted by block size)
+    /// drained by `workers` at the observed [`CostModel::mean_service_ns`]
+    /// rate. Cold model → 0 (optimistic: admit until there is evidence).
+    /// This is the predictive-admission primitive: when the wait alone
+    /// already exceeds a request's whole deadline, even a free decode
+    /// would miss, so admitting it only burns service time that requests
+    /// behind it still need.
+    pub fn predicted_wait_ns(&self, backlog: u64, workers: usize) -> f64 {
+        backlog as f64 * self.mean_service_ns() / workers.max(1) as f64
     }
 
     /// Number of registered tiers.
@@ -345,6 +496,24 @@ mod tests {
     }
 
     #[test]
+    fn predicted_wait_is_cold_optimistic_and_scales_with_backlog() {
+        let m = CostModel::new(2);
+        // Cold: no drain-rate evidence, admit everything.
+        assert_eq!(m.mean_service_ns(), 0.0);
+        assert_eq!(m.predicted_wait_ns(1_000, 1), 0.0);
+        // Every observation feeds the tier-blind mean, whatever the class.
+        m.observe(0, &TierCostClass::Adaptive, 8.0, 100, 10_000);
+        m.observe(1, &TierCostClass::Linear, 8.0, 0, 10_000);
+        assert_eq!(m.mean_service_ns(), 10_000.0);
+        assert_eq!(m.predicted_wait_ns(10, 1), 100_000.0);
+        // More workers drain the same backlog proportionally faster; a
+        // zero worker count must not divide by zero.
+        assert_eq!(m.predicted_wait_ns(10, 2), 50_000.0);
+        assert_eq!(m.predicted_wait_ns(10, 0), 100_000.0);
+        assert_eq!(m.predicted_wait_ns(0, 1), 0.0);
+    }
+
+    #[test]
     fn linear_tier_predicts_its_own_service_time() {
         let m = CostModel::new(1);
         let lin = TierCostClass::Linear;
@@ -352,5 +521,87 @@ mod tests {
         assert_eq!(m.tier_service_ns(0), 40_000.0);
         assert_eq!(m.predict_ns(0, &lin, 8.0, 8, 4), 40_000.0);
         assert_eq!(m.ns_per_node(), 0.0, "no tree, no node rate");
+    }
+
+    /// Regression: a legitimate 0-ns observation (coarse clock, sub-tick
+    /// decode) is a *sample*, not "unsampled". With the old `old == 0.0`
+    /// sentinel the second observation re-adopted wholesale (predicting
+    /// 50 000 here) instead of blending through the EWMA.
+    #[test]
+    fn zero_valued_observation_is_a_real_sample() {
+        let m = CostModel::new(1);
+        let lin = TierCostClass::Linear;
+        m.observe(0, &lin, 8.0, 0, 0);
+        m.observe(0, &lin, 8.0, 0, 50_000);
+        let got = m.tier_service_ns(0);
+        let want = ALPHA * 50_000.0;
+        assert!(
+            (got - want).abs() < 1e-9,
+            "0-ns sample must seed the EWMA (want {want}, got {got})"
+        );
+    }
+
+    /// Non-finite samples must bounce off a cell without corrupting it.
+    #[test]
+    fn non_finite_samples_are_discarded() {
+        let cell = AtomicU64::new(UNSAMPLED);
+        ewma_update(&cell, f64::NAN);
+        ewma_update(&cell, f64::INFINITY);
+        assert!(!is_sampled(&cell), "garbage must not count as a sample");
+        ewma_update(&cell, 7.0);
+        ewma_update(&cell, f64::NEG_INFINITY);
+        assert_eq!(load_sample(&cell), 7.0, "garbage must not move a sample");
+    }
+
+    /// Regression: `bucket` is total (NaN → 0 without UB-adjacent casts),
+    /// and a NaN-SNR observation must not train the lowest-SNR curve —
+    /// before the guard it landed in bucket 0 and poisoned it.
+    #[test]
+    fn nan_snr_cannot_poison_the_low_snr_curve() {
+        assert_eq!(bucket(f64::NAN), 0);
+        assert_eq!(bucket(f64::INFINITY), N_SNR_BUCKETS - 1);
+        assert_eq!(bucket(f64::NEG_INFINITY), 0);
+        let m = CostModel::new(1);
+        m.observe(0, &TierCostClass::Adaptive, f64::NAN, 1_000_000, 1_000);
+        assert_eq!(
+            m.predicted_nodes(0, 0.0),
+            0.0,
+            "NaN-SNR observation must not write any SNR bucket"
+        );
+        assert!(m.ns_per_node() > 0.0, "the node rate is still SNR-free");
+    }
+
+    #[test]
+    fn condition_buckets_cover_the_proxy_range() {
+        assert_eq!(cond_bucket(0.0), 0);
+        assert_eq!(cond_bucket(0.99), 0);
+        assert_eq!(cond_bucket(1.0), 1);
+        assert_eq!(cond_bucket(3.0), 2);
+        assert_eq!(cond_bucket(60.0), N_COND_BUCKETS - 1);
+        assert_eq!(cond_bucket(f64::NAN), N_COND_BUCKETS - 1);
+        assert_eq!(cond_bucket(f64::INFINITY), N_COND_BUCKETS - 1);
+    }
+
+    /// The conditioned curve separates channel quality at one SNR, and
+    /// prediction falls back to the SNR marginal when the (SNR, condition)
+    /// cell is cold.
+    #[test]
+    fn conditioned_cells_separate_channel_quality() {
+        let m = CostModel::new(1);
+        let exact = TierCostClass::Adaptive;
+        // Same SNR, two channel regimes: benign vs near-singular.
+        m.observe_with(0, &exact, 8.0, Some(0.5), 200, 20_000);
+        m.observe_with(0, &exact, 8.0, Some(6.0), 20_000, 2_000_000);
+        let benign = m.predicted_nodes_with(0, 8.0, Some(0.5));
+        let skewed = m.predicted_nodes_with(0, 8.0, Some(6.0));
+        assert!(
+            skewed > 50.0 * benign,
+            "conditioning must separate: benign {benign}, skewed {skewed}"
+        );
+        // A cold conditioned cell falls back to the SNR marginal, which
+        // blends both regimes.
+        let marginal = m.predicted_nodes(0, 8.0);
+        assert_eq!(m.predicted_nodes_with(0, 8.0, Some(2.0)), marginal);
+        assert_eq!(m.predicted_nodes_with(0, 8.0, None), marginal);
     }
 }

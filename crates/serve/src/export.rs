@@ -84,11 +84,26 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         "Requests refused during shutdown.",
         snap.rejected_shutdown,
     );
+    counter(
+        "sd_serve_rejected_predicted_late_total",
+        "Requests shed by predictive admission (predicted wait exceeded the deadline).",
+        snap.rejected_predicted,
+    );
     counter("sd_serve_served_total", "Responses produced.", snap.served);
     counter(
         "sd_serve_deadline_missed_total",
         "Responses that exceeded their deadline.",
         snap.deadline_missed,
+    );
+    counter(
+        "sd_serve_quality_exact_total",
+        "Responses whose search ran to completion (exact quality).",
+        snap.quality_exact,
+    );
+    counter(
+        "sd_serve_budget_exhausted_total",
+        "Responses truncated by their decode budget (anytime best-so-far).",
+        snap.budget_exhausted,
     );
     counter(
         "sd_serve_prep_cache_hits_total",
@@ -124,6 +139,11 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         "sd_serve_frames_rejected_shutdown_total",
         "Frame requests refused during shutdown.",
         snap.frames_rejected_shutdown,
+    );
+    counter(
+        "sd_serve_frames_rejected_predicted_late_total",
+        "Frame requests shed by predictive admission.",
+        snap.frames_rejected_predicted,
     );
     counter(
         "sd_serve_frames_served_total",
@@ -350,11 +370,14 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
     let mut o = String::with_capacity(1024);
     let _ = write!(
         o,
-        "{{\"accepted\":{},\"rejected_full\":{},\"rejected_shutdown\":{},\"served\":{},\
-         \"deadline_missed\":{},\"deadline_miss_rate\":{},\"prep_cache_hits\":{},\
+        "{{\"accepted\":{},\"rejected_full\":{},\"rejected_shutdown\":{},\
+         \"rejected_predicted_late\":{},\"served\":{},\
+         \"deadline_missed\":{},\"deadline_miss_rate\":{},\
+         \"quality_exact\":{},\"budget_exhausted\":{},\"prep_cache_hits\":{},\
          \"prep_cache_misses\":{},\"prep_cache_bypass\":{},\"batches\":{},\
          \"mean_batch_size\":{},\"frames_accepted\":{},\"frames_rejected_full\":{},\
-         \"frames_rejected_shutdown\":{},\"frames_served\":{},\
+         \"frames_rejected_shutdown\":{},\"frames_rejected_predicted_late\":{},\
+         \"frames_served\":{},\
          \"frames_deadline_missed\":{},\"frame_subcarriers\":{},\
          \"frame_prep_factors\":{},\"mean_frame_size\":{},\"prep_amortization\":{},\
          \"p99_frame_latency_us\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
@@ -364,9 +387,12 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         snap.accepted,
         snap.rejected_full,
         snap.rejected_shutdown,
+        snap.rejected_predicted,
         snap.served,
         snap.deadline_missed,
         json_f64(snap.deadline_miss_rate),
+        snap.quality_exact,
+        snap.budget_exhausted,
         snap.prep_cache_hits,
         snap.prep_cache_misses,
         snap.prep_cache_bypass,
@@ -375,6 +401,7 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         snap.frames_accepted,
         snap.frames_rejected_full,
         snap.frames_rejected_shutdown,
+        snap.frames_rejected_predicted,
         snap.frames_served,
         snap.frames_deadline_missed,
         snap.frame_subcarriers,
@@ -639,6 +666,8 @@ mod tests {
         m.accepted.store(10, Ordering::Relaxed);
         m.served.store(9, Ordering::Relaxed);
         m.deadline_missed.store(1, Ordering::Relaxed);
+        m.quality_exact.store(8, Ordering::Relaxed);
+        m.budget_exhausted.store(1, Ordering::Relaxed);
         m.batches.store(3, Ordering::Relaxed);
         m.batch_items.store(9, Ordering::Relaxed);
         m.latency_ns.record(150_000);
@@ -663,6 +692,8 @@ mod tests {
             "sd_serve_served_total 9",
             "sd_serve_accepted_total 10",
             "sd_serve_deadline_missed_total 1",
+            "sd_serve_quality_exact_total 8",
+            "sd_serve_budget_exhausted_total 1",
             "sd_serve_queue_depth 2",
             "sd_serve_prep_cache_hits_total 5",
             "sd_serve_prep_cache_misses_total 3",
@@ -705,6 +736,8 @@ mod tests {
         validate_json(&line).expect("snapshot JSON must parse");
         assert!(!line.contains('\n'), "JSON-lines records are single-line");
         assert!(line.contains("\"served\":9"));
+        assert!(line.contains("\"quality_exact\":8"));
+        assert!(line.contains("\"budget_exhausted\":1"));
         assert!(line.contains("\"prep_cache_hits\":5"));
         assert!(line.contains("\"prep_cache_misses\":3"));
         assert!(line.contains("\"prep_cache_bypass\":1"));

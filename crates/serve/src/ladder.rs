@@ -18,7 +18,24 @@
 
 use crate::budget::CostModel;
 use crate::registry::Tier;
-use std::time::Duration;
+use sd_core::DecodeBudget;
+use std::time::{Duration, Instant};
+
+/// Node-budget floor handed to anytime decodes. Below this the truncated
+/// search degenerates to pure greedy completion with no tree context at
+/// all — at that point the floor tier is the honest answer, so the ladder
+/// never issues a tighter cap.
+pub const MIN_ANYTIME_NODES: u64 = 64;
+
+/// Fraction of the remaining time an anytime budget actually spends
+/// searching. Budgeting 100% of the remaining time is a latent miss: a
+/// decode truncated *at* the deadline still has egress, accounting, and
+/// the deadline-sampling granularity (the engine checks the clock every
+/// 64 expansions) on top, so it lands a hair past the deadline and is
+/// counted missed anyway — truncation then saves nothing. The margin
+/// leaves that headroom inside the deadline, which is what converts a
+/// mispredicted decode from a miss into an on-time truncated answer.
+pub const ANYTIME_MARGIN: f64 = 0.85;
 
 /// Ladder configuration.
 #[derive(Copy, Clone, Debug)]
@@ -28,6 +45,12 @@ pub struct LadderConfig {
     pub enabled: bool,
     /// Survivors per level at the default registry's K-best rung.
     pub kbest_k: usize,
+    /// Anytime mode: when set, tier decisions also carry an explicit
+    /// [`DecodeBudget`] (node cap from the cost model's ns-per-node rate
+    /// plus a wall-clock deadline) so a mispredicted decode truncates at
+    /// its deadline with a best-so-far answer instead of blowing it.
+    /// Off by default — the reactive ladder, the benchmark's control arm.
+    pub anytime: bool,
 }
 
 impl Default for LadderConfig {
@@ -35,8 +58,20 @@ impl Default for LadderConfig {
         LadderConfig {
             enabled: true,
             kbest_k: 16,
+            anytime: false,
         }
     }
+}
+
+/// An admission decision: which tier serves the request, and under what
+/// decode budget. The budget is [`DecodeBudget::UNLIMITED`] unless the
+/// ladder runs in anytime mode ([`LadderConfig::anytime`]).
+#[derive(Clone, Debug)]
+pub struct TierDecision {
+    /// Index into the tier registry.
+    pub tier: usize,
+    /// Per-vector decode budget to pass to the engine.
+    pub budget: DecodeBudget,
 }
 
 /// Pick the first tier (index into `tiers`) whose predicted cost fits the
@@ -76,20 +111,111 @@ pub fn choose_tier_block(
     remaining: Duration,
     block: usize,
 ) -> usize {
+    choose_tier_block_budgeted(cfg, model, tiers, snr_db, None, m, p, remaining, block).tier
+}
+
+/// [`choose_tier`] returning the full [`TierDecision`] (tier + decode
+/// budget), with the channel-conditioning observable threaded into the
+/// cost prediction.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_tier_budgeted(
+    cfg: &LadderConfig,
+    model: &CostModel,
+    tiers: &[Tier],
+    snr_db: f64,
+    condition_log2: Option<f64>,
+    m: usize,
+    p: usize,
+    remaining: Duration,
+) -> TierDecision {
+    choose_tier_block_budgeted(
+        cfg,
+        model,
+        tiers,
+        snr_db,
+        condition_log2,
+        m,
+        p,
+        remaining,
+        1,
+    )
+}
+
+/// The full admission decision: the first tier (most → least accurate)
+/// whose predicted cost fits the remaining budget, plus — in anytime mode
+/// — an explicit per-vector [`DecodeBudget`] derived up front from the
+/// same model, so the decode *cannot* overrun the deadline even when the
+/// prediction was wrong.
+///
+/// The budget's node cap is the remaining time (split across the `block`
+/// vectors) divided by the model's ns-per-node rate, floored at
+/// [`MIN_ANYTIME_NODES`]; a cold model (no node rate yet) caps nothing.
+/// The wall-clock deadline backstops the node cap against rate drift.
+///
+/// Tier selection is monotone in `remaining`: a larger budget admits a
+/// superset of tiers at every rung, so the chosen index never increases
+/// (never *less* accurate) as the budget grows.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_tier_block_budgeted(
+    cfg: &LadderConfig,
+    model: &CostModel,
+    tiers: &[Tier],
+    snr_db: f64,
+    condition_log2: Option<f64>,
+    m: usize,
+    p: usize,
+    remaining: Duration,
+    block: usize,
+) -> TierDecision {
+    // Guards must precede any index arithmetic: `tiers.len() - 1` on an
+    // empty registry underflows (panics in debug) even on the disabled
+    // path that never indexes.
+    if !cfg.enabled || tiers.is_empty() {
+        return TierDecision {
+            tier: 0,
+            budget: DecodeBudget::UNLIMITED,
+        };
+    }
     let last = tiers.len() - 1;
-    if !cfg.enabled {
-        return 0;
+    let tier = if remaining.is_zero() {
+        last
+    } else {
+        let budget_ns = remaining.as_nanos() as f64;
+        tiers[..last]
+            .iter()
+            .enumerate()
+            .position(|(i, tier)| {
+                model.predict_ns_with(i, &tier.cost, snr_db, condition_log2, m, p) * block as f64
+                    <= budget_ns
+            })
+            .unwrap_or(last)
+    };
+    let budget = if cfg.anytime {
+        anytime_budget(model, remaining, block)
+    } else {
+        DecodeBudget::UNLIMITED
+    };
+    TierDecision { tier, budget }
+}
+
+/// Derive the anytime per-vector [`DecodeBudget`] from the model's node
+/// rate and the time left, spending only [`ANYTIME_MARGIN`] of it so a
+/// truncated decode returns *inside* the deadline (not at it). Shared by
+/// the block and single-vector paths.
+fn anytime_budget(model: &CostModel, remaining: Duration, block: usize) -> DecodeBudget {
+    let spendable = remaining.mul_f64(ANYTIME_MARGIN);
+    let deadline = Instant::now() + spendable;
+    let rate = model.ns_per_node();
+    let max_nodes = if rate > 0.0 {
+        let per_vector_ns = spendable.as_nanos() as f64 / block.max(1) as f64;
+        ((per_vector_ns / rate).floor() as u64).max(MIN_ANYTIME_NODES)
+    } else {
+        u64::MAX
+    };
+    DecodeBudget {
+        max_nodes,
+        deadline: Some(deadline),
     }
-    if remaining.is_zero() {
-        return last;
-    }
-    let budget_ns = remaining.as_nanos() as f64;
-    for (i, tier) in tiers[..last].iter().enumerate() {
-        if model.predict_ns(i, &tier.cost, snr_db, m, p) * block as f64 <= budget_ns {
-            return i;
-        }
-    }
-    last
 }
 
 #[cfg(test)]
@@ -122,7 +248,7 @@ mod tests {
     fn disabled_ladder_always_tier_zero() {
         let cfg = LadderConfig {
             enabled: false,
-            kbest_k: 16,
+            ..LadderConfig::default()
         };
         let model = trained_model();
         let t = choose_tier(&cfg, &model, &registry(), 8.0, 8, 4, Duration::ZERO);
@@ -220,5 +346,141 @@ mod tests {
             choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::ZERO),
             0
         );
+    }
+
+    /// Regression: `tiers.len() - 1` ran *before* the enabled/empty
+    /// guards, so an empty registry underflowed (debug panic) even on
+    /// paths that never index. Both variants must return tier 0 instead.
+    #[test]
+    fn empty_registry_does_not_underflow() {
+        let model = CostModel::new(0);
+        let none: Vec<Tier> = Vec::new();
+        let disabled = LadderConfig {
+            enabled: false,
+            ..LadderConfig::default()
+        };
+        assert_eq!(
+            choose_tier(&disabled, &model, &none, 8.0, 8, 4, Duration::ZERO),
+            0
+        );
+        let enabled = LadderConfig::default();
+        assert_eq!(
+            choose_tier_block(
+                &enabled,
+                &model,
+                &none,
+                8.0,
+                8,
+                4,
+                Duration::from_millis(1),
+                4
+            ),
+            0
+        );
+    }
+
+    /// The reactive ladder (anytime off) always hands out an unlimited
+    /// budget — decisions are bit-identical to the pre-anytime code.
+    #[test]
+    fn reactive_ladder_budget_is_unlimited() {
+        let cfg = LadderConfig::default();
+        let model = trained_model();
+        let d = choose_tier_budgeted(
+            &cfg,
+            &model,
+            &registry(),
+            8.0,
+            None,
+            8,
+            4,
+            Duration::from_millis(10),
+        );
+        assert_eq!(d.tier, 0);
+        assert!(d.budget.is_unlimited());
+    }
+
+    /// Anytime decisions carry a node cap sized by the model's node rate
+    /// and split across the block, floored at [`MIN_ANYTIME_NODES`], with
+    /// a wall-clock deadline backstop. A cold model caps nothing.
+    #[test]
+    fn anytime_budget_tracks_the_node_rate() {
+        let cfg = LadderConfig {
+            anytime: true,
+            ..LadderConfig::default()
+        };
+        let model = trained_model(); // 100 ns/node
+        let tiers = registry();
+        // 10 ms at 100 ns/node, spending the 0.85 margin → 85_000 nodes
+        // per vector.
+        let d = choose_tier_budgeted(
+            &cfg,
+            &model,
+            &tiers,
+            8.0,
+            None,
+            8,
+            4,
+            Duration::from_millis(10),
+        );
+        assert_eq!(d.budget.max_nodes, 85_000);
+        assert!(d.budget.deadline.is_some());
+        // A 10-vector block splits the same time budget ten ways.
+        let d10 = choose_tier_block_budgeted(
+            &cfg,
+            &model,
+            &tiers,
+            8.0,
+            None,
+            8,
+            4,
+            Duration::from_millis(10),
+            10,
+        );
+        assert_eq!(d10.budget.max_nodes, 8_500);
+        // A microscopic budget still leaves the greedy floor.
+        let tight = choose_tier_budgeted(
+            &cfg,
+            &model,
+            &tiers,
+            8.0,
+            None,
+            8,
+            4,
+            Duration::from_nanos(1),
+        );
+        assert_eq!(tight.budget.max_nodes, MIN_ANYTIME_NODES);
+        // Cold model: no node rate, so no node cap (deadline still set).
+        let cold = CostModel::new(3);
+        let dc = choose_tier_budgeted(
+            &cfg,
+            &cold,
+            &tiers,
+            8.0,
+            None,
+            8,
+            4,
+            Duration::from_millis(1),
+        );
+        assert_eq!(dc.budget.max_nodes, u64::MAX);
+        assert!(dc.budget.deadline.is_some());
+    }
+
+    /// Tier choice is monotone in the remaining budget: growing the
+    /// budget never selects a *less* accurate (higher-index) tier.
+    #[test]
+    fn tier_choice_is_monotone_in_budget() {
+        let cfg = LadderConfig::default();
+        let model = trained_model();
+        let tiers = registry();
+        let mut prev = usize::MAX;
+        for us in [0u64, 1, 10, 50, 100, 500, 1_000, 5_000, 10_000] {
+            let t = choose_tier(&cfg, &model, &tiers, 8.0, 8, 4, Duration::from_micros(us));
+            assert!(
+                t <= prev || prev == usize::MAX,
+                "budget {us} µs picked tier {t} after {prev}"
+            );
+            prev = t;
+        }
+        assert_eq!(prev, 0, "the largest budget restores the exact tier");
     }
 }

@@ -24,6 +24,14 @@
 //!   Tiers are [`sd_core::PreparedDetector`] trait objects, so any engine
 //!   in the detector zoo can be stacked into a custom descent via
 //!   [`ServeRuntime::start_with_registry`].
+//! * **Predictive admission + anytime decoding** — the cost model keys
+//!   its node curves on a pre-decode channel-conditioning observable
+//!   ([`sd_core::ChannelObservables`]) as well as SNR, and in anytime
+//!   mode ([`LadderConfig::anytime`]) every ladder decision also fixes an
+//!   explicit [`sd_core::DecodeBudget`] up front: a mispredicted decode
+//!   truncates at its node cap or deadline with a best-so-far answer
+//!   (flagged [`sd_core::SearchQuality::BudgetTruncated`]) instead of
+//!   blowing the deadline for everything queued behind it.
 //! * **Zero-allocation steady state** — the decode path writes into
 //!   recycled buffers through the `_into` entry points of `sd-core`;
 //!   after warm-up a request is served without touching the allocator.
@@ -86,7 +94,10 @@ pub use budget::{
     fsd_nodes, kbest_nodes, CoreBudgetPolicy, CostModel, TierCostClass, WorkerBudget,
 };
 pub use export::{json_line, prometheus_text, render, validate_json, ExportFormat};
-pub use ladder::{choose_tier, choose_tier_block, LadderConfig};
+pub use ladder::{
+    choose_tier, choose_tier_block, choose_tier_block_budgeted, choose_tier_budgeted, LadderConfig,
+    TierDecision, MIN_ANYTIME_NODES,
+};
 pub use loadgen::{
     build_coherent_requests, build_frame_requests, build_requests, explode_frames, run_frame_load,
     run_load, run_request_stream, FrameLoadConfig, FrameLoadReport, LoadConfig, LoadReport,

@@ -116,6 +116,17 @@ impl LoadReport {
             .find(|(l, _)| &**l == label)
             .map_or(0, |&(_, n)| n)
     }
+
+    /// Fraction of served responses the anytime engine truncated at its
+    /// decode budget (0 with anytime off — the reactive ladder never
+    /// truncates).
+    pub fn truncated_rate(&self) -> f64 {
+        if self.snapshot.served == 0 {
+            0.0
+        } else {
+            self.snapshot.budget_exhausted as f64 / self.snapshot.served as f64
+        }
+    }
 }
 
 /// Build the deterministic request stream for a config.
@@ -382,6 +393,16 @@ impl FrameLoadReport {
             0.0
         } else {
             self.subcarriers as f64 / self.prep_factors as f64
+        }
+    }
+
+    /// Fraction of served subcarriers the anytime engine truncated at
+    /// its decode budget (0 with anytime off).
+    pub fn truncated_rate(&self) -> f64 {
+        if self.snapshot.served == 0 {
+            0.0
+        } else {
+            self.snapshot.budget_exhausted as f64 / self.snapshot.served as f64
         }
     }
 }

@@ -134,12 +134,25 @@ pub struct Metrics {
     pub rejected_full: AtomicU64,
     /// Requests refused because the runtime was shutting down.
     pub rejected_shutdown: AtomicU64,
+    /// Requests refused by predictive admission control: the target
+    /// shard's predicted queue wait already exceeded the whole deadline
+    /// (see [`crate::RejectReason::PredictedLate`]). Always 0 with the
+    /// gate off.
+    pub rejected_predicted: AtomicU64,
     /// Responses produced.
     pub served: AtomicU64,
     /// Per-tier serve counters and cost-model error, indexed by tier.
     pub tiers: Vec<TierMetrics>,
     /// Responses whose end-to-end latency exceeded their deadline.
     pub deadline_missed: AtomicU64,
+    /// Responses whose search ran to completion ([`sd_core::SearchQuality::Exact`]).
+    /// `quality_exact + budget_exhausted == served` once the runtime is
+    /// quiescent — every response is one or the other.
+    pub quality_exact: AtomicU64,
+    /// Responses truncated by their decode budget
+    /// ([`sd_core::SearchQuality::BudgetTruncated`]): the anytime engine
+    /// returned its best-so-far answer at the node cap or deadline.
+    pub budget_exhausted: AtomicU64,
     /// Requests whose preparation reused a cached channel factorization.
     pub prep_cache_hits: AtomicU64,
     /// Requests whose preparation factored (and cached) their channel.
@@ -160,6 +173,9 @@ pub struct Metrics {
     pub frames_rejected_full: AtomicU64,
     /// Frame requests refused during shutdown.
     pub frames_rejected_shutdown: AtomicU64,
+    /// Frame requests refused by predictive admission control (their
+    /// subcarriers also count in `rejected_predicted`).
+    pub frames_rejected_predicted: AtomicU64,
     /// Frame responses produced (their subcarriers also count in
     /// `served`).
     pub frames_served: AtomicU64,
@@ -211,6 +227,7 @@ impl Metrics {
             accepted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            rejected_predicted: AtomicU64::new(0),
             served: AtomicU64::new(0),
             tiers: tier_labels
                 .into_iter()
@@ -221,6 +238,8 @@ impl Metrics {
                 })
                 .collect(),
             deadline_missed: AtomicU64::new(0),
+            quality_exact: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
             prep_cache_hits: AtomicU64::new(0),
             prep_cache_misses: AtomicU64::new(0),
             prep_cache_bypass: AtomicU64::new(0),
@@ -229,6 +248,7 @@ impl Metrics {
             frames_accepted: AtomicU64::new(0),
             frames_rejected_full: AtomicU64::new(0),
             frames_rejected_shutdown: AtomicU64::new(0),
+            frames_rejected_predicted: AtomicU64::new(0),
             frames_served: AtomicU64::new(0),
             frames_deadline_missed: AtomicU64::new(0),
             frame_subcarriers: AtomicU64::new(0),
@@ -294,6 +314,7 @@ impl Metrics {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_predicted: self.rejected_predicted.load(Ordering::Relaxed),
             served,
             tiers: self
                 .tiers
@@ -309,6 +330,8 @@ impl Metrics {
                 })
                 .collect(),
             deadline_missed: missed,
+            quality_exact: self.quality_exact.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
             prep_cache_hits: self.prep_cache_hits.load(Ordering::Relaxed),
             prep_cache_misses: self.prep_cache_misses.load(Ordering::Relaxed),
             prep_cache_bypass: self.prep_cache_bypass.load(Ordering::Relaxed),
@@ -326,6 +349,7 @@ impl Metrics {
             frames_accepted: self.frames_accepted.load(Ordering::Relaxed),
             frames_rejected_full: self.frames_rejected_full.load(Ordering::Relaxed),
             frames_rejected_shutdown: self.frames_rejected_shutdown.load(Ordering::Relaxed),
+            frames_rejected_predicted: self.frames_rejected_predicted.load(Ordering::Relaxed),
             frames_served,
             frames_deadline_missed: frames_missed,
             frame_subcarriers,
@@ -406,12 +430,19 @@ pub struct MetricsSnapshot {
     pub rejected_full: u64,
     /// Requests refused during shutdown.
     pub rejected_shutdown: u64,
+    /// Requests shed by predictive admission control (predicted queue
+    /// wait exceeded the whole deadline; 0 with the gate off).
+    pub rejected_predicted: u64,
     /// Responses produced.
     pub served: u64,
     /// Per-tier serve counts and cost-model error, indexed by tier.
     pub tiers: Vec<TierSnapshot>,
     /// Deadline misses among served responses.
     pub deadline_missed: u64,
+    /// Responses whose search ran to completion (exact quality).
+    pub quality_exact: u64,
+    /// Responses truncated by their decode budget (anytime best-so-far).
+    pub budget_exhausted: u64,
     /// Requests whose preparation reused a cached channel factorization.
     pub prep_cache_hits: u64,
     /// Requests whose preparation factored (and cached) their channel.
@@ -431,6 +462,8 @@ pub struct MetricsSnapshot {
     pub frames_rejected_full: u64,
     /// Frame requests refused during shutdown.
     pub frames_rejected_shutdown: u64,
+    /// Frame requests shed by predictive admission control.
+    pub frames_rejected_predicted: u64,
     /// Frame responses produced (subcarriers also count in `served`).
     pub frames_served: u64,
     /// Frames that exceeded their deadline.
@@ -567,6 +600,21 @@ mod tests {
         assert!((s.deadline_miss_rate - 0.25).abs() < 1e-12);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
         assert_eq!(s.stats.nodes_generated, 80);
+    }
+
+    /// Every served response is either exact or budget-truncated; the
+    /// snapshot carries both counters so exports can close the invariant
+    /// `quality_exact + budget_exhausted == served`.
+    #[test]
+    fn snapshot_carries_search_quality_counters() {
+        let m = Metrics::new(labels(&["exact"]), 1, 1);
+        m.served.store(10, Ordering::Relaxed);
+        m.quality_exact.store(7, Ordering::Relaxed);
+        m.budget_exhausted.store(3, Ordering::Relaxed);
+        let s = m.snapshot(&[0]);
+        assert_eq!(s.quality_exact, 7);
+        assert_eq!(s.budget_exhausted, 3);
+        assert_eq!(s.quality_exact + s.budget_exhausted, s.served);
     }
 
     #[test]

@@ -41,7 +41,17 @@ pub struct DetectionRequest {
 
 impl DetectionRequest {
     /// Build a request.
+    ///
+    /// # Panics
+    /// If `snr_db` is not finite — the SNR keys the runtime's cost model,
+    /// and a NaN operating point would silently train the lowest-SNR
+    /// curve with this request's cost. Rejecting it at the boundary keeps
+    /// every downstream consumer total.
     pub fn new(id: u64, frame: FrameData, snr_db: f64, deadline: Duration) -> Self {
+        assert!(
+            snr_db.is_finite(),
+            "request SNR must be finite, got {snr_db}"
+        );
         DetectionRequest {
             id,
             frame,
@@ -102,10 +112,13 @@ impl FrameRequest {
     /// Build a frame request.
     ///
     /// # Panics
-    /// If `subcarriers` is empty, or any subcarrier's channel is not
+    /// If `subcarriers` is empty, any subcarrier's channel is not
     /// bit-identical to the first's — a frame is *defined* by its shared
-    /// channel; mixed channels must be submitted as separate frames.
+    /// channel; mixed channels must be submitted as separate frames — or
+    /// `snr_db` is not finite (it keys the cost model; see
+    /// [`DetectionRequest::new`]).
     pub fn new(id: u64, subcarriers: Vec<FrameData>, snr_db: f64, deadline: Duration) -> Self {
+        assert!(snr_db.is_finite(), "frame SNR must be finite, got {snr_db}");
         assert!(
             !subcarriers.is_empty(),
             "a frame needs at least one subcarrier"
@@ -192,6 +205,17 @@ pub enum RejectReason {
         /// Queue depth observed at rejection time (== capacity).
         depth: usize,
     },
+    /// Predictive admission control refused the request: the target
+    /// shard's backlog, drained at its observed mean service rate, is
+    /// already predicted to outlast the request's *whole* deadline — even
+    /// a zero-cost decode would miss, so admitting it would only burn
+    /// service time the requests queued behind it still need. Only issued
+    /// when [`crate::ServeConfig::with_predictive_admission`] is on and
+    /// the shard's cost model has drain-rate evidence.
+    PredictedLate {
+        /// The predicted queue wait that exceeded the deadline.
+        predicted_wait: Duration,
+    },
     /// The runtime is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -200,6 +224,10 @@ impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RejectReason::QueueFull { depth } => write!(f, "ingress queue full ({depth} queued)"),
+            RejectReason::PredictedLate { predicted_wait } => write!(
+                f,
+                "predicted queue wait {predicted_wait:?} exceeds the deadline"
+            ),
             RejectReason::ShuttingDown => write!(f, "runtime shutting down"),
         }
     }
@@ -217,6 +245,10 @@ mod tests {
         let s = format!("{}", RejectReason::QueueFull { depth: 7 });
         assert!(s.contains('7'));
         assert!(format!("{}", RejectReason::ShuttingDown).contains("shutting"));
+        let late = RejectReason::PredictedLate {
+            predicted_wait: Duration::from_millis(12),
+        };
+        assert!(format!("{late}").contains("predicted queue wait"));
     }
 
     fn coherent_frames(len: usize) -> Vec<FrameData> {
@@ -254,5 +286,26 @@ mod tests {
     #[should_panic(expected = "at least one subcarrier")]
     fn empty_frame_rejected() {
         FrameRequest::new(3, Vec::new(), 10.0, Duration::from_millis(10));
+    }
+
+    /// Regression: a NaN SNR used to sail through construction and poison
+    /// the cost model's lowest-SNR bucket; it must be refused at the
+    /// boundary instead.
+    #[test]
+    #[should_panic(expected = "SNR must be finite")]
+    fn non_finite_snr_request_rejected() {
+        let frame = coherent_frames(1).pop().unwrap();
+        DetectionRequest::new(4, frame, f64::NAN, Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "SNR must be finite")]
+    fn non_finite_snr_frame_rejected() {
+        FrameRequest::new(
+            5,
+            coherent_frames(2),
+            f64::INFINITY,
+            Duration::from_millis(10),
+        );
     }
 }

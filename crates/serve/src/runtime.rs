@@ -51,6 +51,7 @@ use crate::request::{
 use crate::worker::Worker;
 use sd_core::{Detection, WorkerBudget};
 use sd_wireless::Constellation;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -123,6 +124,16 @@ pub struct ServeConfig {
     /// factorizations per shard; see [`crate::prep_cache`]). `0` disables
     /// the cache — every request then pays its own QR.
     pub prep_cache: usize,
+    /// Predictive admission control: refuse a request at [`ServeRuntime::submit`]
+    /// when its target shard's backlog — drained at the shard model's
+    /// observed mean service rate — is already predicted to outlast the
+    /// request's whole deadline ([`crate::RejectReason::PredictedLate`]).
+    /// A doomed request admitted anyway is a guaranteed deadline miss
+    /// *and* steals service time from the requests queued behind it; the
+    /// gate converts it into an explicit, immediate shed the caller can
+    /// retry elsewhere. Off by default (the reactive control arm); a cold
+    /// model admits everything until it has drain-rate evidence.
+    pub predictive_admission: bool,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +149,7 @@ impl Default for ServeConfig {
             reporter: None,
             core_budget: None,
             prep_cache: 8,
+            predictive_admission: false,
         }
     }
 }
@@ -205,6 +217,13 @@ impl ServeConfig {
         self.prep_cache = capacity;
         self
     }
+
+    /// Builder: enable/disable predictive admission control (see
+    /// [`ServeConfig::predictive_admission`]).
+    pub fn with_predictive_admission(mut self, on: bool) -> Self {
+        self.predictive_admission = on;
+        self
+    }
 }
 
 /// One unit of admitted work: a single vector or a whole coherence
@@ -236,6 +255,17 @@ pub(crate) struct Shard {
     pub(crate) model: CostModel,
     /// This shard's channel-coherent factorization cache.
     pub(crate) prep_cache: Mutex<PrepCache>,
+    /// Subcarrier-weighted backlog gauge (a frame counts its block size,
+    /// a vector counts 1) — the predictive-admission wait estimate's
+    /// numerator. Incremented *before* the enqueue attempt and rolled
+    /// back on refusal, decremented by whichever worker actually drains
+    /// the item (own pop or steal), so at every instant the gauge is ≥
+    /// the weight still queued here and a racing reader can only be
+    /// conservative, never negative.
+    pub(crate) queued_weight: AtomicU64,
+    /// Workers dealt to this shard (round-robin `i % n_shards`) — the
+    /// wait estimate's drain-parallelism denominator.
+    pub(crate) n_workers: usize,
 }
 
 /// State shared between the runtime handle and its workers.
@@ -423,7 +453,8 @@ impl ServeRuntime {
         config.n_shards = n_shards;
         let shards: Vec<Shard> = split_capacity(config.queue_capacity, n_shards)
             .into_iter()
-            .map(|cap| {
+            .enumerate()
+            .map(|(j, cap)| {
                 let queue = BoundedQueue::new(cap);
                 if config.start_paused {
                     queue.pause();
@@ -432,6 +463,11 @@ impl ServeRuntime {
                     queue,
                     model: CostModel::new(tiers.len()),
                     prep_cache: Mutex::new(PrepCache::new(config.prep_cache)),
+                    queued_weight: AtomicU64::new(0),
+                    // The round-robin deal gives shard j one worker per
+                    // full lap plus one more when j is inside the remainder.
+                    n_workers: config.n_workers / n_shards
+                        + usize::from(j < config.n_workers % n_shards),
                 }
             })
             .collect();
@@ -491,13 +527,23 @@ impl ServeRuntime {
         req.enqueued_at = Some(Instant::now());
         let idx = self.shard_for(&req.frame.h);
         let m = &self.shared.metrics;
-        match self.shared.shards[idx].queue.try_push(Ingress::Vector(req)) {
+        let shard = &self.shared.shards[idx];
+        if let Some(predicted_wait) = self.predicted_late(shard, req.deadline) {
+            m.rejected_predicted.fetch_add(1, Relaxed);
+            return Err(Rejected {
+                request: req,
+                reason: RejectReason::PredictedLate { predicted_wait },
+            });
+        }
+        shard.queued_weight.fetch_add(1, Relaxed);
+        match shard.queue.try_push(Ingress::Vector(req)) {
             Ok(()) => {
                 m.accepted.fetch_add(1, Relaxed);
                 m.shards[idx].routed.fetch_add(1, Relaxed);
                 Ok(())
             }
             Err(PushError::Full(Ingress::Vector(request), depth)) => {
+                shard.queued_weight.fetch_sub(1, Relaxed);
                 m.rejected_full.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
@@ -505,6 +551,7 @@ impl ServeRuntime {
                 })
             }
             Err(PushError::Closed(Ingress::Vector(request))) => {
+                shard.queued_weight.fetch_sub(1, Relaxed);
                 m.rejected_shutdown.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
@@ -515,6 +562,22 @@ impl ServeRuntime {
                 unreachable!("push returns the item it was offered")
             }
         }
+    }
+
+    /// The predictive-admission check: `Some(predicted_wait)` when the
+    /// gate is on and `shard`'s weighted backlog, drained by its workers
+    /// at the model's observed mean per-vector service time, is predicted
+    /// to outlast `deadline` — the offered item would be a guaranteed
+    /// miss before any of its *own* work even starts.
+    fn predicted_late(&self, shard: &Shard, deadline: Duration) -> Option<Duration> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if !self.shared.config.predictive_admission {
+            return None;
+        }
+        let backlog = shard.queued_weight.load(Relaxed);
+        let wait_ns = shard.model.predicted_wait_ns(backlog, shard.n_workers);
+        (wait_ns > deadline.as_nanos() as f64)
+            .then(|| Duration::from_nanos(wait_ns.min(u64::MAX as f64) as u64))
     }
 
     /// Offer a whole coherence block as one unit. The frame is never
@@ -534,7 +597,17 @@ impl ServeRuntime {
         let b = req.block_len() as u64;
         let idx = self.shard_for(&req.subcarriers[0].h);
         let m = &self.shared.metrics;
-        match self.shared.shards[idx].queue.try_push(Ingress::Frame(req)) {
+        let shard = &self.shared.shards[idx];
+        if let Some(predicted_wait) = self.predicted_late(shard, req.deadline) {
+            m.frames_rejected_predicted.fetch_add(1, Relaxed);
+            m.rejected_predicted.fetch_add(b, Relaxed);
+            return Err(RejectedFrame {
+                request: req,
+                reason: RejectReason::PredictedLate { predicted_wait },
+            });
+        }
+        shard.queued_weight.fetch_add(b, Relaxed);
+        match shard.queue.try_push(Ingress::Frame(req)) {
             Ok(()) => {
                 m.frames_accepted.fetch_add(1, Relaxed);
                 m.accepted.fetch_add(b, Relaxed);
@@ -542,6 +615,7 @@ impl ServeRuntime {
                 Ok(())
             }
             Err(PushError::Full(Ingress::Frame(request), depth)) => {
+                shard.queued_weight.fetch_sub(b, Relaxed);
                 m.frames_rejected_full.fetch_add(1, Relaxed);
                 m.rejected_full.fetch_add(b, Relaxed);
                 Err(RejectedFrame {
@@ -550,6 +624,7 @@ impl ServeRuntime {
                 })
             }
             Err(PushError::Closed(Ingress::Frame(request))) => {
+                shard.queued_weight.fetch_sub(b, Relaxed);
                 m.frames_rejected_shutdown.fetch_add(1, Relaxed);
                 m.rejected_shutdown.fetch_add(b, Relaxed);
                 Err(RejectedFrame {

@@ -33,12 +33,13 @@
 //! block size.
 
 use crate::budget::CostModel;
-use crate::ladder::{choose_tier, choose_tier_block};
+use crate::ladder::{choose_tier_block_budgeted, choose_tier_budgeted};
 use crate::queue::BatchPop;
 use crate::request::{DetectionRequest, DetectionResponse, FrameRequest, FrameResponse};
 use crate::runtime::{Ingress, Shared};
 use sd_core::{
-    decode_block_into, BlockPrep, Detection, DetectionStats, PrepScratch, Prepared, SearchWorkspace,
+    decode_block_budgeted_into, BlockPrep, ChannelObservables, Detection, DetectionStats,
+    PrepScratch, Prepared, SearchWorkspace,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -110,7 +111,12 @@ impl Worker {
                         self.batch = batch;
                         return; // closed and drained: shutdown
                     }
-                    BatchPop::Batch => {}
+                    BatchPop::Batch => {
+                        let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                        self.shared.shards[self.shard_idx]
+                            .queued_weight
+                            .fetch_sub(weight, Relaxed);
+                    }
                     BatchPop::Empty => {
                         // Own queue is dry: raid the neighbors, starting to
                         // the right so thieves spread across victims.
@@ -121,6 +127,11 @@ impl Worker {
                                 .steal_into(&mut batch, policy.max_batch);
                             if got > 0 {
                                 let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                                // Stolen work leaves the victim's backlog:
+                                // its admission gauge must shrink with it.
+                                self.shared.shards[victim]
+                                    .queued_weight
+                                    .fetch_sub(weight, Relaxed);
                                 let m = &self.shared.metrics;
                                 m.shards[self.shard_idx]
                                     .stolen_in
@@ -143,6 +154,11 @@ impl Worker {
             ) {
                 self.batch = batch;
                 return; // closed and drained: shutdown
+            } else {
+                let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                self.shared.shards[self.shard_idx]
+                    .queued_weight
+                    .fetch_sub(weight, Relaxed);
             }
             let size = batch.len();
             self.batch_stats.reset(0);
@@ -180,21 +196,32 @@ impl Worker {
         let queue_wait = started.saturating_duration_since(enqueued);
         let remaining = req.deadline.saturating_sub(queue_wait);
         let m = req.frame.h.cols();
-        let tier_idx = choose_tier(
+        // The pre-decode complexity observable: the channel's conditioning
+        // proxy, computed from column norms in O(NM) — far cheaper than
+        // the QR it predicts for.
+        let cond = ChannelObservables::from_channel(&req.frame.h).condition_log2();
+        let decision = choose_tier_budgeted(
             &self.shared.config.ladder,
             self.model(),
             &self.shared.tiers,
             req.snr_db,
+            Some(cond),
             m,
             self.order,
             remaining,
         );
+        let tier_idx = decision.tier;
         let tier = &self.shared.tiers[tier_idx];
         // Sample the prediction the ladder acted on, so the validation
         // histogram measures exactly the model the decision saw.
-        let predicted_ns = self
-            .model()
-            .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order);
+        let predicted_ns = self.model().predict_ns_with(
+            tier_idx,
+            &tier.cost,
+            req.snr_db,
+            Some(cond),
+            m,
+            self.order,
+        );
 
         let mut det: Detection = self.shared.pool.lock().unwrap().pop().unwrap_or_default();
         // Channel-coherent preparation: tiers whose preprocessing is the
@@ -234,8 +261,13 @@ impl Worker {
         let r2 = tier
             .detector
             .initial_radius_sqr(req.frame.h.rows(), req.frame.noise_variance);
-        tier.detector
-            .detect_prepared_into(&self.prep, r2, &mut self.ws, &mut det);
+        tier.detector.detect_prepared_budgeted_into(
+            &self.prep,
+            r2,
+            &decision.budget,
+            &mut self.ws,
+            &mut det,
+        );
 
         let service_time = started.elapsed();
         let latency = queue_wait + service_time;
@@ -257,13 +289,21 @@ impl Worker {
         if deadline_missed {
             metrics.deadline_missed.fetch_add(1, Relaxed);
         }
+        // Every response is exactly one of the two: quality_exact +
+        // budget_exhausted == served.
+        if det.stats.quality.is_truncated() {
+            metrics.budget_exhausted.fetch_add(1, Relaxed);
+        } else {
+            metrics.quality_exact.fetch_add(1, Relaxed);
+        }
         metrics.latency_ns.record(latency.as_nanos() as u64);
         metrics.queue_wait_ns.record(queue_wait.as_nanos() as u64);
 
-        self.model().observe(
+        self.model().observe_with(
             tier_idx,
             &tier.cost,
             req.snr_db,
+            Some(cond),
             det.stats.nodes_generated,
             service_ns,
         );
@@ -295,23 +335,32 @@ impl Worker {
         let remaining = req.deadline.saturating_sub(queue_wait);
         let b = req.block_len();
         let m = req.subcarriers[0].h.cols();
-        let tier_idx = choose_tier_block(
+        // One conditioning observable for the whole block — the frame is
+        // defined by its shared channel.
+        let cond = ChannelObservables::from_channel(&req.subcarriers[0].h).condition_log2();
+        let decision = choose_tier_block_budgeted(
             &self.shared.config.ladder,
             self.model(),
             &self.shared.tiers,
             req.snr_db,
+            Some(cond),
             m,
             self.order,
             remaining,
             b,
         );
+        let tier_idx = decision.tier;
         let tier = &self.shared.tiers[tier_idx];
         // The prediction the ladder compared against the budget: the
         // per-vector model scaled to the block.
-        let predicted_ns = self
-            .model()
-            .predict_ns(tier_idx, &tier.cost, req.snr_db, m, self.order)
-            * b as f64;
+        let predicted_ns = self.model().predict_ns_with(
+            tier_idx,
+            &tier.cost,
+            req.snr_db,
+            Some(cond),
+            m,
+            self.order,
+        ) * b as f64;
 
         let mut dets: Vec<Detection> = self
             .shared
@@ -321,9 +370,10 @@ impl Worker {
             .pop()
             .unwrap_or_default();
         dets.resize_with(b, Detection::default);
-        let prep_factors = decode_block_into(
+        let prep_factors = decode_block_budgeted_into(
             &*tier.detector,
             &req.subcarriers,
+            &decision.budget,
             &mut self.prep_scratch,
             &mut self.block,
             &mut self.prep,
@@ -355,6 +405,16 @@ impl Worker {
             metrics.deadline_missed.fetch_add(b as u64, Relaxed);
             metrics.frames_deadline_missed.fetch_add(1, Relaxed);
         }
+        // Per-subcarrier quality accounting keeps the invariant over
+        // mixed traffic: quality_exact + budget_exhausted == served.
+        let truncated = dets
+            .iter()
+            .filter(|d| d.stats.quality.is_truncated())
+            .count() as u64;
+        metrics.budget_exhausted.fetch_add(truncated, Relaxed);
+        metrics
+            .quality_exact
+            .fetch_add(b as u64 - truncated, Relaxed);
         metrics.prep_cache_bypass.fetch_add(b as u64, Relaxed);
         sm.prep_bypass.fetch_add(b as u64, Relaxed);
         metrics
@@ -369,10 +429,11 @@ impl Worker {
         // cost model keeps predicting single-vector service time and the
         // ladder's block scaling stays dimensionally consistent.
         let nodes: u64 = dets.iter().map(|d| d.stats.nodes_generated).sum();
-        self.model().observe(
+        self.model().observe_with(
             tier_idx,
             &tier.cost,
             req.snr_db,
+            Some(cond),
             nodes / b as u64,
             service_ns / b as u64,
         );

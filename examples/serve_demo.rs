@@ -12,10 +12,11 @@
 //! line — and the smoke mode self-checks the JSON with
 //! [`sd_serve::validate_json`], exiting non-zero on any violation.
 
+use sd_core::SphereDecoder;
 use sd_serve::{
-    json_line, prometheus_text, run_frame_load, run_load, validate_json, ExportFormat,
-    FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig, LoadReport, MetricsSnapshot,
-    ServeConfig, ServeRuntime,
+    build_requests, json_line, prometheus_text, run_frame_load, run_load, validate_json,
+    ExportFormat, FrameLoadConfig, FrameLoadReport, LadderConfig, LoadConfig, LoadReport,
+    MetricsSnapshot, RejectReason, ServeConfig, ServeRuntime, Tier, TierCostClass,
 };
 use sd_wireless::{Constellation, GridConfig, Modulation, REAL_TIME_BUDGET};
 use std::time::Duration;
@@ -135,7 +136,20 @@ fn smoke() {
     let shard_served: u64 = snapshot.shards.iter().map(|s| s.served).sum();
     assert_eq!(routed, snapshot.accepted, "routing partitions admission");
     assert_eq!(shard_served, snapshot.served, "shards partition serving");
-    for needle in ["\"host_cores\":", "\"n_shards\":2", "\"shards\":[{"] {
+    // Reactive serving never issues a decode budget, so the quality rows
+    // must read all-exact here.
+    assert_eq!(
+        snapshot.quality_exact + snapshot.budget_exhausted,
+        snapshot.served,
+        "quality counters must close over served requests"
+    );
+    for needle in [
+        "\"host_cores\":",
+        "\"n_shards\":2",
+        "\"shards\":[{",
+        "\"quality_exact\":",
+        "\"budget_exhausted\":0",
+    ] {
         assert!(line.contains(needle), "JSON export missing {needle}");
     }
     let prom = prometheus_text(&snapshot);
@@ -151,6 +165,8 @@ fn smoke() {
         "sd_serve_shard_served_total{shard=\"0\"}",
         "sd_serve_shard_prep_hits_total{shard=\"0\"}",
         "sd_serve_shard_queue_depth{shard=\"1\"}",
+        "sd_serve_quality_exact_total",
+        "sd_serve_budget_exhausted_total 0",
     ] {
         assert!(prom.contains(needle), "Prometheus export missing {needle}");
     }
@@ -218,6 +234,146 @@ fn smoke() {
         "frame smoke OK: {} frames / {} subcarriers served, exports validated",
         snapshot.frames_served, snapshot.frame_subcarriers
     );
+
+    // Third pass: the anytime ladder under already-expired deadlines.
+    // Every decode trips its wall-clock backstop and returns a flagged
+    // best-so-far answer, so this exercises the truncation path end to
+    // end and machine-checks the quality rows of both export formats
+    // while they are nonzero.
+    let acfg = LoadConfig {
+        deadline: Duration::ZERO,
+        n_requests: 32,
+        seed: 0x5340D0,
+        ..cfg
+    };
+    let c = Constellation::new(acfg.modulation);
+    let rt = ServeRuntime::start_with_registry(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(2 * acfg.n_requests)
+            .with_ladder(LadderConfig {
+                enabled: true,
+                kbest_k: 16,
+                anytime: true,
+            }),
+        vec![Tier::new(
+            "exact",
+            TierCostClass::Adaptive,
+            Box::new(SphereDecoder::<f64>::new(c.clone())),
+        )],
+    );
+    let report = run_load(&rt, &acfg, &c);
+    let (snapshot, _, _) = rt.shutdown();
+
+    show(
+        "anytime smoke run (expired deadlines, budgets trip)",
+        &report,
+    );
+    show_exports(&snapshot);
+
+    assert_eq!(
+        report.served, acfg.n_requests as u64,
+        "anytime smoke must serve (not shed) every request"
+    );
+    assert_eq!(
+        snapshot.quality_exact + snapshot.budget_exhausted,
+        snapshot.served,
+        "quality counters must close over served requests"
+    );
+    assert!(
+        snapshot.budget_exhausted > 0,
+        "expired deadlines must truncate under the anytime ladder"
+    );
+    assert!(
+        report.truncated_rate() > 0.0,
+        "load report must surface the truncated fraction"
+    );
+    let line = json_line(&snapshot);
+    validate_json(&line).expect("anytime JSON export must parse");
+    for needle in [
+        format!("\"quality_exact\":{}", snapshot.quality_exact),
+        format!("\"budget_exhausted\":{}", snapshot.budget_exhausted),
+    ] {
+        assert!(line.contains(&needle), "JSON export missing {needle}");
+    }
+    let prom = prometheus_text(&snapshot);
+    for needle in [
+        format!("sd_serve_quality_exact_total {}", snapshot.quality_exact),
+        format!(
+            "sd_serve_budget_exhausted_total {}",
+            snapshot.budget_exhausted
+        ),
+    ] {
+        assert!(prom.contains(&needle), "Prometheus export missing {needle}");
+    }
+    println!(
+        "anytime smoke OK: {}/{} truncated at the budget, quality counters close",
+        snapshot.budget_exhausted, snapshot.served
+    );
+
+    // Fourth pass: predictive admission control. Warm the drain-rate
+    // estimate with generous deadlines, freeze the worker, and offer
+    // doomed (nanosecond-deadline) requests: all but the first must shed
+    // as PredictedLate, and both export formats must carry the nonzero
+    // predictive-shed rows.
+    let pcfg = LoadConfig {
+        n_requests: 32,
+        seed: 0x5340D1,
+        deadline: REAL_TIME_BUDGET,
+        ..acfg
+    };
+    let c = Constellation::new(pcfg.modulation);
+    let rt = ServeRuntime::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(2 * pcfg.n_requests)
+            .with_predictive_admission(true),
+        c.clone(),
+    );
+    let report = run_load(&rt, &pcfg, &c);
+    assert_eq!(
+        report.served, pcfg.n_requests as u64,
+        "generous deadlines must all be admitted and served"
+    );
+    rt.pause();
+    let mut shed = 0u64;
+    for req in build_requests(
+        &LoadConfig {
+            deadline: Duration::from_nanos(1),
+            ..pcfg.clone()
+        },
+        &c,
+    ) {
+        if let Err(rej) = rt.submit(req) {
+            assert!(
+                matches!(rej.reason, RejectReason::PredictedLate { .. }),
+                "doomed requests shed on prediction, got {:?}",
+                rej.reason
+            );
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "the frozen backlog must trip the admission gate");
+    rt.resume();
+    let (snapshot, _, _) = rt.shutdown();
+
+    assert_eq!(snapshot.rejected_predicted, shed);
+    let line = json_line(&snapshot);
+    validate_json(&line).expect("predictive JSON export must parse");
+    for needle in [
+        format!("\"rejected_predicted_late\":{shed}"),
+        "\"frames_rejected_predicted_late\":0".to_string(),
+    ] {
+        assert!(line.contains(&needle), "JSON export missing {needle}");
+    }
+    let prom = prometheus_text(&snapshot);
+    for needle in [
+        format!("sd_serve_rejected_predicted_late_total {shed}"),
+        "sd_serve_frames_rejected_predicted_late_total 0".to_string(),
+    ] {
+        assert!(prom.contains(&needle), "Prometheus export missing {needle}");
+    }
+    println!("predictive smoke OK: {shed} doomed requests shed at admission, exports validated");
 }
 
 fn main() {
@@ -249,6 +405,7 @@ fn main() {
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             }),
         c.clone(),
     );

@@ -339,6 +339,7 @@ fn serve_steady_state_is_request_allocation_free() {
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             }),
         c.clone(),
     );

@@ -191,4 +191,72 @@ proptest! {
         let reduced = prep.full_metric(&indices);
         prop_assert!((direct - reduced).abs() < 1e-8 * (1.0 + direct));
     }
+
+    /// The serve cost model stays total under arbitrary observation
+    /// streams — including hostile SNRs, zero node counts, and 0-ns
+    /// timings: no prediction is ever NaN or negative, for any cost
+    /// class, at any query point.
+    #[test]
+    fn cost_model_predictions_are_total(
+        observations in proptest::collection::vec(
+            ((0usize..3, 0usize..3, -50.0f64..80.0),
+             (any::<bool>(), 0.0f64..80.0, 0u64..100_000, 0u64..10_000_000)),
+            1..64,
+        ),
+        query_snr in -50.0f64..80.0,
+    ) {
+        use sd_serve::{CostModel, TierCostClass};
+        let classes = [
+            TierCostClass::Adaptive,
+            TierCostClass::fixed_kbest(16),
+            TierCostClass::Linear,
+        ];
+        let model = CostModel::new(3);
+        for ((tier, class, snr), (has_cond, cond, nodes, ns)) in observations {
+            let cond = has_cond.then_some(cond);
+            model.observe_with(tier, &classes[class], snr, cond, nodes, ns);
+        }
+        for (i, class) in classes.iter().enumerate() {
+            for cond in [None, Some(0.0), Some(3.0), Some(64.0)] {
+                let p = model.predict_ns_with(i, class, query_snr, cond, 8, 4);
+                prop_assert!(p.is_finite() && p >= 0.0,
+                    "tier {i} predicted {p} at snr {query_snr}, cond {cond:?}");
+            }
+        }
+        prop_assert!(model.ns_per_node().is_finite() && model.ns_per_node() >= 0.0);
+    }
+
+    /// Ladder monotonicity through arbitrary trained models: growing the
+    /// remaining budget never selects a *less* accurate (higher-index)
+    /// tier — the predictive admission contract.
+    #[test]
+    fn choose_tier_is_monotone_in_remaining_budget(
+        observations in proptest::collection::vec(
+            (-10.0f64..40.0, 1u64..200_000, 1u64..10_000_000),
+            0..32,
+        ),
+        snr in -10.0f64..40.0,
+        budgets_us in proptest::collection::vec(0u64..100_000, 2..12),
+    ) {
+        use sd_serve::{choose_tier, default_registry, CostModel, LadderConfig, TierCostClass};
+        use std::time::Duration;
+        let cfg = LadderConfig::default();
+        let c = Constellation::new(Modulation::Qam4);
+        let tiers = default_registry(&c, &cfg);
+        let model = CostModel::new(tiers.len());
+        for (obs_snr, nodes, ns) in observations {
+            model.observe(0, &TierCostClass::Adaptive, obs_snr, nodes, ns);
+        }
+        let mut sorted = budgets_us;
+        sorted.sort_unstable();
+        let mut prev_tier = usize::MAX;
+        for us in sorted {
+            let t = choose_tier(&cfg, &model, &tiers, snr, 8, 4, Duration::from_micros(us));
+            prop_assert!(
+                prev_tier == usize::MAX || t <= prev_tier,
+                "budget {us} µs picked tier {t} after a smaller budget picked {prev_tier}"
+            );
+            prev_tier = t;
+        }
+    }
 }

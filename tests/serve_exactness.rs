@@ -76,6 +76,7 @@ fn assert_served_matches(tier: Tier, truth: &[Detection], cfg: &LoadConfig, c: &
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             }),
         vec![tier],
     );

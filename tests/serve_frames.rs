@@ -41,6 +41,7 @@ fn ladder_off() -> LadderConfig {
     LadderConfig {
         enabled: false,
         kbest_k: 16,
+        anytime: false,
     }
 }
 

@@ -78,6 +78,7 @@ fn exhausted_deadline_budget_degrades_deterministically() {
             .with_ladder(LadderConfig {
                 enabled: true,
                 kbest_k: 8,
+                anytime: false,
             })
             .paused(),
         c.clone(),
@@ -118,6 +119,7 @@ fn degradation_off_never_sheds_admitted_work_even_when_late() {
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 8,
+                anytime: false,
             })
             .paused(),
         c.clone(),

@@ -65,6 +65,7 @@ fn serve_all(
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             }),
         tiers,
     );

@@ -103,6 +103,7 @@ fn serve_sharded(
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             }),
         vec![tier],
     );
@@ -188,6 +189,7 @@ fn sharded_frames_match_exploded_vectors() {
                 .with_ladder(LadderConfig {
                     enabled: false,
                     kbest_k: 16,
+                    anytime: false,
                 }),
             c.clone(),
         )
@@ -279,6 +281,7 @@ fn stolen_work_is_bit_identical_and_attributed() {
                 .with_ladder(LadderConfig {
                     enabled: false,
                     kbest_k: 16,
+                    anytime: false,
                 })
                 .paused(),
             tier(&c),
@@ -362,6 +365,7 @@ fn stolen_frames_stay_whole() {
             .with_ladder(LadderConfig {
                 enabled: false,
                 kbest_k: 16,
+                anytime: false,
             })
             .paused(),
         c.clone(),
