@@ -49,6 +49,15 @@ echo "==> sharded determinism stress (SD_STRESS_ITERS=25)"
 SD_STRESS_ITERS=25 cargo test -q --release --test serve_shards \
   repeated_sharded_runs_are_deterministic
 
+echo "==> fused block decode exactness"
+# The cross-subcarrier fused decode (one GEMM batch per tree level for a
+# whole coherence block) must be bit-identical per subcarrier to the
+# per-subcarrier loop and to per-vector decoding — across the stock and
+# quantized fusable tiers, for degenerate blocks, and with budgets
+# tripped and untripped — and exactly allocation-free in steady state.
+cargo test -q --release --test block_fused
+cargo test -q --release --test alloc_free fused_block_decode
+
 echo "==> anytime exactness + truncation + predictive admission"
 # An unexhausted decode budget must change *nothing*: served decisions
 # bit-identical to the unbudgeted engine, every quality flag exact. An

@@ -20,11 +20,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sd_core::arena::{NodeArena, NIL};
 use sd_core::pd::{eval_children, eval_children_batch, PdScratch};
-use sd_core::preprocess::{preprocess, Prepared};
+use sd_core::preprocess::{preprocess, BlockPrep, PrepScratch, Prepared};
 use sd_core::reference::{dfs_reference, kbest_reference};
 use sd_core::{
-    EvalStrategy, FixedComplexitySd, KBestSd, MetricKind, ParallelSphereDecoder, PreparedDetector,
-    QuantizedFsd, QuantizedKBestSd, SearchWorkspace, SphereDecoder,
+    decode_block_budgeted_into, decode_block_fused_into, DecodeBudget, Detection, EvalStrategy,
+    FixedComplexitySd, KBestSd, MetricKind, ParallelSphereDecoder, PreparedDetector, QuantizedFsd,
+    QuantizedKBestSd, SearchWorkspace, SphereDecoder,
 };
 use sd_math::fixed::{COEF_TARGET, SYM_QMAX, Y_CLAMP};
 use sd_math::{fx_expand_level, fx_metric_update, GemmAlgo};
@@ -172,6 +173,107 @@ fn bench_node_expansion(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused-block operating point (ISSUE 10): the frame-serving link —
+/// 8×8 antennas, 4-QAM — with a 16-wide coherence block.
+const FUSE_N: usize = 8;
+const FUSE_BLOCK: usize = 16;
+const FUSE_K: usize = 16;
+
+/// One coherence block: `FUSE_BLOCK` receive vectors through a single
+/// channel draw (fresh transmit + noise per subcarrier).
+fn coherent_block(snr_db: f64) -> (Constellation, Vec<FrameData>) {
+    let c = Constellation::new(Modulation::Qam4);
+    let sigma2 = noise_variance(snr_db, FUSE_N);
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let base = FrameData::generate(FUSE_N, FUSE_N, &c, sigma2, &mut rng);
+    let frames = (0..FUSE_BLOCK)
+        .map(|_| {
+            let mut f = base.clone();
+            let fresh = FrameData::generate(FUSE_N, FUSE_N, &c, sigma2, &mut rng);
+            f.y = fresh.y;
+            f.tx = fresh.tx;
+            f
+        })
+        .collect();
+    (c, frames)
+}
+
+/// Fused block decode vs the per-subcarrier loop over the same shared
+/// preparation: identical answers (pinned by `tests/block_fused.rs`), so
+/// the only difference timed here is B searches of k×K GEMMs against one
+/// search of k×B·K GEMMs per level.
+fn bench_block_fused(c: &mut Criterion) {
+    let (constellation, frames) = coherent_block(30.0);
+    let engines: Vec<(&str, Box<dyn PreparedDetector<f64>>)> = vec![
+        (
+            "kbest16",
+            Box::new(KBestSd::<f64>::new(constellation.clone(), FUSE_K)),
+        ),
+        (
+            "kbest16_fx",
+            Box::new(QuantizedKBestSd::new(constellation.clone(), FUSE_K)),
+        ),
+        (
+            "fsd_fx_linf",
+            Box::new(QuantizedFsd::new(constellation.clone()).with_metric(MetricKind::LInf)),
+        ),
+    ];
+    let mut scratch = PrepScratch::new();
+    let mut block = BlockPrep::new();
+    let mut prep = Prepared::empty();
+    let mut ws = SearchWorkspace::new();
+    let mut out = vec![Detection::default(); FUSE_BLOCK];
+
+    let mut group = c.benchmark_group("block_fused_8x8_qam4");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(FUSE_BLOCK as u64));
+    for (name, det) in &engines {
+        // Outside the timed region: this engine must actually fuse.
+        let (_, fused) = decode_block_fused_into(
+            det.as_ref(),
+            &frames,
+            &DecodeBudget::UNLIMITED,
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut out,
+        );
+        assert!(fused, "{name} must take the fused path");
+        group.bench_function(format!("{name}/loop"), |b| {
+            b.iter(|| {
+                decode_block_budgeted_into(
+                    det.as_ref(),
+                    &frames,
+                    &DecodeBudget::UNLIMITED,
+                    &mut scratch,
+                    &mut block,
+                    &mut prep,
+                    &mut ws,
+                    &mut out,
+                );
+                out[0].indices[0]
+            });
+        });
+        group.bench_function(format!("{name}/fused"), |b| {
+            b.iter(|| {
+                decode_block_fused_into(
+                    det.as_ref(),
+                    &frames,
+                    &DecodeBudget::UNLIMITED,
+                    &mut scratch,
+                    &mut block,
+                    &mut prep,
+                    &mut ws,
+                    &mut out,
+                );
+                out[0].indices[0]
+            });
+        });
+    }
+    group.finish();
+}
+
 /// End-to-end decode latency at the paper's operating point.
 fn bench_end_to_end(c: &mut Criterion) {
     let frames: Vec<Prepared<f64>> = (0..8).map(|i| problem(10 + i, 22.0).1).collect();
@@ -281,6 +383,7 @@ fn find(c: &Criterion, needle: &str) -> f64 {
 fn main() {
     let mut c = Criterion::new();
     bench_node_expansion(&mut c);
+    bench_block_fused(&mut c);
     bench_end_to_end(&mut c);
 
     let before = find(&c, "per_node_path_clone");
@@ -298,6 +401,14 @@ fn main() {
         .into_iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap();
+    let fuse = |engine: &str| {
+        let loop_ns = find(&c, &format!("{engine}/loop"));
+        let fused_ns = find(&c, &format!("{engine}/fused"));
+        (loop_ns, fused_ns, loop_ns / fused_ns)
+    };
+    let fuse_kb = fuse("kbest16");
+    let fuse_kb_fx = fuse("kbest16_fx");
+    let fuse_fsd = fuse("fsd_fx_linf");
 
     let children = (BATCH * 16) as f64;
     let rows: Vec<String> = c
@@ -328,7 +439,12 @@ fn main() {
          \"end_to_end_kbest32\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}},\n  \
          \"quantized\": {{\"kbest32_float_ns\": {:.0}, \"kbest32_fixed_ns\": {:.0}, \
          \"kbest32_speedup\": {:.2}, \"fsd1_float_ns\": {:.0}, \"fsd1_fixed_linf_ns\": {:.0}, \
-         \"fsd1_speedup\": {:.2}}}\n}}\n",
+         \"fsd1_speedup\": {:.2}}},\n  \
+         \"block_fused\": {{\"workload\": \"8x8 QAM4 @ 30 dB, coherence block {FUSE_BLOCK}\", \
+         \"k\": {FUSE_K},\n    \
+         \"kbest16\": {{\"loop_ns\": {:.0}, \"fused_ns\": {:.0}, \"speedup\": {:.2}}},\n    \
+         \"kbest16_fx\": {{\"loop_ns\": {:.0}, \"fused_ns\": {:.0}, \"speedup\": {:.2}}},\n    \
+         \"fsd_fx_linf\": {{\"loop_ns\": {:.0}, \"fused_ns\": {:.0}, \"speedup\": {:.2}}}\n  }}\n}}\n",
         rows.join(",\n"),
         children * 1e9 / before,
         children * 1e9 / after_blocked,
@@ -349,6 +465,15 @@ fn main() {
         fsd_float,
         fsd_fixed,
         fsd_float / fsd_fixed,
+        fuse_kb.0,
+        fuse_kb.1,
+        fuse_kb.2,
+        fuse_kb_fx.0,
+        fuse_kb_fx.1,
+        fuse_kb_fx.2,
+        fuse_fsd.0,
+        fuse_fsd.1,
+        fuse_fsd.2,
     );
 
     // Walk up from the bench crate to the workspace root.
@@ -370,6 +495,11 @@ fn main() {
         par_workers,
         par_ns / 1e6,
         e2e_sequential / par_ns
+    );
+    eprintln!(
+        "fused block ({FUSE_BLOCK}x 8x8 QAM4): kbest16 {:.2}x, kbest16_fx {:.2}x, \
+         fsd_fx_linf {:.2}x over the per-subcarrier loop",
+        fuse_kb.2, fuse_kb_fx.2, fuse_fsd.2
     );
     eprintln!(
         "quantized: kbest32 {:.2} ms -> {:.2} ms ({:.2}x), fsd1 {:.2} ms -> {:.2} ms ({:.2}x)",

@@ -27,7 +27,11 @@
 //! [`sd_serve::FrameRequest`]s and once exploded to per-vector requests
 //! (prep cache on — the strongest per-vector baseline). The frame path
 //! pays one submit, one ladder decision, one QR and one batched
-//! `ȳ = QᴴY` per block instead of per subcarrier.
+//! `ȳ = QᴴY` per block instead of per subcarrier. A companion arm
+//! (ISSUE 10) reruns the comparison on a single-rung K-best registry,
+//! where the frame path additionally *fuses* the block — one GEMM batch
+//! per tree level for all subcarriers ([`sd_core::decode_block_fused_into`])
+//! — and reports the `frames_fused` counter alongside the speedup.
 //!
 //! A sixth scenario measures sharded channel-affinity serving (ISSUE 8):
 //! coherent, i.i.d., and whole-frame traffic each served through one
@@ -51,7 +55,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sd_core::{BestFirstSd, KBestSd, MmseDetector, SphereDecoder};
+use sd_core::{
+    BestFirstSd, KBestSd, MmseDetector, PreparedDetector, QuantizedKBestSd, SphereDecoder,
+};
 use sd_serve::{
     build_coherent_requests, build_frame_requests, default_core_allowance, explode_frames,
     host_cores, run_frame_load, run_load, run_request_stream, BatchPolicy, DetectionRequest,
@@ -320,6 +326,64 @@ fn frame_point(cfg: &FrameLoadConfig) -> FrameLoadReport {
     report
 }
 
+/// The fused-capable rungs for the frame scenario (ISSUE 10): K-best is
+/// level-synchronous and data-independent, so the frame path decodes the
+/// whole coherence block with one GEMM batch per tree level
+/// ([`sd_core::decode_block_fused_into`]) instead of one search per
+/// subcarrier. The exact tier used by [`frame_point`] cannot fuse — its
+/// tree walk is data-dependent — which is why the fused claim gets its
+/// own single-rung registry. Both the float and the quantized K-best are
+/// measured: fusion pays most where per-call kernel entry is expensive,
+/// which is the fixed-point kernel, not the float GEMM.
+fn kbest_registry(c: &Constellation, quantized: bool, k: usize) -> Vec<Tier> {
+    let det: Box<dyn PreparedDetector<f64>> = if quantized {
+        Box::new(QuantizedKBestSd::new(c.clone(), k))
+    } else {
+        Box::new(KBestSd::<f64>::new(c.clone(), k))
+    };
+    vec![Tier::new(
+        if quantized { "k-best-fx" } else { "k-best" },
+        TierCostClass::fixed_kbest(k),
+        det,
+    )]
+}
+
+/// Firehose the grid as whole-frame requests through a single-rung
+/// K-best registry: every served block takes the fused path.
+fn frame_point_fused(cfg: &FrameLoadConfig, quantized: bool) -> FrameLoadReport {
+    let c = Constellation::new(cfg.modulation);
+    let n_frames = build_frame_requests(cfg, &c).len();
+    let rt = ServeRuntime::start_with_registry(
+        ServeConfig::default()
+            .with_workers(workers())
+            .with_queue_capacity(n_frames)
+            .with_ladder(ladder(false)),
+        kbest_registry(&c, quantized, 16),
+    );
+    let report = run_frame_load(&rt, cfg, &c);
+    rt.shutdown();
+    report
+}
+
+/// The per-vector control for the fused claim: identical traffic,
+/// identical K-best rung, exploded to one request per subcarrier (prep
+/// cache on — the strongest per-vector baseline).
+fn vector_point_kbest(cfg: &FrameLoadConfig, quantized: bool) -> LoadReport {
+    let c = Constellation::new(cfg.modulation);
+    let requests = explode_frames(&build_frame_requests(cfg, &c));
+    let n = requests.len();
+    let rt = ServeRuntime::start_with_registry(
+        ServeConfig::default()
+            .with_workers(workers())
+            .with_queue_capacity(n)
+            .with_ladder(ladder(false)),
+        kbest_registry(&c, quantized, 16),
+    );
+    let report = run_request_stream(&rt, requests, 0.0, &c);
+    rt.shutdown();
+    report
+}
+
 /// Firehose the identical traffic one subcarrier at a time — the
 /// strongest per-vector baseline (prep cache on at its default size).
 fn vector_point(cfg: &FrameLoadConfig) -> LoadReport {
@@ -545,6 +609,33 @@ fn main() {
         by_frame.prep_amortization(),
     );
 
+    // -------- Claim 5b: fused block decode on the frame path ----------
+    let mut fused_arms = Vec::new();
+    for (label, quantized) in [("k-best16", false), ("k-best-fx16", true)] {
+        eprintln!("frames fused: {label} warm-up ...");
+        frame_point_fused(&warmup, quantized);
+        vector_point_kbest(&warmup, quantized);
+        eprintln!("frames fused: {label} per-vector baseline ...");
+        let by_vec = vector_point_kbest(&fw, quantized);
+        eprintln!("frames fused: {label} whole-frame submission (fused) ...");
+        let by_fr = frame_point_fused(&fw, quantized);
+        let speedup = by_fr.throughput_hz / by_vec.throughput_hz;
+        eprintln!(
+            "  {label} subcarriers/s: per-vector {:.0} -> fused frames {:.0} \
+             ({speedup:.2}x, {}/{} frames fused) on {} host core(s)",
+            by_vec.throughput_hz,
+            by_fr.throughput_hz,
+            by_fr.snapshot.frames_fused,
+            by_fr.served_frames,
+            host_cores(),
+        );
+        assert_eq!(
+            by_fr.snapshot.frames_fused, by_fr.served_frames,
+            "every {label} frame must take the fused path"
+        );
+        fused_arms.push((label, by_vec, by_fr, speedup));
+    }
+
     // -------- Claim 6: sharded channel-affinity serving ----------------
     let n_shards = affinity_shards();
     let acfg = coherent_workload();
@@ -589,6 +680,23 @@ fn main() {
         anytime.ber(),
     );
 
+    let fused_rows: Vec<String> = fused_arms
+        .iter()
+        .map(|(label, by_vec, by_fr, speedup)| {
+            format!(
+                "      \"{label}\": {{\"per_vector_throughput_hz\": {:.0}, \
+                 \"frame_throughput_hz\": {:.0}, \"speedup\": {speedup:.3}, \
+                 \"frames_fused\": {}, \"frames_served\": {}, \
+                 \"ber_per_vector\": {:.5}, \"ber_frame\": {:.5}}}",
+                by_vec.throughput_hz,
+                by_fr.throughput_hz,
+                by_fr.snapshot.frames_fused,
+                by_fr.served_frames,
+                by_vec.ber(),
+                by_fr.ber(),
+            )
+        })
+        .collect();
     let sweep_rows: Vec<String> = sweep
         .iter()
         .map(|(mult, rate, off, on)| {
@@ -619,13 +727,14 @@ fn main() {
          \"speedup\": {cache_speedup:.3},\n    \
          \"hits\": {}, \"misses\": {}, \"bypass\": {}}},\n  \
          \"frame_serving\": {{\"workload\": \"64x256 grid, 8x8 QAM4 @ 30 dB, \
-         coherence 16x4\",\n    \
+         coherence 16x4\", \"host_cores\": {},\n    \
          \"frames\": {}, \"subcarriers_per_frame\": {:.0},\n    \
          \"per_vector_throughput_hz\": {:.0}, \"frame_throughput_hz\": {:.0}, \
          \"speedup\": {frame_speedup:.3},\n    \
          \"prep_factors\": {}, \"prep_amortization\": {:.1}, \
          \"ber_per_vector\": {:.5}, \"ber_frame\": {:.5},\n    \
-         \"vector_hits\": {}, \"vector_misses\": {}, \"vector_bypass\": {}}},\n  \
+         \"vector_hits\": {}, \"vector_misses\": {}, \"vector_bypass\": {},\n    \
+         \"fused\": {{\n{}\n    }}}},\n  \
          \"sharded_affinity\": {{\"host_cores\": {}, \"n_shards\": {n_shards}, \
          \"workers\": {}, \"coherent_block\": {COHERENCE_BLOCK},\n    \
          \"coherent\": {{\"one_shard_hz\": {coh_one_hz:.0}, \"sharded_hz\": {coh_n_hz:.0}, \
@@ -655,6 +764,7 @@ fn main() {
         cache_snap.prep_cache_hits,
         cache_snap.prep_cache_misses,
         cache_snap.prep_cache_bypass,
+        host_cores(),
         by_frame.served_frames,
         by_frame.subcarriers as f64 / by_frame.served_frames.max(1) as f64,
         by_vector.throughput_hz,
@@ -666,6 +776,7 @@ fn main() {
         by_vector.snapshot.prep_cache_hits,
         by_vector.snapshot.prep_cache_misses,
         by_vector.snapshot.prep_cache_bypass,
+        fused_rows.join(",\n"),
         host_cores(),
         workers().max(2),
         coh_n_hz / coh_one_hz,

@@ -165,6 +165,9 @@ pub struct SearchWorkspace<F: Float> {
     pub(crate) next_f: Vec<(F, u32)>,
     /// Node-id staging buffer handed to `eval_children_batch`.
     pub(crate) ids: Vec<u32>,
+    /// Per-subcarrier `ȳ_i` lanes of the current level — fed to
+    /// `eval_children_batch_fused` by the fused block decoders.
+    pub(crate) ybar_lanes: Vec<sd_math::Complex<F>>,
     /// Path materialization buffer.
     pub(crate) path_buf: Vec<usize>,
     /// DFS current path.
@@ -190,6 +193,7 @@ impl<F: Float> SearchWorkspace<F> {
             frontier_f: Vec::new(),
             next_f: Vec::new(),
             ids: Vec::new(),
+            ybar_lanes: Vec::new(),
             path_buf: Vec::new(),
             path: Vec::new(),
             best_path: Vec::new(),
@@ -244,6 +248,7 @@ impl<F: Float> SearchWorkspace<F> {
         self.frontier_f.clear();
         self.next_f.clear();
         self.ids.clear();
+        self.ybar_lanes.clear();
         self.path_buf.clear();
         self.path.clear();
         self.best_path.clear();

@@ -23,11 +23,12 @@
 //! trace.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::Detection;
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
-use crate::pd::eval_children_batch;
+use crate::detector::{Detection, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
+use crate::pd::{eval_children_batch, greedy_tail};
 use crate::preprocess::Prepared;
 use crate::radius::InitialRadius;
+use crate::select::keep_best;
 use crate::trace::{span_clock, span_ns, Phase, TraceSink};
 use sd_math::{Float, GemmAlgo};
 use sd_wireless::{Constellation, FrameData};
@@ -141,7 +142,14 @@ impl<F: Float> BfsGemmSd<F> {
     ) -> (Detection, BfsLevelTrace) {
         let mut out = Detection::default();
         let mut adapter = BfsTraceAdapter::default();
-        self.bfs_core(prep, radius_sqr, ws, &mut out, Some(&mut adapter));
+        self.bfs_core(
+            prep,
+            radius_sqr,
+            &DecodeBudget::UNLIMITED,
+            ws,
+            &mut out,
+            Some(&mut adapter),
+        );
         (out, adapter.trace)
     }
 
@@ -155,6 +163,7 @@ impl<F: Float> BfsGemmSd<F> {
         &self,
         prep: &Prepared<F>,
         radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
         mut trace: Option<&mut (dyn TraceSink + 'static)>,
@@ -174,6 +183,31 @@ impl<F: Float> BfsGemmSd<F> {
             ws.frontier.clear();
             ws.frontier.push((0.0, NIL));
             for depth in 0..m {
+                if budget.tripped_after(stats.nodes_generated) {
+                    // Budget exhausted: greedily complete the best open
+                    // node to a leaf — never restart a truncated search.
+                    let spent = stats.nodes_generated;
+                    let &(pd, id) = ws
+                        .frontier
+                        .iter()
+                        .min_by(|a, b| a.0.total_cmp(&b.0))
+                        .expect("frontier is never empty");
+                    ws.arena.path_into(id, &mut ws.path_buf);
+                    let final_pd = greedy_tail(
+                        prep,
+                        &mut ws.path_buf,
+                        F::from_f64(pd),
+                        stats,
+                        &mut ws.scratch,
+                    );
+                    stats.leaves_reached += 1;
+                    stats.radius_updates = 1;
+                    stats.final_radius_sqr = final_pd.to_f64();
+                    stats.flops += prep.prep_flops;
+                    stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                    prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+                    return;
+                }
                 // One batched GEMM for the whole level.
                 ws.ids.clear();
                 ws.ids.extend(ws.frontier.iter().map(|&(_, id)| id));
@@ -220,13 +254,13 @@ impl<F: Float> BfsGemmSd<F> {
                     continue 'restart;
                 }
                 if ws.next.len() > self.max_frontier {
-                    // GPU-memory surrogate: keep the best nodes only.
+                    // GPU-memory surrogate: keep the best nodes only —
+                    // via partial selection, like the K-best cut.
                     let sorted = ws.next.len();
                     let t0 = span_clock(trace.is_some());
-                    ws.next.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    keep_best(&mut ws.next, self.max_frontier, |a, b| a.0.total_cmp(&b.0));
                     let dropped = (sorted - self.max_frontier) as u64;
                     stats.nodes_pruned += dropped;
-                    ws.next.truncate(self.max_frontier);
                     if let Some(t) = trace.as_mut() {
                         t.on_phase(Phase::Sort, span_ns(t0));
                         t.on_sort(depth, sorted as u64);
@@ -330,7 +364,32 @@ impl<F: Float> PreparedDetector<F> for BfsGemmSd<F> {
         out: &mut Detection,
     ) {
         let mut trace = ws.trace.take();
-        self.bfs_core(prep, radius_sqr, ws, out, trace.as_deref_mut());
+        self.bfs_core(
+            prep,
+            radius_sqr,
+            &DecodeBudget::UNLIMITED,
+            ws,
+            out,
+            trace.as_deref_mut(),
+        );
+        ws.trace = trace;
+    }
+
+    /// BFS under an anytime budget: checked once per level; a trip ends
+    /// the sweep with the best open node greedily completed
+    /// ([`SearchQuality::BudgetTruncated`]) — a truncated search never
+    /// restarts. Untripped decodes are bit-identical to
+    /// [`Self::detect_prepared_into`].
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
+        radius_sqr: f64,
+        budget: &DecodeBudget,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        let mut trace = ws.trace.take();
+        self.bfs_core(prep, radius_sqr, budget, ws, out, trace.as_deref_mut());
         ws.trace = trace;
     }
 }

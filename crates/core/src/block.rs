@@ -97,6 +97,64 @@ pub fn decode_block_budgeted_into<F: Float>(
     }
 }
 
+/// Cross-subcarrier *fused* block decode: one tree search — one GEMM
+/// batch per tree level — for the whole coherence block, instead of
+/// `frames.len()` independent searches.
+///
+/// Engines that implement
+/// [`PreparedDetector::detect_block_prepared_budgeted_into`] (the
+/// level-synchronous, data-independent ones: K-best and the quantized
+/// K-best/FSD) fuse the block after the shared preparation; everything
+/// else — and any decode with a trace sink installed — takes the exact
+/// per-subcarrier loop of [`decode_block_budgeted_into`]. Per-subcarrier
+/// results are bit-identical either way; fusion is purely a scheduling
+/// change.
+///
+/// Returns `(prep_factors, fused)`: the channel-preparation count (as
+/// [`decode_block_budgeted_into`]) and whether the fused path ran.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_block_fused_into<F: Float>(
+    det: &dyn PreparedDetector<F>,
+    frames: &[FrameData],
+    budget: &DecodeBudget,
+    scratch: &mut PrepScratch<F>,
+    block: &mut BlockPrep<F>,
+    prep: &mut Prepared<F>,
+    ws: &mut SearchWorkspace<F>,
+    out: &mut [Detection],
+) -> (usize, bool) {
+    assert_eq!(
+        frames.len(),
+        out.len(),
+        "need one Detection slot per subcarrier"
+    );
+    if frames.is_empty() {
+        return (0, false);
+    }
+    if det.channel_cacheable() {
+        prepare_frame_block_into(frames, det.ordering(), scratch, block);
+        if det.detect_block_prepared_budgeted_into(block, frames, budget, prep, ws, out) {
+            return (1, true);
+        }
+        // Loop fallback over the already-prepared block.
+        let n_rx = frames[0].h.rows();
+        for (k, (f, d)) in frames.iter().zip(out.iter_mut()).enumerate() {
+            block.fill_prepared(k, f, det.constellation(), prep);
+            let r2 = det.initial_radius_sqr(n_rx, f.noise_variance);
+            det.detect_prepared_budgeted_into(prep, r2, budget, ws, d);
+        }
+        (1, false)
+    } else {
+        let n_rx = frames[0].h.rows();
+        for (f, d) in frames.iter().zip(out.iter_mut()) {
+            det.prepare_frame_into(f, scratch, prep);
+            let r2 = det.initial_radius_sqr(n_rx, f.noise_variance);
+            det.detect_prepared_budgeted_into(prep, r2, budget, ws, d);
+        }
+        (frames.len(), false)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

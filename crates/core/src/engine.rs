@@ -20,7 +20,9 @@
 
 use crate::arena::SearchWorkspace;
 use crate::detector::Detection;
-use crate::preprocess::{preprocess_ordered_into, ColumnOrdering, PrepScratch, Prepared};
+use crate::preprocess::{
+    preprocess_ordered_into, BlockPrep, ColumnOrdering, PrepScratch, Prepared,
+};
 use sd_math::Float;
 use sd_wireless::{Constellation, FrameData};
 use std::time::Instant;
@@ -67,6 +69,17 @@ impl DecodeBudget {
     pub fn is_unlimited(&self) -> bool {
         self.max_nodes == u64::MAX && self.deadline.is_none()
     }
+
+    /// Whether a search that has generated `nodes_generated` nodes must
+    /// stop now: the node cap is spent or the deadline has passed. The
+    /// level-synchronous engines call this once per tree level (their
+    /// deadline granularity), the depth-first ones every few dozen nodes.
+    pub fn tripped_after(&self, nodes_generated: u64) -> bool {
+        if self.is_unlimited() {
+            return false;
+        }
+        nodes_generated >= self.max_nodes || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 impl Default for DecodeBudget {
@@ -106,10 +119,11 @@ pub trait PreparedDetector<F: Float>: Send + Sync {
     /// best-so-far leaf with
     /// [`SearchQuality::BudgetTruncated`](crate::detector::SearchQuality)
     /// set in the stats. The default ignores the budget and runs the full
-    /// decode — correct for fixed-complexity engines (linear, K-best,
-    /// FSD) whose cost is already bounded; the unbounded tree searches
-    /// (DFS, subtree-parallel, quantized DFS) override it. Whenever the
-    /// budget is not hit the output must be bit-identical to
+    /// decode — correct only for engines whose cost is a small constant
+    /// (the linear family); every tree search (DFS, subtree-parallel,
+    /// best-first, BFS, K-best, FSD, and their quantized counterparts)
+    /// overrides it with a real budget check. Whenever the budget is not
+    /// hit the output must be bit-identical to
     /// [`Self::detect_prepared_into`].
     fn detect_prepared_budgeted_into(
         &self,
@@ -120,6 +134,37 @@ pub trait PreparedDetector<F: Float>: Send + Sync {
         out: &mut Detection,
     ) {
         self.detect_prepared_into(prep, radius_sqr, ws, out);
+    }
+
+    /// Cross-subcarrier fused block decode: run ONE level-synchronous
+    /// search over a whole prepared coherence block, stacking all
+    /// subcarriers' frontiers into one GEMM operand per tree level, and
+    /// write subcarrier `k`'s decision into `out[k]`. Returns `true` when
+    /// the engine fused the block; the default `false` tells the driver
+    /// ([`decode_block_fused_into`](crate::block::decode_block_fused_into))
+    /// to fall back to the per-subcarrier loop.
+    ///
+    /// Contract for engines that fuse: per-subcarrier results (indices,
+    /// stats, metric bits) must be **bit-identical** to the per-subcarrier
+    /// [`Self::detect_prepared_budgeted_into`] loop over
+    /// [`BlockPrep::fill_prepared`] — fusion is a scheduling change, never
+    /// a numeric one. Only level-synchronous engines whose per-level
+    /// frontier size is data-independent (K-best, fixed-complexity FSD)
+    /// can honor that contract; data-dependent searches keep the default.
+    /// `prep` is caller scratch the engine may fill from the block
+    /// (shared `R`; a fused engine reads per-subcarrier `ȳ` straight off
+    /// `block`). `frames[k]` must be the subcarrier the block was
+    /// prepared from.
+    fn detect_block_prepared_budgeted_into(
+        &self,
+        _block: &BlockPrep<F>,
+        _frames: &[FrameData],
+        _budget: &DecodeBudget,
+        _prep: &mut Prepared<F>,
+        _ws: &mut SearchWorkspace<F>,
+        _out: &mut [Detection],
+    ) -> bool {
+        false
     }
 
     /// Column ordering applied before QR (policy hook for
@@ -320,14 +365,13 @@ mod tests {
     }
 
     /// The default budgeted entry point must be the plain decode,
-    /// bit-for-bit, for every engine that does not override it.
+    /// bit-for-bit, for every engine that does not override it. (K-best
+    /// used to sit here; it now honors budgets and is covered by its own
+    /// truncation tests instead.)
     #[test]
     fn default_budgeted_decode_is_the_plain_decode() {
         let (c, frames) = frames(4);
-        let dets: Vec<Box<dyn PreparedDetector<f64>>> = vec![
-            Box::new(BestFirstSd::new(c.clone())),
-            Box::new(KBestSd::new(c.clone(), 8)),
-        ];
+        let dets: Vec<Box<dyn PreparedDetector<f64>>> = vec![Box::new(BestFirstSd::new(c.clone()))];
         let mut ws = SearchWorkspace::new();
         let mut plain = Detection::default();
         let mut budgeted = Detection::default();

@@ -9,8 +9,8 @@
 //! resource hungry".
 
 use crate::arena::SearchWorkspace;
-use crate::detector::Detection;
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
+use crate::detector::{Detection, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
 use crate::pd::{eval_children, EvalStrategy};
 use crate::preprocess::Prepared;
 use crate::trace::{span_clock, span_ns, Phase};
@@ -65,7 +65,24 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
     fn detect_prepared_into(
         &self,
         prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.detect_prepared_budgeted_into(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    /// The FSD sweep under an anytime budget, checked once per prefix at
+    /// the odometer top: a trip keeps the incumbent leaf and flags
+    /// [`SearchQuality::BudgetTruncated`]. The first prefix always runs
+    /// to a leaf (the incumbent starts at `∞`), so even a zero budget
+    /// yields a complete vector; untripped decodes are bit-identical to
+    /// [`Self::detect_prepared_into`].
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
         _radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
@@ -87,6 +104,14 @@ impl<F: Float> PreparedDetector<F> for FixedComplexitySd<F> {
         let mut best_metric = F::infinity();
         ws.path_buf.resize(n_fe, 0);
         loop {
+            if stats.leaves_reached > 0 && budget.tripped_after(stats.nodes_generated) {
+                // Keep the incumbent leaf; the first prefix always
+                // completes one, so the answer is a full vector.
+                stats.quality = SearchQuality::BudgetTruncated {
+                    nodes_spent: stats.nodes_generated,
+                };
+                break;
+            }
             // PD of the current prefix.
             let mut pd = F::ZERO;
             let mut ok = true;

@@ -17,13 +17,14 @@
 //! original fixed-precision semantics bit for bit.
 
 use crate::arena::{SearchWorkspace, NIL};
-use crate::detector::Detection;
-use crate::engine::{impl_detector_via_prepared, PreparedDetector};
-use crate::pd::eval_children_batch;
-use crate::preprocess::Prepared;
+use crate::detector::{Detection, SearchQuality};
+use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
+use crate::pd::{eval_children_batch, eval_children_batch_fused, greedy_tail};
+use crate::preprocess::{BlockPrep, Prepared};
+use crate::select::{keep_best, keep_best_slice};
 use crate::trace::{span_clock, span_ns, Phase};
 use sd_math::{Float, GemmAlgo};
-use sd_wireless::Constellation;
+use sd_wireless::{Constellation, FrameData};
 
 /// K-best breadth-limited decoder.
 #[derive(Clone, Debug)]
@@ -71,7 +72,24 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
     fn detect_prepared_into(
         &self,
         prep: &Prepared<F>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut Detection,
+    ) {
+        self.detect_prepared_budgeted_into(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    /// The K-best sweep under an anytime budget: the node cap / deadline
+    /// is checked once per tree level, and a trip ends the level loop
+    /// with the best frontier node greedily completed to a leaf
+    /// ([`SearchQuality::BudgetTruncated`]). Untripped decodes are
+    /// bit-identical to [`Self::detect_prepared_into`] (the checks are
+    /// pure reads).
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<F>,
         _radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<F>,
         out: &mut Detection,
     ) {
@@ -83,12 +101,17 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         if let Some(t) = trace.as_deref_mut() {
             t.on_decode_start(m);
         }
-        let stats = &mut out.stats;
 
         // Frontier of (pd, arena id), capped at K after each level.
         ws.frontier_f.clear();
         ws.frontier_f.push((F::ZERO, NIL));
+        let mut tripped = false;
         for depth in 0..m {
+            if budget.tripped_after(out.stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
+            let stats = &mut out.stats;
             ws.ids.clear();
             ws.ids.extend(ws.frontier_f.iter().map(|&(_, id)| id));
             let t0 = span_clock(trace.is_some());
@@ -117,10 +140,14 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
             if ws.next_f.len() > self.k {
                 let sorted = ws.next_f.len();
                 let t0 = span_clock(trace.is_some());
-                ws.next_f
-                    .sort_unstable_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()));
-                stats.nodes_pruned += (ws.next_f.len() - self.k) as u64;
-                ws.next_f.truncate(self.k);
+                // Partial selection instead of a full sort: keep the K
+                // best (then order just those) — the level cost drops
+                // from O(n log n) to O(n + K log K), which PR 6 measured
+                // as the float engine's Amdahl bottleneck.
+                keep_best(&mut ws.next_f, self.k, |a, b| {
+                    a.0.to_f64().total_cmp(&b.0.to_f64())
+                });
+                stats.nodes_pruned += (sorted - self.k) as u64;
                 if let Some(t) = trace.as_deref_mut() {
                     t.on_phase(Phase::Sort, span_ns(t0));
                     t.on_sort(depth, sorted as u64);
@@ -133,16 +160,37 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
             std::mem::swap(&mut ws.frontier_f, &mut ws.next_f);
         }
 
-        stats.leaves_reached = ws.frontier_f.len() as u64;
+        if tripped {
+            // Best-so-far: greedily complete the most promising frontier
+            // node to a leaf and flag the truncation.
+            let spent = out.stats.nodes_generated;
+            let &(pd, id) = ws
+                .frontier_f
+                .iter()
+                .min_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()))
+                .expect("frontier is never empty");
+            ws.arena.path_into(id, &mut ws.path_buf);
+            let final_pd = greedy_tail(prep, &mut ws.path_buf, pd, &mut out.stats, &mut ws.scratch);
+            out.stats.leaves_reached += 1;
+            out.stats.radius_updates = 1;
+            out.stats.final_radius_sqr = final_pd.to_f64();
+            out.stats.flops += prep.prep_flops;
+            out.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+            ws.trace = trace;
+            prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+            return;
+        }
+
+        out.stats.leaves_reached = ws.frontier_f.len() as u64;
         let t0 = span_clock(trace.is_some());
         let &(best_pd, best_id) = ws
             .frontier_f
             .iter()
             .min_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()))
             .expect("frontier is never empty");
-        stats.radius_updates = 1;
-        stats.final_radius_sqr = best_pd.to_f64();
-        stats.flops += prep.prep_flops;
+        out.stats.radius_updates = 1;
+        out.stats.final_radius_sqr = best_pd.to_f64();
+        out.stats.flops += prep.prep_flops;
         ws.arena.path_into(best_id, &mut ws.path_buf);
         if let Some(t) = trace.as_deref_mut() {
             t.on_phase(Phase::Leaf, span_ns(t0));
@@ -150,6 +198,149 @@ impl<F: Float> PreparedDetector<F> for KBestSd<F> {
         }
         ws.trace = trace;
         prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+    }
+
+    /// Cross-subcarrier fused block decode: ONE K-best sweep over the
+    /// whole coherence block. The per-subcarrier frontiers are stacked
+    /// subcarrier-major into a single `(depth × B·fl)` operand and each
+    /// tree level costs one fused GEMM call
+    /// ([`eval_children_batch_fused`]) instead of `B`; the survivor cut
+    /// then runs per subcarrier on the fused score list.
+    ///
+    /// Exactness: the GEMM never sees ȳ (shared-`R` lemma), each
+    /// subcarrier's candidate segment is the same value sequence the
+    /// per-subcarrier loop produces, and the cut is a deterministic
+    /// function of that sequence — so indices, stats and metric bits are
+    /// bit-identical per subcarrier, budgets included (uniform frontier
+    /// sizes make every subcarrier trip at the same level).
+    fn detect_block_prepared_budgeted_into(
+        &self,
+        block: &BlockPrep<F>,
+        frames: &[FrameData],
+        budget: &DecodeBudget,
+        prep: &mut Prepared<F>,
+        ws: &mut SearchWorkspace<F>,
+        out: &mut [Detection],
+    ) -> bool {
+        if ws.trace_enabled() {
+            return false; // per-decode event streams need the loop path
+        }
+        let b_count = frames.len();
+        debug_assert_eq!(out.len(), b_count);
+        if b_count == 0 {
+            return true;
+        }
+        // Shared channel state (R, row blocks, points, permutation) from
+        // subcarrier 0; per-subcarrier ȳ is read straight off the block.
+        block.fill_prepared(0, &frames[0], &self.constellation, prep);
+        let m = prep.n_tx;
+        let p = prep.order;
+        ws.prepare(p, m);
+        for d in out.iter_mut() {
+            d.stats.reset(m);
+        }
+
+        // One root per subcarrier, subcarrier-major; `fl` is the uniform
+        // per-subcarrier frontier length (min(pᵈ, K) — data-independent).
+        ws.frontier_f.clear();
+        ws.frontier_f.extend((0..b_count).map(|_| (F::ZERO, NIL)));
+        let mut fl = 1usize;
+        let mut tripped = false;
+        for depth in 0..m {
+            if budget.tripped_after(out[0].stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
+            ws.ids.clear();
+            ws.ids.extend(ws.frontier_f.iter().map(|&(_, id)| id));
+            let i_ant = m - 1 - depth;
+            ws.ybar_lanes.clear();
+            for sc in 0..b_count {
+                ws.ybar_lanes.push(block.ybar_at(i_ant, sc));
+            }
+            let level_flops = eval_children_batch_fused(
+                prep,
+                &ws.arena,
+                &ws.ids,
+                &ws.ybar_lanes,
+                fl,
+                self.batch_algo,
+                &mut ws.scratch,
+            );
+            // The fused flop charge is linear in nodes: attribute each
+            // subcarrier exactly its per-subcarrier share.
+            let per_sc_flops = level_flops / b_count as u64;
+            debug_assert_eq!(per_sc_flops * b_count as u64, level_flops);
+            for d in out.iter_mut() {
+                d.stats.flops += per_sc_flops;
+                d.stats.nodes_expanded += fl as u64;
+                d.stats.nodes_generated += (fl * p) as u64;
+                d.stats.per_level_generated[depth] += (fl * p) as u64;
+            }
+
+            ws.next_f.clear();
+            for (bi, &(pd, id)) in ws.frontier_f.iter().enumerate() {
+                for c in 0..p {
+                    let child_pd = pd + ws.scratch.batch_increments[bi * p + c];
+                    let child = ws.arena.alloc(id, c);
+                    ws.next_f.push((child_pd, child));
+                }
+            }
+            let gen = fl * p;
+            if gen > self.k {
+                for (sc, d) in out.iter_mut().enumerate() {
+                    let seg = &mut ws.next_f[sc * gen..(sc + 1) * gen];
+                    keep_best_slice(seg, self.k, |a, b| a.0.to_f64().total_cmp(&b.0.to_f64()));
+                    d.stats.nodes_pruned += (gen - self.k) as u64;
+                }
+                ws.frontier_f.clear();
+                for sc in 0..b_count {
+                    let start = sc * gen;
+                    ws.frontier_f
+                        .extend_from_slice(&ws.next_f[start..start + self.k]);
+                }
+                fl = self.k;
+            } else {
+                std::mem::swap(&mut ws.frontier_f, &mut ws.next_f);
+                fl = gen;
+            }
+        }
+
+        for (sc, d) in out.iter_mut().enumerate() {
+            let seg = &ws.frontier_f[sc * fl..(sc + 1) * fl];
+            let &(best_pd, best_id) = seg
+                .iter()
+                .min_by(|a, b| a.0.to_f64().total_cmp(&b.0.to_f64()))
+                .expect("frontier is never empty");
+            if tripped {
+                let spent = d.stats.nodes_generated;
+                // Rare path: reload this subcarrier's ȳ for the greedy
+                // scalar completion.
+                block.fill_prepared(sc, &frames[sc], &self.constellation, prep);
+                ws.arena.path_into(best_id, &mut ws.path_buf);
+                let final_pd = greedy_tail(
+                    prep,
+                    &mut ws.path_buf,
+                    best_pd,
+                    &mut d.stats,
+                    &mut ws.scratch,
+                );
+                d.stats.leaves_reached += 1;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = final_pd.to_f64();
+                d.stats.flops += prep.prep_flops;
+                d.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                prep.indices_from_path_into(&ws.path_buf, &mut d.indices);
+            } else {
+                d.stats.leaves_reached = fl as u64;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = best_pd.to_f64();
+                d.stats.flops += prep.prep_flops;
+                ws.arena.path_into(best_id, &mut ws.path_buf);
+                prep.indices_from_path_into(&ws.path_buf, &mut d.indices);
+            }
+        }
+        true
     }
 }
 

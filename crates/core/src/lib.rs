@@ -66,6 +66,7 @@ pub mod quantized;
 pub mod radius;
 pub mod reference;
 pub mod rvd;
+pub(crate) mod select;
 pub mod soft;
 pub mod stat_pruning;
 pub mod trace;
@@ -75,7 +76,7 @@ pub use arena::{NodeArena, SearchWorkspace};
 pub use batch::{batch_stats, decode_batch, decode_batch_reused, WorkspaceDetector};
 pub use best_first::BestFirstSd;
 pub use bfs::{BfsGemmSd, BfsLevelTrace};
-pub use block::{decode_block_budgeted_into, decode_block_into};
+pub use block::{decode_block_budgeted_into, decode_block_fused_into, decode_block_into};
 pub use detector::{Detection, DetectionStats, Detector, SearchQuality};
 pub use dfs::SphereDecoder;
 pub use engine::{DecodeBudget, PreparedDetector};

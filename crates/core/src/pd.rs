@@ -344,6 +344,168 @@ pub fn eval_children_batch<F: Float>(
     (nodes.len() as u64) * (p as u64) * (8 * (depth as u64 + 1) + 5)
 }
 
+/// Cross-subcarrier fused form of [`eval_children_batch`]: one GEMM batch
+/// per tree level for a whole coherence block.
+///
+/// `nodes` stacks the same-depth frontiers of `nodes.len() / stride`
+/// subcarriers, subcarrier-major with exactly `stride` nodes each;
+/// `ybars[sc]` is subcarrier `sc`'s received component `ȳ_i` for this
+/// level. All subcarriers must share `prep`'s channel factorization
+/// (`R`, hence `row_blocks`, `points` and the seeds) — the coherence-block
+/// invariant — because the GEMM operand stacks their tree states against
+/// the ONE suffix row `A' = R[i, i+1..M]`.
+///
+/// Exactness: ȳ never enters the GEMM. Every output column accumulates
+/// independently (the stacking lemma pinned by
+/// [`sd_math::gemm_broadcast_acc_stacked_into`]), and the per-subcarrier
+/// ȳ is subtracted column-wise afterwards, so node `bi`'s increments are
+/// bit-identical to a per-subcarrier [`eval_children_batch`] call on its
+/// own frontier — chunk boundaries included, since chunking only splits
+/// columns. Chunks are drawn at whole-subcarrier granularity (the largest
+/// multiple of `stride` under [`MAX_BATCH`], or one subcarrier when
+/// `stride` exceeds it) so each kernel call is a clean stack of blocks.
+///
+/// Returns the flops charged for the whole fused level — linear in the
+/// node count, so callers can attribute `stride · P · (8(depth+1) + 5)`
+/// to each subcarrier and reproduce the per-subcarrier accounting
+/// exactly.
+pub fn eval_children_batch_fused<F: Float>(
+    prep: &Prepared<F>,
+    arena: &NodeArena,
+    nodes: &[u32],
+    ybars: &[Complex<F>],
+    stride: usize,
+    algo: GemmAlgo,
+    scratch: &mut PdScratch<F>,
+) -> u64 {
+    let m = prep.n_tx;
+    let p = prep.order;
+    assert!(!nodes.is_empty(), "empty batch");
+    assert!(stride > 0, "empty per-subcarrier frontier");
+    assert_eq!(
+        nodes.len(),
+        ybars.len() * stride,
+        "fused batch must stack equal frontiers"
+    );
+    let depth = arena.depth(nodes[0]);
+    assert!(depth < m, "cannot expand a leaf");
+    let a_row = &prep.row_blocks[depth];
+    debug_assert_eq!(a_row.shape(), (1, depth + 1));
+    let r_ii = a_row.as_slice()[0];
+
+    scratch.seeds.clear();
+    for &point in prep.points.iter() {
+        let mut e = Complex::zero();
+        Complex::mul_acc(&mut e, r_ii, point);
+        scratch.seeds.push(e);
+    }
+    scratch.a_tail.resize_for_overwrite(1, depth);
+    scratch
+        .a_tail
+        .as_mut_slice()
+        .copy_from_slice(&a_row.as_slice()[1..]);
+
+    if scratch.batch_increments.len() != nodes.len() * p {
+        scratch.batch_increments.clear();
+        scratch.batch_increments.resize(nodes.len() * p, F::ZERO);
+    }
+
+    // Whole subcarriers per chunk: ⌊MAX_BATCH / stride⌋ of them, floored
+    // at one so oversized frontiers still fuse (one block per call).
+    let sc_per_chunk = (MAX_BATCH / stride).max(1);
+    let chunk_nodes = sc_per_chunk * stride;
+    for (chunk_idx, chunk) in nodes.chunks(chunk_nodes).enumerate() {
+        let b = chunk.len();
+        let n = b * p;
+        scratch.s_mat.resize_for_overwrite(depth, b);
+        scratch.e_mat.resize_for_overwrite(1, n);
+        let s = scratch.s_mat.as_mut_slice();
+        for (bi, &node) in chunk.iter().enumerate() {
+            debug_assert_eq!(arena.depth(node), depth, "batch must be level-synchronous");
+            for (off, sym) in arena.ancestry(node).enumerate() {
+                s[off * b + bi] = prep.points[sym];
+            }
+        }
+        for tile in scratch.e_mat.as_mut_slice().chunks_exact_mut(p) {
+            tile.copy_from_slice(&scratch.seeds);
+        }
+        match algo {
+            GemmAlgo::Naive => {
+                scratch.s_wide.resize_for_overwrite(depth, n);
+                let sw = scratch.s_wide.as_mut_slice();
+                let sv = scratch.s_mat.as_slice();
+                for off in 0..depth {
+                    sd_math::fill_tiles(
+                        &mut sw[off * n..(off + 1) * n],
+                        &sv[off * b..(off + 1) * b],
+                        p,
+                    );
+                }
+                gemm_acc_into(&scratch.a_tail, &scratch.s_wide, &mut scratch.e_mat, algo);
+            }
+            GemmAlgo::Blocked | GemmAlgo::Parallel => {
+                sd_math::gemm_broadcast_acc_stacked_into(
+                    &scratch.a_tail,
+                    &scratch.s_mat,
+                    p,
+                    b / stride,
+                    &mut scratch.e_mat,
+                );
+            }
+        }
+        let e = scratch.e_mat.as_slice();
+        let base = chunk_idx * chunk_nodes * p;
+        let out = &mut scratch.batch_increments[base..base + n];
+        for (local_bi, node_out) in out.chunks_exact_mut(p).enumerate() {
+            let sc = (chunk_idx * chunk_nodes + local_bi) / stride;
+            let ybar_i = ybars[sc];
+            for (o, &ev) in node_out.iter_mut().zip(&e[local_bi * p..]) {
+                *o = (ybar_i - ev).norm_sqr();
+            }
+        }
+    }
+
+    (nodes.len() as u64) * (p as u64) * (8 * (depth as u64 + 1) + 5)
+}
+
+/// Greedy (successive-interference-cancellation) completion of a partial
+/// path: extend `path` to a leaf by taking the locally best child at each
+/// remaining level, charging the search stats as it goes. Returns the
+/// completed leaf's partial distance, starting from `pd0`.
+///
+/// This is the shared best-so-far finisher of the budget-truncated
+/// breadth-first engines — both the per-subcarrier and the fused block
+/// paths call it, which is what keeps their truncated outputs
+/// bit-identical. Ties take the lowest child index (strict `<` scan).
+pub(crate) fn greedy_tail<F: Float>(
+    prep: &Prepared<F>,
+    path: &mut Vec<usize>,
+    pd0: F,
+    stats: &mut crate::detector::DetectionStats,
+    scratch: &mut PdScratch<F>,
+) -> F {
+    let m = prep.n_tx;
+    let p = prep.order;
+    let mut pd = pd0;
+    for depth in path.len()..m {
+        stats.flops += eval_children(prep, path, EvalStrategy::Gemm, scratch);
+        stats.nodes_expanded += 1;
+        stats.nodes_generated += p as u64;
+        stats.per_level_generated[depth] += p as u64;
+        let mut best_c = 0usize;
+        let mut best_inc = scratch.increments[0];
+        for (c, &inc) in scratch.increments.iter().enumerate().skip(1) {
+            if inc < best_inc {
+                best_c = c;
+                best_inc = inc;
+            }
+        }
+        pd += best_inc;
+        path.push(best_c);
+    }
+    pd
+}
+
 /// Fill `out` with `(increment, child_index)` pairs in natural child
 /// order, reusing its allocation.
 pub fn children_into<F: Float>(increments: &[F], out: &mut Vec<(F, usize)>) {
@@ -479,6 +641,67 @@ mod tests {
                 &batch.batch_increments[bi * p..(bi + 1) * p],
                 &scalar.increments[..],
                 "chunk boundary node {bi}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_eval_is_bit_identical_per_subcarrier() {
+        // Stack several subcarriers' frontiers (each with its own ȳ) and
+        // compare every subcarrier's slice against its own
+        // eval_children_batch run — bit for bit, across chunk boundaries.
+        let c = Constellation::new(Modulation::Qam4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 6;
+        let p = 4;
+        let base = FrameData::generate(n, n, &c, 0.1, &mut rng);
+        // Per-subcarrier preps sharing one H: regenerate y on a fixed H.
+        let preps: Vec<Prepared<f64>> = (0..5)
+            .map(|_| {
+                let mut f = FrameData::generate(n, n, &c, 0.1, &mut rng);
+                f.h = base.h.clone();
+                preprocess(&f, &c)
+            })
+            .collect();
+        // stride chosen so MAX_BATCH is not a multiple: forces the fused
+        // chunking to realign at whole-subcarrier boundaries.
+        let stride = 48;
+        let mut arena = NodeArena::new();
+        let mut nodes = Vec::new();
+        for sc in 0..preps.len() {
+            for i in 0..stride {
+                let a = arena.alloc(NIL, (sc + i) % p);
+                let b = arena.alloc(a, (3 * i) % p);
+                nodes.push(arena.alloc(b, (i + 2 * sc) % p));
+            }
+        }
+        let depth = 3;
+        let i_ant = n - 1 - depth;
+        let ybars: Vec<_> = preps.iter().map(|pr| pr.ybar[i_ant]).collect();
+        let mut fused = PdScratch::new(p, n);
+        let mut per_sc = PdScratch::new(p, n);
+        for algo in [GemmAlgo::Naive, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            let flops = eval_children_batch_fused(
+                &preps[0], &arena, &nodes, &ybars, stride, algo, &mut fused,
+            );
+            let mut want_flops = 0;
+            for (sc, pr) in preps.iter().enumerate() {
+                want_flops += eval_children_batch(
+                    pr,
+                    &arena,
+                    &nodes[sc * stride..(sc + 1) * stride],
+                    algo,
+                    &mut per_sc,
+                );
+                assert_eq!(
+                    &fused.batch_increments[sc * stride * p..(sc + 1) * stride * p],
+                    &per_sc.batch_increments[..],
+                    "{algo:?} subcarrier {sc} must be bit-identical"
+                );
+            }
+            assert_eq!(
+                flops, want_flops,
+                "{algo:?}: fusion must not change accounting"
             );
         }
     }

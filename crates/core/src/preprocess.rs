@@ -441,6 +441,13 @@ impl<F: Float> BlockPrep<F> {
         row_blocks_into(&prep.r, &mut prep.row_blocks);
         prep.load_frame(frame);
     }
+
+    /// Subcarrier `k`'s batched `ȳ_i` — the only per-subcarrier input the
+    /// fused block decoders read per tree level, everything else being
+    /// block-shared channel state.
+    pub(crate) fn ybar_at(&self, i: usize, k: usize) -> Complex<F> {
+        self.ybars[(i, k)]
+    }
 }
 
 /// Prepare a whole coherence block: factor `frames[0]`'s channel once

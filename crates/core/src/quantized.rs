@@ -31,13 +31,14 @@
 use crate::arena::{SearchWorkspace, NIL};
 use crate::detector::{Detection, SearchQuality};
 use crate::engine::{impl_detector_via_prepared, DecodeBudget, PreparedDetector};
-use crate::preprocess::Prepared;
+use crate::preprocess::{BlockPrep, Prepared};
 use crate::radius::InitialRadius;
+use crate::select::{keep_best, keep_best_slice};
 use sd_math::fixed::{
     coef_scale, quantize_i16, quantize_i32, MetricKind, MAX_FX_ANTENNAS, SYM_SCALE,
 };
-use sd_math::fxkernel::{fx_expand_level, fx_metric_update};
-use sd_wireless::Constellation;
+use sd_math::fxkernel::{fx_expand_level, fx_expand_level_multi, fx_metric_update};
+use sd_wireless::{Constellation, FrameData};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -251,6 +252,16 @@ struct FxState {
     best_path: Vec<usize>,
     children: Vec<(i64, usize)>,
     metric: MetricKind,
+    /// Fused block decode: per-subcarrier quantized `ŷ_i`, level-major
+    /// (`m × B`, index `depth · B + sc`). `R`'s block scale `α` depends
+    /// only on the shared channel, so one quantization grid covers the
+    /// whole block.
+    y_multi_re: Vec<i32>,
+    y_multi_im: Vec<i32>,
+    /// Per-node ŷ lanes of the current fused level (node `bi` reads its
+    /// subcarrier's component).
+    y_lane_re: Vec<i32>,
+    y_lane_im: Vec<i32>,
 }
 
 /// Integer-op count of one batched level expansion (`b` nodes of depth
@@ -326,10 +337,97 @@ fn expand_frontier(st: &mut FxState, ws: &mut SearchWorkspace<f64>, depth: usize
     fx_level_ops(b, depth, p)
 }
 
+/// Fused-block analogue of [`expand_frontier`]: `st.frontier` stacks
+/// `b_count` subcarriers' frontiers subcarrier-major, `fl` nodes each,
+/// and every node reads *its* subcarrier's `ŷ` lane
+/// ([`fx_expand_level_multi`]). The suffix CMAC never touches `ŷ` and is
+/// column-independent, so each node's increment is bit-identical to the
+/// per-subcarrier [`expand_frontier`] call.
+fn expand_frontier_fused(
+    st: &mut FxState,
+    ws: &mut SearchWorkspace<f64>,
+    depth: usize,
+    fl: usize,
+    b_count: usize,
+) -> u64 {
+    let b = st.frontier.len();
+    debug_assert_eq!(b, fl * b_count, "fused frontier must stack equal blocks");
+    let p = st.fx.order;
+    ws.ids.clear();
+    ws.ids.extend(st.frontier.iter().map(|&(_, id)| id));
+    gather_planes(
+        &st.fx,
+        &ws.arena,
+        &ws.ids,
+        depth,
+        &mut st.s_re,
+        &mut st.s_im,
+    );
+    st.y_lane_re.clear();
+    st.y_lane_im.clear();
+    for bi in 0..b {
+        let sc = bi / fl;
+        st.y_lane_re.push(st.y_multi_re[depth * b_count + sc]);
+        st.y_lane_im.push(st.y_multi_im[depth * b_count + sc]);
+    }
+    let metric = st.metric;
+    if st.w_re.len() < b {
+        st.w_re.resize(b, 0);
+        st.w_im.resize(b, 0);
+    }
+    st.inc.clear();
+    st.inc.resize(b * p, 0);
+    let level = &st.fx.levels[depth];
+    fx_expand_level_multi(
+        &level.a_re,
+        &level.a_im,
+        &st.s_re,
+        &st.s_im,
+        b,
+        &st.y_lane_re,
+        &st.y_lane_im,
+        &level.seed_re,
+        &level.seed_im,
+        metric,
+        &mut st.w_re,
+        &mut st.w_im,
+        &mut st.inc,
+    );
+    fx_level_ops(b, depth, p)
+}
+
 impl FxState {
     fn prepare(&mut self, prep: &Prepared<f64>, metric: MetricKind) {
         self.metric = metric;
         self.fx.quantize_from(prep);
+    }
+
+    /// Quantize every subcarrier's `ȳ` onto the block's product grid
+    /// (level-major), for the fused sweep. Must run after
+    /// [`FxState::prepare`] fixed `α` from the shared `R`.
+    fn quantize_block_ys(&mut self, block: &BlockPrep<f64>, b_count: usize) {
+        let m = self.fx.n_tx;
+        let scale = self.fx.coef_scale * SYM_SCALE;
+        self.y_multi_re.clear();
+        self.y_multi_im.clear();
+        for d in 0..m {
+            let i = m - 1 - d;
+            for sc in 0..b_count {
+                let y = block.ybar_at(i, sc);
+                self.y_multi_re.push(quantize_i32(y.re, scale));
+                self.y_multi_im.push(quantize_i32(y.im, scale));
+            }
+        }
+    }
+
+    /// Point the scalar per-level `ŷ` at subcarrier `sc` of the block —
+    /// the rare budget-trip path runs its greedy completion through the
+    /// scalar kernels.
+    fn load_sc_ys(&mut self, sc: usize, b_count: usize) {
+        for (d, level) in self.fx.levels.iter_mut().enumerate() {
+            level.y_re = self.y_multi_re[d * b_count + sc];
+            level.y_im = self.y_multi_im[d * b_count + sc];
+        }
     }
 }
 
@@ -378,7 +476,23 @@ impl PreparedDetector<f64> for QuantizedKBestSd {
     fn detect_prepared_into(
         &self,
         prep: &Prepared<f64>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        self.detect_prepared_budgeted_into(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    /// The quantized K-best sweep under an anytime budget (checked once
+    /// per level, like the float engine): a trip completes the best
+    /// frontier node greedily in the fixed domain and flags
+    /// [`SearchQuality::BudgetTruncated`]; untripped decodes are
+    /// bit-identical to [`Self::detect_prepared_into`].
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<f64>,
         _radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<f64>,
         out: &mut Detection,
     ) {
@@ -396,7 +510,12 @@ impl PreparedDetector<f64> for QuantizedKBestSd {
 
         st.frontier.clear();
         st.frontier.push((0, NIL));
+        let mut tripped = false;
         for depth in 0..m {
+            if budget.tripped_after(out.stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
             let b = st.frontier.len();
             out.stats.flops += expand_frontier(&mut *st, ws, depth);
             if let Some(t) = trace.as_deref_mut() {
@@ -421,8 +540,10 @@ impl PreparedDetector<f64> for QuantizedKBestSd {
             }
             if next.len() > self.k {
                 let sorted = next.len();
-                next.sort_unstable();
-                next.truncate(self.k);
+                // Partial selection under the total `(metric, id)` order:
+                // the unique top-K in the full sort's order, at
+                // O(n + K log K) instead of O(n log n).
+                keep_best(next, self.k, |a, b| a.cmp(b));
                 out.stats.nodes_pruned += (sorted - self.k) as u64;
                 if let Some(t) = trace.as_deref_mut() {
                     t.on_sort(depth, sorted as u64);
@@ -433,6 +554,21 @@ impl PreparedDetector<f64> for QuantizedKBestSd {
                 t.on_accept(depth, next.len() as u64);
             }
             std::mem::swap(&mut st.frontier, &mut st.next);
+        }
+
+        if tripped {
+            let spent = out.stats.nodes_generated;
+            let &(pd, id) = st.frontier.iter().min().expect("frontier is never empty");
+            ws.arena.path_into(id, &mut st.path);
+            let final_pd = fx_greedy_tail(st, self.metric, pd, &mut out.stats);
+            out.stats.leaves_reached += 1;
+            out.stats.radius_updates = 1;
+            out.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, final_pd);
+            out.stats.flops += prep.prep_flops;
+            out.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+            ws.trace = trace;
+            prep.indices_from_path_into(&st.path, &mut out.indices);
+            return;
         }
 
         out.stats.leaves_reached = st.frontier.len() as u64;
@@ -446,6 +582,118 @@ impl PreparedDetector<f64> for QuantizedKBestSd {
         }
         ws.trace = trace;
         prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+    }
+
+    /// Cross-subcarrier fused block decode: one quantized K-best sweep —
+    /// one integer kernel call per tree level ([`fx_expand_level_multi`])
+    /// — for the whole coherence block. `α` is a function of the shared
+    /// `R` alone, so every subcarrier quantizes onto one grid, and the
+    /// `(metric, id)` survivor cut is bit-identical per subcarrier to the
+    /// loop path (arena ids renumber monotonically within a subcarrier).
+    fn detect_block_prepared_budgeted_into(
+        &self,
+        block: &BlockPrep<f64>,
+        frames: &[FrameData],
+        budget: &DecodeBudget,
+        prep: &mut Prepared<f64>,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut [Detection],
+    ) -> bool {
+        if ws.trace_enabled() {
+            return false; // per-decode event streams need the loop path
+        }
+        let b_count = frames.len();
+        debug_assert_eq!(out.len(), b_count);
+        if b_count == 0 {
+            return true;
+        }
+        block.fill_prepared(0, &frames[0], &self.constellation, prep);
+        let m = prep.n_tx;
+        let p = prep.order;
+        ws.prepare(p, m);
+        for d in out.iter_mut() {
+            d.stats.reset(m);
+        }
+        let mut st = self.state.lock().expect("quantized state poisoned");
+        let st = &mut *st;
+        st.prepare(prep, self.metric);
+        st.quantize_block_ys(block, b_count);
+
+        st.frontier.clear();
+        st.frontier.extend((0..b_count).map(|_| (0i64, NIL)));
+        let mut fl = 1usize;
+        let mut tripped = false;
+        for depth in 0..m {
+            if budget.tripped_after(out[0].stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
+            let level_ops = expand_frontier_fused(&mut *st, ws, depth, fl, b_count);
+            let per_sc_ops = fx_level_ops(fl, depth, p);
+            debug_assert_eq!(per_sc_ops * b_count as u64, level_ops);
+            for d in out.iter_mut() {
+                d.stats.flops += per_sc_ops;
+                d.stats.nodes_expanded += fl as u64;
+                d.stats.nodes_generated += (fl * p) as u64;
+                d.stats.per_level_generated[depth] += (fl * p) as u64;
+            }
+
+            let FxState {
+                frontier,
+                next,
+                inc,
+                ..
+            } = &mut *st;
+            next.clear();
+            for (bi, &(pd, id)) in frontier.iter().enumerate() {
+                for c in 0..p {
+                    let child_pd = self.metric.combine(pd, inc[bi * p + c]);
+                    next.push((child_pd, ws.arena.alloc(id, c)));
+                }
+            }
+            let gen = fl * p;
+            if gen > self.k {
+                for (sc, d) in out.iter_mut().enumerate() {
+                    let seg = &mut next[sc * gen..(sc + 1) * gen];
+                    keep_best_slice(seg, self.k, |a, b| a.cmp(b));
+                    d.stats.nodes_pruned += (gen - self.k) as u64;
+                }
+                frontier.clear();
+                for sc in 0..b_count {
+                    let start = sc * gen;
+                    frontier.extend_from_slice(&next[start..start + self.k]);
+                }
+                fl = self.k;
+            } else {
+                std::mem::swap(&mut st.frontier, &mut st.next);
+                fl = gen;
+            }
+        }
+
+        for (sc, d) in out.iter_mut().enumerate() {
+            let seg = &st.frontier[sc * fl..(sc + 1) * fl];
+            let &(best, best_id) = seg.iter().min().expect("frontier is never empty");
+            if tripped {
+                let spent = d.stats.nodes_generated;
+                st.load_sc_ys(sc, b_count);
+                ws.arena.path_into(best_id, &mut st.path);
+                let final_pd = fx_greedy_tail(st, self.metric, best, &mut d.stats);
+                d.stats.leaves_reached += 1;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, final_pd);
+                d.stats.flops += prep.prep_flops;
+                d.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                prep.indices_from_path_into(&st.path, &mut d.indices);
+            } else {
+                d.stats.leaves_reached = fl as u64;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, best);
+                d.stats.flops += prep.prep_flops;
+                ws.arena.path_into(best_id, &mut ws.path_buf);
+                prep.indices_from_path_into(&ws.path_buf, &mut d.indices);
+            }
+        }
+        true
     }
 }
 
@@ -502,7 +750,23 @@ impl PreparedDetector<f64> for QuantizedFsd {
     fn detect_prepared_into(
         &self,
         prep: &Prepared<f64>,
+        radius_sqr: f64,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut Detection,
+    ) {
+        self.detect_prepared_budgeted_into(prep, radius_sqr, &DecodeBudget::UNLIMITED, ws, out);
+    }
+
+    /// The quantized FSD sweep under an anytime budget (checked once per
+    /// level): a trip completes the best frontier node greedily in the
+    /// fixed domain and flags [`SearchQuality::BudgetTruncated`];
+    /// untripped decodes are bit-identical to
+    /// [`Self::detect_prepared_into`].
+    fn detect_prepared_budgeted_into(
+        &self,
+        prep: &Prepared<f64>,
         _radius_sqr: f64,
+        budget: &DecodeBudget,
         ws: &mut SearchWorkspace<f64>,
         out: &mut Detection,
     ) {
@@ -521,7 +785,12 @@ impl PreparedDetector<f64> for QuantizedFsd {
 
         st.frontier.clear();
         st.frontier.push((0, NIL));
+        let mut tripped = false;
         for depth in 0..m {
+            if budget.tripped_after(out.stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
             let b = st.frontier.len();
             out.stats.flops += expand_frontier(&mut *st, ws, depth);
             if let Some(t) = trace.as_deref_mut() {
@@ -569,6 +838,21 @@ impl PreparedDetector<f64> for QuantizedFsd {
             std::mem::swap(&mut st.frontier, &mut st.next);
         }
 
+        if tripped {
+            let spent = out.stats.nodes_generated;
+            let &(pd, id) = st.frontier.iter().min().expect("frontier is never empty");
+            ws.arena.path_into(id, &mut st.path);
+            let final_pd = fx_greedy_tail(st, self.metric, pd, &mut out.stats);
+            out.stats.leaves_reached += 1;
+            out.stats.radius_updates = 1;
+            out.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, final_pd);
+            out.stats.flops += prep.prep_flops;
+            out.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+            ws.trace = trace;
+            prep.indices_from_path_into(&st.path, &mut out.indices);
+            return;
+        }
+
         out.stats.leaves_reached = st.frontier.len() as u64;
         let &(best, best_id) = st.frontier.iter().min().expect("frontier is never empty");
         out.stats.radius_updates = 1;
@@ -580,6 +864,119 @@ impl PreparedDetector<f64> for QuantizedFsd {
         }
         ws.trace = trace;
         prep.indices_from_path_into(&ws.path_buf, &mut out.indices);
+    }
+
+    /// Cross-subcarrier fused block decode: one quantized FSD sweep for
+    /// the whole coherence block. FSD has *no* data-dependent control
+    /// flow — the frontier is `p^min(depth, n_fe)` nodes per subcarrier
+    /// at every level — so the stacked sweep is a pure scheduling change:
+    /// full-expansion levels stack trivially and the SIC argmin acts per
+    /// node. Bit-identical per subcarrier to the loop path.
+    fn detect_block_prepared_budgeted_into(
+        &self,
+        block: &BlockPrep<f64>,
+        frames: &[FrameData],
+        budget: &DecodeBudget,
+        prep: &mut Prepared<f64>,
+        ws: &mut SearchWorkspace<f64>,
+        out: &mut [Detection],
+    ) -> bool {
+        if ws.trace_enabled() {
+            return false; // per-decode event streams need the loop path
+        }
+        let b_count = frames.len();
+        debug_assert_eq!(out.len(), b_count);
+        if b_count == 0 {
+            return true;
+        }
+        block.fill_prepared(0, &frames[0], &self.constellation, prep);
+        let m = prep.n_tx;
+        let p = prep.order;
+        let n_fe = self.full_expansion_levels.min(m);
+        ws.prepare(p, m);
+        for d in out.iter_mut() {
+            d.stats.reset(m);
+        }
+        let mut st = self.state.lock().expect("quantized state poisoned");
+        let st = &mut *st;
+        st.prepare(prep, self.metric);
+        st.quantize_block_ys(block, b_count);
+
+        st.frontier.clear();
+        st.frontier.extend((0..b_count).map(|_| (0i64, NIL)));
+        let mut fl = 1usize;
+        let mut tripped = false;
+        for depth in 0..m {
+            if budget.tripped_after(out[0].stats.nodes_generated) {
+                tripped = true;
+                break;
+            }
+            let level_ops = expand_frontier_fused(&mut *st, ws, depth, fl, b_count);
+            let per_sc_ops = fx_level_ops(fl, depth, p);
+            debug_assert_eq!(per_sc_ops * b_count as u64, level_ops);
+            for d in out.iter_mut() {
+                d.stats.flops += per_sc_ops;
+                d.stats.nodes_expanded += fl as u64;
+                d.stats.nodes_generated += (fl * p) as u64;
+                d.stats.per_level_generated[depth] += (fl * p) as u64;
+            }
+
+            let FxState {
+                frontier,
+                next,
+                inc,
+                ..
+            } = &mut *st;
+            next.clear();
+            if depth < n_fe {
+                for (bi, &(pd, id)) in frontier.iter().enumerate() {
+                    for c in 0..p {
+                        let child_pd = self.metric.combine(pd, inc[bi * p + c]);
+                        next.push((child_pd, ws.arena.alloc(id, c)));
+                    }
+                }
+                fl *= p;
+            } else {
+                for (bi, &(pd, id)) in frontier.iter().enumerate() {
+                    let row = &inc[bi * p..(bi + 1) * p];
+                    let (c, &best_inc) = row
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(c, &v)| (v, c))
+                        .expect("P > 0");
+                    next.push((self.metric.combine(pd, best_inc), ws.arena.alloc(id, c)));
+                }
+                for d in out.iter_mut() {
+                    d.stats.nodes_pruned += (fl * (p - 1)) as u64;
+                }
+            }
+            std::mem::swap(&mut st.frontier, &mut st.next);
+        }
+
+        for (sc, d) in out.iter_mut().enumerate() {
+            let seg = &st.frontier[sc * fl..(sc + 1) * fl];
+            let &(best, best_id) = seg.iter().min().expect("frontier is never empty");
+            if tripped {
+                let spent = d.stats.nodes_generated;
+                st.load_sc_ys(sc, b_count);
+                ws.arena.path_into(best_id, &mut st.path);
+                let final_pd = fx_greedy_tail(st, self.metric, best, &mut d.stats);
+                d.stats.leaves_reached += 1;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, final_pd);
+                d.stats.flops += prep.prep_flops;
+                d.stats.quality = SearchQuality::BudgetTruncated { nodes_spent: spent };
+                prep.indices_from_path_into(&st.path, &mut d.indices);
+            } else {
+                d.stats.leaves_reached = fl as u64;
+                d.stats.radius_updates = 1;
+                d.stats.final_radius_sqr = st.fx.metric_to_f64(self.metric, best);
+                d.stats.flops += prep.prep_flops;
+                ws.arena.path_into(best_id, &mut ws.path_buf);
+                prep.indices_from_path_into(&ws.path_buf, &mut d.indices);
+            }
+        }
+        true
     }
 }
 
@@ -708,11 +1105,31 @@ fn fx_greedy_leaf(
     metric: MetricKind,
     stats: &mut crate::detector::DetectionStats,
 ) -> i64 {
+    st.path.clear();
+    let pd = fx_greedy_tail(st, metric, 0, stats);
+    stats.leaves_reached += 1;
+    stats.radius_updates += 1;
+    st.best_path.clear();
+    st.best_path.extend_from_slice(&st.path);
+    st.path.clear();
+    pd
+}
+
+/// Greedy SIC completion of the partial path in `st.path` down to a
+/// leaf, starting from path metric `pd0`: the level-synchronous engines'
+/// budget-trip completion (shared with [`fx_greedy_leaf`], which starts
+/// it from the root). Charges `stats` per expansion and leaves the full
+/// depth-order path in `st.path`.
+fn fx_greedy_tail(
+    st: &mut FxState,
+    metric: MetricKind,
+    pd0: i64,
+    stats: &mut crate::detector::DetectionStats,
+) -> i64 {
     let m = st.fx.n_tx;
     let p = st.fx.order;
-    st.path.clear();
-    let mut pd = 0i64;
-    for depth in 0..m {
+    let mut pd = pd0;
+    for depth in st.path.len()..m {
         stats.nodes_expanded += 1;
         stats.nodes_generated += p as u64;
         stats.per_level_generated[depth] += p as u64;
@@ -746,11 +1163,6 @@ fn fx_greedy_leaf(
         pd = metric.combine(pd, best_inc);
         st.path.push(c);
     }
-    stats.leaves_reached += 1;
-    stats.radius_updates += 1;
-    st.best_path.clear();
-    st.best_path.extend_from_slice(&st.path);
-    st.path.clear();
     pd
 }
 

@@ -268,6 +268,119 @@ pub fn fx_expand_level_portable(
     }
 }
 
+/// [`fx_expand_level`] with a *per-node* received component: node `bi`
+/// subtracts `y_re[bi]/y_im[bi]` instead of one shared scalar.
+///
+/// This is the fixed-point half of cross-subcarrier fusion: a whole
+/// coherence block shares `R` (hence `a_*`, the seeds and the symbol
+/// planes' alphabet), so the frontiers of all its subcarriers can be
+/// stacked into one node axis and expanded in ONE kernel call per tree
+/// level — the only per-subcarrier input is ŷ, which enters at the final
+/// residual. The suffix CMAC never reads ŷ, so every node's increments
+/// are bit-identical to a per-subcarrier [`fx_expand_level`] call with
+/// the matching scalar ŷ (pinned by tests).
+#[allow(clippy::too_many_arguments)]
+pub fn fx_expand_level_multi(
+    a_re: &[i16],
+    a_im: &[i16],
+    s_re: &[i16],
+    s_im: &[i16],
+    b: usize,
+    y_re: &[i32],
+    y_im: &[i32],
+    seed_re: &[i32],
+    seed_im: &[i32],
+    metric: MetricKind,
+    w_re: &mut [i32],
+    w_im: &mut [i32],
+    out: &mut [i64],
+) {
+    let depth = a_re.len();
+    let p = seed_re.len();
+    assert_eq!(a_im.len(), depth);
+    assert_eq!(seed_im.len(), p);
+    assert!(y_re.len() >= b && y_im.len() >= b);
+    assert!(s_re.len() >= depth * b && s_im.len() >= depth * b);
+    assert!(w_re.len() >= b && w_im.len() >= b);
+    assert!(out.len() >= b * p);
+    w_re[..b].fill(0);
+    w_im[..b].fill(0);
+    for off in 0..depth {
+        let row = off * b;
+        fx_suffix_cmac(
+            a_re[off],
+            a_im[off],
+            &s_re[row..row + b],
+            &s_im[row..row + b],
+            &mut w_re[..b],
+            &mut w_im[..b],
+        );
+    }
+    for bi in 0..b {
+        let u_re = y_re[bi] - w_re[bi];
+        let u_im = y_im[bi] - w_im[bi];
+        fx_metric_update(
+            u_re,
+            u_im,
+            seed_re,
+            seed_im,
+            metric,
+            &mut out[bi * p..(bi + 1) * p],
+        );
+    }
+}
+
+/// Fully-portable variant of [`fx_expand_level_multi`] (never dispatches
+/// to intrinsics) — the oracle for the bit-identity tests.
+#[allow(clippy::too_many_arguments)]
+pub fn fx_expand_level_multi_portable(
+    a_re: &[i16],
+    a_im: &[i16],
+    s_re: &[i16],
+    s_im: &[i16],
+    b: usize,
+    y_re: &[i32],
+    y_im: &[i32],
+    seed_re: &[i32],
+    seed_im: &[i32],
+    metric: MetricKind,
+    w_re: &mut [i32],
+    w_im: &mut [i32],
+    out: &mut [i64],
+) {
+    let depth = a_re.len();
+    let p = seed_re.len();
+    assert_eq!(a_im.len(), depth);
+    assert_eq!(seed_im.len(), p);
+    assert!(y_re.len() >= b && y_im.len() >= b);
+    assert!(s_re.len() >= depth * b && s_im.len() >= depth * b);
+    assert!(w_re.len() >= b && w_im.len() >= b);
+    assert!(out.len() >= b * p);
+    w_re[..b].fill(0);
+    w_im[..b].fill(0);
+    for off in 0..depth {
+        let row = off * b;
+        fx_suffix_cmac_portable(
+            a_re[off],
+            a_im[off],
+            &s_re[row..row + b],
+            &s_im[row..row + b],
+            &mut w_re[..b],
+            &mut w_im[..b],
+        );
+    }
+    for bi in 0..b {
+        fx_metric_update_portable(
+            y_re[bi] - w_re[bi],
+            y_im[bi] - w_im[bi],
+            seed_re,
+            seed_im,
+            metric,
+            &mut out[bi * p..(bi + 1) * p],
+        );
+    }
+}
+
 #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
 mod avx2 {
     //! AVX2 implementations. Integer arithmetic only — exact, hence
@@ -564,6 +677,89 @@ mod tests {
                 };
                 fx_metric_update_portable(y_re, y_im, &seed_re, &seed_im, metric, &mut o2);
                 assert_eq!(o1, o2, "metric_update trial {trial} {metric:?}");
+            }
+        }
+    }
+
+    /// The multi-ŷ kernel on stacked lanes must match one scalar-ŷ call
+    /// per lane group, bit for bit — the fixed-point fusion lemma.
+    #[test]
+    fn multi_y_kernel_matches_per_scalar_calls() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for &(depth, fl, blocks, p) in &[(0, 1, 1, 4), (2, 4, 3, 8), (5, 16, 4, 16), (7, 3, 5, 7)] {
+            let b = fl * blocks;
+            let (a_re, a_im, s_re, s_im, _, _, seed_re, seed_im) =
+                random_problem(&mut rng, depth, b, p);
+            // One ŷ per block, broadcast to that block's `fl` node lanes.
+            let block_y: Vec<(i32, i32)> = (0..blocks)
+                .map(|_| {
+                    (
+                        rng.gen_range(-(1 << 29)..=(1 << 29)),
+                        rng.gen_range(-(1 << 29)..=(1 << 29)),
+                    )
+                })
+                .collect();
+            let y_re: Vec<i32> = (0..b).map(|bi| block_y[bi / fl].0).collect();
+            let y_im: Vec<i32> = (0..b).map(|bi| block_y[bi / fl].1).collect();
+            for metric in [MetricKind::L2, MetricKind::LInf] {
+                let mut w_re = vec![0i32; b];
+                let mut w_im = vec![0i32; b];
+                let mut fused = vec![0i64; b * p];
+                fx_expand_level_multi(
+                    &a_re, &a_im, &s_re, &s_im, b, &y_re, &y_im, &seed_re, &seed_im, metric,
+                    &mut w_re, &mut w_im, &mut fused,
+                );
+                let mut portable = vec![0i64; b * p];
+                fx_expand_level_multi_portable(
+                    &a_re,
+                    &a_im,
+                    &s_re,
+                    &s_im,
+                    b,
+                    &y_re,
+                    &y_im,
+                    &seed_re,
+                    &seed_im,
+                    metric,
+                    &mut w_re,
+                    &mut w_im,
+                    &mut portable,
+                );
+                assert_eq!(fused, portable, "dispatch vs portable, depth={depth}");
+                // Per-block scalar-ŷ calls on the narrow slices.
+                for blk in 0..blocks {
+                    let mut nar_s_re = vec![0i16; depth * fl];
+                    let mut nar_s_im = vec![0i16; depth * fl];
+                    for off in 0..depth {
+                        for l in 0..fl {
+                            nar_s_re[off * fl + l] = s_re[off * b + blk * fl + l];
+                            nar_s_im[off * fl + l] = s_im[off * b + blk * fl + l];
+                        }
+                    }
+                    let mut wr = vec![0i32; fl];
+                    let mut wi = vec![0i32; fl];
+                    let mut want = vec![0i64; fl * p];
+                    fx_expand_level(
+                        &a_re,
+                        &a_im,
+                        &nar_s_re,
+                        &nar_s_im,
+                        fl,
+                        block_y[blk].0,
+                        block_y[blk].1,
+                        &seed_re,
+                        &seed_im,
+                        metric,
+                        &mut wr,
+                        &mut wi,
+                        &mut want,
+                    );
+                    assert_eq!(
+                        &fused[blk * fl * p..(blk + 1) * fl * p],
+                        &want[..],
+                        "block {blk} of {blocks}, depth={depth} fl={fl} p={p} {metric:?}"
+                    );
+                }
             }
         }
     }

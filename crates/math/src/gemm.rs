@@ -254,6 +254,41 @@ pub fn gemm_broadcast_acc_into<F: Float>(
     }
 }
 
+/// `C += A × S` over a *stacked* compressed-broadcast operand: `values`
+/// is the horizontal concatenation of `blocks` independent column blocks
+/// of `values.cols() / blocks` tiles each, and the call is bit-identical
+/// to running [`gemm_broadcast_acc_into`] once per block on the matching
+/// column slices of `C`.
+///
+/// This is the cross-subcarrier fusion lemma the block decoder relies on:
+/// every output column of the broadcast kernel accumulates independently
+/// (one ascending-`l` fma chain per column, no cross-column reduction), so
+/// stacking the per-subcarrier tree-state blocks of a whole coherence
+/// block into ONE wide operand — one kernel call per tree level instead of
+/// `blocks` — cannot change a single bit of any column. The per-subcarrier
+/// ȳ never enters the GEMM; it is subtracted from the finished columns
+/// downstream, which is why only the shared `R` has to agree across the
+/// stacked blocks. The tests pin the lemma exactly.
+///
+/// # Panics
+/// If the [`gemm_broadcast_acc_into`] shapes are inconsistent, or
+/// `values.cols()` is not a multiple of `blocks` (`blocks == 0` counts as
+/// inconsistent).
+pub fn gemm_broadcast_acc_stacked_into<F: Float>(
+    a: &Matrix<F>,
+    values: &Matrix<F>,
+    width: usize,
+    blocks: usize,
+    c: &mut Matrix<F>,
+) {
+    assert!(
+        blocks > 0 && values.cols().is_multiple_of(blocks),
+        "gemm_broadcast stacked: {} tiles do not split into {blocks} blocks",
+        values.cols()
+    );
+    gemm_broadcast_acc_into(a, values, width, c);
+}
+
 fn check_shapes<F: Float>(a: &Matrix<F>, b: &Matrix<F>, c: &Matrix<F>) {
     assert_eq!(
         a.cols(),
@@ -592,6 +627,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stacked_blocks_match_per_block_calls_bitwise() {
+        // The cross-subcarrier fusion lemma: ONE wide broadcast GEMM over B
+        // stacked column blocks must equal B narrow broadcast GEMMs on the
+        // matching column slices, bit for bit. Output columns accumulate
+        // independently, so the block boundary cannot leak.
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, k, t, width, blocks) in &[
+            (1, 8, 16, 16, 4),
+            (2, 5, 3, 7, 3),
+            (1, 1, 1, 1, 1),
+            (3, 9, 4, 5, 2),
+        ] {
+            let a = random_matrix(m, k, &mut rng);
+            let values = random_matrix(k, t * blocks, &mut rng);
+            let c0 = random_matrix(m, t * blocks * width, &mut rng);
+
+            let mut fused = c0.clone();
+            gemm_broadcast_acc_stacked_into(&a, &values, width, blocks, &mut fused);
+
+            let mut looped = c0.clone();
+            for blk in 0..blocks {
+                let mut vb = Matrix::zeros(k, t);
+                let mut cb = Matrix::zeros(m, t * width);
+                for l in 0..k {
+                    for j in 0..t {
+                        vb[(l, j)] = values[(l, blk * t + j)];
+                    }
+                }
+                for i in 0..m {
+                    for j in 0..t * width {
+                        cb[(i, j)] = looped[(i, blk * t * width + j)];
+                    }
+                }
+                gemm_broadcast_acc_into(&a, &vb, width, &mut cb);
+                for i in 0..m {
+                    for j in 0..t * width {
+                        looped[(i, blk * t * width + j)] = cb[(i, j)];
+                    }
+                }
+            }
+
+            for i in 0..m {
+                for j in 0..t * blocks * width {
+                    assert!(
+                        fused[(i, j)].re == looped[(i, j)].re
+                            && fused[(i, j)].im == looped[(i, j)].im,
+                        "stacked fusion not bit-identical at ({i},{j}) of \
+                         {m}x{k}, {blocks} blocks of {t} tiles width {width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not split")]
+    fn stacked_blocks_reject_ragged_split() {
+        let a = M::zeros(1, 2);
+        let values = M::zeros(2, 5);
+        let mut c = M::zeros(1, 10);
+        gemm_broadcast_acc_stacked_into(&a, &values, 2, 3, &mut c);
     }
 
     #[test]

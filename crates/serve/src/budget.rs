@@ -380,10 +380,14 @@ impl CostModel {
     /// `backlog` already-queued vectors (frames weighted by block size)
     /// drained by `workers` at the observed [`CostModel::mean_service_ns`]
     /// rate. Cold model → 0 (optimistic: admit until there is evidence).
-    /// This is the predictive-admission primitive: when the wait alone
-    /// already exceeds a request's whole deadline, even a free decode
-    /// would miss, so admitting it only burns service time that requests
-    /// behind it still need.
+    ///
+    /// This is the *coarse*, tier-blind estimate. The runtime's admission
+    /// path no longer uses it: each queued item is stamped at submit with
+    /// the per-tier prediction for the rung the ladder would run it on,
+    /// and the shard sums those stamps — so a backlog of floor-tier
+    /// microseconds is no longer priced at the mean of a mix dominated by
+    /// exact-tier milliseconds. Kept as the model-level primitive for
+    /// callers without per-item stamps.
     pub fn predicted_wait_ns(&self, backlog: u64, workers: usize) -> f64 {
         backlog as f64 * self.mean_service_ns() / workers.max(1) as f64
     }

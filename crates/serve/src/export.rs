@@ -151,6 +151,11 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         snap.frames_served,
     );
     counter(
+        "sd_serve_frames_fused_total",
+        "Frames decoded by the cross-subcarrier fused block path.",
+        snap.frames_fused,
+    );
+    counter(
         "sd_serve_frames_deadline_missed_total",
         "Frames that exceeded their deadline.",
         snap.frames_deadline_missed,
@@ -377,7 +382,7 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
          \"prep_cache_misses\":{},\"prep_cache_bypass\":{},\"batches\":{},\
          \"mean_batch_size\":{},\"frames_accepted\":{},\"frames_rejected_full\":{},\
          \"frames_rejected_shutdown\":{},\"frames_rejected_predicted_late\":{},\
-         \"frames_served\":{},\
+         \"frames_served\":{},\"frames_fused\":{},\
          \"frames_deadline_missed\":{},\"frame_subcarriers\":{},\
          \"frame_prep_factors\":{},\"mean_frame_size\":{},\"prep_amortization\":{},\
          \"p99_frame_latency_us\":{},\"queue_depth\":{},\"p50_latency_us\":{},\
@@ -403,6 +408,7 @@ pub fn json_line(snap: &MetricsSnapshot) -> String {
         snap.frames_rejected_shutdown,
         snap.frames_rejected_predicted,
         snap.frames_served,
+        snap.frames_fused,
         snap.frames_deadline_missed,
         snap.frame_subcarriers,
         snap.frame_prep_factors,
@@ -676,6 +682,7 @@ mod tests {
         m.prep_cache_bypass.store(1, Ordering::Relaxed);
         m.frames_accepted.store(2, Ordering::Relaxed);
         m.frames_served.store(2, Ordering::Relaxed);
+        m.frames_fused.store(1, Ordering::Relaxed);
         m.frame_subcarriers.store(32, Ordering::Relaxed);
         m.frame_prep_factors.store(2, Ordering::Relaxed);
         m.frame_latency_ns.record(500_000);
@@ -700,6 +707,7 @@ mod tests {
             "sd_serve_prep_cache_bypass_total 1",
             "sd_serve_frames_accepted_total 2",
             "sd_serve_frames_served_total 2",
+            "sd_serve_frames_fused_total 1",
             "sd_serve_frame_subcarriers_total 32",
             "sd_serve_frame_prep_factors_total 2",
             "sd_serve_prep_amortization 16",
@@ -742,6 +750,7 @@ mod tests {
         assert!(line.contains("\"prep_cache_misses\":3"));
         assert!(line.contains("\"prep_cache_bypass\":1"));
         assert!(line.contains("\"frames_served\":2"));
+        assert!(line.contains("\"frames_fused\":1"));
         assert!(line.contains("\"frame_subcarriers\":32"));
         assert!(line.contains("\"prep_amortization\":16"));
         assert!(line.contains("p99_frame_latency_us"));

@@ -179,6 +179,10 @@ pub struct Metrics {
     /// Frame responses produced (their subcarriers also count in
     /// `served`).
     pub frames_served: AtomicU64,
+    /// Frames decoded by the cross-subcarrier **fused** block path (one
+    /// GEMM batch per tree level for the whole block); the remainder
+    /// (`frames_served − frames_fused`) ran the per-subcarrier loop.
+    pub frames_fused: AtomicU64,
     /// Frames whose end-to-end latency exceeded their deadline (their
     /// subcarriers also count in `deadline_missed`).
     pub frames_deadline_missed: AtomicU64,
@@ -250,6 +254,7 @@ impl Metrics {
             frames_rejected_shutdown: AtomicU64::new(0),
             frames_rejected_predicted: AtomicU64::new(0),
             frames_served: AtomicU64::new(0),
+            frames_fused: AtomicU64::new(0),
             frames_deadline_missed: AtomicU64::new(0),
             frame_subcarriers: AtomicU64::new(0),
             frame_prep_factors: AtomicU64::new(0),
@@ -351,6 +356,7 @@ impl Metrics {
             frames_rejected_shutdown: self.frames_rejected_shutdown.load(Ordering::Relaxed),
             frames_rejected_predicted: self.frames_rejected_predicted.load(Ordering::Relaxed),
             frames_served,
+            frames_fused: self.frames_fused.load(Ordering::Relaxed),
             frames_deadline_missed: frames_missed,
             frame_subcarriers,
             frame_prep_factors,
@@ -466,6 +472,8 @@ pub struct MetricsSnapshot {
     pub frames_rejected_predicted: u64,
     /// Frame responses produced (subcarriers also count in `served`).
     pub frames_served: u64,
+    /// Frames decoded by the cross-subcarrier fused block path.
+    pub frames_fused: u64,
     /// Frames that exceeded their deadline.
     pub frames_deadline_missed: u64,
     /// Subcarriers decoded through the frame path.
@@ -622,6 +630,7 @@ mod tests {
         let m = Metrics::new(labels(&["exact"]), 1, 1);
         m.frames_accepted.store(5, Ordering::Relaxed);
         m.frames_served.store(4, Ordering::Relaxed);
+        m.frames_fused.store(3, Ordering::Relaxed);
         m.frames_deadline_missed.store(1, Ordering::Relaxed);
         m.frame_subcarriers.store(64, Ordering::Relaxed);
         m.frame_prep_factors.store(4, Ordering::Relaxed);
@@ -630,6 +639,7 @@ mod tests {
         let s = m.snapshot(&[0]);
         assert_eq!(s.frames_accepted, 5);
         assert_eq!(s.frames_served, 4);
+        assert_eq!(s.frames_fused, 3);
         assert_eq!(s.frames_deadline_missed, 1);
         assert_eq!(s.frame_subcarriers, 64);
         assert_eq!(s.frame_prep_factors, 4);

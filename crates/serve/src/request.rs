@@ -37,6 +37,11 @@ pub struct DetectionRequest {
     pub deadline: Duration,
     /// Stamped by [`crate::ServeRuntime::submit`].
     pub(crate) enqueued_at: Option<Instant>,
+    /// Predicted service cost (ns) stamped at admission from the target
+    /// shard's *per-tier* cost model: the amount this item adds to the
+    /// shard's queued-cost gauge, removed by whichever worker drains it.
+    /// 0 while predictive admission is off (the gauge has no reader).
+    pub(crate) admitted_cost_ns: u64,
 }
 
 impl DetectionRequest {
@@ -58,6 +63,7 @@ impl DetectionRequest {
             snr_db,
             deadline,
             enqueued_at: None,
+            admitted_cost_ns: 0,
         }
     }
 }
@@ -106,6 +112,9 @@ pub struct FrameRequest {
     pub deadline: Duration,
     /// Stamped by [`crate::ServeRuntime::submit_frame`].
     pub(crate) enqueued_at: Option<Instant>,
+    /// Predicted service cost of the whole block (ns), stamped at
+    /// admission (see [`DetectionRequest::admitted_cost_ns`]).
+    pub(crate) admitted_cost_ns: u64,
 }
 
 impl FrameRequest {
@@ -136,6 +145,7 @@ impl FrameRequest {
             snr_db,
             deadline,
             enqueued_at: None,
+            admitted_cost_ns: 0,
         }
     }
 
@@ -206,9 +216,10 @@ pub enum RejectReason {
         depth: usize,
     },
     /// Predictive admission control refused the request: the target
-    /// shard's backlog, drained at its observed mean service rate, is
-    /// already predicted to outlast the request's *whole* deadline — even
-    /// a zero-cost decode would miss, so admitting it would only burn
+    /// shard's queued cost — each queued item stamped at admission with
+    /// the shard model's per-tier service-time prediction — is already
+    /// predicted to outlast the request's *whole* deadline — even a
+    /// zero-cost decode would miss, so admitting it would only burn
     /// service time the requests queued behind it still need. Only issued
     /// when [`crate::ServeConfig::with_predictive_admission`] is on and
     /// the shard's cost model has drain-rate evidence.

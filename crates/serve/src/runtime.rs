@@ -39,7 +39,7 @@
 use crate::batcher::BatchPolicy;
 use crate::budget::{CoreBudgetPolicy, CostModel};
 use crate::export::{render, ExportFormat};
-use crate::ladder::LadderConfig;
+use crate::ladder::{choose_tier_block_budgeted, LadderConfig};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::prep_cache::{route_hash, PrepCache};
 use crate::queue::{BoundedQueue, PushError};
@@ -125,9 +125,13 @@ pub struct ServeConfig {
     /// the cache — every request then pays its own QR.
     pub prep_cache: usize,
     /// Predictive admission control: refuse a request at [`ServeRuntime::submit`]
-    /// when its target shard's backlog — drained at the shard model's
-    /// observed mean service rate — is already predicted to outlast the
-    /// request's whole deadline ([`crate::RejectReason::PredictedLate`]).
+    /// when its target shard's queued cost — every queued item stamped at
+    /// admission with the shard model's *per-tier* service-time prediction
+    /// for the rung the ladder would run it on — is already predicted to
+    /// outlast the request's whole deadline
+    /// ([`crate::RejectReason::PredictedLate`]). Pricing each item by its
+    /// own tier (rather than a tier-blind mean) keeps a backlog of cheap
+    /// floor-tier work from shedding requests it could easily absorb.
     /// A doomed request admitted anyway is a guaranteed deadline miss
     /// *and* steals service time from the requests queued behind it; the
     /// gate converts it into an explicit, immediate shed the caller can
@@ -243,6 +247,16 @@ impl Ingress {
             Ingress::Frame(f) => f.block_len() as u64,
         }
     }
+
+    /// Admission-time predicted service cost (ns) stamped at submit — the
+    /// amount the draining worker removes from the owning shard's
+    /// [`Shard::queued_cost_ns`] gauge.
+    pub(crate) fn cost_ns(&self) -> u64 {
+        match self {
+            Ingress::Vector(r) => r.admitted_cost_ns,
+            Ingress::Frame(f) => f.admitted_cost_ns,
+        }
+    }
 }
 
 /// One shard: its bounded ingress queue plus the per-shard serving state
@@ -255,14 +269,19 @@ pub(crate) struct Shard {
     pub(crate) model: CostModel,
     /// This shard's channel-coherent factorization cache.
     pub(crate) prep_cache: Mutex<PrepCache>,
-    /// Subcarrier-weighted backlog gauge (a frame counts its block size,
-    /// a vector counts 1) — the predictive-admission wait estimate's
-    /// numerator. Incremented *before* the enqueue attempt and rolled
-    /// back on refusal, decremented by whichever worker actually drains
-    /// the item (own pop or steal), so at every instant the gauge is ≥
-    /// the weight still queued here and a racing reader can only be
-    /// conservative, never negative.
-    pub(crate) queued_weight: AtomicU64,
+    /// Predicted-cost backlog gauge in nanoseconds: the sum of the
+    /// admission-time cost stamps ([`Ingress::cost_ns`]) of everything
+    /// still queued here — the predictive-admission wait estimate's
+    /// numerator. Each stamp prices the *specific* item from the shard
+    /// model's per-tier cost curves (the rung the ladder would pick with
+    /// the whole deadline ahead), so a backlog of floor-tier microseconds
+    /// no longer reads as expensive just because exact-tier milliseconds
+    /// share the same queue. Incremented *before* the enqueue attempt and
+    /// rolled back on refusal, decremented by whichever worker actually
+    /// drains the item (own pop or steal), so at every instant the gauge
+    /// is ≥ the stamped cost still queued here and a racing reader can
+    /// only be conservative, never negative.
+    pub(crate) queued_cost_ns: AtomicU64,
     /// Workers dealt to this shard (round-robin `i % n_shards`) — the
     /// wait estimate's drain-parallelism denominator.
     pub(crate) n_workers: usize,
@@ -463,7 +482,7 @@ impl ServeRuntime {
                     queue,
                     model: CostModel::new(tiers.len()),
                     prep_cache: Mutex::new(PrepCache::new(config.prep_cache)),
-                    queued_weight: AtomicU64::new(0),
+                    queued_cost_ns: AtomicU64::new(0),
                     // The round-robin deal gives shard j one worker per
                     // full lap plus one more when j is inside the remainder.
                     n_workers: config.n_workers / n_shards
@@ -535,7 +554,10 @@ impl ServeRuntime {
                 reason: RejectReason::PredictedLate { predicted_wait },
             });
         }
-        shard.queued_weight.fetch_add(1, Relaxed);
+        req.admitted_cost_ns =
+            self.admission_cost_ns(shard, req.snr_db, req.frame.h.cols(), req.deadline, 1);
+        let cost = req.admitted_cost_ns;
+        shard.queued_cost_ns.fetch_add(cost, Relaxed);
         match shard.queue.try_push(Ingress::Vector(req)) {
             Ok(()) => {
                 m.accepted.fetch_add(1, Relaxed);
@@ -543,7 +565,7 @@ impl ServeRuntime {
                 Ok(())
             }
             Err(PushError::Full(Ingress::Vector(request), depth)) => {
-                shard.queued_weight.fetch_sub(1, Relaxed);
+                shard.queued_cost_ns.fetch_sub(cost, Relaxed);
                 m.rejected_full.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
@@ -551,7 +573,7 @@ impl ServeRuntime {
                 })
             }
             Err(PushError::Closed(Ingress::Vector(request))) => {
-                shard.queued_weight.fetch_sub(1, Relaxed);
+                shard.queued_cost_ns.fetch_sub(cost, Relaxed);
                 m.rejected_shutdown.fetch_add(1, Relaxed);
                 Err(Rejected {
                     request,
@@ -565,19 +587,62 @@ impl ServeRuntime {
     }
 
     /// The predictive-admission check: `Some(predicted_wait)` when the
-    /// gate is on and `shard`'s weighted backlog, drained by its workers
-    /// at the model's observed mean per-vector service time, is predicted
-    /// to outlast `deadline` — the offered item would be a guaranteed
-    /// miss before any of its *own* work even starts.
+    /// gate is on and `shard`'s queued-cost gauge — the sum of the
+    /// *per-tier* cost stamps of everything still queued there, drained by
+    /// its workers — is predicted to outlast `deadline`: the offered item
+    /// would be a guaranteed miss before any of its *own* work even
+    /// starts. Because every stamp prices its item from the tier the
+    /// ladder would actually run (not a tier-blind mean), a backlog of
+    /// cheap floor-tier items no longer sheds requests that an exact-tier
+    /// backlog of the same length would.
     fn predicted_late(&self, shard: &Shard, deadline: Duration) -> Option<Duration> {
         use std::sync::atomic::Ordering::Relaxed;
         if !self.shared.config.predictive_admission {
             return None;
         }
-        let backlog = shard.queued_weight.load(Relaxed);
-        let wait_ns = shard.model.predicted_wait_ns(backlog, shard.n_workers);
+        let backlog_ns = shard.queued_cost_ns.load(Relaxed) as f64;
+        let wait_ns = backlog_ns / shard.n_workers.max(1) as f64;
         (wait_ns > deadline.as_nanos() as f64)
             .then(|| Duration::from_nanos(wait_ns.min(u64::MAX as f64) as u64))
+    }
+
+    /// Price an offered item for the queued-cost gauge: the service time
+    /// the shard's cost model predicts for the tier the ladder would pick
+    /// with the whole deadline still ahead, times the block size. Runs the
+    /// same `choose_tier_block_budgeted` walk the worker will (condition
+    /// gating skipped — the condition number is not known until prep), so
+    /// the stamp tracks what the item will actually cost rather than a
+    /// tier-blind mean. Returns 0 when predictive admission is off: the
+    /// gauge then has no reader and the submit path stays stamp-free.
+    fn admission_cost_ns(
+        &self,
+        shard: &Shard,
+        snr_db: f64,
+        m: usize,
+        deadline: Duration,
+        block: usize,
+    ) -> u64 {
+        if !self.shared.config.predictive_admission {
+            return 0;
+        }
+        let tiers = &self.shared.tiers;
+        let p = tiers[0].detector.constellation().order();
+        let d = choose_tier_block_budgeted(
+            &self.shared.config.ladder,
+            &shard.model,
+            tiers,
+            snr_db,
+            None,
+            m,
+            p,
+            deadline,
+            block,
+        );
+        let per_vector =
+            shard
+                .model
+                .predict_ns_with(d.tier, &tiers[d.tier].cost, snr_db, None, m, p);
+        (per_vector * block as f64).min(u64::MAX as f64) as u64
     }
 
     /// Offer a whole coherence block as one unit. The frame is never
@@ -606,7 +671,15 @@ impl ServeRuntime {
                 reason: RejectReason::PredictedLate { predicted_wait },
             });
         }
-        shard.queued_weight.fetch_add(b, Relaxed);
+        req.admitted_cost_ns = self.admission_cost_ns(
+            shard,
+            req.snr_db,
+            req.subcarriers[0].h.cols(),
+            req.deadline,
+            req.block_len(),
+        );
+        let cost = req.admitted_cost_ns;
+        shard.queued_cost_ns.fetch_add(cost, Relaxed);
         match shard.queue.try_push(Ingress::Frame(req)) {
             Ok(()) => {
                 m.frames_accepted.fetch_add(1, Relaxed);
@@ -615,7 +688,7 @@ impl ServeRuntime {
                 Ok(())
             }
             Err(PushError::Full(Ingress::Frame(request), depth)) => {
-                shard.queued_weight.fetch_sub(b, Relaxed);
+                shard.queued_cost_ns.fetch_sub(cost, Relaxed);
                 m.frames_rejected_full.fetch_add(1, Relaxed);
                 m.rejected_full.fetch_add(b, Relaxed);
                 Err(RejectedFrame {
@@ -624,7 +697,7 @@ impl ServeRuntime {
                 })
             }
             Err(PushError::Closed(Ingress::Frame(request))) => {
-                shard.queued_weight.fetch_sub(b, Relaxed);
+                shard.queued_cost_ns.fetch_sub(cost, Relaxed);
                 m.frames_rejected_shutdown.fetch_add(1, Relaxed);
                 m.rejected_shutdown.fetch_add(b, Relaxed);
                 Err(RejectedFrame {
@@ -1059,5 +1132,72 @@ mod tests {
         let resp = rt.collect_timeout(Duration::from_secs(5)).expect("served");
         assert_eq!(resp.request.id, 42);
         rt.shutdown();
+    }
+
+    /// Regression for the tier-blind admission estimate: a backlog of
+    /// cheap k-best-tier requests must not shed a probe that the queue
+    /// could absorb hundreds of times over, even when the shard's *mean*
+    /// service time is dominated by exact-tier milliseconds. Under the old
+    /// `backlog × mean_service_ns` estimate, 20 queued items priced at a
+    /// ≈80 ms blended mean predicted a 1.6 s wait and shed the 5 ms probe;
+    /// the per-tier cost stamps price them at ≈15 µs each and admit it.
+    /// The same gauge still sheds the probe once genuinely expensive
+    /// exact-tier work is queued — the gate lost no teeth.
+    #[test]
+    fn mixed_tier_backlog_does_not_shed_cheap_requests() {
+        use crate::budget::TierCostClass;
+        let c = Constellation::new(Modulation::Qam4);
+        let rt = ServeRuntime::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(64)
+                .with_predictive_admission(true)
+                .paused(),
+            c.clone(),
+        );
+        // Train the shard model directly (the runtime is paused, so the
+        // EWMAs are exactly what we write): the exact tier costs 100 ms
+        // per vector (1e6 nodes at 100 ns/node), the floor tier 1 µs.
+        // The blended mean lands near 80 ms — the figure the old
+        // tier-blind estimate would have priced *every* queued item at.
+        let model = &rt.shared.shards[0].model;
+        model.observe(0, &TierCostClass::Adaptive, 12.0, 1_000_000, 100_000_000);
+        model.observe(2, &TierCostClass::Linear, 12.0, 0, 1_000);
+        assert!(
+            model.mean_service_ns() > 1e7,
+            "the tier-blind mean must be milliseconds for the regression to bite"
+        );
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut req_with_deadline = |id: u64, deadline: Duration| {
+            let f = FrameData::generate(4, 4, &c, noise_variance(12.0, 4), &mut rng);
+            DetectionRequest::new(id, f, 12.0, deadline)
+        };
+        // 20 cheap requests: a 1 ms deadline rides the k-best tier
+        // (148 nodes × 100 ns ≈ 15 µs per stamp, ≈ 0.3 ms queued total).
+        for id in 0..20 {
+            rt.submit(req_with_deadline(id, Duration::from_millis(1)))
+                .expect("cheap-tier backlog must keep admitting cheap work");
+        }
+        // The probe the old estimate shed: 5 ms deadline against a queued
+        // cost of ≈0.3 ms. Must be admitted.
+        rt.submit(req_with_deadline(100, Duration::from_millis(5)))
+            .expect("regression: tier-blind mean over-shed this probe");
+        // Queue genuinely expensive work: 10 s deadlines ride the exact
+        // tier at ≈100 ms per stamp.
+        for id in 200..203 {
+            rt.submit(req_with_deadline(id, Duration::from_secs(10)))
+                .expect("expensive work within its own deadline is admissible");
+        }
+        // Now an identical probe *should* shed: ≈300 ms queued > 5 ms.
+        let rej = rt
+            .submit(req_with_deadline(101, Duration::from_millis(5)))
+            .expect_err("exact-tier backlog must still trip the gate");
+        assert!(matches!(rej.reason, RejectReason::PredictedLate { .. }));
+
+        rt.resume();
+        let (snap, _, _) = rt.shutdown();
+        assert_eq!(snap.rejected_predicted, 1);
+        assert_eq!(snap.served, 24, "everything admitted is served");
     }
 }

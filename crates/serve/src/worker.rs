@@ -29,8 +29,12 @@
 //! coherence block ([`crate::FrameRequest`]); frames are never split —
 //! not by the batcher and not by a steal — so one worker decodes the
 //! block with **one** shared channel preparation
-//! ([`sd_core::decode_block_into`]) and one ladder decision scaled by the
-//! block size.
+//! ([`sd_core::decode_block_fused_into`]) and one ladder decision scaled
+//! by the block size. Level-synchronous tiers additionally take the
+//! cross-subcarrier **fused** decode (one GEMM batch per tree level for
+//! the whole block, counted in `frames_fused`); the rest run the shared-
+//! prep per-subcarrier loop. Either way the per-subcarrier results are
+//! bit-identical to a per-vector submission of the same traffic.
 
 use crate::budget::CostModel;
 use crate::ladder::{choose_tier_block_budgeted, choose_tier_budgeted};
@@ -38,8 +42,8 @@ use crate::queue::BatchPop;
 use crate::request::{DetectionRequest, DetectionResponse, FrameRequest, FrameResponse};
 use crate::runtime::{Ingress, Shared};
 use sd_core::{
-    decode_block_budgeted_into, BlockPrep, ChannelObservables, Detection, DetectionStats,
-    PrepScratch, Prepared, SearchWorkspace,
+    decode_block_fused_into, BlockPrep, ChannelObservables, Detection, DetectionStats, PrepScratch,
+    Prepared, SearchWorkspace,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -112,10 +116,10 @@ impl Worker {
                         return; // closed and drained: shutdown
                     }
                     BatchPop::Batch => {
-                        let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                        let cost: u64 = batch.iter().map(Ingress::cost_ns).sum();
                         self.shared.shards[self.shard_idx]
-                            .queued_weight
-                            .fetch_sub(weight, Relaxed);
+                            .queued_cost_ns
+                            .fetch_sub(cost, Relaxed);
                     }
                     BatchPop::Empty => {
                         // Own queue is dry: raid the neighbors, starting to
@@ -127,11 +131,12 @@ impl Worker {
                                 .steal_into(&mut batch, policy.max_batch);
                             if got > 0 {
                                 let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                                let cost: u64 = batch.iter().map(Ingress::cost_ns).sum();
                                 // Stolen work leaves the victim's backlog:
                                 // its admission gauge must shrink with it.
                                 self.shared.shards[victim]
-                                    .queued_weight
-                                    .fetch_sub(weight, Relaxed);
+                                    .queued_cost_ns
+                                    .fetch_sub(cost, Relaxed);
                                 let m = &self.shared.metrics;
                                 m.shards[self.shard_idx]
                                     .stolen_in
@@ -155,10 +160,10 @@ impl Worker {
                 self.batch = batch;
                 return; // closed and drained: shutdown
             } else {
-                let weight: u64 = batch.iter().map(Ingress::weight).sum();
+                let cost: u64 = batch.iter().map(Ingress::cost_ns).sum();
                 self.shared.shards[self.shard_idx]
-                    .queued_weight
-                    .fetch_sub(weight, Relaxed);
+                    .queued_cost_ns
+                    .fetch_sub(cost, Relaxed);
             }
             let size = batch.len();
             self.batch_stats.reset(0);
@@ -322,8 +327,11 @@ impl Worker {
 
     /// Decode one whole coherence block: one ladder decision (per-vector
     /// cost scaled by the block size), one shared channel preparation on
-    /// cacheable tiers ([`decode_block_into`]), per-subcarrier detections
-    /// into a pooled block buffer. Frames bypass the prep cache — every
+    /// cacheable tiers ([`decode_block_fused_into`]), per-subcarrier
+    /// detections into a pooled block buffer. Level-synchronous tiers run
+    /// the cross-subcarrier fused sweep (one GEMM batch per tree level);
+    /// the fall-back loop serves every other tier — results are
+    /// bit-identical either way. Frames bypass the prep cache — every
     /// subcarrier counts as a `prep_cache_bypass` so
     /// `hits + misses + bypass == served` stays an invariant over mixed
     /// traffic.
@@ -370,7 +378,11 @@ impl Worker {
             .pop()
             .unwrap_or_default();
         dets.resize_with(b, Detection::default);
-        let prep_factors = decode_block_budgeted_into(
+        // Fused block dispatch: level-synchronous tiers decode the whole
+        // block one GEMM batch per tree level (bit-identical per
+        // subcarrier); everything else falls back to the shared-prep loop
+        // inside the same call.
+        let (prep_factors, fused) = decode_block_fused_into(
             &*tier.detector,
             &req.subcarriers,
             &decision.budget,
@@ -401,6 +413,9 @@ impl Worker {
             sm.affinity_served.fetch_add(b as u64, Relaxed);
         }
         metrics.frames_served.fetch_add(1, Relaxed);
+        if fused {
+            metrics.frames_fused.fetch_add(1, Relaxed);
+        }
         if deadline_missed {
             metrics.deadline_missed.fetch_add(b as u64, Relaxed);
             metrics.frames_deadline_missed.fetch_add(1, Relaxed);

@@ -292,6 +292,82 @@ fn reference_implementation_allocates_per_node() {
     );
 }
 
+#[test]
+fn fused_block_decode_steady_state_is_exactly_allocation_free() {
+    let _g = serialized();
+    // The cross-subcarrier fused path — one GEMM batch per tree level for
+    // a whole coherence block — must hold the same steady-state guarantee
+    // as the per-vector engines: once the workspace has warmed to the
+    // fused frontier width (K × B lanes), decoding a block performs zero
+    // allocations across the float and quantized fusable engines.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_core::preprocess::BlockPrep;
+    use sd_core::{decode_block_fused_into, DecodeBudget, Detection};
+    let c = sd_wireless::Constellation::new(sd_wireless::Modulation::Qam16);
+    let sigma2 = sd_wireless::noise_variance(14.0, 8);
+    let mut rng = StdRng::seed_from_u64(0xF05ED);
+    let base = sd_wireless::FrameData::generate(8, 8, &c, sigma2, &mut rng);
+    let frames: Vec<_> = (0..16)
+        .map(|_| {
+            let mut f = base.clone();
+            let fresh = sd_wireless::FrameData::generate(8, 8, &c, sigma2, &mut rng);
+            f.y = fresh.y;
+            f.tx = fresh.tx;
+            f
+        })
+        .collect();
+    let dets: Vec<Box<dyn PreparedDetector<f64>>> = vec![
+        Box::new(KBestSd::new(c.clone(), 16)),
+        Box::new(sd_core::QuantizedKBestSd::new(c.clone(), 16)),
+        Box::new(sd_core::QuantizedFsd::new(c)),
+    ];
+    let mut scratch = sd_core::preprocess::PrepScratch::new();
+    let mut block = BlockPrep::new();
+    let mut prep = sd_core::preprocess::Prepared::empty();
+    let mut ws = SearchWorkspace::new();
+    let mut out = vec![Detection::default(); frames.len()];
+    // Two warm-up passes: the level loop ping-pongs two frontier buffers,
+    // so a single pass can leave the spare one under max capacity.
+    for det in dets.iter().chain(dets.iter()) {
+        let (_, fused) = decode_block_fused_into(
+            &**det,
+            &frames,
+            &DecodeBudget::UNLIMITED,
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut out,
+        );
+        assert!(fused, "warm-up must take the fused path");
+    }
+    let before = allocs();
+    let mut nodes = 0;
+    for det in &dets {
+        decode_block_fused_into(
+            &**det,
+            &frames,
+            &DecodeBudget::UNLIMITED,
+            &mut scratch,
+            &mut block,
+            &mut prep,
+            &mut ws,
+            &mut out,
+        );
+        for d in std::hint::black_box(&out) {
+            nodes += d.stats.nodes_generated;
+        }
+    }
+    let delta = allocs() - before;
+    assert!(nodes > 10_000, "search too small to be meaningful: {nodes}");
+    assert_eq!(
+        delta, 0,
+        "{delta} allocations across 3 fused block decodes ({nodes} nodes): \
+         the fused level loop allocates in steady state"
+    );
+}
+
 /// One lock-step pass over the ring: submit each request, wait for its
 /// response, recycle the detection buffer, and put the request back.
 /// Returns the nodes generated during the pass.
